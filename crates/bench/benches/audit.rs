@@ -1,0 +1,93 @@
+//! B2 — coherence-audit cost: exhaustive vs sampled, serial vs parallel,
+//! scaling with population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naming_bench::scenarios::audit_world;
+use naming_core::audit::{run as audit_run, AuditSpec};
+use naming_core::closure::{MetaContext, StandardRule};
+use std::hint::black_box;
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/population");
+    group.sample_size(20);
+    for (machines, procs, names) in [(2usize, 2usize, 16usize), (4, 4, 64), (8, 8, 128)] {
+        let (w, pids, audit_names) = audit_world(machines, procs, names, 7);
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let spec = AuditSpec::exhaustive(audit_names, metas);
+        let label = format!("{}x{}x{}", machines, procs, names * 2);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| {
+                black_box(audit_run(
+                    w.state(),
+                    w.registry(),
+                    &StandardRule::OfResolver,
+                    spec,
+                    None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_vs_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/mode");
+    group.sample_size(20);
+    let (w, pids, names) = audit_world(6, 6, 256, 7);
+    let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+    let exhaustive = AuditSpec::exhaustive(names.clone(), metas.clone());
+    let sampled = AuditSpec::exhaustive(names, metas).sampled(64, 99);
+    group.bench_function("exhaustive-512", |b| {
+        b.iter(|| {
+            black_box(audit_run(
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                &exhaustive,
+                None,
+            ))
+        })
+    });
+    group.bench_function("sampled-64", |b| {
+        b.iter(|| {
+            black_box(audit_run(
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                &sampled,
+                None,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/threads");
+    group.sample_size(15);
+    let (w, pids, names) = audit_world(8, 8, 256, 7);
+    let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+    for threads in [1usize, 2, 4] {
+        let spec = AuditSpec::exhaustive(names.clone(), metas.clone()).with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &spec, |b, spec| {
+            b.iter(|| {
+                black_box(audit_run(
+                    w.state(),
+                    w.registry(),
+                    &StandardRule::OfResolver,
+                    spec,
+                    None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population,
+    bench_sampled_vs_exhaustive,
+    bench_parallelism
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! B5 — embedded-name scope search: Algol-scope resolution cost vs tree
+//! depth and the parent-cache ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naming_core::entity::ObjectId;
+use naming_core::name::{CompoundName, Name};
+use naming_core::state::{Document, SystemState};
+use naming_schemes::embedded::EmbeddedResolver;
+use naming_sim::store;
+use std::hint::black_box;
+
+/// Builds a chain of `depth` directories with the binding for the embedded
+/// name's first component at the TOP (worst case for the upward search) and
+/// the document at the bottom.
+fn scoped_chain(depth: usize) -> (SystemState, ObjectId, CompoundName) {
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    let lib = store::ensure_dir(&mut s, root, "a");
+    store::create_file(&mut s, lib, "p", vec![]);
+    let mut cur = root;
+    for i in 0..depth {
+        cur = store::ensure_dir(&mut s, cur, &format!("lvl{i}"));
+    }
+    let mut d = Document::new();
+    d.push_embedded(CompoundName::parse_path("a/p").unwrap());
+    let doc = store::create_document(&mut s, cur, "main", d);
+    (
+        s,
+        doc,
+        CompoundName::new(["a", "p"].map(Name::new)).unwrap(),
+    )
+}
+
+fn bench_scope_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedded/scope-depth");
+    for depth in [1usize, 8, 32, 128] {
+        let (s, doc, name) = scoped_chain(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut r = EmbeddedResolver::new();
+                black_box(r.resolve(&s, doc, black_box(&name)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedded/parent-cache");
+    let (s, doc, name) = scoped_chain(32);
+    group.bench_function("uncached", |b| {
+        let mut r = EmbeddedResolver::new();
+        b.iter(|| black_box(r.resolve(&s, doc, black_box(&name))))
+    });
+    group.bench_function("cached", |b| {
+        let mut r = EmbeddedResolver::with_cache();
+        // Warm once; steady-state resolution then hits the memo.
+        r.resolve(&s, doc, &name);
+        b.iter(|| black_box(r.resolve(&s, doc, black_box(&name))))
+    });
+    group.finish();
+}
+
+fn bench_document_meaning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedded/document-meaning");
+    // A document with many embedded names.
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    let lib = store::ensure_dir(&mut s, root, "a");
+    let mut d = Document::new();
+    for i in 0..64 {
+        store::create_file(&mut s, lib, &format!("p{i}"), vec![]);
+        d.push_embedded(CompoundName::parse_path(&format!("a/p{i}")).unwrap());
+    }
+    let doc = store::create_document(&mut s, root, "big", d);
+    group.bench_function("64-embeddings", |b| {
+        b.iter(|| {
+            let mut r = EmbeddedResolver::with_cache();
+            black_box(r.document_meaning(&s, doc).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scope_depth,
+    bench_cache_ablation,
+    bench_document_meaning
+);
+criterion_main!(benches);

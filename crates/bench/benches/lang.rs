@@ -1,0 +1,74 @@
+//! B6 — interpreter policy costs: evaluation overhead of the closure
+//! mechanisms (lexical vs dynamic scope; by-value vs by-name vs by-text
+//! parameters) on a recursion-flavoured workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naming_lang::coherence::generate_programs;
+use naming_lang::expr::Expr as E;
+use naming_lang::interp::{eval_with, ParamMode, ScopePolicy};
+use std::hint::black_box;
+
+/// A nest of immediately-applied functions `depth` levels deep, each
+/// shadowing `x` and referencing it.
+fn nest(depth: usize) -> E {
+    let mut e = E::var("x");
+    for i in 0..depth {
+        e = E::call(E::fun("x", E::add(e, E::num(i as i64))), E::num(i as i64));
+    }
+    E::let_("x", E::num(0), e)
+}
+
+fn bench_scope_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang/scope");
+    let prog = nest(32);
+    for (label, scope) in [
+        ("lexical", ScopePolicy::Lexical),
+        ("dynamic", ScopePolicy::Dynamic),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &scope, |b, &scope| {
+            b.iter(|| black_box(eval_with(scope, ParamMode::ByValue, black_box(&prog))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_param_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang/params");
+    let prog = nest(32);
+    for (label, mode) in [
+        ("by-value", ParamMode::ByValue),
+        ("by-name", ParamMode::ByName),
+        ("by-text", ParamMode::ByText),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(eval_with(ScopePolicy::Lexical, mode, black_box(&prog))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang/population");
+    group.sample_size(20);
+    let programs = generate_programs(3, 200, 5);
+    group.bench_function("eval-200-random-programs", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for p in &programs {
+                if eval_with(ScopePolicy::Lexical, ParamMode::ByValue, p).is_ok() {
+                    ok += 1;
+                }
+            }
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scope_policies,
+    bench_param_modes,
+    bench_population
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! B3 — PQID overhead: the per-message `R(sender)` mapping cost vs the
+//! fully-qualified baseline, and resolution cost by qualification level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naming_core::entity::ActivityId;
+use naming_schemes::pqid::{Pqid, PqidSpace};
+use naming_sim::world::World;
+use std::hint::black_box;
+
+fn build(machines_per_net: usize, nets: usize, procs: usize) -> (World, Vec<ActivityId>) {
+    let mut w = World::new(5);
+    let mut pids = Vec::new();
+    for n in 0..nets {
+        let net = w.add_network(format!("n{n}"));
+        for m in 0..machines_per_net {
+            let machine = w.add_machine(format!("m{n}-{m}"), net);
+            for p in 0..procs {
+                pids.push(w.spawn(machine, format!("p{p}"), None));
+            }
+        }
+    }
+    (w, pids)
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqid/transfer");
+    let (w, pids) = build(4, 2, 4);
+    let space = PqidSpace::new();
+    let sender = pids[0];
+    let receiver = *pids.last().unwrap();
+    let target = pids[1]; // sender's machine-sibling
+    let minimal = space.minimal(&w, sender, target);
+    group.bench_function("map_for_transfer", |b| {
+        b.iter(|| black_box(space.map_for_transfer(&w, sender, receiver, black_box(minimal))))
+    });
+    group.bench_function("fully_qualified-baseline", |b| {
+        b.iter(|| black_box(space.fully_qualified(&w, black_box(target))))
+    });
+    group.finish();
+}
+
+fn bench_resolution_by_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqid/resolve");
+    let (w, pids) = build(4, 2, 4);
+    let space = PqidSpace::new();
+    let resolver = pids[0];
+    let cases: Vec<(&str, Pqid)> = vec![
+        ("self", Pqid::SELF),
+        ("machine-local", space.minimal(&w, resolver, pids[1])),
+        ("network-local", space.minimal(&w, resolver, pids[5])),
+        (
+            "fully-qualified",
+            space.fully_qualified(&w, *pids.last().unwrap()),
+        ),
+    ];
+    for (label, pid) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pid, |b, pid| {
+            b.iter(|| black_box(space.resolve(&w, resolver, black_box(*pid))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pqid/population");
+    group.sample_size(20);
+    for (nets, machines, procs) in [(2usize, 2usize, 4usize), (4, 4, 8), (8, 8, 8)] {
+        let (w, pids) = build(machines, nets, procs);
+        let space = PqidSpace::new();
+        let resolver = pids[0];
+        let q = space.fully_qualified(&w, *pids.last().unwrap());
+        let label = format!("{}n-{}m-{}p", nets, machines, procs);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &q, |b, q| {
+            b.iter(|| black_box(space.resolve(&w, resolver, black_box(*q))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_resolution_by_level,
+    bench_population_scaling
+);
+criterion_main!(benches);

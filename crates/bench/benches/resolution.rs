@@ -1,0 +1,57 @@
+//! B1 — resolution cost: compound-name resolution latency vs path depth
+//! and naming-graph size, plus the parse-vs-preinterned ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naming_bench::scenarios::{deep_chain, wide_tree};
+use naming_core::name::CompoundName;
+use naming_core::resolve::Resolver;
+use std::hint::black_box;
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve/depth");
+    for depth in [1usize, 4, 16, 64] {
+        let (state, root, name) = deep_chain(depth);
+        let r = Resolver::new();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(r.resolve_entity(&state, root, black_box(&name))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve/graph-size");
+    for target in [100usize, 2_000, 20_000] {
+        let (state, root, manifest) = wide_tree(target, 42);
+        let r = Resolver::new();
+        // Resolve a mid-tree file path; cost should be O(depth), not
+        // O(graph size).
+        let name = manifest.files[manifest.files.len() / 2].0.clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(state.object_count()),
+            &target,
+            |b, _| b.iter(|| black_box(r.resolve_entity(&state, root, black_box(&name)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parse_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve/interning-ablation");
+    let (state, root, name) = deep_chain(8);
+    let r = Resolver::new();
+    let path = name.to_string();
+    group.bench_function("preinterned", |b| {
+        b.iter(|| black_box(r.resolve_entity(&state, root, black_box(&name))))
+    });
+    group.bench_function("parse-then-resolve", |b| {
+        b.iter(|| {
+            let n = CompoundName::parse_path(black_box(&path)).unwrap();
+            black_box(r.resolve_entity(&state, root, &n))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_graph_size, bench_parse_ablation);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! B4 — scheme comparison: build + audit cost of each naming scheme's
+//! canonical scenario (one audit pass over its standard names).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naming_core::name::CompoundName;
+use naming_schemes::scheme::audit_scheme;
+use naming_sim::world::World;
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schemes/build+audit");
+    group.sample_size(30);
+
+    group.bench_function("unix-single-tree", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let net = w.add_network("n");
+            let ms: Vec<_> = (0..3)
+                .map(|i| w.add_machine(format!("m{i}"), net))
+                .collect();
+            let mut unix = naming_schemes::single_tree::UnixTree::install(&mut w);
+            let layout = unix.build_standard_layout(&mut w);
+            naming_sim::store::create_file(w.state_mut(), layout["etc"], "passwd", vec![]);
+            for &m in &ms {
+                unix.spawn(&mut w, m, "p", None);
+            }
+            unix.set_audit_names(vec![CompoundName::parse_path("/etc/passwd").unwrap()]);
+            black_box(audit_scheme(&w, &unix).stats.coherent)
+        })
+    });
+
+    group.bench_function("newcastle", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let (mut scheme, machines) = naming_schemes::newcastle::figure3(&mut w);
+            for &m in &machines {
+                scheme.spawn(&mut w, m, "p", None);
+            }
+            scheme.set_audit_names(vec![CompoundName::parse_path("/etc/passwd").unwrap()]);
+            black_box(audit_scheme(&w, &scheme).stats.incoherent)
+        })
+    });
+
+    group.bench_function("andrew-shared-graph", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let (mut scheme, _clients, _pids) = naming_schemes::shared_graph::canonical(&mut w, 3);
+            scheme.set_audit_names(vec![
+                CompoundName::parse_path("/vice/usr/alice/profile").unwrap(),
+                CompoundName::parse_path("/tmp/scratch").unwrap(),
+                CompoundName::parse_path("/bin/cc").unwrap(),
+            ]);
+            black_box(audit_scheme(&w, &scheme).stats.total)
+        })
+    });
+
+    group.bench_function("osf-dce", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let (mut dce, _pids) = naming_schemes::dce::two_cell_org(&mut w);
+            dce.set_audit_names(vec![
+                CompoundName::parse_path("/.../research/services/printer").unwrap(),
+                CompoundName::parse_path("/.:/services/printer").unwrap(),
+            ]);
+            black_box(audit_scheme(&w, &dce).stats.total)
+        })
+    });
+
+    group.bench_function("federation", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let (mut fed, _o1, _o2) = naming_schemes::federation::two_orgs(&mut w);
+            fed.set_audit_names(vec![
+                CompoundName::parse_path("/users/alice/profile").unwrap(),
+                CompoundName::parse_path("/users/bob/profile").unwrap(),
+            ]);
+            black_box(audit_scheme(&w, &fed).stats.total)
+        })
+    });
+
+    group.bench_function("per-process", |b| {
+        b.iter(|| {
+            let mut w = World::new(1);
+            let net = w.add_network("n");
+            let home = w.add_machine("home", net);
+            let server = w.add_machine("server", net);
+            let root = w.machine_root(home);
+            let data = naming_sim::store::ensure_dir(w.state_mut(), root, "data");
+            naming_sim::store::create_file(w.state_mut(), data, "input", vec![]);
+            let mut scheme = naming_schemes::per_process::PerProcess::new();
+            let parent = scheme.spawn(&mut w, home, "parent");
+            scheme.remote_exec(&mut w, parent, server, "child");
+            scheme.set_audit_names(vec![CompoundName::parse_path("/home/data/input").unwrap()]);
+            black_box(audit_scheme(&w, &scheme).stats.coherent)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! experiments [--exp eN] [--seed S] [--list] [--csv]
+//! ```
+//!
+//! `--csv` emits machine-readable CSV (one blank-line-separated block per
+//! table, each prefixed by a `# <title>` comment line) instead of aligned
+//! text.
+//!
+//! Without `--exp`, the whole suite (E1–E11) runs in paper order.
+
+use naming_bench::experiments::{run_all, run_experiment, CATALOG};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut seed: u64 = 19930601; // ICDCS '93
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned();
+                if exp.is_none() {
+                    eprintln!("--exp requires an argument (e1..e11)");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("--seed requires an integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--csv" => {
+                csv = true;
+            }
+            "--list" => {
+                for info in CATALOG {
+                    println!("{:4}  {}", info.id, info.artifact);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--exp eN] [--seed S] [--list] [--csv]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let emit = |tables: Vec<naming_core::report::Table>| {
+        for t in tables {
+            if csv {
+                println!("# {}", t.title());
+                print!("{}", t.to_csv());
+                println!();
+            } else {
+                println!("{t}");
+            }
+        }
+    };
+    if !csv {
+        println!("Coherence in Naming — experiment suite (seed {seed})");
+        println!();
+    }
+    match exp {
+        Some(id) => match run_experiment(&id, seed) {
+            Some(tables) => emit(tables),
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                std::process::exit(2);
+            }
+        },
+        None => emit(run_all(seed)),
+    }
+}

@@ -1,0 +1,165 @@
+//! E11 — §7: the scoped-shared-name-space architecture.
+//!
+//! Coherence of a name is determined by the scope of the space its prefix
+//! names: group spaces are coherent within a group, organization spaces
+//! within an organization, the global space everywhere. Scope crossing with
+//! a prefixed attachment plus the embedded-name rule restores access.
+
+use naming_core::closure::NameSource;
+use naming_core::entity::ActivityId;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, yes_no, Table};
+use naming_core::state::Document;
+use naming_schemes::architecture::two_org_architecture;
+use naming_schemes::embedded::EmbeddedResolver;
+use naming_schemes::scheme::audit_names_for;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// Coherence of one name class across the three relationship tiers.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeRow {
+    /// The space's common name.
+    pub space: &'static str,
+    /// Coherence among same-group activities.
+    pub same_group: f64,
+    /// Coherence among same-org, different-group activities.
+    pub same_org: f64,
+    /// Coherence among different-org activities.
+    pub cross_org: f64,
+}
+
+/// The E11 results.
+#[derive(Clone, Debug, Default)]
+pub struct E11Result {
+    /// One row per name space.
+    pub rows: Vec<ScopeRow>,
+    /// Did the prefixed attachment give the cross-org user access?
+    pub prefixed_access: bool,
+    /// Did embedded names inside the crossed-scope subtree keep their
+    /// meaning?
+    pub embedded_restored: bool,
+}
+
+/// Runs E11.
+pub fn run(seed: u64) -> E11Result {
+    let mut w = World::new(seed);
+    let (mut arch, orgs, (_global, users, _projs)) = two_org_architecture(&mut w);
+    let same_group: Vec<ActivityId> = vec![orgs[0][0][0], orgs[0][0][1]];
+    let same_org: Vec<ActivityId> = vec![orgs[0][0][0], orgs[0][1][0]];
+    let cross_org: Vec<ActivityId> = vec![orgs[0][0][0], orgs[1][0][0]];
+
+    let mut rows = Vec::new();
+    for (space, name) in [
+        ("global", "/global/dns"),
+        ("users", "/users/alice/profile"),
+        ("services", "/services/printer"),
+        ("proj", "/proj/plan"),
+    ] {
+        let n = vec![CompoundName::parse_path(name).unwrap()];
+        let rate = |pair: &[ActivityId]| {
+            audit_names_for(&w, &arch, pair, &n, NameSource::Internal)
+                .stats
+                .coherence_rate()
+        };
+        rows.push(ScopeRow {
+            space,
+            same_group: rate(&same_group),
+            same_org: rate(&same_org),
+            cross_org: rate(&cross_org),
+        });
+    }
+
+    // Scope crossing: org1's activity attaches org2's users space and reads
+    // a structured object inside it.
+    let org2_users_root = arch.space_root(users[1]);
+    let projdir = store::ensure_dir(w.state_mut(), org2_users_root, "bobproj");
+    let lib = store::ensure_dir(w.state_mut(), projdir, "lib");
+    let part = store::create_file(w.state_mut(), lib, "part", vec![]);
+    let mut d = Document::new();
+    d.push_embedded(CompoundName::parse_path("lib/part").unwrap());
+    let doc = store::create_document(w.state_mut(), projdir, "main", d);
+    let visitor = orgs[0][0][0];
+    arch.enroll_prefixed(&mut w, visitor, users[1], "org2-users");
+    let doc_name = CompoundName::parse_path("/org2-users/bobproj/main").unwrap();
+    let prefixed_access =
+        w.resolve_in_own_context(visitor, &doc_name) == naming_core::entity::Entity::Object(doc);
+    let mut er = EmbeddedResolver::new();
+    let meaning = er.document_meaning(w.state(), doc);
+    let embedded_restored =
+        meaning.len() == 1 && meaning[0].1 == naming_core::entity::Entity::Object(part);
+
+    E11Result {
+        rows,
+        prefixed_access,
+        embedded_restored,
+    }
+}
+
+/// Renders the E11 tables.
+pub fn tables(r: &E11Result) -> Vec<Table> {
+    let mut a = Table::new(
+        "E11a (§7): coherence by name-space scope and activity relationship",
+        &["space", "same group", "same org", "cross org"],
+    );
+    for row in &r.rows {
+        a.row(vec![
+            format!("/{}", row.space),
+            pct(row.same_group),
+            pct(row.same_org),
+            pct(row.cross_org),
+        ]);
+    }
+    a.note("share name spaces in a limited scope among activities that have a high degree of interaction (paper §7)");
+
+    let mut b = Table::new(
+        "E11b (§7): crossing scope boundaries",
+        &["mechanism", "works"],
+    );
+    b.row(vec![
+        "prefixed attachment (/org2-users)".into(),
+        yes_no(r.prefixed_access),
+    ]);
+    b.row(vec![
+        "embedded names restored by R(file)".into(),
+        yes_no(r.embedded_restored),
+    ]);
+    b.note("our solution for embedded names would restore coherence (paper §7)");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherence_nests_by_scope() {
+        let r = run(11);
+        let by_space = |s: &str| r.rows.iter().find(|row| row.space == s).unwrap();
+        let g = by_space("global");
+        assert!((g.same_group - 1.0).abs() < 1e-9);
+        assert!((g.cross_org - 1.0).abs() < 1e-9);
+        let u = by_space("users");
+        assert!((u.same_group - 1.0).abs() < 1e-9);
+        assert!((u.same_org - 1.0).abs() < 1e-9);
+        assert!(u.cross_org < 1e-9);
+        let p = by_space("proj");
+        assert!((p.same_group - 1.0).abs() < 1e-9);
+        assert!(p.same_org < 1e-9);
+        assert!(p.cross_org < 1e-9);
+    }
+
+    #[test]
+    fn scope_crossing_works() {
+        let r = run(11);
+        assert!(r.prefixed_access);
+        assert!(r.embedded_restored);
+    }
+
+    #[test]
+    fn tables_render() {
+        let ts = tables(&run(11));
+        assert_eq!(ts[0].row_count(), 4);
+        assert_eq!(ts[1].row_count(), 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! E13 (capstone) — the §5 survey as one table: every naming scheme on a
+//! standardized workload.
+//!
+//! The paper's §5 is, in prose, a comparison table: for each scheme, what
+//! degree of coherence do machine-local names and shared names get, and
+//! does the scheme offer a closure mechanism that repairs incoherent
+//! names? This experiment builds each scheme's canonical scenario, audits
+//! one name of each class across all of the scheme's processes, and
+//! checks the repair mechanism where one exists.
+
+use naming_core::closure::NameSource;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, Table};
+use naming_schemes::scheme::audit_names_for;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// One scheme's row in the survey.
+#[derive(Clone, Debug)]
+pub struct SurveyRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Coherence rate of a machine-local-style name across all processes.
+    pub local_rate: f64,
+    /// Coherence rate of a shared/global-style name across all processes.
+    pub shared_rate: f64,
+    /// Whether the scheme offers a mapping closure that repairs the local
+    /// name, and whether it worked.
+    pub repair: Option<bool>,
+}
+
+/// The E13 results.
+#[derive(Clone, Debug, Default)]
+pub struct E13Result {
+    /// One row per scheme, in paper order.
+    pub rows: Vec<SurveyRow>,
+}
+
+impl E13Result {
+    /// Looks a row up by scheme name.
+    pub fn row(&self, scheme: &str) -> Option<&SurveyRow> {
+        self.rows.iter().find(|r| r.scheme == scheme)
+    }
+}
+
+/// Runs E13.
+pub fn run(seed: u64) -> E13Result {
+    let mut rows = Vec::new();
+
+    // --- Unix / Locus / V single tree --------------------------------------
+    {
+        let mut w = World::new(seed);
+        let net = w.add_network("n");
+        let ms: Vec<_> = (0..3)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        let mut unix = naming_schemes::single_tree::UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        store::create_file(w.state_mut(), layout["etc"], "passwd", vec![]);
+        store::create_file(w.state_mut(), layout["lib"], "libc", vec![]);
+        let pids: Vec<_> = ms
+            .iter()
+            .map(|&m| unix.spawn(&mut w, m, "p", None))
+            .collect();
+        let local = vec![CompoundName::parse_path("/etc/passwd").unwrap()];
+        let shared = vec![CompoundName::parse_path("/lib/libc").unwrap()];
+        rows.push(SurveyRow {
+            scheme: "unix-single-tree",
+            local_rate: audit_names_for(&w, &unix, &pids, &local, NameSource::Internal)
+                .stats
+                .coherence_rate(),
+            shared_rate: audit_names_for(&w, &unix, &pids, &shared, NameSource::Internal)
+                .stats
+                .coherence_rate(),
+            repair: None, // nothing to repair: one tree, one meaning
+        });
+    }
+
+    // --- Newcastle Connection ------------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let (mut scheme, machines) = naming_schemes::newcastle::figure3(&mut w);
+        let pids: Vec<_> = machines
+            .iter()
+            .map(|&m| scheme.spawn(&mut w, m, "p", None))
+            .collect();
+        let local = CompoundName::parse_path("/etc/passwd").unwrap();
+        let local_rate = audit_names_for(
+            &w,
+            &scheme,
+            &pids,
+            std::slice::from_ref(&local),
+            NameSource::Internal,
+        )
+        .stats
+        .coherence_rate();
+        // Shared names in Newcastle are the `..`-mapped global forms.
+        let mapped = scheme.map_name(&w, machines[0], &local).unwrap();
+        let shared_rate = audit_names_for(
+            &w,
+            &scheme,
+            &pids,
+            std::slice::from_ref(&mapped),
+            NameSource::Internal,
+        )
+        .stats
+        .coherence_rate();
+        // Repair = the mapping rule itself.
+        let meant = w.resolve_in_own_context(pids[0], &local);
+        let repaired = w.resolve_in_own_context(pids[1], &mapped) == meant;
+        rows.push(SurveyRow {
+            scheme: "newcastle-connection",
+            local_rate,
+            shared_rate,
+            repair: Some(repaired),
+        });
+    }
+
+    // --- Andrew shared naming graph -------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let (scheme, _clients, pids) = naming_schemes::shared_graph::canonical(&mut w, 3);
+        let local = vec![CompoundName::parse_path("/tmp/scratch").unwrap()];
+        let shared = vec![CompoundName::parse_path("/vice/usr/alice/profile").unwrap()];
+        rows.push(SurveyRow {
+            scheme: "andrew-shared-graph",
+            local_rate: audit_names_for(&w, &scheme, &pids, &local, NameSource::Internal)
+                .stats
+                .coherence_rate(),
+            shared_rate: audit_names_for(&w, &scheme, &pids, &shared, NameSource::Internal)
+                .stats
+                .coherence_rate(),
+            // Andrew's "repair" is exclusion: local names simply cannot be
+            // passed; there is no mapping.
+            repair: None,
+        });
+    }
+
+    // --- OSF DCE ---------------------------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let (dce, pids) = naming_schemes::dce::two_cell_org(&mut w);
+        let local = CompoundName::parse_path("/.:/services/printer").unwrap();
+        let shared = vec![CompoundName::parse_path("/.../research/services/printer").unwrap()];
+        let local_rate = audit_names_for(
+            &w,
+            &dce,
+            &pids,
+            std::slice::from_ref(&local),
+            NameSource::Internal,
+        )
+        .stats
+        .coherence_rate();
+        let shared_rate = audit_names_for(&w, &dce, &pids, &shared, NameSource::Internal)
+            .stats
+            .coherence_rate();
+        let global = dce.globalize(&dce.cells()[0], &local).unwrap();
+        let meant = w.resolve_in_own_context(pids[0], &local);
+        let repaired = w.resolve_in_own_context(pids[2], &global) == meant;
+        rows.push(SurveyRow {
+            scheme: "osf-dce",
+            local_rate,
+            shared_rate,
+            repair: Some(repaired),
+        });
+    }
+
+    // --- Cross-linked federation ------------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let (fed, org1, org2) = naming_schemes::federation::two_orgs(&mut w);
+        let services = w.state_mut().add_context_object("services:/");
+        store::create_file(w.state_mut(), services, "dns", vec![]);
+        fed.attach_shared_space(&mut w, &[org1, org2], "services", services);
+        let pids = [fed.processes(org1)[0], fed.processes(org2)[0]];
+        let local = CompoundName::parse_path("/users/bob/profile").unwrap();
+        let shared = vec![CompoundName::parse_path("/services/dns").unwrap()];
+        let local_rate = audit_names_for(
+            &w,
+            &fed,
+            &pids,
+            std::slice::from_ref(&local),
+            NameSource::Internal,
+        )
+        .stats
+        .coherence_rate();
+        let shared_rate = audit_names_for(&w, &fed, &pids, &shared, NameSource::Internal)
+            .stats
+            .coherence_rate();
+        let mapped = fed.map_across(org1, org2, &local).unwrap();
+        let meant = w.resolve_in_own_context(pids[1], &local);
+        let repaired = w.resolve_in_own_context(pids[0], &mapped) == meant;
+        rows.push(SurveyRow {
+            scheme: "federated-cross-links",
+            local_rate,
+            shared_rate,
+            repair: Some(repaired),
+        });
+    }
+
+    // --- Per-process namespaces ---------------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let net = w.add_network("n");
+        let home = w.add_machine("home", net);
+        let away = w.add_machine("away", net);
+        for &m in &[home, away] {
+            let root = w.machine_root(m);
+            let data = store::ensure_dir(w.state_mut(), root, "data");
+            store::create_file(w.state_mut(), data, "input", vec![m.0 as u8]);
+        }
+        let mut scheme = naming_schemes::per_process::PerProcess::new();
+        let parent = scheme.spawn(&mut w, home, "parent");
+        let child = scheme.remote_exec(&mut w, parent, away, "child");
+        let pids = [parent, child];
+        // Machine-qualified names are inherently shared in this scheme…
+        let shared = vec![CompoundName::parse_path("/home/data/input").unwrap()];
+        let shared_rate = audit_names_for(&w, &scheme, &pids, &shared, NameSource::Internal)
+            .stats
+            .coherence_rate();
+        // …and there are no unqualified machine-local names at all: the
+        // closest analog is a name only one process attached.
+        let solo = w.state_mut().add_context_object("solo");
+        scheme.attach(&mut w, parent, "private", solo);
+        let local = vec![CompoundName::parse_path("/private").unwrap()];
+        let local_rate = audit_names_for(&w, &scheme, &pids, &local, NameSource::Internal)
+            .stats
+            .coherence_rate();
+        // Repair: attach the same space into the other namespace.
+        scheme.attach(&mut w, child, "private", solo);
+        let repaired = audit_names_for(&w, &scheme, &pids, &local, NameSource::Internal)
+            .stats
+            .coherence_rate()
+            >= 1.0;
+        rows.push(SurveyRow {
+            scheme: "per-process-namespaces",
+            local_rate,
+            shared_rate,
+            repair: Some(repaired),
+        });
+    }
+
+    E13Result { rows }
+}
+
+/// Renders the E13 table.
+pub fn table(r: &E13Result) -> Table {
+    let mut t = Table::new(
+        "E13 (capstone): the §5 survey — degree of coherence by scheme",
+        &[
+            "scheme",
+            "machine-local names",
+            "shared names",
+            "repair closure works",
+        ],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.scheme.into(),
+            pct(row.local_rate),
+            pct(row.shared_rate),
+            match row.repair {
+                None => "n/a".into(),
+                Some(true) => "yes".into(),
+                Some(false) => "NO".into(),
+            },
+        ]);
+    }
+    t.note("machine-local = a name bound per machine/cell/org; shared = a name in the scheme's shared subgraph; repair = the scheme's mapping closure (Newcastle '..' rule, DCE globalize, federation prefix, per-process attach)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_matches_section5() {
+        let r = run(13);
+        assert_eq!(r.rows.len(), 6);
+        // Single tree: everything coherent.
+        let unix = r.row("unix-single-tree").unwrap();
+        assert_eq!(unix.local_rate, 1.0);
+        assert_eq!(unix.shared_rate, 1.0);
+        // Every other scheme: local 0, shared 1.
+        for scheme in [
+            "newcastle-connection",
+            "andrew-shared-graph",
+            "osf-dce",
+            "federated-cross-links",
+            "per-process-namespaces",
+        ] {
+            let row = r.row(scheme).unwrap();
+            assert_eq!(row.local_rate, 0.0, "{scheme} local");
+            assert_eq!(row.shared_rate, 1.0, "{scheme} shared");
+        }
+        // Repair closures all work where they exist.
+        for row in &r.rows {
+            if let Some(ok) = row.repair {
+                assert!(ok, "{} repair", row.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(13));
+        assert_eq!(t.row_count(), 6);
+        assert!(t.to_string().contains("newcastle"));
+    }
+}

@@ -1,0 +1,258 @@
+//! E14 (extension) — distributed resolution as a protocol: iterative vs
+//! recursive referral chasing, and cache staleness under binding churn.
+//!
+//! The paper's model presupposes that resolution traverses context objects
+//! spread over machines; this experiment measures what that traversal
+//! costs on the wire and how client caches decay into incoherence when
+//! bindings change — the paper's coherence problem in temporal form.
+
+use naming_core::entity::ActivityId;
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{pct, Table};
+use naming_resolver::cache::CachingResolver;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+/// One (depth × mode) measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopCost {
+    /// Machines the resolution path crosses.
+    pub hops: usize,
+    /// Iterative messages / latency ticks.
+    pub iterative: (u64, u64),
+    /// Recursive messages / latency ticks.
+    pub recursive: (u64, u64),
+}
+
+/// One churn-level cache measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnPoint {
+    /// Fraction of bindings rebound.
+    pub churn: f64,
+    /// Fraction of cache entries stale afterwards.
+    pub staleness: f64,
+    /// Cache hit rate during the post-churn lookup pass (stale hits
+    /// included — that is the point).
+    pub hit_rate: f64,
+}
+
+/// The E14 results.
+#[derive(Clone, Debug, Default)]
+pub struct E14Result {
+    /// Wire cost by chain depth (client remote from every server).
+    pub costs: Vec<HopCost>,
+    /// Cache staleness sweep.
+    pub churn: Vec<ChurnPoint>,
+}
+
+/// Builds a referral chain of `hops` machines plus a far-away client.
+fn chain(
+    hops: usize,
+    seed: u64,
+) -> (
+    World,
+    ProtocolEngine,
+    ActivityId,
+    naming_core::entity::ObjectId,
+    CompoundName,
+) {
+    let mut w = World::new(seed);
+    let net = w.add_network("servers");
+    let machines: Vec<MachineId> = (0..hops)
+        .map(|i| w.add_machine(format!("s{i}"), net))
+        .collect();
+    let mut prev: Option<naming_core::entity::ObjectId> = None;
+    let mut comps: Vec<Name> = vec![Name::root()];
+    for (i, &m) in machines.iter().enumerate() {
+        let root = w.machine_root(m);
+        let dir = store::ensure_dir(w.state_mut(), root, "zone");
+        if let Some(p) = prev {
+            store::attach(w.state_mut(), p, &format!("hop{i}"), dir, false);
+            comps.push(Name::new(&format!("hop{i}")));
+        }
+        prev = Some(dir);
+    }
+    store::create_file(w.state_mut(), prev.expect("hops >= 1"), "leaf", vec![]);
+    comps.push(Name::new("leaf"));
+    let mut svc = NameService::install(&mut w, &machines);
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    let far = w.add_network("client-net");
+    let client_machine = w.add_machine("client-host", far);
+    let client = w.spawn(client_machine, "client", None);
+    // The name starts at machine 0's root: /zone/hop1/.../leaf
+    comps.insert(1, Name::new("zone"));
+    let name = CompoundName::new(comps).expect("nonempty");
+    let start = w.machine_root(machines[0]);
+    (w, ProtocolEngine::new(svc), client, start, name)
+}
+
+/// Runs E14.
+pub fn run(seed: u64) -> E14Result {
+    let mut costs = Vec::new();
+    for hops in [1usize, 2, 4, 6] {
+        let mut iterative = (0u64, 0u64);
+        let mut recursive = (0u64, 0u64);
+        for (mode, slot) in [
+            (Mode::Iterative, &mut iterative),
+            (Mode::Recursive, &mut recursive),
+        ] {
+            let (mut w, mut engine, client, start, name) = chain(hops, seed);
+            let stats = engine.resolve(&mut w, client, start, &name, mode);
+            assert!(stats.entity.is_defined(), "chain resolution failed");
+            *slot = (stats.messages, stats.latency.ticks());
+        }
+        costs.push(HopCost {
+            hops,
+            iterative,
+            recursive,
+        });
+    }
+
+    // Cache staleness sweep.
+    let mut churn_points = Vec::new();
+    for churn_pct in [0usize, 10, 25, 50, 100] {
+        let churn = churn_pct as f64 / 100.0;
+        let mut w = World::new(seed ^ 0xc0ffee);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root = w.machine_root(m1);
+        let root2 = w.machine_root(m2);
+        let export = store::ensure_dir(w.state_mut(), root2, "export");
+        let n_names = 40;
+        let mut names = Vec::new();
+        for i in 0..n_names {
+            store::create_file(w.state_mut(), export, &format!("e{i}"), vec![]);
+            names.push(CompoundName::parse_path(&format!("/remote/e{i}")).unwrap());
+        }
+        store::attach(w.state_mut(), root, "remote", export, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, root2, m2);
+        svc.place_subtree(&w, root, m1);
+        let client = w.spawn(m1, "client", None);
+        let mut resolver = CachingResolver::new(ProtocolEngine::new(svc));
+        // Warm the cache.
+        for n in &names {
+            resolver.resolve(&mut w, client, root, n, Mode::Iterative);
+        }
+        // Churn: rebind a fraction of names to fresh objects.
+        let mut rng = SimRng::seeded(seed ^ churn_pct as u64);
+        for (i, _) in names.iter().enumerate() {
+            if rng.chance(churn) {
+                let fresh = w.state_mut().add_data_object(format!("e{i}-v2"), vec![]);
+                w.state_mut()
+                    .bind(export, Name::new(&format!("e{i}")), fresh)
+                    .unwrap();
+            }
+        }
+        let staleness = resolver.staleness(&w);
+        // A second lookup pass: all hits (that is the danger).
+        for n in &names {
+            resolver.resolve(&mut w, client, root, n, Mode::Iterative);
+        }
+        let hit_rate = resolver.stats().hit_rate();
+        churn_points.push(ChurnPoint {
+            churn,
+            staleness,
+            hit_rate,
+        });
+    }
+
+    E14Result {
+        costs,
+        churn: churn_points,
+    }
+}
+
+/// Renders the E14 tables.
+pub fn tables(r: &E14Result) -> Vec<Table> {
+    let mut a = Table::new(
+        "E14a (protocol): iterative vs recursive resolution (remote client)",
+        &[
+            "machines crossed",
+            "iter msgs",
+            "iter latency",
+            "rec msgs",
+            "rec latency",
+        ],
+    );
+    for c in &r.costs {
+        a.row(vec![
+            c.hops.to_string(),
+            c.iterative.0.to_string(),
+            format!("{}t", c.iterative.1),
+            c.recursive.0.to_string(),
+            format!("{}t", c.recursive.1),
+        ]);
+    }
+    a.note("iterative pays the client<->server distance per referral; recursion keeps referral chasing inside the server network");
+
+    let mut b = Table::new(
+        "E14b (protocol): cache incoherence under binding churn",
+        &["churn", "stale entries", "hit rate (serving them)"],
+    );
+    for p in &r.churn {
+        b.row(vec![pct(p.churn), pct(p.staleness), pct(p.hit_rate)]);
+    }
+    b.note("a cached resolution is a context binding frozen in time; churn turns hits into incoherent answers — the paper's problem, temporally");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursion_wins_for_remote_clients() {
+        let r = run(14);
+        for c in &r.costs {
+            if c.hops > 1 {
+                assert!(
+                    c.recursive.1 < c.iterative.1,
+                    "hops {}: rec {} vs iter {}",
+                    c.hops,
+                    c.recursive.1,
+                    c.iterative.1
+                );
+            }
+            // Same number of frames either way for a linear chain.
+            assert_eq!(c.iterative.0, c.recursive.0);
+            assert_eq!(c.iterative.0 as usize, 2 * c.hops);
+        }
+        // Costs grow with depth.
+        assert!(r
+            .costs
+            .windows(2)
+            .all(|w| w[0].iterative.1 <= w[1].iterative.1));
+    }
+
+    #[test]
+    fn staleness_tracks_churn() {
+        let r = run(14);
+        assert_eq!(r.churn.first().unwrap().staleness, 0.0);
+        assert!(r.churn.last().unwrap().staleness > 0.9);
+        for w in r.churn.windows(2) {
+            assert!(w[1].staleness + 0.15 >= w[0].staleness, "roughly monotone");
+        }
+        // The cache keeps serving: hit rate ~50% across both passes.
+        for p in &r.churn {
+            assert!(p.hit_rate > 0.4);
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let ts = tables(&run(14));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].row_count(), 4);
+        assert_eq!(ts[1].row_count(), 5);
+    }
+}

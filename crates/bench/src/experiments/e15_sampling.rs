@@ -1,0 +1,181 @@
+//! E15 (methodology) — sampled-audit accuracy: how closely the sampled
+//! coherence auditor tracks exhaustive ground truth as the sample grows.
+//!
+//! The audit engine offers a sampled mode for large namespaces (bench B2
+//! measures its *speed*); this experiment measures its *accuracy*, so that
+//! sampled numbers elsewhere can be trusted. Expected shape: mean absolute
+//! error of the coherence-rate estimate decays roughly as 1/√n.
+
+use naming_core::audit::{run as audit_run, AuditSpec};
+use naming_core::closure::{MetaContext, StandardRule};
+use naming_core::report::{pct, Table};
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// Accuracy at one sample size.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SamplePoint {
+    /// Names sampled per audit.
+    pub samples: usize,
+    /// Mean absolute error of the coherence-rate estimate vs ground truth,
+    /// over the replicates.
+    pub mean_abs_error: f64,
+    /// Worst absolute error seen.
+    pub max_abs_error: f64,
+}
+
+/// The E15 results.
+#[derive(Clone, Debug, Default)]
+pub struct E15Result {
+    /// Ground-truth coherence rate of the workload.
+    pub truth: f64,
+    /// Total names in the population.
+    pub population: usize,
+    /// Replicates per sample size.
+    pub replicates: usize,
+    /// Accuracy sweep, by increasing sample size.
+    pub points: Vec<SamplePoint>,
+}
+
+/// Runs E15.
+pub fn run(seed: u64) -> E15Result {
+    // A population with a known, non-trivial mix: shared names are
+    // coherent, local names are not, and a slice of names is vacuous.
+    let mut w = World::new(seed);
+    let net = w.add_network("n");
+    let shared = w.state_mut().add_context_object("shared");
+    let names_per_class = 128usize;
+    for i in 0..names_per_class {
+        store::create_file(w.state_mut(), shared, &format!("s{i}"), vec![]);
+    }
+    let mut pids = Vec::new();
+    for m in 0..4 {
+        let machine = w.add_machine(format!("m{m}"), net);
+        let root = w.machine_root(machine);
+        store::attach(w.state_mut(), root, "shared", shared, false);
+        let local = store::ensure_dir(w.state_mut(), root, "local");
+        for i in 0..names_per_class {
+            store::create_file(w.state_mut(), local, &format!("l{i}"), vec![]);
+        }
+        for p in 0..3 {
+            pids.push(w.spawn(machine, format!("p{m}-{p}"), None));
+        }
+    }
+    let mut names = Vec::new();
+    for i in 0..names_per_class {
+        names.push(naming_core::name::CompoundName::parse_path(&format!("/shared/s{i}")).unwrap());
+        names.push(naming_core::name::CompoundName::parse_path(&format!("/local/l{i}")).unwrap());
+    }
+    // A vacuous slice.
+    for i in 0..names_per_class / 2 {
+        names.push(naming_core::name::CompoundName::parse_path(&format!("/ghost/g{i}")).unwrap());
+    }
+    let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+
+    let truth = {
+        let spec = AuditSpec::exhaustive(names.clone(), metas.clone());
+        audit_run(
+            w.state(),
+            w.registry(),
+            &StandardRule::OfResolver,
+            &spec,
+            None,
+        )
+        .stats
+        .coherence_rate()
+    };
+
+    let replicates = 12usize;
+    let mut points = Vec::new();
+    let mut seeder = SimRng::seeded(seed ^ 0xabcd);
+    for samples in [8usize, 32, 128, 320] {
+        let mut total_err = 0.0f64;
+        let mut max_err = 0.0f64;
+        for _ in 0..replicates {
+            let s = seeder.below(1 << 30) as u64;
+            let spec = AuditSpec::exhaustive(names.clone(), metas.clone()).sampled(samples, s);
+            let est = audit_run(
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                &spec,
+                None,
+            )
+            .stats
+            .coherence_rate();
+            let err = (est - truth).abs();
+            total_err += err;
+            max_err = max_err.max(err);
+        }
+        points.push(SamplePoint {
+            samples,
+            mean_abs_error: total_err / replicates as f64,
+            max_abs_error: max_err,
+        });
+    }
+
+    E15Result {
+        truth,
+        population: names.len(),
+        replicates,
+        points,
+    }
+}
+
+/// Renders the E15 table.
+pub fn table(r: &E15Result) -> Table {
+    let mut t = Table::new(
+        "E15 (methodology): sampled-audit accuracy vs sample size",
+        &["sample size", "mean |error|", "max |error|"],
+    );
+    for p in &r.points {
+        t.row(vec![
+            p.samples.to_string(),
+            pct(p.mean_abs_error),
+            pct(p.max_abs_error),
+        ]);
+    }
+    t.note(format!(
+        "population {} names, ground-truth coherence {}, {} replicates per point",
+        r.population,
+        pct(r.truth),
+        r.replicates
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_is_the_designed_mix() {
+        let r = run(15);
+        // 128 coherent of 320 names (128 shared + 128 local + 64 vacuous).
+        assert!((r.truth - 128.0 / 320.0).abs() < 1e-9);
+        assert_eq!(r.population, 320);
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_size() {
+        let r = run(15);
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        assert!(last.mean_abs_error < first.mean_abs_error);
+        // The full-population sample is exact.
+        assert!(last.samples == 320 || last.mean_abs_error < 0.05);
+        // From modest sample sizes on, errors are bounded well below
+        // random guessing (tiny samples can be wild — that is the point of
+        // the table).
+        for p in r.points.iter().filter(|p| p.samples >= 32) {
+            assert!(p.max_abs_error < 0.35, "sample {}", p.samples);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(15));
+        assert_eq!(t.row_count(), 4);
+    }
+}

@@ -1,0 +1,276 @@
+//! E16 (extension) — coherence drift under administrative churn, per
+//! scheme.
+//!
+//! §5's degrees of coherence are *structural*; this experiment asks how
+//! stable they are over time. At each step every machine's administrator
+//! rebinds some machine-local entries (new file versions) and some
+//! processes mutate their own contexts (`chdir`). We monitor:
+//!
+//! * single naming tree: one authority — churn rebinds THE binding, so
+//!   absolute names stay coherent (meaning changes for everyone at once);
+//! * Newcastle: per-machine authorities — `/`-names stay incoherent, the
+//!   `..`-mapped global names stay coherent (the superroot structure is
+//!   untouched by local churn);
+//! * Andrew: `/vice`-names stay coherent under purely-local churn, but
+//!   *shadowing* events (a client accidentally creating a local `vice`
+//!   entry in its own root — the §5.2 copy/move hazard) knock individual
+//!   clients out of the shared subgraph.
+
+use naming_core::audit::AuditSpec;
+use naming_core::closure::{MetaContext, StandardRule};
+use naming_core::monitor::CoherenceMonitor;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, Table};
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// Coherence trajectory for one scheme.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Pairwise coherence rate at each churn step (step 0 = pristine).
+    pub rates: Vec<f64>,
+}
+
+/// The E16 results.
+#[derive(Clone, Debug, Default)]
+pub struct E16Result {
+    /// One trajectory per scheme.
+    pub trajectories: Vec<Trajectory>,
+    /// Churn steps (shared x-axis).
+    pub steps: usize,
+}
+
+const STEPS: usize = 6;
+
+/// Runs E16.
+pub fn run(seed: u64) -> E16Result {
+    let mut trajectories = Vec::new();
+
+    // --- single tree ---------------------------------------------------------
+    {
+        let mut w = World::new(seed);
+        let net = w.add_network("n");
+        let ms: Vec<_> = (0..3)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        let mut unix = naming_schemes::single_tree::UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        store::create_file(w.state_mut(), layout["etc"], "passwd", vec![0]);
+        let pids: Vec<_> = ms
+            .iter()
+            .map(|&m| unix.spawn(&mut w, m, "p", None))
+            .collect();
+        let names = vec![CompoundName::parse_path("/etc/passwd").unwrap()];
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+        let mut rng = SimRng::seeded(seed ^ 1);
+        for step in 0..=STEPS {
+            if step > 0 {
+                // The (single) administrator ships a new /etc/passwd.
+                let v = rng.below(1 << 20) as u8;
+                let etc = layout["etc"];
+                store::create_file(w.state_mut(), etc, "passwd", vec![v]);
+                // Processes chdir around — harmless for absolute names.
+                for &p in &pids {
+                    let dirs: Vec<_> = layout.values().copied().collect();
+                    unix.chdir(&mut w, p, *rng.pick(&dirs));
+                }
+            }
+            mon.observe(
+                step.to_string(),
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                None,
+            );
+        }
+        trajectories.push(Trajectory {
+            scheme: "single tree (/etc/passwd)",
+            rates: mon
+                .series()
+                .iter()
+                .map(|o| o.stats.pairwise_rate())
+                .collect(),
+        });
+    }
+
+    // --- Newcastle: local names vs mapped names --------------------------------
+    {
+        let mut w = World::new(seed);
+        let (mut scheme, machines) = naming_schemes::newcastle::figure3(&mut w);
+        let pids: Vec<_> = machines
+            .iter()
+            .map(|&m| scheme.spawn(&mut w, m, "p", None))
+            .collect();
+        let local = CompoundName::parse_path("/etc/passwd").unwrap();
+        let mapped = scheme.map_name(&w, machines[0], &local).unwrap();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon_local =
+            CoherenceMonitor::new(AuditSpec::exhaustive(vec![local], metas.clone()));
+        let mut mon_mapped = CoherenceMonitor::new(AuditSpec::exhaustive(vec![mapped], metas));
+        let mut rng = SimRng::seeded(seed ^ 2);
+        for step in 0..=STEPS {
+            if step > 0 {
+                // Each machine's admin rebinds its own /etc/passwd.
+                for &m in &machines {
+                    let root = w.machine_root(m);
+                    let etc = store::ensure_dir(w.state_mut(), root, "etc");
+                    let v = rng.below(1 << 20) as u8;
+                    store::create_file(w.state_mut(), etc, "passwd", vec![v]);
+                }
+            }
+            mon_local.observe(
+                step.to_string(),
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                None,
+            );
+            mon_mapped.observe(
+                step.to_string(),
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                None,
+            );
+        }
+        trajectories.push(Trajectory {
+            scheme: "newcastle (/etc/passwd)",
+            rates: mon_local
+                .series()
+                .iter()
+                .map(|o| o.stats.pairwise_rate())
+                .collect(),
+        });
+        trajectories.push(Trajectory {
+            scheme: "newcastle (/../unix1/…)",
+            rates: mon_mapped
+                .series()
+                .iter()
+                .map(|o| o.stats.pairwise_rate())
+                .collect(),
+        });
+    }
+
+    // --- Andrew: /vice under local churn + shadowing hazard --------------------
+    {
+        let mut w = World::new(seed);
+        let (_scheme, clients, pids) = naming_schemes::shared_graph::canonical(&mut w, 4);
+        let shared_name = CompoundName::parse_path("/vice/usr/alice/profile").unwrap();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(vec![shared_name], metas));
+        let mut rng = SimRng::seeded(seed ^ 3);
+        for step in 0..=STEPS {
+            if step > 0 {
+                // Local churn everywhere.
+                for &c in &clients {
+                    let root = w.machine_root(c);
+                    let tmp = store::ensure_dir(w.state_mut(), root, "tmp");
+                    store::create_file(w.state_mut(), tmp, "scratch", vec![step as u8]);
+                }
+                // With some probability, one client shadows /vice with a
+                // local directory (the §5.2 copy/move hazard).
+                if rng.chance(0.5) {
+                    let victim = *rng.pick(&clients);
+                    let root = w.machine_root(victim);
+                    let shadow = w
+                        .state_mut()
+                        .add_context_object(format!("shadow-vice-{step}"));
+                    store::attach(w.state_mut(), root, "vice", shadow, false);
+                }
+            }
+            mon.observe(
+                step.to_string(),
+                w.state(),
+                w.registry(),
+                &StandardRule::OfResolver,
+                None,
+            );
+        }
+        trajectories.push(Trajectory {
+            scheme: "andrew (/vice/…, with shadowing)",
+            rates: mon
+                .series()
+                .iter()
+                .map(|o| o.stats.pairwise_rate())
+                .collect(),
+        });
+    }
+
+    E16Result {
+        trajectories,
+        steps: STEPS,
+    }
+}
+
+/// Renders the E16 table.
+pub fn table(r: &E16Result) -> Table {
+    let mut headers: Vec<String> = vec!["scheme / name form".into()];
+    for s in 0..=r.steps {
+        headers.push(format!("step {s}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "E16 (extension): coherence trajectories under administrative churn",
+        &header_refs,
+    );
+    for traj in &r.trajectories {
+        let mut row = vec![traj.scheme.to_string()];
+        row.extend(traj.rates.iter().map(|&x| pct(x)));
+        t.row(row);
+    }
+    t.note("single-authority bindings stay coherent through churn; per-machine authorities stay incoherent; shared subgraphs stay coherent until a client shadows the attachment point (§5.2's copy/move hazard)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj<'a>(r: &'a E16Result, prefix: &str) -> &'a Trajectory {
+        r.trajectories
+            .iter()
+            .find(|t| t.scheme.starts_with(prefix))
+            .unwrap()
+    }
+
+    #[test]
+    fn single_authority_is_churn_stable() {
+        let r = run(16);
+        let t = traj(&r, "single tree");
+        assert!(t.rates.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn newcastle_split_is_stable() {
+        let r = run(16);
+        assert!(traj(&r, "newcastle (/etc").rates.iter().all(|&x| x < 1e-9));
+        assert!(traj(&r, "newcastle (/../")
+            .rates
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn andrew_decays_only_via_shadowing() {
+        let r = run(16);
+        let t = traj(&r, "andrew");
+        assert!((t.rates[0] - 1.0).abs() < 1e-9, "pristine start");
+        // Monotone non-increasing (shadowing never heals itself).
+        for w in t.rates.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        // With 6 steps at 50% shadow probability, decay is overwhelmingly
+        // likely under the fixed seed.
+        assert!(t.rates.last().unwrap() < &1.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(16));
+        assert_eq!(t.row_count(), 4);
+    }
+}

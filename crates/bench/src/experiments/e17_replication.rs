@@ -1,0 +1,181 @@
+//! E17 (extension) — replicated name-service zones: the latency benefit of
+//! replicas, and the weak-coherence window they open.
+//!
+//! §5 introduces weak coherence for replicated objects; at the protocol
+//! level, replicating a zone onto a nearby server makes resolution local
+//! and fast — but between syncs a stale replica answers the same name with
+//! a different entity than the primary: incoherence with a measurable
+//! window.
+
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{pct, Table};
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// The E17 results.
+#[derive(Clone, Debug, Default)]
+pub struct E17Result {
+    /// Latency (ticks) resolving a remote-zone name without a replica.
+    pub latency_without: u64,
+    /// Latency with a local replica of the zone.
+    pub latency_with: u64,
+    /// Messages without / with.
+    pub messages_without: u64,
+    /// Messages with a local replica.
+    pub messages_with: u64,
+    /// After primary churn, fraction of churned names the stale replica
+    /// answers differently from the primary.
+    pub stale_disagreement: f64,
+    /// The same fraction after `sync_zone`.
+    pub post_sync_disagreement: f64,
+    /// Names churned.
+    pub churned: usize,
+}
+
+/// Runs E17.
+pub fn run(seed: u64) -> E17Result {
+    // Two networks: the client's site and the primary's site.
+    let build = |replicate: bool| -> (
+        World,
+        ProtocolEngine,
+        naming_core::entity::ActivityId,
+        naming_core::entity::ObjectId,
+        Vec<CompoundName>,
+        naming_core::entity::ObjectId,
+    ) {
+        let mut w = World::new(seed);
+        let site_a = w.add_network("site-a");
+        let site_b = w.add_network("site-b");
+        let local_machine = w.add_machine("edge", site_a);
+        let primary_machine = w.add_machine("origin", site_b);
+        let root = w.machine_root(local_machine);
+        let origin_root = w.machine_root(primary_machine);
+        let zone = store::ensure_dir(w.state_mut(), origin_root, "zone");
+        let mut names = Vec::new();
+        for i in 0..16 {
+            store::create_file(w.state_mut(), zone, &format!("rec{i}"), vec![i]);
+            names.push(CompoundName::parse_path(&format!("/far/rec{i}")).unwrap());
+        }
+        store::attach(w.state_mut(), root, "far", zone, false);
+        let mut svc = NameService::install(&mut w, &[local_machine, primary_machine]);
+        svc.place_subtree(&w, origin_root, primary_machine);
+        svc.place_subtree(&w, root, local_machine);
+        if replicate {
+            svc.replicate_zone(&mut w, zone, local_machine);
+        }
+        let client = w.spawn(local_machine, "client", None);
+        (w, ProtocolEngine::new(svc), client, root, names, zone)
+    };
+
+    // --- latency benefit ---------------------------------------------------
+    let (mut w0, mut e0, c0, root0, names0, _z0) = build(false);
+    let without = e0.resolve(&mut w0, c0, root0, &names0[0], Mode::Iterative);
+    let (mut w1, mut e1, c1, root1, names1, _z1) = build(true);
+    let with = e1.resolve(&mut w1, c1, root1, &names1[0], Mode::Iterative);
+    assert!(without.entity.is_defined() && with.entity.is_defined());
+
+    // --- weak-coherence window ----------------------------------------------
+    let (mut w, mut engine, client, root, names, zone) = build(true);
+    // Churn the primary: rebind every record.
+    for (i, _) in names.iter().enumerate() {
+        let fresh = w.state_mut().add_data_object(format!("rec{i}-v2"), vec![]);
+        w.state_mut()
+            .bind(zone, Name::new(&format!("rec{i}")), fresh)
+            .unwrap();
+    }
+    let disagreement = |w: &mut World, engine: &mut ProtocolEngine| -> f64 {
+        let mut disagree = 0usize;
+        for n in &names {
+            // The client resolves via the nearest (replica) path.
+            let via_replica = engine.resolve(w, client, root, n, Mode::Iterative).entity;
+            // Ground truth at the primary.
+            let truth = naming_core::resolve::Resolver::new().resolve_entity(
+                w.state(),
+                zone,
+                &CompoundName::atom(n.last()),
+            );
+            if via_replica != truth {
+                disagree += 1;
+            }
+        }
+        disagree as f64 / names.len() as f64
+    };
+    let stale = disagreement(&mut w, &mut engine);
+    engine.service().sync_zone(&mut w, zone);
+    let post_sync = disagreement(&mut w, &mut engine);
+
+    E17Result {
+        latency_without: without.latency.ticks(),
+        latency_with: with.latency.ticks(),
+        messages_without: without.messages,
+        messages_with: with.messages,
+        stale_disagreement: stale,
+        post_sync_disagreement: post_sync,
+        churned: names.len(),
+    }
+}
+
+/// Renders the E17 tables.
+pub fn tables(r: &E17Result) -> Vec<Table> {
+    let mut a = Table::new(
+        "E17a (replication): resolving a cross-site zone name",
+        &["configuration", "messages", "latency"],
+    );
+    a.row(vec![
+        "no replica (referral to origin site)".into(),
+        r.messages_without.to_string(),
+        format!("{}t", r.latency_without),
+    ]);
+    a.row(vec![
+        "zone replicated at the edge".into(),
+        r.messages_with.to_string(),
+        format!("{}t", r.latency_with),
+    ]);
+    a.note("a local replica keeps the whole walk on the client's site");
+
+    let mut b = Table::new(
+        "E17b (replication): the weak-coherence window",
+        &["moment", "names answered incoherently"],
+    );
+    b.row(vec![
+        format!("after primary churn ({} rebinds), before sync", r.churned),
+        pct(r.stale_disagreement),
+    ]);
+    b.row(vec![
+        "after sync_zone".into(),
+        pct(r.post_sync_disagreement),
+    ]);
+    b.note("σ(o1)=…=σ(og) (§5) holds only between syncs; inside the window the replica gives the same name a different meaning");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_cuts_latency() {
+        let r = run(17);
+        assert!(r.latency_with < r.latency_without);
+        assert!(r.messages_with <= r.messages_without);
+    }
+
+    #[test]
+    fn window_opens_and_closes() {
+        let r = run(17);
+        assert!(
+            (r.stale_disagreement - 1.0).abs() < 1e-9,
+            "every churned name disagrees"
+        );
+        assert!(r.post_sync_disagreement < 1e-9, "sync closes the window");
+    }
+
+    #[test]
+    fn tables_render() {
+        let ts = tables(&run(17));
+        assert_eq!(ts.len(), 2);
+    }
+}

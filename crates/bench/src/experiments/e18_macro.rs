@@ -1,0 +1,301 @@
+//! E18 (capstone, extension) — a macro-workload over the full stack: many
+//! clients resolving a shared namespace through the protocol, with and
+//! without caches, under binding churn, with and without push updates.
+//!
+//! This is the "day in the life" experiment: it composes the workload
+//! generator, the name service, referral chasing, client caches, zone
+//! replication and update propagation, and reports the two numbers an
+//! operator cares about — mean resolution cost and wrong-answer rate.
+
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{pct, Table};
+use naming_resolver::cache::CachingResolver;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+/// One configuration's aggregate results.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigOutcome {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Lookups performed.
+    pub lookups: usize,
+    /// Mean virtual-time cost per lookup (ticks).
+    pub mean_latency: f64,
+    /// Fraction of lookups answered with a wrong (stale/incoherent)
+    /// entity.
+    pub wrong_rate: f64,
+}
+
+/// The E18 results.
+#[derive(Clone, Debug, Default)]
+pub struct E18Result {
+    /// One row per configuration.
+    pub outcomes: Vec<ConfigOutcome>,
+}
+
+struct Setup {
+    world: World,
+    engine: ProtocolEngine,
+    clients: Vec<ActivityId>,
+    roots: Vec<ObjectId>,
+    zone: ObjectId,
+    names: Vec<CompoundName>,
+}
+
+/// Three client sites on one network, the records zone on a separate
+/// origin site; every client's root grafts the zone as `/svc`.
+fn setup(seed: u64, replicate: bool) -> Setup {
+    let mut w = World::new(seed);
+    let edge = w.add_network("edge");
+    let core = w.add_network("core");
+    let origin = w.add_machine("origin", core);
+    let origin_root = w.machine_root(origin);
+    let zone = store::ensure_dir(w.state_mut(), origin_root, "zone");
+    let mut names = Vec::new();
+    for i in 0..24u8 {
+        store::create_file(w.state_mut(), zone, &format!("svc{i}"), vec![i]);
+        names.push(CompoundName::parse_path(&format!("/svc/svc{i}")).unwrap());
+    }
+    let mut client_machines: Vec<MachineId> = Vec::new();
+    let mut clients = Vec::new();
+    let mut roots = Vec::new();
+    for i in 0..3 {
+        let m = w.add_machine(format!("edge{i}"), edge);
+        let root = w.machine_root(m);
+        store::attach(w.state_mut(), root, "svc", zone, false);
+        client_machines.push(m);
+        clients.push(w.spawn(m, format!("client{i}"), None));
+        roots.push(root);
+    }
+    let mut all_machines = vec![origin];
+    all_machines.extend(client_machines.iter().copied());
+    let mut svc = NameService::install(&mut w, &all_machines);
+    svc.place_subtree(&w, origin_root, origin);
+    for (i, &m) in client_machines.iter().enumerate() {
+        let r = w.machine_root(m);
+        let _ = i;
+        svc.place_subtree(&w, r, m);
+    }
+    if replicate {
+        for &m in &client_machines {
+            svc.replicate_zone(&mut w, zone, m);
+        }
+    }
+    Setup {
+        world: w,
+        engine: ProtocolEngine::new(svc),
+        clients,
+        roots,
+        zone,
+        names,
+    }
+}
+
+/// Ground truth for a name directly against the authoritative zone.
+fn truth(s: &Setup, name: &CompoundName) -> naming_core::entity::Entity {
+    naming_core::resolve::Resolver::new().resolve_entity(
+        s.world.state(),
+        s.zone,
+        &CompoundName::atom(name.last()),
+    )
+}
+
+/// Runs one configuration: `rounds` rounds; in each round every client
+/// performs `lookups_per_round` lookups of random names; between rounds a
+/// fraction of the zone is rebound (churn), optionally followed by a push
+/// update (publish).
+fn run_config(
+    label: &'static str,
+    seed: u64,
+    cache: bool,
+    replicate: bool,
+    churn: bool,
+    publish: bool,
+) -> ConfigOutcome {
+    let mut s = setup(seed, replicate);
+    let mut rng = SimRng::seeded(seed ^ 0x18);
+    let mut cached: Option<CachingResolver> = None;
+    let mut engine_slot: Option<ProtocolEngine> = None;
+    if cache {
+        cached = Some(CachingResolver::new(std::mem::replace(
+            &mut s.engine,
+            ProtocolEngine::new(NameService::default()),
+        )));
+    } else {
+        engine_slot = Some(std::mem::replace(
+            &mut s.engine,
+            ProtocolEngine::new(NameService::default()),
+        ));
+    }
+
+    let mut lookups = 0usize;
+    let mut wrong = 0usize;
+    let mut total_latency = 0u64;
+    for _round in 0..4 {
+        for (ci, &client) in s.clients.iter().enumerate() {
+            let root = s.roots[ci];
+            for _ in 0..10 {
+                let name = rng.pick(&s.names).clone();
+                let expected = truth(&s, &name);
+                let before = s.world.now();
+                let got = if let Some(c) = cached.as_mut() {
+                    c.resolve(&mut s.world, client, root, &name, Mode::Iterative)
+                        .0
+                } else {
+                    engine_slot
+                        .as_mut()
+                        .expect("uncached engine")
+                        .resolve(&mut s.world, client, root, &name, Mode::Iterative)
+                        .entity
+                };
+                total_latency += (s.world.now() - before).ticks();
+                lookups += 1;
+                if got != expected {
+                    wrong += 1;
+                }
+            }
+        }
+        if churn {
+            // Rebind a third of the zone.
+            for (i, _) in s.names.iter().enumerate() {
+                if rng.chance(1.0 / 3.0) {
+                    let fresh = s
+                        .world
+                        .state_mut()
+                        .add_data_object(format!("svc{i}-new"), vec![]);
+                    s.world
+                        .state_mut()
+                        .bind(s.zone, Name::new(&format!("svc{i}")), fresh)
+                        .unwrap();
+                }
+            }
+            let engine = cached
+                .as_mut()
+                .map(|c| c.engine_mut())
+                .or(engine_slot.as_mut())
+                .expect("some engine");
+            if publish {
+                engine.publish_zone(&mut s.world, s.zone);
+                engine.pump_idle(&mut s.world);
+                if let Some(c) = cached.as_mut() {
+                    c.invalidate_all();
+                }
+            }
+        }
+    }
+    ConfigOutcome {
+        config: label,
+        lookups,
+        mean_latency: total_latency as f64 / lookups as f64,
+        wrong_rate: wrong as f64 / lookups as f64,
+    }
+}
+
+/// Runs E18.
+pub fn run(seed: u64) -> E18Result {
+    let outcomes = vec![
+        run_config(
+            "referrals, no cache, no churn",
+            seed,
+            false,
+            false,
+            false,
+            false,
+        ),
+        run_config("edge replicas, no churn", seed, false, true, false, false),
+        run_config("client cache, no churn", seed, true, false, false, false),
+        run_config(
+            "client cache + churn (no invalidation)",
+            seed,
+            true,
+            false,
+            true,
+            false,
+        ),
+        run_config(
+            "edge replicas + churn (no publish)",
+            seed,
+            false,
+            true,
+            true,
+            false,
+        ),
+        run_config(
+            "replicas + cache + churn + publish",
+            seed,
+            true,
+            true,
+            true,
+            true,
+        ),
+    ];
+    E18Result { outcomes }
+}
+
+/// Renders the E18 table.
+pub fn table(r: &E18Result) -> Table {
+    let mut t = Table::new(
+        "E18 (macro): resolution cost vs answer correctness across configurations",
+        &["configuration", "lookups", "mean latency", "wrong answers"],
+    );
+    for o in &r.outcomes {
+        t.row(vec![
+            o.config.into(),
+            o.lookups.to_string(),
+            format!("{:.1}t", o.mean_latency),
+            pct(o.wrong_rate),
+        ]);
+    }
+    t.note("speed is bought with copies (replicas, caches); copies are bindings frozen in time; churn turns them into wrong answers unless invalidation/publication closes the window — coherence in naming, operationally");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by<'a>(r: &'a E18Result, label: &str) -> &'a ConfigOutcome {
+        r.outcomes.iter().find(|o| o.config == label).unwrap()
+    }
+
+    #[test]
+    fn speed_ordering() {
+        let r = run(18);
+        let base = by(&r, "referrals, no cache, no churn");
+        let repl = by(&r, "edge replicas, no churn");
+        let cache = by(&r, "client cache, no churn");
+        assert!(repl.mean_latency < base.mean_latency);
+        assert!(cache.mean_latency < base.mean_latency);
+        // All three are fully correct without churn.
+        assert_eq!(base.wrong_rate, 0.0);
+        assert_eq!(repl.wrong_rate, 0.0);
+        assert_eq!(cache.wrong_rate, 0.0);
+    }
+
+    #[test]
+    fn churn_without_repair_is_wrong_sometimes() {
+        let r = run(18);
+        assert!(by(&r, "client cache + churn (no invalidation)").wrong_rate > 0.1);
+        assert!(by(&r, "edge replicas + churn (no publish)").wrong_rate > 0.1);
+    }
+
+    #[test]
+    fn publish_and_invalidate_repair() {
+        let r = run(18);
+        let good = by(&r, "replicas + cache + churn + publish");
+        assert!(good.wrong_rate < 0.02, "got {}", good.wrong_rate);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(18));
+        assert_eq!(t.row_count(), 6);
+    }
+}

@@ -1,0 +1,214 @@
+//! E19 (capstone, extension) — remote execution, four ways: the §5 schemes'
+//! remote-exec disciplines vs the §6 II namespace-shipping facility,
+//! measured end-to-end.
+//!
+//! For each discipline, a parent passes the same two kinds of arguments to
+//! a child executing on another machine: a home-machine file and (where
+//! expressible) a shared file. We measure argument coherence, execution-
+//! site access, and — for the wire-based facility — the protocol cost.
+
+use naming_core::entity::Entity;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, yes_no, Table};
+use naming_port::exec::ExecService;
+use naming_schemes::newcastle::RootPolicy;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// One discipline's outcome.
+#[derive(Clone, Debug)]
+pub struct ExecRow {
+    /// Discipline label.
+    pub discipline: &'static str,
+    /// Fraction of home-file arguments the child resolves to the parent's
+    /// meaning.
+    pub home_arg_coherence: f64,
+    /// Whether the child reaches a file that exists only on the execution
+    /// machine.
+    pub local_access: bool,
+    /// Wire messages for the exec itself (0 for in-kernel disciplines).
+    pub messages: u64,
+}
+
+/// The E19 results.
+#[derive(Clone, Debug, Default)]
+pub struct E19Result {
+    /// One row per discipline.
+    pub rows: Vec<ExecRow>,
+}
+
+impl E19Result {
+    /// Looks a row up.
+    pub fn row(&self, discipline: &str) -> Option<&ExecRow> {
+        self.rows.iter().find(|r| r.discipline == discipline)
+    }
+}
+
+const N_ARGS: usize = 4;
+
+/// Runs E19.
+pub fn run(seed: u64) -> E19Result {
+    let mut rows = Vec::new();
+
+    // --- Newcastle, both root policies --------------------------------------
+    for (label, policy) in [
+        ("newcastle invoker-root", RootPolicy::InvokerRoot),
+        ("newcastle local-root", RootPolicy::LocalRoot),
+    ] {
+        let mut w = World::new(seed);
+        let (mut scheme, machines) = naming_schemes::newcastle::figure3(&mut w);
+        // Home files on machine 0.
+        let home_root = w.machine_root(machines[0]);
+        let work = store::ensure_dir(w.state_mut(), home_root, "work");
+        let mut args = Vec::new();
+        for i in 0..N_ARGS {
+            store::create_file(w.state_mut(), work, &format!("a{i}"), vec![i as u8]);
+            args.push(CompoundName::parse_path(&format!("/work/a{i}")).unwrap());
+        }
+        let parent = scheme.spawn(&mut w, machines[0], "parent", None);
+        let child = scheme.remote_exec(&mut w, parent, machines[1], "child", policy);
+        let coherent = args
+            .iter()
+            .filter(|a| {
+                let meant = w.resolve_in_own_context(parent, a);
+                meant.is_defined() && w.resolve_in_own_context(child, a) == meant
+            })
+            .count();
+        let local = w
+            .resolve_in_own_context(child, &CompoundName::parse_path("/only-on-2").unwrap())
+            .is_defined();
+        rows.push(ExecRow {
+            discipline: label,
+            home_arg_coherence: coherent as f64 / args.len() as f64,
+            local_access: local,
+            messages: 0,
+        });
+    }
+
+    // --- Andrew: only shared names can be passed ------------------------------
+    {
+        let mut w = World::new(seed);
+        let (mut scheme, clients, pids) = naming_schemes::shared_graph::canonical(&mut w, 2);
+        // Home-machine (local-tree) files as arguments.
+        let home_root = w.machine_root(clients[0]);
+        let work = store::ensure_dir(w.state_mut(), home_root, "work");
+        let mut args = Vec::new();
+        for i in 0..N_ARGS {
+            store::create_file(w.state_mut(), work, &format!("a{i}"), vec![i as u8]);
+            args.push(CompoundName::parse_path(&format!("/work/a{i}")).unwrap());
+        }
+        let parent = pids[0];
+        let (child, passed) = scheme.remote_exec(&mut w, parent, clients[1], "child", &args);
+        // Local args are excluded entirely: coherence over the original
+        // list counts only what survived AND matches.
+        let coherent = passed
+            .iter()
+            .filter(|a| {
+                let meant = w.resolve_in_own_context(parent, a);
+                meant.is_defined() && w.resolve_in_own_context(child, a) == meant
+            })
+            .count();
+        let local = w
+            .resolve_in_own_context(child, &CompoundName::parse_path("/tmp/scratch").unwrap())
+            .is_defined();
+        rows.push(ExecRow {
+            discipline: "andrew (shared-only args)",
+            home_arg_coherence: coherent as f64 / args.len() as f64,
+            local_access: local,
+            messages: 0,
+        });
+    }
+
+    // --- Port: namespace shipping over the wire -------------------------------
+    {
+        let mut w = World::new(seed);
+        let net = w.add_network("port");
+        let home = w.add_machine("home", net);
+        let away = w.add_machine("away", net);
+        let home_root = w.machine_root(home);
+        let work = store::ensure_dir(w.state_mut(), home_root, "work");
+        let away_root = w.machine_root(away);
+        store::create_file(w.state_mut(), away_root, "only-on-away", vec![]);
+        let mut args = Vec::new();
+        for i in 0..N_ARGS {
+            store::create_file(w.state_mut(), work, &format!("a{i}"), vec![i as u8]);
+            args.push(CompoundName::parse_path(&format!("/home/work/a{i}")).unwrap());
+        }
+        let mut svc = ExecService::install(&mut w, &[home, away]);
+        let parent = svc.spawn_with_namespace(&mut w, home, "parent");
+        let out = svc.remote_exec(&mut w, parent, away, "child", &args);
+        let child = out.child.expect("spawned");
+        let coherent = args
+            .iter()
+            .zip(&out.resolved_args)
+            .filter(|(a, got)| {
+                let meant = w.resolve_in_own_context(parent, a);
+                meant.is_defined() && **got == meant
+            })
+            .count();
+        let local = w
+            .resolve_in_own_context(
+                child,
+                &CompoundName::parse_path("/away/only-on-away").unwrap(),
+            )
+            != Entity::Undefined;
+        rows.push(ExecRow {
+            discipline: "port (namespace shipping)",
+            home_arg_coherence: coherent as f64 / args.len() as f64,
+            local_access: local,
+            messages: out.messages,
+        });
+    }
+
+    E19Result { rows }
+}
+
+/// Renders the E19 table.
+pub fn table(r: &E19Result) -> Table {
+    let mut t = Table::new(
+        "E19 (capstone): remote execution, four disciplines",
+        &["discipline", "home-arg coherence", "exec-site access", "wire msgs"],
+    );
+    for row in &r.rows {
+        t.row(vec![
+            row.discipline.into(),
+            pct(row.home_arg_coherence),
+            yes_no(row.local_access),
+            row.messages.to_string(),
+        ]);
+    }
+    t.note("only the per-process namespace facility (§6 II) delivers both coherent arguments AND execution-site access; Newcastle trades one for the other, Andrew forbids local arguments outright");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_dominates() {
+        let r = run(19);
+        let port = r.row("port (namespace shipping)").unwrap();
+        assert_eq!(port.home_arg_coherence, 1.0);
+        assert!(port.local_access);
+        assert!(port.messages >= 2);
+
+        let inv = r.row("newcastle invoker-root").unwrap();
+        assert_eq!(inv.home_arg_coherence, 1.0);
+        assert!(!inv.local_access);
+
+        let loc = r.row("newcastle local-root").unwrap();
+        assert_eq!(loc.home_arg_coherence, 0.0);
+        assert!(loc.local_access);
+
+        let andrew = r.row("andrew (shared-only args)").unwrap();
+        assert_eq!(andrew.home_arg_coherence, 0.0, "local args are excluded");
+        assert!(andrew.local_access);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(19));
+        assert_eq!(t.row_count(), 4);
+    }
+}

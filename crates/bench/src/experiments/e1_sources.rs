@@ -1,0 +1,208 @@
+//! E1 — Figure 1 / §4: the three sources of names, and how often the
+//! conventional `R(activity)` rule preserves the intended meaning for each.
+//!
+//! Scenario: two machines with same-named but distinct local trees plus a
+//! set of genuinely shared bindings; a seeded workload draws name uses from
+//! all three sources. A use is *faithful* when `R(activity)` resolution
+//! yields the meaning intended by the name's origin — the resolver itself
+//! (internal), the sending activity (message), or the containing object
+//! (object).
+//!
+//! Paper's prediction: internal uses are faithful by definition; message
+//! and object uses are faithful only for names that happen to be global.
+
+use naming_core::closure::{resolve_with_rule, MetaContext, NameSource, StandardRule};
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{pct, Table};
+use naming_sim::store;
+use naming_sim::workload::{self, SourceMix};
+use naming_sim::world::World;
+
+/// Per-source faithfulness counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceOutcome {
+    /// Uses drawn from this source.
+    pub uses: usize,
+    /// Uses whose `R(activity)` resolution matched the intended meaning.
+    pub faithful: usize,
+}
+
+impl SourceOutcome {
+    /// Faithful fraction (0 when no uses).
+    pub fn rate(&self) -> f64 {
+        if self.uses == 0 {
+            0.0
+        } else {
+            self.faithful as f64 / self.uses as f64
+        }
+    }
+}
+
+/// The results of experiment E1.
+#[derive(Clone, Debug, Default)]
+pub struct E1Result {
+    /// Outcome for internally generated names.
+    pub internal: SourceOutcome,
+    /// Outcome for names received in messages.
+    pub message: SourceOutcome,
+    /// Outcome for names read from objects.
+    pub object: SourceOutcome,
+}
+
+/// Runs E1 with the given seed.
+pub fn run(seed: u64) -> E1Result {
+    let mut w = World::new(seed);
+    let net = w.add_network("net");
+    let m1 = w.add_machine("alpha", net);
+    let m2 = w.add_machine("beta", net);
+
+    // Shared bindings: /shared/s{i} denote the same objects from both
+    // machine roots. Local bindings: /local/l{i} denote per-machine objects
+    // under identical names.
+    let shared_dir = w.state_mut().add_context_object("shareddir");
+    for i in 0..4 {
+        store::create_file(w.state_mut(), shared_dir, &format!("s{i}"), vec![i]);
+    }
+    let mut containers = Vec::new();
+    for &m in &[m1, m2] {
+        let root = w.machine_root(m);
+        store::attach(w.state_mut(), root, "shared", shared_dir, false);
+        let local = store::ensure_dir(w.state_mut(), root, "local");
+        for i in 0..4u8 {
+            store::create_file(w.state_mut(), local, &format!("l{i}"), vec![i]);
+        }
+        // A container object per machine; its context is the machine root.
+        let c = store::create_file(w.state_mut(), root, "container.doc", vec![]);
+        containers.push((c, root));
+    }
+
+    // Processes: two per machine.
+    let mut pids = Vec::new();
+    for &m in &[m1, m2] {
+        for i in 0..2 {
+            let label = format!("p{}-{i}", w.topology().machine_name(m));
+            pids.push(w.spawn(m, &label, None));
+        }
+    }
+    // Register contexts: R(a) = per-process ctx already registered by World;
+    // R(o) for containers = their machine root.
+    for &(c, root) in &containers {
+        w.registry_mut().set_object_context(c, root);
+    }
+
+    // Names used: a mix of shared and local paths.
+    let mut names = Vec::new();
+    for i in 0..4 {
+        names.push(CompoundName::parse_path(&format!("/shared/s{i}")).unwrap());
+        names.push(CompoundName::parse_path(&format!("/local/l{i}")).unwrap());
+    }
+
+    let container_ids: Vec<_> = containers.iter().map(|(c, _)| *c).collect();
+    let uses = {
+        let mut rng = w.rng_mut().fork();
+        workload::generate_uses(
+            &pids,
+            &names,
+            &container_ids,
+            SourceMix::uniform(),
+            600,
+            &mut rng,
+        )
+    };
+
+    let mut result = E1Result::default();
+    for u in &uses {
+        // The meaning R(activity) produces for the user.
+        let got = resolve_with_rule(
+            w.state(),
+            w.registry(),
+            &StandardRule::OfResolver,
+            &MetaContext {
+                resolver: u.user,
+                source: u.source,
+            },
+            &u.name,
+        );
+        // The intended meaning, per source.
+        let intended = match u.source {
+            NameSource::Internal => got,
+            NameSource::Message { sender } => w.resolve_in_own_context(sender, &u.name),
+            NameSource::Object { source } => {
+                let home = w
+                    .registry()
+                    .object_context(source)
+                    .expect("containers registered");
+                naming_core::resolve::Resolver::new().resolve_entity(w.state(), home, &u.name)
+            }
+        };
+        let outcome = match u.source {
+            NameSource::Internal => &mut result.internal,
+            NameSource::Message { .. } => &mut result.message,
+            NameSource::Object { .. } => &mut result.object,
+        };
+        outcome.uses += 1;
+        if got.is_defined() && got == intended {
+            outcome.faithful += 1;
+        }
+    }
+    let _ = Name::new("e1"); // keep interner warm deterministically
+    result
+}
+
+/// Renders the E1 table.
+pub fn table(r: &E1Result) -> Table {
+    let mut t = Table::new(
+        "E1 (Fig. 1): faithfulness of R(activity) per name source",
+        &["source", "uses", "faithful", "rate"],
+    );
+    for (label, o) in [
+        ("internal", r.internal),
+        ("message", r.message),
+        ("object", r.object),
+    ] {
+        t.row(vec![
+            label.into(),
+            o.uses.to_string(),
+            o.faithful.to_string(),
+            pct(o.rate()),
+        ]);
+    }
+    t.note("internal names are faithful by definition; exchanged and embedded names mis-resolve whenever sender/author context differs (paper §4)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let r = run(1234);
+        // Internal: always faithful.
+        assert!((r.internal.rate() - 1.0).abs() < 1e-9);
+        // Message/object: strictly between 0 and 1 (shared names succeed,
+        // local names fail across machines).
+        assert!(r.message.rate() < 1.0);
+        assert!(r.message.rate() > 0.0);
+        assert!(r.object.rate() < 1.0);
+        assert!(r.object.rate() > 0.0);
+        assert_eq!(r.internal.uses + r.message.uses + r.object.uses, 600);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a.internal, b.internal);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.object, b.object);
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = run(5);
+        let t = table(&r);
+        assert_eq!(t.row_count(), 3);
+        assert!(t.to_string().contains("internal"));
+    }
+}

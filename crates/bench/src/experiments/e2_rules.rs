@@ -1,0 +1,263 @@
+//! E2 — Figure 2 / §4 "Coherence and Resolution Rules": the rule × name
+//! class matrix.
+//!
+//! For names exchanged in messages: `R(receiver)` gives coherence only for
+//! global names, `R(sender)` for *all* names sent. For names obtained from
+//! objects: `R(activity)` gives coherence only for global names,
+//! `R(object)` for all names embedded in the object.
+
+use naming_core::closure::{resolve_with_rule, MetaContext, ResolutionRule, StandardRule};
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{pct, Table};
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// One matrix cell: a (source, rule, name-class) combination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// `message` or `object`.
+    pub source: &'static str,
+    /// The rule's display name.
+    pub rule: &'static str,
+    /// `global` or `non-global`.
+    pub name_class: &'static str,
+    /// Checked name count.
+    pub names: usize,
+    /// Names coherent between the parties.
+    pub coherent: usize,
+}
+
+impl Cell {
+    /// Coherent fraction.
+    pub fn rate(&self) -> f64 {
+        if self.names == 0 {
+            0.0
+        } else {
+            self.coherent as f64 / self.names as f64
+        }
+    }
+}
+
+/// The E2 matrix.
+#[derive(Clone, Debug, Default)]
+pub struct E2Result {
+    /// All matrix cells in a fixed order.
+    pub cells: Vec<Cell>,
+}
+
+impl E2Result {
+    /// Looks a cell up by coordinates.
+    pub fn cell(&self, source: &str, rule: &str, class: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.source == source && c.rule == rule && c.name_class == class)
+    }
+}
+
+struct Setup {
+    world: World,
+    sender: ActivityId,
+    receiver: ActivityId,
+    doc: ObjectId,
+    global_names: Vec<CompoundName>,
+    local_names: Vec<CompoundName>,
+}
+
+/// Two machines; global names under /shared, non-global names under /local
+/// (same paths, distinct objects). The sender lives on machine 1, the
+/// receiver on machine 2; a document object's context is machine 1's root.
+fn setup(seed: u64) -> Setup {
+    let mut w = World::new(seed);
+    let net = w.add_network("net");
+    let m1 = w.add_machine("alpha", net);
+    let m2 = w.add_machine("beta", net);
+    let shared = w.state_mut().add_context_object("shared");
+    let mut global_names = Vec::new();
+    let mut local_names = Vec::new();
+    for i in 0..8 {
+        store::create_file(w.state_mut(), shared, &format!("g{i}"), vec![i]);
+        global_names.push(CompoundName::parse_path(&format!("/shared/g{i}")).unwrap());
+    }
+    for &m in &[m1, m2] {
+        let root = w.machine_root(m);
+        store::attach(w.state_mut(), root, "shared", shared, false);
+        let local = store::ensure_dir(w.state_mut(), root, "local");
+        for i in 0..8u8 {
+            store::create_file(w.state_mut(), local, &format!("l{i}"), vec![i]);
+        }
+    }
+    for i in 0..8 {
+        local_names.push(CompoundName::parse_path(&format!("/local/l{i}")).unwrap());
+    }
+    let sender = w.spawn(m1, "sender", None);
+    let receiver = w.spawn(m2, "receiver", None);
+    let m1root = w.machine_root(m1);
+    let doc = store::create_file(w.state_mut(), m1root, "prog.doc", vec![]);
+    w.registry_mut().set_object_context(doc, m1root);
+    Setup {
+        world: w,
+        sender,
+        receiver,
+        doc,
+        global_names,
+        local_names,
+    }
+}
+
+fn coherent_pair(
+    s: &Setup,
+    rule: &dyn ResolutionRule,
+    meta: &MetaContext,
+    origin_meaning: impl Fn(&CompoundName) -> naming_core::entity::Entity,
+    name: &CompoundName,
+) -> bool {
+    let got = resolve_with_rule(s.world.state(), s.world.registry(), rule, meta, name);
+    let meant = origin_meaning(name);
+    got.is_defined() && got == meant
+}
+
+/// Runs E2.
+pub fn run(seed: u64) -> E2Result {
+    let s = setup(seed);
+    let mut cells = Vec::new();
+    // --- exchanged names: sender -> receiver -------------------------------
+    let msg_meta = MetaContext::from_message(s.receiver, s.sender);
+    for (rule, rule_name) in [
+        (StandardRule::OfResolver, "R(receiver)"),
+        (StandardRule::OfSender, "R(sender)"),
+    ] {
+        for (class, names) in [("global", &s.global_names), ("non-global", &s.local_names)] {
+            let coherent = names
+                .iter()
+                .filter(|n| {
+                    coherent_pair(
+                        &s,
+                        &rule,
+                        &msg_meta,
+                        |n| s.world.resolve_in_own_context(s.sender, n),
+                        n,
+                    )
+                })
+                .count();
+            cells.push(Cell {
+                source: "message",
+                rule: rule_name,
+                name_class: class,
+                names: names.len(),
+                coherent,
+            });
+        }
+    }
+    // --- embedded names: object read by the remote receiver ----------------
+    let obj_meta = MetaContext::from_object(s.receiver, s.doc);
+    let home = s.world.registry().object_context(s.doc).unwrap();
+    for (rule, rule_name) in [
+        (StandardRule::OfResolver, "R(activity)"),
+        (StandardRule::OfSourceObject, "R(object)"),
+    ] {
+        for (class, names) in [("global", &s.global_names), ("non-global", &s.local_names)] {
+            let coherent = names
+                .iter()
+                .filter(|n| {
+                    coherent_pair(
+                        &s,
+                        &rule,
+                        &obj_meta,
+                        |n| {
+                            naming_core::resolve::Resolver::new().resolve_entity(
+                                s.world.state(),
+                                home,
+                                n,
+                            )
+                        },
+                        n,
+                    )
+                })
+                .count();
+            cells.push(Cell {
+                source: "object",
+                rule: rule_name,
+                name_class: class,
+                names: names.len(),
+                coherent,
+            });
+        }
+    }
+    let _ = Name::new("e2");
+    E2Result { cells }
+}
+
+/// Renders the E2 table.
+pub fn table(r: &E2Result) -> Table {
+    let mut t = Table::new(
+        "E2 (Fig. 2): coherence by resolution rule and name class",
+        &["source", "rule", "name class", "names", "coherent", "rate"],
+    );
+    for c in &r.cells {
+        t.row(vec![
+            c.source.into(),
+            c.rule.into(),
+            c.name_class.into(),
+            c.names.to_string(),
+            c.coherent.to_string(),
+            pct(c.rate()),
+        ]);
+    }
+    t.note("R(sender)/R(object) are coherent for ALL names from their source; R(receiver)/R(activity) only for global names (paper §4)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_predictions() {
+        let r = run(42);
+        // Exchanged names.
+        assert_eq!(
+            r.cell("message", "R(receiver)", "global").unwrap().rate(),
+            1.0
+        );
+        assert_eq!(
+            r.cell("message", "R(receiver)", "non-global")
+                .unwrap()
+                .rate(),
+            0.0
+        );
+        assert_eq!(
+            r.cell("message", "R(sender)", "global").unwrap().rate(),
+            1.0
+        );
+        assert_eq!(
+            r.cell("message", "R(sender)", "non-global").unwrap().rate(),
+            1.0
+        );
+        // Embedded names.
+        assert_eq!(
+            r.cell("object", "R(activity)", "global").unwrap().rate(),
+            1.0
+        );
+        assert_eq!(
+            r.cell("object", "R(activity)", "non-global")
+                .unwrap()
+                .rate(),
+            0.0
+        );
+        assert_eq!(r.cell("object", "R(object)", "global").unwrap().rate(), 1.0);
+        assert_eq!(
+            r.cell("object", "R(object)", "non-global").unwrap().rate(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn all_eight_cells_present() {
+        let r = run(1);
+        assert_eq!(r.cells.len(), 8);
+        assert!(r.cells.iter().all(|c| c.names == 8));
+        let t = table(&r);
+        assert_eq!(t.row_count(), 8);
+    }
+}

@@ -1,0 +1,156 @@
+//! E4 — Figure 3: the Newcastle Connection with three machines.
+//!
+//! Measures (a) coherence of `/`-names within a machine vs across the
+//! system, (b) coherence of `..`-mapped names everywhere, and (c) the
+//! remote-execution root-policy tradeoff: invoker-root gives parameter
+//! coherence but no local access; local-root the reverse.
+
+use naming_core::closure::NameSource;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, yes_no, Table};
+use naming_schemes::newcastle::{figure3, RootPolicy};
+use naming_schemes::scheme::audit_names_for;
+use naming_sim::world::World;
+
+/// The E4 results.
+#[derive(Clone, Debug, Default)]
+pub struct E4Result {
+    /// Coherence rate of `/etc/passwd`-style names among same-machine
+    /// processes.
+    pub slash_within_machine: f64,
+    /// The same names audited across all machines.
+    pub slash_across_machines: f64,
+    /// Coherence rate of superroot-mapped (`/../unixK/…`) names across all
+    /// machines.
+    pub mapped_across_machines: f64,
+    /// Remote exec, invoker root: parameters coherent?
+    pub invoker_param_coherent: bool,
+    /// Remote exec, invoker root: execution-site local access?
+    pub invoker_local_access: bool,
+    /// Remote exec, local root: parameters coherent?
+    pub local_param_coherent: bool,
+    /// Remote exec, local root: execution-site local access?
+    pub local_local_access: bool,
+}
+
+/// Runs E4.
+pub fn run(seed: u64) -> E4Result {
+    let mut w = World::new(seed);
+    let (mut scheme, machines) = figure3(&mut w);
+    // Two processes per machine.
+    let mut by_machine = Vec::new();
+    let mut all = Vec::new();
+    for (i, &m) in machines.iter().enumerate() {
+        let a = scheme.spawn(&mut w, m, &format!("p{i}a"), None);
+        let b = scheme.spawn(&mut w, m, &format!("p{i}b"), None);
+        by_machine.push(vec![a, b]);
+        all.extend([a, b]);
+    }
+    let slash_names = vec![CompoundName::parse_path("/etc/passwd").unwrap()];
+    let within = audit_names_for(
+        &w,
+        &scheme,
+        &by_machine[0],
+        &slash_names,
+        NameSource::Internal,
+    );
+    let across = audit_names_for(&w, &scheme, &all, &slash_names, NameSource::Internal);
+    let mapped: Vec<CompoundName> = machines
+        .iter()
+        .map(|&m| {
+            scheme
+                .map_name(&w, m, &slash_names[0])
+                .expect("absolute name maps")
+        })
+        .collect();
+    let mapped_audit = audit_names_for(&w, &scheme, &all, &mapped, NameSource::Internal);
+
+    // Remote exec tradeoff.
+    let parent = scheme.spawn(&mut w, machines[0], "invoker", None);
+    let param = CompoundName::parse_path("/etc/passwd").unwrap();
+    let local2 = CompoundName::parse_path("/only-on-2").unwrap();
+    let meant = w.resolve_in_own_context(parent, &param);
+
+    let inv_child = scheme.remote_exec(&mut w, parent, machines[1], "inv", RootPolicy::InvokerRoot);
+    let invoker_param_coherent = w.resolve_in_own_context(inv_child, &param) == meant;
+    let invoker_local_access = w.resolve_in_own_context(inv_child, &local2).is_defined();
+
+    let loc_child = scheme.remote_exec(&mut w, parent, machines[1], "loc", RootPolicy::LocalRoot);
+    let local_param_coherent = w.resolve_in_own_context(loc_child, &param) == meant;
+    let local_local_access = w.resolve_in_own_context(loc_child, &local2).is_defined();
+
+    E4Result {
+        slash_within_machine: within.stats.coherence_rate(),
+        slash_across_machines: across.stats.coherence_rate(),
+        mapped_across_machines: mapped_audit.stats.coherence_rate(),
+        invoker_param_coherent,
+        invoker_local_access,
+        local_param_coherent,
+        local_local_access,
+    }
+}
+
+/// Renders the E4 tables.
+pub fn tables(r: &E4Result) -> Vec<Table> {
+    let mut a = Table::new(
+        "E4a (Fig. 3 Newcastle): coherence of name forms",
+        &["name form", "population", "coherence"],
+    );
+    a.row(vec![
+        "/etc/passwd".into(),
+        "same machine".into(),
+        pct(r.slash_within_machine),
+    ]);
+    a.row(vec![
+        "/etc/passwd".into(),
+        "all 3 machines".into(),
+        pct(r.slash_across_machines),
+    ]);
+    a.row(vec![
+        "/../unixK/etc/passwd".into(),
+        "all 3 machines".into(),
+        pct(r.mapped_across_machines),
+    ]);
+    a.note("processes on different machines have different root bindings; '..' names through the superroot are global (paper §5.1)");
+
+    let mut b = Table::new(
+        "E4b (Fig. 3 Newcastle): remote-execution root policies",
+        &["policy", "params coherent", "local access"],
+    );
+    b.row(vec![
+        "invoker root".into(),
+        yes_no(r.invoker_param_coherent),
+        yes_no(r.invoker_local_access),
+    ]);
+    b.row(vec![
+        "local root".into(),
+        yes_no(r.local_param_coherent),
+        yes_no(r.local_local_access),
+    ]);
+    b.note("the former case provides coherence … the latter has the advantage of being able to access local objects (paper §5.1)");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let r = run(4);
+        assert!((r.slash_within_machine - 1.0).abs() < 1e-9);
+        assert!(r.slash_across_machines < 1e-9);
+        assert!((r.mapped_across_machines - 1.0).abs() < 1e-9);
+        // The policy tradeoff is exactly complementary.
+        assert!(r.invoker_param_coherent && !r.invoker_local_access);
+        assert!(!r.local_param_coherent && r.local_local_access);
+    }
+
+    #[test]
+    fn tables_render() {
+        let ts = tables(&run(4));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].row_count(), 3);
+        assert_eq!(ts[1].row_count(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! E5 — Figure 4 / §5.2: the Andrew-style shared naming graph.
+//!
+//! Measures coherence of shared (`/vice`) names vs local names across
+//! clients, weak coherence of replicated commands, and the fraction of
+//! remote-execution arguments that survive the Andrew restriction (only
+//! shared names can be passed).
+
+use naming_core::closure::NameSource;
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, Table};
+use naming_schemes::scheme::audit_names_for;
+use naming_schemes::shared_graph::canonical;
+use naming_sim::world::World;
+
+/// The E5 results.
+#[derive(Clone, Debug, Default)]
+pub struct E5Result {
+    /// Clients in the scenario.
+    pub clients: usize,
+    /// Coherence rate of `/vice`-prefixed names across all clients.
+    pub shared_rate: f64,
+    /// Coherence rate of local names across all clients.
+    pub local_rate: f64,
+    /// Weak-coherence rate (including strict) of replicated command names.
+    pub replicated_weak_rate: f64,
+    /// Strict coherence rate of replicated command names.
+    pub replicated_strict_rate: f64,
+    /// Of the mixed argument list, the fraction passable to remote
+    /// execution.
+    pub args_passable: f64,
+}
+
+/// Runs E5.
+pub fn run(seed: u64) -> E5Result {
+    let mut w = World::new(seed);
+    let (mut scheme, clients, pids) = canonical(&mut w, 4);
+    let shared_names = vec![
+        CompoundName::parse_path("/vice/usr/alice/profile").unwrap(),
+        CompoundName::parse_path("/vice/usr/bob/profile").unwrap(),
+    ];
+    let local_names = vec![CompoundName::parse_path("/tmp/scratch").unwrap()];
+    let replicated = vec![CompoundName::parse_path("/bin/cc").unwrap()];
+
+    let shared = audit_names_for(&w, &scheme, &pids, &shared_names, NameSource::Internal);
+    let local = audit_names_for(&w, &scheme, &pids, &local_names, NameSource::Internal);
+    let repl = audit_names_for(&w, &scheme, &pids, &replicated, NameSource::Internal);
+
+    let args: Vec<CompoundName> = shared_names
+        .iter()
+        .chain(local_names.iter())
+        .chain(replicated.iter())
+        .cloned()
+        .collect();
+    let (_child, passed) = scheme.remote_exec(&mut w, pids[0], clients[1], "remote", &args);
+
+    E5Result {
+        clients: clients.len(),
+        shared_rate: shared.stats.coherence_rate(),
+        local_rate: local.stats.coherence_rate(),
+        replicated_weak_rate: repl.stats.weak_coherence_rate(),
+        replicated_strict_rate: repl.stats.coherence_rate(),
+        args_passable: passed.len() as f64 / args.len() as f64,
+    }
+}
+
+/// Renders the E5 table.
+pub fn table(r: &E5Result) -> Table {
+    let mut t = Table::new(
+        "E5 (Fig. 4 Andrew): coherence in the shared naming graph",
+        &["name class", "measure", "rate"],
+    );
+    t.row(vec![
+        "/vice/… (shared)".into(),
+        "coherence".into(),
+        pct(r.shared_rate),
+    ]);
+    t.row(vec![
+        "local (/tmp/…)".into(),
+        "coherence".into(),
+        pct(r.local_rate),
+    ]);
+    t.row(vec![
+        "/bin/cc (replicated)".into(),
+        "weak coherence".into(),
+        pct(r.replicated_weak_rate),
+    ]);
+    t.row(vec![
+        "/bin/cc (replicated)".into(),
+        "strict coherence".into(),
+        pct(r.replicated_strict_rate),
+    ]);
+    t.row(vec![
+        "mixed args".into(),
+        "passable to remote exec".into(),
+        pct(r.args_passable),
+    ]);
+    t.note(format!(
+        "{} clients; only entities in the shared naming graph can be passed as argument (paper §5.2)",
+        r.clients
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let r = run(5);
+        assert!((r.shared_rate - 1.0).abs() < 1e-9);
+        assert!(r.local_rate < 1e-9);
+        assert!((r.replicated_weak_rate - 1.0).abs() < 1e-9);
+        assert!(r.replicated_strict_rate < 1e-9);
+        // 2 of 4 args are /vice names.
+        assert!((r.args_passable - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(5));
+        assert_eq!(t.row_count(), 5);
+        assert!(t.to_string().contains("vice"));
+    }
+}

@@ -1,0 +1,158 @@
+//! E7 — Figure 5 / §7: cross-linked autonomous systems and the human
+//! prefix-mapping burden.
+//!
+//! Two organizations with cross-links and a shared `/services` space. A
+//! workload of references is generated with a sweep of cross-scope
+//! interaction rates; for each rate we classify references as coherent
+//! as-is, needing human mapping, or unreachable. The paper: mapping "is
+//! acceptable if … required infrequently … If the interaction across scope
+//! boundaries is high, then mapping names can become a hindrance and
+//! enlarging the scope may be necessary."
+
+use naming_core::name::CompoundName;
+use naming_core::report::{pct, Table};
+use naming_schemes::federation::{two_orgs, MappingBurden, SystemId};
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurdenPoint {
+    /// Fraction of references that cross the org boundary.
+    pub cross_rate: f64,
+    /// Classification counts.
+    pub burden: MappingBurden,
+}
+
+/// The E7 results.
+#[derive(Clone, Debug, Default)]
+pub struct E7Result {
+    /// Sweep over cross-scope interaction rates.
+    pub points: Vec<BurdenPoint>,
+    /// References per sweep point.
+    pub refs_per_point: usize,
+}
+
+/// Runs E7.
+pub fn run(seed: u64) -> E7Result {
+    let mut w = World::new(seed);
+    let (fed, org1, org2) = two_orgs(&mut w);
+    // A federation-wide shared space: /services in both orgs.
+    let services = w.state_mut().add_context_object("services:/");
+    for s in ["dns", "time", "license"] {
+        store::create_file(w.state_mut(), services, s, vec![]);
+    }
+    fed.attach_shared_space(&mut w, &[org1, org2], "services", services);
+
+    // Candidate reference targets.
+    let shared_names: Vec<CompoundName> = ["dns", "time", "license"]
+        .iter()
+        .map(|s| CompoundName::parse_path(&format!("/services/{s}")).unwrap())
+        .collect();
+    let org_local = |org: SystemId| -> Vec<CompoundName> {
+        let users = if org == org1 {
+            ["alice", "ann"]
+        } else {
+            ["bob", "beth"]
+        };
+        users
+            .iter()
+            .map(|u| CompoundName::parse_path(&format!("/users/{u}/profile")).unwrap())
+            .collect()
+    };
+
+    let refs_per_point = 200;
+    let mut points = Vec::new();
+    let mut rng = SimRng::seeded(seed ^ 0xfeed);
+    for cross_pct in [0usize, 10, 25, 50, 75, 100] {
+        let cross_rate = cross_pct as f64 / 100.0;
+        let mut refs = Vec::new();
+        for _ in 0..refs_per_point {
+            let from = if rng.chance(0.5) { org1 } else { org2 };
+            let crosses = rng.chance(cross_rate);
+            let to = if crosses {
+                if from == org1 {
+                    org2
+                } else {
+                    org1
+                }
+            } else {
+                from
+            };
+            // 30% of references target the shared space, the rest are
+            // org-local user files of the *target* org.
+            let name = if rng.chance(0.3) {
+                rng.pick(&shared_names).clone()
+            } else {
+                let pool = org_local(to);
+                rng.pick(&pool).clone()
+            };
+            refs.push((from, to, name));
+        }
+        let burden = fed.mapping_burden(&w, &refs);
+        points.push(BurdenPoint { cross_rate, burden });
+    }
+    E7Result {
+        points,
+        refs_per_point,
+    }
+}
+
+/// Renders the E7 table.
+pub fn table(r: &E7Result) -> Table {
+    let mut t = Table::new(
+        "E7 (Fig. 5 federation): human mapping burden vs cross-scope interaction",
+        &[
+            "cross-scope rate",
+            "coherent as-is",
+            "needs mapping",
+            "unreachable",
+        ],
+    );
+    for p in &r.points {
+        let n = r.refs_per_point as f64;
+        t.row(vec![
+            pct(p.cross_rate),
+            pct(p.burden.coherent as f64 / n),
+            pct(p.burden.needs_mapping as f64 / n),
+            pct(p.burden.unreachable as f64 / n),
+        ]);
+    }
+    t.note("names in the commonly-named shared space never need mapping; org-local names need the /orgK prefix exactly when the reference crosses the boundary (paper §7)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burden_grows_with_cross_rate() {
+        let r = run(7);
+        let first = &r.points.first().unwrap().burden;
+        let last = &r.points.last().unwrap().burden;
+        // No cross-scope interaction: nothing needs mapping.
+        assert_eq!(first.needs_mapping, 0);
+        // Full cross-scope interaction: a large share needs mapping
+        // (everything except shared-space references).
+        assert!(last.needs_mapping > r.refs_per_point / 3);
+        // Monotone non-decreasing mapping burden along the sweep.
+        let counts: Vec<usize> = r.points.iter().map(|p| p.burden.needs_mapping).collect();
+        for w in counts.windows(2) {
+            assert!(w[1] + 12 >= w[0], "roughly monotone: {counts:?}");
+        }
+        // Nothing is unreachable: every reference is either shared or
+        // mappable.
+        assert!(r.points.iter().all(|p| p.burden.unreachable == 0));
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = run(7);
+        for p in &r.points {
+            assert_eq!(p.burden.total(), r.refs_per_point);
+        }
+        assert_eq!(table(&r).row_count(), r.points.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! E8 — Figure 6 / §6 Example 2: embedded names under the Algol-scope
+//! `R(file)` rule vs the conventional `R(activity)` rule, across the four
+//! structural operations the paper claims invariance for.
+//!
+//! Operations: relocate the subtree, copy it, attach it simultaneously in
+//! several places, and combine several structured objects. For each we
+//! check whether every embedded name keeps its meaning (structurally, for
+//! copies) under each rule.
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::{yes_no, Table};
+use naming_core::state::{Document, SystemState};
+use naming_schemes::embedded::EmbeddedResolver;
+use naming_sim::store;
+
+/// Outcome of one operation under one rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// The structural operation.
+    pub operation: &'static str,
+    /// Did `R(file)` (Algol scope) preserve the meaning?
+    pub r_file_preserved: bool,
+    /// Did `R(activity)` (resolve in a fixed process context) preserve it?
+    pub r_activity_preserved: bool,
+}
+
+/// The E8 results.
+#[derive(Clone, Debug, Default)]
+pub struct E8Result {
+    /// One row per structural operation.
+    pub outcomes: Vec<OpOutcome>,
+}
+
+/// Builds the Figure 6 project: returns
+/// `(state, root, proj, referent, document)`.
+fn project() -> (SystemState, ObjectId, ObjectId, ObjectId, ObjectId) {
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    let proj = store::ensure_dir(&mut s, root, "proj");
+    let lib = store::ensure_dir(&mut s, proj, "a");
+    let part = store::create_file(&mut s, lib, "p", b"part".to_vec());
+    let docs = store::ensure_dir(&mut s, proj, "docs");
+    let mut d = Document::new();
+    d.push_embedded(CompoundName::parse_path("a/p").unwrap());
+    let main = store::create_document(&mut s, docs, "main", d);
+    (s, root, proj, part, main)
+}
+
+/// `R(activity)` baseline: resolve the embedded name in a fixed "process"
+/// context whose `/` and `.` are bound to `root` — what a conventional OS
+/// does with a name read from a file.
+fn r_activity_meaning(s: &SystemState, root: ObjectId, name: &CompoundName) -> Entity {
+    // The activity's working directory stays at the original root.
+    naming_core::resolve::Resolver::new().resolve_entity(s, root, name)
+}
+
+/// Runs E8.
+pub fn run(_seed: u64) -> E8Result {
+    let name = CompoundName::new(["a", "p"].map(Name::new)).unwrap();
+    let mut outcomes = Vec::new();
+
+    // --- relocate -----------------------------------------------------------
+    {
+        let (mut s, root, _proj, part, main) = project();
+        let mut er = EmbeddedResolver::new();
+        let before_file = er.resolve(&s, main, &name);
+        let before_act = r_activity_meaning(&s, root, &name);
+        let elsewhere = store::ensure_dir(&mut s, root, "archive");
+        store::move_entry(&mut s, root, elsewhere, "proj");
+        let mut er2 = EmbeddedResolver::new();
+        outcomes.push(OpOutcome {
+            operation: "relocate subtree",
+            r_file_preserved: er2.resolve(&s, main, &name) == before_file
+                && before_file == Entity::Object(part),
+            r_activity_preserved: {
+                let after = r_activity_meaning(&s, root, &name);
+                after.is_defined() && after == before_act
+            },
+        });
+    }
+
+    // --- copy ----------------------------------------------------------------
+    {
+        let (mut s, root, proj, _part, _main) = project();
+        let copy = s.deep_copy(proj);
+        store::attach(&mut s, root, "proj-copy", copy, false);
+        // Structural preservation: the copy's doc resolves to the copy's
+        // own part.
+        let copy_docs = s.lookup(copy, Name::new("docs")).as_object().unwrap();
+        let copy_main = s.lookup(copy_docs, Name::new("main")).as_object().unwrap();
+        let copy_part = {
+            let a = s.lookup(copy, Name::new("a")).as_object().unwrap();
+            s.lookup(a, Name::new("p"))
+        };
+        let mut er = EmbeddedResolver::new();
+        let via_file = er.resolve(&s, copy_main, &name);
+        // R(activity): the fixed context still resolves "a/p" to the
+        // ORIGINAL part (the activity's cwd did not move into the copy) —
+        // the copy's meaning is wrong.
+        let via_act = r_activity_meaning(&s, root, &name);
+        outcomes.push(OpOutcome {
+            operation: "copy subtree",
+            r_file_preserved: via_file == copy_part && via_file.is_defined(),
+            r_activity_preserved: via_act == copy_part,
+        });
+    }
+
+    // --- simultaneous attach ---------------------------------------------------
+    {
+        let (mut s, root, proj, part, main) = project();
+        let m1 = store::ensure_dir(&mut s, root, "mnt1");
+        let m2 = store::ensure_dir(&mut s, root, "mnt2");
+        store::attach(&mut s, m1, "proj", proj, false);
+        store::attach(&mut s, m2, "proj", proj, false);
+        let mut er = EmbeddedResolver::new();
+        let via_file = er.resolve(&s, main, &name);
+        outcomes.push(OpOutcome {
+            operation: "simultaneous attach",
+            r_file_preserved: via_file == Entity::Object(part),
+            // The fixed activity context never bound "a" at its root, so
+            // the conventional rule cannot even resolve the embedded name
+            // without a chdir — and with a chdir it can only honour ONE of
+            // the attachment points.
+            r_activity_preserved: r_activity_meaning(&s, root, &name) == Entity::Object(part),
+        });
+    }
+
+    // --- combine structured objects -------------------------------------------
+    {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        let combined = store::ensure_dir(&mut s, root, "combined");
+        let mut ok_file = true;
+        let mut ok_act = true;
+        let mut parts = Vec::new();
+        let mut docs = Vec::new();
+        for i in 0..3 {
+            let projd = store::ensure_dir(&mut s, combined, &format!("proj{i}"));
+            let lib = store::ensure_dir(&mut s, projd, "a");
+            let part = store::create_file(&mut s, lib, "p", vec![i as u8]);
+            let mut d = Document::new();
+            d.push_embedded(CompoundName::parse_path("a/p").unwrap());
+            docs.push(store::create_document(&mut s, projd, "doc", d));
+            parts.push(part);
+        }
+        let mut er = EmbeddedResolver::new();
+        for (i, &doc) in docs.iter().enumerate() {
+            let got = er.resolve(&s, doc, &name);
+            ok_file &= got == Entity::Object(parts[i]);
+            let act = r_activity_meaning(&s, root, &name);
+            ok_act &= act == Entity::Object(parts[i]);
+        }
+        outcomes.push(OpOutcome {
+            operation: "combine structured objects",
+            r_file_preserved: ok_file,
+            r_activity_preserved: ok_act,
+        });
+    }
+
+    E8Result { outcomes }
+}
+
+/// Renders the E8 table.
+pub fn table(r: &E8Result) -> Table {
+    let mut t = Table::new(
+        "E8 (Fig. 6): embedded-name meaning preserved per operation",
+        &["operation", "R(file) Algol scope", "R(activity)"],
+    );
+    for o in &r.outcomes {
+        t.row(vec![
+            o.operation.into(),
+            yes_no(o.r_file_preserved),
+            yes_no(o.r_activity_preserved),
+        ]);
+    }
+    t.note("the subtree can be simultaneously attached, relocated or copied without changing the meaning of the embedded names (paper §6 Ex. 2)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_file_preserves_everything() {
+        let r = run(0);
+        assert_eq!(r.outcomes.len(), 4);
+        assert!(r.outcomes.iter().all(|o| o.r_file_preserved));
+    }
+
+    #[test]
+    fn r_activity_breaks_everywhere() {
+        let r = run(0);
+        assert!(r.outcomes.iter().all(|o| !o.r_activity_preserved));
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = table(&run(0));
+        assert_eq!(t.row_count(), 4);
+        assert!(t.to_string().contains("relocate"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared scenario builders for the criterion benchmarks.
+//!
+//! Benches need worlds of controllable size; these builders produce them
+//! deterministically.
+
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::state::SystemState;
+use naming_sim::rng::SimRng;
+use naming_sim::store;
+use naming_sim::workload::{grow_tree, TreeManifest, TreeSpec};
+use naming_sim::world::World;
+
+/// A deep chain `root/c0/c1/…/c{depth-1}/leaf` for resolution-depth
+/// benches. Returns `(state, root, full path)`.
+pub fn deep_chain(depth: usize) -> (SystemState, ObjectId, CompoundName) {
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    let mut cur = root;
+    let mut comps = vec![Name::root()];
+    for i in 0..depth {
+        let label = format!("c{i}");
+        cur = store::ensure_dir(&mut s, cur, &label);
+        comps.push(Name::new(&label));
+    }
+    store::create_file(&mut s, cur, "leaf", vec![]);
+    comps.push(Name::new("leaf"));
+    let name = CompoundName::new(comps).expect("nonempty");
+    (s, root, name)
+}
+
+/// A wide random tree with approximately `target_nodes` objects. Returns
+/// `(state, root, manifest)`.
+pub fn wide_tree(target_nodes: usize, seed: u64) -> (SystemState, ObjectId, TreeManifest) {
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    // Pick fanout so that dirs^depth*files ≈ target.
+    let spec = if target_nodes <= 200 {
+        TreeSpec {
+            depth: 3,
+            dirs_per_level: 3,
+            files_per_dir: 2,
+        }
+    } else if target_nodes <= 3_000 {
+        TreeSpec {
+            depth: 4,
+            dirs_per_level: 5,
+            files_per_dir: 3,
+        }
+    } else {
+        TreeSpec {
+            depth: 5,
+            dirs_per_level: 7,
+            files_per_dir: 3,
+        }
+    };
+    let mut rng = SimRng::seeded(seed);
+    let manifest = grow_tree(&mut s, root, spec, "bench", &mut rng);
+    (s, root, manifest)
+}
+
+/// A multi-machine world with `machines` machines, `procs_per_machine`
+/// processes each, shared and local trees — the standard audit/bench
+/// population. Returns the world, all pids, and audit names (half shared,
+/// half local).
+pub fn audit_world(
+    machines: usize,
+    procs_per_machine: usize,
+    names_per_class: usize,
+    seed: u64,
+) -> (World, Vec<ActivityId>, Vec<CompoundName>) {
+    let mut w = World::new(seed);
+    let net = w.add_network("bench-net");
+    let shared = w.state_mut().add_context_object("shared");
+    for i in 0..names_per_class {
+        store::create_file(w.state_mut(), shared, &format!("s{i}"), vec![]);
+    }
+    let mut pids = Vec::new();
+    for m in 0..machines {
+        let machine = w.add_machine(format!("m{m}"), net);
+        let root = w.machine_root(machine);
+        store::attach(w.state_mut(), root, "shared", shared, false);
+        let local = store::ensure_dir(w.state_mut(), root, "local");
+        for i in 0..names_per_class {
+            store::create_file(w.state_mut(), local, &format!("l{i}"), vec![]);
+        }
+        for p in 0..procs_per_machine {
+            pids.push(w.spawn(machine, format!("p{m}-{p}"), None));
+        }
+    }
+    let mut names = Vec::new();
+    for i in 0..names_per_class {
+        names.push(CompoundName::parse_path(&format!("/shared/s{i}")).unwrap());
+        names.push(CompoundName::parse_path(&format!("/local/l{i}")).unwrap());
+    }
+    (w, pids, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_core::entity::Entity;
+    use naming_core::resolve::Resolver;
+
+    #[test]
+    fn deep_chain_resolves() {
+        let (s, root, name) = deep_chain(16);
+        assert_eq!(name.len(), 18); // "/", 16 dirs, leaf
+        assert!(Resolver::new().resolve_entity(&s, root, &name).is_defined());
+    }
+
+    #[test]
+    fn wide_tree_sizes() {
+        let (s, _root, manifest) = wide_tree(2_000, 3);
+        assert!(s.object_count() > 500, "got {}", s.object_count());
+        assert!(!manifest.files.is_empty());
+    }
+
+    #[test]
+    fn audit_world_shape() {
+        let (w, pids, names) = audit_world(3, 2, 4, 9);
+        assert_eq!(pids.len(), 6);
+        assert_eq!(names.len(), 8);
+        // Shared names coherent, local names not.
+        let shared = &names[0];
+        let e: Vec<Entity> = pids
+            .iter()
+            .map(|&p| w.resolve_in_own_context(p, shared))
+            .collect();
+        assert!(e.windows(2).all(|p| p[0] == p[1]));
+    }
+}

@@ -1,0 +1,241 @@
+//! A fluent builder for naming graphs.
+//!
+//! Constructing test and example namespaces directly through
+//! [`SystemState::bind`] is verbose; [`NamespaceBuilder`] gives the usual
+//! nested-closure shape:
+//!
+//! ```
+//! use naming_core::builder::NamespaceBuilder;
+//! use naming_core::prelude::*;
+//!
+//! let mut sys = SystemState::new();
+//! let root = NamespaceBuilder::rooted(&mut sys, "demo")
+//!     .dir("etc", |etc| {
+//!         etc.file("passwd", b"root:x:0".to_vec());
+//!         etc.file("hosts", b"127.0.0.1".to_vec());
+//!     })
+//!     .dir("usr", |usr| {
+//!         usr.dir("bin", |bin| {
+//!             bin.file("cc", vec![]);
+//!         });
+//!     })
+//!     .finish();
+//!
+//! let name = CompoundName::parse_path("/usr/bin/cc").unwrap();
+//! assert!(Resolver::new().resolve_entity(&sys, root, &name).is_defined());
+//! ```
+//!
+//! Directories created by the builder carry `..` bindings to their parent
+//! and the root carries a `/` self-binding, matching the conventions the
+//! simulator's schemes rely on.
+
+use crate::entity::{Entity, ObjectId};
+use crate::name::Name;
+use crate::state::{Document, SystemState};
+
+/// Builds a subtree of the naming graph rooted at one directory.
+#[derive(Debug)]
+pub struct NamespaceBuilder<'a> {
+    state: &'a mut SystemState,
+    dir: ObjectId,
+}
+
+impl<'a> NamespaceBuilder<'a> {
+    /// Starts a fresh namespace: creates a root context object labelled
+    /// `label` with a `/` self-binding.
+    pub fn rooted(state: &'a mut SystemState, label: &str) -> NamespaceBuilder<'a> {
+        let dir = state.add_context_object(format!("{label}:/"));
+        state
+            .bind(dir, Name::root(), dir)
+            .expect("fresh root is a context");
+        NamespaceBuilder { state, dir }
+    }
+
+    /// Continues building inside an existing context object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is not a context object.
+    pub fn at(state: &'a mut SystemState, dir: ObjectId) -> NamespaceBuilder<'a> {
+        assert!(
+            state.is_context_object(dir),
+            "builder target must be a context object"
+        );
+        NamespaceBuilder { state, dir }
+    }
+
+    /// The directory this builder writes into.
+    pub fn here(&self) -> ObjectId {
+        self.dir
+    }
+
+    /// Finishes, returning the directory built into.
+    pub fn finish(&self) -> ObjectId {
+        self.dir
+    }
+
+    /// Creates (or reuses) a subdirectory and populates it via `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already bound to a non-directory.
+    pub fn dir(&mut self, name: &str, f: impl FnOnce(&mut NamespaceBuilder<'_>)) -> &mut Self {
+        let sub = self.ensure_dir(name);
+        {
+            let mut child = NamespaceBuilder {
+                state: &mut *self.state,
+                dir: sub,
+            };
+            f(&mut child);
+        }
+        self
+    }
+
+    /// Creates a data file. Overwrites an existing binding of the same
+    /// name.
+    pub fn file(&mut self, name: &str, data: Vec<u8>) -> ObjectId {
+        let label = format!("{}/{}", self.state.object_label(self.dir), name);
+        let file = self.state.add_data_object(label, data);
+        self.state
+            .bind(self.dir, Name::new(name), file)
+            .expect("builder dir is a context");
+        file
+    }
+
+    /// Creates a structured (document) object.
+    pub fn document(&mut self, name: &str, doc: Document) -> ObjectId {
+        let label = format!("{}/{}", self.state.object_label(self.dir), name);
+        let obj = self.state.add_document_object(label, doc);
+        self.state
+            .bind(self.dir, Name::new(name), obj)
+            .expect("builder dir is a context");
+        obj
+    }
+
+    /// Binds `name` to an arbitrary existing entity (a graft/cross-link).
+    pub fn link(&mut self, name: &str, target: impl Into<Entity>) -> &mut Self {
+        self.state
+            .bind(self.dir, Name::new(name), target)
+            .expect("builder dir is a context");
+        self
+    }
+
+    /// Creates (or reuses) a subdirectory without descending into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already bound to a non-directory.
+    pub fn ensure_dir(&mut self, name: &str) -> ObjectId {
+        let n = Name::new(name);
+        match self.state.lookup(self.dir, n) {
+            Entity::Object(o) if self.state.is_context_object(o) => o,
+            Entity::Undefined => {
+                let label = format!("{}/{}", self.state.object_label(self.dir), name);
+                let sub = self.state.add_context_object(label);
+                self.state
+                    .bind(self.dir, n, sub)
+                    .expect("builder dir is a context");
+                self.state
+                    .bind(sub, Name::parent(), self.dir)
+                    .expect("fresh dir is a context");
+                sub
+            }
+            other => panic!("{name:?} is already bound to non-directory {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::CompoundName;
+    use crate::resolve::Resolver;
+
+    #[test]
+    fn nested_construction() {
+        let mut sys = SystemState::new();
+        let root = NamespaceBuilder::rooted(&mut sys, "t")
+            .dir("a", |a| {
+                a.file("f", vec![1]);
+            })
+            .dir("b", |b| {
+                let _inner = b.ensure_dir("c");
+                b.file("g", vec![2]);
+            })
+            .finish();
+        let r = Resolver::new();
+        for path in ["/a/f", "/b/g", "/b/c", "/a/.."] {
+            let n = CompoundName::parse_path(path).unwrap();
+            assert!(r.resolve_entity(&sys, root, &n).is_defined(), "{path}");
+        }
+        // `..` goes back up.
+        let n = CompoundName::parse_path("/b/c/../g").unwrap();
+        assert!(r.resolve_entity(&sys, root, &n).is_defined());
+    }
+
+    #[test]
+    fn dir_reuses_existing() {
+        let mut sys = SystemState::new();
+        let root = NamespaceBuilder::rooted(&mut sys, "t")
+            .dir("x", |x| {
+                x.file("one", vec![]);
+            })
+            .dir("x", |x| {
+                x.file("two", vec![]);
+            })
+            .finish();
+        let r = Resolver::new();
+        let one = CompoundName::parse_path("/x/one").unwrap();
+        let two = CompoundName::parse_path("/x/two").unwrap();
+        assert!(r.resolve_entity(&sys, root, &one).is_defined());
+        assert!(r.resolve_entity(&sys, root, &two).is_defined());
+    }
+
+    #[test]
+    fn links_graft_existing_entities() {
+        let mut sys = SystemState::new();
+        let shared = sys.add_context_object("shared");
+        let mut b = NamespaceBuilder::at(&mut sys, shared);
+        let policy = b.file("policy", vec![]);
+        let root = NamespaceBuilder::rooted(&mut sys, "t").finish();
+        NamespaceBuilder::at(&mut sys, root).link("services", shared);
+        let n = CompoundName::parse_path("/services/policy").unwrap();
+        assert_eq!(
+            Resolver::new().resolve_entity(&sys, root, &n),
+            Entity::Object(policy)
+        );
+    }
+
+    #[test]
+    fn documents_and_here() {
+        let mut sys = SystemState::new();
+        let root = NamespaceBuilder::rooted(&mut sys, "t").finish();
+        let mut b = NamespaceBuilder::at(&mut sys, root);
+        assert_eq!(b.here(), root);
+        let mut d = Document::new();
+        d.push_text("x");
+        let doc = b.document("doc", d);
+        assert!(matches!(
+            sys.object_state(doc),
+            crate::state::ObjectState::Document(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-directory")]
+    fn dir_over_file_panics() {
+        let mut sys = SystemState::new();
+        let root = NamespaceBuilder::rooted(&mut sys, "t").finish();
+        let mut b = NamespaceBuilder::at(&mut sys, root);
+        b.file("x", vec![]);
+        b.ensure_dir("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "context object")]
+    fn at_non_context_panics() {
+        let mut sys = SystemState::new();
+        let f = sys.add_data_object("f", vec![]);
+        let _ = NamespaceBuilder::at(&mut sys, f);
+    }
+}

@@ -1,0 +1,292 @@
+//! Contexts: total functions from names to entities (§2).
+//!
+//! "A context is a function that maps names to entities": `C = [N → E]`.
+//! We represent the function by its finite support — an ordered map of
+//! bindings — with every unbound name mapping to [`Entity::Undefined`].
+//!
+//! Contexts carry a *version* that increments on every mutation. Versions
+//! power the cheap parent/child coherence-decay detection used by the Unix
+//! experiment (E3): a child inherits its parent's context by copy, and the
+//! pair stays coherent exactly until either side's version moves.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::Entity;
+use crate::name::Name;
+
+/// A finite-support total function from [`Name`]s to [`Entity`]s.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::context::Context;
+/// use naming_core::entity::{Entity, ObjectId};
+/// use naming_core::name::Name;
+///
+/// let mut c = Context::new();
+/// let etc = ObjectId::from_index(0);
+/// c.bind(Name::new("etc"), etc);
+/// assert_eq!(c.lookup(Name::new("etc")), Entity::Object(etc));
+/// // A context is a *total* function: unbound names map to ⊥.
+/// assert_eq!(c.lookup(Name::new("missing")), Entity::Undefined);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Context {
+    bindings: BTreeMap<Name, Entity>,
+    version: u64,
+}
+
+/// Two contexts are equal when they are the same *function* `N → E`;
+/// the version counter is bookkeeping, not part of the function.
+impl PartialEq for Context {
+    fn eq(&self, other: &Context) -> bool {
+        self.bindings == other.bindings
+    }
+}
+
+impl Eq for Context {}
+
+impl Context {
+    /// Creates an empty context (every name maps to `⊥E`).
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Creates a context from an iterator of bindings.
+    pub fn from_bindings<I>(bindings: I) -> Context
+    where
+        I: IntoIterator<Item = (Name, Entity)>,
+    {
+        let mut c = Context::new();
+        for (n, e) in bindings {
+            c.bind(n, e);
+        }
+        c
+    }
+
+    /// Applies the context as a function: `c(n)`.
+    ///
+    /// Returns [`Entity::Undefined`] for unbound names — the context is a
+    /// total function per the paper's model.
+    pub fn lookup(&self, name: Name) -> Entity {
+        self.bindings
+            .get(&name)
+            .copied()
+            .unwrap_or(Entity::Undefined)
+    }
+
+    /// Returns the binding for `name` if one exists.
+    pub fn get(&self, name: Name) -> Option<Entity> {
+        self.bindings.get(&name).copied()
+    }
+
+    /// True if `name` has an explicit binding.
+    pub fn contains(&self, name: Name) -> bool {
+        self.bindings.contains_key(&name)
+    }
+
+    /// Binds `name` to `entity`, returning the previous binding if any.
+    ///
+    /// Binding to [`Entity::Undefined`] is equivalent to [`Context::unbind`].
+    pub fn bind(&mut self, name: Name, entity: impl Into<Entity>) -> Option<Entity> {
+        let entity = entity.into();
+        self.version += 1;
+        if entity == Entity::Undefined {
+            return self.bindings.remove(&name);
+        }
+        self.bindings.insert(name, entity)
+    }
+
+    /// Removes the binding for `name`, returning it if it existed.
+    pub fn unbind(&mut self, name: Name) -> Option<Entity> {
+        self.version += 1;
+        self.bindings.remove(&name)
+    }
+
+    /// Number of explicit bindings (the support of the function).
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True if the context has no explicit bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Mutation counter; bumps on every [`bind`](Context::bind) /
+    /// [`unbind`](Context::unbind).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Iterates over bindings in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Name, Entity)> + '_ {
+        self.bindings.iter().map(|(n, e)| (*n, *e))
+    }
+
+    /// Iterates over the bound names in lexicographic order.
+    pub fn names(&self) -> impl Iterator<Item = Name> + '_ {
+        self.bindings.keys().copied()
+    }
+
+    /// Returns a copy of this context with a fresh version counter.
+    ///
+    /// This models Unix-style context inheritance: "a child inherits the
+    /// context of its parent. A parent and a child have coherence for all
+    /// names until one of them modifies its context."
+    pub fn inherit(&self) -> Context {
+        Context {
+            bindings: self.bindings.clone(),
+            version: 0,
+        }
+    }
+
+    /// True if two contexts agree on every name (same function `N → E`).
+    ///
+    /// Versions are ignored: two contexts with different mutation histories
+    /// but identical bindings are the same function.
+    pub fn same_function(&self, other: &Context) -> bool {
+        self.bindings == other.bindings
+    }
+
+    /// True if the contexts agree on every name in `names`.
+    ///
+    /// This is the paper's §6.II condition `R(a1)(n) = R(a2)(n)` for all
+    /// `n ∈ N'`: two activities have coherence for the subset `N'`.
+    pub fn agree_on<'a, I>(&self, other: &Context, names: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Name>,
+    {
+        names
+            .into_iter()
+            .all(|n| self.lookup(*n) == other.lookup(*n))
+    }
+
+    /// Names on which the two contexts disagree (symmetric difference of
+    /// meaning), in lexicographic order.
+    pub fn disagreements(&self, other: &Context) -> Vec<Name> {
+        let mut out = Vec::new();
+        let mut seen: Vec<Name> = self.names().collect();
+        seen.extend(other.names());
+        seen.sort_unstable();
+        seen.dedup();
+        for n in seen {
+            if self.lookup(n) != other.lookup(n) {
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Name, Entity)> for Context {
+    fn from_iter<I: IntoIterator<Item = (Name, Entity)>>(iter: I) -> Context {
+        Context::from_bindings(iter)
+    }
+}
+
+impl Extend<(Name, Entity)> for Context {
+    fn extend<I: IntoIterator<Item = (Name, Entity)>>(&mut self, iter: I) {
+        for (n, e) in iter {
+            self.bind(n, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{ActivityId, ObjectId};
+
+    fn obj(i: u32) -> Entity {
+        Entity::Object(ObjectId::from_index(i))
+    }
+
+    #[test]
+    fn total_function_semantics() {
+        let mut c = Context::new();
+        assert_eq!(c.lookup(Name::new("x")), Entity::Undefined);
+        c.bind(Name::new("x"), ObjectId::from_index(1));
+        assert_eq!(c.lookup(Name::new("x")), obj(1));
+        assert_eq!(c.get(Name::new("y")), None);
+    }
+
+    #[test]
+    fn bind_returns_previous() {
+        let mut c = Context::new();
+        assert_eq!(c.bind(Name::new("x"), ObjectId::from_index(1)), None);
+        assert_eq!(
+            c.bind(Name::new("x"), ObjectId::from_index(2)),
+            Some(obj(1))
+        );
+        assert_eq!(c.unbind(Name::new("x")), Some(obj(2)));
+        assert_eq!(c.unbind(Name::new("x")), None);
+    }
+
+    #[test]
+    fn binding_undefined_unbinds() {
+        let mut c = Context::new();
+        c.bind(Name::new("x"), ObjectId::from_index(1));
+        c.bind(Name::new("x"), Entity::Undefined);
+        assert!(!c.contains(Name::new("x")));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_mutation() {
+        let mut c = Context::new();
+        let v0 = c.version();
+        c.bind(Name::new("x"), ObjectId::from_index(1));
+        assert!(c.version() > v0);
+        let v1 = c.version();
+        c.unbind(Name::new("x"));
+        assert!(c.version() > v1);
+    }
+
+    #[test]
+    fn inherit_copies_bindings_resets_version() {
+        let mut parent = Context::new();
+        parent.bind(Name::new("x"), ObjectId::from_index(1));
+        parent.bind(Name::new("y"), ActivityId::from_index(0));
+        let child = parent.inherit();
+        assert!(child.same_function(&parent));
+        assert_eq!(child.version(), 0);
+    }
+
+    #[test]
+    fn agreement_and_disagreement() {
+        let mut a = Context::new();
+        let mut b = Context::new();
+        let x = Name::new("x");
+        let y = Name::new("y");
+        a.bind(x, ObjectId::from_index(1));
+        b.bind(x, ObjectId::from_index(1));
+        a.bind(y, ObjectId::from_index(2));
+        b.bind(y, ObjectId::from_index(3));
+        assert!(a.agree_on(&b, [&x]));
+        assert!(!a.agree_on(&b, [&x, &y]));
+        assert_eq!(a.disagreements(&b), vec![y]);
+    }
+
+    #[test]
+    fn iteration_is_lexicographic() {
+        let mut c = Context::new();
+        c.bind(Name::new("zeta"), ObjectId::from_index(1));
+        c.bind(Name::new("alpha"), ObjectId::from_index(2));
+        c.bind(Name::new("mid"), ObjectId::from_index(3));
+        let names: Vec<&str> = c.names().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let x = Name::new("x");
+        let c: Context = [(x, obj(1))].into_iter().collect();
+        assert_eq!(c.lookup(x), obj(1));
+        let mut d = Context::new();
+        d.extend([(x, obj(2))]);
+        assert_eq!(d.lookup(x), obj(2));
+    }
+}

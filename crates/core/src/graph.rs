@@ -1,0 +1,482 @@
+//! The naming graph (§2): a labelled directed graph describing the state of
+//! context objects.
+//!
+//! "The naming graph is a directed graph with labels on edges. The nodes in
+//! the graph are the elements of A ∪ O, and there is an edge labelled n from
+//! object o ∈ O to entity e ∈ A ∪ O if o is a context object and
+//! σ(o)(n) = e. Resolving a compound name corresponds to traversing a
+//! directed path in the naming graph."
+//!
+//! [`NamingGraph`] is a snapshot view over a [`SystemState`] offering graph
+//! algorithms the experiments rely on:
+//!
+//! * reachability (which entities an activity can refer to at all — the
+//!   paper notes that in some schemes "an activity can access only a part of
+//!   the naming graph, and hence refer to only a subset of the entities");
+//! * *name synthesis* (inverse resolution): find a compound name that
+//!   denotes a given entity from a given context — the primitive behind the
+//!   `R(sender)` mapping solution and Newcastle's cross-machine name
+//!   mapping rule;
+//! * cycle detection and DOT export for debugging and documentation.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::entity::{Entity, ObjectId};
+use crate::name::{CompoundName, Name};
+use crate::state::SystemState;
+
+/// A labelled edge of the naming graph: `from --label--> to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// The context object the edge leaves.
+    pub from: ObjectId,
+    /// The binding name labelling the edge.
+    pub label: Name,
+    /// The entity the edge enters.
+    pub to: Entity,
+}
+
+/// A snapshot view of a [`SystemState`] as the paper's naming graph.
+///
+/// The view borrows the state; build it, query it, drop it. All iteration
+/// orders are deterministic (object-id then name order).
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::prelude::*;
+/// use naming_core::graph::NamingGraph;
+///
+/// let mut sys = SystemState::new();
+/// let root = sys.add_context_object("root");
+/// let etc = sys.add_context_object("etc");
+/// sys.bind(root, Name::new("etc"), etc).unwrap();
+///
+/// let g = NamingGraph::of(&sys);
+/// assert_eq!(g.edge_count(), 1);
+/// assert!(g.reachable_objects(root).contains(&etc));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct NamingGraph<'a> {
+    state: &'a SystemState,
+}
+
+impl<'a> NamingGraph<'a> {
+    /// Creates the naming-graph view of `state`.
+    pub fn of(state: &'a SystemState) -> NamingGraph<'a> {
+        NamingGraph { state }
+    }
+
+    /// Iterates over every edge, ordered by (from, label).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + 'a {
+        let state = self.state;
+        state.objects().flat_map(move |o| {
+            state
+                .context(o)
+                .into_iter()
+                .flat_map(move |c| c.iter().map(move |(label, to)| Edge { from: o, label, to }))
+        })
+    }
+
+    /// The out-edges of a single context object, in label order.
+    ///
+    /// Non-context objects have no out-edges.
+    pub fn out_edges(&self, o: ObjectId) -> Vec<Edge> {
+        match self.state.context(o) {
+            Some(c) => c
+                .iter()
+                .map(|(label, to)| Edge { from: o, label, to })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.state
+            .objects()
+            .filter_map(|o| self.state.context(o))
+            .map(|c| c.len())
+            .sum()
+    }
+
+    /// Number of nodes (all entities: activities + objects).
+    pub fn node_count(&self) -> usize {
+        self.state.activity_count() + self.state.object_count()
+    }
+
+    /// The set of objects reachable from `start` by traversing edges
+    /// (including `start` itself).
+    pub fn reachable_objects(&self, start: ObjectId) -> BTreeSet<ObjectId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(o) = stack.pop() {
+            if !seen.insert(o) {
+                continue;
+            }
+            if let Some(c) = self.state.context(o) {
+                for (_, e) in c.iter() {
+                    if let Entity::Object(t) = e {
+                        if !seen.contains(&t) {
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of *entities* (objects and activities) denotable from `start`
+    /// by some compound name.
+    pub fn reachable_entities(&self, start: ObjectId) -> BTreeSet<Entity> {
+        let mut out: BTreeSet<Entity> = BTreeSet::new();
+        for o in self.reachable_objects(start) {
+            out.insert(Entity::Object(o));
+            if let Some(c) = self.state.context(o) {
+                for (_, e) in c.iter() {
+                    if e.is_defined() {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if `target` is denotable by some compound name resolved from
+    /// `start`.
+    pub fn can_denote(&self, start: ObjectId, target: Entity) -> bool {
+        match target {
+            Entity::Object(o) if o == start => true,
+            _ => self.reachable_entities(start).contains(&target),
+        }
+    }
+
+    /// Synthesizes the shortest compound name denoting `target` when
+    /// resolved from `start` (inverse resolution), or `None` if the target
+    /// is unreachable or `max_len` is exceeded.
+    ///
+    /// Ties are broken deterministically by label order, so the same graph
+    /// always yields the same name. This is the primitive behind the paper's
+    /// §6 mapping solutions: the `R(sender)` rule is *implemented* "by
+    /// mapping the embedded pid", i.e. synthesizing an equivalent name valid
+    /// in the receiver's context.
+    pub fn find_name(
+        &self,
+        start: ObjectId,
+        target: Entity,
+        max_len: usize,
+    ) -> Option<CompoundName> {
+        if max_len == 0 {
+            return None;
+        }
+        // BFS over context objects; parent pointers reconstruct the name.
+        let mut prev: BTreeMap<ObjectId, (ObjectId, Name)> = BTreeMap::new();
+        let mut seen: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut depth: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        let mut queue: VecDeque<ObjectId> = VecDeque::new();
+        seen.insert(start);
+        depth.insert(start, 0);
+        queue.push_back(start);
+        while let Some(o) = queue.pop_front() {
+            let d = depth[&o];
+            if let Some(c) = self.state.context(o) {
+                for (label, e) in c.iter() {
+                    if e == target {
+                        // Reconstruct: path to o, then `label`.
+                        let mut comps = vec![label];
+                        let mut cur = o;
+                        while cur != start {
+                            let (p, l) = prev[&cur];
+                            comps.push(l);
+                            cur = p;
+                        }
+                        comps.reverse();
+                        return CompoundName::new(comps).ok();
+                    }
+                    if let Entity::Object(t) = e {
+                        if d + 1 < max_len && self.state.is_context_object(t) && seen.insert(t) {
+                            prev.insert(t, (o, label));
+                            depth.insert(t, d + 1);
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Enumerates up to `limit` distinct names (by increasing length) that
+    /// denote `target` from `start`, each at most `max_len` components.
+    ///
+    /// Useful for studying aliasing: multiple names for the same entity.
+    pub fn all_names(
+        &self,
+        start: ObjectId,
+        target: Entity,
+        max_len: usize,
+        limit: usize,
+    ) -> Vec<CompoundName> {
+        let mut out = Vec::new();
+        if limit == 0 || max_len == 0 {
+            return out;
+        }
+        // BFS over (context, path) pairs, bounded by max_len; avoids cycles
+        // by capping path length rather than tracking visited (aliases may
+        // revisit nodes via different labels).
+        let mut queue: VecDeque<(ObjectId, Vec<Name>)> = VecDeque::new();
+        queue.push_back((start, Vec::new()));
+        while let Some((o, path)) = queue.pop_front() {
+            if out.len() >= limit {
+                break;
+            }
+            if let Some(c) = self.state.context(o) {
+                for (label, e) in c.iter() {
+                    let mut p = path.clone();
+                    p.push(label);
+                    if e == target {
+                        if let Ok(n) = CompoundName::new(p.clone()) {
+                            out.push(n);
+                            if out.len() >= limit {
+                                return out;
+                            }
+                        }
+                    }
+                    if let Entity::Object(t) = e {
+                        if p.len() < max_len && self.state.is_context_object(t) {
+                            queue.push_back((t, p));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the subgraph of context objects contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors over context objects only.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.state.object_count();
+        let mut color = vec![Color::White; n];
+        for root in self.state.objects() {
+            if color[root.index()] != Color::White {
+                continue;
+            }
+            // stack of (node, iterator index into successors)
+            let mut stack: Vec<(ObjectId, Vec<ObjectId>, usize)> = Vec::new();
+            let succs = |o: ObjectId| -> Vec<ObjectId> {
+                self.state
+                    .context(o)
+                    .map(|c| {
+                        c.iter()
+                            .filter_map(|(_, e)| e.as_object())
+                            .filter(|t| self.state.is_context_object(*t))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            color[root.index()] = Color::Gray;
+            stack.push((root, succs(root), 0));
+            while let Some((node, children, idx)) = stack.last_mut() {
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match color[child.index()] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[child.index()] = Color::Gray;
+                            let ch = succs(child);
+                            stack.push((child, ch, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node.index()] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders the naming graph in Graphviz DOT format.
+    ///
+    /// Context objects are boxes, other objects are ellipses, activities are
+    /// diamonds; edges are labelled with binding names.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph naming {\n  rankdir=LR;\n");
+        for o in self.state.objects() {
+            let shape = if self.state.is_context_object(o) {
+                "box"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(
+                s,
+                "  \"{o}\" [shape={shape}, label=\"{}\"];",
+                escape(self.state.object_label(o))
+            );
+        }
+        for a in self.state.activities() {
+            let _ = writeln!(
+                s,
+                "  \"{a}\" [shape=diamond, label=\"{}\"];",
+                escape(self.state.activity_label(a))
+            );
+        }
+        for e in self.edges() {
+            if e.to.is_defined() {
+                let _ = writeln!(
+                    s,
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                    e.from,
+                    e.to,
+                    escape(e.label.as_str())
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (SystemState, ObjectId, ObjectId, ObjectId, ObjectId) {
+        // root -> usr -> bin -> cc(data); root -> tmp
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let usr = s.add_context_object("usr");
+        let bin = s.add_context_object("bin");
+        let cc = s.add_data_object("cc", vec![]);
+        let tmp = s.add_context_object("tmp");
+        s.bind(root, Name::new("usr"), usr).unwrap();
+        s.bind(root, Name::new("tmp"), tmp).unwrap();
+        s.bind(usr, Name::new("bin"), bin).unwrap();
+        s.bind(bin, Name::new("cc"), cc).unwrap();
+        (s, root, usr, bin, cc)
+    }
+
+    #[test]
+    fn edge_enumeration() {
+        let (s, root, usr, _, _) = sample();
+        let g = NamingGraph::of(&s);
+        assert_eq!(g.edge_count(), 4);
+        let edges: Vec<Edge> = g.edges().collect();
+        assert!(edges
+            .iter()
+            .any(|e| e.from == root && e.label == Name::new("usr") && e.to == Entity::Object(usr)));
+        assert_eq!(g.out_edges(root).len(), 2);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn reachability() {
+        let (s, root, usr, bin, cc) = sample();
+        let g = NamingGraph::of(&s);
+        let r = g.reachable_objects(root);
+        assert!(r.contains(&usr) && r.contains(&bin));
+        let ents = g.reachable_entities(root);
+        assert!(ents.contains(&Entity::Object(cc)));
+        // From bin, root is not reachable (no back edges).
+        assert!(!g.reachable_objects(bin).contains(&root));
+        assert!(g.can_denote(root, Entity::Object(cc)));
+        assert!(!g.can_denote(bin, Entity::Object(root)));
+    }
+
+    #[test]
+    fn name_synthesis_shortest() {
+        let (s, root, _, _, cc) = sample();
+        let g = NamingGraph::of(&s);
+        let n = g.find_name(root, Entity::Object(cc), 8).unwrap();
+        assert_eq!(n.to_string(), "usr/bin/cc");
+        // Unreachable target.
+        assert!(g.find_name(root, Entity::Undefined, 8).is_none());
+    }
+
+    #[test]
+    fn name_synthesis_respects_max_len() {
+        let (s, root, _, _, cc) = sample();
+        let g = NamingGraph::of(&s);
+        assert!(g.find_name(root, Entity::Object(cc), 2).is_none());
+        assert!(g.find_name(root, Entity::Object(cc), 3).is_some());
+    }
+
+    #[test]
+    fn name_synthesis_prefers_shorter_alias() {
+        let (mut s, root, _, _, cc) = sample();
+        // Add a direct alias root -> cc under label "cc1".
+        s.bind(root, Name::new("cc1"), cc).unwrap();
+        let g = NamingGraph::of(&s);
+        let n = g.find_name(root, Entity::Object(cc), 8).unwrap();
+        assert_eq!(n.to_string(), "cc1");
+    }
+
+    #[test]
+    fn all_names_enumerates_aliases() {
+        let (mut s, root, usr, _, cc) = sample();
+        s.bind(root, Name::new("cc1"), cc).unwrap();
+        s.bind(usr, Name::new("cc2"), cc).unwrap();
+        let g = NamingGraph::of(&s);
+        let names = g.all_names(root, Entity::Object(cc), 4, 10);
+        let strs: Vec<String> = names.iter().map(|n| n.to_string()).collect();
+        assert!(strs.contains(&"cc1".to_string()));
+        assert!(strs.contains(&"usr/cc2".to_string()));
+        assert!(strs.contains(&"usr/bin/cc".to_string()));
+        // Shortest first.
+        assert_eq!(strs[0], "cc1");
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let (mut s, root, usr, bin, _) = sample();
+        assert!(!NamingGraph::of(&s).has_cycle());
+        s.bind(bin, Name::new("up"), usr).unwrap();
+        assert!(NamingGraph::of(&s).has_cycle());
+        let _ = root;
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        assert!(NamingGraph::of(&s).has_cycle());
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let (mut s, _, _, _, _) = sample();
+        let a = s.add_activity("shell");
+        let root = ObjectId::from_index(0);
+        s.bind(root, Name::new("sh\"ell"), a).unwrap();
+        let dot = NamingGraph::of(&s).to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("sh\\\"ell"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn can_denote_self() {
+        let (s, root, _, _, _) = sample();
+        let g = NamingGraph::of(&s);
+        assert!(g.can_denote(root, Entity::Object(root)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Tracking the degree of coherence over time.
+//!
+//! The audits in [`crate::audit`] are snapshots; a [`CoherenceMonitor`]
+//! strings snapshots into a time series so experiments can watch coherence
+//! *drift* as a system churns — contexts mutate, bindings change, subtrees
+//! move. Each observation records the audit statistics together with an
+//! arbitrary step label supplied by the caller.
+
+use serde::{Deserialize, Serialize};
+
+use crate::audit::{run as audit_run, AuditSpec};
+use crate::closure::{ContextRegistry, ResolutionRule};
+use crate::coherence::CoherenceStats;
+use crate::replica::ReplicaRegistry;
+use crate::report::{pct, Table};
+use crate::state::SystemState;
+
+/// One observation in the series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Observation {
+    /// Caller-supplied step label (e.g. churn count or virtual time).
+    pub label: String,
+    /// The audit statistics at this step.
+    pub stats: CoherenceStats,
+}
+
+/// A coherence time series over a fixed audit specification.
+#[derive(Debug)]
+pub struct CoherenceMonitor {
+    spec: AuditSpec,
+    series: Vec<Observation>,
+}
+
+impl CoherenceMonitor {
+    /// Creates a monitor that audits `spec` at every observation.
+    pub fn new(spec: AuditSpec) -> CoherenceMonitor {
+        CoherenceMonitor {
+            spec,
+            series: Vec::new(),
+        }
+    }
+
+    /// Takes one observation.
+    pub fn observe(
+        &mut self,
+        label: impl Into<String>,
+        state: &SystemState,
+        registry: &ContextRegistry,
+        rule: &(dyn ResolutionRule + Sync),
+        replicas: Option<&ReplicaRegistry>,
+    ) -> &Observation {
+        let report = audit_run(state, registry, rule, &self.spec, replicas);
+        self.series.push(Observation {
+            label: label.into(),
+            stats: report.stats,
+        });
+        self.series.last().expect("just pushed")
+    }
+
+    /// The observations so far.
+    pub fn series(&self) -> &[Observation] {
+        &self.series
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Change in coherence rate between the first and last observation
+    /// (negative = decay). Zero when fewer than two observations.
+    pub fn drift(&self) -> f64 {
+        match (self.series.first(), self.series.last()) {
+            (Some(a), Some(b)) if self.series.len() >= 2 => {
+                b.stats.coherence_rate() - a.stats.coherence_rate()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Renders the series as a table.
+    pub fn to_table(&self, title: impl Into<String>) -> Table {
+        let mut t = Table::new(
+            title,
+            &["step", "coherent", "weak", "incoherent", "vacuous", "rate"],
+        );
+        for o in &self.series {
+            t.row(vec![
+                o.label.clone(),
+                o.stats.coherent.to_string(),
+                o.stats.weakly_coherent.to_string(),
+                o.stats.incoherent.to_string(),
+                o.stats.vacuous.to_string(),
+                pct(o.stats.coherence_rate()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NamespaceBuilder;
+    use crate::closure::{MetaContext, StandardRule};
+    use crate::entity::ActivityId;
+    use crate::name::{CompoundName, Name};
+
+    fn setup() -> (
+        SystemState,
+        ContextRegistry,
+        Vec<ActivityId>,
+        Vec<CompoundName>,
+    ) {
+        let mut sys = SystemState::new();
+        let mut roots = Vec::new();
+        for i in 0..2 {
+            let mut b = NamespaceBuilder::rooted(&mut sys, &format!("m{i}"));
+            b.dir("etc", |etc| {
+                etc.file("passwd", vec![i as u8]);
+            });
+            roots.push(b.finish());
+        }
+        // Initially both roots share the same etc? No — distinct. Make one
+        // name shared: bind "common" in both roots to the same object.
+        let common = sys.add_data_object("common", vec![]);
+        for &r in &roots {
+            sys.bind(r, Name::new("common"), common).unwrap();
+        }
+        let mut reg = ContextRegistry::new();
+        let pids: Vec<ActivityId> = roots
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let a = sys.add_activity(format!("p{i}"));
+                reg.set_activity_context(a, r);
+                a
+            })
+            .collect();
+        let names = vec![
+            CompoundName::parse_path("/etc/passwd").unwrap(),
+            CompoundName::parse_path("/common").unwrap(),
+        ];
+        (sys, reg, pids, names)
+    }
+
+    #[test]
+    fn series_tracks_mutations() {
+        let (mut sys, reg, pids, names) = setup();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+        assert!(mon.is_empty());
+        let o0 = mon
+            .observe("0", &sys, &reg, &StandardRule::OfResolver, None)
+            .stats
+            .clone();
+        assert_eq!(o0.coherent, 1); // /common
+        assert_eq!(o0.incoherent, 1); // /etc/passwd
+                                      // Repair: bind both roots' etc to the same directory.
+        let shared_etc = sys.add_context_object("shared-etc");
+        let pw = sys.add_data_object("pw", vec![]);
+        sys.bind(shared_etc, Name::new("passwd"), pw).unwrap();
+        for a in 0..2u32 {
+            let ctx = reg
+                .activity_context(crate::entity::ActivityId::from_index(a))
+                .unwrap();
+            sys.bind(ctx, Name::new("etc"), shared_etc).unwrap();
+        }
+        let o1 = mon
+            .observe("1", &sys, &reg, &StandardRule::OfResolver, None)
+            .stats
+            .clone();
+        assert_eq!(o1.coherent, 2);
+        assert_eq!(mon.len(), 2);
+        assert!(mon.drift() > 0.0, "coherence improved");
+        let t = mon.to_table("demo");
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn drift_is_zero_with_few_observations() {
+        let (sys, reg, pids, names) = setup();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+        assert_eq!(mon.drift(), 0.0);
+        mon.observe("only", &sys, &reg, &StandardRule::OfResolver, None);
+        assert_eq!(mon.drift(), 0.0);
+        assert_eq!(mon.series().len(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Replicated objects and the machinery behind *weak coherence* (§5).
+//!
+//! "Some important objects in distributed systems (for example, executable
+//! code for commands) are replicated … several objects o1,…,og ('replicas of
+//! a replicated object') satisfy σ(o1) = … = σ(og) for every legal state σ.
+//! In such a situation … weak coherence is sufficient. Weak coherence for a
+//! name n means that n denotes replicas of the same replicated object in
+//! different activities."
+//!
+//! [`ReplicaRegistry`] is a union-find over objects: objects in the same
+//! group are declared replicas of one replicated object. The registry can
+//! also *verify* the replication invariant against a
+//! [`crate::state::SystemState`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{Entity, ObjectId};
+use crate::state::SystemState;
+
+/// Identifier of a replica group.
+///
+/// Stable for the lifetime of the registry: the group is named by its
+/// first-registered member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaGroupId(ObjectId);
+
+impl ReplicaGroupId {
+    /// The canonical representative object of the group.
+    pub fn representative(self) -> ObjectId {
+        self.0
+    }
+}
+
+/// Union-find registry of replica groups.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::replica::ReplicaRegistry;
+/// use naming_core::entity::ObjectId;
+///
+/// let mut reg = ReplicaRegistry::new();
+/// let a = ObjectId::from_index(0);
+/// let b = ObjectId::from_index(1);
+/// let c = ObjectId::from_index(2);
+/// reg.declare_replicas(a, b);
+/// assert!(reg.are_replicas(a, b));
+/// assert!(!reg.are_replicas(a, c));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplicaRegistry {
+    // Parent pointers. Reads never mutate (no path compression) so the
+    // registry is `Sync` and can be shared by the parallel audit engine;
+    // `declare_replicas` compresses eagerly instead by pointing both roots'
+    // trees at the winning root when groups stay small, which they do in
+    // practice (replica groups are per-command, a handful of machines).
+    #[serde(skip)]
+    parent: BTreeMap<ObjectId, ObjectId>,
+    // Serializable edge list to rebuild the structure.
+    unions: Vec<(ObjectId, ObjectId)>,
+}
+
+impl ReplicaRegistry {
+    /// Creates an empty registry: every object is its own singleton group.
+    pub fn new() -> ReplicaRegistry {
+        ReplicaRegistry::default()
+    }
+
+    fn ensure(&mut self, o: ObjectId) {
+        self.parent.entry(o).or_insert(o);
+    }
+
+    fn find(&self, o: ObjectId) -> ObjectId {
+        let mut cur = o;
+        loop {
+            match self.parent.get(&cur) {
+                None => return cur,
+                Some(&p) if p == cur => return cur,
+                Some(&p) => cur = p,
+            }
+        }
+    }
+
+    /// Declares `a` and `b` to be replicas of the same replicated object
+    /// (merging their groups).
+    pub fn declare_replicas(&mut self, a: ObjectId, b: ObjectId) {
+        self.ensure(a);
+        self.ensure(b);
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Union by id order for determinism: smaller id becomes root.
+            let (root, child) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(child, root);
+            // Eager compression: repoint every member at the root so reads
+            // stay O(small).
+            let members: Vec<ObjectId> = self.parent.keys().copied().collect();
+            for m in members {
+                let r = self.find(m);
+                self.parent.insert(m, r);
+            }
+            self.unions.push((a, b));
+        }
+    }
+
+    /// Declares a whole set of objects to be replicas of one another.
+    pub fn declare_group<I: IntoIterator<Item = ObjectId>>(&mut self, objects: I) {
+        let mut iter = objects.into_iter();
+        if let Some(first) = iter.next() {
+            for o in iter {
+                self.declare_replicas(first, o);
+            }
+        }
+    }
+
+    /// True if `a` and `b` are in the same replica group (reflexive).
+    pub fn are_replicas(&self, a: ObjectId, b: ObjectId) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+
+    /// The group of an object. Singletons map to a group of themselves.
+    pub fn group_of(&self, o: ObjectId) -> ReplicaGroupId {
+        ReplicaGroupId(self.find(o))
+    }
+
+    /// True if the two *entities* denote replicas of the same replicated
+    /// object. Activities are never replicas; `⊥` is never a replica.
+    pub fn entities_equivalent(&self, a: Entity, b: Entity) -> bool {
+        match (a, b) {
+            (Entity::Object(x), Entity::Object(y)) => self.are_replicas(x, y),
+            _ => a == b && a.is_defined(),
+        }
+    }
+
+    /// Verifies the paper's replication invariant `σ(o1) = … = σ(og)`
+    /// against the current state: returns the groups whose members'
+    /// states differ.
+    pub fn violations(&self, state: &SystemState) -> Vec<ReplicaGroupId> {
+        let mut by_group: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
+        for &o in self.parent.keys() {
+            by_group.entry(self.find(o)).or_default().push(o);
+        }
+        let mut bad = Vec::new();
+        for (root, members) in by_group {
+            if members.len() < 2 {
+                continue;
+            }
+            let first = state.object_state(members[0]);
+            if members[1..].iter().any(|&m| state.object_state(m) != first) {
+                bad.push(ReplicaGroupId(root));
+            }
+        }
+        bad
+    }
+
+    /// Number of objects registered (members of any declared pair/group).
+    pub fn registered_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Rebuilds the union-find after deserialization.
+    ///
+    /// `serde` skips the parent map (it contains `Cell`s); call this after
+    /// deserializing to restore group structure from the recorded unions.
+    pub fn rebuild(&mut self) {
+        let unions = std::mem::take(&mut self.unions);
+        self.parent.clear();
+        for (a, b) in unions {
+            self.declare_replicas(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::ActivityId;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId::from_index(i)
+    }
+
+    #[test]
+    fn singleton_semantics() {
+        let reg = ReplicaRegistry::new();
+        assert!(reg.are_replicas(o(5), o(5)));
+        assert!(!reg.are_replicas(o(5), o(6)));
+        assert_eq!(reg.group_of(o(5)).representative(), o(5));
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_replicas(o(1), o(2));
+        reg.declare_replicas(o(2), o(3));
+        assert!(reg.are_replicas(o(1), o(3)));
+        assert_eq!(reg.group_of(o(3)).representative(), o(1));
+        assert!(!reg.are_replicas(o(1), o(4)));
+        assert_eq!(reg.registered_count(), 3);
+    }
+
+    #[test]
+    fn declare_group_merges_all() {
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_group([o(10), o(11), o(12), o(13)]);
+        assert!(reg.are_replicas(o(10), o(13)));
+        assert!(reg.are_replicas(o(11), o(12)));
+        // Empty group is a no-op.
+        reg.declare_group(std::iter::empty());
+    }
+
+    #[test]
+    fn entity_equivalence() {
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_replicas(o(1), o(2));
+        assert!(reg.entities_equivalent(Entity::Object(o(1)), Entity::Object(o(2))));
+        assert!(!reg.entities_equivalent(Entity::Object(o(1)), Entity::Object(o(3))));
+        let a = Entity::Activity(ActivityId::from_index(0));
+        assert!(reg.entities_equivalent(a, a));
+        assert!(!reg.entities_equivalent(a, Entity::Object(o(1))));
+        assert!(!reg.entities_equivalent(Entity::Undefined, Entity::Undefined));
+    }
+
+    #[test]
+    fn invariant_verification() {
+        let mut s = SystemState::new();
+        let b1 = s.add_data_object("bin1", b"cc".to_vec());
+        let b2 = s.add_data_object("bin2", b"cc".to_vec());
+        let b3 = s.add_data_object("bin3", b"ld".to_vec());
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_replicas(b1, b2);
+        assert!(reg.violations(&s).is_empty());
+        reg.declare_replicas(b2, b3);
+        let bad = reg.violations(&s);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].representative(), b1);
+    }
+
+    #[test]
+    fn rebuild_restores_groups() {
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_replicas(o(1), o(2));
+        reg.declare_replicas(o(3), o(4));
+        // Simulate a post-deserialization state: wipe the parent map.
+        reg.parent.clear();
+        assert!(!reg.are_replicas(o(1), o(2)));
+        reg.rebuild();
+        assert!(reg.are_replicas(o(1), o(2)));
+        assert!(reg.are_replicas(o(3), o(4)));
+        assert!(!reg.are_replicas(o(1), o(3)));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut reg = ReplicaRegistry::new();
+        reg.declare_replicas(o(1), o(2));
+        reg.declare_replicas(o(1), o(2));
+        reg.declare_replicas(o(2), o(1));
+        assert_eq!(reg.unions.len(), 1);
+    }
+}

@@ -1,0 +1,449 @@
+//! Compound-name resolution (§2).
+//!
+//! The paper defines resolution of a compound name `n = n1…nk` in a context
+//! `c` recursively:
+//!
+//! ```text
+//! c(n1…nk) = σ(c(n1))(n2…nk)   when σ(c(n1)) ∈ C
+//!          = ⊥                  otherwise
+//! ```
+//!
+//! "When a compound name of length k ≥ 2 is resolved, the result depends on
+//! the state of the context objects along the resolution path."
+//!
+//! [`Resolver::resolve_entity`] implements the total-function semantics
+//! exactly (unresolvable → [`Entity::Undefined`]); [`Resolver::resolve`]
+//! additionally reports *why* and *where* resolution failed, and records the
+//! full resolution path for tracing and for the naming-graph tooling.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{Entity, ObjectId};
+use crate::name::{CompoundName, Name};
+use crate::state::SystemState;
+
+/// Default bound on resolution path length, preventing unbounded traversals
+/// of cyclic naming graphs.
+pub const DEFAULT_DEPTH_LIMIT: usize = 4096;
+
+/// One step of a resolution: looking `component` up in `context` yielded
+/// `result`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolutionStep {
+    /// The context object consulted at this step.
+    pub context: ObjectId,
+    /// The name component looked up.
+    pub component: Name,
+    /// The entity the component was bound to (possibly `⊥`).
+    pub result: Entity,
+}
+
+/// A successful resolution: the final entity plus the path taken.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// The entity the compound name denotes.
+    pub entity: Entity,
+    /// Every step taken, in order. `steps.len() == name.len()`.
+    pub steps: Vec<ResolutionStep>,
+}
+
+impl Resolution {
+    /// The context objects traversed, in order (the directed path in the
+    /// naming graph).
+    pub fn path(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.steps.iter().map(|s| s.context)
+    }
+}
+
+/// Why a resolution failed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolveError {
+    /// A component was not bound in the context consulted (`c(ni) = ⊥`).
+    Unbound {
+        /// The context in which the component was unbound.
+        context: ObjectId,
+        /// The unbound component.
+        component: Name,
+        /// Index of the component within the compound name.
+        at: usize,
+    },
+    /// An intermediate entity was not a context object (`σ(c(ni)) ∉ C`).
+    NotAContext {
+        /// The non-context entity encountered.
+        entity: Entity,
+        /// The component that resolved to it.
+        component: Name,
+        /// Index of the component within the compound name.
+        at: usize,
+    },
+    /// The resolution exceeded the configured depth limit.
+    DepthExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Unbound {
+                context,
+                component,
+                at,
+            } => write!(
+                f,
+                "name component {component:?} (index {at}) is unbound in context {context}"
+            ),
+            ResolveError::NotAContext {
+                entity,
+                component,
+                at,
+            } => write!(
+                f,
+                "component {component:?} (index {at}) denotes {entity}, which is not a context"
+            ),
+            ResolveError::DepthExceeded { limit } => {
+                write!(f, "resolution exceeded depth limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolves compound names against a [`SystemState`].
+///
+/// A `Resolver` is a small configuration value (depth limit); it holds no
+/// references and is freely copyable.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::prelude::*;
+///
+/// let mut sys = SystemState::new();
+/// let root = sys.add_context_object("root");
+/// let etc = sys.add_context_object("etc");
+/// let passwd = sys.add_data_object("passwd", vec![]);
+/// sys.bind(root, Name::root(), root).unwrap();
+/// sys.bind(root, Name::new("etc"), etc).unwrap();
+/// sys.bind(etc, Name::new("passwd"), passwd).unwrap();
+///
+/// let r = Resolver::new();
+/// let name = CompoundName::parse_path("/etc/passwd").unwrap();
+/// assert_eq!(r.resolve_entity(&sys, root, &name), Entity::Object(passwd));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolver {
+    depth_limit: usize,
+}
+
+impl Default for Resolver {
+    fn default() -> Resolver {
+        Resolver {
+            depth_limit: DEFAULT_DEPTH_LIMIT,
+        }
+    }
+}
+
+impl Resolver {
+    /// Creates a resolver with the default depth limit.
+    pub fn new() -> Resolver {
+        Resolver::default()
+    }
+
+    /// Creates a resolver with a custom depth limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_depth_limit(limit: usize) -> Resolver {
+        assert!(limit > 0, "depth limit must be positive");
+        Resolver { depth_limit: limit }
+    }
+
+    /// The configured depth limit.
+    pub fn depth_limit(&self) -> usize {
+        self.depth_limit
+    }
+
+    /// Resolves `name` starting in the context object `start`, recording the
+    /// full path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError`] describing the failing step. Note that under
+    /// the paper's total-function semantics every failure is simply `⊥`; use
+    /// [`Resolver::resolve_entity`] for that view.
+    pub fn resolve(
+        &self,
+        state: &SystemState,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> Result<Resolution, ResolveError> {
+        if name.len() > self.depth_limit {
+            return Err(ResolveError::DepthExceeded {
+                limit: self.depth_limit,
+            });
+        }
+        let mut steps = Vec::with_capacity(name.len());
+        let mut ctx = start;
+        let comps = name.components();
+        for (i, &comp) in comps.iter().enumerate() {
+            let result = state.lookup(ctx, comp);
+            steps.push(ResolutionStep {
+                context: ctx,
+                component: comp,
+                result,
+            });
+            let last = i + 1 == comps.len();
+            match result {
+                Entity::Undefined => {
+                    return Err(ResolveError::Unbound {
+                        context: ctx,
+                        component: comp,
+                        at: i,
+                    });
+                }
+                _ if last => {
+                    return Ok(Resolution {
+                        entity: result,
+                        steps,
+                    });
+                }
+                Entity::Object(o) if state.is_context_object(o) => {
+                    ctx = o;
+                }
+                other => {
+                    return Err(ResolveError::NotAContext {
+                        entity: other,
+                        component: comp,
+                        at: i,
+                    });
+                }
+            }
+        }
+        unreachable!("compound names are nonempty")
+    }
+
+    /// Resolves `name` with the paper's exact total-function semantics:
+    /// failures yield [`Entity::Undefined`].
+    pub fn resolve_entity(
+        &self,
+        state: &SystemState,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> Entity {
+        match self.resolve(state, start, name) {
+            Ok(r) => r.entity,
+            Err(_) => Entity::Undefined,
+        }
+    }
+
+    /// Resolves a whole batch of names in the same starting context.
+    ///
+    /// Returns one entity per input name, in order.
+    pub fn resolve_all<'a, I>(&self, state: &SystemState, start: ObjectId, names: I) -> Vec<Entity>
+    where
+        I: IntoIterator<Item = &'a CompoundName>,
+    {
+        names
+            .into_iter()
+            .map(|n| self.resolve_entity(state, start, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ObjectState;
+
+    /// Builds the little tree  root -> etc -> passwd ; root -> "/"-selfbind.
+    fn tree() -> (SystemState, ObjectId, ObjectId, ObjectId) {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let etc = s.add_context_object("etc");
+        let passwd = s.add_data_object("passwd", b"root:x:0".to_vec());
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("etc"), etc).unwrap();
+        s.bind(etc, Name::new("passwd"), passwd).unwrap();
+        s.bind(etc, Name::parent(), root).unwrap();
+        (s, root, etc, passwd)
+    }
+
+    #[test]
+    fn single_component_resolution() {
+        let (s, root, etc, _) = tree();
+        let r = Resolver::new();
+        let n = CompoundName::atom(Name::new("etc"));
+        assert_eq!(r.resolve_entity(&s, root, &n), Entity::Object(etc));
+    }
+
+    #[test]
+    fn multi_component_resolution() {
+        let (s, root, _, passwd) = tree();
+        let r = Resolver::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        let res = r.resolve(&s, root, &n).unwrap();
+        assert_eq!(res.entity, Entity::Object(passwd));
+        assert_eq!(res.steps.len(), 3);
+        // "/" resolves to root itself, then etc, then passwd.
+        assert_eq!(res.steps[0].result, Entity::Object(root));
+        assert_eq!(res.steps[1].context, root);
+    }
+
+    #[test]
+    fn dotdot_traversal() {
+        let (s, root, etc, _) = tree();
+        let r = Resolver::new();
+        // From etc: ../etc/passwd
+        let n = CompoundName::parse_path("../etc/passwd").unwrap();
+        let res = r.resolve(&s, etc, &n).unwrap();
+        assert!(res.entity.is_defined());
+        assert_eq!(res.steps[0].result, Entity::Object(root));
+    }
+
+    #[test]
+    fn unbound_component() {
+        let (s, root, _, _) = tree();
+        let r = Resolver::new();
+        let n = CompoundName::parse_path("/usr/bin").unwrap();
+        match r.resolve(&s, root, &n) {
+            Err(ResolveError::Unbound { component, at, .. }) => {
+                assert_eq!(component, Name::new("usr"));
+                assert_eq!(at, 1);
+            }
+            other => panic!("expected Unbound, got {other:?}"),
+        }
+        assert_eq!(r.resolve_entity(&s, root, &n), Entity::Undefined);
+    }
+
+    #[test]
+    fn traversing_through_non_context_fails() {
+        let (mut s, root, etc, passwd) = tree();
+        let _ = etc;
+        // passwd is data; /etc/passwd/x must fail with NotAContext.
+        let r = Resolver::new();
+        let n = CompoundName::parse_path("/etc/passwd/x").unwrap();
+        match r.resolve(&s, root, &n) {
+            Err(ResolveError::NotAContext { entity, at, .. }) => {
+                assert_eq!(entity, Entity::Object(passwd));
+                assert_eq!(at, 2);
+            }
+            other => panic!("expected NotAContext, got {other:?}"),
+        }
+        // Activities are likewise not contexts.
+        let act = s.add_activity("proc");
+        s.bind(root, Name::new("proc"), act).unwrap();
+        let n2 = CompoundName::parse_path("/proc/x").unwrap();
+        assert!(matches!(
+            r.resolve(&s, root, &n2),
+            Err(ResolveError::NotAContext { .. })
+        ));
+    }
+
+    #[test]
+    fn name_ending_at_activity_is_fine() {
+        let (mut s, root, _, _) = tree();
+        let act = s.add_activity("proc");
+        s.bind(root, Name::new("proc"), act).unwrap();
+        let r = Resolver::new();
+        let n = CompoundName::parse_path("/proc").unwrap();
+        assert_eq!(r.resolve_entity(&s, root, &n), Entity::Activity(act));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let (s, root, _, _) = tree();
+        let r = Resolver::with_depth_limit(2);
+        let n = CompoundName::parse_path("/etc/passwd").unwrap(); // length 3
+        assert!(matches!(
+            r.resolve(&s, root, &n),
+            Err(ResolveError::DepthExceeded { limit: 2 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth limit must be positive")]
+    fn zero_depth_limit_panics() {
+        let _ = Resolver::with_depth_limit(0);
+    }
+
+    #[test]
+    fn cyclic_graph_with_finite_name_terminates() {
+        // a -> b -> a cycles; resolution of a finite compound name still
+        // terminates because each step consumes one component.
+        let mut s = SystemState::new();
+        let a = s.add_context_object("a");
+        let b = s.add_context_object("b");
+        s.bind(a, Name::new("b"), b).unwrap();
+        s.bind(b, Name::new("a"), a).unwrap();
+        let r = Resolver::new();
+        let n = CompoundName::new(vec![
+            Name::new("b"),
+            Name::new("a"),
+            Name::new("b"),
+            Name::new("a"),
+        ])
+        .unwrap();
+        assert_eq!(r.resolve_entity(&s, a, &n), Entity::Object(a));
+    }
+
+    #[test]
+    fn resolution_depends_on_state_along_path() {
+        // Rebinding an intermediate context changes the result: "the result
+        // depends on the state of the context objects along the resolution
+        // path."
+        let (mut s, root, _, passwd) = tree();
+        let other_etc = s.add_context_object("etc2");
+        let shadow = s.add_data_object("passwd2", vec![]);
+        s.bind(other_etc, Name::new("passwd"), shadow).unwrap();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        let r = Resolver::new();
+        assert_eq!(r.resolve_entity(&s, root, &n), Entity::Object(passwd));
+        s.bind(root, Name::new("etc"), other_etc).unwrap();
+        assert_eq!(r.resolve_entity(&s, root, &n), Entity::Object(shadow));
+    }
+
+    #[test]
+    fn resolve_all_batches() {
+        let (s, root, etc, passwd) = tree();
+        let names = vec![
+            CompoundName::parse_path("/etc").unwrap(),
+            CompoundName::parse_path("/etc/passwd").unwrap(),
+            CompoundName::parse_path("/nope").unwrap(),
+        ];
+        let r = Resolver::new();
+        let out = r.resolve_all(&s, root, &names);
+        assert_eq!(
+            out,
+            vec![
+                Entity::Object(etc),
+                Entity::Object(passwd),
+                Entity::Undefined
+            ]
+        );
+    }
+
+    #[test]
+    fn resolution_path_iterator() {
+        let (s, root, etc, _) = tree();
+        let r = Resolver::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        let res = r.resolve(&s, root, &n).unwrap();
+        let path: Vec<ObjectId> = res.path().collect();
+        assert_eq!(path, vec![root, root, etc]);
+    }
+
+    #[test]
+    fn empty_context_object_resolves_nothing() {
+        let mut s = SystemState::new();
+        let d = s.add_object("d", ObjectState::Context(crate::context::Context::new()));
+        let r = Resolver::new();
+        let n = CompoundName::atom(Name::new("x"));
+        assert_eq!(r.resolve_entity(&s, d, &n), Entity::Undefined);
+    }
+}

@@ -1,0 +1,540 @@
+//! The global state function σ and entity states (§2).
+//!
+//! Each entity has a state; `σ : E → S` determines the global state of the
+//! system. The state of an object may be a [`Context`] — such an object is a
+//! *context object* (e.g. a Unix directory). Compound-name resolution
+//! consults σ at every step: `c(n1 n2…nk) = σ(c(n1))(n2…nk)` when `σ(c(n1))`
+//! is a context.
+//!
+//! [`SystemState`] is σ made concrete: a table of activities and a table of
+//! objects, each with a state. It deliberately knows nothing about machines,
+//! networks or messages — those live in the `naming-sim` substrate. The core
+//! model only needs "entities with states, some of which are contexts".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+use crate::entity::{ActivityId, Entity, ObjectId};
+use crate::name::{CompoundName, Name};
+
+/// A segment of a structured object: literal content or an embedded name.
+///
+/// The paper (§4, §6 Example 2) models documents, program sources and
+/// multi-file executables as objects with *embedded names*: "Names can be
+/// embedded in objects to build structured objects."
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Literal content.
+    Text(String),
+    /// An embedded name referring to another entity (e.g. `\include{ch1}`).
+    Embedded(CompoundName),
+}
+
+/// The state of a structured object: a sequence of segments.
+///
+/// "The meaning of a structured object depends on the meanings of the
+/// embedded names" — resolving every [`Segment::Embedded`] under a given
+/// resolution rule yields the object's meaning.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    segments: Vec<Segment>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Document {
+        Document::default()
+    }
+
+    /// Creates a document from segments.
+    pub fn from_segments(segments: Vec<Segment>) -> Document {
+        Document { segments }
+    }
+
+    /// Appends a literal text segment.
+    pub fn push_text(&mut self, text: impl Into<String>) -> &mut Document {
+        self.segments.push(Segment::Text(text.into()));
+        self
+    }
+
+    /// Appends an embedded name segment.
+    pub fn push_embedded(&mut self, name: CompoundName) -> &mut Document {
+        self.segments.push(Segment::Embedded(name));
+        self
+    }
+
+    /// The segments in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Iterates over just the embedded names.
+    pub fn embedded_names(&self) -> impl Iterator<Item = &CompoundName> {
+        self.segments.iter().filter_map(|s| match s {
+            Segment::Embedded(n) => Some(n),
+            Segment::Text(_) => None,
+        })
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if the document has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// The state of an object: `S_O`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectState {
+    /// The object is a *context object* (e.g. a directory).
+    Context(Context),
+    /// Opaque byte content (e.g. an ordinary file).
+    Data(Vec<u8>),
+    /// A structured object containing embedded names (§6 Example 2).
+    Document(Document),
+    /// No interesting state.
+    Empty,
+}
+
+impl ObjectState {
+    /// The context, if this object is a context object.
+    pub fn as_context(&self) -> Option<&Context> {
+        match self {
+            ObjectState::Context(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the context, if this object is a context object.
+    pub fn as_context_mut(&mut self) -> Option<&mut Context> {
+        match self {
+            ObjectState::Context(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True if this object's state is a context (`σ(o) ∈ C`).
+    pub fn is_context(&self) -> bool {
+        matches!(self, ObjectState::Context(_))
+    }
+}
+
+/// The state of an activity: `S_A`.
+///
+/// The paper leaves activity states abstract; the model only needs them to
+/// be disjoint from object states. We record liveness and an opaque tag the
+/// substrate may use.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityState {
+    /// Whether the activity is still running.
+    pub alive: bool,
+    /// Substrate-defined tag (e.g. the hosting machine's index).
+    pub tag: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ActivityRecord {
+    label: String,
+    state: ActivityState,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ObjectRecord {
+    label: String,
+    state: ObjectState,
+}
+
+/// The global state function σ: tables of activities and objects with their
+/// states.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::state::{ObjectState, SystemState};
+/// use naming_core::name::Name;
+/// use naming_core::entity::Entity;
+///
+/// let mut sys = SystemState::new();
+/// let root = sys.add_context_object("root");
+/// let etc = sys.add_context_object("etc");
+/// sys.bind(root, Name::new("etc"), etc).unwrap();
+/// assert_eq!(sys.context(root).unwrap().lookup(Name::new("etc")), Entity::Object(etc));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SystemState {
+    activities: Vec<ActivityRecord>,
+    objects: Vec<ObjectRecord>,
+}
+
+/// Error produced by [`SystemState`] operations on non-context objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotAContextError {
+    /// The offending object.
+    pub object: ObjectId,
+}
+
+impl fmt::Display for NotAContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "object {} is not a context object", self.object)
+    }
+}
+
+impl std::error::Error for NotAContextError {}
+
+impl SystemState {
+    /// Creates an empty system state: no activities, no objects.
+    pub fn new() -> SystemState {
+        SystemState::default()
+    }
+
+    // --- activities -------------------------------------------------------
+
+    /// Adds a live activity and returns its id.
+    pub fn add_activity(&mut self, label: impl Into<String>) -> ActivityId {
+        let id = ActivityId::from_index(
+            u32::try_from(self.activities.len()).expect("activity table overflow"),
+        );
+        self.activities.push(ActivityRecord {
+            label: label.into(),
+            state: ActivityState {
+                alive: true,
+                tag: 0,
+            },
+        });
+        id
+    }
+
+    /// Number of activities ever created.
+    pub fn activity_count(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// The label given at creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an id from this state.
+    pub fn activity_label(&self, a: ActivityId) -> &str {
+        &self.activities[a.index()].label
+    }
+
+    /// The activity's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an id from this state.
+    pub fn activity_state(&self, a: ActivityId) -> &ActivityState {
+        &self.activities[a.index()].state
+    }
+
+    /// Mutable access to the activity's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an id from this state.
+    pub fn activity_state_mut(&mut self, a: ActivityId) -> &mut ActivityState {
+        &mut self.activities[a.index()].state
+    }
+
+    /// Iterates over all activity ids in creation order.
+    pub fn activities(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        (0..self.activities.len()).map(|i| ActivityId::from_index(i as u32))
+    }
+
+    // --- objects ----------------------------------------------------------
+
+    /// Adds an object with the given state and returns its id.
+    pub fn add_object(&mut self, label: impl Into<String>, state: ObjectState) -> ObjectId {
+        let id =
+            ObjectId::from_index(u32::try_from(self.objects.len()).expect("object table overflow"));
+        self.objects.push(ObjectRecord {
+            label: label.into(),
+            state,
+        });
+        id
+    }
+
+    /// Adds an object whose state is an empty context (a fresh directory).
+    pub fn add_context_object(&mut self, label: impl Into<String>) -> ObjectId {
+        self.add_object(label, ObjectState::Context(Context::new()))
+    }
+
+    /// Adds a plain data object.
+    pub fn add_data_object(&mut self, label: impl Into<String>, data: Vec<u8>) -> ObjectId {
+        self.add_object(label, ObjectState::Data(data))
+    }
+
+    /// Adds a structured object with embedded names.
+    pub fn add_document_object(&mut self, label: impl Into<String>, doc: Document) -> ObjectId {
+        self.add_object(label, ObjectState::Document(doc))
+    }
+
+    /// Number of objects ever created.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The label given at creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an id from this state.
+    pub fn object_label(&self, o: ObjectId) -> &str {
+        &self.objects[o.index()].label
+    }
+
+    /// σ applied to an object: its current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an id from this state.
+    pub fn object_state(&self, o: ObjectId) -> &ObjectState {
+        &self.objects[o.index()].state
+    }
+
+    /// Mutable access to an object's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an id from this state.
+    pub fn object_state_mut(&mut self, o: ObjectId) -> &mut ObjectState {
+        &mut self.objects[o.index()].state
+    }
+
+    /// Iterates over all object ids in creation order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.objects.len()).map(|i| ObjectId::from_index(i as u32))
+    }
+
+    /// True if `o` is a context object in the current state.
+    pub fn is_context_object(&self, o: ObjectId) -> bool {
+        self.object_state(o).is_context()
+    }
+
+    /// The context of a context object.
+    ///
+    /// Returns `None` if the object's state is not a context.
+    pub fn context(&self, o: ObjectId) -> Option<&Context> {
+        self.object_state(o).as_context()
+    }
+
+    /// Mutable context of a context object.
+    ///
+    /// Returns `None` if the object's state is not a context.
+    pub fn context_mut(&mut self, o: ObjectId) -> Option<&mut Context> {
+        self.object_state_mut(o).as_context_mut()
+    }
+
+    /// Binds `name` to `entity` in the context object `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAContextError`] if `ctx` is not a context object.
+    pub fn bind(
+        &mut self,
+        ctx: ObjectId,
+        name: Name,
+        entity: impl Into<Entity>,
+    ) -> Result<Option<Entity>, NotAContextError> {
+        match self.context_mut(ctx) {
+            Some(c) => Ok(c.bind(name, entity)),
+            None => Err(NotAContextError { object: ctx }),
+        }
+    }
+
+    /// Removes the binding for `name` in the context object `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAContextError`] if `ctx` is not a context object.
+    pub fn unbind(
+        &mut self,
+        ctx: ObjectId,
+        name: Name,
+    ) -> Result<Option<Entity>, NotAContextError> {
+        match self.context_mut(ctx) {
+            Some(c) => Ok(c.unbind(name)),
+            None => Err(NotAContextError { object: ctx }),
+        }
+    }
+
+    /// Looks `name` up in the context object `ctx` (single-step resolution).
+    ///
+    /// Non-context objects yield [`Entity::Undefined`] for every name, per
+    /// the total-function semantics.
+    pub fn lookup(&self, ctx: ObjectId, name: Name) -> Entity {
+        match self.context(ctx) {
+            Some(c) => c.lookup(name),
+            None => Entity::Undefined,
+        }
+    }
+
+    /// Deep-copies the subtree of context objects reachable from `src`,
+    /// returning the id of the copy of `src`.
+    ///
+    /// Every object reachable from `src` along naming-graph edges is
+    /// duplicated — context objects *and* the data/document objects bound
+    /// inside them — and bindings among copied objects are rewritten to the
+    /// copies (including `..`-style back edges). Bindings to activities are
+    /// preserved as-is: activities are not part of the subtree.
+    ///
+    /// Used by the embedded-names experiments: "the subtree containing the
+    /// structured object can be … relocated or copied without changing the
+    /// meaning of the embedded names."
+    pub fn deep_copy(&mut self, src: ObjectId) -> ObjectId {
+        use std::collections::BTreeMap;
+        // First pass: find the reachable object set (contexts traversed).
+        let mut reach: Vec<ObjectId> = Vec::new();
+        let mut seen: BTreeMap<ObjectId, ()> = BTreeMap::new();
+        let mut stack = vec![src];
+        while let Some(o) = stack.pop() {
+            if seen.insert(o, ()).is_some() {
+                continue;
+            }
+            reach.push(o);
+            if let Some(c) = self.context(o) {
+                for (_, e) in c.iter() {
+                    if let Entity::Object(child) = e {
+                        if !seen.contains_key(&child) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        // Second pass: allocate copies.
+        let mut map: BTreeMap<ObjectId, ObjectId> = BTreeMap::new();
+        for &o in &reach {
+            let label = format!("{}~copy", self.object_label(o));
+            let state = self.object_state(o).clone();
+            let copy = self.add_object(label, state);
+            map.insert(o, copy);
+        }
+        // Third pass: rewrite intra-subtree bindings to the copies.
+        for &o in &reach {
+            let copy = map[&o];
+            if let Some(ctx) = self.context(copy).cloned() {
+                let mut rewritten = ctx.clone();
+                for (n, e) in ctx.iter() {
+                    if let Entity::Object(t) = e {
+                        if let Some(&tc) = map.get(&t) {
+                            rewritten.bind(n, tc);
+                        }
+                    }
+                }
+                *self.context_mut(copy).expect("copy is a context") = rewritten;
+            }
+        }
+        map[&src]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_activities() {
+        let mut s = SystemState::new();
+        let a = s.add_activity("shell");
+        let b = s.add_activity("editor");
+        assert_eq!(s.activity_count(), 2);
+        assert_eq!(s.activity_label(a), "shell");
+        assert!(s.activity_state(b).alive);
+        s.activity_state_mut(b).alive = false;
+        assert!(!s.activity_state(b).alive);
+        assert_eq!(s.activities().count(), 2);
+    }
+
+    #[test]
+    fn add_and_query_objects() {
+        let mut s = SystemState::new();
+        let dir = s.add_context_object("root");
+        let file = s.add_data_object("motd", b"hello".to_vec());
+        assert!(s.is_context_object(dir));
+        assert!(!s.is_context_object(file));
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(s.object_label(file), "motd");
+    }
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let etc = s.add_context_object("etc");
+        s.bind(root, Name::new("etc"), etc).unwrap();
+        assert_eq!(s.lookup(root, Name::new("etc")), Entity::Object(etc));
+        assert_eq!(s.lookup(root, Name::new("usr")), Entity::Undefined);
+        // Lookup in a non-context object is ⊥ for everything.
+        let file = s.add_data_object("f", vec![]);
+        assert_eq!(s.lookup(file, Name::new("etc")), Entity::Undefined);
+    }
+
+    #[test]
+    fn bind_on_non_context_errors() {
+        let mut s = SystemState::new();
+        let file = s.add_data_object("f", vec![]);
+        let err = s.bind(file, Name::new("x"), file).unwrap_err();
+        assert_eq!(err.object, file);
+        assert!(s.unbind(file, Name::new("x")).is_err());
+    }
+
+    #[test]
+    fn document_segments() {
+        let mut d = Document::new();
+        d.push_text("\\documentclass{article}");
+        d.push_embedded(CompoundName::parse_path("ch1.tex").unwrap());
+        d.push_embedded(CompoundName::parse_path("ch2.tex").unwrap());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.embedded_names().count(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn deep_copy_rewrites_internal_edges() {
+        let mut s = SystemState::new();
+        let top = s.add_context_object("top");
+        let sub = s.add_context_object("sub");
+        let leaf = s.add_data_object("leaf", b"x".to_vec());
+        let shell = s.add_activity("shell");
+        s.bind(top, Name::new("sub"), sub).unwrap();
+        s.bind(top, Name::new("owner"), shell).unwrap();
+        s.bind(sub, Name::new("leaf"), leaf).unwrap();
+        s.bind(sub, Name::parent(), top).unwrap();
+
+        let copy = s.deep_copy(top);
+        assert_ne!(copy, top);
+        let copy_sub = s
+            .lookup(copy, Name::new("sub"))
+            .as_object()
+            .expect("sub copied");
+        assert_ne!(copy_sub, sub);
+        // Internal edge rewritten: copy's `..` points back at the copy root.
+        assert_eq!(s.lookup(copy_sub, Name::parent()), Entity::Object(copy));
+        // Activity binding preserved: activities are not part of a subtree.
+        assert_eq!(s.lookup(copy, Name::new("owner")), Entity::Activity(shell));
+        // Leaf inside was duplicated with the same content.
+        let copy_leaf = s.lookup(copy_sub, Name::new("leaf")).as_object().unwrap();
+        assert_ne!(copy_leaf, leaf);
+        assert_eq!(s.object_state(copy_leaf), s.object_state(leaf));
+    }
+
+    #[test]
+    fn deep_copy_handles_cycles() {
+        let mut s = SystemState::new();
+        let a = s.add_context_object("a");
+        let b = s.add_context_object("b");
+        s.bind(a, Name::new("b"), b).unwrap();
+        s.bind(b, Name::new("a"), a).unwrap();
+        let copy = s.deep_copy(a);
+        let copy_b = s.lookup(copy, Name::new("b")).as_object().unwrap();
+        let back = s.lookup(copy_b, Name::new("a")).as_object().unwrap();
+        assert_eq!(back, copy);
+    }
+}

@@ -1,0 +1,2 @@
+//! This crate exists only to host the workspace-level integration tests in
+//! `/tests`. It has no library API of its own.

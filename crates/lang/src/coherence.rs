@@ -1,0 +1,232 @@
+//! Measuring coherence across closure mechanisms on populations of random
+//! programs.
+//!
+//! Two policies *disagree* on a program exactly when some name in it was
+//! incoherent between contexts the policies select differently — a
+//! definition-site context vs a call-site context, or a caller context vs
+//! a callee context. The disagreement rate over a program population is
+//! therefore a language-level degree-of-incoherence measure, the analog of
+//! the operating-system audits in `naming-core`.
+
+use naming_core::name::Name;
+
+use crate::expr::Expr;
+use crate::interp::{eval_with, ParamMode, ScopePolicy, Value};
+
+/// A tiny deterministic generator (SplitMix64) so this crate needs no RNG
+/// dependency.
+#[derive(Clone, Debug)]
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+/// Generates a random closed expression of bounded depth. Every variable
+/// reference picks a currently-bound name, so the program evaluates without
+/// unbound-variable errors under lexical scope.
+fn gen_expr(g: &mut Gen, bound: &mut Vec<Name>, depth: usize) -> Expr {
+    if depth == 0 || g.below(6) == 0 {
+        // Leaf.
+        if !bound.is_empty() && g.below(2) == 0 {
+            let i = g.below(bound.len() as u64) as usize;
+            return Expr::Var(bound[i]);
+        }
+        return Expr::num((g.below(9) as i64) - 4);
+    }
+    match g.below(5) {
+        0 => Expr::add(gen_expr(g, bound, depth - 1), gen_expr(g, bound, depth - 1)),
+        1 => Expr::mul(gen_expr(g, bound, depth - 1), gen_expr(g, bound, depth - 1)),
+        2 => {
+            // let v = e1 in e2 — shadowing arises when v is already bound.
+            let v = VARS[g.below(VARS.len() as u64) as usize];
+            let value = gen_expr(g, bound, depth - 1);
+            bound.push(Name::new(v));
+            let body = gen_expr(g, bound, depth - 1);
+            bound.pop();
+            Expr::let_(v, value, body)
+        }
+        3 => {
+            // Immediately-applied function — the interesting case: free
+            // names of the body may be shadowed between definition and
+            // call.
+            let p = VARS[g.below(VARS.len() as u64) as usize];
+            bound.push(Name::new(p));
+            let body = gen_expr(g, bound, depth - 1);
+            bound.pop();
+            let arg = gen_expr(g, bound, depth - 1);
+            Expr::call(Expr::fun(p, body), arg)
+        }
+        _ => {
+            // A function defined here but called inside a let that
+            // re-binds a variable — the funarg shape.
+            let p = VARS[g.below(VARS.len() as u64) as usize];
+            bound.push(Name::new(p));
+            let fbody = gen_expr(g, bound, depth - 1);
+            bound.pop();
+            let shadow = VARS[g.below(VARS.len() as u64) as usize];
+            let shadow_val = gen_expr(g, bound, depth - 1);
+            bound.push(Name::new(shadow));
+            let arg = gen_expr(g, bound, depth - 1);
+            bound.pop();
+            Expr::let_(
+                "f",
+                Expr::fun(p, fbody),
+                Expr::let_(shadow, shadow_val, Expr::call(Expr::var("f"), arg)),
+            )
+        }
+    }
+}
+
+/// Generates `count` random closed programs from a seed.
+pub fn generate_programs(seed: u64, count: usize, depth: usize) -> Vec<Expr> {
+    let mut g = Gen(seed);
+    (0..count)
+        .map(|_| {
+            let mut bound = Vec::new();
+            gen_expr(&mut g, &mut bound, depth)
+        })
+        .collect()
+}
+
+/// Agreement statistics between two evaluation policies over a program
+/// population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Agreement {
+    /// Programs where both policies produced a value.
+    pub comparable: usize,
+    /// Programs where the two values were equal.
+    pub agree: usize,
+    /// Programs where at least one policy errored.
+    pub errored: usize,
+}
+
+impl Agreement {
+    /// Agreement rate over comparable programs.
+    pub fn rate(&self) -> f64 {
+        if self.comparable == 0 {
+            0.0
+        } else {
+            self.agree as f64 / self.comparable as f64
+        }
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x == y,
+        // Closures from different interpreters cannot be compared by env;
+        // compare structure.
+        (
+            Value::Closure {
+                param: p1,
+                body: b1,
+                ..
+            },
+            Value::Closure {
+                param: p2,
+                body: b2,
+                ..
+            },
+        ) => p1 == p2 && b1 == b2,
+        _ => false,
+    }
+}
+
+/// Compares two policy pairs over a population.
+pub fn compare(
+    programs: &[Expr],
+    a: (ScopePolicy, ParamMode),
+    b: (ScopePolicy, ParamMode),
+) -> Agreement {
+    let mut out = Agreement::default();
+    for p in programs {
+        let va = eval_with(a.0, a.1, p);
+        let vb = eval_with(b.0, b.1, p);
+        match (va, vb) {
+            (Ok(x), Ok(y)) => {
+                out.comparable += 1;
+                if values_equal(&x, &y) {
+                    out.agree += 1;
+                }
+            }
+            _ => out.errored += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_closed() {
+        let a = generate_programs(5, 50, 4);
+        let b = generate_programs(5, 50, 4);
+        assert_eq!(a, b);
+        // Closed: lexical by-value evaluation never hits unbound vars.
+        for p in &a {
+            assert!(p.free_vars().is_empty(), "program not closed: {p}");
+        }
+    }
+
+    #[test]
+    fn identical_policies_always_agree() {
+        let programs = generate_programs(6, 80, 4);
+        let pol = (ScopePolicy::Lexical, ParamMode::ByValue);
+        let agg = compare(&programs, pol, pol);
+        assert_eq!(agg.agree, agg.comparable);
+        assert!(agg.comparable > 0);
+    }
+
+    #[test]
+    fn lexical_and_dynamic_disagree_sometimes() {
+        let programs = generate_programs(7, 400, 5);
+        let agg = compare(
+            &programs,
+            (ScopePolicy::Lexical, ParamMode::ByValue),
+            (ScopePolicy::Dynamic, ParamMode::ByValue),
+        );
+        assert!(agg.comparable > 100);
+        assert!(agg.rate() < 1.0, "shadowing must bite somewhere");
+        assert!(agg.rate() > 0.3, "most programs have no funarg shape");
+    }
+
+    #[test]
+    fn by_name_and_by_text_disagree_sometimes() {
+        let programs = generate_programs(8, 400, 5);
+        let agg = compare(
+            &programs,
+            (ScopePolicy::Lexical, ParamMode::ByName),
+            (ScopePolicy::Lexical, ParamMode::ByText),
+        );
+        assert!(agg.comparable > 100);
+        assert!(agg.rate() < 1.0);
+    }
+
+    #[test]
+    fn by_value_and_by_name_agree_on_pure_terminating_programs() {
+        // Our language is pure and the generator produces terminating
+        // programs, so strictness is unobservable.
+        let programs = generate_programs(9, 300, 4);
+        let agg = compare(
+            &programs,
+            (ScopePolicy::Lexical, ParamMode::ByValue),
+            (ScopePolicy::Lexical, ParamMode::ByName),
+        );
+        assert_eq!(agg.agree, agg.comparable);
+    }
+}

@@ -1,0 +1,192 @@
+//! The expression language.
+//!
+//! Deliberately tiny: integers, variables, arithmetic, `let`, first-class
+//! functions, and calls — just enough to exhibit every coherence question
+//! the paper raises about programming languages (§4): where do a
+//! function's free names resolve, and what does a parameter mean?
+
+use std::fmt;
+
+use naming_core::name::Name;
+use serde::{Deserialize, Serialize};
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(Name),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `let name = value in body`.
+    Let(Name, Box<Expr>, Box<Expr>),
+    /// Anonymous function of one parameter.
+    Fun(Name, Box<Expr>),
+    /// Application `f(arg)`.
+    Call(Box<Expr>, Box<Expr>),
+    /// Conditional on zero: `if cond == 0 then a else b`.
+    IfZero(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn num(n: i64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// Variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Name::new(name))
+    }
+
+    /// Addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Multiplication.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `let name = value in body`.
+    pub fn let_(name: &str, value: Expr, body: Expr) -> Expr {
+        Expr::Let(Name::new(name), Box::new(value), Box::new(body))
+    }
+
+    /// One-parameter function.
+    pub fn fun(param: &str, body: Expr) -> Expr {
+        Expr::Fun(Name::new(param), Box::new(body))
+    }
+
+    /// Application.
+    pub fn call(f: Expr, arg: Expr) -> Expr {
+        Expr::Call(Box::new(f), Box::new(arg))
+    }
+
+    /// Conditional on zero.
+    pub fn if_zero(c: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::IfZero(Box::new(c), Box::new(then), Box::new(els))
+    }
+
+    /// The free variables of the expression, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Name> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Name>, out: &mut Vec<Name>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(n) => {
+                if !bound.contains(n) && !out.contains(n) {
+                    out.push(*n);
+                }
+            }
+            Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Call(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            Expr::Let(n, v, body) => {
+                v.collect_free(bound, out);
+                bound.push(*n);
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::Fun(p, body) => {
+                bound.push(*p);
+                body.collect_free(bound, out);
+                bound.pop();
+            }
+            Expr::IfZero(c, t, e) => {
+                c.collect_free(bound, out);
+                t.collect_free(bound, out);
+                e.collect_free(bound, out);
+            }
+        }
+    }
+}
+
+/// Writes `e`, parenthesized when it is a binder/conditional form whose
+/// body would otherwise greedily swallow the surrounding operator's
+/// right-hand side (keeping `Display` output unambiguous and re-parseable).
+fn fmt_operand(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Let(..) | Expr::Fun(..) | Expr::IfZero(..) => write!(f, "({e})"),
+        _ => write!(f, "{e}"),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Add(a, b) => {
+                write!(f, "(")?;
+                fmt_operand(a, f)?;
+                write!(f, " + ")?;
+                fmt_operand(b, f)?;
+                write!(f, ")")
+            }
+            Expr::Mul(a, b) => {
+                write!(f, "(")?;
+                fmt_operand(a, f)?;
+                write!(f, " * ")?;
+                fmt_operand(b, f)?;
+                write!(f, ")")
+            }
+            Expr::Let(n, v, b) => write!(f, "let {n} = {v} in {b}"),
+            Expr::Fun(p, b) => write!(f, "fun({p}) -> {b}"),
+            Expr::Call(g, a) => {
+                fmt_operand(g, f)?;
+                write!(f, "({a})")
+            }
+            Expr::IfZero(c, t, e) => write!(f, "if {c}=0 then {t} else {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_display() {
+        let e = Expr::let_(
+            "x",
+            Expr::num(1),
+            Expr::call(
+                Expr::fun("y", Expr::add(Expr::var("x"), Expr::var("y"))),
+                Expr::num(2),
+            ),
+        );
+        let s = e.to_string();
+        assert!(s.contains("let x = 1 in"));
+        assert!(s.contains("fun(y)"));
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let e = Expr::fun("y", Expr::add(Expr::var("x"), Expr::var("y")));
+        assert_eq!(e.free_vars(), vec![Name::new("x")]);
+        let e2 = Expr::let_("x", Expr::var("z"), Expr::var("x"));
+        assert_eq!(e2.free_vars(), vec![Name::new("z")]);
+        // Value expression of let is outside the binder's scope.
+        let e3 = Expr::let_("x", Expr::var("x"), Expr::var("x"));
+        assert_eq!(e3.free_vars(), vec![Name::new("x")]);
+    }
+
+    #[test]
+    fn free_vars_dedup_in_order() {
+        let e = Expr::add(Expr::add(Expr::var("b"), Expr::var("a")), Expr::var("b"));
+        assert_eq!(e.free_vars(), vec![Name::new("b"), Name::new("a")]);
+    }
+}

@@ -1,0 +1,476 @@
+//! The interpreter, parameterized by *closure mechanisms*.
+//!
+//! The paper (§4): "In programming languages, names may denote different
+//! variables in different functions and procedures. … When a function is
+//! passed as a parameter, it is desirable to resolve the non-local variable
+//! names of the function in the context where the function was defined,
+//! instead of the context of the callee; the funarg mechanism was
+//! introduced in Lisp for this purpose. Similarly, call-by-name is
+//! preferable to call-by-text so that the parameter has the same meaning
+//! for the caller and callee."
+//!
+//! The correspondence to the naming model is exact: an environment frame is
+//! a *context* (a function from names to values), the frame chain is a
+//! naming graph of context objects, and the policies below are *resolution
+//! rules*:
+//!
+//! * [`ScopePolicy::Lexical`] — the funarg mechanism, `R(definition site)`:
+//!   a function's free names resolve in the environment where the function
+//!   was created. Coherent: the function means the same thing wherever it
+//!   is called.
+//! * [`ScopePolicy::Dynamic`] — `R(caller)`, the analog of the operating
+//!   system's `R(activity)`: free names resolve in whatever environment
+//!   the call happens in. Incoherent for non-global names.
+//! * [`ParamMode::ByName`] — the argument expression is packaged *with the
+//!   caller's environment* (a thunk — a closure over the expression), so
+//!   it means the same for caller and callee.
+//! * [`ParamMode::ByText`] — the bare text of the argument is re-evaluated
+//!   in the callee's environment: the paper's example of an incoherent
+//!   exchange of names.
+//! * [`ParamMode::ByValue`] — evaluation before the call; coherent but
+//!   strict.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use naming_core::name::Name;
+
+use crate::expr::Expr;
+
+/// How a function's free (non-local) names are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScopePolicy {
+    /// Funarg / closures: resolve in the defining environment.
+    Lexical,
+    /// Resolve in the calling environment.
+    Dynamic,
+}
+
+/// How arguments are passed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamMode {
+    /// Evaluate in the caller's environment before the call.
+    ByValue,
+    /// Package the expression with the caller's environment (thunk).
+    ByName,
+    /// Pass the bare expression text; re-evaluate in the callee's
+    /// environment at every use.
+    ByText,
+}
+
+/// Identifier of an environment frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnvId(usize);
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Num(i64),
+    /// A function value. Under [`ScopePolicy::Lexical`] it captures its
+    /// defining environment; under [`ScopePolicy::Dynamic`] the captured
+    /// environment is ignored.
+    Closure {
+        /// The parameter name.
+        param: Name,
+        /// The body expression.
+        body: Box<Expr>,
+        /// The defining environment.
+        env: EnvId,
+    },
+}
+
+impl Value {
+    /// The integer, if numeric.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Closure { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Closure { param, .. } => write!(f, "<fun({param})>"),
+        }
+    }
+}
+
+/// Evaluation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A name had no binding on the resolution path — the language-level
+    /// `⊥`.
+    UnboundVariable(Name),
+    /// A non-function was applied.
+    NotAFunction(String),
+    /// Arithmetic on a function value.
+    NotANumber(String),
+    /// Recursion/thunk depth exceeded.
+    DepthExceeded,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(n) => write!(f, "unbound variable {n}"),
+            EvalError::NotAFunction(s) => write!(f, "cannot call non-function {s}"),
+            EvalError::NotANumber(s) => write!(f, "cannot do arithmetic on {s}"),
+            EvalError::DepthExceeded => write!(f, "evaluation depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[derive(Clone, Debug)]
+enum Binding {
+    Val(Value),
+    /// Call-by-name: the expression plus the environment it came from.
+    Thunk(Box<Expr>, EnvId),
+    /// Call-by-text: the bare expression, re-resolved at the use site.
+    Text(Box<Expr>),
+}
+
+#[derive(Clone, Debug, Default)]
+struct EnvFrame {
+    vars: BTreeMap<Name, Binding>,
+    parent: Option<EnvId>,
+}
+
+/// An interpreter with a fixed pair of closure mechanisms.
+#[derive(Debug)]
+pub struct Interpreter {
+    frames: Vec<EnvFrame>,
+    scope: ScopePolicy,
+    params: ParamMode,
+    depth_limit: usize,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the given policies.
+    pub fn new(scope: ScopePolicy, params: ParamMode) -> Interpreter {
+        Interpreter {
+            frames: vec![EnvFrame::default()],
+            scope,
+            params,
+            depth_limit: 512,
+        }
+    }
+
+    /// The scope policy in force.
+    pub fn scope_policy(&self) -> ScopePolicy {
+        self.scope
+    }
+
+    /// The parameter mode in force.
+    pub fn param_mode(&self) -> ParamMode {
+        self.params
+    }
+
+    /// The global (root) environment.
+    pub fn global_env(&self) -> EnvId {
+        EnvId(0)
+    }
+
+    /// Defines a global binding.
+    pub fn define_global(&mut self, name: &str, value: Value) {
+        self.frames[0]
+            .vars
+            .insert(Name::new(name), Binding::Val(value));
+    }
+
+    /// Evaluates `expr` in the global environment.
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        self.eval_in(expr, self.global_env(), 0)
+    }
+
+    fn child_env(&mut self, parent: EnvId) -> EnvId {
+        let id = EnvId(self.frames.len());
+        self.frames.push(EnvFrame {
+            vars: BTreeMap::new(),
+            parent: Some(parent),
+        });
+        id
+    }
+
+    fn lookup(&self, env: EnvId, name: Name) -> Option<(EnvId, Binding)> {
+        let mut cur = Some(env);
+        while let Some(e) = cur {
+            let frame = &self.frames[e.0];
+            if let Some(b) = frame.vars.get(&name) {
+                return Some((e, b.clone()));
+            }
+            cur = frame.parent;
+        }
+        None
+    }
+
+    /// The environment frame in which `name` would resolve from `env`
+    /// (the *context selected* by the scope chain), if any. Exposed so the
+    /// coherence experiments can compare referents without forcing values.
+    pub fn resolving_frame(&self, env: EnvId, name: Name) -> Option<EnvId> {
+        self.lookup(env, name).map(|(e, _)| e)
+    }
+
+    fn eval_in(&mut self, expr: &Expr, env: EnvId, depth: usize) -> Result<Value, EvalError> {
+        if depth > self.depth_limit {
+            return Err(EvalError::DepthExceeded);
+        }
+        match expr {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Var(name) => match self.lookup(env, *name) {
+                None => Err(EvalError::UnboundVariable(*name)),
+                Some((_, Binding::Val(v))) => Ok(v),
+                // Call-by-name: force the thunk in ITS OWN environment —
+                // the caller's meaning is preserved.
+                Some((_, Binding::Thunk(e, thunk_env))) => self.eval_in(&e, thunk_env, depth + 1),
+                // Call-by-text: re-evaluate the bare text HERE — the
+                // callee's environment decides what the names mean.
+                Some((_, Binding::Text(e))) => self.eval_in(&e, env, depth + 1),
+            },
+            Expr::Add(a, b) => {
+                let x = self.num(a, env, depth)?;
+                let y = self.num(b, env, depth)?;
+                Ok(Value::Num(x.wrapping_add(y)))
+            }
+            Expr::Mul(a, b) => {
+                let x = self.num(a, env, depth)?;
+                let y = self.num(b, env, depth)?;
+                Ok(Value::Num(x.wrapping_mul(y)))
+            }
+            Expr::Let(name, value, body) => {
+                let v = self.eval_in(value, env, depth + 1)?;
+                let inner = self.child_env(env);
+                self.frames[inner.0].vars.insert(*name, Binding::Val(v));
+                self.eval_in(body, inner, depth + 1)
+            }
+            Expr::Fun(param, body) => Ok(Value::Closure {
+                param: *param,
+                body: body.clone(),
+                env,
+            }),
+            Expr::Call(f, arg) => {
+                let fv = self.eval_in(f, env, depth + 1)?;
+                let (param, body, def_env) = match fv {
+                    Value::Closure { param, body, env } => (param, body, env),
+                    other => return Err(EvalError::NotAFunction(other.to_string())),
+                };
+                let binding = match self.params {
+                    ParamMode::ByValue => Binding::Val(self.eval_in(arg, env, depth + 1)?),
+                    ParamMode::ByName => Binding::Thunk(arg.clone(), env),
+                    ParamMode::ByText => Binding::Text(arg.clone()),
+                };
+                // The closure mechanism: which context do the function's
+                // free names resolve in?
+                let parent = match self.scope {
+                    ScopePolicy::Lexical => def_env,
+                    ScopePolicy::Dynamic => env,
+                };
+                let frame = self.child_env(parent);
+                self.frames[frame.0].vars.insert(param, binding);
+                self.eval_in(&body, frame, depth + 1)
+            }
+            Expr::IfZero(c, t, e) => {
+                if self.num(c, env, depth)? == 0 {
+                    self.eval_in(t, env, depth + 1)
+                } else {
+                    self.eval_in(e, env, depth + 1)
+                }
+            }
+        }
+    }
+
+    fn num(&mut self, expr: &Expr, env: EnvId, depth: usize) -> Result<i64, EvalError> {
+        match self.eval_in(expr, env, depth + 1)? {
+            Value::Num(n) => Ok(n),
+            other => Err(EvalError::NotANumber(other.to_string())),
+        }
+    }
+}
+
+/// Evaluates `expr` once under the given policies, with a fresh
+/// interpreter.
+pub fn eval_with(scope: ScopePolicy, params: ParamMode, expr: &Expr) -> Result<Value, EvalError> {
+    Interpreter::new(scope, params).eval(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr as E;
+
+    /// The paper's funarg scenario:
+    /// `let x = 1 in let f = fun(y) -> x + y in let x = 100 in f(10)`.
+    fn funarg_program() -> E {
+        E::let_(
+            "x",
+            E::num(1),
+            E::let_(
+                "f",
+                E::fun("y", E::add(E::var("x"), E::var("y"))),
+                E::let_("x", E::num(100), E::call(E::var("f"), E::num(10))),
+            ),
+        )
+    }
+
+    #[test]
+    fn lexical_scope_is_coherent_with_definition_site() {
+        let v = eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &funarg_program()).unwrap();
+        assert_eq!(v, Value::Num(11)); // x = 1 at the definition site
+    }
+
+    #[test]
+    fn dynamic_scope_resolves_at_call_site() {
+        let v = eval_with(ScopePolicy::Dynamic, ParamMode::ByValue, &funarg_program()).unwrap();
+        assert_eq!(v, Value::Num(110)); // x = 100 at the call site
+    }
+
+    /// Call-by-name vs call-by-text: caller's `x` is 5; the callee binds
+    /// its own `x = 50` before using the parameter.
+    /// `let x = 5 in (fun(p) -> let x = 50 in p + x)(x + 1)`
+    fn param_program() -> E {
+        E::let_(
+            "x",
+            E::num(5),
+            E::call(
+                E::fun(
+                    "p",
+                    E::let_("x", E::num(50), E::add(E::var("p"), E::var("x"))),
+                ),
+                E::add(E::var("x"), E::num(1)),
+            ),
+        )
+    }
+
+    #[test]
+    fn call_by_name_keeps_the_callers_meaning() {
+        let v = eval_with(ScopePolicy::Lexical, ParamMode::ByName, &param_program()).unwrap();
+        assert_eq!(v, Value::Num(56)); // p = caller's x+1 = 6, plus callee x=50
+    }
+
+    #[test]
+    fn call_by_value_agrees_with_call_by_name_here() {
+        let v = eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &param_program()).unwrap();
+        assert_eq!(v, Value::Num(56));
+    }
+
+    #[test]
+    fn call_by_text_lets_the_callee_capture_the_parameter() {
+        let v = eval_with(ScopePolicy::Lexical, ParamMode::ByText, &param_program()).unwrap();
+        // p's text `x + 1` re-resolves under the callee's x = 50.
+        assert_eq!(v, Value::Num(101)); // (50+1) + 50
+    }
+
+    #[test]
+    fn globals_are_coherent_under_both_scopes() {
+        // "a global name can be used to refer to a global variable from any
+        // part of a program."
+        let prog = E::call(E::fun("y", E::add(E::var("g"), E::var("y"))), E::num(1));
+        for scope in [ScopePolicy::Lexical, ScopePolicy::Dynamic] {
+            let mut i = Interpreter::new(scope, ParamMode::ByValue);
+            i.define_global("g", Value::Num(7));
+            assert_eq!(i.eval(&prog).unwrap(), Value::Num(8));
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_language_level_bottom() {
+        let e = E::var("nope");
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e),
+            Err(EvalError::UnboundVariable(Name::new("nope")))
+        );
+        // Dynamic scope can make a lexically-unbound program run — the
+        // free name finds the CALLER's binding.
+        let prog = E::let_(
+            "f",
+            E::fun("y", E::var("h")),
+            E::let_("h", E::num(3), E::call(E::var("f"), E::num(0))),
+        );
+        assert!(eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &prog).is_err());
+        assert_eq!(
+            eval_with(ScopePolicy::Dynamic, ParamMode::ByValue, &prog).unwrap(),
+            Value::Num(3)
+        );
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let call_num = E::call(E::num(1), E::num(2));
+        assert!(matches!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &call_num),
+            Err(EvalError::NotAFunction(_))
+        ));
+        let add_fun = E::add(E::fun("x", E::var("x")), E::num(1));
+        assert!(matches!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &add_fun),
+            Err(EvalError::NotANumber(_))
+        ));
+    }
+
+    #[test]
+    fn depth_limit_stops_infinite_regress() {
+        // (fun(f) -> f(f))(fun(f) -> f(f)) — the classic Ω.
+        let omega = E::call(
+            E::fun("f", E::call(E::var("f"), E::var("f"))),
+            E::fun("f", E::call(E::var("f"), E::var("f"))),
+        );
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &omega),
+            Err(EvalError::DepthExceeded)
+        );
+    }
+
+    #[test]
+    fn resolving_frame_exposes_the_selected_context() {
+        let mut i = Interpreter::new(ScopePolicy::Lexical, ParamMode::ByValue);
+        i.define_global("x", Value::Num(1));
+        let g = i.global_env();
+        assert_eq!(i.resolving_frame(g, Name::new("x")), Some(g));
+        assert_eq!(i.resolving_frame(g, Name::new("y")), None);
+    }
+
+    #[test]
+    fn higher_order_functions_close_over_their_environment() {
+        // make_adder(n) = fun(y) -> n + y; adders from different calls are
+        // coherent with their own definition sites.
+        let prog = E::let_(
+            "make",
+            E::fun("n", E::fun("y", E::add(E::var("n"), E::var("y")))),
+            E::let_(
+                "add5",
+                E::call(E::var("make"), E::num(5)),
+                E::let_(
+                    "add9",
+                    E::call(E::var("make"), E::num(9)),
+                    E::add(
+                        E::call(E::var("add5"), E::num(1)),
+                        E::call(E::var("add9"), E::num(1)),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &prog).unwrap(),
+            Value::Num(16)
+        );
+    }
+
+    #[test]
+    fn if_zero_branches() {
+        let prog = E::if_zero(E::num(0), E::num(1), E::num(2));
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &prog).unwrap(),
+            Value::Num(1)
+        );
+        let prog = E::if_zero(E::num(3), E::num(1), E::num(2));
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &prog).unwrap(),
+            Value::Num(2)
+        );
+    }
+}

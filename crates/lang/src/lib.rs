@@ -1,0 +1,48 @@
+//! # naming-lang
+//!
+//! The programming-language face of *coherence in naming* (§4 of Radia &
+//! Pachl, ICDCS '93), expressed in the same closure-mechanism vocabulary
+//! as the rest of the reproduction.
+//!
+//! The paper opens its coherence discussion with programming languages:
+//! the **funarg mechanism** (lexical closures) makes a function passed as
+//! a parameter resolve its non-local names "in the context where the
+//! function was defined, instead of the context of the callee", and
+//! **call-by-name is preferable to call-by-text** "so that the parameter
+//! has the same meaning for the caller and callee".
+//!
+//! This crate provides a tiny expression language ([`expr::Expr`]) and an
+//! interpreter ([`interp::Interpreter`]) parameterized by the two closure
+//! mechanisms:
+//!
+//! * [`interp::ScopePolicy`] — lexical (funarg) vs dynamic resolution of a
+//!   function's free names;
+//! * [`interp::ParamMode`] — by-value / by-name / by-text parameter
+//!   passing.
+//!
+//! [`coherence`] measures how often policies *disagree* over random
+//! program populations — a language-level degree-of-incoherence, mirroring
+//! the operating-system audits in `naming-core`. Experiment E12 in
+//! `naming-bench` turns this into a table.
+//!
+//! ```
+//! use naming_lang::expr::Expr as E;
+//! use naming_lang::interp::{eval_with, ParamMode, ScopePolicy, Value};
+//!
+//! // let x = 1 in let f = fun(y) -> x + y in let x = 100 in f(10)
+//! let prog = E::let_("x", E::num(1),
+//!     E::let_("f", E::fun("y", E::add(E::var("x"), E::var("y"))),
+//!         E::let_("x", E::num(100), E::call(E::var("f"), E::num(10)))));
+//! // The funarg mechanism keeps the definition-site meaning of x…
+//! assert_eq!(eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &prog).unwrap(), Value::Num(11));
+//! // …dynamic scope lets the call site capture it.
+//! assert_eq!(eval_with(ScopePolicy::Dynamic, ParamMode::ByValue, &prog).unwrap(), Value::Num(110));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coherence;
+pub mod expr;
+pub mod interp;
+pub mod parse;

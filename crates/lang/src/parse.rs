@@ -1,0 +1,430 @@
+//! A parser for the expression language.
+//!
+//! Accepts exactly the surface syntax that [`crate::expr::Expr`]'s
+//! `Display` produces (plus optional whitespace and unparenthesized
+//! arithmetic with the usual precedence):
+//!
+//! ```text
+//! let x = 1 in (fun(y) -> x + y)(10)
+//! if z = 0 then 1 else f(z) * 2
+//! ```
+//!
+//! Round trip: `parse(&e.to_string()) == Ok(e)` for every expression —
+//! property-tested against the random program generator.
+
+use std::fmt;
+
+use naming_core::name::Name;
+
+use crate::expr::Expr;
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Num(i64),
+    Ident(String),
+    LParen,
+    RParen,
+    Plus,
+    Star,
+    Eq,
+    Arrow,
+    KwLet,
+    KwIn,
+    KwFun,
+    KwIf,
+    KwThen,
+    KwElse,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '-' => {
+                // Either an arrow or a negative literal.
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((i, Tok::Arrow));
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                        at: start,
+                        message: "bad number".into(),
+                    })?;
+                    out.push((start, Tok::Num(n)));
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "stray '-'".into(),
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    at: start,
+                    message: "bad number".into(),
+                })?;
+                out.push((start, Tok::Num(n)));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "let" => Tok::KwLet,
+                    "in" => Tok::KwIn,
+                    "fun" => Tok::KwFun,
+                    "if" => Tok::KwIf,
+                    "then" => Tok::KwThen,
+                    "else" => Tok::KwElse,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push((start, tok));
+            }
+            _ => {
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            at: self.at(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.pos -= 1;
+                Err(self.err(format!("expected {what}")))
+            }
+        }
+    }
+
+    /// expr := let | fun | if | sum
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::KwLet) => {
+                self.pos += 1;
+                let name = self.ident("binder name after `let`")?;
+                self.expect(&Tok::Eq, "`=` in let")?;
+                let value = self.expr()?;
+                self.expect(&Tok::KwIn, "`in`")?;
+                let body = self.expr()?;
+                Ok(Expr::Let(Name::new(&name), Box::new(value), Box::new(body)))
+            }
+            Some(Tok::KwFun) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen, "`(` after fun")?;
+                let p = self.ident("parameter name")?;
+                self.expect(&Tok::RParen, "`)` after parameter")?;
+                self.expect(&Tok::Arrow, "`->`")?;
+                let body = self.expr()?;
+                Ok(Expr::Fun(Name::new(&p), Box::new(body)))
+            }
+            Some(Tok::KwIf) => {
+                self.pos += 1;
+                let c = self.expr()?;
+                self.expect(&Tok::Eq, "`=` in if")?;
+                match self.bump() {
+                    Some(Tok::Num(0)) => {}
+                    _ => {
+                        self.pos -= 1;
+                        return Err(self.err("expected `0` after `=` in if".into()));
+                    }
+                }
+                self.expect(&Tok::KwThen, "`then`")?;
+                let t = self.expr()?;
+                self.expect(&Tok::KwElse, "`else`")?;
+                let e = self.expr()?;
+                Ok(Expr::IfZero(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            _ => self.sum(),
+        }
+    }
+
+    /// sum := product (`+` product)*
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.product()?;
+        while self.peek() == Some(&Tok::Plus) {
+            self.pos += 1;
+            let rhs = self.product()?;
+            lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// product := postfix (`*` postfix)*
+    fn product(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.postfix()?;
+        while self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            let rhs = self.postfix()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// postfix := atom (`(` expr `)`)*   — calls
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let arg = self.expr()?;
+            self.expect(&Tok::RParen, "`)` closing a call")?;
+            e = Expr::Call(Box::new(e), Box::new(arg));
+        }
+        Ok(e)
+    }
+
+    /// atom := number | ident | `(` expr `)` | let/fun/if (greedy)
+    ///
+    /// A binder form in operand position swallows everything to its right
+    /// (max munch), which is the conventional reading of e.g.
+    /// `1 + let x = 2 in x * x`.
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        if matches!(
+            self.peek(),
+            Some(Tok::KwLet) | Some(Tok::KwFun) | Some(Tok::KwIf)
+        ) {
+            return self.expr();
+        }
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Ident(s)) => Ok(Expr::Var(Name::new(&s))),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected an expression".into()))
+            }
+        }
+    }
+}
+
+/// Parses an expression.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte offset on malformed input or
+/// trailing tokens.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input".into()));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr as E;
+    use crate::interp::{eval_with, ParamMode, ScopePolicy, Value};
+
+    #[test]
+    fn parses_the_funarg_program() {
+        let e = parse("let x = 1 in let f = fun(y) -> x + y in let x = 100 in f(10)").unwrap();
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(11)
+        );
+        assert_eq!(
+            eval_with(ScopePolicy::Dynamic, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(110)
+        );
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let e = parse("1 + 2 * 3").unwrap();
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(7)
+        );
+        let e = parse("(1 + 2) * 3").unwrap();
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(9)
+        );
+        // Left associativity.
+        assert_eq!(
+            parse("1 + 2 + 3").unwrap(),
+            E::add(E::add(E::num(1), E::num(2)), E::num(3))
+        );
+    }
+
+    #[test]
+    fn calls_chain() {
+        let e = parse("let make = fun(n) -> fun(y) -> n + y in make(5)(2)").unwrap();
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(7)
+        );
+    }
+
+    #[test]
+    fn if_zero_syntax() {
+        let e = parse("if 1 + -1 = 0 then 42 else 0").unwrap();
+        assert_eq!(
+            eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &e).unwrap(),
+            Value::Num(42)
+        );
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(parse("-5").unwrap(), E::num(-5));
+        assert_eq!(parse("1 + -5").unwrap(), E::add(E::num(1), E::num(-5)));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("let = 3 in x").unwrap_err();
+        assert_eq!(err.at, 4);
+        assert!(err.message.contains("binder"));
+        assert!(parse("").is_err());
+        assert!(parse("1 2").unwrap_err().message.contains("trailing"));
+        assert!(parse("1 + @").is_err());
+        assert!(parse("fun x -> x").is_err());
+        assert!(parse("if 1 = 2 then 0 else 0").is_err(), "only = 0 tests");
+        let e = parse("(1").unwrap_err();
+        assert!(e.message.contains("`)`"));
+    }
+
+    #[test]
+    fn display_roundtrip_examples() {
+        for src in [
+            "let x = 1 in let f = fun(y) -> x + y in let x = 100 in f(10)",
+            "if x = 0 then 1 else (x * f(x + -1))",
+            "fun(a) -> fun(b) -> a + b * -3",
+        ] {
+            let e = parse(src).unwrap();
+            let reprinted = e.to_string();
+            let e2 = parse(&reprinted).unwrap();
+            assert_eq!(e, e2, "{src} -> {reprinted}");
+        }
+    }
+
+    mod roundtrip {
+        use super::*;
+        use crate::coherence::generate_programs;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// parse ∘ display = id on the random program population.
+            #[test]
+            fn display_parses_back(seed in 0u64..500) {
+                for e in generate_programs(seed, 8, 4) {
+                    let printed = e.to_string();
+                    let parsed = parse(&printed)
+                        .unwrap_or_else(|err| panic!("{printed}: {err}"));
+                    prop_assert_eq!(parsed, e);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # naming-port
+//!
+//! A Waterloo Port-style **remote execution facility** — the motivating
+//! application of §6 II of Radia & Pachl (ICDCS '93) — built over the
+//! simulator's message layer.
+//!
+//! "In our extension of Waterloo Port, this yields a flexible naming
+//! environment which is used to construct a powerful remote execution
+//! facility. The remotely executing process can access files on both its
+//! local and its parent's machines. Thus, in spite of not having global
+//! names, the approach allows us to provide coherence for names passed as
+//! parameters from a parent process to its remote child."
+//!
+//! The mechanism ([`exec::ExecService`]): every process has a private
+//! namespace (per-process root with subsystem trees attached by name); an
+//! exec request ships the parent's **namespace table** over the wire
+//! ([`wire::ExecRequest`]); the exec server reconstructs the namespace for
+//! the child, adds the execution machine's own tree, resolves the argument
+//! names in the child's new context, and returns the resolutions as a
+//! coherence receipt.
+//!
+//! ```
+//! use naming_core::name::CompoundName;
+//! use naming_port::exec::ExecService;
+//! use naming_sim::store;
+//! use naming_sim::world::World;
+//!
+//! let mut w = World::new(1);
+//! let net = w.add_network("n");
+//! let home = w.add_machine("home", net);
+//! let away = w.add_machine("away", net);
+//! let root = w.machine_root(home);
+//! let dir = store::ensure_dir(w.state_mut(), root, "data");
+//! store::create_file(w.state_mut(), dir, "input", vec![]);
+//!
+//! let mut svc = ExecService::install(&mut w, &[home, away]);
+//! let parent = svc.spawn_with_namespace(&mut w, home, "parent");
+//! let arg = CompoundName::parse_path("/home/data/input").unwrap();
+//! let meant = w.resolve_in_own_context(parent, &arg);
+//!
+//! let out = svc.remote_exec(&mut w, parent, away, "job", &[arg]);
+//! assert_eq!(out.resolved_args, vec![meant]); // coherent across the wire
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod exec;
+pub mod wire;

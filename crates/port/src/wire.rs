@@ -1,0 +1,272 @@
+//! Wire frames of the remote-execution protocol.
+//!
+//! An [`ExecRequest`] carries everything the §6 II solution needs:
+//!
+//! * the program label and its *name arguments* — names the child will
+//!   resolve and that must mean what the parent meant;
+//! * the parent's **namespace table**: the attachments of its private root
+//!   (name → object). Shipping the table is what "associate appropriate
+//!   contexts with activities that exchange names" looks like on the wire —
+//!   the child's context is *constructed* to agree with the parent's.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+
+const TAG_EXEC_REQUEST: u8 = 11;
+const TAG_EXEC_REPLY: u8 = 12;
+
+/// A request to execute a program on the receiving machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecRequest {
+    /// Correlation id.
+    pub id: u64,
+    /// Label for the new process.
+    pub label: String,
+    /// Name arguments the child will resolve.
+    pub args: Vec<CompoundName>,
+    /// The parent's namespace table: `(attachment name, subtree root)`.
+    pub namespace: Vec<(Name, ObjectId)>,
+}
+
+/// The exec server's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecReply {
+    /// Echoes [`ExecRequest::id`].
+    pub id: u64,
+    /// The spawned child, if successful.
+    pub child: Option<ActivityId>,
+    /// The child's resolution of each argument, in order — the coherence
+    /// receipt the parent can check.
+    pub resolved_args: Vec<Entity>,
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(u16::try_from(s.len()).expect("string too long for wire"));
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).ok()
+}
+
+fn put_compound(buf: &mut BytesMut, name: &CompoundName) {
+    buf.put_u16(u16::try_from(name.len()).expect("name too deep"));
+    for c in name.components() {
+        put_str(buf, c.as_str());
+    }
+}
+
+fn get_compound(buf: &mut Bytes) -> Option<CompoundName> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16() as usize;
+    let mut comps = Vec::with_capacity(len.min(256));
+    for _ in 0..len {
+        comps.push(Name::new(&get_str(buf)?));
+    }
+    CompoundName::new(comps).ok()
+}
+
+fn put_entity(buf: &mut BytesMut, e: Entity) {
+    match e {
+        Entity::Activity(a) => {
+            buf.put_u8(1);
+            buf.put_u32(a.index() as u32);
+        }
+        Entity::Object(o) => {
+            buf.put_u8(2);
+            buf.put_u32(o.index() as u32);
+        }
+        Entity::Undefined => buf.put_u8(3),
+    }
+}
+
+fn get_entity(buf: &mut Bytes) -> Option<Entity> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        1 if buf.remaining() >= 4 => Some(Entity::Activity(ActivityId::from_index(buf.get_u32()))),
+        2 if buf.remaining() >= 4 => Some(Entity::Object(ObjectId::from_index(buf.get_u32()))),
+        3 => Some(Entity::Undefined),
+        _ => None,
+    }
+}
+
+impl ExecRequest {
+    /// Encodes the request.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_EXEC_REQUEST);
+        buf.put_u64(self.id);
+        put_str(&mut buf, &self.label);
+        buf.put_u16(u16::try_from(self.args.len()).expect("too many args"));
+        for a in &self.args {
+            put_compound(&mut buf, a);
+        }
+        buf.put_u16(u16::try_from(self.namespace.len()).expect("namespace too large"));
+        for (n, o) in &self.namespace {
+            put_str(&mut buf, n.as_str());
+            buf.put_u32(o.index() as u32);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request frame.
+    pub fn decode(mut buf: Bytes) -> Option<ExecRequest> {
+        if buf.remaining() < 1 + 8 || buf.get_u8() != TAG_EXEC_REQUEST {
+            return None;
+        }
+        let id = buf.get_u64();
+        let label = get_str(&mut buf)?;
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let n_args = buf.get_u16() as usize;
+        let mut args = Vec::with_capacity(n_args.min(256));
+        for _ in 0..n_args {
+            args.push(get_compound(&mut buf)?);
+        }
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let n_ns = buf.get_u16() as usize;
+        let mut namespace = Vec::with_capacity(n_ns.min(256));
+        for _ in 0..n_ns {
+            let name = Name::new(&get_str(&mut buf)?);
+            if buf.remaining() < 4 {
+                return None;
+            }
+            namespace.push((name, ObjectId::from_index(buf.get_u32())));
+        }
+        Some(ExecRequest {
+            id,
+            label,
+            args,
+            namespace,
+        })
+    }
+}
+
+impl ExecReply {
+    /// Encodes the reply.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_EXEC_REPLY);
+        buf.put_u64(self.id);
+        match self.child {
+            Some(c) => {
+                buf.put_u8(1);
+                buf.put_u32(c.index() as u32);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u16(u16::try_from(self.resolved_args.len()).expect("too many args"));
+        for e in &self.resolved_args {
+            put_entity(&mut buf, *e);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a reply frame.
+    pub fn decode(mut buf: Bytes) -> Option<ExecReply> {
+        if buf.remaining() < 1 + 8 + 1 || buf.get_u8() != TAG_EXEC_REPLY {
+            return None;
+        }
+        let id = buf.get_u64();
+        let child = match buf.get_u8() {
+            1 if buf.remaining() >= 4 => Some(ActivityId::from_index(buf.get_u32())),
+            0 => None,
+            _ => return None,
+        };
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let n = buf.get_u16() as usize;
+        let mut resolved_args = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            resolved_args.push(get_entity(&mut buf)?);
+        }
+        Some(ExecReply {
+            id,
+            child,
+            resolved_args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> ExecRequest {
+        ExecRequest {
+            id: 7,
+            label: "builder".into(),
+            args: vec![
+                CompoundName::parse_path("/home/work/Makefile").unwrap(),
+                CompoundName::parse_path("/home/lib/util").unwrap(),
+            ],
+            namespace: vec![
+                (Name::new("home"), ObjectId::from_index(3)),
+                (Name::new("/"), ObjectId::from_index(9)),
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = req();
+        assert_eq!(ExecRequest::decode(r.encode()), Some(r));
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for child in [Some(ActivityId::from_index(5)), None] {
+            let r = ExecReply {
+                id: 9,
+                child,
+                resolved_args: vec![
+                    Entity::Object(ObjectId::from_index(1)),
+                    Entity::Undefined,
+                    Entity::Activity(ActivityId::from_index(2)),
+                ],
+            };
+            assert_eq!(ExecReply::decode(r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn cross_decoding_fails() {
+        assert!(ExecReply::decode(req().encode()).is_none());
+        assert!(ExecRequest::decode(Bytes::from_static(&[0, 1, 2])).is_none());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn decode_tolerates_garbage(data in proptest::collection::vec(any::<u8>(), 0..160)) {
+                let b = Bytes::from(data);
+                if let Some(r) = ExecRequest::decode(b.clone()) {
+                    prop_assert_eq!(ExecRequest::decode(r.encode()), Some(r));
+                }
+                if let Some(r) = ExecReply::decode(b) {
+                    prop_assert_eq!(ExecReply::decode(r.encode()), Some(r));
+                }
+            }
+        }
+    }
+}

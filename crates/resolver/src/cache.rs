@@ -1,0 +1,255 @@
+//! Client-side resolution caching — and its *incoherence*.
+//!
+//! Caching resolutions is the classic optimization of distributed naming
+//! (DNS, Grapevine, …), and it reintroduces exactly the paper's problem in
+//! temporal form: a cached entry is a context binding frozen at lookup
+//! time, so after the authoritative binding changes, the cache and the
+//! authority give the *same name different meanings*. [`CachingResolver`]
+//! measures that staleness instead of hiding it.
+
+use std::collections::BTreeMap;
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::CompoundName;
+use naming_sim::world::World;
+
+use crate::engine::{ProtocolEngine, ResolveStats};
+use crate::wire::Mode;
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that went to the network.
+    pub misses: u64,
+    /// Cache entries explicitly invalidated.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A resolution client with an unbounded positive cache keyed on
+/// `(start, name)`.
+#[derive(Debug)]
+pub struct CachingResolver {
+    engine: ProtocolEngine,
+    cache: BTreeMap<(ObjectId, CompoundName), Entity>,
+    stats: CacheStats,
+}
+
+impl CachingResolver {
+    /// Wraps a protocol engine.
+    pub fn new(engine: ProtocolEngine) -> CachingResolver {
+        CachingResolver {
+            engine,
+            cache: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &ProtocolEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (placement changes).
+    pub fn engine_mut(&mut self) -> &mut ProtocolEngine {
+        &mut self.engine
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Resolves through the cache: a hit answers instantly (zero virtual
+    /// latency, zero messages); a miss goes to the network and populates
+    /// the cache on success.
+    pub fn resolve(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        name: &CompoundName,
+        mode: Mode,
+    ) -> (Entity, bool) {
+        let key = (start, name.clone());
+        if let Some(&e) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return (e, true);
+        }
+        self.stats.misses += 1;
+        let stats: ResolveStats = self.engine.resolve(world, client, start, name, mode);
+        if stats.entity.is_defined() {
+            self.cache.insert(key, stats.entity);
+        }
+        (stats.entity, false)
+    }
+
+    /// Drops one cache entry.
+    pub fn invalidate(&mut self, start: ObjectId, name: &CompoundName) -> bool {
+        let removed = self.cache.remove(&(start, name.clone())).is_some();
+        if removed {
+            self.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Drops the whole cache.
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidations += self.cache.len() as u64;
+        self.cache.clear();
+    }
+
+    /// Audits the cache against the authoritative naming state: returns
+    /// the entries whose cached entity no longer matches what the
+    /// authority would answer — the *incoherent* (stale) entries.
+    pub fn stale_entries(&self, world: &World) -> Vec<(ObjectId, CompoundName, Entity)> {
+        let mut out = Vec::new();
+        for ((start, name), &cached) in &self.cache {
+            let authoritative =
+                naming_core::resolve::Resolver::new().resolve_entity(world.state(), *start, name);
+            if authoritative != cached {
+                out.push((*start, name.clone(), cached));
+            }
+        }
+        out
+    }
+
+    /// Staleness rate: stale entries / cached entries (0 when empty).
+    pub fn staleness(&self, world: &World) -> f64 {
+        if self.cache.is_empty() {
+            return 0.0;
+        }
+        self.stale_entries(world).len() as f64 / self.cache.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::NameService;
+    use naming_core::name::Name;
+    use naming_sim::store;
+    use naming_sim::topology::MachineId;
+
+    fn setup() -> (World, CachingResolver, ActivityId, ObjectId) {
+        let mut w = World::new(81);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root = w.machine_root(m1);
+        let root2 = w.machine_root(m2);
+        let sub = store::ensure_dir(w.state_mut(), root2, "export");
+        store::create_file(w.state_mut(), sub, "data", vec![]);
+        store::attach(w.state_mut(), root, "remote", sub, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, w.machine_root(m2), m2);
+        svc.place_subtree(&w, root, m1);
+        let client = w.spawn(m1, "client", None);
+        let resolver = CachingResolver::new(ProtocolEngine::new(svc));
+        (w, resolver, client, root)
+    }
+
+    fn mid(_m: MachineId) {}
+
+    #[test]
+    fn hits_after_first_miss() {
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (e1, from_cache1) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(e1.is_defined());
+        assert!(!from_cache1);
+        let t_after_miss = w.now();
+        let (e2, from_cache2) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(e1, e2);
+        assert!(from_cache2);
+        assert_eq!(w.now(), t_after_miss, "hits cost no virtual time");
+        assert_eq!(r.stats().hits, 1);
+        assert_eq!(r.stats().misses, 1);
+        assert!((r.stats().hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/nope").unwrap();
+        let (e, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!e.is_defined());
+        assert!(r.is_empty());
+        // Second lookup goes to the network again.
+        let (_, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache);
+    }
+
+    #[test]
+    fn rebinding_makes_cache_stale_and_invalidations_heal() {
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (old, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(r.staleness(&w), 0.0);
+        // The authority rebinds "data" to a new object.
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        w.state_mut().bind(sub, Name::new("data"), fresh).unwrap();
+        // The cached answer is now incoherent with the authority.
+        assert_eq!(r.stale_entries(&w).len(), 1);
+        assert!((r.staleness(&w) - 1.0).abs() < 1e-9);
+        let (still_old, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(from_cache);
+        assert_eq!(still_old, old, "stale cache keeps serving the old entity");
+        // Invalidate → next lookup fetches the new binding.
+        assert!(r.invalidate(root, &name));
+        let (new, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache);
+        assert_eq!(new, naming_core::entity::Entity::Object(fresh));
+        assert_eq!(r.staleness(&w), 0.0);
+        assert_eq!(r.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let (mut w, mut r, client, root) = setup();
+        for p in ["/remote/data", "/remote"] {
+            let name = CompoundName::parse_path(p).unwrap();
+            r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        }
+        assert_eq!(r.len(), 2);
+        r.invalidate_all();
+        assert!(r.is_empty());
+        assert_eq!(r.stats().invalidations, 2);
+        mid(MachineId(0));
+    }
+
+    #[test]
+    fn invalidating_absent_entry_is_false() {
+        let (_w, mut r, _client, root) = setup();
+        let name = CompoundName::parse_path("/never").unwrap();
+        assert!(!r.invalidate(root, &name));
+    }
+}

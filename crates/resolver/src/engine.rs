@@ -1,0 +1,519 @@
+//! The protocol engine: drives resolution requests through the simulated
+//! network, with servers answering iteratively or chasing referrals
+//! recursively.
+//!
+//! The simulator's processes are passive mailboxes; the engine supplies
+//! the server logic, pumping the event queue and handling each delivered
+//! frame. All scheduling remains deterministic.
+
+use std::collections::BTreeMap;
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::CompoundName;
+use naming_sim::message::Payload;
+use naming_sim::time::Duration;
+use naming_sim::world::World;
+
+use crate::service::NameService;
+use crate::wire::{Mode, Outcome, Reply, Request, ZoneUpdate};
+
+/// What a completed resolution cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// The final entity (possibly `⊥`).
+    pub entity: Entity,
+    /// Wire messages exchanged (requests + replies, client and servers).
+    pub messages: u64,
+    /// Distinct server answers involved (authoritative work units).
+    pub servers_touched: u32,
+    /// Virtual time from request to final answer.
+    pub latency: Duration,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    /// Recursive requests forwarded on behalf of someone: id → (original
+    /// requester, work units accumulated before forwarding).
+    pending: BTreeMap<u64, (ActivityId, u32)>,
+}
+
+/// Drives the resolution protocol over a [`World`].
+#[derive(Debug)]
+pub struct ProtocolEngine {
+    service: NameService,
+    server_state: BTreeMap<ActivityId, ServerState>,
+    next_id: u64,
+    /// Safety bound on pump iterations per resolve.
+    max_steps: usize,
+}
+
+impl ProtocolEngine {
+    /// Wraps a name service.
+    pub fn new(service: NameService) -> ProtocolEngine {
+        ProtocolEngine {
+            service,
+            server_state: BTreeMap::new(),
+            next_id: 1,
+            max_steps: 100_000,
+        }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &NameService {
+        &self.service
+    }
+
+    /// Mutable access to the service (placement changes).
+    pub fn service_mut(&mut self) -> &mut NameService {
+        &mut self.service
+    }
+
+    /// Resolves `name` for `client`, starting at the context object
+    /// `start`, using `mode`. Blocks (in virtual time) until the answer
+    /// arrives.
+    ///
+    /// Unresolvable names (including protocol dead-ends such as unplaced
+    /// objects or lost messages) yield `⊥` with the stats accumulated so
+    /// far.
+    pub fn resolve(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        name: &CompoundName,
+        mode: Mode,
+    ) -> ResolveStats {
+        let t0 = world.now();
+        let sent0 = world.trace().counter("sent");
+        let mut servers_touched = 0u32;
+        let mut target_machine = match self.service.machine_of_object(start) {
+            Some(m) => m,
+            None => {
+                return ResolveStats {
+                    entity: Entity::Undefined,
+                    messages: 0,
+                    servers_touched: 0,
+                    latency: Duration::ZERO,
+                }
+            }
+        };
+        let mut current_start = start;
+        let mut current_name = name.clone();
+
+        'outer: loop {
+            let id = self.next_id;
+            self.next_id += 1;
+            let req = Request {
+                id,
+                start: current_start,
+                name: current_name.clone(),
+                mode,
+            };
+            let server = self.service.server_on(target_machine);
+            world.send(client, server, vec![Payload::Bytes(req.encode())]);
+
+            // Pump until the client hears back about this id.
+            let mut steps = 0usize;
+            let reply = loop {
+                if let Some(r) = self.take_client_reply(world, client, id) {
+                    break r;
+                }
+                if steps >= self.max_steps || !world.step() {
+                    // Dead protocol (e.g. all messages lost).
+                    break 'outer ResolveStats {
+                        entity: Entity::Undefined,
+                        messages: world.trace().counter("sent") - sent0,
+                        servers_touched,
+                        latency: world.now() - t0,
+                    };
+                }
+                steps += 1;
+                self.drain_servers(world);
+            };
+
+            servers_touched += reply.servers_touched;
+            match reply.outcome {
+                Outcome::Resolved(e) => {
+                    break ResolveStats {
+                        entity: e,
+                        messages: world.trace().counter("sent") - sent0,
+                        servers_touched,
+                        latency: world.now() - t0,
+                    };
+                }
+                Outcome::Referral {
+                    next_machine,
+                    next_ctx,
+                    remaining,
+                } => {
+                    // Iterative mode: the client chases the referral.
+                    target_machine = next_machine;
+                    current_start = next_ctx;
+                    current_name = remaining;
+                }
+                Outcome::NotFound | Outcome::WrongServer => {
+                    break ResolveStats {
+                        entity: Entity::Undefined,
+                        messages: world.trace().counter("sent") - sent0,
+                        servers_touched,
+                        latency: world.now() - t0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Publishes a replicated zone's current bindings: the primary's
+    /// server sends a [`ZoneUpdate`] frame to every secondary. The copies
+    /// converge when the frames arrive (after network latency) — drive the
+    /// queue with [`ProtocolEngine::pump_idle`] or any `resolve`.
+    ///
+    /// Returns the number of updates sent.
+    pub fn publish_zone(&mut self, world: &mut World, zone: ObjectId) -> usize {
+        let servers = self.service.zone_servers(zone);
+        let Some((&primary, secondaries)) = servers.split_first() else {
+            return 0;
+        };
+        let Some(ctx) = world.state().context(zone) else {
+            return 0;
+        };
+        let update = ZoneUpdate {
+            zone,
+            bindings: ctx.iter().collect(),
+        };
+        let from = self.service.server_on(primary);
+        let mut sent = 0;
+        for &m in secondaries {
+            let to = self.service.server_on(m);
+            world.send(from, to, vec![Payload::Bytes(update.encode())]);
+            sent += 1;
+        }
+        sent
+    }
+
+    /// Drains the event queue, letting servers process whatever is in
+    /// flight (replica updates, stray replies). Returns the number of
+    /// events processed.
+    pub fn pump_idle(&mut self, world: &mut World) -> usize {
+        let mut n = 0;
+        while world.step() {
+            n += 1;
+            self.drain_servers(world);
+        }
+        n
+    }
+
+    /// Pops the client's reply for `id`, if one is waiting.
+    fn take_client_reply(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        id: u64,
+    ) -> Option<Reply> {
+        // Handle every waiting message; replies for other ids are dropped
+        // (single-outstanding-request client).
+        while let Some(msg) = world.receive(client) {
+            for part in &msg.parts {
+                if let Payload::Bytes(b) = part {
+                    if let Some(r) = Reply::decode(b.clone()) {
+                        if r.id == id {
+                            return Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Processes every message waiting in any server's mailbox.
+    fn drain_servers(&mut self, world: &mut World) {
+        let servers: Vec<(naming_sim::topology::MachineId, ActivityId)> =
+            self.service.servers().collect();
+        for (machine, server) in servers {
+            while let Some(msg) = world.receive(server) {
+                for part in &msg.parts {
+                    let Payload::Bytes(b) = part else { continue };
+                    if let Some(req) = Request::decode(b.clone()) {
+                        self.handle_request(world, machine, server, msg.from, req);
+                    } else if let Some(rep) = Reply::decode(b.clone()) {
+                        self.handle_forwarded_reply(world, server, rep);
+                    } else if let Some(update) = ZoneUpdate::decode(b.clone()) {
+                        self.handle_zone_update(world, machine, update);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        world: &mut World,
+        machine: naming_sim::topology::MachineId,
+        server: ActivityId,
+        requester: ActivityId,
+        req: Request,
+    ) {
+        let outcome = self
+            .service
+            .local_resolve(world, machine, req.start, &req.name);
+        match (&outcome, req.mode) {
+            (
+                Outcome::Referral {
+                    next_machine,
+                    next_ctx,
+                    remaining,
+                },
+                Mode::Recursive,
+            ) => {
+                // Chase the referral on the requester's behalf.
+                let next_server = self.service.server_on(*next_machine);
+                let fwd = Request {
+                    id: req.id,
+                    start: *next_ctx,
+                    name: remaining.clone(),
+                    mode: Mode::Recursive,
+                };
+                self.server_state
+                    .entry(server)
+                    .or_default()
+                    .pending
+                    .insert(req.id, (requester, 1));
+                world.send(server, next_server, vec![Payload::Bytes(fwd.encode())]);
+            }
+            _ => {
+                let reply = Reply {
+                    id: req.id,
+                    outcome,
+                    servers_touched: 1,
+                };
+                world.send(server, requester, vec![Payload::Bytes(reply.encode())]);
+            }
+        }
+    }
+
+    fn handle_zone_update(
+        &mut self,
+        world: &mut World,
+        machine: naming_sim::topology::MachineId,
+        update: ZoneUpdate,
+    ) {
+        let Some(copy) = self.service.zone_copy_on(update.zone, machine) else {
+            return;
+        };
+        if copy == update.zone {
+            return; // the primary ignores its own echo
+        }
+        if let Some(ctx) = world.state_mut().context_mut(copy) {
+            let fresh: naming_core::context::Context = update.bindings.iter().copied().collect();
+            *ctx = fresh;
+        }
+    }
+
+    fn handle_forwarded_reply(&mut self, world: &mut World, server: ActivityId, rep: Reply) {
+        let Some(state) = self.server_state.get_mut(&server) else {
+            return;
+        };
+        let Some((requester, own_work)) = state.pending.remove(&rep.id) else {
+            return;
+        };
+        let forwarded = Reply {
+            id: rep.id,
+            outcome: rep.outcome,
+            servers_touched: rep.servers_touched + own_work,
+        };
+        world.send(server, requester, vec![Payload::Bytes(forwarded.encode())]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_sim::store;
+    use naming_sim::topology::MachineId;
+
+    /// A chain of three machines: m0 hosts the root, each subsequent hop's
+    /// subtree lives on the next machine. Resolving `/hop1/hop2/leaf`
+    /// crosses all three.
+    fn chain_world() -> (World, NameService, Vec<MachineId>, ObjectId, Entity) {
+        let mut w = World::new(71);
+        let net = w.add_network("n");
+        let machines: Vec<MachineId> = (0..3)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        // Build: root(m0) -> hop1(m1) -> hop2(m2) -> leaf
+        let root = w.machine_root(machines[0]);
+        let root1 = w.machine_root(machines[1]);
+        let root2 = w.machine_root(machines[2]);
+        let hop1 = store::ensure_dir(w.state_mut(), root1, "self1");
+        let hop2 = store::ensure_dir(w.state_mut(), root2, "self2");
+        store::attach(w.state_mut(), root, "hop1", hop1, false);
+        store::attach(w.state_mut(), hop1, "hop2", hop2, false);
+        let leaf = store::create_file(w.state_mut(), hop2, "leaf", vec![]);
+        let mut svc = NameService::install(&mut w, &machines);
+        // Place each machine's own tree before any tree that grafts it:
+        // first-placement-wins means graft sources must claim their objects
+        // first.
+        for &m in machines.iter().rev() {
+            let r = w.machine_root(m);
+            svc.place_subtree(&w, r, m);
+        }
+        // Placement sanity: hop1 on m1, hop2 on m2.
+        assert_eq!(svc.machine_of_object(hop1), Some(machines[1]));
+        assert_eq!(svc.machine_of_object(hop2), Some(machines[2]));
+        (w, svc, machines, root, Entity::Object(leaf))
+    }
+
+    #[test]
+    fn iterative_resolution_crosses_machines() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, leaf);
+        assert_eq!(stats.servers_touched, 3);
+        // Iterative: 3 request/reply pairs.
+        assert_eq!(stats.messages, 6);
+        assert!(stats.latency.ticks() > 0);
+    }
+
+    #[test]
+    fn recursive_resolution_returns_one_answer() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Recursive);
+        assert_eq!(stats.entity, leaf);
+        assert_eq!(stats.servers_touched, 3);
+        // Recursive: req m0->srv0->srv1->srv2, replies back up: 6 messages,
+        // but only ONE client round-trip.
+        assert_eq!(stats.messages, 6);
+    }
+
+    #[test]
+    fn single_machine_resolution_is_one_round_trip() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(stats.entity.is_defined());
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.servers_touched, 1);
+    }
+
+    #[test]
+    fn missing_names_resolve_to_bottom() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/nope").unwrap();
+        for mode in [Mode::Iterative, Mode::Recursive] {
+            let stats = engine.resolve(&mut w, client, root, &name, mode);
+            assert_eq!(stats.entity, Entity::Undefined);
+        }
+    }
+
+    #[test]
+    fn unplaced_start_fails_cleanly() {
+        let (mut w, svc, machines, _, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let orphan = w.state_mut().add_context_object("orphan");
+        let name = CompoundName::parse_path("/x").unwrap();
+        let stats = engine.resolve(&mut w, client, orphan, &name, Mode::Iterative);
+        assert_eq!(stats.entity, Entity::Undefined);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn lost_messages_end_in_bottom_not_hang() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        w.set_message_drop_rate(1.0);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, Entity::Undefined);
+    }
+
+    #[test]
+    fn zone_updates_propagate_with_latency() {
+        use naming_core::name::Name;
+        // Primary on m2 (owns `rem`), replica on m1.
+        let mut w = World::new(72);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root1 = w.machine_root(m1);
+        let root2 = w.machine_root(m2);
+        let zone = store::ensure_dir(w.state_mut(), root2, "zone");
+        let _old = store::create_file(w.state_mut(), zone, "rec", vec![1]);
+        store::attach(w.state_mut(), root1, "far", zone, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, root2, m2);
+        svc.place_subtree(&w, root1, m1);
+        let copy = svc.replicate_zone(&mut w, zone, m1);
+        let mut engine = ProtocolEngine::new(svc);
+
+        // Primary rebinding opens the window.
+        let fresh = w.state_mut().add_data_object("rec-v2", vec![2]);
+        w.state_mut().bind(zone, Name::new("rec"), fresh).unwrap();
+        assert_eq!(
+            engine.service().replica_divergence(&w, zone).len(),
+            1,
+            "window open"
+        );
+        // Publish; before pumping, the copy is still stale.
+        let sent = engine.publish_zone(&mut w, zone);
+        assert_eq!(sent, 1);
+        assert!(!engine.service().replica_divergence(&w, zone).is_empty());
+        let t0 = w.now();
+        let events = engine.pump_idle(&mut w);
+        assert!(events >= 1);
+        // Window length equals the network latency between the servers.
+        let window = (w.now() - t0).ticks();
+        assert_eq!(window, w.topology().latency_model().same_network);
+        assert!(engine.service().replica_divergence(&w, zone).is_empty());
+        // And the copy answers the new binding.
+        assert_eq!(
+            w.state().lookup(copy, Name::new("rec")),
+            naming_core::entity::Entity::Object(fresh)
+        );
+    }
+
+    #[test]
+    fn publish_without_replicas_is_a_no_op() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let mut engine = ProtocolEngine::new(svc);
+        assert_eq!(engine.publish_zone(&mut w, root), 0);
+        assert_eq!(engine.pump_idle(&mut w), 0);
+        let _ = machines;
+    }
+
+    #[test]
+    fn recursive_latency_beats_iterative_for_remote_clients() {
+        // A client far from the chain benefits from recursion: referral
+        // chasing pays the client<->server distance each hop.
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        // Client on a separate network, far from everything.
+        let far_net = w.add_network("far");
+        let far_machine = w.add_machine("far-host", far_net);
+        let client = w.spawn(far_machine, "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let it = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        let rec = engine.resolve(&mut w, client, root, &name, Mode::Recursive);
+        assert_eq!(it.entity, leaf);
+        assert_eq!(rec.entity, leaf);
+        assert!(
+            rec.latency < it.latency,
+            "recursive {:?} should beat iterative {:?}",
+            rec.latency,
+            it.latency
+        );
+        let _ = machines;
+    }
+}

@@ -1,0 +1,32 @@
+//! # naming-resolver
+//!
+//! A distributed name-resolution protocol over the `naming-sim` substrate.
+//!
+//! The paper's model makes resolution a traversal of context objects; in a
+//! distributed system those objects live on different machines, so
+//! resolution is a protocol. This crate supplies the machinery the paper's
+//! environment presupposes:
+//!
+//! * [`service::NameService`] — one name server per machine plus an
+//!   authoritative *placement* of objects onto machines; servers resolve
+//!   locally and refer across machine boundaries;
+//! * [`wire`] — a hand-rolled binary framing of requests/replies carried
+//!   through the simulator's message layer;
+//! * [`engine::ProtocolEngine`] — drives lookups to completion in
+//!   [`wire::Mode::Iterative`] (client chases referrals) or
+//!   [`wire::Mode::Recursive`] (servers chase) mode, reporting messages,
+//!   server work, and virtual-time latency;
+//! * [`cache::CachingResolver`] — client-side caching, with *staleness
+//!   audits*: a cached entry that no longer matches the authority is a
+//!   name with two meanings — the paper's incoherence, in temporal form.
+//!
+//! Experiment E14 (in `naming-bench`) uses this crate to measure
+//! iterative-vs-recursive cost and cache staleness under binding churn.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod engine;
+pub mod service;
+pub mod wire;

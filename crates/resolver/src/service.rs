@@ -1,0 +1,472 @@
+//! The name service: per-machine name servers and object placement.
+//!
+//! In the paper's model, compound-name resolution traverses context
+//! objects; in a distributed system those objects live on different
+//! machines, so resolution is a *protocol*. [`NameService`] records which
+//! machine hosts (is authoritative for) each object and runs one server
+//! process per machine. A server resolves components while the current
+//! context object is local and answers with a referral as soon as the path
+//! crosses machines — the classic iterative name-server discipline.
+
+use std::collections::BTreeMap;
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::CompoundName;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::wire::Outcome;
+
+/// Per-machine name servers plus the authoritative placement map.
+///
+/// A context object may additionally be *replicated* onto secondary
+/// machines ([`NameService::replicate_zone`]): a secondary holds a copy of
+/// the zone's context object and serves it locally. Replication gives the
+/// paper's **weak coherence** (§5) at the protocol level — and, when a
+/// secondary's copy lags the primary, measurable incoherence
+/// ([`NameService::replica_divergence`]).
+#[derive(Debug, Default)]
+pub struct NameService {
+    servers: BTreeMap<MachineId, ActivityId>,
+    placement: BTreeMap<ObjectId, MachineId>,
+    /// zone object → (secondary machine → copy object).
+    replicas: BTreeMap<ObjectId, BTreeMap<MachineId, ObjectId>>,
+}
+
+impl NameService {
+    /// Spawns a name-server process (`named`) on each machine.
+    pub fn install(world: &mut World, machines: &[MachineId]) -> NameService {
+        let mut servers = BTreeMap::new();
+        for &m in machines {
+            let label = format!("named@{}", world.topology().machine_name(m));
+            let pid = world.spawn(m, label, None);
+            servers.insert(m, pid);
+        }
+        NameService {
+            servers,
+            placement: BTreeMap::new(),
+            replicas: BTreeMap::new(),
+        }
+    }
+
+    /// The server process on a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server was installed on `machine`.
+    pub fn server_on(&self, machine: MachineId) -> ActivityId {
+        self.servers[&machine]
+    }
+
+    /// All server processes, in machine order.
+    pub fn servers(&self) -> impl Iterator<Item = (MachineId, ActivityId)> + '_ {
+        self.servers.iter().map(|(m, p)| (*m, *p))
+    }
+
+    /// Declares `machine` authoritative for `obj`.
+    pub fn place(&mut self, obj: ObjectId, machine: MachineId) {
+        self.placement.insert(obj, machine);
+    }
+
+    /// Places every object reachable from `root` (through context objects)
+    /// on `machine`, without overriding existing placements — so placing
+    /// machine subtrees in order gives each machine its own tree even when
+    /// trees share objects.
+    pub fn place_subtree(&mut self, world: &World, root: ObjectId, machine: MachineId) {
+        let mut stack = vec![root];
+        while let Some(o) = stack.pop() {
+            if self.placement.contains_key(&o) {
+                continue;
+            }
+            self.placement.insert(o, machine);
+            if let Some(c) = world.state().context(o) {
+                for (_, e) in c.iter() {
+                    if let Entity::Object(t) = e {
+                        if !self.placement.contains_key(&t) {
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The machine authoritative for an object, if placed.
+    pub fn machine_of_object(&self, obj: ObjectId) -> Option<MachineId> {
+        self.placement.get(&obj).copied()
+    }
+
+    /// Number of placed objects.
+    pub fn placed_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Replicates the zone (context object) `zone` onto `secondary`: a
+    /// copy of the zone's current bindings is created there, registered in
+    /// the world's replica registry, and served by the secondary's server.
+    /// Returns the copy object.
+    ///
+    /// The copy is a *snapshot*: later changes to the primary do not
+    /// propagate until [`NameService::sync_zone`] runs — precisely the
+    /// window in which weak coherence degrades to incoherence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` is not a placed context object, or is already
+    /// replicated on `secondary`.
+    pub fn replicate_zone(
+        &mut self,
+        world: &mut World,
+        zone: ObjectId,
+        secondary: MachineId,
+    ) -> ObjectId {
+        assert!(
+            self.placement.contains_key(&zone),
+            "zone must be placed before replication"
+        );
+        let ctx = world
+            .state()
+            .context(zone)
+            .expect("zone must be a context object")
+            .inherit();
+        let label = format!(
+            "{}~replica@{}",
+            world.state().object_label(zone),
+            world.topology().machine_name(secondary)
+        );
+        let copy = world
+            .state_mut()
+            .add_object(label, naming_core::state::ObjectState::Context(ctx));
+        self.placement.insert(copy, secondary);
+        world.replicas_mut().declare_replicas(zone, copy);
+        let prev = self
+            .replicas
+            .entry(zone)
+            .or_default()
+            .insert(secondary, copy);
+        assert!(prev.is_none(), "zone already replicated on that machine");
+        copy
+    }
+
+    /// Copies the primary zone's current bindings onto every replica.
+    pub fn sync_zone(&self, world: &mut World, zone: ObjectId) {
+        let Some(secondaries) = self.replicas.get(&zone) else {
+            return;
+        };
+        let primary = world
+            .state()
+            .context(zone)
+            .expect("zone is a context")
+            .inherit();
+        for &copy in secondaries.values() {
+            *world
+                .state_mut()
+                .context_mut(copy)
+                .expect("replica is a context") = primary.clone();
+        }
+    }
+
+    /// The copy of `zone` served on `machine`, if any (the zone itself
+    /// when `machine` is the primary).
+    pub fn zone_copy_on(&self, zone: ObjectId, machine: MachineId) -> Option<ObjectId> {
+        if self.placement.get(&zone) == Some(&machine) {
+            return Some(zone);
+        }
+        self.replicas.get(&zone)?.get(&machine).copied()
+    }
+
+    /// The machines serving `zone` (primary first, then secondaries in
+    /// machine order).
+    pub fn zone_servers(&self, zone: ObjectId) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        if let Some(&primary) = self.placement.get(&zone) {
+            out.push(primary);
+        }
+        if let Some(secs) = self.replicas.get(&zone) {
+            out.extend(secs.keys().copied());
+        }
+        out
+    }
+
+    /// The names on which some replica of `zone` currently disagrees with
+    /// the primary — the zone's divergence (empty right after a sync).
+    pub fn replica_divergence(
+        &self,
+        world: &World,
+        zone: ObjectId,
+    ) -> Vec<naming_core::name::Name> {
+        let Some(secondaries) = self.replicas.get(&zone) else {
+            return Vec::new();
+        };
+        let Some(primary) = world.state().context(zone) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &copy in secondaries.values() {
+            if let Some(replica) = world.state().context(copy) {
+                for n in primary.disagreements(replica) {
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Authoritative resolution step on `machine`: resolves components of
+    /// `name` starting at `start` while the current context object is
+    /// hosted locally; crossing to a remotely-hosted context yields a
+    /// referral to the *nearest* server of the next zone (a replica on the
+    /// same machine or network wins over the primary).
+    pub fn local_resolve(
+        &self,
+        world: &World,
+        machine: MachineId,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> Outcome {
+        if self.machine_of_object(start) != Some(machine) {
+            return Outcome::WrongServer;
+        }
+        let comps = name.components();
+        let mut cur = start;
+        for (i, &comp) in comps.iter().enumerate() {
+            let e = world.state().lookup(cur, comp);
+            if !e.is_defined() {
+                return Outcome::NotFound;
+            }
+            if i + 1 == comps.len() {
+                return Outcome::Resolved(e);
+            }
+            match e {
+                Entity::Object(o) if world.state().is_context_object(o) => {
+                    // A replica of the next zone on THIS machine lets the
+                    // walk continue locally.
+                    if let Some(local_copy) = self.zone_copy_on(o, machine) {
+                        cur = local_copy;
+                        continue;
+                    }
+                    match self.nearest_server_for(world, machine, o) {
+                        Some((m, ctx)) => {
+                            let remaining = CompoundName::new(comps[i + 1..].iter().copied())
+                                .expect("at least one component remains");
+                            return Outcome::Referral {
+                                next_machine: m,
+                                next_ctx: ctx,
+                                remaining,
+                            };
+                        }
+                        // Unplaced context object: nobody is authoritative.
+                        None => return Outcome::NotFound,
+                    }
+                }
+                _ => return Outcome::NotFound,
+            }
+        }
+        unreachable!("compound names are nonempty")
+    }
+
+    /// Picks the server for zone `o` nearest to `from`: same network
+    /// beats cross-network; the primary wins ties. Returns the machine and
+    /// the context object (copy or primary) it serves.
+    fn nearest_server_for(
+        &self,
+        world: &World,
+        from: MachineId,
+        o: ObjectId,
+    ) -> Option<(MachineId, ObjectId)> {
+        let candidates = self.zone_servers(o);
+        if candidates.is_empty() {
+            return None;
+        }
+        let from_net = world.topology().machine_network(from);
+        let best = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&m| {
+                let same_net = world.topology().machine_network(m) == from_net;
+                // Rank: same-network replicas first; primary order breaks
+                // ties because `candidates` lists the primary first and
+                // min_by_key is stable on equal keys.
+                u8::from(!same_net)
+            })
+            .expect("nonempty");
+        Some((
+            best,
+            self.zone_copy_on(o, best).expect("candidate serves zone"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_core::name::Name;
+    use naming_sim::store;
+
+    /// Two machines; m1 hosts /usr, m2 hosts /usr/remote (a grafted
+    /// subtree).
+    fn setup() -> (World, NameService, MachineId, MachineId, ObjectId, ObjectId) {
+        let mut w = World::new(61);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root1 = w.machine_root(m1);
+        let usr = store::ensure_dir(w.state_mut(), root1, "usr");
+        store::create_file(w.state_mut(), usr, "motd", vec![]);
+        let root2 = w.machine_root(m2);
+        let rem = store::ensure_dir(w.state_mut(), root2, "export");
+        store::create_file(w.state_mut(), rem, "data", vec![]);
+        // Graft m2's export dir into m1's tree.
+        store::attach(w.state_mut(), usr, "remote", rem, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        // Place m2's tree first so the shared subtree belongs to m2.
+        svc.place_subtree(&w, root2, m2);
+        svc.place_subtree(&w, root1, m1);
+        (w, svc, m1, m2, root1, rem)
+    }
+
+    #[test]
+    fn placement_respects_first_owner() {
+        let (w, svc, m1, m2, root1, rem) = setup();
+        assert_eq!(svc.machine_of_object(root1), Some(m1));
+        assert_eq!(svc.machine_of_object(rem), Some(m2));
+        assert!(svc.placed_count() >= 4);
+        assert_eq!(svc.servers().count(), 2);
+        let _ = w;
+    }
+
+    #[test]
+    fn local_resolution_within_one_machine() {
+        let (w, svc, m1, _, root1, _) = setup();
+        let name = CompoundName::parse_path("/usr/motd").unwrap();
+        match svc.local_resolve(&w, m1, root1, &name) {
+            Outcome::Resolved(e) => assert!(e.is_defined()),
+            other => panic!("expected Resolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crossing_machines_yields_referral() {
+        let (w, svc, m1, m2, root1, rem) = setup();
+        let name = CompoundName::parse_path("/usr/remote/data").unwrap();
+        match svc.local_resolve(&w, m1, root1, &name) {
+            Outcome::Referral {
+                next_machine,
+                next_ctx,
+                remaining,
+            } => {
+                assert_eq!(next_machine, m2);
+                assert_eq!(next_ctx, rem);
+                assert_eq!(remaining.to_string(), "data");
+            }
+            other => panic!("expected Referral, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_server_and_not_found() {
+        let (w, svc, _m1, m2, root1, rem) = setup();
+        let name = CompoundName::parse_path("/usr/motd").unwrap();
+        assert_eq!(
+            svc.local_resolve(&w, m2, root1, &name),
+            Outcome::WrongServer
+        );
+        let bogus = CompoundName::parse_path("nope").unwrap();
+        // `rem` is on m2; "nope" isn't bound there (strip the implicit dot
+        // by using a direct component name).
+        let direct = CompoundName::atom(Name::new("nope"));
+        let _ = bogus;
+        assert_eq!(svc.local_resolve(&w, m2, rem, &direct), Outcome::NotFound);
+    }
+
+    #[test]
+    fn traversal_through_file_is_not_found() {
+        let (mut w, mut svc, m1, _, root1, _) = setup();
+        let f = store::create_file(w.state_mut(), root1, "plain", vec![]);
+        svc.place(f, m1);
+        let name = CompoundName::parse_path("/plain/x").unwrap();
+        assert_eq!(svc.local_resolve(&w, m1, root1, &name), Outcome::NotFound);
+    }
+
+    #[test]
+    fn replication_keeps_resolution_local() {
+        let (mut w, mut svc, m1, m2, root1, rem) = setup();
+        // Before replication: /usr/remote/data refers to m2.
+        let name = CompoundName::parse_path("/usr/remote/data").unwrap();
+        assert!(matches!(
+            svc.local_resolve(&w, m1, root1, &name),
+            Outcome::Referral { .. }
+        ));
+        // Replicate m2's export zone onto m1.
+        let copy = svc.replicate_zone(&mut w, rem, m1);
+        assert_eq!(svc.zone_copy_on(rem, m1), Some(copy));
+        assert_eq!(svc.zone_servers(rem), vec![m2, m1]);
+        // Now the whole walk completes on m1, answering from the replica.
+        match svc.local_resolve(&w, m1, root1, &name) {
+            Outcome::Resolved(e) => assert!(e.is_defined()),
+            other => panic!("expected local Resolved, got {other:?}"),
+        }
+        // And the world-level replica registry knows they are replicas.
+        assert!(w.replicas().are_replicas(rem, copy));
+    }
+
+    #[test]
+    fn replica_divergence_and_sync() {
+        let (mut w, mut svc, m1, _m2, _root1, rem) = setup();
+        let _copy = svc.replicate_zone(&mut w, rem, m1);
+        assert!(svc.replica_divergence(&w, rem).is_empty());
+        // Primary gains a binding; replica lags.
+        store::create_file(w.state_mut(), rem, "new-file", vec![]);
+        let div = svc.replica_divergence(&w, rem);
+        assert_eq!(div, vec![Name::new("new-file")]);
+        // Weak coherence has degraded: the zone copies disagree — which the
+        // world-level invariant check also sees.
+        assert_eq!(w.replicas().violations(w.state()).len(), 1);
+        // Sync repairs both views.
+        svc.sync_zone(&mut w, rem);
+        assert!(svc.replica_divergence(&w, rem).is_empty());
+        assert!(w.replicas().violations(w.state()).is_empty());
+    }
+
+    #[test]
+    fn stale_replica_answers_incoherently_until_sync() {
+        let (mut w, mut svc, m1, m2, root1, rem) = setup();
+        let _copy = svc.replicate_zone(&mut w, rem, m1);
+        let name = CompoundName::parse_path("/usr/remote/data").unwrap();
+        // Rebind `data` at the primary.
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        w.state_mut().bind(rem, Name::new("data"), fresh).unwrap();
+        // m1's replica-backed answer is the OLD object; m2's (primary) is
+        // the new one: the same name, two meanings.
+        let via_replica = svc.local_resolve(&w, m1, root1, &name);
+        let via_primary = svc.local_resolve(&w, m2, rem, &CompoundName::atom(Name::new("data")));
+        assert_ne!(via_replica, via_primary);
+        assert_eq!(via_primary, Outcome::Resolved(Entity::Object(fresh)));
+        svc.sync_zone(&mut w, rem);
+        let healed = svc.local_resolve(&w, m1, root1, &name);
+        assert_eq!(healed, Outcome::Resolved(Entity::Object(fresh)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already replicated")]
+    fn double_replication_panics() {
+        let (mut w, mut svc, m1, _m2, _root1, rem) = setup();
+        svc.replicate_zone(&mut w, rem, m1);
+        svc.replicate_zone(&mut w, rem, m1);
+    }
+
+    #[test]
+    fn unplaced_context_is_not_found() {
+        let (mut w, svc, m1, _, root1, _) = setup();
+        // A directory nobody is authoritative for.
+        let orphan = w.state_mut().add_context_object("orphan");
+        w.state_mut()
+            .bind(root1, Name::new("orphan"), orphan)
+            .unwrap();
+        let name = CompoundName::parse_path("/orphan/x").unwrap();
+        assert_eq!(svc.local_resolve(&w, m1, root1, &name), Outcome::NotFound);
+    }
+}

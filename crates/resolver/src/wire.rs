@@ -1,0 +1,471 @@
+//! Wire encoding of the resolution protocol.
+//!
+//! Hand-rolled binary framing over [`bytes`]: requests and replies travel
+//! as [`naming_sim::message::Payload::Bytes`] parts through the simulator's
+//! message layer, exactly as a real name-service protocol would travel
+//! over UDP/TCP.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::topology::MachineId;
+
+/// How the client wants the lookup performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The server resolves as far as it can locally, then answers with a
+    /// referral; the *client* contacts the next server.
+    Iterative,
+    /// The server chases referrals itself and returns the final answer.
+    Recursive,
+}
+
+/// A resolution request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Correlation id chosen by the requester.
+    pub id: u64,
+    /// The context object to start in (must be hosted by the receiving
+    /// server, or the server answers `WrongServer`).
+    pub start: ObjectId,
+    /// The remaining components to resolve.
+    pub name: CompoundName,
+    /// Iterative or recursive.
+    pub mode: Mode,
+}
+
+/// A resolution reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fully resolved.
+    Resolved(Entity),
+    /// Partially resolved: continue at `next_ctx` (hosted on
+    /// `next_machine`) with the remaining components.
+    Referral {
+        /// The machine hosting the next context object.
+        next_machine: MachineId,
+        /// The next context object.
+        next_ctx: ObjectId,
+        /// What is left of the name.
+        remaining: CompoundName,
+    },
+    /// The name does not denote anything (`⊥`).
+    NotFound,
+    /// The start context is not hosted by the queried server.
+    WrongServer,
+}
+
+/// A reply, correlated to its request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// Echoes [`Request::id`].
+    pub id: u64,
+    /// The outcome.
+    pub outcome: Outcome,
+    /// Servers that did authoritative work for this answer (for hop
+    /// accounting).
+    pub servers_touched: u32,
+}
+
+/// A zone-update frame: the primary pushes its zone's current bindings to
+/// a secondary, which installs them in its copy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneUpdate {
+    /// The primary zone object the update describes.
+    pub zone: ObjectId,
+    /// The zone's bindings at send time.
+    pub bindings: Vec<(Name, Entity)>,
+}
+
+impl ZoneUpdate {
+    /// Encodes the update into a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_ZONE_UPDATE);
+        buf.put_u32(self.zone.index() as u32);
+        buf.put_u32(u32::try_from(self.bindings.len()).expect("zone too large for wire"));
+        for (n, e) in &self.bindings {
+            put_name(&mut buf, *n);
+            put_entity(&mut buf, *e);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes an update frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<ZoneUpdate> {
+        if buf.remaining() < 1 + 4 + 4 || buf.get_u8() != TAG_ZONE_UPDATE {
+            return None;
+        }
+        let zone = ObjectId::from_index(buf.get_u32());
+        let len = buf.get_u32() as usize;
+        let mut bindings = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let n = get_name(&mut buf)?;
+            let e = get_entity(&mut buf)?;
+            bindings.push((n, e));
+        }
+        Some(ZoneUpdate { zone, bindings })
+    }
+}
+
+const TAG_REQUEST: u8 = 1;
+const TAG_REPLY: u8 = 2;
+const TAG_ZONE_UPDATE: u8 = 3;
+
+const OUT_RESOLVED: u8 = 1;
+const OUT_REFERRAL: u8 = 2;
+const OUT_NOT_FOUND: u8 = 3;
+const OUT_WRONG_SERVER: u8 = 4;
+
+const ENT_ACTIVITY: u8 = 1;
+const ENT_OBJECT: u8 = 2;
+const ENT_UNDEFINED: u8 = 3;
+
+fn put_name(buf: &mut BytesMut, n: Name) {
+    let s = n.as_str().as_bytes();
+    buf.put_u16(u16::try_from(s.len()).expect("name too long for wire"));
+    buf.put_slice(s);
+}
+
+fn get_name(buf: &mut Bytes) -> Option<Name> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let raw = buf.copy_to_bytes(len);
+    let s = std::str::from_utf8(&raw).ok()?;
+    Some(Name::new(s))
+}
+
+fn put_compound(buf: &mut BytesMut, name: &CompoundName) {
+    buf.put_u16(u16::try_from(name.len()).expect("name too deep for wire"));
+    for &c in name.components() {
+        put_name(buf, c);
+    }
+}
+
+fn get_compound(buf: &mut Bytes) -> Option<CompoundName> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16() as usize;
+    let mut comps = Vec::with_capacity(len);
+    for _ in 0..len {
+        comps.push(get_name(buf)?);
+    }
+    CompoundName::new(comps).ok()
+}
+
+fn put_entity(buf: &mut BytesMut, e: Entity) {
+    match e {
+        Entity::Activity(a) => {
+            buf.put_u8(ENT_ACTIVITY);
+            buf.put_u32(a.index() as u32);
+        }
+        Entity::Object(o) => {
+            buf.put_u8(ENT_OBJECT);
+            buf.put_u32(o.index() as u32);
+        }
+        Entity::Undefined => buf.put_u8(ENT_UNDEFINED),
+    }
+}
+
+fn get_entity(buf: &mut Bytes) -> Option<Entity> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        ENT_ACTIVITY => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            Some(Entity::Activity(ActivityId::from_index(buf.get_u32())))
+        }
+        ENT_OBJECT => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            Some(Entity::Object(ObjectId::from_index(buf.get_u32())))
+        }
+        ENT_UNDEFINED => Some(Entity::Undefined),
+        _ => None,
+    }
+}
+
+impl Request {
+    /// Encodes the request into a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_REQUEST);
+        buf.put_u64(self.id);
+        buf.put_u32(self.start.index() as u32);
+        buf.put_u8(match self.mode {
+            Mode::Iterative => 0,
+            Mode::Recursive => 1,
+        });
+        put_compound(&mut buf, &self.name);
+        buf.freeze()
+    }
+
+    /// Decodes a request frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<Request> {
+        if buf.remaining() < 1 + 8 + 4 + 1 || buf.get_u8() != TAG_REQUEST {
+            return None;
+        }
+        let id = buf.get_u64();
+        let start = ObjectId::from_index(buf.get_u32());
+        let mode = match buf.get_u8() {
+            0 => Mode::Iterative,
+            1 => Mode::Recursive,
+            _ => return None,
+        };
+        let name = get_compound(&mut buf)?;
+        Some(Request {
+            id,
+            start,
+            name,
+            mode,
+        })
+    }
+}
+
+impl Reply {
+    /// Encodes the reply into a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_REPLY);
+        buf.put_u64(self.id);
+        buf.put_u32(self.servers_touched);
+        match &self.outcome {
+            Outcome::Resolved(e) => {
+                buf.put_u8(OUT_RESOLVED);
+                put_entity(&mut buf, *e);
+            }
+            Outcome::Referral {
+                next_machine,
+                next_ctx,
+                remaining,
+            } => {
+                buf.put_u8(OUT_REFERRAL);
+                buf.put_u32(next_machine.0 as u32);
+                buf.put_u32(next_ctx.index() as u32);
+                put_compound(&mut buf, remaining);
+            }
+            Outcome::NotFound => buf.put_u8(OUT_NOT_FOUND),
+            Outcome::WrongServer => buf.put_u8(OUT_WRONG_SERVER),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a reply frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<Reply> {
+        if buf.remaining() < 1 + 8 + 4 + 1 || buf.get_u8() != TAG_REPLY {
+            return None;
+        }
+        let id = buf.get_u64();
+        let servers_touched = buf.get_u32();
+        let outcome = match buf.get_u8() {
+            OUT_RESOLVED => Outcome::Resolved(get_entity(&mut buf)?),
+            OUT_REFERRAL => {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let next_machine = MachineId(buf.get_u32() as usize);
+                let next_ctx = ObjectId::from_index(buf.get_u32());
+                let remaining = get_compound(&mut buf)?;
+                Outcome::Referral {
+                    next_machine,
+                    next_ctx,
+                    remaining,
+                }
+            }
+            OUT_NOT_FOUND => Outcome::NotFound,
+            OUT_WRONG_SERVER => Outcome::WrongServer,
+            _ => return None,
+        };
+        Some(Reply {
+            id,
+            outcome,
+            servers_touched,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(p: &str) -> CompoundName {
+        CompoundName::parse_path(p).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            id: 42,
+            start: ObjectId::from_index(7),
+            name: name("/usr/bin/cc"),
+            mode: Mode::Recursive,
+        };
+        let decoded = Request::decode(r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        let r2 = Request {
+            mode: Mode::Iterative,
+            ..r
+        };
+        assert_eq!(Request::decode(r2.encode()).unwrap().mode, Mode::Iterative);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        for outcome in [
+            Outcome::Resolved(Entity::Object(ObjectId::from_index(3))),
+            Outcome::Resolved(Entity::Activity(ActivityId::from_index(9))),
+            Outcome::Resolved(Entity::Undefined),
+            Outcome::Referral {
+                next_machine: MachineId(2),
+                next_ctx: ObjectId::from_index(11),
+                remaining: name("bin/cc"),
+            },
+            Outcome::NotFound,
+            Outcome::WrongServer,
+        ] {
+            let r = Reply {
+                id: 5,
+                outcome: outcome.clone(),
+                servers_touched: 3,
+            };
+            let d = Reply::decode(r.encode()).unwrap();
+            assert_eq!(d.outcome, outcome);
+            assert_eq!(d.id, 5);
+            assert_eq!(d.servers_touched, 3);
+        }
+    }
+
+    #[test]
+    fn zone_update_roundtrip() {
+        let up = ZoneUpdate {
+            zone: ObjectId::from_index(12),
+            bindings: vec![
+                (Name::new("a"), Entity::Object(ObjectId::from_index(1))),
+                (Name::new("b"), Entity::Activity(ActivityId::from_index(2))),
+                (Name::new("c"), Entity::Undefined),
+            ],
+        };
+        assert_eq!(ZoneUpdate::decode(up.encode()), Some(up.clone()));
+        // Empty zone.
+        let empty = ZoneUpdate {
+            zone: ObjectId::from_index(0),
+            bindings: vec![],
+        };
+        assert_eq!(ZoneUpdate::decode(empty.encode()), Some(empty));
+        // A request frame is not an update.
+        assert!(ZoneUpdate::decode(
+            Request {
+                id: 1,
+                start: ObjectId::from_index(0),
+                name: name("/x"),
+                mode: Mode::Iterative,
+            }
+            .encode()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(Request::decode(Bytes::from_static(&[])).is_none());
+        assert!(Request::decode(Bytes::from_static(&[9, 0, 0])).is_none());
+        assert!(Reply::decode(Bytes::from_static(&[1, 2, 3])).is_none());
+        // A request frame is not a reply.
+        let req = Request {
+            id: 1,
+            start: ObjectId::from_index(0),
+            name: name("/x"),
+            mode: Mode::Iterative,
+        };
+        assert!(Reply::decode(req.encode()).is_none());
+        // Truncated compound name.
+        let mut good = BytesMut::from(&req.encode()[..]);
+        good.truncate(good.len() - 1);
+        assert!(Request::decode(good.freeze()).is_none());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Decoding arbitrary bytes never panics; it either fails or
+            /// yields a frame that re-encodes decodably.
+            #[test]
+            fn decode_tolerates_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+                let b = Bytes::from(data);
+                if let Some(req) = Request::decode(b.clone()) {
+                    prop_assert_eq!(Request::decode(req.encode()), Some(req));
+                }
+                if let Some(rep) = Reply::decode(b.clone()) {
+                    let rt = Reply::decode(rep.encode()).unwrap();
+                    prop_assert_eq!(rt, rep);
+                }
+                if let Some(up) = ZoneUpdate::decode(b) {
+                    prop_assert_eq!(ZoneUpdate::decode(up.encode()), Some(up));
+                }
+            }
+
+            /// Truncating a valid frame at any point never panics and never
+            /// produces a *different* valid frame of the same kind.
+            #[test]
+            fn truncation_is_detected(cut in 0usize..64) {
+                let req = Request {
+                    id: 9,
+                    start: ObjectId::from_index(4),
+                    name: CompoundName::parse_path("/a/b/c").unwrap(),
+                    mode: Mode::Recursive,
+                };
+                let full = req.encode();
+                if cut < full.len() {
+                    let truncated = full.slice(..cut);
+                    if let Some(got) = Request::decode(truncated) {
+                        // Only acceptable if truncation removed nothing
+                        // semantically (never the case here since every
+                        // byte matters) — so this must be the full frame.
+                        prop_assert_eq!(got, req);
+                    }
+                }
+            }
+
+            /// Request round-trip for arbitrary well-formed content.
+            #[test]
+            fn request_roundtrip_general(
+                id in any::<u64>(),
+                start in 0u32..1_000_000,
+                segs in proptest::collection::vec("[a-zA-Z0-9_.-]{1,12}", 1..8),
+                recursive in any::<bool>(),
+            ) {
+                let name = CompoundName::new(segs.iter().map(|s| Name::new(s))).unwrap();
+                let req = Request {
+                    id,
+                    start: ObjectId::from_index(start),
+                    name,
+                    mode: if recursive { Mode::Recursive } else { Mode::Iterative },
+                };
+                prop_assert_eq!(Request::decode(req.encode()), Some(req));
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_names_survive_the_wire() {
+        let r = Request {
+            id: 1,
+            start: ObjectId::from_index(0),
+            name: CompoundName::new([Name::new("café"), Name::new("naïve")]).unwrap(),
+            mode: Mode::Iterative,
+        };
+        assert_eq!(Request::decode(r.encode()).unwrap().name, r.name);
+    }
+}

@@ -1,0 +1,350 @@
+//! The overall naming architecture of §7: shared name spaces attached under
+//! common names, in nested scopes.
+//!
+//! "It is sufficient to share name spaces in a limited scope among
+//! activities that have a high degree of interaction. … Such a shared name
+//! space should be attached by a common name to the contexts of activities
+//! in the scope. There may be several shared name spaces. … Some name
+//! spaces may be shared under a common name within a group in an
+//! organization, some in the entire organization itself, and some may be
+//! shared in even larger scopes that cross organization boundaries."
+//!
+//! Built on per-process namespaces (the footnote: systems with a
+//! per-process view "provide the flexibility of attaching name spaces
+//! directly to the context of an activity"). A shared space (see
+//! [`Architecture::add_space`]) is a naming tree; enrolling an activity
+//! attaches the space under the space's common name in the activity's
+//! private root. Coherence for a name then depends
+//! exactly on whether the two activities share the space its prefix names —
+//! experiment E11 measures this per scope.
+
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::per_process::PerProcess;
+use crate::scheme::InstalledScheme;
+
+/// Identifier of a shared name space within an [`Architecture`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpaceId(pub usize);
+
+#[derive(Debug)]
+struct SpaceRecord {
+    common_name: Name,
+    root: ObjectId,
+    members: Vec<ActivityId>,
+}
+
+/// A naming architecture of scoped shared name spaces over per-process
+/// namespaces.
+#[derive(Debug, Default)]
+pub struct Architecture {
+    base: PerProcess,
+    spaces: Vec<SpaceRecord>,
+    processes: Vec<ActivityId>,
+    audit_names: Vec<CompoundName>,
+}
+
+impl Architecture {
+    /// Creates an empty architecture.
+    pub fn new() -> Architecture {
+        Architecture::default()
+    }
+
+    /// Creates a shared name space to be attached under `common_name`
+    /// (e.g. `users`, `services`) in its members' namespaces.
+    pub fn add_space(&mut self, world: &mut World, common_name: &str) -> SpaceId {
+        let root = world
+            .state_mut()
+            .add_context_object(format!("space:{common_name}"));
+        let id = SpaceId(self.spaces.len());
+        self.spaces.push(SpaceRecord {
+            common_name: Name::new(common_name),
+            root,
+            members: Vec::new(),
+        });
+        id
+    }
+
+    /// The space's tree root (populate it with [`naming_sim::store`]).
+    pub fn space_root(&self, space: SpaceId) -> ObjectId {
+        self.spaces[space.0].root
+    }
+
+    /// The space's common attachment name.
+    pub fn common_name(&self, space: SpaceId) -> Name {
+        self.spaces[space.0].common_name
+    }
+
+    /// The space's enrolled members.
+    pub fn members(&self, space: SpaceId) -> &[ActivityId] {
+        &self.spaces[space.0].members
+    }
+
+    /// Spawns an activity with a private namespace.
+    pub fn spawn(&mut self, world: &mut World, machine: MachineId, label: &str) -> ActivityId {
+        let pid = self.base.spawn(world, machine, label);
+        self.processes.push(pid);
+        pid
+    }
+
+    /// Enrolls an activity in a space: attaches the space under its common
+    /// name in the activity's private root.
+    pub fn enroll(&mut self, world: &mut World, pid: ActivityId, space: SpaceId) {
+        let rec = &self.spaces[space.0];
+        let root = rec.root;
+        let cname = rec.common_name.as_str().to_owned();
+        self.base.attach(world, pid, &cname, root);
+        self.spaces[space.0].members.push(pid);
+    }
+
+    /// Enrolls an activity in a *foreign* space under a prefixed name
+    /// (e.g. org1 attaching org2's user homes as `org2-users`) — the §7
+    /// scope-boundary workaround. Names under the space then require the
+    /// human prefix mapping.
+    pub fn enroll_prefixed(
+        &mut self,
+        world: &mut World,
+        pid: ActivityId,
+        space: SpaceId,
+        prefixed_name: &str,
+    ) {
+        let root = self.spaces[space.0].root;
+        self.base.attach(world, pid, prefixed_name, root);
+    }
+
+    /// True if both activities are enrolled in the space — the scope test
+    /// for coherence of names under the space's common name.
+    pub fn share_space(&self, a: ActivityId, b: ActivityId, space: SpaceId) -> bool {
+        let m = &self.spaces[space.0].members;
+        m.contains(&a) && m.contains(&b)
+    }
+
+    /// Registers the names the coherence audit should check.
+    pub fn set_audit_names(&mut self, names: Vec<CompoundName>) {
+        self.audit_names = names;
+    }
+
+    /// The underlying per-process scheme (for direct namespace surgery).
+    pub fn per_process(&self) -> &PerProcess {
+        &self.base
+    }
+}
+
+impl InstalledScheme for Architecture {
+    fn scheme_name(&self) -> &'static str {
+        "scoped-shared-spaces"
+    }
+
+    fn participants(&self, _world: &World) -> Vec<ActivityId> {
+        self.processes.clone()
+    }
+
+    fn audit_names(&self, _world: &World) -> Vec<CompoundName> {
+        self.audit_names.clone()
+    }
+}
+
+/// The canonical §7 scenario: two organizations, two groups each, one
+/// activity per group member machine.
+///
+/// Spaces:
+/// * `global` — federation-wide, everyone enrolled;
+/// * `users`, `services` — one per organization, org members enrolled;
+/// * `proj` — one per group, group members enrolled.
+///
+/// Returns the architecture, the per-activity labels, and the space ids as
+/// `(global, users_by_org, proj_by_group)`.
+#[allow(clippy::type_complexity)]
+pub fn two_org_architecture(
+    world: &mut World,
+) -> (
+    Architecture,
+    Vec<Vec<Vec<ActivityId>>>,
+    (SpaceId, Vec<SpaceId>, Vec<Vec<SpaceId>>),
+) {
+    let mut arch = Architecture::new();
+    let net = world.add_network("wan");
+    let global = arch.add_space(world, "global");
+    store::create_file(world.state_mut(), arch.space_root(global), "dns", vec![]);
+    let mut orgs: Vec<Vec<Vec<ActivityId>>> = Vec::new();
+    let mut users_spaces = Vec::new();
+    let mut proj_spaces: Vec<Vec<SpaceId>> = Vec::new();
+    for o in 0..2 {
+        let users = arch.add_space(world, "users");
+        let services = arch.add_space(world, "services");
+        store::create_file(
+            world.state_mut(),
+            arch.space_root(users),
+            &format!("directory-org{o}"),
+            vec![],
+        );
+        let home = store::ensure_dir(world.state_mut(), arch.space_root(users), "alice");
+        store::create_file(world.state_mut(), home, "profile", vec![o as u8]);
+        store::create_file(
+            world.state_mut(),
+            arch.space_root(services),
+            "printer",
+            vec![o as u8],
+        );
+        let mut groups: Vec<Vec<ActivityId>> = Vec::new();
+        let mut org_projs = Vec::new();
+        for g in 0..2 {
+            let proj = arch.add_space(world, "proj");
+            store::create_file(
+                world.state_mut(),
+                arch.space_root(proj),
+                "plan",
+                vec![(o * 2 + g) as u8],
+            );
+            let mut members = Vec::new();
+            for i in 0..2 {
+                let m = world.add_machine(format!("org{o}-g{g}-m{i}"), net);
+                let pid = arch.spawn(world, m, &format!("org{o}-g{g}-p{i}"));
+                arch.enroll(world, pid, global);
+                arch.enroll(world, pid, users);
+                arch.enroll(world, pid, services);
+                arch.enroll(world, pid, proj);
+                members.push(pid);
+            }
+            groups.push(members);
+            org_projs.push(proj);
+        }
+        orgs.push(groups);
+        users_spaces.push(users);
+        proj_spaces.push(org_projs);
+    }
+    (arch, orgs, (global, users_spaces, proj_spaces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::audit_names_for;
+    use naming_core::closure::NameSource;
+    use naming_core::entity::Entity;
+
+    #[test]
+    fn scope_determines_coherence() {
+        let mut w = World::new(41);
+        let (arch, orgs, _spaces) = two_org_architecture(&mut w);
+        let same_group = [orgs[0][0][0], orgs[0][0][1]];
+        let same_org = [orgs[0][0][0], orgs[0][1][0]];
+        let cross_org = [orgs[0][0][0], orgs[1][0][0]];
+
+        let global_name = CompoundName::parse_path("/global/dns").unwrap();
+        let users_name = CompoundName::parse_path("/users/alice/profile").unwrap();
+        let proj_name = CompoundName::parse_path("/proj/plan").unwrap();
+
+        // Global space: coherent everywhere.
+        for pair in [&same_group[..], &same_org[..], &cross_org[..]] {
+            let a = audit_names_for(
+                &w,
+                &arch,
+                pair,
+                std::slice::from_ref(&global_name),
+                NameSource::Internal,
+            );
+            assert_eq!(a.stats.coherent, 1, "global name, pair {pair:?}");
+        }
+        // Org space: coherent within the org, incoherent across.
+        for pair in [&same_group[..], &same_org[..]] {
+            let a = audit_names_for(
+                &w,
+                &arch,
+                pair,
+                std::slice::from_ref(&users_name),
+                NameSource::Internal,
+            );
+            assert_eq!(a.stats.coherent, 1);
+        }
+        let a = audit_names_for(&w, &arch, &cross_org, &[users_name], NameSource::Internal);
+        assert_eq!(a.stats.incoherent, 1);
+        // Group space: coherent only within the group.
+        let a = audit_names_for(
+            &w,
+            &arch,
+            &same_group,
+            std::slice::from_ref(&proj_name),
+            NameSource::Internal,
+        );
+        assert_eq!(a.stats.coherent, 1);
+        let a = audit_names_for(&w, &arch, &same_org, &[proj_name], NameSource::Internal);
+        assert_eq!(a.stats.incoherent, 1);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let mut w = World::new(41);
+        let (arch, orgs, (global, users, projs)) = two_org_architecture(&mut w);
+        let a = orgs[0][0][0];
+        let b = orgs[1][1][1];
+        assert!(arch.share_space(a, b, global));
+        assert!(!arch.share_space(a, b, users[0]));
+        assert!(!arch.share_space(a, b, projs[0][0]));
+        assert_eq!(arch.members(global).len(), 8);
+        assert_eq!(arch.members(users[0]).len(), 4);
+        assert_eq!(arch.members(projs[1][1]).len(), 2);
+        assert_eq!(arch.common_name(users[1]).as_str(), "users");
+        assert_eq!(arch.scheme_name(), "scoped-shared-spaces");
+    }
+
+    #[test]
+    fn prefixed_enrollment_crosses_scope_boundaries() {
+        let mut w = World::new(41);
+        let (mut arch, orgs, (_global, users, _projs)) = two_org_architecture(&mut w);
+        let org1_proc = orgs[0][0][0];
+        // org1's process attaches org2's users space as /org2-users.
+        arch.enroll_prefixed(&mut w, org1_proc, users[1], "org2-users");
+        let direct = CompoundName::parse_path("/users/alice/profile").unwrap();
+        let prefixed = CompoundName::parse_path("/org2-users/alice/profile").unwrap();
+        // The prefixed name reaches what org2 members mean by the direct
+        // name.
+        let org2_proc = orgs[1][0][0];
+        assert_eq!(
+            w.resolve_in_own_context(org1_proc, &prefixed),
+            w.resolve_in_own_context(org2_proc, &direct)
+        );
+        // And differs from org1's own /users meaning.
+        assert_ne!(
+            w.resolve_in_own_context(org1_proc, &prefixed),
+            w.resolve_in_own_context(org1_proc, &direct)
+        );
+        assert!(w.resolve_in_own_context(org1_proc, &prefixed).is_defined());
+    }
+
+    #[test]
+    fn embedded_names_survive_scope_crossing() {
+        use crate::embedded::EmbeddedResolver;
+        use naming_core::state::Document;
+        // §7's closing example: a subtree in org2 contains embedded names;
+        // accessed from org1 via a prefixed attachment, the Algol-scope rule
+        // still finds the right referents (the names are "surely not
+        // prefixed by /org2/users").
+        let mut w = World::new(41);
+        let (mut arch, orgs, (_g, users, _p)) = two_org_architecture(&mut w);
+        // Build a structured object inside org2's users space.
+        let org2_users_root = arch.space_root(users[1]);
+        let projdir = store::ensure_dir(w.state_mut(), org2_users_root, "bobproj");
+        let lib = store::ensure_dir(w.state_mut(), projdir, "lib");
+        let part = store::create_file(w.state_mut(), lib, "part", vec![]);
+        let mut d = Document::new();
+        d.push_embedded(CompoundName::parse_path("lib/part").unwrap());
+        let doc = store::create_document(w.state_mut(), projdir, "main", d);
+        // org1's process reaches the doc through the prefixed attachment…
+        let org1_proc = orgs[0][0][0];
+        arch.enroll_prefixed(&mut w, org1_proc, users[1], "org2-users");
+        let doc_name = CompoundName::parse_path("/org2-users/bobproj/main").unwrap();
+        assert_eq!(
+            w.resolve_in_own_context(org1_proc, &doc_name),
+            Entity::Object(doc)
+        );
+        // …and the embedded name inside it still denotes org2's lib/part.
+        let mut er = EmbeddedResolver::new();
+        let meaning = er.document_meaning(w.state(), doc);
+        assert_eq!(meaning[0].1, Entity::Object(part));
+    }
+}

@@ -1,0 +1,358 @@
+//! Embedded file names with Algol-scope resolution (§6 Example 2, Fig. 6):
+//! the paper's `R(file)` closure mechanism.
+//!
+//! "The context used to resolve such an embedded name depends on the file
+//! from which the name was obtained; the resolution rule is R(file). The
+//! context R(file) is determined using the Algol scope rules; instead of
+//! nested blocks, there are nested subtrees. A name embedded in a node n is
+//! resolved using a matching binding at the closest ancestor in the tree.
+//! The binding is found by searching up the tree, from node n to the root
+//! of the tree, for a directory node that has a binding matching the first
+//! component of the name."
+//!
+//! The promised invariances (verified by experiment E8 and the tests
+//! below): "the subtree containing the structured object can be
+//! simultaneously attached in different parts of the distributed
+//! environment, and also relocated or copied without changing the meaning
+//! of the embedded names. Furthermore several structured objects … can be
+//! combined to form a larger structured object."
+
+use std::collections::HashMap;
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::resolve::Resolver;
+use naming_core::state::SystemState;
+
+/// Resolves names embedded in objects by the Algol scope rule.
+///
+/// An optional memo cache accelerates the parent-directory search for
+/// objects that are not directories (files have no `..` binding, so their
+/// parent is found by scanning the naming graph). The ablation bench
+/// `embedded` measures the cache's effect. The cache is invalidated by
+/// [`EmbeddedResolver::clear_cache`]; callers that mutate the tree between
+/// resolutions should clear it (or construct a fresh resolver).
+#[derive(Debug, Default)]
+pub struct EmbeddedResolver {
+    parent_cache: Option<HashMap<ObjectId, Option<ObjectId>>>,
+    /// Safety bound on upward traversal (cyclic `..` chains).
+    max_ascent: usize,
+}
+
+impl EmbeddedResolver {
+    /// Creates a resolver without the parent cache.
+    pub fn new() -> EmbeddedResolver {
+        EmbeddedResolver {
+            parent_cache: None,
+            max_ascent: 256,
+        }
+    }
+
+    /// Creates a resolver with the parent memo cache enabled.
+    pub fn with_cache() -> EmbeddedResolver {
+        EmbeddedResolver {
+            parent_cache: Some(HashMap::new()),
+            max_ascent: 256,
+        }
+    }
+
+    /// Drops all memoized parent lookups.
+    pub fn clear_cache(&mut self) {
+        if let Some(c) = &mut self.parent_cache {
+            c.clear();
+        }
+    }
+
+    /// The directory containing `obj`.
+    ///
+    /// Directories report their `..` binding; other objects are located by
+    /// scanning the naming graph for a directory that binds them (lowest
+    /// object id wins, deterministically, when the object is aliased).
+    pub fn parent_dir(&mut self, state: &SystemState, obj: ObjectId) -> Option<ObjectId> {
+        if let Some(c) = state.context(obj) {
+            if let Entity::Object(p) = c.lookup(Name::parent()) {
+                return Some(p);
+            }
+        }
+        if let Some(cache) = &self.parent_cache {
+            if let Some(hit) = cache.get(&obj) {
+                return *hit;
+            }
+        }
+        let found = scan_for_parent(state, obj);
+        if let Some(cache) = &mut self.parent_cache {
+            cache.insert(obj, found);
+        }
+        found
+    }
+
+    /// Resolves `name`, embedded in `container`, by the Algol scope rule:
+    /// search from the container's directory up the tree for the closest
+    /// ancestor binding `name`'s first component, then resolve the whole
+    /// name in that ancestor's context.
+    ///
+    /// Returns [`Entity::Undefined`] when no ancestor binds the first
+    /// component (or the container is orphaned).
+    pub fn resolve(
+        &mut self,
+        state: &SystemState,
+        container: ObjectId,
+        name: &CompoundName,
+    ) -> Entity {
+        // A leading `.` (inserted by path parsing for relative names) is
+        // meaningless here: the scope search itself supplies the starting
+        // context. Strip it.
+        let stripped;
+        let name = if name.first() == Name::self_() && name.len() > 1 {
+            stripped = name
+                .strip_prefix(&[Name::self_()])
+                .expect("len > 1 with matching prefix");
+            &stripped
+        } else {
+            name
+        };
+        let first = name.first();
+        let mut cur = if state.is_context_object(container) {
+            Some(container)
+        } else {
+            self.parent_dir(state, container)
+        };
+        let mut steps = 0;
+        while let Some(dir) = cur {
+            if steps >= self.max_ascent {
+                return Entity::Undefined;
+            }
+            steps += 1;
+            if let Some(ctx) = state.context(dir) {
+                if ctx.contains(first) {
+                    return Resolver::new().resolve_entity(state, dir, name);
+                }
+            }
+            cur = self.parent_dir(state, dir);
+        }
+        Entity::Undefined
+    }
+
+    /// Resolves every embedded name of a structured (document) object,
+    /// yielding `(name, entity)` pairs in document order — the paper's
+    /// "meaning of a structured object".
+    ///
+    /// Non-document objects yield an empty meaning.
+    pub fn document_meaning(
+        &mut self,
+        state: &SystemState,
+        doc: ObjectId,
+    ) -> Vec<(CompoundName, Entity)> {
+        let names: Vec<CompoundName> = match state.object_state(doc) {
+            naming_core::state::ObjectState::Document(d) => d.embedded_names().cloned().collect(),
+            _ => Vec::new(),
+        };
+        names
+            .into_iter()
+            .map(|n| {
+                let e = self.resolve(state, doc, &n);
+                (n, e)
+            })
+            .collect()
+    }
+}
+
+/// Scans the naming graph for the directory binding `obj` (excluding `.`,
+/// `..` and `/` conventions). Lowest object id wins.
+fn scan_for_parent(state: &SystemState, obj: ObjectId) -> Option<ObjectId> {
+    for dir in state.objects() {
+        if let Some(ctx) = state.context(dir) {
+            for (label, e) in ctx.iter() {
+                if e == Entity::Object(obj) && !label.is_dot() && !label.is_root() {
+                    return Some(dir);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_core::state::Document;
+    use naming_sim::store;
+
+    /// Builds the Figure 6 shape:
+    ///
+    /// ```text
+    /// root
+    /// └── proj            (n': binds "a" -> libdir)
+    ///     ├── a           (libdir)
+    ///     │   └── p       (n'': the referent)
+    ///     └── docs
+    ///         └── main    (n: document embedding "a/p")
+    /// ```
+    fn figure6() -> (SystemState, ObjectId, ObjectId, ObjectId, ObjectId) {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        let proj = store::ensure_dir(&mut s, root, "proj");
+        let libdir = store::ensure_dir(&mut s, proj, "a");
+        let p = store::create_file(&mut s, libdir, "p", b"library part".to_vec());
+        let docs = store::ensure_dir(&mut s, proj, "docs");
+        let mut doc = Document::new();
+        doc.push_text("\\input{");
+        doc.push_embedded(CompoundName::parse_path("a/p").unwrap());
+        doc.push_text("}");
+        let main = store::create_document(&mut s, docs, "main", doc);
+        (s, root, proj, p, main)
+    }
+
+    #[test]
+    fn closest_ancestor_binding_wins() {
+        let (s, _root, _proj, p, main) = figure6();
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        // Searching up from docs: docs does not bind "a", proj does.
+        assert_eq!(r.resolve(&s, main, &name), Entity::Object(p));
+    }
+
+    #[test]
+    fn shadowing_by_nearer_binding() {
+        let (mut s, _root, proj, p, main) = figure6();
+        let _ = (proj, p);
+        // Give `docs` its own "a": the nearer binding shadows proj's.
+        let docs = scan_for_parent(&s, main).unwrap();
+        let local_a = store::ensure_dir(&mut s, docs, "a");
+        let local_p = store::create_file(&mut s, local_a, "p", b"shadow".to_vec());
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        assert_eq!(r.resolve(&s, main, &name), Entity::Object(local_p));
+    }
+
+    #[test]
+    fn unbound_everywhere_is_undefined() {
+        let (s, _, _, _, main) = figure6();
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("zz/q").unwrap();
+        assert_eq!(r.resolve(&s, main, &name), Entity::Undefined);
+    }
+
+    #[test]
+    fn meaning_survives_relocation() {
+        let (mut s, root, proj, p, main) = figure6();
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        let before = r.resolve(&s, main, &name);
+        // Relocate the whole proj subtree elsewhere.
+        let elsewhere = store::ensure_dir(&mut s, root, "elsewhere");
+        store::move_entry(&mut s, root, elsewhere, "proj");
+        let mut r2 = EmbeddedResolver::new();
+        let after = r2.resolve(&s, main, &name);
+        assert_eq!(before, after);
+        assert_eq!(after, Entity::Object(p));
+        let _ = proj;
+    }
+
+    #[test]
+    fn meaning_survives_copy_structurally() {
+        let (mut s, _root, proj, p, _main) = figure6();
+        let copy = s.deep_copy(proj);
+        // The copy's document resolves to the copy's own `a/p`, not the
+        // original: same *structure*, fresh objects.
+        let copy_docs = s.lookup(copy, Name::new("docs")).as_object().unwrap();
+        let copy_main = s.lookup(copy_docs, Name::new("main")).as_object().unwrap();
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        let got = r.resolve(&s, copy_main, &name);
+        let copy_a = s.lookup(copy, Name::new("a")).as_object().unwrap();
+        let copy_p = s.lookup(copy_a, Name::new("p")).as_object().unwrap();
+        assert_eq!(got, Entity::Object(copy_p));
+        assert_ne!(got, Entity::Object(p));
+    }
+
+    #[test]
+    fn meaning_stable_under_simultaneous_attach() {
+        let (mut s, root, proj, p, main) = figure6();
+        // Attach proj in two additional places without reparenting.
+        let spot1 = store::ensure_dir(&mut s, root, "mnt1");
+        let spot2 = store::ensure_dir(&mut s, root, "mnt2");
+        store::attach(&mut s, spot1, "proj", proj, false);
+        store::attach(&mut s, spot2, "proj", proj, false);
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        assert_eq!(r.resolve(&s, main, &name), Entity::Object(p));
+    }
+
+    #[test]
+    fn combining_structured_objects_without_conflicts() {
+        // Two projects each bind "a" to their own library; combined under
+        // one parent, each document still sees its own.
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        let combined = store::ensure_dir(&mut s, root, "combined");
+        let mut docs = Vec::new();
+        let mut libs = Vec::new();
+        for i in 0..2 {
+            let projd = store::ensure_dir(&mut s, combined, &format!("proj{i}"));
+            let a = store::ensure_dir(&mut s, projd, "a");
+            let p = store::create_file(&mut s, a, "p", vec![i as u8]);
+            let mut d = Document::new();
+            d.push_embedded(CompoundName::parse_path("a/p").unwrap());
+            let doc = store::create_document(&mut s, projd, "doc", d);
+            docs.push(doc);
+            libs.push(p);
+        }
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        assert_eq!(r.resolve(&s, docs[0], &name), Entity::Object(libs[0]));
+        assert_eq!(r.resolve(&s, docs[1], &name), Entity::Object(libs[1]));
+        // A process can use both concurrently without conflicts: the
+        // resolutions stay distinct.
+        assert_ne!(libs[0], libs[1]);
+    }
+
+    #[test]
+    fn document_meaning_lists_all_embeddings() {
+        let (mut s, _root, proj, p, _main) = figure6();
+        let lib = s.lookup(proj, Name::new("a")).as_object().unwrap();
+        let extra = store::create_file(&mut s, lib, "q", vec![]);
+        let mut d = Document::new();
+        d.push_embedded(CompoundName::parse_path("a/p").unwrap());
+        d.push_embedded(CompoundName::parse_path("a/q").unwrap());
+        d.push_embedded(CompoundName::parse_path("missing").unwrap());
+        let doc = store::create_document(&mut s, proj, "doc2", d);
+        let mut r = EmbeddedResolver::new();
+        let meaning = r.document_meaning(&s, doc);
+        assert_eq!(meaning.len(), 3);
+        assert_eq!(meaning[0].1, Entity::Object(p));
+        assert_eq!(meaning[1].1, Entity::Object(extra));
+        assert_eq!(meaning[2].1, Entity::Undefined);
+        // Non-documents have empty meaning.
+        assert!(r.document_meaning(&s, p).is_empty());
+    }
+
+    #[test]
+    fn cache_agrees_with_uncached() {
+        let (s, _root, _proj, _p, main) = figure6();
+        let name = CompoundName::parse_path("a/p").unwrap();
+        let mut plain = EmbeddedResolver::new();
+        let mut cached = EmbeddedResolver::with_cache();
+        let a = plain.resolve(&s, main, &name);
+        let b1 = cached.resolve(&s, main, &name);
+        let b2 = cached.resolve(&s, main, &name); // cache hit path
+        assert_eq!(a, b1);
+        assert_eq!(b1, b2);
+        cached.clear_cache();
+        assert_eq!(cached.resolve(&s, main, &name), a);
+    }
+
+    #[test]
+    fn cyclic_parents_terminate() {
+        let mut s = SystemState::new();
+        let a = s.add_context_object("a");
+        let b = s.add_context_object("b");
+        s.bind(a, Name::parent(), b).unwrap();
+        s.bind(b, Name::parent(), a).unwrap();
+        let mut r = EmbeddedResolver::new();
+        let name = CompoundName::parse_path("nope").unwrap();
+        assert_eq!(r.resolve(&s, a, &name), Entity::Undefined);
+    }
+}

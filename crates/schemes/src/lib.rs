@@ -1,0 +1,37 @@
+//! # naming-schemes
+//!
+//! Every naming scheme analyzed or proposed in Radia & Pachl, *Coherence in
+//! Naming in Distributed Computing Environments* (ICDCS '93), implemented
+//! over the [`naming_sim`] substrate and the [`naming_core`] model:
+//!
+//! | Module | Paper section | Scheme |
+//! |---|---|---|
+//! | [`single_tree`] | §5.1 | Unix / Locus / V single naming tree |
+//! | [`newcastle`] | §5.1, Fig. 3 | the Newcastle Connection |
+//! | [`shared_graph`] | §5.2, Fig. 4 | Andrew-style shared naming graph |
+//! | [`dce`] | §5.2 | OSF DCE global directory + cells |
+//! | [`federation`] | §5.3, Fig. 5, §7 | cross-linked autonomous systems, prefix mapping |
+//! | [`pqid`] | §6 Ex. 1 | partially qualified identifiers, `R(sender)` mapping |
+//! | [`embedded`] | §6 Ex. 2, Fig. 6 | Algol-scope embedded names, `R(file)` |
+//! | [`per_process`] | §6 II | Plan 9 / Waterloo Port per-process namespaces |
+//! | [`architecture`] | §7 | scoped shared name spaces |
+//!
+//! The [`scheme`] module defines the common [`scheme::InstalledScheme`]
+//! interface and the generic coherence auditor used by the experiment
+//! harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod architecture;
+pub mod dce;
+pub mod embedded;
+pub mod federation;
+pub mod newcastle;
+pub mod per_process;
+pub mod pqid;
+#[cfg(test)]
+mod proptests;
+pub mod scheme;
+pub mod shared_graph;
+pub mod single_tree;

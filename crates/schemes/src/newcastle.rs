@@ -1,0 +1,436 @@
+//! The Newcastle Connection (§5.1, Fig. 3): a single naming tree composed
+//! from per-machine trees, where processes on different machines keep
+//! *different* root bindings.
+//!
+//! "The Newcastle Connection also creates a single naming tree from the
+//! individual naming trees of several machines. However, processes
+//! executing on different machines have different bindings for their root
+//! directory: typically R(p)(/) is the root of the machine on which p
+//! executes. … The Unix '..' notation is used to refer to nodes above a
+//! machine's root."
+//!
+//! Consequences measured by experiment E4:
+//!
+//! * `/`-prefixed names are coherent only among processes on the same
+//!   machine;
+//! * `..`-prefixed names through the superroot are effectively global;
+//! * a "simple rule can be used to map names across machines"
+//!   ([`Newcastle::map_name`]);
+//! * remote execution can bind the child's root to the invoking machine's
+//!   root (coherent parameters) or the executing machine's root (local
+//!   access) — [`RootPolicy`].
+
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::scheme::InstalledScheme;
+
+/// Where a remotely executed child's root directory is bound (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// Bind the child's root to the root of the machine where execution was
+    /// *invoked*: "provides coherence and names can be passed as
+    /// parameters".
+    InvokerRoot,
+    /// Bind the child's root to the root of the machine where the child
+    /// *executes*: "does not provide coherence for parameters, but … has
+    /// the advantage of being able to access local objects on that
+    /// machine".
+    LocalRoot,
+}
+
+/// A Newcastle Connection system: machine trees grafted under a superroot.
+#[derive(Debug)]
+pub struct Newcastle {
+    superroot: ObjectId,
+    machines: Vec<MachineId>,
+    processes: Vec<ActivityId>,
+    audit_names: Vec<CompoundName>,
+}
+
+impl Newcastle {
+    /// Installs the Newcastle composition: creates a superroot, binds each
+    /// machine's tree under its machine name, and gives each machine root a
+    /// `..` binding up to the superroot.
+    pub fn install(world: &mut World, machines: &[MachineId]) -> Newcastle {
+        let superroot = world.state_mut().add_context_object("(super)");
+        for &m in machines {
+            let mname = world.topology().machine_name(m).to_owned();
+            let mroot = world.machine_root(m);
+            world
+                .state_mut()
+                .bind(superroot, Name::new(&mname), mroot)
+                .expect("superroot is a context");
+            world
+                .state_mut()
+                .bind(mroot, Name::parent(), superroot)
+                .expect("machine root is a context");
+        }
+        Newcastle {
+            superroot,
+            machines: machines.to_vec(),
+            processes: Vec::new(),
+            audit_names: Vec::new(),
+        }
+    }
+
+    /// The composed tree's superroot.
+    pub fn superroot(&self) -> ObjectId {
+        self.superroot
+    }
+
+    /// The machines joined into this system.
+    pub fn machines(&self) -> &[MachineId] {
+        &self.machines
+    }
+
+    /// Spawns a process on `machine` with the Newcastle context: root and
+    /// working directory bound to the *machine's* root.
+    pub fn spawn(
+        &mut self,
+        world: &mut World,
+        machine: MachineId,
+        label: &str,
+        parent: Option<ActivityId>,
+    ) -> ActivityId {
+        let pid = world.spawn(machine, label, parent);
+        self.processes.push(pid);
+        pid
+    }
+
+    /// Remote execution: spawns `label` on `target` on behalf of `parent`,
+    /// binding the child's root per `policy`.
+    pub fn remote_exec(
+        &mut self,
+        world: &mut World,
+        parent: ActivityId,
+        target: MachineId,
+        label: &str,
+        policy: RootPolicy,
+    ) -> ActivityId {
+        let child = world.spawn(target, label, None);
+        let root = match policy {
+            RootPolicy::InvokerRoot => world.machine_root(world.machine_of(parent)),
+            RootPolicy::LocalRoot => world.machine_root(target),
+        };
+        world.bind_for(child, Name::root(), root);
+        world.bind_for(child, Name::self_(), root);
+        self.processes.push(child);
+        child
+    }
+
+    /// The "simple rule to map names across machines": rewrites an absolute
+    /// name valid on `from` into an equivalent name valid on `to`, by going
+    /// up through the superroot and down into `from`'s subtree:
+    /// `/x/y` on machine `alpha` becomes `../alpha/x/y` on a sibling.
+    ///
+    /// Returns `None` if `name` is not absolute.
+    pub fn map_name(
+        &self,
+        world: &World,
+        from: MachineId,
+        name: &CompoundName,
+    ) -> Option<CompoundName> {
+        if !name.is_absolute() {
+            return None;
+        }
+        let mname = world.topology().machine_name(from);
+        let mut comps = vec![Name::root(), Name::parent(), Name::new(mname)];
+        comps.extend(name.components()[1..].iter().copied());
+        CompoundName::new(comps).ok()
+    }
+
+    /// Registers the names the coherence audit should check.
+    pub fn set_audit_names(&mut self, names: Vec<CompoundName>) {
+        self.audit_names = names;
+    }
+
+    /// The processes currently living on `machine`.
+    pub fn processes_on(&self, world: &World, machine: MachineId) -> Vec<ActivityId> {
+        self.processes
+            .iter()
+            .copied()
+            .filter(|&p| world.machine_of(p) == machine)
+            .collect()
+    }
+
+    /// Joins two Newcastle systems under a *new* superroot — the paper's
+    /// recursive extension: "The Newcastle Connection is a distributed
+    /// system that can be extended recursively because each extended
+    /// system is still a Unix system with a single tree."
+    ///
+    /// Each old superroot is bound under its `label` in the new superroot
+    /// and gains a `..` up-link; machine roots keep their existing `..`
+    /// chains, so `/../../<other>/<machine>/…` names reach across the
+    /// joined systems.
+    pub fn join(
+        world: &mut World,
+        left: Newcastle,
+        left_label: &str,
+        right: Newcastle,
+        right_label: &str,
+    ) -> Newcastle {
+        let superroot = world.state_mut().add_context_object("(super-super)");
+        for (sub, label) in [(&left, left_label), (&right, right_label)] {
+            world
+                .state_mut()
+                .bind(superroot, Name::new(label), sub.superroot)
+                .expect("new superroot is a context");
+            world
+                .state_mut()
+                .bind(sub.superroot, Name::parent(), superroot)
+                .expect("old superroot is a context");
+        }
+        let mut machines = left.machines;
+        machines.extend(right.machines);
+        let mut processes = left.processes;
+        processes.extend(right.processes);
+        let mut audit_names = left.audit_names;
+        audit_names.extend(right.audit_names);
+        Newcastle {
+            superroot,
+            machines,
+            processes,
+            audit_names,
+        }
+    }
+}
+
+impl InstalledScheme for Newcastle {
+    fn scheme_name(&self) -> &'static str {
+        "newcastle-connection"
+    }
+
+    fn participants(&self, _world: &World) -> Vec<ActivityId> {
+        self.processes.clone()
+    }
+
+    fn audit_names(&self, _world: &World) -> Vec<CompoundName> {
+        self.audit_names.clone()
+    }
+}
+
+/// Builds the three-machine system of the paper's Figure 3 and a small
+/// file population, returning the scheme and the machines.
+///
+/// Machines `unix1`, `unix2`, `unix3` each carry `/etc/passwd` (distinct
+/// objects) and a machine-specific file.
+pub fn figure3(world: &mut World) -> (Newcastle, Vec<MachineId>) {
+    use naming_sim::store;
+    let net = world.add_network("newcastle-net");
+    let machines: Vec<MachineId> = (1..=3)
+        .map(|i| world.add_machine(format!("unix{i}"), net))
+        .collect();
+    for (i, &m) in machines.iter().enumerate() {
+        let root = world.machine_root(m);
+        let etc = store::ensure_dir(world.state_mut(), root, "etc");
+        store::create_file(
+            world.state_mut(),
+            etc,
+            "passwd",
+            format!("machine {}", i + 1).into_bytes(),
+        );
+        store::create_file(
+            world.state_mut(),
+            root,
+            &format!("only-on-{}", i + 1),
+            vec![],
+        );
+    }
+    let scheme = Newcastle::install(world, &machines);
+    (scheme, machines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{audit_names_for, audit_scheme};
+    use naming_core::closure::NameSource;
+    use naming_core::entity::Entity;
+    use naming_sim::store::resolve_path;
+
+    fn setup() -> (World, Newcastle, Vec<MachineId>) {
+        let mut w = World::new(3);
+        let (scheme, machines) = figure3(&mut w);
+        (w, scheme, machines)
+    }
+
+    #[test]
+    fn superroot_composes_machine_trees() {
+        let (w, scheme, machines) = setup();
+        // unix1/etc/passwd from the superroot reaches machine 1's file.
+        // (Built by components: the superroot binds machine names directly,
+        // not the `.`/`/` process conventions.)
+        let name = CompoundName::new(["unix1", "etc", "passwd"].map(Name::new)).unwrap();
+        let via_super = naming_core::resolve::Resolver::new().resolve_entity(
+            w.state(),
+            scheme.superroot(),
+            &name,
+        );
+        let direct = resolve_path(w.state(), w.machine_root(machines[0]), "/etc/passwd");
+        assert_eq!(via_super, direct);
+        assert!(via_super.is_defined());
+    }
+
+    #[test]
+    fn dotdot_reaches_sibling_machines() {
+        let (mut w, mut scheme, machines) = setup();
+        let p = scheme.spawn(&mut w, machines[0], "p", None);
+        // ../unix2/etc/passwd — the Newcastle cross-machine notation,
+        // resolved relative to the process's root via `/..`.
+        let n = CompoundName::parse_path("/../unix2/etc/passwd").unwrap();
+        let got = w.resolve_in_own_context(p, &n);
+        let expected = resolve_path(w.state(), w.machine_root(machines[1]), "/etc/passwd");
+        assert_eq!(got, expected);
+        assert!(got.is_defined());
+    }
+
+    #[test]
+    fn slash_names_coherent_only_within_machine() {
+        let (mut w, mut scheme, machines) = setup();
+        let p1a = scheme.spawn(&mut w, machines[0], "p1a", None);
+        let p1b = scheme.spawn(&mut w, machines[0], "p1b", None);
+        let p2 = scheme.spawn(&mut w, machines[1], "p2", None);
+        let passwd = CompoundName::parse_path("/etc/passwd").unwrap();
+        // Same machine: same entity.
+        assert_eq!(
+            w.resolve_in_own_context(p1a, &passwd),
+            w.resolve_in_own_context(p1b, &passwd)
+        );
+        // Across machines: different entities — incoherence.
+        assert_ne!(
+            w.resolve_in_own_context(p1a, &passwd),
+            w.resolve_in_own_context(p2, &passwd)
+        );
+        // The audit agrees.
+        scheme.set_audit_names(vec![passwd]);
+        let audit = audit_scheme(&w, &scheme);
+        assert_eq!(audit.stats.incoherent, 1);
+    }
+
+    #[test]
+    fn mapped_names_are_coherent_across_machines() {
+        let (mut w, mut scheme, machines) = setup();
+        let p1 = scheme.spawn(&mut w, machines[0], "p1", None);
+        let p2 = scheme.spawn(&mut w, machines[1], "p2", None);
+        let passwd = CompoundName::parse_path("/etc/passwd").unwrap();
+        let meant = w.resolve_in_own_context(p1, &passwd);
+        // p1 maps the name before sending it to p2.
+        let mapped = scheme.map_name(&w, machines[0], &passwd).unwrap();
+        assert_eq!(mapped.to_string(), "/../unix1/etc/passwd");
+        assert_eq!(w.resolve_in_own_context(p2, &mapped), meant);
+        // Relative names cannot be mapped.
+        assert!(scheme
+            .map_name(&w, machines[0], &CompoundName::parse_path("x").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn mapped_names_are_global() {
+        // `..`-prefixed absolute names denote the same entity from every
+        // machine: they are global names in the composed tree.
+        let (mut w, mut scheme, machines) = setup();
+        let pids: Vec<ActivityId> = machines
+            .iter()
+            .map(|&m| scheme.spawn(&mut w, m, "p", None))
+            .collect();
+        let mapped = scheme
+            .map_name(
+                &w,
+                machines[2],
+                &CompoundName::parse_path("/etc/passwd").unwrap(),
+            )
+            .unwrap();
+        let audit = audit_names_for(&w, &scheme, &pids, &[mapped], NameSource::Internal);
+        assert_eq!(audit.stats.coherent, 1);
+    }
+
+    #[test]
+    fn remote_exec_invoker_root_gives_parameter_coherence() {
+        let (mut w, mut scheme, machines) = setup();
+        let parent = scheme.spawn(&mut w, machines[0], "sh", None);
+        let child = scheme.remote_exec(
+            &mut w,
+            parent,
+            machines[1],
+            "remote-job",
+            RootPolicy::InvokerRoot,
+        );
+        assert_eq!(w.machine_of(child), machines[1]);
+        // A parameter named by the parent denotes the same entity for the
+        // child.
+        let param = CompoundName::parse_path("/etc/passwd").unwrap();
+        assert_eq!(
+            w.resolve_in_own_context(parent, &param),
+            w.resolve_in_own_context(child, &param)
+        );
+        // But the child cannot reach the *execution* machine's local file
+        // by its local name.
+        let local = CompoundName::parse_path("/only-on-2").unwrap();
+        assert_eq!(w.resolve_in_own_context(child, &local), Entity::Undefined);
+    }
+
+    #[test]
+    fn remote_exec_local_root_gives_local_access() {
+        let (mut w, mut scheme, machines) = setup();
+        let parent = scheme.spawn(&mut w, machines[0], "sh", None);
+        let child = scheme.remote_exec(
+            &mut w,
+            parent,
+            machines[1],
+            "remote-job",
+            RootPolicy::LocalRoot,
+        );
+        // The child reaches the execution machine's files…
+        let local = CompoundName::parse_path("/only-on-2").unwrap();
+        assert!(w.resolve_in_own_context(child, &local).is_defined());
+        // …but parameters are incoherent.
+        let param = CompoundName::parse_path("/etc/passwd").unwrap();
+        assert_ne!(
+            w.resolve_in_own_context(parent, &param),
+            w.resolve_in_own_context(child, &param)
+        );
+    }
+
+    #[test]
+    fn recursive_join_reaches_across_systems() {
+        let mut w = World::new(3);
+        // Two independent Newcastle systems (each built like Fig. 3 but
+        // with distinct machine names).
+        let net = w.add_network("n");
+        let left_machines = vec![w.add_machine("la", net), w.add_machine("lb", net)];
+        let right_machines = vec![w.add_machine("ra", net)];
+        for &m in left_machines.iter().chain(&right_machines) {
+            let root = w.machine_root(m);
+            let etc = naming_sim::store::ensure_dir(w.state_mut(), root, "etc");
+            naming_sim::store::create_file(w.state_mut(), etc, "passwd", vec![]);
+        }
+        let left = Newcastle::install(&mut w, &left_machines);
+        let right = Newcastle::install(&mut w, &right_machines);
+        let mut joined = Newcastle::join(&mut w, left, "west", right, "east");
+        assert_eq!(joined.machines().len(), 3);
+
+        // A process on `la` reaches ra's passwd two levels up:
+        // /../../east/ra/etc/passwd
+        let p = joined.spawn(&mut w, left_machines[0], "p", None);
+        let n = CompoundName::parse_path("/../../east/ra/etc/passwd").unwrap();
+        let got = w.resolve_in_own_context(p, &n);
+        let direct = resolve_path(w.state(), w.machine_root(right_machines[0]), "/etc/passwd");
+        assert_eq!(got, direct);
+        assert!(got.is_defined());
+        // The single-level mapping still works inside the west subsystem.
+        let intra = CompoundName::parse_path("/../lb").unwrap();
+        assert!(w.resolve_in_own_context(p, &intra).is_defined());
+    }
+
+    #[test]
+    fn processes_on_machine() {
+        let (mut w, mut scheme, machines) = setup();
+        let a = scheme.spawn(&mut w, machines[0], "a", None);
+        let _b = scheme.spawn(&mut w, machines[1], "b", None);
+        assert_eq!(scheme.processes_on(&w, machines[0]), vec![a]);
+        assert_eq!(scheme.machines().len(), 3);
+    }
+}

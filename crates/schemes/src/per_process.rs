@@ -1,0 +1,250 @@
+//! Per-process namespaces (§6 approach II): Plan 9 and the extended
+//! Waterloo Port.
+//!
+//! "The approach can be used in the systems that provide a per-process,
+//! rather than a per-machine, view of naming. … Each process has its own
+//! individual root node to which the naming trees of subsystems known to
+//! the process are attached. The per-process view of naming decouples a
+//! process from the underlying context of its execution site: A process
+//! executing on a subsystem may use the context of another subsystem. …
+//! this yields a flexible naming environment which is used to construct a
+//! powerful remote execution facility. The remotely executing process can
+//! access files on both its local and its parent's machines. Thus, in
+//! spite of not having global names, the approach allows us to provide
+//! coherence for names passed as parameters from a parent process to its
+//! remote child."
+//!
+//! Each process gets a private root node; subsystem trees are attached into
+//! it by name. Remote execution copies the parent's attachments into the
+//! child's private root (so every name the parent uses keeps its meaning)
+//! and additionally attaches the execution machine's tree.
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::scheme::InstalledScheme;
+
+/// The Plan 9 / Waterloo Port per-process naming scheme.
+#[derive(Debug, Default)]
+pub struct PerProcess {
+    processes: Vec<ActivityId>,
+    audit_names: Vec<CompoundName>,
+}
+
+impl PerProcess {
+    /// Creates the scheme.
+    pub fn new() -> PerProcess {
+        PerProcess::default()
+    }
+
+    /// Spawns a process on `machine` with a *private root node*: the
+    /// machine's tree is attached under the machine's own name, and `/`
+    /// denotes the private root.
+    pub fn spawn(&mut self, world: &mut World, machine: MachineId, label: &str) -> ActivityId {
+        let pid = world.spawn(machine, label, None);
+        let private = world.state_mut().add_context_object(format!("ns:{label}"));
+        world
+            .state_mut()
+            .bind(private, Name::root(), private)
+            .expect("private root");
+        world.bind_for(pid, Name::root(), private);
+        world.bind_for(pid, Name::self_(), private);
+        let mname = world.topology().machine_name(machine).to_owned();
+        let mroot = world.machine_root(machine);
+        store::attach(world.state_mut(), private, &mname, mroot, false);
+        self.processes.push(pid);
+        pid
+    }
+
+    /// The process's private root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has no `/` binding to a context object (i.e.
+    /// was not spawned by this scheme).
+    pub fn private_root(&self, world: &World, pid: ActivityId) -> ObjectId {
+        match world.binding_of(pid, Name::root()) {
+            Entity::Object(o) => o,
+            other => panic!("process {pid} has no private root (found {other})"),
+        }
+    }
+
+    /// Attaches a subsystem tree into the process's private namespace under
+    /// `name` — the per-process flexibility: "attaching name spaces
+    /// directly to the context of an activity".
+    pub fn attach(&self, world: &mut World, pid: ActivityId, name: &str, subtree: ObjectId) {
+        let private = self.private_root(world, pid);
+        store::attach(world.state_mut(), private, name, subtree, false);
+    }
+
+    /// Detaches `name` from the process's private namespace.
+    pub fn detach(&self, world: &mut World, pid: ActivityId, name: &str) -> Option<Entity> {
+        let private = self.private_root(world, pid);
+        store::detach(world.state_mut(), private, name)
+    }
+
+    /// Remote execution with the parent's context: spawns `label` on
+    /// `target`, copies the parent's private-root attachments into the
+    /// child's private root, and additionally attaches the execution
+    /// machine's tree under the machine's name.
+    ///
+    /// Every name the parent can resolve, the child resolves to the same
+    /// entity; the child also reaches `target`'s local files.
+    pub fn remote_exec(
+        &mut self,
+        world: &mut World,
+        parent: ActivityId,
+        target: MachineId,
+        label: &str,
+    ) -> ActivityId {
+        let child = world.spawn(target, label, None);
+        let parent_private = self.private_root(world, parent);
+        let private = world.state_mut().add_context_object(format!("ns:{label}"));
+        // Copy the parent's attachments (sharing the attached subtrees).
+        let parent_ctx = world
+            .state()
+            .context(parent_private)
+            .expect("private root is a context")
+            .inherit();
+        *world
+            .state_mut()
+            .context_mut(private)
+            .expect("fresh private root") = parent_ctx;
+        // The private root's `/` must denote the child's own root.
+        world
+            .state_mut()
+            .bind(private, Name::root(), private)
+            .expect("private root");
+        // Attach the execution machine's tree (possibly shadowing nothing).
+        let mname = world.topology().machine_name(target).to_owned();
+        let mroot = world.machine_root(target);
+        store::attach(world.state_mut(), private, &mname, mroot, false);
+        world.bind_for(child, Name::root(), private);
+        world.bind_for(child, Name::self_(), private);
+        self.processes.push(child);
+        child
+    }
+
+    /// Registers the names the coherence audit should check.
+    pub fn set_audit_names(&mut self, names: Vec<CompoundName>) {
+        self.audit_names = names;
+    }
+}
+
+impl InstalledScheme for PerProcess {
+    fn scheme_name(&self) -> &'static str {
+        "per-process-namespaces"
+    }
+
+    fn participants(&self, _world: &World) -> Vec<ActivityId> {
+        self.processes.clone()
+    }
+
+    fn audit_names(&self, _world: &World) -> Vec<CompoundName> {
+        self.audit_names.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two machines with distinct `/data/input` files.
+    fn setup() -> (World, Vec<MachineId>, PerProcess) {
+        let mut w = World::new(31);
+        let net = w.add_network("port-net");
+        let ms = vec![w.add_machine("home", net), w.add_machine("server", net)];
+        for &m in &ms {
+            let root = w.machine_root(m);
+            let data = store::ensure_dir(w.state_mut(), root, "data");
+            let mname = w.topology().machine_name(m).to_owned();
+            store::create_file(w.state_mut(), data, "input", mname.into_bytes());
+        }
+        (w, ms, PerProcess::new())
+    }
+
+    #[test]
+    fn private_roots_are_independent() {
+        let (mut w, ms, mut scheme) = setup();
+        let p1 = scheme.spawn(&mut w, ms[0], "p1");
+        let p2 = scheme.spawn(&mut w, ms[0], "p2");
+        assert_ne!(scheme.private_root(&w, p1), scheme.private_root(&w, p2));
+        // Both reach their machine's files through the machine-name prefix.
+        let n = CompoundName::parse_path("/home/data/input").unwrap();
+        assert!(w.resolve_in_own_context(p1, &n).is_defined());
+        assert_eq!(
+            w.resolve_in_own_context(p1, &n),
+            w.resolve_in_own_context(p2, &n)
+        );
+    }
+
+    #[test]
+    fn attach_gives_access_to_other_subsystems() {
+        let (mut w, ms, mut scheme) = setup();
+        let p = scheme.spawn(&mut w, ms[0], "p");
+        // p attaches the server's tree into its own namespace.
+        let server_root = w.machine_root(ms[1]);
+        scheme.attach(&mut w, p, "srv", server_root);
+        let n = CompoundName::parse_path("/srv/data/input").unwrap();
+        let got = w.resolve_in_own_context(p, &n);
+        assert_eq!(
+            got,
+            store::resolve_path(w.state(), server_root, "/data/input")
+        );
+        // Detach removes access.
+        assert!(scheme.detach(&mut w, p, "srv").is_some());
+        assert_eq!(w.resolve_in_own_context(p, &n), Entity::Undefined);
+        assert!(scheme.detach(&mut w, p, "srv").is_none());
+    }
+
+    #[test]
+    fn remote_child_keeps_parent_meanings_and_gains_local_access() {
+        let (mut w, ms, mut scheme) = setup();
+        let parent = scheme.spawn(&mut w, ms[0], "parent");
+        let child = scheme.remote_exec(&mut w, parent, ms[1], "child");
+        assert_eq!(w.machine_of(child), ms[1]);
+        // Parameter coherence: the name the parent uses for its input file
+        // denotes the same entity for the remote child.
+        let param = CompoundName::parse_path("/home/data/input").unwrap();
+        assert_eq!(
+            w.resolve_in_own_context(parent, &param),
+            w.resolve_in_own_context(child, &param)
+        );
+        assert!(w.resolve_in_own_context(child, &param).is_defined());
+        // Local access: the child also reaches the server's files.
+        let local = CompoundName::parse_path("/server/data/input").unwrap();
+        assert!(w.resolve_in_own_context(child, &local).is_defined());
+        // The parent does NOT see the server tree (it never attached it):
+        // per-process views really are per-process.
+        assert_eq!(w.resolve_in_own_context(parent, &local), Entity::Undefined);
+    }
+
+    #[test]
+    fn child_namespace_diverges_after_exec() {
+        let (mut w, ms, mut scheme) = setup();
+        let parent = scheme.spawn(&mut w, ms[0], "parent");
+        let child = scheme.remote_exec(&mut w, parent, ms[1], "child");
+        // Later parent attachments do not appear in the child (the copy was
+        // taken at exec time).
+        let extra = w.state_mut().add_context_object("extra");
+        scheme.attach(&mut w, parent, "extra", extra);
+        let n = CompoundName::parse_path("/extra").unwrap();
+        assert!(w.resolve_in_own_context(parent, &n).is_defined());
+        assert_eq!(w.resolve_in_own_context(child, &n), Entity::Undefined);
+    }
+
+    #[test]
+    fn audit_of_parent_child_pair_is_coherent_for_parent_names() {
+        use crate::scheme::audit_scheme;
+        let (mut w, ms, mut scheme) = setup();
+        let parent = scheme.spawn(&mut w, ms[0], "parent");
+        let _child = scheme.remote_exec(&mut w, parent, ms[1], "child");
+        scheme.set_audit_names(vec![CompoundName::parse_path("/home/data/input").unwrap()]);
+        let audit = audit_scheme(&w, &scheme);
+        assert_eq!(audit.stats.coherent, 1);
+        assert_eq!(audit.stats.incoherent, 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Partially qualified identifiers (§6 Example 1): process identifiers
+//! qualified only as far as necessary, with `R(sender)` mapping at message
+//! boundaries.
+//!
+//! "Pids have the form p = (p.naddr, p.maddr, p.laddr). A process with
+//! local address l on machine m and network n has the following pids
+//! depending on the context of reference: (0,0,0), (0,0,l), (0,m,l), and
+//! (n,m,l). The pid (0,0,0) can be used by any process to refer to itself.
+//! Partially qualified pids have an advantage over the conventionally used
+//! fully qualified pids: when the address of a machine or a network is
+//! changed as part of relocation or reconfiguration, pids of local
+//! processes within the renamed machine or network remain valid. …
+//! A pid embedded in a message is valid in the context of the sender, but
+//! not necessarily in the context of the receiver. The resolution rule is
+//! R(sender) … implemented by mapping the embedded pid."
+//!
+//! [`Pqid`] is the identifier; [`PqidSpace`] resolves pids relative to a
+//! process (the pid's *context of reference*) and implements the boundary
+//! mapping. Resolution consults the topology's *current* addresses, so
+//! renumbering a machine or network invalidates exactly the pids that
+//! embed the old address — experiment E9.
+
+use std::fmt;
+
+use naming_core::entity::ActivityId;
+use naming_sim::topology::{MachineAddr, NetAddr};
+use naming_sim::world::{LocalAddr, World};
+use serde::{Deserialize, Serialize};
+
+/// A partially qualified process identifier `(naddr, maddr, laddr)`.
+///
+/// Zero components mean "unqualified at this level": the referent is found
+/// relative to the resolving process's own network/machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pqid {
+    /// Network address, or 0 if network-unqualified.
+    pub naddr: u32,
+    /// Machine address, or 0 if machine-unqualified.
+    pub maddr: u32,
+    /// Process-local address, or 0 (only in the self pid `(0,0,0)`).
+    pub laddr: u32,
+}
+
+impl Pqid {
+    /// The self pid `(0,0,0)`: "can be used by any process to refer to
+    /// itself".
+    pub const SELF: Pqid = Pqid {
+        naddr: 0,
+        maddr: 0,
+        laddr: 0,
+    };
+
+    /// A machine-local pid `(0,0,l)`.
+    pub fn local(laddr: u32) -> Pqid {
+        Pqid {
+            naddr: 0,
+            maddr: 0,
+            laddr,
+        }
+    }
+
+    /// A network-local pid `(0,m,l)`.
+    pub fn on_machine(maddr: MachineAddr, laddr: u32) -> Pqid {
+        Pqid {
+            naddr: 0,
+            maddr: maddr.value(),
+            laddr,
+        }
+    }
+
+    /// A fully qualified pid `(n,m,l)`.
+    pub fn full(naddr: NetAddr, maddr: MachineAddr, laddr: u32) -> Pqid {
+        Pqid {
+            naddr: naddr.value(),
+            maddr: maddr.value(),
+            laddr,
+        }
+    }
+
+    /// How many leading components are unqualified (0 = fully qualified,
+    /// 3 = the self pid).
+    pub fn qualification_level(&self) -> &'static str {
+        match (self.naddr, self.maddr, self.laddr) {
+            (0, 0, 0) => "self",
+            (0, 0, _) => "machine-local",
+            (0, _, _) => "network-local",
+            _ => "fully-qualified",
+        }
+    }
+}
+
+impl fmt::Display for Pqid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.naddr, self.maddr, self.laddr)
+    }
+}
+
+/// The pid naming scheme over a [`World`].
+///
+/// Stateless: all state lives in the world's topology and process table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PqidSpace;
+
+impl PqidSpace {
+    /// Creates the scheme.
+    pub fn new() -> PqidSpace {
+        PqidSpace
+    }
+
+    /// The fully qualified pid of a process under *current* addresses —
+    /// the conventional baseline the paper compares against.
+    pub fn fully_qualified(&self, world: &World, pid: ActivityId) -> Pqid {
+        let m = world.machine_of(pid);
+        let n = world.topology().machine_network(m);
+        Pqid::full(
+            world.topology().net_addr(n),
+            world.topology().machine_addr(m),
+            world.local_addr(pid).value(),
+        )
+    }
+
+    /// The *minimally qualified* pid with which `referrer` can denote
+    /// `target`: qualified "only as far as necessary".
+    pub fn minimal(&self, world: &World, referrer: ActivityId, target: ActivityId) -> Pqid {
+        if referrer == target {
+            return Pqid::SELF;
+        }
+        let rm = world.machine_of(referrer);
+        let tm = world.machine_of(target);
+        let laddr = world.local_addr(target).value();
+        if rm == tm {
+            return Pqid::local(laddr);
+        }
+        let rn = world.topology().machine_network(rm);
+        let tn = world.topology().machine_network(tm);
+        if rn == tn {
+            return Pqid::on_machine(world.topology().machine_addr(tm), laddr);
+        }
+        Pqid::full(
+            world.topology().net_addr(tn),
+            world.topology().machine_addr(tm),
+            laddr,
+        )
+    }
+
+    /// Resolves a pid in the context of `resolver`: unqualified components
+    /// default to the resolver's own machine/network; qualified components
+    /// are looked up against *current* addresses.
+    ///
+    /// Returns `None` when the pid denotes nothing (e.g. it embeds a
+    /// renumbered address, or the process is dead).
+    pub fn resolve(&self, world: &World, resolver: ActivityId, pid: Pqid) -> Option<ActivityId> {
+        if pid == Pqid::SELF {
+            return Some(resolver);
+        }
+        let rmachine = world.machine_of(resolver);
+        let machine = match (pid.naddr, pid.maddr) {
+            (0, 0) => rmachine,
+            (0, m) => {
+                // Machine on the resolver's own network with current addr m.
+                let net = world.topology().machine_network(rmachine);
+                world
+                    .topology()
+                    .machines_on(net)
+                    .into_iter()
+                    .find(|&mm| world.topology().machine_addr(mm).value() == m)?
+            }
+            // A network-qualified but machine-unqualified pid (n,0,l) is
+            // malformed; it denotes nothing.
+            (_, 0) => return None,
+            (n, m) => world
+                .topology()
+                .locate(NetAddr::new(n), MachineAddr::new(m))?,
+        };
+        world.find_process(machine, local_addr(world, machine, pid.laddr)?)
+    }
+
+    /// Maps a pid at a message boundary — the `R(sender)` implementation:
+    /// a pid embedded in a message from `sender` is rewritten so that it
+    /// denotes the same process in `receiver`'s context.
+    ///
+    /// Returns `None` when the pid does not resolve for the sender (a
+    /// dangling pid cannot be mapped).
+    pub fn map_for_transfer(
+        &self,
+        world: &World,
+        sender: ActivityId,
+        receiver: ActivityId,
+        pid: Pqid,
+    ) -> Option<Pqid> {
+        let target = self.resolve(world, sender, pid)?;
+        Some(self.minimal(world, receiver, target))
+    }
+}
+
+/// Finds the `LocalAddr` handle for a raw value on a machine, if a live
+/// process holds it.
+fn local_addr(
+    world: &World,
+    machine: naming_sim::topology::MachineId,
+    raw: u32,
+) -> Option<LocalAddr> {
+    // LocalAddr has no public constructor (the world hands them out);
+    // search the machine's processes for the matching value.
+    world
+        .processes_on(machine)
+        .into_iter()
+        .find(|&p| world.local_addr(p).value() == raw)
+        .map(|p| world.local_addr(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_sim::topology::MachineId;
+
+    /// Two networks, two machines each, one process per machine.
+    fn setup() -> (World, Vec<MachineId>, Vec<ActivityId>) {
+        let mut w = World::new(17);
+        let n1 = w.add_network("net1");
+        let n2 = w.add_network("net2");
+        let machines = vec![
+            w.add_machine("a", n1),
+            w.add_machine("b", n1),
+            w.add_machine("c", n2),
+            w.add_machine("d", n2),
+        ];
+        let pids: Vec<ActivityId> = machines.iter().map(|&m| w.spawn(m, "p", None)).collect();
+        (w, machines, pids)
+    }
+
+    #[test]
+    fn self_pid() {
+        let (w, _, pids) = setup();
+        let s = PqidSpace::new();
+        for &p in &pids {
+            assert_eq!(s.resolve(&w, p, Pqid::SELF), Some(p));
+            assert_eq!(s.minimal(&w, p, p), Pqid::SELF);
+        }
+        assert_eq!(Pqid::SELF.qualification_level(), "self");
+    }
+
+    #[test]
+    fn minimal_qualification_matches_distance() {
+        let (mut w, machines, pids) = setup();
+        let s = PqidSpace::new();
+        // Same machine.
+        let sibling = w.spawn(machines[0], "sib", None);
+        let q = s.minimal(&w, pids[0], sibling);
+        assert_eq!(q.qualification_level(), "machine-local");
+        // Same network, different machine.
+        let q = s.minimal(&w, pids[0], pids[1]);
+        assert_eq!(q.qualification_level(), "network-local");
+        // Different network.
+        let q = s.minimal(&w, pids[0], pids[2]);
+        assert_eq!(q.qualification_level(), "fully-qualified");
+    }
+
+    #[test]
+    fn minimal_pids_resolve_correctly() {
+        let (mut w, machines, pids) = setup();
+        let s = PqidSpace::new();
+        let sibling = w.spawn(machines[0], "sib", None);
+        let mut all = pids.clone();
+        all.push(sibling);
+        for &a in &all {
+            for &b in &all {
+                let q = s.minimal(&w, a, b);
+                assert_eq!(s.resolve(&w, a, q), Some(b), "{a} -> {b} via {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_qualified_resolve() {
+        let (w, _, pids) = setup();
+        let s = PqidSpace::new();
+        let q = s.fully_qualified(&w, pids[3]);
+        assert_eq!(q.qualification_level(), "fully-qualified");
+        for &p in &pids {
+            assert_eq!(s.resolve(&w, p, q), Some(pids[3]));
+        }
+    }
+
+    #[test]
+    fn machine_renumbering_preserves_local_pids() {
+        let (mut w, machines, pids) = setup();
+        let s = PqidSpace::new();
+        let sibling = w.spawn(machines[0], "sib", None);
+        // Record pids before renumbering.
+        let local = s.minimal(&w, pids[0], sibling); // (0,0,l)
+        let net_local = s.minimal(&w, pids[1], sibling); // (0,m,l) to machine a
+        let full = s.fully_qualified(&w, sibling); // (n,m,l)
+                                                   // Renumber machine `a`.
+        w.renumber_machine(machines[0]);
+        // Machine-local pid still valid — "pids of local processes within
+        // the renamed machine remain valid".
+        assert_eq!(s.resolve(&w, pids[0], local), Some(sibling));
+        // Pids embedding the old machine address are dangling.
+        assert_eq!(s.resolve(&w, pids[1], net_local), None);
+        assert_eq!(s.resolve(&w, pids[1], full), None);
+        // Re-derived pids with the new address work again.
+        let fixed = s.minimal(&w, pids[1], sibling);
+        assert_eq!(s.resolve(&w, pids[1], fixed), Some(sibling));
+    }
+
+    #[test]
+    fn network_renumbering_preserves_intra_network_pids() {
+        let (mut w, _, pids) = setup();
+        let s = PqidSpace::new();
+        let net_local = s.minimal(&w, pids[0], pids[1]); // (0,m,l)
+        let cross_full = s.fully_qualified(&w, pids[1]); // embeds net1 addr
+        let n1 = w.topology().machine_network(w.machine_of(pids[0]));
+        w.renumber_network(n1);
+        // Intra-network pid survives: it never embedded the network address.
+        assert_eq!(s.resolve(&w, pids[0], net_local), Some(pids[1]));
+        // Fully qualified pid from outside embeds the stale address.
+        assert_eq!(s.resolve(&w, pids[2], cross_full), None);
+    }
+
+    #[test]
+    fn boundary_mapping_implements_r_sender() {
+        let (mut w, machines, pids) = setup();
+        let s = PqidSpace::new();
+        let sibling = w.spawn(machines[0], "sib", None);
+        // pids[0] refers to its machine-sibling with (0,0,l); sent raw to a
+        // process on another machine, that pid would denote the *receiver's*
+        // machine-sibling (or nothing) — incoherence.
+        let raw = s.minimal(&w, pids[0], sibling);
+        let misread = s.resolve(&w, pids[2], raw);
+        assert_ne!(misread, Some(sibling), "raw transfer misresolves");
+        // Mapping at the boundary preserves the sender's meaning.
+        let mapped = s.map_for_transfer(&w, pids[0], pids[2], raw).unwrap();
+        assert_eq!(s.resolve(&w, pids[2], mapped), Some(sibling));
+    }
+
+    #[test]
+    fn mapping_self_pid() {
+        let (w, _, pids) = setup();
+        let s = PqidSpace::new();
+        // The self pid names the *sender* when mapped.
+        let mapped = s
+            .map_for_transfer(&w, pids[0], pids[2], Pqid::SELF)
+            .unwrap();
+        assert_eq!(s.resolve(&w, pids[2], mapped), Some(pids[0]));
+    }
+
+    #[test]
+    fn dead_processes_do_not_resolve() {
+        let (mut w, _, pids) = setup();
+        let s = PqidSpace::new();
+        let q = s.fully_qualified(&w, pids[1]);
+        w.kill(pids[1]);
+        assert_eq!(s.resolve(&w, pids[0], q), None);
+        assert_eq!(s.map_for_transfer(&w, pids[0], pids[2], q), None);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Pqid::SELF.to_string(), "(0,0,0)");
+        assert_eq!(Pqid::local(4).to_string(), "(0,0,4)");
+    }
+}

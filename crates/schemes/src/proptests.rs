@@ -1,0 +1,169 @@
+//! Property-based tests for the scheme implementations.
+
+#![cfg(test)]
+
+use naming_core::entity::{ActivityId, Entity};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::world::World;
+use proptest::prelude::*;
+
+use crate::embedded::EmbeddedResolver;
+use crate::pqid::{Pqid, PqidSpace};
+
+/// Builds a world from a shape spec: `nets[i]` = machines on network i,
+/// `procs` per machine.
+fn pqid_world(nets: &[usize], procs: usize) -> (World, Vec<ActivityId>) {
+    let mut w = World::new(99);
+    let mut pids = Vec::new();
+    for (i, &machines) in nets.iter().enumerate() {
+        let net = w.add_network(format!("n{i}"));
+        for m in 0..machines {
+            let machine = w.add_machine(format!("m{i}-{m}"), net);
+            for p in 0..procs {
+                pids.push(w.spawn(machine, format!("p{p}"), None));
+            }
+        }
+    }
+    (w, pids)
+}
+
+proptest! {
+    /// For every (referrer, target) pair in any topology, the minimal pid
+    /// resolves to the target, and so does the fully qualified pid from
+    /// anywhere.
+    #[test]
+    fn minimal_pids_always_resolve(
+        nets in proptest::collection::vec(1usize..4, 1..4),
+        procs in 1usize..4,
+    ) {
+        let (w, pids) = pqid_world(&nets, procs);
+        let space = PqidSpace::new();
+        for &a in &pids {
+            for &b in &pids {
+                let q = space.minimal(&w, a, b);
+                prop_assert_eq!(space.resolve(&w, a, q), Some(b));
+                let f = space.fully_qualified(&w, b);
+                prop_assert_eq!(space.resolve(&w, a, f), Some(b));
+            }
+        }
+    }
+
+    /// Minimality: the minimal pid's qualification level is the weakest
+    /// that still resolves correctly — dropping one more level of
+    /// qualification no longer denotes the target (unless it coincides).
+    #[test]
+    fn minimal_pids_are_minimal(
+        nets in proptest::collection::vec(1usize..4, 1..3),
+        procs in 1usize..3,
+    ) {
+        let (w, pids) = pqid_world(&nets, procs);
+        let space = PqidSpace::new();
+        for &a in &pids {
+            for &b in &pids {
+                let q = space.minimal(&w, a, b);
+                // Construct the next-weaker form and check it does not
+                // denote b (from a's point of view) unless it IS b.
+                let weaker = match (q.naddr, q.maddr, q.laddr) {
+                    (0, 0, 0) => continue, // already weakest
+                    (0, 0, l) => { let _ = l; Pqid::SELF }
+                    (0, m, l) => { let _ = m; Pqid::local(l) }
+                    (_, m, l) => Pqid { naddr: 0, maddr: m, laddr: l },
+                };
+                if let Some(hit) = space.resolve(&w, a, weaker) {
+                    prop_assert_ne!(
+                        hit, b,
+                        "weaker form {} should not reach {} from {}", weaker, b, a
+                    );
+                }
+            }
+        }
+    }
+
+    /// Boundary mapping is correct for arbitrary sender/receiver/target
+    /// triples: the receiver resolves the mapped pid to what the sender
+    /// meant.
+    #[test]
+    fn transfer_mapping_preserves_meaning(
+        nets in proptest::collection::vec(1usize..4, 1..4),
+        procs in 1usize..3,
+        picks in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 1..20),
+    ) {
+        let (w, pids) = pqid_world(&nets, procs);
+        let space = PqidSpace::new();
+        for (s, r, t) in picks {
+            let sender = pids[s % pids.len()];
+            let receiver = pids[r % pids.len()];
+            let target = pids[t % pids.len()];
+            let q = space.minimal(&w, sender, target);
+            let mapped = space.map_for_transfer(&w, sender, receiver, q).unwrap();
+            prop_assert_eq!(space.resolve(&w, receiver, mapped), Some(target));
+        }
+    }
+
+    /// Algol scope: with the binding planted at a random ancestor level and
+    /// decoy bindings above it, the resolver picks the CLOSEST one.
+    #[test]
+    fn embedded_resolution_picks_closest_ancestor(
+        depth in 2usize..12,
+        bind_at in 0usize..12,
+        decoy_at in 0usize..12,
+    ) {
+        let bind_at = bind_at % depth;
+        let decoy_at = decoy_at % depth;
+        let mut s = naming_core::state::SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        let mut chain = vec![root];
+        let mut cur = root;
+        for i in 0..depth {
+            cur = store::ensure_dir(&mut s, cur, &format!("lvl{i}"));
+            chain.push(cur);
+        }
+        // Plant target bindings: "a" -> dir containing "p".
+        let plant = |s: &mut naming_core::state::SystemState, at: usize, tag: u8| {
+            let host = chain[at];
+            let lib = store::ensure_dir(s, host, &format!("alib{tag}"));
+            let p = store::create_file(s, lib, "p", vec![tag]);
+            s.bind(host, Name::new("a"), lib).unwrap();
+            p
+        };
+        let deep_p = plant(&mut s, bind_at.max(decoy_at), 1);
+        let shallow_p = plant(&mut s, bind_at.min(decoy_at), 2);
+        let doc = store::create_file(&mut s, *chain.last().unwrap(), "doc", vec![]);
+        let mut er = EmbeddedResolver::new();
+        let name = CompoundName::new(["a", "p"].map(Name::new)).unwrap();
+        let got = er.resolve(&s, doc, &name);
+        // The deeper (closer to the doc) binding must win; when both are at
+        // the same level the second plant overwrote the first binding.
+        let expected = if bind_at.max(decoy_at) == bind_at.min(decoy_at) {
+            shallow_p
+        } else {
+            deep_p
+        };
+        prop_assert_eq!(got, Entity::Object(expected));
+    }
+
+    /// Cached and uncached embedded resolvers agree on arbitrary chains.
+    #[test]
+    fn embedded_cache_transparent(depth in 1usize..16) {
+        let mut s = naming_core::state::SystemState::new();
+        let root = s.add_context_object("root");
+        s.bind(root, Name::root(), root).unwrap();
+        let lib = store::ensure_dir(&mut s, root, "a");
+        store::create_file(&mut s, lib, "p", vec![]);
+        let mut cur = root;
+        for i in 0..depth {
+            cur = store::ensure_dir(&mut s, cur, &format!("l{i}"));
+        }
+        let doc = store::create_file(&mut s, cur, "doc", vec![]);
+        let name = CompoundName::new(["a", "p"].map(Name::new)).unwrap();
+        let mut plain = EmbeddedResolver::new();
+        let mut cached = EmbeddedResolver::with_cache();
+        let a = plain.resolve(&s, doc, &name);
+        let b1 = cached.resolve(&s, doc, &name);
+        let b2 = cached.resolve(&s, doc, &name);
+        prop_assert_eq!(a, b1);
+        prop_assert_eq!(a, b2);
+    }
+}

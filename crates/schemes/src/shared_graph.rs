@@ -1,0 +1,265 @@
+//! The shared-naming-graph approach (§5.2, Fig. 4): client subsystems with
+//! private local trees plus one shared tree — Andrew, Waterloo Port,
+//! OSF DCE.
+//!
+//! "Each client machine attaches the shared naming tree in the local naming
+//! tree under the node /vice. … Only files in the shared naming graph have
+//! global names: these are names prefixed with /vice. There is coherence
+//! among all processes with respect to these global names, and activities
+//! within a client subsystem have coherence for local files named relative
+//! to the root of the local naming tree."
+//!
+//! Also modelled:
+//!
+//! * weak coherence of replicated commands: "there is also coherence for
+//!   the names of replicated commands and libraries such as /bin …
+//!   because each machine has bindings that map these names to either
+//!   instances in the local naming tree or in the shared naming tree";
+//! * the remote-execution argument restriction: "Andrew uses the latter
+//!   approach and therefore only entities in the shared naming graph can be
+//!   passed as argument".
+
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::scheme::InstalledScheme;
+
+/// The shared-tree attachment point used by Andrew.
+pub const SHARE_POINT: &str = "vice";
+
+/// An Andrew-style shared-naming-graph system.
+#[derive(Debug)]
+pub struct SharedGraph {
+    shared_root: ObjectId,
+    clients: Vec<MachineId>,
+    processes: Vec<ActivityId>,
+    audit_names: Vec<CompoundName>,
+}
+
+impl SharedGraph {
+    /// Installs the scheme: creates the shared tree and attaches it under
+    /// `/vice` in every client machine's local tree.
+    pub fn install(world: &mut World, clients: &[MachineId]) -> SharedGraph {
+        let shared_root = world.state_mut().add_context_object("vice:/");
+        for &m in clients {
+            let mroot = world.machine_root(m);
+            store::attach(world.state_mut(), mroot, SHARE_POINT, shared_root, false);
+        }
+        SharedGraph {
+            shared_root,
+            clients: clients.to_vec(),
+            processes: Vec::new(),
+            audit_names: Vec::new(),
+        }
+    }
+
+    /// The root of the shared tree (the subgraph every client sees).
+    pub fn shared_root(&self) -> ObjectId {
+        self.shared_root
+    }
+
+    /// The client machines.
+    pub fn clients(&self) -> &[MachineId] {
+        &self.clients
+    }
+
+    /// Spawns a process on a client machine (context rooted at the client's
+    /// local tree, through which `/vice` reaches the shared tree).
+    pub fn spawn(
+        &mut self,
+        world: &mut World,
+        machine: MachineId,
+        label: &str,
+        parent: Option<ActivityId>,
+    ) -> ActivityId {
+        let pid = world.spawn(machine, label, parent);
+        self.processes.push(pid);
+        pid
+    }
+
+    /// Installs replicated command binaries: creates `/bin/<cmd>` locally
+    /// on every client with identical content and registers the copies as
+    /// one replica group. Returns the per-client objects.
+    pub fn install_replicated_command(
+        &self,
+        world: &mut World,
+        cmd: &str,
+        content: &[u8],
+    ) -> Vec<ObjectId> {
+        let mut copies = Vec::new();
+        for &m in &self.clients {
+            let root = world.machine_root(m);
+            let bin = store::ensure_dir(world.state_mut(), root, "bin");
+            let obj = store::create_file(world.state_mut(), bin, cmd, content.to_vec());
+            copies.push(obj);
+        }
+        if copies.len() > 1 {
+            world.replicas_mut().declare_group(copies.iter().copied());
+        }
+        copies
+    }
+
+    /// True if `name` lies in the shared naming graph (is `/vice`-prefixed)
+    /// and may therefore be passed as an argument in remote execution.
+    pub fn can_pass_as_argument(&self, name: &CompoundName) -> bool {
+        name.has_prefix(&[Name::root(), Name::new(SHARE_POINT)])
+    }
+
+    /// Remote execution with the Andrew policy: the child runs on `target`
+    /// with `target`'s local tree, and only shared (`/vice`) names passed
+    /// from the parent stay coherent. Returns the child and the subset of
+    /// `args` that survive the boundary coherently.
+    pub fn remote_exec(
+        &mut self,
+        world: &mut World,
+        parent: ActivityId,
+        target: MachineId,
+        label: &str,
+        args: &[CompoundName],
+    ) -> (ActivityId, Vec<CompoundName>) {
+        let _ = parent;
+        let child = world.spawn(target, label, None);
+        self.processes.push(child);
+        let passed = args
+            .iter()
+            .filter(|a| self.can_pass_as_argument(a))
+            .cloned()
+            .collect();
+        (child, passed)
+    }
+
+    /// Registers the names the coherence audit should check.
+    pub fn set_audit_names(&mut self, names: Vec<CompoundName>) {
+        self.audit_names = names;
+    }
+}
+
+impl InstalledScheme for SharedGraph {
+    fn scheme_name(&self) -> &'static str {
+        "andrew-shared-graph"
+    }
+
+    fn participants(&self, _world: &World) -> Vec<ActivityId> {
+        self.processes.clone()
+    }
+
+    fn audit_names(&self, _world: &World) -> Vec<CompoundName> {
+        self.audit_names.clone()
+    }
+}
+
+/// Builds a canonical Andrew scenario: `n_clients` client machines, a
+/// shared tree with user homes under `/vice/usr`, per-client local scratch
+/// files, and the replicated `cc` command. One process per client.
+pub fn canonical(
+    world: &mut World,
+    n_clients: usize,
+) -> (SharedGraph, Vec<MachineId>, Vec<ActivityId>) {
+    let net = world.add_network("andrew-net");
+    let clients: Vec<MachineId> = (0..n_clients)
+        .map(|i| world.add_machine(format!("client{i}"), net))
+        .collect();
+    for &m in &clients {
+        let root = world.machine_root(m);
+        let tmp = store::ensure_dir(world.state_mut(), root, "tmp");
+        store::create_file(world.state_mut(), tmp, "scratch", vec![]);
+    }
+    let mut scheme = SharedGraph::install(world, &clients);
+    // Shared content.
+    let usr = store::ensure_dir(world.state_mut(), scheme.shared_root, "usr");
+    for user in ["alice", "bob"] {
+        let home = store::ensure_dir(world.state_mut(), usr, user);
+        store::create_file(world.state_mut(), home, "profile", vec![]);
+    }
+    scheme.install_replicated_command(world, "cc", b"compiler");
+    let pids: Vec<ActivityId> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| scheme.spawn(world, m, &format!("proc{i}"), None))
+        .collect();
+    (scheme, clients, pids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::audit_scheme;
+    use naming_core::entity::Entity;
+
+    #[test]
+    fn vice_names_are_coherent_across_clients() {
+        let mut w = World::new(5);
+        let (mut scheme, _clients, pids) = canonical(&mut w, 3);
+        let shared_name = CompoundName::parse_path("/vice/usr/alice/profile").unwrap();
+        let entities: Vec<Entity> = pids
+            .iter()
+            .map(|&p| w.resolve_in_own_context(p, &shared_name))
+            .collect();
+        assert!(entities[0].is_defined());
+        assert!(entities.windows(2).all(|w| w[0] == w[1]));
+        scheme.set_audit_names(vec![shared_name]);
+        let audit = audit_scheme(&w, &scheme);
+        assert_eq!(audit.stats.coherent, 1);
+    }
+
+    #[test]
+    fn local_names_are_incoherent_across_clients() {
+        let mut w = World::new(5);
+        let (mut scheme, _clients, pids) = canonical(&mut w, 3);
+        let local = CompoundName::parse_path("/tmp/scratch").unwrap();
+        let e0 = w.resolve_in_own_context(pids[0], &local);
+        let e1 = w.resolve_in_own_context(pids[1], &local);
+        assert!(e0.is_defined() && e1.is_defined());
+        assert_ne!(e0, e1);
+        scheme.set_audit_names(vec![local]);
+        let audit = audit_scheme(&w, &scheme);
+        assert_eq!(audit.stats.incoherent, 1);
+    }
+
+    #[test]
+    fn replicated_commands_are_weakly_coherent() {
+        let mut w = World::new(5);
+        let (mut scheme, _clients, _pids) = canonical(&mut w, 3);
+        scheme.set_audit_names(vec![CompoundName::parse_path("/bin/cc").unwrap()]);
+        let audit = audit_scheme(&w, &scheme);
+        assert_eq!(audit.stats.weakly_coherent, 1);
+        assert_eq!(audit.stats.coherent, 0);
+    }
+
+    #[test]
+    fn argument_restriction() {
+        let mut w = World::new(5);
+        let (mut scheme, clients, pids) = canonical(&mut w, 2);
+        let shared = CompoundName::parse_path("/vice/usr/bob/profile").unwrap();
+        let local = CompoundName::parse_path("/tmp/scratch").unwrap();
+        assert!(scheme.can_pass_as_argument(&shared));
+        assert!(!scheme.can_pass_as_argument(&local));
+        let (child, passed) = scheme.remote_exec(
+            &mut w,
+            pids[0],
+            clients[1],
+            "remote",
+            &[shared.clone(), local],
+        );
+        assert_eq!(passed, vec![shared.clone()]);
+        // The passed name is coherent between parent and child.
+        assert_eq!(
+            w.resolve_in_own_context(pids[0], &shared),
+            w.resolve_in_own_context(child, &shared)
+        );
+    }
+
+    #[test]
+    fn single_client_replicated_command_is_not_grouped() {
+        let mut w = World::new(5);
+        let net = w.add_network("n");
+        let m = w.add_machine("only", net);
+        let scheme = SharedGraph::install(&mut w, &[m]);
+        let copies = scheme.install_replicated_command(&mut w, "ls", b"x");
+        assert_eq!(copies.len(), 1);
+        assert_eq!(w.replicas().registered_count(), 0);
+    }
+}

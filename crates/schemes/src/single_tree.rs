@@ -1,0 +1,329 @@
+//! The single-naming-graph approach (§5.1): one tree shared by all
+//! activities — classic Unix, and its distributed descendants Locus and
+//! the V system.
+//!
+//! "The context R(p) of a Unix process p has two bindings: one for the root
+//! directory, and the other for the working directory. In a typical Unix
+//! system, R(p)(/) is the root of the tree for all processes p;
+//! consequently there is coherence for the set of compound names starting
+//! with '/'. … However, in Unix, all processes need not have the same root
+//! and therefore, in general, there is coherence only among processes that
+//! have the same binding for the root directory."
+//!
+//! [`UnixTree`] builds one naming tree and spawns processes whose contexts
+//! carry the `/` and `.` bindings. It supports `chroot` and `chdir` (the
+//! two ways contexts diverge), and classifies processes into coherence
+//! groups by root binding.
+
+use std::collections::BTreeMap;
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::scheme::InstalledScheme;
+
+/// A single shared naming tree with Unix-style per-process contexts.
+#[derive(Debug)]
+pub struct UnixTree {
+    root: ObjectId,
+    processes: Vec<ActivityId>,
+    audit_names: Vec<CompoundName>,
+}
+
+impl UnixTree {
+    /// Installs a single naming tree into the world and makes it the root
+    /// of every machine — the Locus / V-system discipline of "combining
+    /// subtrees in different parts of the distributed system to form a
+    /// single naming tree" with every process's root bound to the tree
+    /// root.
+    pub fn install(world: &mut World) -> UnixTree {
+        let root = world.state_mut().add_context_object("unix:/");
+        world
+            .state_mut()
+            .bind(root, Name::root(), root)
+            .expect("fresh root");
+        for m in 0..world.topology().machine_count() {
+            world.set_machine_root(MachineId(m), root);
+        }
+        UnixTree {
+            root,
+            processes: Vec::new(),
+            audit_names: Vec::new(),
+        }
+    }
+
+    /// Installs a single tree the Locus way: the machines' *pre-existing*
+    /// subtrees are combined into one tree — each machine's original tree
+    /// is grafted under `/machines/<name>` — and every machine's root is
+    /// rebound to the combined root.
+    ///
+    /// "The V system and distributed versions of Unix, such as Locus,
+    /// combine subtrees in different parts of the distributed system to
+    /// form a single naming tree. These systems follow the tradition of
+    /// binding the root directory of each process to the root of the
+    /// naming tree." (§5.1)
+    pub fn install_composed(world: &mut World) -> UnixTree {
+        let machine_count = world.topology().machine_count();
+        let old_roots: Vec<(String, ObjectId)> = (0..machine_count)
+            .map(|m| {
+                let id = MachineId(m);
+                (
+                    world.topology().machine_name(id).to_owned(),
+                    world.machine_root(id),
+                )
+            })
+            .collect();
+        let root = world.state_mut().add_context_object("locus:/");
+        world
+            .state_mut()
+            .bind(root, Name::root(), root)
+            .expect("fresh root");
+        let machines_dir = store::ensure_dir(world.state_mut(), root, "machines");
+        for (name, old_root) in old_roots {
+            store::attach(world.state_mut(), machines_dir, &name, old_root, true);
+            // The grafted subtree's `/` must now mean the combined root,
+            // or absolute names inside it would escape the single tree.
+            world
+                .state_mut()
+                .bind(old_root, Name::root(), root)
+                .expect("old machine root is a context");
+        }
+        for m in 0..machine_count {
+            world.set_machine_root(MachineId(m), root);
+        }
+        UnixTree {
+            root,
+            processes: Vec::new(),
+            audit_names: Vec::new(),
+        }
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> ObjectId {
+        self.root
+    }
+
+    /// Spawns a process whose context binds `/` and `.` to the tree root
+    /// (or inherits the parent's context).
+    pub fn spawn(
+        &mut self,
+        world: &mut World,
+        machine: MachineId,
+        label: &str,
+        parent: Option<ActivityId>,
+    ) -> ActivityId {
+        let pid = world.spawn(machine, label, parent);
+        self.processes.push(pid);
+        pid
+    }
+
+    /// Changes a process's root binding (`chroot`). Coherence with
+    /// different-rooted processes is lost for `/`-names.
+    pub fn chroot(&self, world: &mut World, pid: ActivityId, new_root: ObjectId) {
+        world.bind_for(pid, Name::root(), new_root);
+    }
+
+    /// Changes a process's working directory binding (`chdir`).
+    pub fn chdir(&self, world: &mut World, pid: ActivityId, dir: ObjectId) {
+        world.bind_for(pid, Name::self_(), dir);
+    }
+
+    /// The current root binding of a process.
+    pub fn root_of(&self, world: &World, pid: ActivityId) -> Entity {
+        world.binding_of(pid, Name::root())
+    }
+
+    /// Registers the names the coherence audit should check.
+    pub fn set_audit_names(&mut self, names: Vec<CompoundName>) {
+        self.audit_names = names;
+    }
+
+    /// Groups processes by their root binding: within a group there is
+    /// coherence for all `/`-names; across groups, in general, none.
+    pub fn root_groups(&self, world: &World) -> BTreeMap<Entity, Vec<ActivityId>> {
+        let mut groups: BTreeMap<Entity, Vec<ActivityId>> = BTreeMap::new();
+        for &pid in &self.processes {
+            groups
+                .entry(self.root_of(world, pid))
+                .or_default()
+                .push(pid);
+        }
+        groups
+    }
+
+    /// True while parent and child still have coherence for *all* names:
+    /// their contexts are the same function. "A parent and a child have
+    /// coherence for all names until one of them modifies its context."
+    pub fn contexts_identical(&self, world: &World, a: ActivityId, b: ActivityId) -> bool {
+        let ca = world.state().context(world.context_of(a));
+        let cb = world.state().context(world.context_of(b));
+        match (ca, cb) {
+            (Some(ca), Some(cb)) => ca.same_function(cb),
+            _ => false,
+        }
+    }
+
+    /// Builds the conventional Unix top-level layout under the tree root
+    /// and returns the directory objects by path.
+    pub fn build_standard_layout(&self, world: &mut World) -> BTreeMap<&'static str, ObjectId> {
+        let mut out = BTreeMap::new();
+        for path in ["bin", "etc", "lib", "tmp", "usr/bin", "usr/lib", "home"] {
+            let dir = store::mkdir_path(world.state_mut(), self.root, path);
+            out.insert(path, dir);
+        }
+        out
+    }
+}
+
+impl InstalledScheme for UnixTree {
+    fn scheme_name(&self) -> &'static str {
+        "unix-single-tree"
+    }
+
+    fn participants(&self, _world: &World) -> Vec<ActivityId> {
+        self.processes.clone()
+    }
+
+    fn audit_names(&self, _world: &World) -> Vec<CompoundName> {
+        self.audit_names.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::audit_scheme;
+    use naming_sim::store::resolve_path;
+
+    fn world_with_machines(n: usize) -> (World, Vec<MachineId>) {
+        let mut w = World::new(11);
+        let net = w.add_network("net");
+        let ms: Vec<MachineId> = (0..n)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        (w, ms)
+    }
+
+    #[test]
+    fn all_processes_share_the_tree() {
+        let (mut w, ms) = world_with_machines(3);
+        let mut unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        let f = store::create_file(w.state_mut(), layout["etc"], "passwd", vec![]);
+        let pids: Vec<ActivityId> = ms
+            .iter()
+            .map(|&m| unix.spawn(&mut w, m, "p", None))
+            .collect();
+        for &pid in &pids {
+            let e =
+                w.resolve_in_own_context(pid, &CompoundName::parse_path("/etc/passwd").unwrap());
+            assert_eq!(e, Entity::Object(f));
+        }
+        unix.set_audit_names(vec![CompoundName::parse_path("/etc/passwd").unwrap()]);
+        let audit = audit_scheme(&w, &unix);
+        assert_eq!(audit.stats.coherent, 1);
+    }
+
+    #[test]
+    fn composed_tree_keeps_machine_content_and_gives_total_coherence() {
+        let (mut w, ms) = world_with_machines(3);
+        // Pre-existing per-machine content.
+        for (i, &m) in ms.iter().enumerate() {
+            let root = w.machine_root(m);
+            store::create_file(w.state_mut(), root, &format!("boot{i}"), vec![]);
+        }
+        let mut unix = UnixTree::install_composed(&mut w);
+        let pids: Vec<ActivityId> = ms
+            .iter()
+            .map(|&m| unix.spawn(&mut w, m, "p", None))
+            .collect();
+        // Every process reaches every machine's old content through the
+        // single tree, coherently.
+        let mut names = Vec::new();
+        for (i, &m) in ms.iter().enumerate() {
+            let mname = w.topology().machine_name(m).to_owned();
+            names.push(CompoundName::parse_path(&format!("/machines/{mname}/boot{i}")).unwrap());
+        }
+        unix.set_audit_names(names.clone());
+        let audit = audit_scheme(&w, &unix);
+        assert_eq!(audit.stats.coherent, names.len());
+        // And absolute names inside a grafted subtree stay inside the
+        // single tree: /machines/m0/../.. climbs to the combined root.
+        let climb = CompoundName::parse_path("/machines").unwrap();
+        assert!(w.resolve_in_own_context(pids[0], &climb).is_defined());
+    }
+
+    #[test]
+    fn chroot_partitions_coherence() {
+        let (mut w, ms) = world_with_machines(1);
+        let mut unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        let p1 = unix.spawn(&mut w, ms[0], "p1", None);
+        let p2 = unix.spawn(&mut w, ms[0], "p2", None);
+        let p3 = unix.spawn(&mut w, ms[0], "p3", None);
+        unix.chroot(&mut w, p3, layout["usr/bin"]);
+        let groups = unix.root_groups(&w);
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.values().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+        let _ = (p1, p2);
+    }
+
+    #[test]
+    fn relative_names_depend_on_cwd() {
+        let (mut w, ms) = world_with_machines(1);
+        let mut unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        let cc_bin = store::create_file(w.state_mut(), layout["bin"], "cc", vec![]);
+        let cc_usr = store::create_file(w.state_mut(), layout["usr/bin"], "cc", vec![]);
+        let p1 = unix.spawn(&mut w, ms[0], "p1", None);
+        let p2 = unix.spawn(&mut w, ms[0], "p2", None);
+        unix.chdir(&mut w, p1, layout["bin"]);
+        unix.chdir(&mut w, p2, layout["usr/bin"]);
+        let rel = CompoundName::parse_path("cc").unwrap();
+        assert_eq!(w.resolve_in_own_context(p1, &rel), Entity::Object(cc_bin));
+        assert_eq!(w.resolve_in_own_context(p2, &rel), Entity::Object(cc_usr));
+        // The flexibility of the working directory: same name, different
+        // meaning — by design, and the restriction on coherence "is
+        // acceptable".
+    }
+
+    #[test]
+    fn parent_child_coherence_until_mutation() {
+        let (mut w, ms) = world_with_machines(1);
+        let mut unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        let parent = unix.spawn(&mut w, ms[0], "sh", None);
+        unix.chdir(&mut w, parent, layout["home"]);
+        let child = unix.spawn(&mut w, ms[0], "make", Some(parent));
+        assert!(unix.contexts_identical(&w, parent, child));
+        // Child chdirs: coherence for relative names is gone.
+        unix.chdir(&mut w, child, layout["tmp"]);
+        assert!(!unix.contexts_identical(&w, parent, child));
+        // But `/`-names remain coherent (same root binding).
+        let groups = unix.root_groups(&w);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn standard_layout_paths_resolve() {
+        let (mut w, _) = world_with_machines(1);
+        let unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        assert_eq!(
+            resolve_path(w.state(), unix.root(), "/usr/bin"),
+            Entity::Object(layout["usr/bin"])
+        );
+        assert_eq!(
+            resolve_path(w.state(), unix.root(), "/usr/.."),
+            Entity::Object(
+                resolve_path(w.state(), unix.root(), "/")
+                    .as_object()
+                    .unwrap()
+            )
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same virtual time
+//! fire in scheduling order, which keeps the simulator deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::VirtualTime;
+
+#[derive(Clone)]
+struct Scheduled<E> {
+    time: VirtualTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering for earliest-first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// # Examples
+///
+/// ```
+/// use naming_sim::event::EventQueue;
+/// use naming_sim::time::VirtualTime;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(VirtualTime::from_ticks(5), "later");
+/// q.schedule(VirtualTime::from_ticks(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t.ticks(), 1);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E: Clone> Clone for EventQueue<E> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            heap: self.heap.clone(),
+            next_seq: self.next_seq,
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: VirtualTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> VirtualTime {
+        VirtualTime::from_ticks(n)
+    }
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(5), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expected: Vec<i32> = (0..100).collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(3), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), "x");
+        assert_eq!(q.pop().unwrap().1, "x");
+        q.schedule(t(1), "y"); // same time as a popped event, later seq
+        q.schedule(t(0), "z");
+        assert_eq!(q.pop().unwrap().1, "z");
+        assert_eq!(q.pop().unwrap().1, "y");
+    }
+}

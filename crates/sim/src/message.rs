@@ -1,0 +1,111 @@
+//! Messages exchanged between activities.
+//!
+//! Names are "frequently exchanged between activities in computer systems:
+//! between parent and child activities, and between client and server
+//! activities" (§4). A [`Message`] carries a mix of opaque bytes and
+//! *names*; the naming scheme in force decides what happens to the names at
+//! the send/receive boundary (identity for `R(receiver)` schemes, mapping
+//! for `R(sender)` schemes such as PQIDs).
+
+use bytes::Bytes;
+use naming_core::entity::ActivityId;
+use naming_core::name::CompoundName;
+
+use crate::time::VirtualTime;
+
+/// One part of a message payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Opaque bytes; naming schemes never touch these.
+    Bytes(Bytes),
+    /// A name, exchanged across the context boundary.
+    Name(CompoundName),
+}
+
+impl Payload {
+    /// Creates an opaque payload from bytes.
+    pub fn bytes(data: impl Into<Bytes>) -> Payload {
+        Payload::Bytes(data.into())
+    }
+
+    /// Creates a name payload.
+    pub fn name(name: CompoundName) -> Payload {
+        Payload::Name(name)
+    }
+
+    /// The name, if this part is a name.
+    pub fn as_name(&self) -> Option<&CompoundName> {
+        match self {
+            Payload::Name(n) => Some(n),
+            Payload::Bytes(_) => None,
+        }
+    }
+}
+
+/// A message in flight or delivered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// The sending activity.
+    pub from: ActivityId,
+    /// The receiving activity.
+    pub to: ActivityId,
+    /// Payload parts in order.
+    pub parts: Vec<Payload>,
+    /// When the message was sent.
+    pub sent_at: VirtualTime,
+}
+
+impl Message {
+    /// Creates a message; `sent_at` is stamped by the world on send.
+    pub fn new(from: ActivityId, to: ActivityId, parts: Vec<Payload>) -> Message {
+        Message {
+            from,
+            to,
+            parts,
+            sent_at: VirtualTime::ZERO,
+        }
+    }
+
+    /// Iterates over the names carried by the message.
+    pub fn names(&self) -> impl Iterator<Item = &CompoundName> {
+        self.parts.iter().filter_map(Payload::as_name)
+    }
+
+    /// Number of name parts.
+    pub fn name_count(&self) -> usize {
+        self.names().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(i: u32) -> ActivityId {
+        ActivityId::from_index(i)
+    }
+
+    #[test]
+    fn payload_kinds() {
+        let b = Payload::bytes(&b"hello"[..]);
+        assert!(b.as_name().is_none());
+        let n = Payload::name(CompoundName::parse_path("/etc/passwd").unwrap());
+        assert_eq!(n.as_name().unwrap().to_string(), "/etc/passwd");
+    }
+
+    #[test]
+    fn message_names() {
+        let m = Message::new(
+            aid(0),
+            aid(1),
+            vec![
+                Payload::bytes(&b"run"[..]),
+                Payload::name(CompoundName::parse_path("/bin/cc").unwrap()),
+                Payload::name(CompoundName::parse_path("main.c").unwrap()),
+            ],
+        );
+        assert_eq!(m.name_count(), 2);
+        let names: Vec<String> = m.names().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["/bin/cc", "main.c"]);
+    }
+}

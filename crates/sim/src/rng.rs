@@ -1,0 +1,152 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All randomness in experiments flows through [`SimRng`], a seeded PRNG
+//! with a few convenience methods. Reusing a seed reproduces a scenario
+//! bit-for-bit; see the `simulator_determinism` integration test.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn seeded(seed: u64) -> SimRng {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.random_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random::<f64>() < p
+    }
+
+    /// Picks a uniformly random element of a nonempty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.below(items.len())]
+    }
+
+    /// Shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+
+    /// Derives an independent child generator; deterministic given the
+    /// parent's state.
+    pub fn fork(&mut self) -> SimRng {
+        let seed = self.inner.random::<u64>();
+        SimRng::seeded(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::seeded(7);
+        let mut b = SimRng::seeded(7);
+        let xs: Vec<usize> = (0..32).map(|_| a.below(1000)).collect();
+        let ys: Vec<usize> = (0..32).map(|_| b.below(1000)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let xs: Vec<usize> = (0..32).map(|_| a.below(1_000_000)).collect();
+        let ys: Vec<usize> = (0..32).map(|_| b.below(1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn range_and_chance() {
+        let mut r = SimRng::seeded(3);
+        for _ in 0..100 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn pick_and_shuffle() {
+        let mut r = SimRng::seeded(4);
+        let items = [1, 2, 3];
+        for _ in 0..10 {
+            assert!(items.contains(r.pick(&items)));
+        }
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        r.shuffle(&mut v);
+        assert_ne!(v, orig);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seeded(5);
+        let mut b = SimRng::seeded(5);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.below(100), fb.below(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SimRng::seeded(0).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick from an empty slice")]
+    fn empty_pick_panics() {
+        let empty: [u8; 0] = [];
+        SimRng::seeded(0).pick(&empty);
+    }
+}

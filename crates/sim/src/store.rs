@@ -1,0 +1,302 @@
+//! Directory-tree building utilities over a [`SystemState`].
+//!
+//! The naming schemes construct per-machine file trees, shared trees,
+//! superroots, and structured objects; these helpers keep that code short
+//! and uniform. Directories are ordinary context objects; every directory
+//! created under a parent gets a `..` binding back to it (the paper's
+//! Newcastle discussion relies on `..` being an ordinary binding, including
+//! *above* machine roots).
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::resolve::Resolver;
+use naming_core::state::{Document, ObjectState, SystemState};
+
+/// Creates a directory named `name` under `parent`, with a `..` binding
+/// back to `parent`. Returns the existing directory instead if `name` is
+/// already bound to a context object in `parent`.
+///
+/// # Panics
+///
+/// Panics if `parent` is not a context object, or if `name` is bound to a
+/// non-directory.
+pub fn ensure_dir(state: &mut SystemState, parent: ObjectId, name: &str) -> ObjectId {
+    let n = Name::new(name);
+    match state.lookup(parent, n) {
+        Entity::Object(o) if state.is_context_object(o) => o,
+        Entity::Undefined => {
+            let label = format!("{}/{}", state.object_label(parent), name);
+            let dir = state.add_context_object(label);
+            state.bind(parent, n, dir).expect("parent is a directory");
+            state
+                .bind(dir, Name::parent(), parent)
+                .expect("fresh dir is a directory");
+            dir
+        }
+        other => panic!("{name:?} is already bound to non-directory {other}"),
+    }
+}
+
+/// Creates every directory along `path` (relative component names, no
+/// leading `/`) under `root`, returning the last one.
+///
+/// # Panics
+///
+/// Panics if some component is bound to a non-directory.
+pub fn mkdir_path(state: &mut SystemState, root: ObjectId, path: &str) -> ObjectId {
+    let mut cur = root;
+    for comp in path.split('/').filter(|c| !c.is_empty() && *c != ".") {
+        cur = ensure_dir(state, cur, comp);
+    }
+    cur
+}
+
+/// Creates a data file named `name` in `dir` with the given content,
+/// returning its object. Overwrites any existing binding.
+///
+/// # Panics
+///
+/// Panics if `dir` is not a context object.
+pub fn create_file(
+    state: &mut SystemState,
+    dir: ObjectId,
+    name: &str,
+    data: impl Into<Vec<u8>>,
+) -> ObjectId {
+    let label = format!("{}/{}", state.object_label(dir), name);
+    let file = state.add_data_object(label, data.into());
+    state
+        .bind(dir, Name::new(name), file)
+        .expect("dir is a directory");
+    file
+}
+
+/// Creates a structured (document) object named `name` in `dir`.
+///
+/// # Panics
+///
+/// Panics if `dir` is not a context object.
+pub fn create_document(
+    state: &mut SystemState,
+    dir: ObjectId,
+    name: &str,
+    doc: Document,
+) -> ObjectId {
+    let label = format!("{}/{}", state.object_label(dir), name);
+    let obj = state.add_document_object(label, doc);
+    state
+        .bind(dir, Name::new(name), obj)
+        .expect("dir is a directory");
+    obj
+}
+
+/// Attaches (mounts) `subtree` under `dir` as `name`.
+///
+/// If `reparent` is true, the subtree's `..` is rebound to `dir` (physical
+/// move); if false the subtree keeps its original parent binding (a
+/// Newcastle/Andrew-style graft that leaves the source tree intact).
+///
+/// # Panics
+///
+/// Panics if `dir` is not a context object.
+pub fn attach(
+    state: &mut SystemState,
+    dir: ObjectId,
+    name: &str,
+    subtree: ObjectId,
+    reparent: bool,
+) {
+    state
+        .bind(dir, Name::new(name), subtree)
+        .expect("dir is a directory");
+    if reparent && state.is_context_object(subtree) {
+        state
+            .bind(subtree, Name::parent(), dir)
+            .expect("subtree is a directory");
+    }
+}
+
+/// Detaches the binding `name` from `dir`. Returns the entity it denoted.
+///
+/// # Panics
+///
+/// Panics if `dir` is not a context object.
+pub fn detach(state: &mut SystemState, dir: ObjectId, name: &str) -> Option<Entity> {
+    state
+        .unbind(dir, Name::new(name))
+        .expect("dir is a directory")
+}
+
+/// Moves the binding `name` from `src` to `dst` (rebinding `..` when the
+/// target is a directory). Returns the moved entity, or `None` if `name`
+/// was not bound in `src`.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is not a context object.
+pub fn move_entry(
+    state: &mut SystemState,
+    src: ObjectId,
+    dst: ObjectId,
+    name: &str,
+) -> Option<Entity> {
+    let e = detach(state, src, name)?;
+    state
+        .bind(dst, Name::new(name), e)
+        .expect("dst is a directory");
+    if let Entity::Object(o) = e {
+        if state.is_context_object(o) {
+            state.bind(o, Name::parent(), dst).expect("moved dir");
+        }
+    }
+    Some(e)
+}
+
+/// Resolves a path string from `root` (convenience for tests and
+/// experiments). Returns `⊥` on any failure.
+pub fn resolve_path(state: &SystemState, root: ObjectId, path: &str) -> Entity {
+    match CompoundName::parse_path(path) {
+        Ok(name) => Resolver::new().resolve_entity(state, root, &name),
+        Err(_) => Entity::Undefined,
+    }
+}
+
+/// Lists the entries of a directory in name order (excluding `.` , `..`,
+/// and `/` conventions).
+///
+/// Returns an empty list for non-directories.
+pub fn list_dir(state: &SystemState, dir: ObjectId) -> Vec<(Name, Entity)> {
+    match state.context(dir) {
+        Some(c) => c
+            .iter()
+            .filter(|(n, _)| !n.is_dot() && !n.is_root())
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Reads a file's bytes, or `None` if the object is not a data file.
+pub fn read_file(state: &SystemState, file: ObjectId) -> Option<&[u8]> {
+    match state.object_state(file) {
+        ObjectState::Data(d) => Some(d),
+        _ => None,
+    }
+}
+
+/// Reads a structured object, or `None` if it is not a document.
+pub fn read_document(state: &SystemState, obj: ObjectId) -> Option<&Document> {
+    match state.object_state(obj) {
+        ObjectState::Document(d) => Some(d),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> (SystemState, ObjectId) {
+        let mut s = SystemState::new();
+        let r = s.add_context_object("root");
+        s.bind(r, Name::root(), r).unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn ensure_dir_creates_once() {
+        let (mut s, r) = root();
+        let a = ensure_dir(&mut s, r, "a");
+        let a2 = ensure_dir(&mut s, r, "a");
+        assert_eq!(a, a2);
+        assert_eq!(s.lookup(a, Name::parent()), Entity::Object(r));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-directory")]
+    fn ensure_dir_over_file_panics() {
+        let (mut s, r) = root();
+        create_file(&mut s, r, "f", b"x".to_vec());
+        ensure_dir(&mut s, r, "f");
+    }
+
+    #[test]
+    fn mkdir_path_builds_chain() {
+        let (mut s, r) = root();
+        let c = mkdir_path(&mut s, r, "usr/local/bin");
+        assert_eq!(resolve_path(&s, r, "/usr/local/bin"), Entity::Object(c));
+        // Idempotent.
+        let c2 = mkdir_path(&mut s, r, "usr/local/bin");
+        assert_eq!(c, c2);
+        // `..` chain back up.
+        assert_eq!(
+            resolve_path(&s, r, "/usr/local/bin/../../../usr"),
+            resolve_path(&s, r, "/usr")
+        );
+    }
+
+    #[test]
+    fn files_and_documents() {
+        let (mut s, r) = root();
+        let etc = ensure_dir(&mut s, r, "etc");
+        let f = create_file(&mut s, etc, "passwd", b"root".to_vec());
+        assert_eq!(read_file(&s, f), Some(&b"root"[..]));
+        assert_eq!(resolve_path(&s, r, "/etc/passwd"), Entity::Object(f));
+
+        let mut doc = Document::new();
+        doc.push_text("hello");
+        let d = create_document(&mut s, etc, "motd.doc", doc.clone());
+        assert_eq!(read_document(&s, d), Some(&doc));
+        assert!(read_file(&s, d).is_none());
+        assert!(read_document(&s, f).is_none());
+    }
+
+    #[test]
+    fn attach_and_detach() {
+        let (mut s, r) = root();
+        let shared = s.add_context_object("shared");
+        let data = create_file(&mut s, shared, "lib.a", b"".to_vec());
+        attach(&mut s, r, "vice", shared, false);
+        assert_eq!(resolve_path(&s, r, "/vice/lib.a"), Entity::Object(data));
+        // Graft without reparenting left `..` unset.
+        assert_eq!(s.lookup(shared, Name::parent()), Entity::Undefined);
+        // Reparenting graft sets `..`.
+        attach(&mut s, r, "vice2", shared, true);
+        assert_eq!(s.lookup(shared, Name::parent()), Entity::Object(r));
+        assert_eq!(detach(&mut s, r, "vice"), Some(Entity::Object(shared)));
+        assert_eq!(resolve_path(&s, r, "/vice/lib.a"), Entity::Undefined);
+        assert_eq!(detach(&mut s, r, "vice"), None);
+    }
+
+    #[test]
+    fn move_entry_rebinds_parent() {
+        let (mut s, r) = root();
+        let a = ensure_dir(&mut s, r, "a");
+        let b = ensure_dir(&mut s, r, "b");
+        let sub = ensure_dir(&mut s, a, "sub");
+        assert_eq!(move_entry(&mut s, a, b, "sub"), Some(Entity::Object(sub)));
+        assert_eq!(resolve_path(&s, r, "/a/sub"), Entity::Undefined);
+        assert_eq!(resolve_path(&s, r, "/b/sub"), Entity::Object(sub));
+        assert_eq!(s.lookup(sub, Name::parent()), Entity::Object(b));
+        assert_eq!(move_entry(&mut s, a, b, "nothing"), None);
+    }
+
+    #[test]
+    fn list_dir_filters_conventions() {
+        let (mut s, r) = root();
+        ensure_dir(&mut s, r, "a");
+        create_file(&mut s, r, "f", vec![]);
+        let entries = list_dir(&s, r);
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "f"]);
+        // Non-directory lists empty.
+        let f = resolve_path(&s, r, "/f").as_object().unwrap();
+        assert!(list_dir(&s, f).is_empty());
+    }
+
+    #[test]
+    fn resolve_path_handles_bad_input() {
+        let (s, r) = root();
+        assert_eq!(resolve_path(&s, r, ""), Entity::Undefined);
+        assert_eq!(resolve_path(&s, r, "/nope"), Entity::Undefined);
+    }
+}

@@ -1,0 +1,122 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured in abstract ticks.
+///
+/// The simulator is untimed in the real-world sense; ticks order events and
+/// model relative latencies (e.g. cross-network messages take longer than
+/// local ones).
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// Time zero.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Creates a time from raw ticks.
+    pub fn from_ticks(ticks: u64) -> VirtualTime {
+        VirtualTime(ticks)
+    }
+
+    /// The raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+/// A span of virtual time.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span from raw ticks.
+    pub fn from_ticks(ticks: u64) -> Duration {
+        Duration(ticks)
+    }
+
+    /// The raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<Duration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: Duration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for VirtualTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = Duration;
+    fn sub(self, rhs: VirtualTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::from_ticks(10);
+        let d = Duration::from_ticks(5);
+        assert_eq!((t + d).ticks(), 15);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2.ticks(), 15);
+        assert_eq!((t2 - t).ticks(), 5);
+        assert_eq!((t - t2).ticks(), 0, "saturating");
+        assert_eq!((d + d).ticks(), 10);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(VirtualTime::ZERO < VirtualTime::from_ticks(1));
+        assert_eq!(VirtualTime::from_ticks(3).to_string(), "t3");
+        assert_eq!(Duration::from_ticks(7).to_string(), "7t");
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let t = VirtualTime::from_ticks(u64::MAX);
+        assert_eq!((t + Duration::from_ticks(1)).ticks(), u64::MAX);
+    }
+}

@@ -1,0 +1,379 @@
+//! Networks, machines and their addresses.
+//!
+//! The partially-qualified-identifier scheme (§6 Example 1 of the paper)
+//! hinges on machine and network addresses *changing*: "when the address of
+//! a machine or a network is changed as part of relocation or
+//! reconfiguration, pids of local processes within the renamed machine or
+//! network remain valid". The topology therefore separates stable
+//! identities ([`MachineId`], [`NetworkId`]) from current addresses
+//! ([`MachineAddr`], [`NetAddr`]) and supports renumbering both.
+//!
+//! Addresses are always nonzero: the PQID scheme uses `0` as the
+//! "unqualified" wildcard.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// Stable identity of a network (never changes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetworkId(pub usize);
+
+/// Stable identity of a machine (never changes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId(pub usize);
+
+/// The current address of a network; may be renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetAddr(u32);
+
+impl NetAddr {
+    /// Creates a network address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is zero (reserved as the PQID wildcard).
+    pub fn new(addr: u32) -> NetAddr {
+        assert!(addr != 0, "network address 0 is reserved");
+        NetAddr(addr)
+    }
+
+    /// The raw address value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+/// The current address of a machine within its network; may be renumbered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineAddr(u32);
+
+impl MachineAddr {
+    /// Creates a machine address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is zero (reserved as the PQID wildcard).
+    pub fn new(addr: u32) -> MachineAddr {
+        assert!(addr != 0, "machine address 0 is reserved");
+        MachineAddr(addr)
+    }
+
+    /// The raw address value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct NetworkRecord {
+    name: String,
+    addr: NetAddr,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct MachineRecord {
+    name: String,
+    network: NetworkId,
+    addr: MachineAddr,
+}
+
+/// Message latencies between machines, in virtual ticks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Latency between processes on the same machine.
+    pub local: u64,
+    /// Latency between machines on the same network.
+    pub same_network: u64,
+    /// Latency between machines on different networks.
+    pub cross_network: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel {
+            local: 1,
+            same_network: 10,
+            cross_network: 100,
+        }
+    }
+}
+
+/// The physical layout: networks, machines, current addresses.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Topology {
+    networks: Vec<NetworkRecord>,
+    machines: Vec<MachineRecord>,
+    next_net_addr: u32,
+    next_machine_addr: u32,
+    #[serde(default)]
+    latency: Option<LatencyModel>,
+}
+
+impl Topology {
+    /// Creates an empty topology with the default latency model.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.latency = Some(model);
+    }
+
+    /// The current latency model.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency.unwrap_or_default()
+    }
+
+    /// Adds a network; its address is assigned automatically.
+    pub fn add_network(&mut self, name: impl Into<String>) -> NetworkId {
+        self.next_net_addr += 1;
+        let id = NetworkId(self.networks.len());
+        self.networks.push(NetworkRecord {
+            name: name.into(),
+            addr: NetAddr::new(self.next_net_addr),
+        });
+        id
+    }
+
+    /// Adds a machine on `network`; its address is assigned automatically
+    /// (unique across the whole topology for simplicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network` does not exist.
+    pub fn add_machine(&mut self, name: impl Into<String>, network: NetworkId) -> MachineId {
+        assert!(network.0 < self.networks.len(), "unknown network");
+        self.next_machine_addr += 1;
+        let id = MachineId(self.machines.len());
+        self.machines.push(MachineRecord {
+            name: name.into(),
+            network,
+            addr: MachineAddr::new(self.next_machine_addr),
+        });
+        id
+    }
+
+    /// Number of networks.
+    pub fn network_count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The name a network was created with.
+    pub fn network_name(&self, n: NetworkId) -> &str {
+        &self.networks[n.0].name
+    }
+
+    /// The name a machine was created with.
+    pub fn machine_name(&self, m: MachineId) -> &str {
+        &self.machines[m.0].name
+    }
+
+    /// The network a machine is attached to.
+    pub fn machine_network(&self, m: MachineId) -> NetworkId {
+        self.machines[m.0].network
+    }
+
+    /// The current address of a network.
+    pub fn net_addr(&self, n: NetworkId) -> NetAddr {
+        self.networks[n.0].addr
+    }
+
+    /// The current address of a machine.
+    pub fn machine_addr(&self, m: MachineId) -> MachineAddr {
+        self.machines[m.0].addr
+    }
+
+    /// The machines on a network, in creation order.
+    pub fn machines_on(&self, n: NetworkId) -> Vec<MachineId> {
+        self.machines
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.network == n)
+            .map(|(i, _)| MachineId(i))
+            .collect()
+    }
+
+    /// All machines, in creation order.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        (0..self.machines.len()).map(MachineId)
+    }
+
+    /// All networks, in creation order.
+    pub fn networks(&self) -> impl Iterator<Item = NetworkId> + '_ {
+        (0..self.networks.len()).map(NetworkId)
+    }
+
+    /// Renumbers a network: every machine on it keeps its machine address
+    /// but is now reached via the new network address.
+    ///
+    /// Returns the previous address.
+    pub fn renumber_network(&mut self, n: NetworkId, new: NetAddr) -> NetAddr {
+        std::mem::replace(&mut self.networks[n.0].addr, new)
+    }
+
+    /// Renumbers a machine. Returns the previous address.
+    pub fn renumber_machine(&mut self, m: MachineId, new: MachineAddr) -> MachineAddr {
+        std::mem::replace(&mut self.machines[m.0].addr, new)
+    }
+
+    /// Allocates a fresh, never-used network address (for renumbering).
+    pub fn fresh_net_addr(&mut self) -> NetAddr {
+        self.next_net_addr += 1;
+        NetAddr::new(self.next_net_addr)
+    }
+
+    /// Allocates a fresh, never-used machine address (for renumbering).
+    pub fn fresh_machine_addr(&mut self) -> MachineAddr {
+        self.next_machine_addr += 1;
+        MachineAddr::new(self.next_machine_addr)
+    }
+
+    /// Finds the machine currently reachable at `(net, machine)` addresses,
+    /// if any. This is how the wire locates a fully qualified destination —
+    /// stale addresses find nothing (or, after reuse, the wrong machine).
+    pub fn locate(&self, net: NetAddr, machine: MachineAddr) -> Option<MachineId> {
+        self.machines
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.addr == machine && self.networks[r.network.0].addr == net)
+            .map(|(i, _)| MachineId(i))
+    }
+
+    /// Message latency between two machines under the current model.
+    pub fn latency(&self, from: MachineId, to: MachineId) -> Duration {
+        let model = self.latency_model();
+        let ticks = if from == to {
+            model.local
+        } else if self.machine_network(from) == self.machine_network(to) {
+            model.same_network
+        } else {
+            model.cross_network
+        };
+        Duration::from_ticks(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo2() -> (
+        Topology,
+        NetworkId,
+        NetworkId,
+        MachineId,
+        MachineId,
+        MachineId,
+    ) {
+        let mut t = Topology::new();
+        let n1 = t.add_network("lab");
+        let n2 = t.add_network("office");
+        let m1 = t.add_machine("host-a", n1);
+        let m2 = t.add_machine("host-b", n1);
+        let m3 = t.add_machine("host-c", n2);
+        (t, n1, n2, m1, m2, m3)
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let (t, n1, n2, m1, m2, m3) = topo2();
+        assert_eq!(t.network_count(), 2);
+        assert_eq!(t.machine_count(), 3);
+        assert_eq!(t.network_name(n1), "lab");
+        assert_eq!(t.machine_name(m3), "host-c");
+        assert_eq!(t.machine_network(m1), n1);
+        assert_eq!(t.machines_on(n1), vec![m1, m2]);
+        assert_eq!(t.machines_on(n2), vec![m3]);
+        assert_eq!(t.machines().count(), 3);
+        assert_eq!(t.networks().count(), 2);
+    }
+
+    #[test]
+    fn addresses_are_unique_and_nonzero() {
+        let (t, n1, n2, m1, m2, m3) = topo2();
+        assert_ne!(t.net_addr(n1), t.net_addr(n2));
+        assert_ne!(t.machine_addr(m1), t.machine_addr(m2));
+        assert_ne!(t.machine_addr(m2), t.machine_addr(m3));
+        assert!(t.net_addr(n1).value() != 0);
+        assert!(t.machine_addr(m1).value() != 0);
+    }
+
+    #[test]
+    fn locate_by_current_address() {
+        let (mut t, n1, _, m1, _, _) = topo2();
+        let na = t.net_addr(n1);
+        let ma = t.machine_addr(m1);
+        assert_eq!(t.locate(na, ma), Some(m1));
+        // After renumbering the machine, the old address finds nothing.
+        let fresh = t.fresh_machine_addr();
+        t.renumber_machine(m1, fresh);
+        assert_eq!(t.locate(na, ma), None);
+        assert_eq!(t.locate(na, fresh), Some(m1));
+    }
+
+    #[test]
+    fn renumber_network_invalidates_old_route() {
+        let (mut t, n1, _, m1, _, _) = topo2();
+        let old_net = t.net_addr(n1);
+        let ma = t.machine_addr(m1);
+        let fresh = t.fresh_net_addr();
+        let prev = t.renumber_network(n1, fresh);
+        assert_eq!(prev, old_net);
+        assert_eq!(t.locate(old_net, ma), None);
+        assert_eq!(t.locate(fresh, ma), Some(m1));
+    }
+
+    #[test]
+    fn latency_tiers() {
+        let (t, _, _, m1, m2, m3) = topo2();
+        let model = t.latency_model();
+        assert_eq!(t.latency(m1, m1).ticks(), model.local);
+        assert_eq!(t.latency(m1, m2).ticks(), model.same_network);
+        assert_eq!(t.latency(m1, m3).ticks(), model.cross_network);
+    }
+
+    #[test]
+    fn custom_latency_model() {
+        let (mut t, _, _, m1, m2, _) = topo2();
+        t.set_latency_model(LatencyModel {
+            local: 2,
+            same_network: 20,
+            cross_network: 200,
+        });
+        assert_eq!(t.latency(m1, m2).ticks(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "network address 0 is reserved")]
+    fn zero_net_addr_panics() {
+        let _ = NetAddr::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown network")]
+    fn machine_on_unknown_network_panics() {
+        let mut t = Topology::new();
+        t.add_machine("x", NetworkId(3));
+    }
+}

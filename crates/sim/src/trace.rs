@@ -1,0 +1,198 @@
+//! Execution tracing and counters for experiments.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use naming_core::closure::NameSource;
+use naming_core::entity::{ActivityId, Entity};
+use naming_core::name::CompoundName;
+
+use crate::time::VirtualTime;
+
+/// A traced simulator event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An activity resolved a name.
+    Resolved {
+        /// The resolving activity.
+        pid: ActivityId,
+        /// The resolved name.
+        name: CompoundName,
+        /// How the activity obtained the name.
+        source: NameSource,
+        /// The entity obtained (possibly `⊥`).
+        entity: Entity,
+    },
+    /// A message left its sender.
+    MessageSent {
+        /// Sender.
+        from: ActivityId,
+        /// Receiver.
+        to: ActivityId,
+        /// Number of names carried.
+        names: usize,
+    },
+    /// A message reached its receiver's mailbox.
+    MessageDelivered {
+        /// Sender.
+        from: ActivityId,
+        /// Receiver.
+        to: ActivityId,
+    },
+    /// A process was created.
+    Spawned {
+        /// The new process.
+        pid: ActivityId,
+        /// Its parent, if any.
+        parent: Option<ActivityId>,
+    },
+    /// A machine or network address changed.
+    Renumbered {
+        /// Human-readable description of what changed.
+        what: String,
+    },
+}
+
+/// An append-only log of [`TraceEvent`]s with named counters.
+///
+/// Event recording can be disabled (counters stay on) to keep long
+/// experiment runs cheap.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<(VirtualTime, TraceEvent)>,
+    counters: BTreeMap<&'static str, u64>,
+    record_events: bool,
+}
+
+impl TraceLog {
+    /// Creates a log with event recording enabled.
+    pub fn new() -> TraceLog {
+        TraceLog {
+            record_events: true,
+            ..TraceLog::default()
+        }
+    }
+
+    /// Creates a log that only keeps counters.
+    pub fn counters_only() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Appends an event (if recording) and bumps its kind counter.
+    pub fn record(&mut self, time: VirtualTime, event: TraceEvent) {
+        let key = match &event {
+            TraceEvent::Resolved { .. } => "resolved",
+            TraceEvent::MessageSent { .. } => "sent",
+            TraceEvent::MessageDelivered { .. } => "delivered",
+            TraceEvent::Spawned { .. } => "spawned",
+            TraceEvent::Renumbered { .. } => "renumbered",
+        };
+        self.bump(key);
+        if self.record_events {
+            self.events.push((time, event));
+        }
+    }
+
+    /// Increments a named counter.
+    pub fn bump(&mut self, key: &'static str) {
+        *self.counters.entry(key).or_insert(0) += 1;
+    }
+
+    /// A counter's current value (0 if never bumped).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[(VirtualTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears recorded events and counters.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace[")?;
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_events_and_counters() {
+        let mut log = TraceLog::new();
+        log.record(
+            VirtualTime::from_ticks(1),
+            TraceEvent::Spawned {
+                pid: ActivityId::from_index(0),
+                parent: None,
+            },
+        );
+        log.record(
+            VirtualTime::from_ticks(2),
+            TraceEvent::MessageSent {
+                from: ActivityId::from_index(0),
+                to: ActivityId::from_index(1),
+                names: 1,
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.counter("spawned"), 1);
+        assert_eq!(log.counter("sent"), 1);
+        assert_eq!(log.counter("delivered"), 0);
+        assert!(log.to_string().contains("spawned=1"));
+    }
+
+    #[test]
+    fn counters_only_mode_skips_events() {
+        let mut log = TraceLog::counters_only();
+        log.record(
+            VirtualTime::ZERO,
+            TraceEvent::Renumbered { what: "net".into() },
+        );
+        assert!(log.is_empty());
+        assert_eq!(log.counter("renumbered"), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new();
+        log.bump("x");
+        log.record(
+            VirtualTime::ZERO,
+            TraceEvent::MessageDelivered {
+                from: ActivityId::from_index(0),
+                to: ActivityId::from_index(1),
+            },
+        );
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.counter("x"), 0);
+    }
+}

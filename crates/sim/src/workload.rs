@@ -1,0 +1,363 @@
+//! Seeded workload generation: synthetic file trees, process populations,
+//! and name-usage patterns.
+//!
+//! Experiments need *populations* — many names, many activities, names
+//! arriving from all three of the paper's sources — with reproducible
+//! randomness. Everything here is driven by a [`SimRng`], so a seed fully
+//! determines the workload.
+
+use naming_core::closure::NameSource;
+use naming_core::entity::{ActivityId, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::state::SystemState;
+
+use crate::rng::SimRng;
+use crate::store;
+
+/// Shape of a generated directory tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeSpec {
+    /// Depth of the tree (1 = files directly under the root).
+    pub depth: usize,
+    /// Subdirectories per directory.
+    pub dirs_per_level: usize,
+    /// Files per directory (at every level).
+    pub files_per_dir: usize,
+}
+
+impl TreeSpec {
+    /// A small tree for tests: depth 2, 2 dirs, 2 files.
+    pub fn small() -> TreeSpec {
+        TreeSpec {
+            depth: 2,
+            dirs_per_level: 2,
+            files_per_dir: 2,
+        }
+    }
+}
+
+/// What [`grow_tree`] created: absolute paths (relative to the given root)
+/// and the objects behind them.
+#[derive(Clone, Debug, Default)]
+pub struct TreeManifest {
+    /// Directories created, as `(path, object)`.
+    pub dirs: Vec<(CompoundName, ObjectId)>,
+    /// Files created, as `(path, object)`.
+    pub files: Vec<(CompoundName, ObjectId)>,
+}
+
+impl TreeManifest {
+    /// All created paths (dirs then files).
+    pub fn all_paths(&self) -> Vec<CompoundName> {
+        self.dirs
+            .iter()
+            .chain(self.files.iter())
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Just the file paths.
+    pub fn file_paths(&self) -> Vec<CompoundName> {
+        self.files.iter().map(|(p, _)| p.clone()).collect()
+    }
+}
+
+/// Grows a uniform directory tree under `root`, labelling entries
+/// `d0, d1, …` and `f0.dat, f1.dat, …` prefixed by `tag` so that trees
+/// grown on different machines have *the same names* (which is exactly what
+/// makes coherence questions interesting) while holding distinct objects.
+pub fn grow_tree(
+    state: &mut SystemState,
+    root: ObjectId,
+    spec: TreeSpec,
+    content_tag: &str,
+    rng: &mut SimRng,
+) -> TreeManifest {
+    let mut manifest = TreeManifest::default();
+    let root_path = CompoundName::atom(Name::root());
+    grow_level(
+        state,
+        root,
+        &root_path,
+        spec,
+        spec.depth,
+        content_tag,
+        rng,
+        &mut manifest,
+    );
+    manifest
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_level(
+    state: &mut SystemState,
+    dir: ObjectId,
+    dir_path: &CompoundName,
+    spec: TreeSpec,
+    levels_left: usize,
+    content_tag: &str,
+    rng: &mut SimRng,
+    manifest: &mut TreeManifest,
+) {
+    if levels_left == 0 {
+        return;
+    }
+    for f in 0..spec.files_per_dir {
+        let fname = format!("f{f}.dat");
+        let content = format!("{content_tag}:{}:{}", dir_path, rng.below(1 << 30));
+        let obj = store::create_file(state, dir, &fname, content.into_bytes());
+        manifest.files.push((dir_path.join(fname.as_str()), obj));
+    }
+    for d in 0..spec.dirs_per_level {
+        let dname = format!("d{d}");
+        let sub = store::ensure_dir(state, dir, &dname);
+        let sub_path = dir_path.join(dname.as_str());
+        manifest.dirs.push((sub_path.clone(), sub));
+        grow_level(
+            state,
+            sub,
+            &sub_path,
+            spec,
+            levels_left - 1,
+            content_tag,
+            rng,
+            manifest,
+        );
+    }
+}
+
+/// One synthetic use of a name by an activity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NameUse {
+    /// The activity using (resolving) the name.
+    pub user: ActivityId,
+    /// The name used.
+    pub name: CompoundName,
+    /// How the activity obtained the name.
+    pub source: NameSource,
+}
+
+/// Mix of name sources in a generated usage pattern. Weights need not sum
+/// to 1; they are normalized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SourceMix {
+    /// Weight of internally generated names.
+    pub internal: f64,
+    /// Weight of names received in messages.
+    pub message: f64,
+    /// Weight of names read from objects.
+    pub object: f64,
+}
+
+impl SourceMix {
+    /// Equal thirds.
+    pub fn uniform() -> SourceMix {
+        SourceMix {
+            internal: 1.0,
+            message: 1.0,
+            object: 1.0,
+        }
+    }
+
+    /// Internal names only.
+    pub fn internal_only() -> SourceMix {
+        SourceMix {
+            internal: 1.0,
+            message: 0.0,
+            object: 0.0,
+        }
+    }
+}
+
+/// Generates `count` name uses: each picks a user, a name, and a source
+/// per the mix. Message sources pick a sender distinct from the user when
+/// possible; object sources pick a container from `containers`.
+///
+/// # Panics
+///
+/// Panics if `users` or `names` is empty, or if the mix requests object
+/// sources with no `containers`.
+pub fn generate_uses(
+    users: &[ActivityId],
+    names: &[CompoundName],
+    containers: &[ObjectId],
+    mix: SourceMix,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<NameUse> {
+    assert!(!users.is_empty(), "need at least one user");
+    assert!(!names.is_empty(), "need at least one name");
+    let total = mix.internal + mix.message + mix.object;
+    assert!(total > 0.0, "mix must have positive total weight");
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let user = *rng.pick(users);
+        let name = rng.pick(names).clone();
+        let roll = (rng.below(1_000_000) as f64 / 1_000_000.0) * total;
+        let source = if roll < mix.internal {
+            NameSource::Internal
+        } else if roll < mix.internal + mix.message {
+            let sender = if users.len() > 1 {
+                loop {
+                    let s = *rng.pick(users);
+                    if s != user {
+                        break s;
+                    }
+                }
+            } else {
+                user
+            };
+            NameSource::Message { sender }
+        } else {
+            assert!(
+                !containers.is_empty(),
+                "object-source uses require containers"
+            );
+            NameSource::Object {
+                source: *rng.pick(containers),
+            }
+        };
+        out.push(NameUse { user, name, source });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::resolve_path;
+    use naming_core::entity::Entity;
+
+    fn setup() -> (SystemState, ObjectId) {
+        let mut s = SystemState::new();
+        let r = s.add_context_object("root");
+        s.bind(r, Name::root(), r).unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn grow_tree_counts() {
+        let (mut s, r) = setup();
+        let mut rng = SimRng::seeded(1);
+        let spec = TreeSpec {
+            depth: 2,
+            dirs_per_level: 3,
+            files_per_dir: 2,
+        };
+        let m = grow_tree(&mut s, r, spec, "m1", &mut rng);
+        // dirs: 3 at level 1 + 9 at level 2 = 12; files: 2 * (1 + 3) = 8
+        // (level-2 dirs get no files because levels_left hits 0 inside them).
+        assert_eq!(m.dirs.len(), 12);
+        assert_eq!(m.files.len(), 8);
+        assert_eq!(m.all_paths().len(), 20);
+        // Paths resolve to their objects.
+        for (p, o) in m.dirs.iter().chain(m.files.iter()) {
+            assert_eq!(
+                resolve_path(&s, r, &p.to_string()),
+                Entity::Object(*o),
+                "path {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_tree_different_seed_different_content() {
+        let (mut s1, r1) = setup();
+        let (mut s2, r2) = setup();
+        let m1 = grow_tree(&mut s1, r1, TreeSpec::small(), "x", &mut SimRng::seeded(9));
+        let m2 = grow_tree(&mut s2, r2, TreeSpec::small(), "x", &mut SimRng::seeded(9));
+        assert_eq!(m1.file_paths(), m2.file_paths());
+        let c1 = crate::store::read_file(&s1, m1.files[0].1).unwrap();
+        let c2 = crate::store::read_file(&s2, m2.files[0].1).unwrap();
+        assert_eq!(c1, c2, "same seed, same content");
+        let (mut s3, r3) = setup();
+        let m3 = grow_tree(&mut s3, r3, TreeSpec::small(), "x", &mut SimRng::seeded(10));
+        let c3 = crate::store::read_file(&s3, m3.files[0].1).unwrap();
+        assert_ne!(c1, c3, "different seed, different content");
+    }
+
+    #[test]
+    fn uses_respect_source_mix() {
+        let users: Vec<ActivityId> = (0..4).map(ActivityId::from_index).collect();
+        let names = vec![CompoundName::parse_path("/a").unwrap()];
+        let containers = vec![ObjectId::from_index(0)];
+        let mut rng = SimRng::seeded(5);
+        let uses = generate_uses(
+            &users,
+            &names,
+            &containers,
+            SourceMix::uniform(),
+            300,
+            &mut rng,
+        );
+        assert_eq!(uses.len(), 300);
+        let internal = uses
+            .iter()
+            .filter(|u| u.source == NameSource::Internal)
+            .count();
+        let message = uses
+            .iter()
+            .filter(|u| matches!(u.source, NameSource::Message { .. }))
+            .count();
+        let object = uses
+            .iter()
+            .filter(|u| matches!(u.source, NameSource::Object { .. }))
+            .count();
+        assert_eq!(internal + message + object, 300);
+        // Roughly a third each (loose bounds).
+        for share in [internal, message, object] {
+            assert!((40..=180).contains(&share), "share {share}");
+        }
+        // Senders differ from users.
+        for u in &uses {
+            if let NameSource::Message { sender } = u.source {
+                assert_ne!(sender, u.user);
+            }
+        }
+    }
+
+    #[test]
+    fn internal_only_mix() {
+        let users = vec![ActivityId::from_index(0)];
+        let names = vec![CompoundName::parse_path("/a").unwrap()];
+        let mut rng = SimRng::seeded(6);
+        let uses = generate_uses(
+            &users,
+            &names,
+            &[],
+            SourceMix::internal_only(),
+            50,
+            &mut rng,
+        );
+        assert!(uses.iter().all(|u| u.source == NameSource::Internal));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one user")]
+    fn empty_users_panics() {
+        let names = vec![CompoundName::parse_path("/a").unwrap()];
+        generate_uses(
+            &[],
+            &names,
+            &[],
+            SourceMix::uniform(),
+            1,
+            &mut SimRng::seeded(0),
+        );
+    }
+
+    #[test]
+    fn single_user_message_source_falls_back_to_self() {
+        let users = vec![ActivityId::from_index(0)];
+        let names = vec![CompoundName::parse_path("/a").unwrap()];
+        let mix = SourceMix {
+            internal: 0.0,
+            message: 1.0,
+            object: 0.0,
+        };
+        let uses = generate_uses(&users, &names, &[], mix, 10, &mut SimRng::seeded(3));
+        assert!(uses
+            .iter()
+            .all(|u| matches!(u.source, NameSource::Message { sender } if sender == u.user)));
+    }
+}

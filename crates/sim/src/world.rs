@@ -1,0 +1,774 @@
+//! The simulated distributed system: machines, processes, messages, and
+//! the naming state they share.
+//!
+//! [`World`] owns a [`SystemState`] (the σ function), a [`ContextRegistry`]
+//! (the `R(a)`/`R(o)` associations), a [`Topology`] (machines, networks,
+//! addresses), the process table, and a deterministic event queue for
+//! message delivery. Naming schemes (crate `naming-schemes`) configure the
+//! world — build directory trees, assign per-process contexts — and
+//! experiments drive it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use naming_core::closure::{ContextRegistry, MetaContext, NameSource, ResolutionRule};
+use naming_core::context::Context;
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::replica::ReplicaRegistry;
+use naming_core::resolve::Resolver;
+use naming_core::state::{ObjectState, SystemState};
+
+use crate::event::EventQueue;
+use crate::message::{Message, Payload};
+use crate::rng::SimRng;
+use crate::time::VirtualTime;
+use crate::topology::{MachineId, NetworkId, Topology};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// A process's stable address local to its machine (nonzero; `0` is the
+/// PQID wildcard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalAddr(u32);
+
+impl LocalAddr {
+    /// The raw value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ProcessInfo {
+    machine: MachineId,
+    parent: Option<ActivityId>,
+    ctx: ObjectId,
+    local_addr: LocalAddr,
+    mailbox: VecDeque<Message>,
+    alive: bool,
+}
+
+#[derive(Clone, Debug)]
+struct MachineState {
+    root: ObjectId,
+    next_local_addr: u32,
+}
+
+#[derive(Clone, Debug)]
+enum SimEvent {
+    Deliver(Message),
+}
+
+/// Fault-injection configuration: lossy delivery and severed links.
+///
+/// The paper's schemes must keep names meaningful across an unreliable
+/// substrate; fault injection lets tests exercise retry/re-registration
+/// paths (e.g. the PQID registry test re-registering after loss).
+#[derive(Clone, Debug, Default)]
+struct FaultPlan {
+    /// Probability that a message is lost in transit.
+    drop_rate: f64,
+    /// Severed machine pairs (stored with the smaller id first).
+    down_links: std::collections::BTreeSet<(MachineId, MachineId)>,
+}
+
+impl FaultPlan {
+    fn link_key(a: MachineId, b: MachineId) -> (MachineId, MachineId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// The simulated world.
+///
+/// # Examples
+///
+/// ```
+/// use naming_sim::world::World;
+///
+/// let mut world = World::new(42);
+/// let net = world.add_network("lab");
+/// let host = world.add_machine("host-a", net);
+/// let shell = world.spawn(host, "shell", None);
+/// assert_eq!(world.machine_of(shell), host);
+/// ```
+#[derive(Clone, Debug)]
+pub struct World {
+    state: SystemState,
+    registry: ContextRegistry,
+    replicas: ReplicaRegistry,
+    topology: Topology,
+    machines: Vec<MachineState>,
+    processes: BTreeMap<ActivityId, ProcessInfo>,
+    clock: VirtualTime,
+    queue: EventQueue<SimEvent>,
+    rng: SimRng,
+    trace: TraceLog,
+    faults: FaultPlan,
+}
+
+impl World {
+    /// Creates an empty world with the given random seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            state: SystemState::new(),
+            registry: ContextRegistry::new(),
+            replicas: ReplicaRegistry::new(),
+            topology: Topology::new(),
+            machines: Vec::new(),
+            processes: BTreeMap::new(),
+            clock: VirtualTime::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::seeded(seed),
+            trace: TraceLog::counters_only(),
+            faults: FaultPlan::default(),
+        }
+    }
+
+    // --- fault injection ---------------------------------------------------
+
+    /// Sets the probability that any message is lost in transit
+    /// (clamped to `[0, 1]`; default 0). Losses bump the `lost` trace
+    /// counter.
+    pub fn set_message_drop_rate(&mut self, p: f64) {
+        self.faults.drop_rate = p.clamp(0.0, 1.0);
+    }
+
+    /// Severs or restores the (symmetric) link between two machines.
+    /// Messages sent while the link is down are counted as `unroutable`
+    /// and never delivered. Intra-machine messages cannot be severed.
+    pub fn set_link_up(&mut self, a: MachineId, b: MachineId, up: bool) {
+        let key = FaultPlan::link_key(a, b);
+        if up {
+            self.faults.down_links.remove(&key);
+        } else if a != b {
+            self.faults.down_links.insert(key);
+        }
+    }
+
+    /// True if the link between the two machines is currently usable.
+    pub fn link_up(&self, a: MachineId, b: MachineId) -> bool {
+        a == b || !self.faults.down_links.contains(&FaultPlan::link_key(a, b))
+    }
+
+    // --- raw access for schemes and experiments ---------------------------
+
+    /// The naming state (σ).
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Mutable naming state.
+    pub fn state_mut(&mut self) -> &mut SystemState {
+        &mut self.state
+    }
+
+    /// The context registry (the stored `R(a)` / `R(o)` maps).
+    pub fn registry(&self) -> &ContextRegistry {
+        &self.registry
+    }
+
+    /// Mutable context registry.
+    pub fn registry_mut(&mut self) -> &mut ContextRegistry {
+        &mut self.registry
+    }
+
+    /// The replica registry for weak coherence.
+    pub fn replicas(&self) -> &ReplicaRegistry {
+        &self.replicas
+    }
+
+    /// Mutable replica registry.
+    pub fn replicas_mut(&mut self) -> &mut ReplicaRegistry {
+        &mut self.replicas
+    }
+
+    /// The physical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology (renumbering experiments).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace log.
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// The world's RNG.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    // --- topology ----------------------------------------------------------
+
+    /// Adds a network.
+    pub fn add_network(&mut self, name: impl Into<String>) -> NetworkId {
+        self.topology.add_network(name)
+    }
+
+    /// Renumbers a machine to a fresh address (relocation /
+    /// reconfiguration), tracing the event. Returns the new address.
+    pub fn renumber_machine(&mut self, m: MachineId) -> crate::topology::MachineAddr {
+        let fresh = self.topology.fresh_machine_addr();
+        let old = self.topology.renumber_machine(m, fresh);
+        self.trace.record(
+            self.clock,
+            TraceEvent::Renumbered {
+                what: format!(
+                    "machine {} {} -> {}",
+                    self.topology.machine_name(m),
+                    old,
+                    fresh
+                ),
+            },
+        );
+        fresh
+    }
+
+    /// Renumbers a network to a fresh address, tracing the event. Returns
+    /// the new address.
+    pub fn renumber_network(&mut self, n: NetworkId) -> crate::topology::NetAddr {
+        let fresh = self.topology.fresh_net_addr();
+        let old = self.topology.renumber_network(n, fresh);
+        self.trace.record(
+            self.clock,
+            TraceEvent::Renumbered {
+                what: format!(
+                    "network {} {} -> {}",
+                    self.topology.network_name(n),
+                    old,
+                    fresh
+                ),
+            },
+        );
+        fresh
+    }
+
+    /// Adds a machine on `network`, creating its root directory (a context
+    /// object with a self-binding for `/`).
+    pub fn add_machine(&mut self, name: impl Into<String>, network: NetworkId) -> MachineId {
+        let name = name.into();
+        let id = self.topology.add_machine(name.clone(), network);
+        let root = self.state.add_context_object(format!("{name}:/"));
+        self.state
+            .bind(root, Name::root(), root)
+            .expect("fresh root is a context");
+        self.machines.push(MachineState {
+            root,
+            next_local_addr: 0,
+        });
+        id
+    }
+
+    /// The root directory object of a machine.
+    pub fn machine_root(&self, m: MachineId) -> ObjectId {
+        self.machines[m.0].root
+    }
+
+    /// Replaces the root directory object of a machine (used by schemes
+    /// that graft machine trees under a superroot).
+    pub fn set_machine_root(&mut self, m: MachineId, root: ObjectId) {
+        self.machines[m.0].root = root;
+    }
+
+    // --- processes ---------------------------------------------------------
+
+    /// Spawns a process on `machine`.
+    ///
+    /// With a parent, the child *inherits a copy* of the parent's context —
+    /// "a child inherits the context of its parent. A parent and a child
+    /// have coherence for all names until one of them modifies its context"
+    /// (§5.1). Without a parent, the context starts with `/` and `.` bound
+    /// to the machine root.
+    pub fn spawn(
+        &mut self,
+        machine: MachineId,
+        label: impl Into<String>,
+        parent: Option<ActivityId>,
+    ) -> ActivityId {
+        let pid = self.state.add_activity(label);
+        let ctx_contents: Context = match parent {
+            Some(p) => {
+                let pctx = self.processes[&p].ctx;
+                self.state
+                    .context(pctx)
+                    .expect("parent context object")
+                    .inherit()
+            }
+            None => {
+                let root = self.machines[machine.0].root;
+                Context::from_bindings([
+                    (Name::root(), Entity::Object(root)),
+                    (Name::self_(), Entity::Object(root)),
+                ])
+            }
+        };
+        let ctx = self.state.add_object(
+            format!("ctx:{}", self.state.activity_label(pid)),
+            ObjectState::Context(ctx_contents),
+        );
+        self.registry.set_activity_context(pid, ctx);
+        let m = &mut self.machines[machine.0];
+        m.next_local_addr += 1;
+        let local_addr = LocalAddr(m.next_local_addr);
+        self.processes.insert(
+            pid,
+            ProcessInfo {
+                machine,
+                parent,
+                ctx,
+                local_addr,
+                mailbox: VecDeque::new(),
+                alive: true,
+            },
+        );
+        self.state.activity_state_mut(pid).tag = machine.0 as u64;
+        self.trace
+            .record(self.clock, TraceEvent::Spawned { pid, parent });
+        pid
+    }
+
+    /// Terminates a process (it keeps its ids but stops receiving).
+    pub fn kill(&mut self, pid: ActivityId) {
+        if let Some(p) = self.processes.get_mut(&pid) {
+            p.alive = false;
+        }
+        self.state.activity_state_mut(pid).alive = false;
+    }
+
+    /// True if the process is alive.
+    pub fn is_alive(&self, pid: ActivityId) -> bool {
+        self.processes.get(&pid).map(|p| p.alive).unwrap_or(false)
+    }
+
+    /// The machine hosting a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not spawned in this world.
+    pub fn machine_of(&self, pid: ActivityId) -> MachineId {
+        self.processes[&pid].machine
+    }
+
+    /// The parent of a process, if any.
+    pub fn parent_of(&self, pid: ActivityId) -> Option<ActivityId> {
+        self.processes[&pid].parent
+    }
+
+    /// The process's per-activity context object (`R(pid)`).
+    pub fn context_of(&self, pid: ActivityId) -> ObjectId {
+        self.processes[&pid].ctx
+    }
+
+    /// The process's stable machine-local address.
+    pub fn local_addr(&self, pid: ActivityId) -> LocalAddr {
+        self.processes[&pid].local_addr
+    }
+
+    /// Finds the live process with the given local address on a machine.
+    pub fn find_process(&self, machine: MachineId, addr: LocalAddr) -> Option<ActivityId> {
+        self.processes
+            .iter()
+            .find(|(_, p)| p.machine == machine && p.local_addr == addr && p.alive)
+            .map(|(pid, _)| *pid)
+    }
+
+    /// All processes ever spawned, in pid order.
+    pub fn processes(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        self.processes.keys().copied()
+    }
+
+    /// The live processes on a machine, in pid order.
+    pub fn processes_on(&self, machine: MachineId) -> Vec<ActivityId> {
+        self.processes
+            .iter()
+            .filter(|(_, p)| p.machine == machine && p.alive)
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Binds `name` in a process's per-activity context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not spawned in this world.
+    pub fn bind_for(&mut self, pid: ActivityId, name: Name, entity: impl Into<Entity>) {
+        let ctx = self.processes[&pid].ctx;
+        self.state
+            .bind(ctx, name, entity)
+            .expect("process context is a context object");
+    }
+
+    /// Looks `name` up in a process's per-activity context (single step).
+    pub fn binding_of(&self, pid: ActivityId, name: Name) -> Entity {
+        self.state.lookup(self.processes[&pid].ctx, name)
+    }
+
+    // --- resolution --------------------------------------------------------
+
+    /// Resolves a name for a process under a resolution rule, tracing the
+    /// outcome.
+    pub fn resolve_as(
+        &mut self,
+        pid: ActivityId,
+        name: &CompoundName,
+        source: NameSource,
+        rule: &dyn ResolutionRule,
+    ) -> Entity {
+        let m = MetaContext {
+            resolver: pid,
+            source,
+        };
+        let entity =
+            naming_core::closure::resolve_with_rule(&self.state, &self.registry, rule, &m, name);
+        self.trace.record(
+            self.clock,
+            TraceEvent::Resolved {
+                pid,
+                name: name.clone(),
+                source,
+                entity,
+            },
+        );
+        entity
+    }
+
+    /// Resolves a name directly in a process's own context (the ubiquitous
+    /// `R(activity)` special case), without rule indirection.
+    pub fn resolve_in_own_context(&self, pid: ActivityId, name: &CompoundName) -> Entity {
+        Resolver::new().resolve_entity(&self.state, self.processes[&pid].ctx, name)
+    }
+
+    // --- messaging ---------------------------------------------------------
+
+    /// Sends a message; delivery is scheduled after the topology's latency
+    /// for the machine pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint was not spawned in this world.
+    pub fn send(&mut self, from: ActivityId, to: ActivityId, parts: Vec<Payload>) {
+        let mut msg = Message::new(from, to, parts);
+        msg.sent_at = self.clock;
+        let (fm, tm) = (self.processes[&from].machine, self.processes[&to].machine);
+        self.trace.record(
+            self.clock,
+            TraceEvent::MessageSent {
+                from,
+                to,
+                names: msg.name_count(),
+            },
+        );
+        if !self.link_up(fm, tm) {
+            self.trace.bump("unroutable");
+            return;
+        }
+        if self.faults.drop_rate > 0.0 && self.rng.chance(self.faults.drop_rate) {
+            self.trace.bump("lost");
+            return;
+        }
+        let latency = self.topology.latency(fm, tm);
+        self.queue
+            .schedule(self.clock + latency, SimEvent::Deliver(msg));
+    }
+
+    /// Runs the next pending event, advancing the clock. Returns `false`
+    /// when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some((time, SimEvent::Deliver(msg))) => {
+                self.clock = time;
+                let (from, to) = (msg.from, msg.to);
+                if let Some(p) = self.processes.get_mut(&to) {
+                    if p.alive {
+                        p.mailbox.push_back(msg);
+                        self.trace
+                            .record(self.clock, TraceEvent::MessageDelivered { from, to });
+                    } else {
+                        self.trace.bump("dropped");
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Runs until the event queue is drained.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Takes the next delivered message from a process's mailbox.
+    pub fn receive(&mut self, pid: ActivityId) -> Option<Message> {
+        self.processes.get_mut(&pid)?.mailbox.pop_front()
+    }
+
+    /// Number of messages waiting in a process's mailbox.
+    pub fn mailbox_len(&self, pid: ActivityId) -> usize {
+        self.processes
+            .get(&pid)
+            .map(|p| p.mailbox.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_core::closure::StandardRule;
+
+    fn two_machine_world() -> (World, MachineId, MachineId) {
+        let mut w = World::new(1);
+        let net = w.add_network("lab");
+        let m1 = w.add_machine("alpha", net);
+        let m2 = w.add_machine("beta", net);
+        (w, m1, m2)
+    }
+
+    #[test]
+    fn machine_roots_are_self_bound() {
+        let (w, m1, _) = two_machine_world();
+        let root = w.machine_root(m1);
+        assert_eq!(w.state().lookup(root, Name::root()), Entity::Object(root));
+    }
+
+    #[test]
+    fn spawn_root_process_context() {
+        let (mut w, m1, _) = two_machine_world();
+        let p = w.spawn(m1, "init", None);
+        assert_eq!(
+            w.binding_of(p, Name::root()),
+            Entity::Object(w.machine_root(m1))
+        );
+        assert_eq!(
+            w.binding_of(p, Name::self_()),
+            Entity::Object(w.machine_root(m1))
+        );
+        assert!(w.is_alive(p));
+        assert_eq!(w.parent_of(p), None);
+        assert_eq!(w.trace().counter("spawned"), 1);
+    }
+
+    #[test]
+    fn child_inherits_parent_context() {
+        let (mut w, m1, _) = two_machine_world();
+        let parent = w.spawn(m1, "sh", None);
+        let dir = w.state_mut().add_context_object("work");
+        w.bind_for(parent, Name::new("work"), dir);
+        let child = w.spawn(m1, "child", Some(parent));
+        assert_eq!(w.binding_of(child, Name::new("work")), Entity::Object(dir));
+        assert_eq!(w.parent_of(child), Some(parent));
+        // Divergence after inheritance: rebinding in parent does not affect
+        // the child.
+        let dir2 = w.state_mut().add_context_object("work2");
+        w.bind_for(parent, Name::new("work"), dir2);
+        assert_eq!(w.binding_of(child, Name::new("work")), Entity::Object(dir));
+    }
+
+    #[test]
+    fn local_addrs_are_per_machine_and_stable() {
+        let (mut w, m1, m2) = two_machine_world();
+        let p1 = w.spawn(m1, "a", None);
+        let p2 = w.spawn(m1, "b", None);
+        let q1 = w.spawn(m2, "c", None);
+        assert_ne!(w.local_addr(p1), w.local_addr(p2));
+        assert_eq!(w.local_addr(p1).value(), 1);
+        assert_eq!(w.local_addr(q1).value(), 1); // per-machine counter
+        assert_eq!(w.find_process(m1, w.local_addr(p2)), Some(p2));
+        assert_eq!(w.find_process(m2, w.local_addr(q1)), Some(q1));
+    }
+
+    #[test]
+    fn dead_processes_are_not_found() {
+        let (mut w, m1, _) = two_machine_world();
+        let p = w.spawn(m1, "a", None);
+        let addr = w.local_addr(p);
+        w.kill(p);
+        assert!(!w.is_alive(p));
+        assert_eq!(w.find_process(m1, addr), None);
+        assert!(w.processes_on(m1).is_empty());
+    }
+
+    #[test]
+    fn message_roundtrip_with_latency() {
+        let (mut w, m1, m2) = two_machine_world();
+        let a = w.spawn(m1, "client", None);
+        let b = w.spawn(m2, "server", None);
+        w.send(a, b, vec![Payload::bytes(&b"ping"[..])]);
+        assert_eq!(w.mailbox_len(b), 0);
+        assert!(w.step());
+        assert_eq!(w.mailbox_len(b), 1);
+        // Same-network latency applied.
+        assert_eq!(w.now().ticks(), w.topology().latency_model().same_network);
+        let msg = w.receive(b).unwrap();
+        assert_eq!(msg.from, a);
+        assert!(w.receive(b).is_none());
+    }
+
+    #[test]
+    fn messages_to_dead_processes_are_dropped() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        w.send(a, b, vec![]);
+        w.kill(b);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 0);
+        assert_eq!(w.trace().counter("dropped"), 1);
+        assert_eq!(w.trace().counter("delivered"), 0);
+    }
+
+    #[test]
+    fn resolve_as_traces() {
+        let (mut w, m1, _) = two_machine_world();
+        let p = w.spawn(m1, "init", None);
+        let root = w.machine_root(m1);
+        let etc = w.state_mut().add_context_object("etc");
+        w.state_mut().bind(root, Name::new("etc"), etc).unwrap();
+        let n = CompoundName::parse_path("/etc").unwrap();
+        let e = w.resolve_as(p, &n, NameSource::Internal, &StandardRule::OfResolver);
+        assert_eq!(e, Entity::Object(etc));
+        assert_eq!(w.trace().counter("resolved"), 1);
+        assert_eq!(w.resolve_in_own_context(p, &n), Entity::Object(etc));
+    }
+
+    #[test]
+    fn total_loss_delivers_nothing() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        w.set_message_drop_rate(1.0);
+        for _ in 0..5 {
+            w.send(a, b, vec![]);
+        }
+        w.run();
+        assert_eq!(w.mailbox_len(b), 0);
+        assert_eq!(w.trace().counter("lost"), 5);
+        // Restoring reliability restores delivery.
+        w.set_message_drop_rate(0.0);
+        w.send(a, b, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 1);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic() {
+        let counts: Vec<u64> = (0..2)
+            .map(|_| {
+                let (mut w, m1, m2) = two_machine_world();
+                let a = w.spawn(m1, "x", None);
+                let b = w.spawn(m2, "y", None);
+                w.set_message_drop_rate(0.5);
+                for _ in 0..40 {
+                    w.send(a, b, vec![]);
+                }
+                w.run();
+                w.trace().counter("delivered")
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "same seed, same losses");
+        assert!(
+            counts[0] > 5 && counts[0] < 35,
+            "roughly half: {}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn severed_links_make_messages_unroutable() {
+        let (mut w, m1, m2) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m2, "y", None);
+        let c = w.spawn(m1, "z", None);
+        assert!(w.link_up(m1, m2));
+        w.set_link_up(m1, m2, false);
+        assert!(!w.link_up(m1, m2));
+        assert!(!w.link_up(m2, m1), "links are symmetric");
+        w.send(a, b, vec![]);
+        // Intra-machine traffic is unaffected.
+        w.send(a, c, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 0);
+        assert_eq!(w.mailbox_len(c), 1);
+        assert_eq!(w.trace().counter("unroutable"), 1);
+        // Healing the partition restores routing.
+        w.set_link_up(m1, m2, true);
+        w.send(a, b, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 1);
+    }
+
+    #[test]
+    fn intra_machine_links_cannot_be_severed() {
+        let (mut w, m1, _) = two_machine_world();
+        w.set_link_up(m1, m1, false);
+        assert!(w.link_up(m1, m1));
+    }
+
+    #[test]
+    fn traced_renumbering() {
+        let (mut w, m1, _) = two_machine_world();
+        let old = w.topology().machine_addr(m1);
+        let new = w.renumber_machine(m1);
+        assert_ne!(old, new);
+        assert_eq!(w.topology().machine_addr(m1), new);
+        let net = w.topology().machine_network(m1);
+        let old_net = w.topology().net_addr(net);
+        let new_net = w.renumber_network(net);
+        assert_ne!(old_net, new_net);
+        assert_eq!(w.trace().counter("renumbered"), 2);
+    }
+
+    #[test]
+    fn cloned_worlds_branch_deterministically() {
+        // A cloned world is an independent what-if branch: both branches
+        // evolve identically under identical inputs, and divergent inputs
+        // do not leak across.
+        let (mut w, m1, m2) = two_machine_world();
+        let a = w.spawn(m1, "a", None);
+        let b = w.spawn(m2, "b", None);
+        w.send(a, b, vec![Payload::bytes(&b"x"[..])]);
+        let mut fork = w.clone();
+        // Same inputs → same outcomes.
+        w.run();
+        fork.run();
+        assert_eq!(w.now(), fork.now());
+        assert_eq!(w.mailbox_len(b), fork.mailbox_len(b));
+        // Divergence stays contained.
+        let dir = w.state_mut().add_context_object("only-in-w");
+        w.bind_for(a, Name::new("d"), dir);
+        assert_eq!(w.binding_of(a, Name::new("d")), Entity::Object(dir));
+        assert_eq!(fork.binding_of(a, Name::new("d")), Entity::Undefined);
+        assert!(fork.state().object_count() < w.state().object_count());
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        for _ in 0..5 {
+            w.send(a, b, vec![]);
+        }
+        w.run();
+        assert_eq!(w.mailbox_len(b), 5);
+        assert!(!w.step());
+    }
+}

@@ -1,0 +1,77 @@
+//! Federated autonomous organizations (Fig. 5 / §7): cross-links, the
+//! human prefix-mapping closure, and shared name spaces.
+//!
+//! ```text
+//! cargo run -p naming-schemes --example federation
+//! ```
+
+use naming_core::name::CompoundName;
+use naming_schemes::federation::two_orgs;
+use naming_sim::store;
+use naming_sim::world::World;
+
+fn main() {
+    let mut w = World::new(2026);
+    let (fed, org1, org2) = two_orgs(&mut w);
+    let p1 = fed.processes(org1)[0];
+    let p2 = fed.processes(org2)[0];
+    println!("two autonomous organizations, cross-linked both ways\n");
+
+    // An org2-local name used raw by an org1 process.
+    let bob = CompoundName::parse_path("/users/bob/profile").unwrap();
+    println!(
+        "org1 process resolves {bob}: {}",
+        w.resolve_in_own_context(p1, &bob)
+    );
+    println!(
+        "org2 process resolves {bob}: {}",
+        w.resolve_in_own_context(p2, &bob)
+    );
+
+    // The human applies the prefix mapping.
+    let mapped = fed.map_across(org1, org2, &bob).unwrap();
+    println!("\nhuman maps the name: {bob} -> {mapped}");
+    println!(
+        "org1 process resolves {mapped}: {}",
+        w.resolve_in_own_context(p1, &mapped)
+    );
+    assert_eq!(
+        w.resolve_in_own_context(p1, &mapped),
+        w.resolve_in_own_context(p2, &bob)
+    );
+
+    // Shared name spaces remove the burden for high-interaction names.
+    let services = w.state_mut().add_context_object("services:/");
+    store::create_file(w.state_mut(), services, "dns", vec![]);
+    fed.attach_shared_space(&mut w, &[org1, org2], "services", services);
+    let dns = CompoundName::parse_path("/services/dns").unwrap();
+    println!("\nshared space attached as /services in both orgs:");
+    println!("org1 -> {}", w.resolve_in_own_context(p1, &dns));
+    println!("org2 -> {}", w.resolve_in_own_context(p2, &dns));
+    assert_eq!(
+        w.resolve_in_own_context(p1, &dns),
+        w.resolve_in_own_context(p2, &dns)
+    );
+
+    // Quantify the burden across a mixed reference workload.
+    let refs = vec![
+        (org1, org2, dns.clone()),
+        (org1, org2, bob.clone()),
+        (
+            org2,
+            org1,
+            CompoundName::parse_path("/users/alice/profile").unwrap(),
+        ),
+        (
+            org1,
+            org1,
+            CompoundName::parse_path("/users/ann/profile").unwrap(),
+        ),
+    ];
+    let burden = fed.mapping_burden(&w, &refs);
+    println!(
+        "\nreference workload: {} coherent as-is, {} need human mapping, {} unreachable",
+        burden.coherent, burden.needs_mapping, burden.unreachable
+    );
+    println!("\nif cross-scope interaction is high, enlarge the scope (paper §7)");
+}

@@ -1,0 +1,64 @@
+//! A four-policy REPL for the §4 expression language: type a program, see
+//! its value under every closure mechanism at once.
+//!
+//! ```text
+//! printf 'let x = 1 in let f = fun(y) -> x + y in let x = 100 in f(10)\n' \
+//!   | cargo run -p naming-schemes --example funarg_repl
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use naming_lang::interp::{eval_with, EvalError, ParamMode, ScopePolicy, Value};
+use naming_lang::parse::parse;
+
+fn show(r: Result<Value, EvalError>) -> String {
+    match r {
+        Ok(v) => v.to_string(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn main() -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "funarg repl — enter an expression; empty line or EOF quits.\n\
+         syntax: let x = e in e | fun(x) -> e | f(e) | e + e | e * e | if e=0 then e else e"
+    )?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            break;
+        }
+        writeln!(out, "> {line}")?;
+        match parse(&line) {
+            Err(e) => writeln!(out, "  {e}")?,
+            Ok(expr) => {
+                writeln!(
+                    out,
+                    "  lexical/by-value : {}",
+                    show(eval_with(ScopePolicy::Lexical, ParamMode::ByValue, &expr))
+                )?;
+                writeln!(
+                    out,
+                    "  dynamic/by-value : {}",
+                    show(eval_with(ScopePolicy::Dynamic, ParamMode::ByValue, &expr))
+                )?;
+                writeln!(
+                    out,
+                    "  lexical/by-name  : {}",
+                    show(eval_with(ScopePolicy::Lexical, ParamMode::ByName, &expr))
+                )?;
+                writeln!(
+                    out,
+                    "  lexical/by-text  : {}",
+                    show(eval_with(ScopePolicy::Lexical, ParamMode::ByText, &expr))
+                )?;
+            }
+        }
+        out.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! A distributed name service: resolution as a wire protocol across three
+//! machines, iterative vs recursive referral chasing, and a client cache
+//! drifting into incoherence.
+//!
+//! ```text
+//! cargo run -p naming-schemes --example nameservice
+//! ```
+
+use naming_core::name::{CompoundName, Name};
+use naming_resolver::cache::CachingResolver;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::world::World;
+
+fn main() {
+    let mut w = World::new(7);
+    let net = w.add_network("backbone");
+    let m0 = w.add_machine("ns-root", net);
+    let m1 = w.add_machine("ns-org", net);
+    let m2 = w.add_machine("ns-dept", net);
+
+    // A three-zone namespace: root zone -> org zone -> dept zone -> printer.
+    let root = w.machine_root(m0);
+    let org_root = w.machine_root(m1);
+    let dept_root = w.machine_root(m2);
+    let org = store::ensure_dir(w.state_mut(), org_root, "zone");
+    let dept = store::ensure_dir(w.state_mut(), dept_root, "zone");
+    store::attach(w.state_mut(), root, "org", org, false);
+    store::attach(w.state_mut(), org, "dept", dept, false);
+    let printer = store::create_file(w.state_mut(), dept, "printer", b"lpr://q1".to_vec());
+
+    let mut svc = NameService::install(&mut w, &[m0, m1, m2]);
+    svc.place_subtree(&w, dept_root, m2);
+    svc.place_subtree(&w, org_root, m1);
+    svc.place_subtree(&w, root, m0);
+
+    // A client on a far network.
+    let far = w.add_network("edge");
+    let laptop = w.add_machine("laptop", far);
+    let client = w.spawn(laptop, "browser", None);
+
+    let name = CompoundName::parse_path("/org/dept/printer").unwrap();
+    let mut engine = ProtocolEngine::new(svc);
+    println!("resolving {name} from a remote client, three zones deep:\n");
+    let it = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+    println!(
+        "  iterative : {} — {} messages, {} servers, latency {}",
+        it.entity, it.messages, it.servers_touched, it.latency
+    );
+    let rec = engine.resolve(&mut w, client, root, &name, Mode::Recursive);
+    println!(
+        "  recursive : {} — {} messages, {} servers, latency {}",
+        rec.entity, rec.messages, rec.servers_touched, rec.latency
+    );
+    assert_eq!(it.entity, rec.entity);
+    assert!(rec.latency < it.latency);
+
+    // Caching, and its incoherence.
+    let mut cached = CachingResolver::new(engine);
+    cached.resolve(&mut w, client, root, &name, Mode::Recursive);
+    let (hit, from_cache) = cached.resolve(&mut w, client, root, &name, Mode::Recursive);
+    println!("\ncache hit: {hit} (from cache: {from_cache})");
+
+    // The department renames its printer binding.
+    let new_printer = store::create_file(w.state_mut(), dept, "printer-v2", b"lpr://q2".to_vec());
+    w.state_mut()
+        .bind(dept, Name::new("printer"), new_printer)
+        .unwrap();
+    println!(
+        "after rebinding at the authority: cache staleness = {:.0}%",
+        100.0 * cached.staleness(&w)
+    );
+    let (stale, _) = cached.resolve(&mut w, client, root, &name, Mode::Recursive);
+    println!("stale cached answer still served: {stale} (authority now means {new_printer:?})");
+    cached.invalidate(root, &name);
+    let (fresh, _) = cached.resolve(&mut w, client, root, &name, Mode::Recursive);
+    println!("after invalidation: {fresh}");
+    assert_ne!(stale, fresh);
+    let _ = printer;
+
+    println!(
+        "\na cached resolution is a frozen context binding — coherence in naming, temporal edition"
+    );
+}

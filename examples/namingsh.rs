@@ -1,0 +1,258 @@
+//! `namingsh` — an interactive shell over the naming model.
+//!
+//! Explore contexts, closure mechanisms and coherence by hand. Reads
+//! commands from stdin, so it is scriptable:
+//!
+//! ```text
+//! printf 'mkdir /etc\ntouch /etc/passwd root\nspawn web\nchroot /etc\naudit /etc/passwd\nquit\n' \
+//!   | cargo run -p naming-schemes --example namingsh
+//! ```
+//!
+//! Type `help` for the command list.
+
+use std::io::{self, BufRead, Write};
+
+use naming_core::closure::{MetaContext, StandardRule};
+use naming_core::coherence::check_coherence;
+use naming_core::entity::{ActivityId, Entity};
+use naming_core::graph::NamingGraph;
+use naming_core::name::{CompoundName, Name};
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+struct Shell {
+    world: World,
+    machine: MachineId,
+    current: ActivityId,
+    procs: Vec<ActivityId>,
+}
+
+impl Shell {
+    fn new() -> Shell {
+        let mut world = World::new(0xA11CE);
+        let net = world.add_network("shellnet");
+        let machine = world.add_machine("host", net);
+        let init = world.spawn(machine, "init", None);
+        Shell {
+            world,
+            machine,
+            current: init,
+            procs: vec![init],
+        }
+    }
+
+    fn resolve(&self, path: &str) -> Option<Entity> {
+        let name = CompoundName::parse_path(path).ok()?;
+        Some(self.world.resolve_in_own_context(self.current, &name))
+    }
+
+    fn resolve_dir(&self, path: &str) -> Result<naming_core::entity::ObjectId, String> {
+        match self.resolve(path) {
+            Some(Entity::Object(o)) if self.world.state().is_context_object(o) => Ok(o),
+            Some(Entity::Undefined) | None => Err(format!("{path}: not found")),
+            Some(e) => Err(format!("{path}: {e} is not a directory")),
+        }
+    }
+
+    fn parent_and_leaf(
+        &self,
+        path: &str,
+    ) -> Result<(naming_core::entity::ObjectId, String), String> {
+        let name = CompoundName::parse_path(path).map_err(|e| e.to_string())?;
+        let leaf = name.last().as_str().to_owned();
+        let parent = match name.parent_name() {
+            Some(p) => self.resolve_dir(&p.to_string())?,
+            None => self.resolve_dir(".")?,
+        };
+        Ok((parent, leaf))
+    }
+
+    fn cmd(&mut self, line: &str, out: &mut impl Write) -> io::Result<bool> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Ok(true);
+        };
+        let args: Vec<&str> = parts.collect();
+        macro_rules! say {
+            ($($t:tt)*) => { writeln!(out, $($t)*)? };
+        }
+        match (cmd, args.as_slice()) {
+            ("help", _) => {
+                say!("commands:");
+                say!("  mkdir <path>            create a directory");
+                say!("  touch <path> [text]     create a file");
+                say!("  ln <path> <existing>    bind an alias to an existing entity");
+                say!("  rm <path>               remove a binding");
+                say!("  ls [path]               list a directory");
+                say!("  resolve <path>          resolve in the current process's context");
+                say!("  cd <path>               change working-directory binding");
+                say!("  chroot <path>           change root binding");
+                say!("  spawn <label>           new process inheriting this context");
+                say!("  su <pid-number>         switch current process");
+                say!("  procs                   list processes");
+                say!("  audit <path>...         coherence of names across all processes");
+                say!("  graph                   dump the naming graph as DOT");
+                say!("  quit                    exit");
+            }
+            ("mkdir", [path]) => match self.parent_and_leaf(path) {
+                Ok((parent, leaf)) => {
+                    let d = store::ensure_dir(self.world.state_mut(), parent, &leaf);
+                    say!("created {d}");
+                }
+                Err(e) => say!("mkdir: {e}"),
+            },
+            ("touch", [path, rest @ ..]) => match self.parent_and_leaf(path) {
+                Ok((parent, leaf)) => {
+                    let content = rest.join(" ").into_bytes();
+                    let f = store::create_file(self.world.state_mut(), parent, &leaf, content);
+                    say!("created {f}");
+                }
+                Err(e) => say!("touch: {e}"),
+            },
+            ("ln", [path, existing]) => {
+                match (self.parent_and_leaf(path), self.resolve(existing)) {
+                    (Ok((parent, leaf)), Some(e)) if e.is_defined() => {
+                        self.world
+                            .state_mut()
+                            .bind(parent, Name::new(&leaf), e)
+                            .expect("parent is a directory");
+                        say!("{path} -> {e}");
+                    }
+                    (Err(e), _) => say!("ln: {e}"),
+                    _ => say!("ln: {existing}: not found"),
+                }
+            }
+            ("rm", [path]) => match self.parent_and_leaf(path) {
+                Ok((parent, leaf)) => match store::detach(self.world.state_mut(), parent, &leaf) {
+                    Some(e) => say!("unbound {e}"),
+                    None => say!("rm: {path}: not bound"),
+                },
+                Err(e) => say!("rm: {e}"),
+            },
+            ("ls", rest) => {
+                let path = rest.first().copied().unwrap_or(".");
+                match self.resolve_dir(path) {
+                    Ok(dir) => {
+                        for (n, e) in store::list_dir(self.world.state(), dir) {
+                            let kind = match e {
+                                Entity::Object(o) if self.world.state().is_context_object(o) => {
+                                    "dir "
+                                }
+                                Entity::Object(_) => "file",
+                                Entity::Activity(_) => "proc",
+                                Entity::Undefined => "??? ",
+                            };
+                            say!("  {kind} {n} -> {e}");
+                        }
+                    }
+                    Err(e) => say!("ls: {e}"),
+                }
+            }
+            ("resolve", [path]) => match self.resolve(path) {
+                Some(e) => say!("{path} -> {e}"),
+                None => say!("resolve: bad path"),
+            },
+            ("cd", [path]) => match self.resolve_dir(path) {
+                Ok(dir) => {
+                    self.world.bind_for(self.current, Name::self_(), dir);
+                    say!("cwd -> {dir}");
+                }
+                Err(e) => say!("cd: {e}"),
+            },
+            ("chroot", [path]) => match self.resolve_dir(path) {
+                Ok(dir) => {
+                    self.world.bind_for(self.current, Name::root(), dir);
+                    self.world.bind_for(self.current, Name::self_(), dir);
+                    say!("root -> {dir} (coherence with other-rooted processes is gone)");
+                }
+                Err(e) => say!("chroot: {e}"),
+            },
+            ("spawn", [label]) => {
+                let pid = self.world.spawn(self.machine, *label, Some(self.current));
+                self.procs.push(pid);
+                say!(
+                    "spawned {pid} ({label}), context inherited from {}",
+                    self.current
+                );
+            }
+            ("su", [num]) => match num.parse::<usize>() {
+                Ok(i) => {
+                    let target = ActivityId::from_index(i as u32);
+                    if self.procs.contains(&target) {
+                        self.current = target;
+                        say!("now {target}");
+                    } else {
+                        say!("su: no such process (see `procs`)");
+                    }
+                }
+                Err(_) => say!("su: give the numeric pid (e.g. `su 1`)"),
+            },
+            ("procs", _) => {
+                for &p in &self.procs {
+                    let marker = if p == self.current { "*" } else { " " };
+                    let root = self.world.binding_of(p, Name::root());
+                    let cwd = self.world.binding_of(p, Name::self_());
+                    say!(
+                        " {marker} {p} {} root={root} cwd={cwd}",
+                        self.world.state().activity_label(p),
+                    );
+                }
+            }
+            ("audit", paths) if !paths.is_empty() => {
+                let metas: Vec<MetaContext> = self
+                    .procs
+                    .iter()
+                    .map(|&p| MetaContext::internal(p))
+                    .collect();
+                for path in paths {
+                    match CompoundName::parse_path(path) {
+                        Ok(name) => {
+                            let v = check_coherence(
+                                self.world.state(),
+                                self.world.registry(),
+                                &StandardRule::OfResolver,
+                                &metas,
+                                &name,
+                                Some(self.world.replicas()),
+                            );
+                            say!("{path}: {v}");
+                        }
+                        Err(_) => say!("{path}: bad path"),
+                    }
+                }
+            }
+            ("graph", _) => {
+                say!("{}", NamingGraph::of(self.world.state()).to_dot());
+            }
+            ("quit" | "exit", _) => return Ok(false),
+            _ => say!("unknown command {cmd:?}; try `help`"),
+        }
+        Ok(true)
+    }
+}
+
+fn main() -> io::Result<()> {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "namingsh — explore coherence in naming (type `help`)")?;
+    let interactive = atty_guess();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if !interactive {
+            writeln!(out, "> {line}")?;
+        }
+        if !shell.cmd(&line, &mut out)? {
+            break;
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Crude interactivity guess without a TTY dependency: honor an env var.
+fn atty_guess() -> bool {
+    std::env::var_os("NAMINGSH_INTERACTIVE").is_some()
+}

@@ -1,0 +1,71 @@
+//! The Newcastle Connection, Figure 3 of the paper: three Unix machines
+//! joined under a superroot, `..`-names across machines, and the
+//! remote-execution root-policy tradeoff.
+//!
+//! ```text
+//! cargo run -p naming-schemes --example newcastle
+//! ```
+
+use naming_core::name::CompoundName;
+use naming_schemes::newcastle::{figure3, RootPolicy};
+use naming_sim::world::World;
+
+fn main() {
+    let mut w = World::new(1993);
+    let (mut scheme, machines) = figure3(&mut w);
+    println!("Figure 3: machines unix1, unix2, unix3 under one superroot\n");
+
+    let p1 = scheme.spawn(&mut w, machines[0], "proc-on-unix1", None);
+    let p2 = scheme.spawn(&mut w, machines[1], "proc-on-unix2", None);
+
+    // The same absolute name means different files on different machines.
+    let passwd = CompoundName::parse_path("/etc/passwd").unwrap();
+    println!(
+        "{passwd} on unix1 -> {}",
+        w.resolve_in_own_context(p1, &passwd)
+    );
+    println!(
+        "{passwd} on unix2 -> {}",
+        w.resolve_in_own_context(p2, &passwd)
+    );
+    assert_ne!(
+        w.resolve_in_own_context(p1, &passwd),
+        w.resolve_in_own_context(p2, &passwd)
+    );
+
+    // The Newcastle mapping rule makes the name portable.
+    let mapped = scheme.map_name(&w, machines[0], &passwd).unwrap();
+    println!("\nunix1 maps the name for export: {mapped}");
+    println!(
+        "{mapped} on unix2 -> {}",
+        w.resolve_in_own_context(p2, &mapped)
+    );
+    assert_eq!(
+        w.resolve_in_own_context(p2, &mapped),
+        w.resolve_in_own_context(p1, &passwd)
+    );
+
+    // Remote execution: pick your poison.
+    println!("\nremote execution unix1 -> unix2:");
+    let inv = scheme.remote_exec(&mut w, p1, machines[1], "job-inv", RootPolicy::InvokerRoot);
+    let loc = scheme.remote_exec(&mut w, p1, machines[1], "job-loc", RootPolicy::LocalRoot);
+    let local_file = CompoundName::parse_path("/only-on-2").unwrap();
+    println!(
+        "  invoker-root child: param {} -> {} (coherent), local file -> {}",
+        passwd,
+        w.resolve_in_own_context(inv, &passwd),
+        w.resolve_in_own_context(inv, &local_file),
+    );
+    println!(
+        "  local-root child:   param {} -> {} (NOT what parent meant), local file -> {}",
+        passwd,
+        w.resolve_in_own_context(loc, &passwd),
+        w.resolve_in_own_context(loc, &local_file),
+    );
+    assert_eq!(
+        w.resolve_in_own_context(inv, &passwd),
+        w.resolve_in_own_context(p1, &passwd)
+    );
+    assert!(w.resolve_in_own_context(loc, &local_file).is_defined());
+    println!("\nNewcastle must choose: parameter coherence XOR local access (paper §5.1)");
+}

@@ -1,0 +1,89 @@
+//! Partially qualified identifiers (§6 Ex. 1): a live network
+//! reconfiguration, with PQIDs surviving where fully qualified pids die,
+//! and the `R(sender)` mapping at a message boundary.
+//!
+//! ```text
+//! cargo run -p naming-schemes --example pqid_renumbering
+//! ```
+
+use naming_schemes::pqid::{Pqid, PqidSpace};
+use naming_sim::message::Payload;
+use naming_sim::world::World;
+
+fn main() {
+    let mut w = World::new(3);
+    let n1 = w.add_network("campus");
+    let n2 = w.add_network("datacenter");
+    let ws_machine = w.add_machine("workstation", n1);
+    let peer_machine = w.add_machine("peer", n1);
+    let db_machine = w.add_machine("db-host", n2);
+
+    let client = w.spawn(ws_machine, "client", None);
+    let helper = w.spawn(ws_machine, "helper", None);
+    let peer = w.spawn(peer_machine, "peer-proc", None);
+    let dbsrv = w.spawn(db_machine, "db", None);
+
+    let space = PqidSpace::new();
+    println!("pids as seen by `client`:");
+    for (label, target) in [
+        ("itself", client),
+        ("helper (same machine)", helper),
+        ("peer (same network)", peer),
+        ("db (other network)", dbsrv),
+    ] {
+        let q = space.minimal(&w, client, target);
+        println!("  {label:24} {q}  [{}]", q.qualification_level());
+    }
+
+    // Record pids, then renumber the workstation (relocation).
+    let local = space.minimal(&w, client, helper);
+    let full = space.fully_qualified(&w, helper);
+    println!("\nrenumbering machine `workstation`…");
+    w.renumber_machine(ws_machine);
+
+    println!(
+        "  partially qualified {local} -> {:?}",
+        space.resolve(&w, client, local)
+    );
+    println!(
+        "  fully qualified     {full} -> {:?}",
+        space.resolve(&w, client, full)
+    );
+    assert_eq!(space.resolve(&w, client, local), Some(helper));
+    assert_eq!(space.resolve(&w, client, full), None);
+    println!("  the subsystem keeps its internal connections (paper §6 Ex. 1)\n");
+
+    // Message boundary: client tells the db server about its helper.
+    let q = space.minimal(&w, client, helper);
+    let mapped = space
+        .map_for_transfer(&w, client, dbsrv, q)
+        .expect("helper resolves for the sender");
+    println!("client sends pid of helper to db:");
+    println!(
+        "  raw pid    {q} at receiver -> {:?}",
+        space.resolve(&w, dbsrv, q)
+    );
+    println!(
+        "  mapped pid {mapped} at receiver -> {:?}",
+        space.resolve(&w, dbsrv, mapped)
+    );
+    assert_eq!(space.resolve(&w, dbsrv, mapped), Some(helper));
+
+    // Ship it through the simulator's message layer for good measure.
+    w.send(
+        client,
+        dbsrv,
+        vec![Payload::bytes(format!("{mapped}").into_bytes())],
+    );
+    w.run();
+    let msg = w.receive(dbsrv).expect("delivered");
+    println!(
+        "\ndelivered over the wire at t={} from {}",
+        w.now(),
+        msg.from
+    );
+
+    // The self pid.
+    assert_eq!(space.resolve(&w, peer, Pqid::SELF), Some(peer));
+    println!("(0,0,0) lets any process name itself — no addresses embedded at all");
+}

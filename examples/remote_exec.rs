@@ -1,0 +1,55 @@
+//! Per-process namespaces (§6 II): remote execution with BOTH parameter
+//! coherence and execution-site access — the combination Newcastle's
+//! policies cannot give (compare the `newcastle` example).
+//!
+//! ```text
+//! cargo run -p naming-schemes --example remote_exec
+//! ```
+
+use naming_core::name::CompoundName;
+use naming_schemes::per_process::PerProcess;
+use naming_sim::store;
+use naming_sim::world::World;
+
+fn main() {
+    let mut w = World::new(9);
+    let net = w.add_network("port-net");
+    let home = w.add_machine("home", net);
+    let server = w.add_machine("server", net);
+    for &m in &[home, server] {
+        let root = w.machine_root(m);
+        let data = store::ensure_dir(w.state_mut(), root, "data");
+        let host = w.topology().machine_name(m).to_owned();
+        store::create_file(w.state_mut(), data, "input", host.into_bytes());
+    }
+    let server_root = w.machine_root(server);
+    store::create_file(w.state_mut(), server_root, "scratch", vec![]);
+
+    let mut scheme = PerProcess::new();
+    let parent = scheme.spawn(&mut w, home, "parent");
+    println!("parent namespace: /home -> home machine tree");
+
+    let child = scheme.remote_exec(&mut w, parent, server, "remote-child");
+    println!("child executes on `server` with the parent's namespace + /server attached\n");
+
+    // Parameter passed by the parent: same meaning for the child.
+    let param = CompoundName::parse_path("/home/data/input").unwrap();
+    let meant = w.resolve_in_own_context(parent, &param);
+    let got = w.resolve_in_own_context(child, &param);
+    println!("param {param}: parent means {meant}, child sees {got}");
+    assert_eq!(meant, got);
+
+    // And the child still reaches the execution machine's files.
+    let scratch = CompoundName::parse_path("/server/scratch").unwrap();
+    println!(
+        "child reaches {scratch}: {}",
+        w.resolve_in_own_context(child, &scratch)
+    );
+    assert!(w.resolve_in_own_context(child, &scratch).is_defined());
+
+    // The parent's namespace is untouched.
+    assert!(!w.resolve_in_own_context(parent, &scratch).is_defined());
+    println!("parent does NOT see {scratch} (namespaces are per-process)\n");
+
+    println!("coherence for passed names AND local access — no global names needed (paper §6 II)");
+}

@@ -1,0 +1,143 @@
+//! The whole reproduction in one world: per-process namespaces, the
+//! remote-execution facility, the name-resolution protocol with a
+//! replicated zone, PQIDs, and the coherence auditor — all interoperating.
+
+use naming_core::closure::NameSource;
+use naming_core::entity::Entity;
+use naming_core::name::{CompoundName, Name};
+use naming_port::exec::ExecService;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_schemes::pqid::{Pqid, PqidSpace};
+use naming_schemes::scheme::{audit_names_for, InstalledScheme};
+use naming_sim::store;
+use naming_sim::world::World;
+
+struct Plain(Vec<naming_core::entity::ActivityId>);
+impl InstalledScheme for Plain {
+    fn scheme_name(&self) -> &'static str {
+        "plain"
+    }
+    fn participants(&self, _w: &World) -> Vec<naming_core::entity::ActivityId> {
+        self.0.clone()
+    }
+    fn audit_names(&self, _w: &World) -> Vec<CompoundName> {
+        Vec::new()
+    }
+}
+
+/// One deployment: a build farm. The `home` machine holds sources; the
+/// `farm` machine executes builds; a `registry` machine runs the name
+/// service for a shared artifact zone, replicated onto the farm.
+#[test]
+fn build_farm_end_to_end() {
+    let mut w = World::new(777);
+    let site = w.add_network("site");
+    let home = w.add_machine("home", site);
+    let farm = w.add_machine("farm", site);
+    let registry = w.add_machine("registry", site);
+
+    // Sources at home.
+    let home_root = w.machine_root(home);
+    let src = store::ensure_dir(w.state_mut(), home_root, "src");
+    let makefile = store::create_file(w.state_mut(), src, "Makefile", b"all:".to_vec());
+
+    // The shared artifact zone lives on the registry machine.
+    let reg_root = w.machine_root(registry);
+    let artifacts = store::ensure_dir(w.state_mut(), reg_root, "artifacts");
+    store::create_file(w.state_mut(), artifacts, "libfoo.a", vec![1]);
+
+    // Name service over all three machines; replicate the artifact zone
+    // onto the farm so builds resolve it locally.
+    let mut nsvc = NameService::install(&mut w, &[home, farm, registry]);
+    nsvc.place_subtree(&w, reg_root, registry);
+    let farm_root = w.machine_root(farm);
+    nsvc.place_subtree(&w, farm_root, farm);
+    nsvc.place_subtree(&w, home_root, home);
+    nsvc.replicate_zone(&mut w, artifacts, farm);
+    let mut resolver = ProtocolEngine::new(nsvc);
+
+    // Exec service with per-process namespaces.
+    let mut exec = ExecService::install(&mut w, &[home, farm]);
+    let dev = exec.spawn_with_namespace(&mut w, home, "developer-shell");
+
+    // The developer launches a build on the farm, passing the Makefile by
+    // name.
+    let makefile_name = CompoundName::parse_path("/home/src/Makefile").unwrap();
+    let out = exec.remote_exec(&mut w, dev, farm, "build-job", std::slice::from_ref(&makefile_name));
+    let builder = out.child.expect("build job spawned");
+    assert_eq!(out.resolved_args, vec![Entity::Object(makefile)]);
+
+    // The build job looks up the shared artifact through the protocol —
+    // answered by the farm's local replica, not the registry.
+    let lib_name = CompoundName::parse_path("/artifacts/libfoo.a").unwrap();
+    store::attach(w.state_mut(), farm_root, "artifacts", artifacts, false);
+    let stats = resolver.resolve(&mut w, builder, farm_root, &lib_name, Mode::Iterative);
+    assert!(stats.entity.is_defined());
+    assert_eq!(stats.servers_touched, 1, "replica answered locally");
+
+    // The developer and the builder agree on the Makefile name — audited.
+    let audit = audit_names_for(
+        &w,
+        &Plain(vec![dev, builder]),
+        &[dev, builder],
+        std::slice::from_ref(&makefile_name),
+        NameSource::Internal,
+    );
+    assert_eq!(audit.stats.coherent, 1);
+
+    // The builder registers itself with the developer by pid, mapped at
+    // the boundary (R(sender)).
+    let pids = PqidSpace::new();
+    let handle = pids
+        .map_for_transfer(&w, builder, dev, Pqid::SELF)
+        .expect("builder resolves itself");
+    assert_eq!(pids.resolve(&w, dev, handle), Some(builder));
+
+    // Registry publishes a new artifact version; the farm's replica
+    // converges after the push propagates.
+    let fresh = w.state_mut().add_data_object("libfoo-v2", vec![2]);
+    w.state_mut()
+        .bind(artifacts, Name::new("libfoo.a"), fresh)
+        .unwrap();
+    resolver.publish_zone(&mut w, artifacts);
+    resolver.pump_idle(&mut w);
+    let stats = resolver.resolve(&mut w, builder, farm_root, &lib_name, Mode::Iterative);
+    assert_eq!(stats.entity, Entity::Object(fresh));
+}
+
+/// Fault injection across the stack: a flaky network degrades the exec
+/// facility and the resolver identically, and both recover.
+#[test]
+fn flaky_network_degrades_and_recovers() {
+    let mut w = World::new(778);
+    let net = w.add_network("n");
+    let a = w.add_machine("a", net);
+    let b = w.add_machine("b", net);
+    let a_root = w.machine_root(a);
+    store::create_file(w.state_mut(), a_root, "f", vec![]);
+    let mut nsvc = NameService::install(&mut w, &[a, b]);
+    nsvc.place_subtree(&w, a_root, a);
+    let b_root = w.machine_root(b);
+    nsvc.place_subtree(&w, b_root, b);
+    let mut resolver = ProtocolEngine::new(nsvc);
+    let mut exec = ExecService::install(&mut w, &[a, b]);
+    let parent = exec.spawn_with_namespace(&mut w, a, "p");
+
+    // Total outage: both services fail cleanly.
+    w.set_link_up(a, b, false);
+    let out = exec.remote_exec(&mut w, parent, b, "job", &[]);
+    assert!(out.child.is_none());
+    let client = w.spawn(b, "client", None);
+    let name = CompoundName::parse_path("/f").unwrap();
+    let stats = resolver.resolve(&mut w, client, a_root, &name, Mode::Iterative);
+    assert_eq!(stats.entity, Entity::Undefined);
+
+    // Recovery: both work again.
+    w.set_link_up(a, b, true);
+    let out = exec.remote_exec(&mut w, parent, b, "job", &[]);
+    assert!(out.child.is_some());
+    let stats = resolver.resolve(&mut w, client, a_root, &name, Mode::Iterative);
+    assert!(stats.entity.is_defined());
+}

@@ -1,0 +1,213 @@
+//! Integration tests of the formal naming model (§2–§3): resolution
+//! semantics, naming-graph algorithms, and property-based invariants.
+
+use naming_core::graph::NamingGraph;
+use naming_core::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random forest of `n_dirs` directories and `n_files` files with
+/// random bindings, from a seed-like edge list.
+fn build_random_graph(
+    n_dirs: usize,
+    n_files: usize,
+    edges: &[(usize, usize, u8)],
+) -> (SystemState, Vec<ObjectId>, Vec<ObjectId>) {
+    let mut s = SystemState::new();
+    let dirs: Vec<ObjectId> = (0..n_dirs)
+        .map(|i| s.add_context_object(format!("d{i}")))
+        .collect();
+    let files: Vec<ObjectId> = (0..n_files)
+        .map(|i| s.add_data_object(format!("f{i}"), vec![]))
+        .collect();
+    for &(from, to, label) in edges {
+        let from = dirs[from % n_dirs];
+        let all = n_dirs + n_files;
+        let target = to % all;
+        let entity: Entity = if target < n_dirs {
+            dirs[target].into()
+        } else {
+            files[target - n_dirs].into()
+        };
+        s.bind(from, Name::new(&format!("e{label}")), entity)
+            .unwrap();
+    }
+    (s, dirs, files)
+}
+
+proptest! {
+    /// Resolution is a total function: it never panics, and either finds a
+    /// defined entity or reports ⊥ — on ANY graph and ANY name.
+    #[test]
+    fn resolution_is_total(
+        edges in proptest::collection::vec((0usize..8, 0usize..12, 0u8..6), 0..40),
+        name_labels in proptest::collection::vec(0u8..8, 1..6),
+    ) {
+        let (s, dirs, _) = build_random_graph(8, 4, &edges);
+        let comps: Vec<Name> = name_labels.iter().map(|l| Name::new(&format!("e{l}"))).collect();
+        let name = CompoundName::new(comps).unwrap();
+        let r = Resolver::new();
+        for &d in &dirs {
+            let strict = r.resolve_entity(&s, d, &name);
+            match r.resolve(&s, d, &name) {
+                Ok(res) => {
+                    prop_assert_eq!(res.entity, strict);
+                    prop_assert!(res.entity.is_defined());
+                    prop_assert_eq!(res.steps.len(), name.len());
+                }
+                Err(_) => prop_assert_eq!(strict, Entity::Undefined),
+            }
+        }
+    }
+
+    /// Name synthesis inverts resolution: whenever `find_name` produces a
+    /// name for a target, resolving that name yields the target.
+    #[test]
+    fn synthesized_names_resolve_to_target(
+        edges in proptest::collection::vec((0usize..8, 0usize..12, 0u8..6), 0..40),
+    ) {
+        let (s, dirs, files) = build_random_graph(8, 4, &edges);
+        let g = NamingGraph::of(&s);
+        let r = Resolver::new();
+        for &start in &dirs {
+            for target in dirs.iter().chain(files.iter()) {
+                if let Some(name) = g.find_name(start, Entity::Object(*target), 6) {
+                    prop_assert_eq!(
+                        r.resolve_entity(&s, start, &name),
+                        Entity::Object(*target),
+                        "name {} from {}", name, start
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reachability agrees with name synthesis: a target is reachable iff
+    /// some (long enough) name denotes it.
+    #[test]
+    fn reachability_agrees_with_synthesis(
+        edges in proptest::collection::vec((0usize..6, 0usize..9, 0u8..5), 0..30),
+    ) {
+        let (s, dirs, files) = build_random_graph(6, 3, &edges);
+        let g = NamingGraph::of(&s);
+        let start = dirs[0];
+        for target in dirs.iter().chain(files.iter()) {
+            if *target == start {
+                continue; // reachable_entities includes start by convention
+            }
+            let reachable = g.reachable_entities(start).contains(&Entity::Object(*target));
+            let named = g.find_name(start, Entity::Object(*target), 16).is_some();
+            prop_assert_eq!(reachable, named, "target {}", target);
+        }
+    }
+
+    /// Context bind/unbind round-trips and version monotonicity.
+    #[test]
+    fn context_algebra(ops in proptest::collection::vec((0u8..10, 0u32..5, prop::bool::ANY), 0..50)) {
+        let mut c = Context::new();
+        let mut last_version = c.version();
+        let mut model = std::collections::BTreeMap::new();
+        for (label, target, bind) in ops {
+            let n = Name::new(&format!("k{label}"));
+            if bind {
+                let e = Entity::Object(ObjectId::from_index(target));
+                c.bind(n, e);
+                model.insert(n, e);
+            } else {
+                c.unbind(n);
+                model.remove(&n);
+            }
+            prop_assert!(c.version() > last_version);
+            last_version = c.version();
+        }
+        prop_assert_eq!(c.len(), model.len());
+        for (n, e) in &model {
+            prop_assert_eq!(c.lookup(*n), *e);
+        }
+    }
+
+    /// Compound-name path parsing round-trips through Display for clean
+    /// absolute paths.
+    #[test]
+    fn path_display_roundtrip(segs in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let path = format!("/{}", segs.join("/"));
+        let n = CompoundName::parse_path(&path).unwrap();
+        prop_assert_eq!(n.to_string(), path.clone());
+        let reparsed = CompoundName::parse_path(&n.to_string()).unwrap();
+        prop_assert_eq!(n, reparsed);
+    }
+}
+
+#[test]
+fn the_papers_recursive_definition_holds() {
+    // c(n1 n2…nk) = σ(c(n1))(n2…nk) when σ(c(n1)) ∈ C, else ⊥.
+    let mut s = SystemState::new();
+    let c = s.add_context_object("c");
+    let d = s.add_context_object("d");
+    let f = s.add_data_object("f", vec![]);
+    s.bind(c, Name::new("x"), d).unwrap();
+    s.bind(d, Name::new("y"), f).unwrap();
+    let r = Resolver::new();
+
+    // Base case: length-1 names are a plain context application.
+    let x = CompoundName::atom(Name::new("x"));
+    assert_eq!(r.resolve_entity(&s, c, &x), s.lookup(c, Name::new("x")));
+
+    // Recursive case: resolve "x y" in c == resolve "y" in σ(c(x)).
+    let xy = CompoundName::new([Name::new("x"), Name::new("y")]).unwrap();
+    let via_recursion = {
+        let mid = s.lookup(c, Name::new("x")).as_object().unwrap();
+        r.resolve_entity(&s, mid, &CompoundName::atom(Name::new("y")))
+    };
+    assert_eq!(r.resolve_entity(&s, c, &xy), via_recursion);
+
+    // Non-context intermediate: σ(c(n1)) ∉ C ⇒ ⊥.
+    s.bind(c, Name::new("z"), f).unwrap();
+    let zy = CompoundName::new([Name::new("z"), Name::new("y")]).unwrap();
+    assert_eq!(r.resolve_entity(&s, c, &zy), Entity::Undefined);
+}
+
+#[test]
+fn closure_mechanism_cannot_be_avoided() {
+    // "Whenever a context is specified explicitly by a name, another
+    // implicit context is needed to resolve that name": resolving a name
+    // with an explicit context prefix still needs a start context.
+    let mut s = SystemState::new();
+    let start = s.add_context_object("start");
+    let explicit = s.add_context_object("explicit");
+    let f = s.add_data_object("f", vec![]);
+    s.bind(start, Name::new("ctx"), explicit).unwrap();
+    s.bind(explicit, Name::new("f"), f).unwrap();
+    // The "explicitly qualified" name ctx/f resolves only because the
+    // implicit context `start` resolves "ctx" first.
+    let name = CompoundName::new([Name::new("ctx"), Name::new("f")]).unwrap();
+    assert_eq!(
+        Resolver::new().resolve_entity(&s, start, &name),
+        Entity::Object(f)
+    );
+    // From a context lacking the "ctx" binding, the same name is ⊥.
+    let other = s.add_context_object("other");
+    assert_eq!(
+        Resolver::new().resolve_entity(&s, other, &name),
+        Entity::Undefined
+    );
+}
+
+#[test]
+fn graph_dot_and_cycles_integrate() {
+    let mut s = SystemState::new();
+    let a = s.add_context_object("a");
+    let b = s.add_context_object("b");
+    s.bind(a, Name::new("b"), b).unwrap();
+    assert!(!NamingGraph::of(&s).has_cycle());
+    s.bind(b, Name::new("a"), a).unwrap();
+    let g = NamingGraph::of(&s);
+    assert!(g.has_cycle());
+    let dot = g.to_dot();
+    assert!(dot.contains("digraph"));
+    // Resolution through the cycle still terminates (bounded by name len).
+    let around = CompoundName::new([Name::new("b"), Name::new("a"), Name::new("b")]).unwrap();
+    assert_eq!(
+        Resolver::new().resolve_entity(&s, a, &around),
+        Entity::Object(b)
+    );
+}

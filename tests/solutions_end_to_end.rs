@@ -1,0 +1,210 @@
+//! End-to-end tests of the paper's §6 solutions composed together: PQIDs
+//! over live messaging with renumbering mid-flight, embedded names across
+//! copies and federation boundaries, and chained per-process remote
+//! execution.
+
+use naming_core::entity::Entity;
+use naming_core::name::{CompoundName, Name};
+use naming_core::state::Document;
+use naming_schemes::embedded::EmbeddedResolver;
+use naming_schemes::federation::two_orgs;
+use naming_schemes::per_process::PerProcess;
+use naming_schemes::pqid::{Pqid, PqidSpace};
+use naming_sim::message::Payload;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// A client/server registry workflow: processes register their helpers'
+/// pids with a registry on another network; the registry hands them out
+/// later; renumbering happens in between. With `R(sender)` mapping both
+/// directions, every handle stays valid.
+#[test]
+fn pqid_registry_survives_renumbering() {
+    let mut w = World::new(201);
+    let n1 = w.add_network("site-a");
+    let n2 = w.add_network("site-b");
+    let ma = w.add_machine("a", n1);
+    let mb = w.add_machine("b", n2);
+    let registry = w.spawn(mb, "registry", None);
+    let space = PqidSpace::new();
+
+    // Three workers on machine a register their own pids.
+    let workers: Vec<_> = (0..3).map(|i| w.spawn(ma, format!("w{i}"), None)).collect();
+    let mut stored: Vec<Pqid> = Vec::new();
+    for &worker in &workers {
+        // Worker sends (0,0,0); the boundary mapping turns it into a pid
+        // valid for the registry.
+        let mapped = space
+            .map_for_transfer(&w, worker, registry, Pqid::SELF)
+            .unwrap();
+        stored.push(mapped);
+    }
+    // Site A's network is renumbered (reconfiguration).
+    w.renumber_network(n1);
+
+    // The registry's stored pids embedded the OLD network address: dead.
+    let dead = stored
+        .iter()
+        .filter(|q| space.resolve(&w, registry, **q).is_none())
+        .count();
+    assert_eq!(dead, stored.len(), "fully qualified handles died");
+
+    // But intra-site handles survive: workers still reach each other.
+    for &x in &workers {
+        for &y in &workers {
+            let q = space.minimal(&w, x, y);
+            assert_eq!(space.resolve(&w, x, q), Some(y));
+        }
+    }
+
+    // Re-registration with current addresses repairs the registry.
+    let repaired: Vec<Pqid> = workers
+        .iter()
+        .map(|&worker| {
+            space
+                .map_for_transfer(&w, worker, registry, Pqid::SELF)
+                .unwrap()
+        })
+        .collect();
+    for (q, &worker) in repaired.iter().zip(&workers) {
+        assert_eq!(space.resolve(&w, registry, *q), Some(worker));
+    }
+}
+
+/// A structured document authored inside org2, copied into org1 across a
+/// federation boundary: the embedded names keep (structural) meaning via
+/// the Algol-scope rule.
+#[test]
+fn embedded_names_cross_federation_by_copy() {
+    let mut w = World::new(202);
+    let (fed, org1, org2) = two_orgs(&mut w);
+    // org2 hosts a report with includes.
+    let org2_root = fed.root(org2);
+    let proj = store::ensure_dir(w.state_mut(), org2_root, "report");
+    let figs = store::ensure_dir(w.state_mut(), proj, "figs");
+    store::create_file(w.state_mut(), figs, "fig1", vec![]);
+    let mut d = Document::new();
+    d.push_embedded(CompoundName::parse_path("figs/fig1").unwrap());
+    store::create_document(w.state_mut(), proj, "report.tex", d);
+
+    // org1 copies the whole subtree over the boundary.
+    let copy = w.state_mut().deep_copy(proj);
+    let org1_root = fed.root(org1);
+    store::attach(w.state_mut(), org1_root, "report-from-org2", copy, true);
+
+    // The copy's document resolves to the copy's own figure.
+    let copy_doc = w
+        .state()
+        .lookup(copy, Name::new("report.tex"))
+        .as_object()
+        .unwrap();
+    let mut er = EmbeddedResolver::new();
+    let meaning = er.document_meaning(w.state(), copy_doc);
+    assert_eq!(meaning.len(), 1);
+    let copy_figs = w
+        .state()
+        .lookup(copy, Name::new("figs"))
+        .as_object()
+        .unwrap();
+    let copy_fig1 = w.state().lookup(copy_figs, Name::new("fig1"));
+    assert_eq!(meaning[0].1, copy_fig1);
+    assert!(copy_fig1.is_defined());
+
+    // An org1 process reads it through its own tree.
+    let p1 = fed.processes(org1)[0];
+    let via_name = w.resolve_in_own_context(
+        p1,
+        &CompoundName::parse_path("/report-from-org2/report.tex").unwrap(),
+    );
+    assert_eq!(via_name, Entity::Object(copy_doc));
+}
+
+/// Chained remote execution with per-process namespaces: grandparent on
+/// machine A, parent remote-executed to B, child remote-executed to C —
+/// a name passed down two hops still denotes the original entity.
+#[test]
+fn per_process_remote_exec_chains() {
+    let mut w = World::new(203);
+    let net = w.add_network("n");
+    let a = w.add_machine("ma", net);
+    let b = w.add_machine("mb", net);
+    let c = w.add_machine("mc", net);
+    let root_a = w.machine_root(a);
+    let data = store::ensure_dir(w.state_mut(), root_a, "data");
+    let input = store::create_file(w.state_mut(), data, "input", b"payload".to_vec());
+
+    let mut scheme = PerProcess::new();
+    let gp = scheme.spawn(&mut w, a, "grandparent");
+    let parent = scheme.remote_exec(&mut w, gp, b, "parent");
+    let child = scheme.remote_exec(&mut w, parent, c, "child");
+
+    let param = CompoundName::parse_path("/ma/data/input").unwrap();
+    for &pid in &[gp, parent, child] {
+        assert_eq!(
+            w.resolve_in_own_context(pid, &param),
+            Entity::Object(input),
+            "pid {pid}"
+        );
+    }
+    // Each hop also reaches its own execution machine.
+    assert!(w
+        .resolve_in_own_context(parent, &CompoundName::parse_path("/mb").unwrap())
+        .is_defined());
+    assert!(w
+        .resolve_in_own_context(child, &CompoundName::parse_path("/mc").unwrap())
+        .is_defined());
+    // And the grandparent sees neither (no namespace pollution upward).
+    assert_eq!(
+        w.resolve_in_own_context(gp, &CompoundName::parse_path("/mc").unwrap()),
+        Entity::Undefined
+    );
+}
+
+/// All three solutions in one scenario: a per-process child receives (a) a
+/// file name that stays coherent via the namespace copy, (b) a pid that
+/// stays valid via `R(sender)` mapping, and (c) a structured object whose
+/// embedded names resolve via `R(file)`.
+#[test]
+fn solutions_compose() {
+    let mut w = World::new(204);
+    let net = w.add_network("n");
+    let home = w.add_machine("home", net);
+    let exec = w.add_machine("exec", net);
+    let home_root = w.machine_root(home);
+    let work = store::ensure_dir(w.state_mut(), home_root, "work");
+    let lib = store::ensure_dir(w.state_mut(), work, "lib");
+    store::create_file(w.state_mut(), lib, "util", vec![]);
+    let mut d = Document::new();
+    d.push_embedded(CompoundName::parse_path("lib/util").unwrap());
+    let makefile = store::create_document(w.state_mut(), work, "Makefile", d);
+
+    let mut scheme = PerProcess::new();
+    let parent = scheme.spawn(&mut w, home, "shell");
+    let helper = w.spawn(home, "helperd", None);
+    let child = scheme.remote_exec(&mut w, parent, exec, "builder");
+
+    // (a) file-name parameter.
+    let param = CompoundName::parse_path("/home/work/Makefile").unwrap();
+    assert_eq!(
+        w.resolve_in_own_context(child, &param),
+        Entity::Object(makefile)
+    );
+    // (b) pid parameter with boundary mapping.
+    let space = PqidSpace::new();
+    let q = space.minimal(&w, parent, helper);
+    let mapped = space.map_for_transfer(&w, parent, child, q).unwrap();
+    assert_eq!(space.resolve(&w, child, mapped), Some(helper));
+    // (c) embedded name inside the passed object.
+    let mut er = EmbeddedResolver::new();
+    let meaning = er.document_meaning(w.state(), makefile);
+    assert!(meaning[0].1.is_defined());
+
+    // Ship everything through the message layer too.
+    w.send(
+        parent,
+        child,
+        vec![Payload::name(param), Payload::bytes(&b"go"[..])],
+    );
+    w.run();
+    assert_eq!(w.mailbox_len(child), 1);
+}
