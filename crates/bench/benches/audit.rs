@@ -1,10 +1,14 @@
 //! B2 — coherence-audit cost: exhaustive vs sampled, serial vs parallel,
-//! scaling with population size.
+//! scaling with population size, and the memoized repeated-audit sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use naming_bench::scenarios::audit_world;
 use naming_core::audit::{run as audit_run, AuditSpec};
-use naming_core::closure::{MetaContext, StandardRule};
+use naming_core::closure::{resolve_with_rule, resolve_with_rule_memo, MetaContext, StandardRule};
+use naming_core::entity::Entity;
+use naming_core::memo::ResolutionMemo;
+use naming_core::name::CompoundName;
+use naming_sim::store;
 use std::hint::black_box;
 
 fn bench_population(c: &mut Criterion) {
@@ -84,10 +88,83 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_memoized_sweep(c: &mut Criterion) {
+    // The audit's inner loop — resolve every name for every participant —
+    // repeated over an unchanged state, naive vs memoized. Repeated audits
+    // (monitoring, drift experiments) hit this case constantly; the memo
+    // answers each (participant-context, name) pair in O(1) after the
+    // first sweep, where the naive walk re-traverses the whole path.
+    // Audited names live a few directories down, as in the paper's file
+    // system surveys (§5). Target: ≥2x.
+    let mut group = c.benchmark_group("audit/memo-sweep");
+    group.sample_size(15);
+    let (mut w, pids, _) = audit_world(4, 4, 4, 7);
+    let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+    let rule = StandardRule::OfResolver;
+    // Hang the audited files under /shared/t0/…/t5 on every machine.
+    let shared = match resolve_with_rule(
+        w.state(),
+        w.registry(),
+        &rule,
+        &metas[0],
+        &CompoundName::parse_path("/shared").unwrap(),
+    ) {
+        Entity::Object(o) => o,
+        other => panic!("/shared did not resolve to a context: {other:?}"),
+    };
+    let mut dir = shared;
+    let mut prefix = String::from("/shared");
+    for d in 0..6 {
+        let label = format!("t{d}");
+        dir = store::ensure_dir(w.state_mut(), dir, &label);
+        prefix = format!("{prefix}/{label}");
+    }
+    let names: Vec<CompoundName> = (0..64)
+        .map(|i| {
+            store::create_file(w.state_mut(), dir, &format!("f{i}"), vec![]);
+            CompoundName::parse_path(&format!("{prefix}/f{i}")).unwrap()
+        })
+        .collect();
+    let w = w;
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            for name in &names {
+                for m in &metas {
+                    black_box(resolve_with_rule(w.state(), w.registry(), &rule, m, name));
+                }
+            }
+        })
+    });
+    let mut memo = ResolutionMemo::new();
+    for name in &names {
+        for m in &metas {
+            resolve_with_rule_memo(w.state(), w.registry(), &rule, m, name, &mut memo);
+        }
+    }
+    group.bench_function("memoized", |b| {
+        b.iter(|| {
+            for name in &names {
+                for m in &metas {
+                    black_box(resolve_with_rule_memo(
+                        w.state(),
+                        w.registry(),
+                        &rule,
+                        m,
+                        name,
+                        &mut memo,
+                    ));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_population,
     bench_sampled_vs_exhaustive,
-    bench_parallelism
+    bench_parallelism,
+    bench_memoized_sweep
 );
 criterion_main!(benches);

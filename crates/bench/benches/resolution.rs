@@ -1,8 +1,10 @@
 //! B1 — resolution cost: compound-name resolution latency vs path depth
-//! and naming-graph size, plus the parse-vs-preinterned ablation.
+//! and naming-graph size, the parse-vs-preinterned ablation, and the
+//! naive-vs-memoized repeated-resolve comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use naming_bench::scenarios::{deep_chain, wide_tree};
+use naming_core::memo::ResolutionMemo;
 use naming_core::name::CompoundName;
 use naming_core::resolve::Resolver;
 use std::hint::black_box;
@@ -53,5 +55,31 @@ fn bench_parse_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_depth, bench_graph_size, bench_parse_ablation);
+fn bench_memoized(c: &mut Criterion) {
+    // Repeated resolution of the same names: the memoized resolver answers
+    // from a generation-validated entry (one hash probe + one version
+    // compare) instead of walking the whole path. Target: ≥2x at depth ≥ 4.
+    let mut group = c.benchmark_group("resolve/memo");
+    for depth in [4usize, 16, 64] {
+        let (state, root, name) = deep_chain(depth);
+        let r = Resolver::new();
+        group.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, _| {
+            b.iter(|| black_box(r.resolve_entity(&state, root, black_box(&name))))
+        });
+        let mut memo = ResolutionMemo::new();
+        r.resolve_entity_memo(&state, root, &name, &mut memo); // warm
+        group.bench_with_input(BenchmarkId::new("memoized", depth), &depth, |b, _| {
+            b.iter(|| black_box(r.resolve_entity_memo(&state, root, black_box(&name), &mut memo)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_depth,
+    bench_graph_size,
+    bench_parse_ablation,
+    bench_memoized
+);
 criterion_main!(benches);

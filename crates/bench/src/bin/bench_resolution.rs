@@ -1,0 +1,152 @@
+//! Emits `BENCH_resolution.json`: a small machine-readable snapshot of
+//! resolution throughput — naive re-walk vs generation-validated
+//! memoization — so the perf trajectory is tracked across PRs without
+//! parsing criterion output.
+//!
+//! ```text
+//! bench_resolution [--out PATH] [--stdout] [--iters N]
+//! ```
+//!
+//! For each path depth the tool times `iters` naive resolutions and
+//! `iters` memoized resolutions of the same compound name (memo warmed,
+//! counters reset, so the steady-state hit rate is visible) and reports
+//! ops/sec, the speedup ratio, and the memo hit rate.
+
+use std::time::Instant;
+
+use naming_bench::scenarios::deep_chain;
+use naming_core::memo::ResolutionMemo;
+use naming_core::report::json_string;
+use naming_core::resolve::Resolver;
+
+const DEPTHS: [usize; 3] = [4, 16, 64];
+const DEFAULT_ITERS: u32 = 200_000;
+
+struct DepthResult {
+    depth: usize,
+    naive_ops_per_sec: f64,
+    memoized_ops_per_sec: f64,
+    hit_rate: f64,
+}
+
+fn measure(depth: usize, iters: u32) -> DepthResult {
+    let (state, root, name) = deep_chain(depth);
+    let r = Resolver::new();
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(r.resolve_entity(&state, root, std::hint::black_box(&name)));
+    }
+    let naive = f64::from(iters) / t.elapsed().as_secs_f64();
+
+    let mut memo = ResolutionMemo::new();
+    r.resolve_entity_memo(&state, root, &name, &mut memo);
+    memo.reset_stats();
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(r.resolve_entity_memo(
+            &state,
+            root,
+            std::hint::black_box(&name),
+            &mut memo,
+        ));
+    }
+    let memoized = f64::from(iters) / t.elapsed().as_secs_f64();
+
+    DepthResult {
+        depth,
+        naive_ops_per_sec: naive,
+        memoized_ops_per_sec: memoized,
+        hit_rate: memo.stats().hit_rate(),
+    }
+}
+
+fn render(iters: u32, results: &[DepthResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"depth\": {}, \"naive_ops_per_sec\": {:.0}, \
+                 \"memoized_ops_per_sec\": {:.0}, \"speedup\": {:.2}, \
+                 \"memo_hit_rate\": {:.4}}}",
+                r.depth,
+                r.naive_ops_per_sec,
+                r.memoized_ops_per_sec,
+                r.memoized_ops_per_sec / r.naive_ops_per_sec,
+                r.hit_rate
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": {},\n  \"iters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_string("resolution"),
+        iters,
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_resolution.json");
+    let mut to_stdout = false;
+    let mut iters = DEFAULT_ITERS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--stdout" => {
+                to_stdout = true;
+            }
+            "--iters" => {
+                i += 1;
+                iters = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--iters requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_resolution [--out PATH] [--stdout] [--iters N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let results: Vec<DepthResult> = DEPTHS.iter().map(|&d| measure(d, iters)).collect();
+    let json = render(iters, &results);
+    if to_stdout {
+        print!("{json}");
+    } else {
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        for r in &results {
+            eprintln!(
+                "depth {:2}: naive {:>12.0} ops/s, memoized {:>12.0} ops/s ({:.2}x, hit rate {:.1}%)",
+                r.depth,
+                r.naive_ops_per_sec,
+                r.memoized_ops_per_sec,
+                r.memoized_ops_per_sec / r.naive_ops_per_sec,
+                100.0 * r.hit_rate
+            );
+        }
+        eprintln!("wrote {out}");
+    }
+}

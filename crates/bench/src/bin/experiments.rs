@@ -1,14 +1,16 @@
 //! Regenerates every experiment table of the reproduction.
 //!
 //! ```text
-//! experiments [--exp eN] [--seed S] [--list] [--csv]
+//! experiments [--exp eN] [--seed S] [--list] [--csv | --json]
 //! ```
 //!
 //! `--csv` emits machine-readable CSV (one blank-line-separated block per
 //! table, each prefixed by a `# <title>` comment line) instead of aligned
-//! text.
+//! text. `--json` emits one JSON array of table objects
+//! (`{"title", "headers", "rows", "notes"}`), for tracking results across
+//! PRs.
 //!
-//! Without `--exp`, the whole suite (E1–E11) runs in paper order.
+//! Without `--exp`, the whole suite (E1–E19) runs in paper order.
 
 use naming_bench::experiments::{run_all, run_experiment, CATALOG};
 
@@ -17,6 +19,7 @@ fn main() {
     let mut exp: Option<String> = None;
     let mut seed: u64 = 19930601; // ICDCS '93
     let mut csv = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +44,9 @@ fn main() {
             "--csv" => {
                 csv = true;
             }
+            "--json" => {
+                json = true;
+            }
             "--list" => {
                 for info in CATALOG {
                     println!("{:4}  {}", info.id, info.artifact);
@@ -48,7 +54,7 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp eN] [--seed S] [--list] [--csv]");
+                println!("usage: experiments [--exp eN] [--seed S] [--list] [--csv | --json]");
                 return;
             }
             other => {
@@ -59,7 +65,18 @@ fn main() {
         i += 1;
     }
 
+    if csv && json {
+        eprintln!("--csv and --json are mutually exclusive");
+        std::process::exit(2);
+    }
     let emit = |tables: Vec<naming_core::report::Table>| {
+        if json {
+            let objects: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
+            println!("[");
+            println!("{}", objects.join(",\n"));
+            println!("]");
+            return;
+        }
         for t in tables {
             if csv {
                 println!("# {}", t.title());
@@ -70,7 +87,7 @@ fn main() {
             }
         }
     };
-    if !csv {
+    if !csv && !json {
         println!("Coherence in Naming — experiment suite (seed {seed})");
         println!();
     }

@@ -146,12 +146,10 @@ pub fn run(seed: u64) -> E19Result {
                 meant.is_defined() && **got == meant
             })
             .count();
-        let local = w
-            .resolve_in_own_context(
-                child,
-                &CompoundName::parse_path("/away/only-on-away").unwrap(),
-            )
-            != Entity::Undefined;
+        let local = w.resolve_in_own_context(
+            child,
+            &CompoundName::parse_path("/away/only-on-away").unwrap(),
+        ) != Entity::Undefined;
         rows.push(ExecRow {
             discipline: "port (namespace shipping)",
             home_arg_coherence: coherent as f64 / args.len() as f64,
@@ -167,7 +165,12 @@ pub fn run(seed: u64) -> E19Result {
 pub fn table(r: &E19Result) -> Table {
     let mut t = Table::new(
         "E19 (capstone): remote execution, four disciplines",
-        &["discipline", "home-arg coherence", "exec-site access", "wire msgs"],
+        &[
+            "discipline",
+            "home-arg coherence",
+            "exec-site access",
+            "wire msgs",
+        ],
     );
     for row in &r.rows {
         t.row(vec![

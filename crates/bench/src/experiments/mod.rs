@@ -89,11 +89,37 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<Table>> {
 }
 
 /// Runs the whole suite.
+///
+/// With the `parallel` feature, every experiment runs on its own thread;
+/// each is seeded independently and owns its state, and the tables are
+/// stitched back in catalog order, so the output is byte-for-byte identical
+/// to the serial run.
 pub fn run_all(seed: u64) -> Vec<Table> {
-    CATALOG
-        .iter()
-        .flat_map(|info| run_experiment(info.id, seed).expect("catalog ids are valid"))
-        .collect()
+    #[cfg(feature = "parallel")]
+    {
+        let mut tables: Vec<Table> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = CATALOG
+                .iter()
+                .map(|info| {
+                    scope.spawn(move || {
+                        run_experiment(info.id, seed).expect("catalog ids are valid")
+                    })
+                })
+                .collect();
+            for h in handles {
+                tables.extend(h.join().expect("experiment worker panicked"));
+            }
+        });
+        tables
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        CATALOG
+            .iter()
+            .flat_map(|info| run_experiment(info.id, seed).expect("catalog ids are valid"))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -14,8 +14,10 @@
 //!   namespaces where exhaustive checking is too slow. The ablation bench
 //!   `audit` compares the two.
 //!
-//! Audits over many names are embarrassingly parallel; `run` shards names
-//! across `crossbeam` scoped threads when `threads > 1`.
+//! Audits over many names are embarrassingly parallel; with the `parallel`
+//! feature, `run` shards names across `crossbeam` scoped threads when
+//! `threads > 1`. Reports are byte-for-byte identical either way: workers
+//! produce chunks that are stitched back in name order.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -173,6 +175,7 @@ pub fn run(
         }
     };
 
+    #[cfg(feature = "parallel")]
     let verdicts: Vec<NameVerdict> = if spec.threads <= 1 || names.len() < 2 {
         names.iter().map(audit_one).collect()
     } else {
@@ -191,6 +194,10 @@ pub fn run(
         .expect("audit scope");
         out.into_iter().flatten().collect()
     };
+    // Without the `parallel` feature, `threads` is honored as a request but
+    // everything runs on the calling thread — same verdicts, same order.
+    #[cfg(not(feature = "parallel"))]
+    let verdicts: Vec<NameVerdict> = names.iter().map(audit_one).collect();
 
     let mut stats = CoherenceStats::new();
     for v in &verdicts {
@@ -324,8 +331,16 @@ mod tests {
             .map(|i| CompoundName::atom(Name::new(&format!("n{i}"))))
             .collect();
         let spec = AuditSpec::exhaustive(many_names, metas(100)).with_auto_threads();
-        assert!(spec.threads >= 2 || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) == 1);
-        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(
+            spec.threads >= 2
+                || std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    == 1
+        );
+        let cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         assert!(spec.threads <= cap);
     }
 

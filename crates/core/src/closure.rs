@@ -322,6 +322,28 @@ pub fn resolve_with_rule(
     }
 }
 
+/// [`resolve_with_rule`] backed by a [`ResolutionMemo`].
+///
+/// The closure mechanism still selects the starting context from the live
+/// registry on every call — only the graph walk itself is memoized — so the
+/// memo stays correct across `R(activity)`/`R(sender)`/`R(object)` and
+/// across registry updates. Equivalent to [`resolve_with_rule`] for every
+/// input; see [`Resolver::resolve_entity_memo`] for the invalidation
+/// guarantees.
+pub fn resolve_with_rule_memo(
+    state: &SystemState,
+    registry: &ContextRegistry,
+    rule: &dyn ResolutionRule,
+    m: &MetaContext,
+    name: &CompoundName,
+    memo: &mut crate::memo::ResolutionMemo,
+) -> Entity {
+    match rule.select_context(m, registry) {
+        Some(ctx) => Resolver::new().resolve_entity_memo(state, ctx, name, memo),
+        None => Entity::Undefined,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

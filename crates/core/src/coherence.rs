@@ -115,21 +115,66 @@ impl fmt::Display for CoherenceVerdict {
 pub fn check_coherence(
     state: &SystemState,
     registry: &ContextRegistry,
-    rule: &dyn ResolutionRule,
+    rule: &(dyn ResolutionRule + Sync),
     participants: &[MetaContext],
     name: &CompoundName,
     replicas: Option<&ReplicaRegistry>,
 ) -> CoherenceVerdict {
-    let resolutions: Vec<(ActivityId, Entity)> = participants
-        .iter()
-        .map(|m| {
-            (
-                m.resolver,
-                resolve_with_rule(state, registry, rule, m, name),
-            )
-        })
-        .collect();
+    let resolutions = sweep_participants(state, registry, rule, participants, name);
     classify(&resolutions, replicas)
+}
+
+/// Participant count above which the sweep in [`check_coherence`] shards
+/// across threads (with the `parallel` feature). One resolution is far too
+/// small a work unit to pay a thread for; below this bound a serial sweep
+/// wins outright.
+#[cfg(feature = "parallel")]
+pub const PARALLEL_SWEEP_THRESHOLD: usize = 512;
+
+/// Resolves `name` once per participant, in participant order.
+///
+/// With the `parallel` feature, sweeps over at least
+/// [`PARALLEL_SWEEP_THRESHOLD`] participants are sharded across scoped
+/// threads; chunks are stitched back in participant order, so the result —
+/// and every verdict derived from it — is identical to the serial sweep.
+fn sweep_participants(
+    state: &SystemState,
+    registry: &ContextRegistry,
+    rule: &(dyn ResolutionRule + Sync),
+    participants: &[MetaContext],
+    name: &CompoundName,
+) -> Vec<(ActivityId, Entity)> {
+    let resolve_one = |m: &MetaContext| {
+        (
+            m.resolver,
+            resolve_with_rule(state, registry, rule, m, name),
+        )
+    };
+    #[cfg(feature = "parallel")]
+    if participants.len() >= PARALLEL_SWEEP_THRESHOLD {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(participants.len());
+        if workers > 1 {
+            let chunk = participants.len().div_ceil(workers);
+            let mut out: Vec<(ActivityId, Entity)> = Vec::with_capacity(participants.len());
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = participants
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move |_| slice.iter().map(resolve_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("sweep worker panicked"));
+                }
+            })
+            .expect("sweep scope");
+            return out;
+        }
+    }
+    participants.iter().map(resolve_one).collect()
 }
 
 /// Classifies a set of per-participant resolutions into a verdict.
@@ -590,6 +635,42 @@ mod tests {
             &f.reg,
             &CompoundName::atom(Name::new("nowhere"))
         ));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sweep_matches_serial_order_and_verdict() {
+        // Enough participants to cross PARALLEL_SWEEP_THRESHOLD; half see
+        // one file, half the other, so the verdict carries every
+        // resolution and any ordering slip would be visible.
+        let mut sys = SystemState::new();
+        let mut reg = ContextRegistry::new();
+        let fa = sys.add_data_object("fa", vec![]);
+        let fb = sys.add_data_object("fb", vec![]);
+        let n = Name::new("x");
+        let mut metas = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..(PARALLEL_SWEEP_THRESHOLD + 13) {
+            let ctx = sys.add_context_object(format!("c{i}"));
+            let f = if i % 2 == 0 { fa } else { fb };
+            sys.bind(ctx, n, f).unwrap();
+            let a = sys.add_activity(format!("a{i}"));
+            reg.set_activity_context(a, ctx);
+            metas.push(MetaContext::internal(a));
+            expect.push((a, Entity::Object(f)));
+        }
+        let v = check_coherence(
+            &sys,
+            &reg,
+            &StandardRule::OfResolver,
+            &metas,
+            &CompoundName::atom(n),
+            None,
+        );
+        match v {
+            CoherenceVerdict::Incoherent { resolutions } => assert_eq!(resolutions, expect),
+            other => panic!("expected incoherent, got {other:?}"),
+        }
     }
 
     #[test]

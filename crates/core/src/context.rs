@@ -6,14 +6,21 @@
 //!
 //! Contexts carry a *version* that increments on every mutation. Versions
 //! power the cheap parent/child coherence-decay detection used by the Unix
-//! experiment (E3): a child inherits its parent's context by copy, and the
-//! pair stays coherent exactly until either side's version moves.
+//! experiment (E3), and they are the generation counters behind the
+//! [`crate::memo::ResolutionMemo`]: a memo entry records the version of
+//! every context it traversed, so a binding update invalidates exactly the
+//! entries whose resolution paths crossed the mutated context.
+//!
+//! Lookups — the hot path of every resolution — go through a hash index;
+//! a separately maintained sorted view keeps iteration lexicographic and
+//! therefore deterministic across runs regardless of interning order.
 
-use std::collections::BTreeMap;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::entity::Entity;
+use crate::hash::FxHashMap;
 use crate::name::Name;
 
 /// A finite-support total function from [`Name`]s to [`Entity`]s.
@@ -32,10 +39,24 @@ use crate::name::Name;
 /// // A context is a *total* function: unbound names map to ⊥.
 /// assert_eq!(c.lookup(Name::new("missing")), Entity::Undefined);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct Context {
-    bindings: BTreeMap<Name, Entity>,
+    /// Hash index over the bindings: every `lookup` is O(1).
+    bindings: FxHashMap<Name, Entity>,
+    /// The bound names in lexicographic order. Iteration and display read
+    /// this view, never the hash index, so observable order is independent
+    /// of hashing and of name-interning order.
+    order: Vec<Name>,
     version: u64,
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("bindings", &self.iter().collect::<Vec<_>>())
+            .field("version", &self.version)
+            .finish()
+    }
 }
 
 /// Two contexts are equal when they are the same *function* `N → E`;
@@ -94,15 +115,31 @@ impl Context {
         let entity = entity.into();
         self.version += 1;
         if entity == Entity::Undefined {
-            return self.bindings.remove(&name);
+            return self.remove_binding(name);
         }
-        self.bindings.insert(name, entity)
+        let prev = self.bindings.insert(name, entity);
+        if prev.is_none() {
+            if let Err(at) = self.order.binary_search(&name) {
+                self.order.insert(at, name);
+            }
+        }
+        prev
     }
 
     /// Removes the binding for `name`, returning it if it existed.
     pub fn unbind(&mut self, name: Name) -> Option<Entity> {
         self.version += 1;
-        self.bindings.remove(&name)
+        self.remove_binding(name)
+    }
+
+    fn remove_binding(&mut self, name: Name) -> Option<Entity> {
+        let prev = self.bindings.remove(&name);
+        if prev.is_some() {
+            if let Ok(at) = self.order.binary_search(&name) {
+                self.order.remove(at);
+            }
+        }
+        prev
     }
 
     /// Number of explicit bindings (the support of the function).
@@ -123,12 +160,12 @@ impl Context {
 
     /// Iterates over bindings in lexicographic name order.
     pub fn iter(&self) -> impl Iterator<Item = (Name, Entity)> + '_ {
-        self.bindings.iter().map(|(n, e)| (*n, *e))
+        self.order.iter().map(|n| (*n, self.bindings[n]))
     }
 
     /// Iterates over the bound names in lexicographic order.
     pub fn names(&self) -> impl Iterator<Item = Name> + '_ {
-        self.bindings.keys().copied()
+        self.order.iter().copied()
     }
 
     /// Returns a copy of this context with a fresh version counter.
@@ -139,6 +176,7 @@ impl Context {
     pub fn inherit(&self) -> Context {
         Context {
             bindings: self.bindings.clone(),
+            order: self.order.clone(),
             version: 0,
         }
     }
@@ -278,6 +316,33 @@ mod tests {
         c.bind(Name::new("mid"), ObjectId::from_index(3));
         let names: Vec<&str> = c.names().map(|n| n.as_str()).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn hash_index_and_sorted_view_stay_consistent() {
+        // Interleave binds, rebinds and unbinds; the sorted view must track
+        // the hash index exactly, with no duplicates or ghosts.
+        let mut c = Context::new();
+        let names: Vec<Name> = ["m", "c", "z", "a", "q", "c", "z"]
+            .iter()
+            .map(|s| Name::new(s))
+            .collect();
+        for (i, &n) in names.iter().enumerate() {
+            c.bind(n, ObjectId::from_index(i as u32));
+        }
+        c.unbind(Name::new("q"));
+        c.bind(Name::new("c"), Entity::Undefined); // bind-⊥ unbinds
+        let listed: Vec<&str> = c.names().map(|n| n.as_str()).collect();
+        assert_eq!(listed, vec!["a", "m", "z"]);
+        assert_eq!(c.len(), 3);
+        for n in c.names() {
+            assert!(c.contains(n));
+            assert_eq!(c.lookup(n), c.get(n).unwrap());
+        }
+        // Rebinding an existing name must not duplicate it in the view.
+        c.bind(Name::new("a"), ObjectId::from_index(99));
+        assert_eq!(c.names().count(), 3);
+        assert_eq!(c.lookup(Name::new("a")), obj(99));
     }
 
     #[test]

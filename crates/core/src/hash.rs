@@ -1,0 +1,109 @@
+//! Deterministic hashing for naming-core's internal indexes.
+//!
+//! `std::collections::HashMap`'s default hasher is randomized per process,
+//! which is fine for correctness but makes low-level behavior (bucket
+//! order, rehash points) vary run to run. The hot-path indexes in
+//! [`crate::context::Context`] and the resolution memo use this fixed-key
+//! hasher instead so that every run of an experiment performs the exact
+//! same work. Determinism of *observable output* never depends on hash
+//! iteration order — ordered views are maintained separately — but a fixed
+//! hasher keeps timing and allocation behavior reproducible too.
+//!
+//! The function is the FxHash multiply-xor construction (the compiler's own
+//! workhorse hasher): not collision-resistant against adversaries, ideal
+//! for small trusted keys like interned [`crate::name::Name`] atoms and
+//! entity ids.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash construction (64-bit golden
+/// ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; the state is empty, so two maps
+/// with the same inserts hash identically in every run.
+pub type DeterministicState = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed deterministically; see module docs.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, DeterministicState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        let state = DeterministicState::default();
+        let h1 = state.hash_one(42u32);
+        let h2 = state.hash_one(42u32);
+        assert_eq!(h1, h2);
+        assert_ne!(state.hash_one(1u32), state.hash_one(2u32));
+        assert_ne!(state.hash_one("abc"), state.hash_one("abd"));
+    }
+
+    #[test]
+    fn maps_with_same_inserts_agree() {
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in 0..100u32 {
+            a.insert(i, i * 2);
+            b.insert(i, i * 2);
+        }
+        assert_eq!(a, b);
+    }
+}

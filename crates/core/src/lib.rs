@@ -62,6 +62,8 @@
 //! | [`state`] | §2 | the global state function σ; documents with embedded names |
 //! | [`graph`] | §2 | the naming graph; reachability; name synthesis |
 //! | [`resolve`] | §2 | compound-name resolution |
+//! | [`memo`] | §5 | generation-versioned resolution memoization |
+//! | [`hash`] | — | deterministic hashing for internal indexes |
 //! | [`closure`] | §3 | meta-context, resolution rules R(a), R(sender), R(object) |
 //! | [`coherence`] | §4–5 | coherence, weak coherence, degree-of-coherence stats |
 //! | [`replica`] | §5 | replica groups for weak coherence |
@@ -80,6 +82,8 @@ pub mod coherence;
 pub mod context;
 pub mod entity;
 pub mod graph;
+pub mod hash;
+pub mod memo;
 pub mod monitor;
 pub mod name;
 pub mod replica;
@@ -91,12 +95,13 @@ pub mod state;
 /// this crate.
 pub mod prelude {
     pub use crate::closure::{
-        resolve_with_rule, ContextRegistry, MetaContext, NameSource, PerSourceRule, ResolutionRule,
-        StandardRule,
+        resolve_with_rule, resolve_with_rule_memo, ContextRegistry, MetaContext, NameSource,
+        PerSourceRule, ResolutionRule, StandardRule,
     };
     pub use crate::coherence::{check_coherence, CoherenceStats, CoherenceVerdict};
     pub use crate::context::Context;
     pub use crate::entity::{ActivityId, Entity, ObjectId};
+    pub use crate::memo::{MemoStats, ResolutionMemo};
     pub use crate::name::{CompoundName, Name};
     pub use crate::replica::ReplicaRegistry;
     pub use crate::resolve::{Resolution, ResolveError, Resolver};

@@ -1,0 +1,735 @@
+//! Generation-versioned memoization of compound-name resolution.
+//!
+//! Resolution is a pure function of the traversed context objects'
+//! states (§2: "the result depends on the state of the context objects
+//! along the resolution path"). That makes its dependency footprint
+//! exact and cheap to record: a resolution of `n1…nk` starting at `c`
+//! touches at most `k` contexts. [`ResolutionMemo`] caches results keyed
+//! on `(start context, name suffix)` and stamps every entry with the
+//! *generation* (version counter) of each traversed context.
+//!
+//! Validation is then a version comparison, not a re-resolution:
+//!
+//! - **O(1) fast path** — every entry records the
+//!   [`SystemState::naming_version`] at which it was last known valid.
+//!   While the state's naming version is unchanged, the entry is valid
+//!   with no further checks.
+//! - **O(path) slow path** — after a write, a probed entry re-checks its
+//!   recorded `(context, generation)` pairs. A bind or unbind bumps only
+//!   the mutated context's generation, so exactly the entries whose
+//!   resolution paths crossed that context fail the check; everything
+//!   else revalidates by comparing a handful of integers.
+//! - **Epoch flush** — raw escape hatches
+//!   ([`SystemState::context_mut`], [`SystemState::object_state_mut`])
+//!   may replace state wholesale and can rewind a context's own counter,
+//!   so they advance the state *epoch*; entries from an older epoch are
+//!   unconditionally stale.
+//!
+//! Because entries are keyed by suffix, one resolution of `/a/b/c` seeds
+//! entries for `b/c` and `c` at the intermediate contexts, which later
+//! resolutions of *different* names can reuse.
+//!
+//! The memo is bounded: inserts beyond capacity evict the least recently
+//! used entry (an intrusive doubly linked list through a slab, so
+//! probes, inserts and evictions are all O(1)).
+//!
+//! A memo is tied to the one [`SystemState`] it was populated against;
+//! probing it with a different state is not meaningful (entries record
+//! object ids and counters of the original).
+
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{Entity, ObjectId};
+use crate::hash::FxHashMap;
+use crate::name::Name;
+use crate::state::SystemState;
+
+/// Default bound on the number of memoized suffixes.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 16;
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// Counters describing how a [`ResolutionMemo`] has behaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Probes answered from a (validated) entry.
+    pub hits: u64,
+    /// Probes that found no entry.
+    pub misses: u64,
+    /// Entries discarded because a recorded generation or the epoch no
+    /// longer matched the state.
+    pub invalidations: u64,
+    /// Entries discarded to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+}
+
+impl MemoStats {
+    /// Hit rate over all probes, in `[0, 1]`; `0` before any probe.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One recorded dependency: a traversed context and the generation its
+/// version counter showed during the memoized resolution.
+type Dep = (ObjectId, u64);
+
+/// Owned index key: start context plus name suffix.
+type Key = (ObjectId, Box<[Name]>);
+
+/// Borrowed view of a [`Key`], so the hot probe path can look up
+/// `(ObjectId, &[Name])` without boxing the suffix. The standard
+/// `Borrow<dyn Trait>` technique: both the owned key and the borrowed
+/// pair present themselves through this trait, with `Hash`/`Eq` defined
+/// once on the trait object so the map's contract (`k.borrow()` hashes
+/// and compares like `k`) holds by construction.
+trait KeyRef {
+    fn parts(&self) -> (ObjectId, &[Name]);
+}
+
+impl KeyRef for Key {
+    fn parts(&self) -> (ObjectId, &[Name]) {
+        (self.0, &self.1)
+    }
+}
+
+impl KeyRef for (ObjectId, &[Name]) {
+    fn parts(&self) -> (ObjectId, &[Name]) {
+        (self.0, self.1)
+    }
+}
+
+impl Hash for dyn KeyRef + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let (start, suffix) = self.parts();
+        start.hash(state);
+        suffix.hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyRef + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts() == other.parts()
+    }
+}
+
+impl Eq for dyn KeyRef + '_ {}
+
+impl<'a> Borrow<dyn KeyRef + 'a> for Key {
+    fn borrow(&self) -> &(dyn KeyRef + 'a) {
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    start: ObjectId,
+    suffix: Box<[Name]>,
+    entity: Entity,
+    /// `(context, generation)` for every context the resolution read.
+    deps: Box<[Dep]>,
+    /// Epoch of the state when the entry was recorded.
+    epoch: u64,
+    /// Naming version at which the deps were last compared and found
+    /// current; equality with the state's counter short-circuits
+    /// validation entirely.
+    validated_at: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A bounded, generation-validated cache of resolution results.
+///
+/// See the module docs for the invalidation protocol. Use
+/// [`crate::resolve::Resolver::resolve_entity_memo`] to drive it, or
+/// [`ResolutionMemo::probe`]/[`ResolutionMemo::record`] directly when
+/// implementing a resolver.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::prelude::*;
+///
+/// let mut sys = SystemState::new();
+/// let root = sys.add_context_object("root");
+/// let etc = sys.add_context_object("etc");
+/// let passwd = sys.add_data_object("passwd", vec![]);
+/// sys.bind(root, Name::root(), root).unwrap();
+/// sys.bind(root, Name::new("etc"), etc).unwrap();
+/// sys.bind(etc, Name::new("passwd"), passwd).unwrap();
+///
+/// let r = Resolver::new();
+/// let mut memo = ResolutionMemo::new();
+/// let name = CompoundName::parse_path("/etc/passwd").unwrap();
+/// for _ in 0..3 {
+///     assert_eq!(
+///         r.resolve_entity_memo(&sys, root, &name, &mut memo),
+///         Entity::Object(passwd)
+///     );
+/// }
+/// assert_eq!(memo.stats().hits, 2);
+///
+/// // Rebinding /etc invalidates the affected entries; the memo heals.
+/// let etc2 = sys.add_context_object("etc2");
+/// sys.bind(root, Name::new("etc"), etc2).unwrap();
+/// assert_eq!(
+///     r.resolve_entity_memo(&sys, root, &name, &mut memo),
+///     Entity::Undefined
+/// );
+/// assert!(memo.stats().invalidations > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResolutionMemo {
+    index: FxHashMap<Key, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Most recently used slot, or NIL.
+    head: u32,
+    /// Least recently used slot, or NIL.
+    tail: u32,
+    capacity: usize,
+    stats: MemoStats,
+}
+
+impl Default for ResolutionMemo {
+    fn default() -> ResolutionMemo {
+        ResolutionMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+impl ResolutionMemo {
+    /// A memo with the default capacity bound.
+    pub fn new() -> ResolutionMemo {
+        ResolutionMemo::default()
+    }
+
+    /// A memo holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> ResolutionMemo {
+        assert!(capacity > 0, "memo capacity must be positive");
+        ResolutionMemo {
+            index: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Behavior counters so far.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Resets the counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoStats::default();
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Looks up `(start, suffix)` and validates the entry against
+    /// `state`'s generation counters. Returns the memoized entity on a
+    /// validated hit; removes the entry and returns `None` if it has
+    /// been invalidated by a write.
+    pub fn probe(
+        &mut self,
+        state: &SystemState,
+        start: ObjectId,
+        suffix: &[Name],
+    ) -> Option<Entity> {
+        let Some(slot) = self.lookup(start, suffix) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if self.validate(state, slot) {
+            self.stats.hits += 1;
+            self.touch(slot);
+            Some(self.slots[slot as usize].entity)
+        } else {
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            self.remove_slot(slot);
+            None
+        }
+    }
+
+    /// Validating probe that also returns the entry's recorded dependency
+    /// generations, so a resolver hitting mid-path can seed entries for the
+    /// outer suffixes it walked to get there.
+    pub(crate) fn probe_with_deps(
+        &mut self,
+        state: &SystemState,
+        start: ObjectId,
+        suffix: &[Name],
+    ) -> Option<(Entity, Box<[Dep]>)> {
+        let Some(slot) = self.lookup(start, suffix) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        if self.validate(state, slot) {
+            self.stats.hits += 1;
+            self.touch(slot);
+            let s = &self.slots[slot as usize];
+            Some((s.entity, s.deps.clone()))
+        } else {
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            self.remove_slot(slot);
+            None
+        }
+    }
+
+    /// Like [`ResolutionMemo::probe`] but *without* validation: returns
+    /// whatever is stored, even if the state has moved on. This is the
+    /// stale-serving mode used to measure cache incoherence (§5): a
+    /// caching resolver that keeps answering from stale entries is
+    /// exactly the paper's "cached name resolutions become incoherent
+    /// with the authoritative contexts".
+    pub fn probe_stale(&mut self, start: ObjectId, suffix: &[Name]) -> Option<Entity> {
+        let Some(slot) = self.lookup(start, suffix) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
+        self.touch(slot);
+        Some(self.slots[slot as usize].entity)
+    }
+
+    /// True if the entry for `(start, suffix)` exists but no longer
+    /// matches the state's generations (a *stale* entry). False when the
+    /// entry is absent or still valid. Read-only: does not touch LRU
+    /// order, counters, or the entry itself.
+    pub fn is_stale(&self, state: &SystemState, start: ObjectId, suffix: &[Name]) -> bool {
+        match self.lookup(start, suffix) {
+            Some(slot) => !self.entry_current(state, &self.slots[slot as usize]),
+            None => false,
+        }
+    }
+
+    /// Records a resolution result with its dependency generations.
+    /// `deps` lists every context the resolution read, with the version
+    /// counter observed. Evicts the least recently used entry if the
+    /// memo is full.
+    pub fn record(
+        &mut self,
+        state: &SystemState,
+        start: ObjectId,
+        suffix: &[Name],
+        entity: Entity,
+        deps: &[Dep],
+    ) {
+        if let Some(slot) = self.lookup(start, suffix) {
+            // Refresh in place (the previous entry may be stale).
+            let s = &mut self.slots[slot as usize];
+            s.entity = entity;
+            s.deps = Box::from(deps);
+            s.epoch = state.epoch();
+            s.validated_at = state.naming_version();
+            self.touch(slot);
+            return;
+        }
+        if self.index.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "capacity > 0 and memo full");
+            self.stats.evictions += 1;
+            self.remove_slot(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("memo slot overflow");
+                self.slots.push(Slot {
+                    start,
+                    suffix: Box::from(suffix),
+                    entity: Entity::Undefined,
+                    deps: Box::from(deps),
+                    epoch: 0,
+                    validated_at: 0,
+                    prev: NIL,
+                    next: NIL,
+                });
+                i
+            }
+        };
+        {
+            let s = &mut self.slots[slot as usize];
+            s.start = start;
+            s.suffix = Box::from(suffix);
+            s.entity = entity;
+            s.deps = Box::from(deps);
+            s.epoch = state.epoch();
+            s.validated_at = state.naming_version();
+            s.prev = NIL;
+            s.next = NIL;
+        }
+        self.index.insert((start, Box::from(suffix)), slot);
+        self.push_front(slot);
+        self.stats.inserts += 1;
+    }
+
+    /// Removes the entry for `(start, suffix)` regardless of validity,
+    /// counting it as an invalidation. Returns whether an entry existed.
+    pub fn remove(&mut self, start: ObjectId, suffix: &[Name]) -> bool {
+        match self.lookup(start, suffix) {
+            Some(slot) => {
+                self.stats.invalidations += 1;
+                self.remove_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry, counting each as an invalidation (compare
+    /// [`ResolutionMemo::clear`], which does not touch the counters).
+    pub fn invalidate_all(&mut self) {
+        self.stats.invalidations += self.index.len() as u64;
+        self.clear();
+    }
+
+    /// Iterates over the cached entries as `(start, suffix, entity)`, in
+    /// lexicographic `(start, suffix)` order (deterministic regardless of
+    /// insertion history).
+    pub fn entries(&self) -> impl Iterator<Item = (ObjectId, &[Name], Entity)> + '_ {
+        let mut keys: Vec<&Key> = self.index.keys().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(|k| {
+            let slot = self.index[k];
+            (k.0, &*k.1, self.slots[slot as usize].entity)
+        })
+    }
+
+    /// Sweeps the memo, removing every entry invalidated by writes since
+    /// it was recorded. Returns how many entries were dropped. This is
+    /// the "heal" operation of a caching resolver that has been serving
+    /// stale entries.
+    pub fn invalidate_stale(&mut self, state: &SystemState) -> usize {
+        let stale: Vec<u32> = self
+            .index
+            .values()
+            .copied()
+            .filter(|&slot| !self.entry_current(state, &self.slots[slot as usize]))
+            .collect();
+        let dropped = stale.len();
+        for slot in stale {
+            self.remove_slot(slot);
+        }
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
+    // --- internals --------------------------------------------------------
+
+    /// Allocation-free index lookup through the borrowed key view.
+    #[inline]
+    fn lookup(&self, start: ObjectId, suffix: &[Name]) -> Option<u32> {
+        self.index.get(&(start, suffix) as &dyn KeyRef).copied()
+    }
+
+    /// Validates `slot` against the state, refreshing its fast-path stamp
+    /// on success.
+    fn validate(&mut self, state: &SystemState, slot: u32) -> bool {
+        let nv = state.naming_version();
+        if self.slots[slot as usize].validated_at == nv {
+            return true;
+        }
+        if self.entry_current(state, &self.slots[slot as usize]) {
+            self.slots[slot as usize].validated_at = nv;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The full generation check: same epoch, and every traversed context
+    /// still shows the recorded generation.
+    fn entry_current(&self, state: &SystemState, s: &Slot) -> bool {
+        s.epoch == state.epoch()
+            && s.deps
+                .iter()
+                .all(|&(o, generation)| match state.context(o) {
+                    Some(c) => c.version() == generation,
+                    None => false,
+                })
+    }
+
+    fn detach(&mut self, slot: u32) {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let s = &mut self.slots[slot as usize];
+        s.prev = NIL;
+        s.next = NIL;
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].next = self.head;
+        self.slots[slot as usize].prev = NIL;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Marks `slot` most recently used.
+    fn touch(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.push_front(slot);
+    }
+
+    fn remove_slot(&mut self, slot: u32) {
+        self.detach(slot);
+        let s = &self.slots[slot as usize];
+        let removed = self.index.remove(&(s.start, &*s.suffix) as &dyn KeyRef);
+        debug_assert_eq!(removed, Some(slot));
+        self.free.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::CompoundName;
+    use crate::resolve::Resolver;
+
+    fn tree() -> (SystemState, ObjectId, ObjectId, ObjectId) {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let etc = s.add_context_object("etc");
+        let passwd = s.add_data_object("passwd", b"x".to_vec());
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("etc"), etc).unwrap();
+        s.bind(etc, Name::new("passwd"), passwd).unwrap();
+        (s, root, etc, passwd)
+    }
+
+    #[test]
+    fn repeated_resolves_hit() {
+        let (s, root, _, passwd) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        for _ in 0..10 {
+            assert_eq!(
+                r.resolve_entity_memo(&s, root, &n, &mut memo),
+                Entity::Object(passwd)
+            );
+        }
+        assert_eq!(memo.stats().hits, 9);
+        assert!(memo.stats().inserts >= 1);
+    }
+
+    #[test]
+    fn suffix_entries_are_shared_across_names() {
+        let (s, root, etc, passwd) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let long = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &long, &mut memo);
+        // The suffix "passwd" at etc was seeded by the longer resolution.
+        // (Not parse_path: relative paths get a leading "." component.)
+        let short = CompoundName::atom(Name::new("passwd"));
+        let before = memo.stats().hits;
+        assert_eq!(
+            r.resolve_entity_memo(&s, etc, &short, &mut memo),
+            Entity::Object(passwd)
+        );
+        assert_eq!(memo.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn bind_invalidates_exactly_affected_entries() {
+        let (mut s, root, etc, passwd) = tree();
+        let usr = s.add_context_object("usr");
+        let vi = s.add_data_object("vi", vec![]);
+        s.bind(root, Name::new("usr"), usr).unwrap();
+        s.bind(usr, Name::new("vi"), vi).unwrap();
+
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n_etc = CompoundName::parse_path("/etc/passwd").unwrap();
+        let n_usr = CompoundName::parse_path("/usr/vi").unwrap();
+        r.resolve_entity_memo(&s, root, &n_etc, &mut memo);
+        r.resolve_entity_memo(&s, root, &n_usr, &mut memo);
+
+        // Mutating etc only: /usr/vi entries survive, /etc/passwd dies —
+        // but both resolutions still read `root`, so only the pure-suffix
+        // entry under etc distinguishes them. Mutate etc:
+        s.bind(etc, Name::new("group"), passwd).unwrap();
+
+        // The suffix entry (etc, "passwd") is stale (etc's generation
+        // moved); the (usr, "vi") suffix entry is not.
+        assert!(memo.is_stale(&s, etc, &[Name::new("passwd")]));
+        assert!(!memo.is_stale(&s, usr, &[Name::new("vi")]));
+
+        // Probing revalidates or removes; results stay correct.
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &n_usr, &mut memo),
+            Entity::Object(vi)
+        );
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &n_etc, &mut memo),
+            Entity::Object(passwd)
+        );
+        assert!(memo.stats().invalidations > 0);
+    }
+
+    #[test]
+    fn escape_hatch_epoch_invalidates_everything() {
+        let (mut s, root, etc, _) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &n, &mut memo);
+
+        // Replace etc's context wholesale through the escape hatch; its
+        // own version counter rewinds, but the epoch catches it.
+        *s.context_mut(etc).unwrap() = crate::context::Context::new();
+        assert!(memo.is_stale(&s, root, n.components()));
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &n, &mut memo),
+            Entity::Undefined
+        );
+    }
+
+    #[test]
+    fn context_to_data_replacement_is_caught() {
+        let (mut s, root, etc, _) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &n, &mut memo);
+        *s.object_state_mut(etc) = crate::state::ObjectState::Data(vec![]);
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &n, &mut memo),
+            Entity::Undefined
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_bound_and_recency() {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let mut files = Vec::new();
+        for i in 0..8 {
+            let f = s.add_data_object(format!("f{i}"), vec![]);
+            s.bind(root, Name::new(&format!("f{i}")), f).unwrap();
+            files.push(f);
+        }
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::with_capacity(4);
+        let names: Vec<CompoundName> = (0..8)
+            .map(|i| CompoundName::parse_path(&format!("f{i}")).unwrap())
+            .collect();
+        for n in &names {
+            r.resolve_entity_memo(&s, root, n, &mut memo);
+        }
+        assert_eq!(memo.len(), 4);
+        assert_eq!(memo.stats().evictions, 4);
+        // The most recent four (f4..f7) survive; f0 was evicted.
+        let before = memo.stats().hits;
+        r.resolve_entity_memo(&s, root, &names[7], &mut memo);
+        assert_eq!(memo.stats().hits, before + 1);
+        let misses_before = memo.stats().misses;
+        r.resolve_entity_memo(&s, root, &names[0], &mut memo);
+        assert_eq!(memo.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn stale_probe_serves_then_sweep_heals() {
+        let (mut s, root, _, passwd) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &n, &mut memo);
+
+        // Point /etc elsewhere; a stale probe still serves the old answer.
+        let etc2 = s.add_context_object("etc2");
+        s.bind(root, Name::new("etc"), etc2).unwrap();
+        assert_eq!(
+            memo.probe_stale(root, n.components()),
+            Some(Entity::Object(passwd))
+        );
+        // The sweep drops stale entries; the stale probe now misses.
+        assert!(memo.invalidate_stale(&s) > 0);
+        assert_eq!(memo.probe_stale(root, n.components()), None);
+    }
+
+    #[test]
+    fn unaffected_entries_revalidate_after_unrelated_write() {
+        let (mut s, root, _, passwd) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &n, &mut memo);
+
+        // A bind in a context nowhere near the path: entry revalidates
+        // (slow path) and still hits.
+        let side = s.add_context_object("side");
+        let f = s.add_data_object("f", vec![]);
+        s.bind(side, Name::new("f"), f).unwrap();
+        let hits = memo.stats().hits;
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &n, &mut memo),
+            Entity::Object(passwd)
+        );
+        assert_eq!(memo.stats().hits, hits + 1);
+        assert_eq!(memo.stats().invalidations, 0);
+    }
+}

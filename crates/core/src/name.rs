@@ -13,13 +13,14 @@
 //! [`crate::context::Context`] bindings is lexicographic and therefore
 //! deterministic across runs regardless of interning order.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
 
 use parking_lot::RwLock;
 use serde::de::Visitor;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::hash::FxHashMap;
 
 /// The conventional binding name for the root context (`/` in Unix paths).
 pub const ROOT: &str = "/";
@@ -28,17 +29,33 @@ pub const SELF: &str = ".";
 /// The conventional binding name for the parent context.
 pub const PARENT: &str = "..";
 
+/// Initial interner capacity: sized so typical experiments (a few hundred
+/// distinct atoms) never rehash under the write lock.
+const INTERNER_CAPACITY: usize = 256;
+
+/// The conventional names are interned first, at fixed symbols, so
+/// [`Name::root`]/[`Name::self_`]/[`Name::parent`] need no lock at all.
+const PREINTERNED: [&str; 3] = [ROOT, SELF, PARENT];
+const ROOT_SYM: u32 = 0;
+const SELF_SYM: u32 = 1;
+const PARENT_SYM: u32 = 2;
+
 struct Interner {
     strings: Vec<&'static str>,
-    index: HashMap<&'static str, u32>,
+    index: FxHashMap<&'static str, u32>,
 }
 
 impl Interner {
     fn new() -> Self {
-        Interner {
-            strings: Vec::new(),
-            index: HashMap::new(),
+        let mut interner = Interner {
+            strings: Vec::with_capacity(INTERNER_CAPACITY),
+            index: FxHashMap::with_capacity_and_hasher(INTERNER_CAPACITY, Default::default()),
+        };
+        for (sym, s) in PREINTERNED.iter().enumerate() {
+            interner.strings.push(s);
+            interner.index.insert(s, sym as u32);
         }
+        interner
     }
 }
 
@@ -90,29 +107,29 @@ impl Name {
         interner().read().strings[self.0 as usize]
     }
 
-    /// The conventional root name `/`.
+    /// The conventional root name `/`. Pre-interned: no locking.
     pub fn root() -> Name {
-        Name::new(ROOT)
+        Name(ROOT_SYM)
     }
 
-    /// The conventional self name `.`.
+    /// The conventional self name `.`. Pre-interned: no locking.
     pub fn self_() -> Name {
-        Name::new(SELF)
+        Name(SELF_SYM)
     }
 
-    /// The conventional parent name `..`.
+    /// The conventional parent name `..`. Pre-interned: no locking.
     pub fn parent() -> Name {
-        Name::new(PARENT)
+        Name(PARENT_SYM)
     }
 
     /// True if this is the conventional root name `/`.
     pub fn is_root(self) -> bool {
-        self.as_str() == ROOT
+        self.0 == ROOT_SYM
     }
 
     /// True if this is `.` or `..`.
     pub fn is_dot(self) -> bool {
-        matches!(self.as_str(), SELF | PARENT)
+        self.0 == SELF_SYM || self.0 == PARENT_SYM
     }
 }
 
@@ -424,6 +441,19 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.as_str(), "alpha");
+    }
+
+    #[test]
+    fn conventional_names_are_preinterned() {
+        // The lock-free accessors and Name::new must agree on the symbols,
+        // whichever runs first.
+        assert_eq!(Name::root(), Name::new(ROOT));
+        assert_eq!(Name::self_(), Name::new(SELF));
+        assert_eq!(Name::parent(), Name::new(PARENT));
+        assert_eq!(Name::root().as_str(), "/");
+        assert!(Name::root().is_root());
+        assert!(Name::self_().is_dot() && Name::parent().is_dot());
+        assert!(!Name::root().is_dot() && !Name::new("x").is_root());
     }
 
     #[test]

@@ -97,6 +97,26 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object:
+    /// `{"title", "headers", "rows", "notes"}`, with rows as arrays of
+    /// strings. Emitted by hand (the workspace vendors no JSON
+    /// serializer); cells keep their rendered string form so the output
+    /// is stable across PRs and trivially diffable.
+    pub fn to_json(&self) -> String {
+        let list = |items: &[String]| -> String {
+            let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| list(r)).collect();
+        format!(
+            "{{\"title\": {}, \"headers\": {}, \"rows\": [{}], \"notes\": {}}}",
+            json_string(&self.title),
+            list(&self.headers),
+            rows.join(", "),
+            list(&self.notes)
+        )
+    }
+
     fn widths(&self) -> Vec<usize> {
         let cols = self
             .rows
@@ -157,6 +177,27 @@ impl fmt::Display for Table {
         }
         Ok(())
     }
+}
+
+/// Quotes and escapes `s` as a JSON string literal (RFC 8259): quote,
+/// backslash, and control characters are escaped; everything else passes
+/// through as UTF-8.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a fraction as a percentage with one decimal, e.g. `62.5%`.
@@ -238,6 +279,26 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(!csv.contains("ignored title"));
         assert!(!csv.contains("notes"));
+    }
+
+    #[test]
+    fn json_export_escapes_properly() {
+        let mut t = Table::new("T \"quoted\"", &["name", "value"]);
+        t.row(vec!["a\nb".into(), "back\\slash".into()]);
+        t.note("n1");
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"title\": \"T \\\"quoted\\\"\", \"headers\": [\"name\", \"value\"], \
+             \"rows\": [[\"a\\nb\", \"back\\\\slash\"]], \"notes\": [\"n1\"]}"
+        );
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("⊥"), "\"⊥\"");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::entity::{Entity, ObjectId};
+use crate::memo::ResolutionMemo;
 use crate::name::{CompoundName, Name};
 use crate::state::SystemState;
 
@@ -240,6 +241,81 @@ impl Resolver {
             Ok(r) => r.entity,
             Err(_) => Entity::Undefined,
         }
+    }
+
+    /// Resolves `name` with the total-function semantics, consulting and
+    /// populating a [`ResolutionMemo`].
+    ///
+    /// Equivalent to [`Resolver::resolve_entity`] for every state and name
+    /// (the memo's generation checks guarantee stale entries are never
+    /// served), but repeated resolutions over an unchanged — or mostly
+    /// unchanged — state are answered from the memo. A miss walks the path
+    /// once and seeds an entry for *every* suffix it traverses, so distinct
+    /// names sharing a tail (`/usr/bin/cc`, `bin/cc` from `/usr`) reinforce
+    /// each other.
+    ///
+    /// Depth-limit failures are returned as `⊥` but never memoized: the
+    /// verdict depends on this resolver's limit, and the memo may be shared
+    /// between resolvers configured differently.
+    pub fn resolve_entity_memo(
+        &self,
+        state: &SystemState,
+        start: ObjectId,
+        name: &CompoundName,
+        memo: &mut ResolutionMemo,
+    ) -> Entity {
+        let comps = name.components();
+        if comps.len() > self.depth_limit {
+            return Entity::Undefined;
+        }
+        // Hot path: the whole name is memoized and still current.
+        if let Some(e) = memo.probe(state, start, comps) {
+            return e;
+        }
+        // Walk the path, probing shorter suffixes as we go and recording
+        // the generation of every context we read.
+        let mut positions: Vec<ObjectId> = Vec::with_capacity(comps.len());
+        let mut deps: Vec<(ObjectId, u64)> = Vec::with_capacity(comps.len());
+        let mut ctx = start;
+        let mut i = 0;
+        let (entity, tail): (Entity, Box<[(ObjectId, u64)]>) = loop {
+            if i > 0 {
+                if let Some(hit) = memo.probe_with_deps(state, ctx, &comps[i..]) {
+                    break hit;
+                }
+            }
+            positions.push(ctx);
+            let Some(c) = state.context(ctx) else {
+                // `ctx` is not a context object: `σ(...) ∉ C`, so the rest
+                // of the name denotes ⊥. No generation to record — an
+                // object's kind can only change through the epoch-bumping
+                // escape hatches, and the epoch stamp covers that.
+                break (Entity::Undefined, Box::default());
+            };
+            deps.push((ctx, c.version()));
+            let result = c.lookup(comps[i]);
+            i += 1;
+            if result == Entity::Undefined {
+                break (Entity::Undefined, Box::default());
+            }
+            if i == comps.len() {
+                break (result, Box::default());
+            }
+            match result {
+                Entity::Object(o) => ctx = o,
+                // Activities are not contexts; traversal dies here.
+                _ => break (Entity::Undefined, Box::default()),
+            }
+        };
+        // Resolution is suffix-compositional: every visited position j
+        // resolves comps[j..] to the same final entity through the same
+        // tail of the path, depending on the contexts from j onward.
+        for (j, &at) in positions.iter().enumerate() {
+            let mut entry_deps = deps[j.min(deps.len())..].to_vec();
+            entry_deps.extend_from_slice(&tail);
+            memo.record(state, at, &comps[j..], entity, &entry_deps);
+        }
+        entity
     }
 
     /// Resolves a whole batch of names in the same starting context.

@@ -170,6 +170,17 @@ struct ObjectRecord {
 pub struct SystemState {
     activities: Vec<ActivityRecord>,
     objects: Vec<ObjectRecord>,
+    /// Bumped on every naming-relevant mutation (bind, unbind, and any
+    /// handout of mutable state). A [`crate::memo::ResolutionMemo`] entry
+    /// validated at naming version `v` is still valid, with no further
+    /// checks, while the state's naming version is `v`.
+    naming_version: u64,
+    /// Bumped when mutable access could have *replaced* state wholesale
+    /// ([`SystemState::context_mut`] / [`SystemState::object_state_mut`]):
+    /// replacement can rewind a context's own version counter, so
+    /// per-context generations are no longer conclusive and memo entries
+    /// from an earlier epoch must be discarded.
+    epoch: u64,
 }
 
 /// Error produced by [`SystemState`] operations on non-context objects.
@@ -300,10 +311,20 @@ impl SystemState {
 
     /// Mutable access to an object's state.
     ///
+    /// This is a raw escape hatch: the caller may replace the state
+    /// entirely (e.g. turn a context object into a data object), so it
+    /// advances both the naming version and the epoch — conservatively
+    /// invalidating every memoized resolution. Prefer
+    /// [`SystemState::bind`] / [`SystemState::unbind`] on the hot path;
+    /// they invalidate only the resolutions that traversed the mutated
+    /// context.
+    ///
     /// # Panics
     ///
     /// Panics if `o` is not an id from this state.
     pub fn object_state_mut(&mut self, o: ObjectId) -> &mut ObjectState {
+        self.naming_version += 1;
+        self.epoch += 1;
         &mut self.objects[o.index()].state
     }
 
@@ -326,12 +347,45 @@ impl SystemState {
 
     /// Mutable context of a context object.
     ///
-    /// Returns `None` if the object's state is not a context.
+    /// Returns `None` if the object's state is not a context. Like
+    /// [`SystemState::object_state_mut`], this is a raw escape hatch
+    /// (callers may assign a whole replacement context, rewinding its
+    /// version counter), so it advances the epoch. Prefer
+    /// [`SystemState::bind`] / [`SystemState::unbind`] for fine-grained
+    /// memo invalidation.
     pub fn context_mut(&mut self, o: ObjectId) -> Option<&mut Context> {
-        self.object_state_mut(o).as_context_mut()
+        self.naming_version += 1;
+        self.epoch += 1;
+        self.context_mut_internal(o)
+    }
+
+    /// Mutable context access for `bind`/`unbind` and other operations
+    /// whose effects are fully visible in the context's own version
+    /// counter. Does not touch the state-level counters; callers bump
+    /// `naming_version` themselves when they mutate.
+    fn context_mut_internal(&mut self, o: ObjectId) -> Option<&mut Context> {
+        self.objects[o.index()].state.as_context_mut()
+    }
+
+    /// Monotonic counter of naming-relevant mutations; see
+    /// [`crate::memo::ResolutionMemo`] for how it enables O(1) memo-entry
+    /// validation between writes.
+    pub fn naming_version(&self) -> u64 {
+        self.naming_version
+    }
+
+    /// Monotonic counter of wholesale state replacements (raw
+    /// `*_mut` escape-hatch handouts). Memo entries recorded under an
+    /// older epoch are unconditionally stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Binds `name` to `entity` in the context object `ctx`.
+    ///
+    /// Advances the context's generation (its version counter) and the
+    /// state's naming version, so exactly the memoized resolutions that
+    /// traversed `ctx` become invalid.
     ///
     /// # Errors
     ///
@@ -342,13 +396,18 @@ impl SystemState {
         name: Name,
         entity: impl Into<Entity>,
     ) -> Result<Option<Entity>, NotAContextError> {
-        match self.context_mut(ctx) {
-            Some(c) => Ok(c.bind(name, entity)),
-            None => Err(NotAContextError { object: ctx }),
+        if !self.is_context_object(ctx) {
+            return Err(NotAContextError { object: ctx });
         }
+        self.naming_version += 1;
+        let c = self.context_mut_internal(ctx).expect("checked above");
+        Ok(c.bind(name, entity))
     }
 
     /// Removes the binding for `name` in the context object `ctx`.
+    ///
+    /// Advances the context's generation and the state's naming version,
+    /// like [`SystemState::bind`].
     ///
     /// # Errors
     ///
@@ -358,10 +417,12 @@ impl SystemState {
         ctx: ObjectId,
         name: Name,
     ) -> Result<Option<Entity>, NotAContextError> {
-        match self.context_mut(ctx) {
-            Some(c) => Ok(c.unbind(name)),
-            None => Err(NotAContextError { object: ctx }),
+        if !self.is_context_object(ctx) {
+            return Err(NotAContextError { object: ctx });
         }
+        self.naming_version += 1;
+        let c = self.context_mut_internal(ctx).expect("checked above");
+        Ok(c.unbind(name))
     }
 
     /// Looks `name` up in the context object `ctx` (single-step resolution).
@@ -428,7 +489,9 @@ impl SystemState {
                         }
                     }
                 }
-                *self.context_mut(copy).expect("copy is a context") = rewritten;
+                // Internal accessor: the copies are fresh objects no memo
+                // entry can depend on, so no epoch flush is warranted.
+                *self.context_mut_internal(copy).expect("copy is a context") = rewritten;
             }
         }
         map[&src]
@@ -483,6 +546,37 @@ mod tests {
         let err = s.bind(file, Name::new("x"), file).unwrap_err();
         assert_eq!(err.object, file);
         assert!(s.unbind(file, Name::new("x")).is_err());
+    }
+
+    #[test]
+    fn naming_version_tracks_binds_epoch_tracks_escape_hatches() {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let etc = s.add_context_object("etc");
+        let (nv0, ep0) = (s.naming_version(), s.epoch());
+
+        // bind/unbind: naming version moves, epoch does not.
+        s.bind(root, Name::new("etc"), etc).unwrap();
+        assert!(s.naming_version() > nv0);
+        assert_eq!(s.epoch(), ep0);
+        let nv1 = s.naming_version();
+        s.unbind(root, Name::new("etc")).unwrap();
+        assert!(s.naming_version() > nv1);
+        assert_eq!(s.epoch(), ep0);
+
+        // A failed bind mutates nothing and bumps nothing.
+        let file = s.add_data_object("f", vec![]);
+        let (nv2, ep2) = (s.naming_version(), s.epoch());
+        assert!(s.bind(file, Name::new("x"), file).is_err());
+        assert!(s.unbind(file, Name::new("x")).is_err());
+        assert_eq!((s.naming_version(), s.epoch()), (nv2, ep2));
+
+        // Raw escape hatches advance the epoch.
+        let _ = s.context_mut(root);
+        assert!(s.epoch() > ep2);
+        let ep3 = s.epoch();
+        let _ = s.object_state_mut(file);
+        assert!(s.epoch() > ep3);
     }
 
     #[test]

@@ -272,7 +272,13 @@ mod tests {
         let arg = CompoundName::parse_path("/home/data/input").unwrap();
         let meant = w.resolve_in_own_context(parent, &arg);
         assert_eq!(meant, Entity::Object(input));
-        let out = svc.remote_exec(&mut w, parent, machines[1], "job", std::slice::from_ref(&arg));
+        let out = svc.remote_exec(
+            &mut w,
+            parent,
+            machines[1],
+            "job",
+            std::slice::from_ref(&arg),
+        );
         let child = out.child.expect("spawned");
         assert_eq!(w.machine_of(child), machines[1]);
         // The receipt matches the parent's meaning…
@@ -321,7 +327,13 @@ mod tests {
         svc.servers.insert(third, pid);
         let arg = CompoundName::parse_path("/home/data/input").unwrap();
         let hop1 = svc
-            .remote_exec(&mut w, parent, machines[1], "hop1", std::slice::from_ref(&arg))
+            .remote_exec(
+                &mut w,
+                parent,
+                machines[1],
+                "hop1",
+                std::slice::from_ref(&arg),
+            )
             .child
             .unwrap();
         let hop2 = svc

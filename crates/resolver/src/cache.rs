@@ -6,15 +6,29 @@
 //! time, so after the authoritative binding changes, the cache and the
 //! authority give the *same name different meanings*. [`CachingResolver`]
 //! measures that staleness instead of hiding it.
-
-use std::collections::BTreeMap;
+//!
+//! The store behind the cache is naming-core's generation-versioned
+//! [`ResolutionMemo`]: every entry carries the generations of the contexts
+//! its resolution traversed, and the cache is bounded with LRU eviction.
+//! Lookups deliberately serve entries *without* re-validating them — that
+//! is what a distributed client cache does, and what makes its staleness
+//! measurable — but the recorded generations make healing cheap:
+//! [`CachingResolver::heal`] drops exactly the entries whose underlying
+//! contexts have changed, by comparing version counters instead of
+//! re-resolving every name.
 
 use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::memo::ResolutionMemo;
 use naming_core::name::CompoundName;
+use naming_core::resolve::Resolver;
+use naming_core::state::SystemState;
 use naming_sim::world::World;
 
 use crate::engine::{ProtocolEngine, ResolveStats};
 use crate::wire::Mode;
+
+/// Default bound on the number of cached resolutions.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 12;
 
 /// Cache statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,8 +37,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that went to the network.
     pub misses: u64,
-    /// Cache entries explicitly invalidated.
+    /// Cache entries explicitly invalidated (including generation-based
+    /// healing).
     pub invalidations: u64,
+    /// Cache entries evicted by the LRU bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -39,22 +56,30 @@ impl CacheStats {
     }
 }
 
-/// A resolution client with an unbounded positive cache keyed on
-/// `(start, name)`.
+/// A resolution client with a bounded positive cache keyed on
+/// `(start, name)`, backed by a generation-versioned [`ResolutionMemo`].
 #[derive(Debug)]
 pub struct CachingResolver {
     engine: ProtocolEngine,
-    cache: BTreeMap<(ObjectId, CompoundName), Entity>,
-    stats: CacheStats,
+    memo: ResolutionMemo,
 }
 
 impl CachingResolver {
-    /// Wraps a protocol engine.
+    /// Wraps a protocol engine with the default cache bound.
     pub fn new(engine: ProtocolEngine) -> CachingResolver {
+        CachingResolver::with_capacity(engine, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps a protocol engine with an explicit cache bound; inserts past
+    /// the bound evict the least recently used entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(engine: ProtocolEngine, capacity: usize) -> CachingResolver {
         CachingResolver {
             engine,
-            cache: BTreeMap::new(),
-            stats: CacheStats::default(),
+            memo: ResolutionMemo::with_capacity(capacity),
         }
     }
 
@@ -70,22 +95,38 @@ impl CachingResolver {
 
     /// Cache statistics so far.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let m = self.memo.stats();
+        CacheStats {
+            hits: m.hits,
+            misses: m.misses,
+            invalidations: m.invalidations,
+            evictions: m.evictions,
+        }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.memo.len()
+    }
+
+    /// The cache bound.
+    pub fn capacity(&self) -> usize {
+        self.memo.capacity()
     }
 
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.memo.is_empty()
     }
 
     /// Resolves through the cache: a hit answers instantly (zero virtual
     /// latency, zero messages); a miss goes to the network and populates
     /// the cache on success.
+    ///
+    /// Hits are served *without* validation — a client cache has no
+    /// authoritative state to validate against, which is precisely the §5
+    /// incoherence this type exists to measure. Use
+    /// [`CachingResolver::heal`] to apply generation-based invalidation.
     pub fn resolve(
         &mut self,
         world: &mut World,
@@ -94,32 +135,34 @@ impl CachingResolver {
         name: &CompoundName,
         mode: Mode,
     ) -> (Entity, bool) {
-        let key = (start, name.clone());
-        if let Some(&e) = self.cache.get(&key) {
-            self.stats.hits += 1;
+        if let Some(e) = self.memo.probe_stale(start, name.components()) {
             return (e, true);
         }
-        self.stats.misses += 1;
         let stats: ResolveStats = self.engine.resolve(world, client, start, name, mode);
         if stats.entity.is_defined() {
-            self.cache.insert(key, stats.entity);
+            let deps = path_deps(world.state(), start, name);
+            self.memo
+                .record(world.state(), start, name.components(), stats.entity, &deps);
         }
         (stats.entity, false)
     }
 
     /// Drops one cache entry.
     pub fn invalidate(&mut self, start: ObjectId, name: &CompoundName) -> bool {
-        let removed = self.cache.remove(&(start, name.clone())).is_some();
-        if removed {
-            self.stats.invalidations += 1;
-        }
-        removed
+        self.memo.remove(start, name.components())
     }
 
     /// Drops the whole cache.
     pub fn invalidate_all(&mut self) {
-        self.stats.invalidations += self.cache.len() as u64;
-        self.cache.clear();
+        self.memo.invalidate_all();
+    }
+
+    /// Generation-based healing: drops every entry whose recorded context
+    /// generations no longer match the authoritative state, by comparing
+    /// version counters — no re-resolution. Returns how many entries were
+    /// dropped.
+    pub fn heal(&mut self, world: &World) -> usize {
+        self.memo.invalidate_stale(world.state())
     }
 
     /// Audits the cache against the authoritative naming state: returns
@@ -127,11 +170,12 @@ impl CachingResolver {
     /// authority would answer — the *incoherent* (stale) entries.
     pub fn stale_entries(&self, world: &World) -> Vec<(ObjectId, CompoundName, Entity)> {
         let mut out = Vec::new();
-        for ((start, name), &cached) in &self.cache {
-            let authoritative =
-                naming_core::resolve::Resolver::new().resolve_entity(world.state(), *start, name);
+        let r = Resolver::new();
+        for (start, suffix, cached) in self.memo.entries() {
+            let name = CompoundName::new(suffix.to_vec()).expect("cached names are nonempty");
+            let authoritative = r.resolve_entity(world.state(), start, &name);
             if authoritative != cached {
-                out.push((*start, name.clone(), cached));
+                out.push((start, name, cached));
             }
         }
         out
@@ -139,10 +183,24 @@ impl CachingResolver {
 
     /// Staleness rate: stale entries / cached entries (0 when empty).
     pub fn staleness(&self, world: &World) -> f64 {
-        if self.cache.is_empty() {
+        if self.memo.is_empty() {
             return 0.0;
         }
-        self.stale_entries(world).len() as f64 / self.cache.len() as f64
+        self.stale_entries(world).len() as f64 / self.memo.len() as f64
+    }
+}
+
+/// The `(context, generation)` pairs an authoritative resolution of `name`
+/// reads, recorded into cache entries so healing can be a pure version
+/// comparison.
+fn path_deps(state: &SystemState, start: ObjectId, name: &CompoundName) -> Vec<(ObjectId, u64)> {
+    match Resolver::new().resolve(state, start, name) {
+        Ok(res) => res
+            .steps
+            .iter()
+            .filter_map(|s| state.context(s.context).map(|c| (s.context, c.version())))
+            .collect(),
+        Err(_) => Vec::new(),
     }
 }
 
@@ -230,6 +288,56 @@ mod tests {
         assert_eq!(new, naming_core::entity::Entity::Object(fresh));
         assert_eq!(r.staleness(&w), 0.0);
         assert_eq!(r.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn heal_drops_exactly_the_generation_stale_entries() {
+        let (mut w, mut r, client, root) = setup();
+        let touched = CompoundName::parse_path("/remote/data").unwrap();
+        let untouched = CompoundName::parse_path("/remote").unwrap();
+        r.resolve(&mut w, client, root, &touched, Mode::Iterative);
+        r.resolve(&mut w, client, root, &untouched, Mode::Iterative);
+        assert_eq!(r.len(), 2);
+        // Nothing changed: healing is a no-op.
+        assert_eq!(r.heal(&w), 0);
+        // Rebind inside /remote. Both cached paths traversed the root
+        // context, but only /remote/data read the mutated "remote"
+        // context... in fact both read root only until the last step:
+        // "/remote" never reads the remote context itself, so healing
+        // keeps it and drops only the entry that read the mutated context.
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        w.state_mut().bind(sub, Name::new("data"), fresh).unwrap();
+        assert_eq!(r.heal(&w), 1);
+        assert_eq!(r.len(), 1);
+        // The healed cache is coherent again without a full flush.
+        assert_eq!(r.staleness(&w), 0.0);
+        let (e, from_cache) = r.resolve(&mut w, client, root, &touched, Mode::Iterative);
+        assert!(!from_cache);
+        assert_eq!(e, naming_core::entity::Entity::Object(fresh));
+    }
+
+    #[test]
+    fn lru_bound_evicts_oldest() {
+        let (mut w, mut r0, client, root) = setup();
+        // Rebuild with a tiny cache over the same engine.
+        let engine = std::mem::replace(
+            r0.engine_mut(),
+            ProtocolEngine::new(NameService::install(&mut w, &[])),
+        );
+        let mut r = CachingResolver::with_capacity(engine, 1);
+        let a = CompoundName::parse_path("/remote/data").unwrap();
+        let b = CompoundName::parse_path("/remote").unwrap();
+        r.resolve(&mut w, client, root, &a, Mode::Iterative);
+        r.resolve(&mut w, client, root, &b, Mode::Iterative);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.stats().evictions, 1);
+        // `a` was evicted; resolving it again is a miss.
+        let (_, from_cache) = r.resolve(&mut w, client, root, &a, Mode::Iterative);
+        assert!(!from_cache);
     }
 
     #[test]

@@ -65,7 +65,13 @@ fn build_farm_end_to_end() {
     // The developer launches a build on the farm, passing the Makefile by
     // name.
     let makefile_name = CompoundName::parse_path("/home/src/Makefile").unwrap();
-    let out = exec.remote_exec(&mut w, dev, farm, "build-job", std::slice::from_ref(&makefile_name));
+    let out = exec.remote_exec(
+        &mut w,
+        dev,
+        farm,
+        "build-job",
+        std::slice::from_ref(&makefile_name),
+    );
     let builder = out.child.expect("build job spawned");
     assert_eq!(out.resolved_args, vec![Entity::Object(makefile)]);
 

@@ -1,0 +1,341 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! integer-range, tuple, `collection::vec`, `any::<T>()`, `prop::bool::ANY`,
+//! and character-class string strategies, plus the `proptest!` /
+//! `prop_assert*` macros. Cases are generated deterministically (seeded from
+//! the test's module path), with no shrinking — a failing case panics with
+//! the ordinary assert message.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Number of cases each `proptest!`-generated test runs.
+pub const CASES: usize = 48;
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test's fully qualified name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, folded into a fixed workspace seed so the
+        // stream is stable across runs and machines.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x1993_0601_c0fe_ee00,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// A string-pattern strategy: `&str` patterns of the form `[class]{lo,hi}`
+/// generate strings of `lo..=hi` characters drawn from the class (which may
+/// contain `a-z`-style ranges and literal characters).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_char_class(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` into (alphabet, lo, hi).
+///
+/// # Panics
+///
+/// Panics on patterns outside this shape; the stand-in supports only the
+/// character-class form used by this workspace's tests.
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let inner = pattern
+        .strip_prefix('[')
+        .and_then(|r| r.split_once(']'))
+        .unwrap_or_else(|| panic!("unsupported string pattern: {pattern:?}"));
+    let (class, rest) = inner;
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern: {pattern:?}"));
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = counts.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "bad range {a}-{b} in pattern {pattern:?}");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for an unbiased boolean.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s; see [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A strategy for vectors whose length lies in `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The conventional glob import for proptest users.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    /// Module-style access to strategy families (`prop::bool::ANY`, …).
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each function runs [`CASES`] deterministic cases; a failing
+/// `prop_assert*` panics with the ordinary assertion message (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                let mut __rng = $crate::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..$crate::CASES {
+                    let ($($arg,)+) = {
+                        let ($(ref $arg,)+) = __strategies;
+                        ($($crate::Strategy::generate($arg, &mut __rng),)+)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($arg:tt)+) => { assert!($cond, $($arg)+) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_eq!($left, $right, $($arg)+) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_ne!($left, $right, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = crate::TestRng::for_test("string_patterns");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z0-9_.-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let strat = (0u8..10, crate::collection::vec(0usize..5, 1..4));
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&strat, &mut a),
+                Strategy::generate(&strat, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        /// The macro itself: args bind, ranges hold, bools vary.
+        #[test]
+        fn macro_smoke(
+            n in 3usize..9,
+            flags in crate::collection::vec(prop::bool::ANY, 0..6),
+            pair in (0u8..4, any::<bool>()),
+        ) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(flags.len() < 6);
+            prop_assert_ne!(pair.0, 9, "class bound");
+            prop_assert_eq!(pair.0 < 4, true);
+        }
+    }
+}

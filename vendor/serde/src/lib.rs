@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the trait surface the workspace's manual impls rely on
+//! (`Serialize`/`Serializer` with `serialize_str`, `Deserialize`/
+//! `Deserializer` with `deserialize_str`, and `de::{Visitor, Error}`),
+//! plus the no-op derives from the stand-in `serde_derive` when the
+//! `derive` feature is enabled. There is no data format behind it; the
+//! traits exist so annotated types compile unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can describe itself to a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format sink (string-only subset).
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type constructible from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format source (string-only subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Asks the format for a string and feeds it to `visitor`.
+    fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Serialization-side helper traits.
+pub mod ser {
+    use std::fmt;
+
+    /// Errors a [`Serializer`](crate::Serializer) can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side helper traits.
+pub mod de {
+    use std::fmt;
+
+    /// Errors a [`Deserializer`](crate::Deserializer) can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Drives construction of a value from format primitives.
+    pub trait Visitor<'de>: Sized {
+        /// The value being built.
+        type Value;
+
+        /// Describes what this visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a borrowed string.
+        fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+            let _ = v;
+            Err(E::custom(ExpectedDisplay(&self)))
+        }
+    }
+
+    struct ExpectedDisplay<'a, V>(&'a V);
+
+    impl<'de, V: Visitor<'de>> fmt::Display for ExpectedDisplay<'_, V> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid type: expected ")?;
+            self.0.expecting(f)
+        }
+    }
+}
+
+/// A ready-made string serializer/deserializer pair so the trait surface
+/// is exercisable in tests without an external data format.
+pub mod strfmt {
+    use super::{de, ser, Deserializer, Serializer};
+    use std::fmt;
+
+    /// Error type for [`StrSerializer`]/[`StrDeserializer`].
+    #[derive(Debug)]
+    pub struct StrError(pub String);
+
+    impl fmt::Display for StrError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for StrError {}
+
+    impl ser::Error for StrError {
+        fn custom<T: fmt::Display>(msg: T) -> StrError {
+            StrError(msg.to_string())
+        }
+    }
+
+    impl de::Error for StrError {
+        fn custom<T: fmt::Display>(msg: T) -> StrError {
+            StrError(msg.to_string())
+        }
+    }
+
+    /// Serializes a value to its string form (string-only formats).
+    pub struct StrSerializer;
+
+    impl Serializer for StrSerializer {
+        type Ok = String;
+        type Error = StrError;
+
+        fn serialize_str(self, v: &str) -> Result<String, StrError> {
+            Ok(v.to_string())
+        }
+    }
+
+    /// Deserializes a value from a borrowed string.
+    pub struct StrDeserializer<'de>(pub &'de str);
+
+    impl<'de> Deserializer<'de> for StrDeserializer<'de> {
+        type Error = StrError;
+
+        fn deserialize_str<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, StrError> {
+            visitor.visit_str(self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strfmt::{StrDeserializer, StrSerializer};
+    use super::*;
+
+    struct Tag(String);
+
+    impl Serialize for Tag {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(&self.0)
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Tag {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Tag, D::Error> {
+            struct V;
+            impl de::Visitor<'_> for V {
+                type Value = Tag;
+                fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.write_str("a tag string")
+                }
+                fn visit_str<E: de::Error>(self, v: &str) -> Result<Tag, E> {
+                    Ok(Tag(v.to_string()))
+                }
+            }
+            deserializer.deserialize_str(V)
+        }
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let out = Tag("root".into()).serialize(StrSerializer).unwrap();
+        assert_eq!(out, "root");
+        let back = Tag::deserialize(StrDeserializer(&out)).unwrap();
+        assert_eq!(back.0, "root");
+    }
+}
