@@ -4,13 +4,20 @@
 //! parsing criterion output.
 //!
 //! ```text
-//! bench_resolution [--out PATH] [--stdout] [--iters N]
+//! bench_resolution [--out PATH] [--stdout] [--iters N] [--trace PATH]
+//!                  [--metrics]
 //! ```
 //!
 //! For each path depth the tool times `iters` naive resolutions and
 //! `iters` memoized resolutions of the same compound name (memo warmed,
 //! counters reset, so the steady-state hit rate is visible) and reports
 //! ops/sec, the speedup ratio, and the memo hit rate.
+//!
+//! `--trace PATH` (requires the `telemetry` feature) runs a short traced
+//! pass *after* the timing loops — the recorder is never installed while
+//! the clock is running — and writes the spans as a Chrome `trace_event`
+//! file. `--metrics` prints the global metrics-registry snapshot as JSON
+//! on stderr.
 
 use std::time::Instant;
 
@@ -85,14 +92,60 @@ fn render(iters: u32, results: &[DepthResult]) -> String {
     )
 }
 
+/// A short traced pass over the same scenarios: 100 plain + 100 memoized
+/// resolutions per depth, one recorder track per depth, written as a
+/// Chrome trace. Runs after the timing loops so tracing never skews them.
+#[cfg(feature = "telemetry")]
+fn traced_pass(path: &str) {
+    use naming_telemetry::recorder;
+    recorder::install();
+    for (i, &depth) in DEPTHS.iter().enumerate() {
+        let track = i as u64 + 1;
+        recorder::set_track_name(track, format!("depth {depth}"));
+        let (state, root, name) = deep_chain(depth);
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        for tick in 0..100u64 {
+            recorder::set_clock(tick);
+            std::hint::black_box(r.resolve_entity(&state, root, &name));
+            std::hint::black_box(r.resolve_entity_memo(&state, root, &name, &mut memo));
+        }
+    }
+    let data = recorder::take().expect("recorder was just installed");
+    naming_telemetry::chrome::write(&data, std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote Chrome trace to {path} ({} resolutions, {} events)",
+        data.resolutions.len(),
+        data.events.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("BENCH_resolution.json");
     let mut to_stdout = false;
     let mut iters = DEFAULT_ITERS;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                trace_path = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--trace requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--metrics" => {
+                metrics = true;
+            }
             "--out" => {
                 i += 1;
                 out = match args.get(i) {
@@ -117,7 +170,10 @@ fn main() {
                 };
             }
             "--help" | "-h" => {
-                println!("usage: bench_resolution [--out PATH] [--stdout] [--iters N]");
+                println!(
+                    "usage: bench_resolution [--out PATH] [--stdout] [--iters N] \
+                     [--trace PATH] [--metrics]"
+                );
                 return;
             }
             other => {
@@ -126,6 +182,15 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    if trace_path.is_some() || metrics {
+        eprintln!(
+            "--trace/--metrics require the `telemetry` feature \
+             (this binary was built without it)"
+        );
+        std::process::exit(2);
     }
 
     let results: Vec<DepthResult> = DEPTHS.iter().map(|&d| measure(d, iters)).collect();
@@ -148,5 +213,18 @@ fn main() {
             );
         }
         eprintln!("wrote {out}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    {
+        if let Some(path) = &trace_path {
+            traced_pass(path);
+        }
+        if metrics {
+            eprintln!(
+                "{}",
+                naming_telemetry::metrics::global().snapshot().to_json()
+            );
+        }
     }
 }

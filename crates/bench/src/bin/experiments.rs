@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [--exp eN] [--seed S] [--list] [--csv | --json]
+//!             [--trace PATH] [--metrics]
 //! ```
 //!
 //! `--csv` emits machine-readable CSV (one blank-line-separated block per
@@ -10,9 +11,46 @@
 //! (`{"title", "headers", "rows", "notes"}`), for tracking results across
 //! PRs.
 //!
+//! `--trace PATH` (requires the default `telemetry` feature) records every
+//! resolution, message, and coherence event into a Chrome `trace_event`
+//! file loadable in Perfetto / `about:tracing`, one track per experiment.
+//! Tracing forces the suite serial — the recorder is thread-local — but
+//! table output is byte-for-byte identical. `--metrics` prints the global
+//! metrics-registry snapshot as JSON on stderr after the run. Neither flag
+//! touches stdout.
+//!
 //! Without `--exp`, the whole suite (E1–E19) runs in paper order.
 
 use naming_bench::experiments::{run_all, run_experiment, CATALOG};
+use naming_core::report::Table;
+
+/// Runs one experiment, assigning it a named recorder track when tracing.
+fn run_one(id: &str, seed: u64) -> Option<Vec<Table>> {
+    #[cfg(feature = "telemetry")]
+    if naming_telemetry::recorder::is_active() {
+        if let Some(pos) = CATALOG.iter().position(|info| info.id == id) {
+            let track = pos as u64 + 1;
+            naming_telemetry::recorder::set_track_name(
+                track,
+                format!("{} {}", CATALOG[pos].id, CATALOG[pos].artifact),
+            );
+        }
+    }
+    run_experiment(id, seed)
+}
+
+/// Runs the whole suite: serially (per-experiment tracks) when a recorder
+/// is installed, else via [`run_all`] (parallel with that feature).
+fn run_suite(seed: u64) -> Vec<Table> {
+    #[cfg(feature = "telemetry")]
+    if naming_telemetry::recorder::is_active() {
+        return CATALOG
+            .iter()
+            .flat_map(|info| run_one(info.id, seed).expect("catalog ids are valid"))
+            .collect();
+    }
+    run_all(seed)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +58,8 @@ fn main() {
     let mut seed: u64 = 19930601; // ICDCS '93
     let mut csv = false;
     let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,6 +87,17 @@ fn main() {
             "--json" => {
                 json = true;
             }
+            "--trace" => {
+                i += 1;
+                trace_path = args.get(i).cloned();
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+            "--metrics" => {
+                metrics = true;
+            }
             "--list" => {
                 for info in CATALOG {
                     println!("{:4}  {}", info.id, info.artifact);
@@ -54,7 +105,10 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp eN] [--seed S] [--list] [--csv | --json]");
+                println!(
+                    "usage: experiments [--exp eN] [--seed S] [--list] [--csv | --json] \
+                     [--trace PATH] [--metrics]"
+                );
                 return;
             }
             other => {
@@ -68,6 +122,18 @@ fn main() {
     if csv && json {
         eprintln!("--csv and --json are mutually exclusive");
         std::process::exit(2);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if trace_path.is_some() || metrics {
+        eprintln!(
+            "--trace/--metrics require the `telemetry` feature (on by default; \
+             this binary was built without it)"
+        );
+        std::process::exit(2);
+    }
+    #[cfg(feature = "telemetry")]
+    if trace_path.is_some() {
+        naming_telemetry::recorder::install();
     }
     let emit = |tables: Vec<naming_core::report::Table>| {
         if json {
@@ -92,13 +158,39 @@ fn main() {
         println!();
     }
     match exp {
-        Some(id) => match run_experiment(&id, seed) {
+        Some(id) => match run_one(&id, seed) {
             Some(tables) => emit(tables),
             None => {
                 eprintln!("unknown experiment {id:?}; try --list");
                 std::process::exit(2);
             }
         },
-        None => emit(run_all(seed)),
+        None => emit(run_suite(seed)),
+    }
+
+    #[cfg(feature = "telemetry")]
+    {
+        if let Some(path) = &trace_path {
+            if let Some(data) = naming_telemetry::recorder::take() {
+                naming_telemetry::chrome::write(&data, std::path::Path::new(path)).unwrap_or_else(
+                    |e| {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    },
+                );
+                eprintln!(
+                    "wrote Chrome trace to {path} ({} resolutions, {} events, {} dropped)",
+                    data.resolutions.len(),
+                    data.events.len(),
+                    data.dropped
+                );
+            }
+        }
+        if metrics {
+            eprintln!(
+                "{}",
+                naming_telemetry::metrics::global().snapshot().to_json()
+            );
+        }
     }
 }

@@ -18,7 +18,7 @@
 
 use naming_core::audit::AuditSpec;
 use naming_core::closure::{MetaContext, StandardRule};
-use naming_core::monitor::CoherenceMonitor;
+use naming_core::monitor::{CoherenceMonitor, TraceHandle};
 use naming_core::name::CompoundName;
 use naming_core::report::{pct, Table};
 use naming_sim::rng::SimRng;
@@ -85,6 +85,7 @@ pub fn run(seed: u64) -> E16Result {
                 w.registry(),
                 &StandardRule::OfResolver,
                 None,
+                Some(&TraceHandle),
             );
         }
         trajectories.push(Trajectory {
@@ -128,6 +129,7 @@ pub fn run(seed: u64) -> E16Result {
                 w.registry(),
                 &StandardRule::OfResolver,
                 None,
+                Some(&TraceHandle),
             );
             mon_mapped.observe(
                 step.to_string(),
@@ -135,6 +137,7 @@ pub fn run(seed: u64) -> E16Result {
                 w.registry(),
                 &StandardRule::OfResolver,
                 None,
+                Some(&TraceHandle),
             );
         }
         trajectories.push(Trajectory {
@@ -188,6 +191,7 @@ pub fn run(seed: u64) -> E16Result {
                 w.registry(),
                 &StandardRule::OfResolver,
                 None,
+                Some(&TraceHandle),
             );
         }
         trajectories.push(Trajectory {

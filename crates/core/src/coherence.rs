@@ -121,7 +121,47 @@ pub fn check_coherence(
     replicas: Option<&ReplicaRegistry>,
 ) -> CoherenceVerdict {
     let resolutions = sweep_participants(state, registry, rule, participants, name);
-    classify(&resolutions, replicas)
+    let verdict = classify(&resolutions, replicas);
+    #[cfg(feature = "telemetry")]
+    {
+        naming_telemetry::counter!("coherence.checks").bump();
+        match &verdict {
+            CoherenceVerdict::Incoherent { resolutions } => {
+                naming_telemetry::counter!("coherence.incoherent").bump();
+                if naming_telemetry::recorder::is_active() {
+                    let distinct: std::collections::BTreeSet<String> =
+                        resolutions.iter().map(|(_, e)| e.to_string()).collect();
+                    naming_telemetry::recorder::instant(
+                        "coherence",
+                        format!("incoherent {name}"),
+                        vec![
+                            ("rule".to_string(), rule.rule_name().to_string()),
+                            ("participants".to_string(), resolutions.len().to_string()),
+                            (
+                                "entities".to_string(),
+                                distinct.into_iter().collect::<Vec<_>>().join(", "),
+                            ),
+                        ],
+                    );
+                }
+            }
+            CoherenceVerdict::WeaklyCoherent(group) => {
+                naming_telemetry::counter!("coherence.weak").bump();
+                if naming_telemetry::recorder::is_active() {
+                    naming_telemetry::recorder::instant(
+                        "coherence",
+                        format!("weakly-coherent {name}"),
+                        vec![
+                            ("rule".to_string(), rule.rule_name().to_string()),
+                            ("replica_group".to_string(), format!("{group:?}")),
+                        ],
+                    );
+                }
+            }
+            CoherenceVerdict::Coherent(_) | CoherenceVerdict::Vacuous => {}
+        }
+    }
+    verdict
 }
 
 /// Participant count above which the sweep in [`check_coherence`] shards

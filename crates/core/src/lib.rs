@@ -86,6 +86,8 @@ pub mod hash;
 pub mod memo;
 pub mod monitor;
 pub mod name;
+#[cfg(feature = "telemetry")]
+mod obs;
 pub mod replica;
 pub mod report;
 pub mod resolve;

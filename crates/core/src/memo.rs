@@ -81,6 +81,15 @@ impl MemoStats {
     }
 }
 
+/// Probes between pushes of the local [`MemoStats`] into the global
+/// metrics registry. Mirroring per batch rather than per operation keeps
+/// the probe hot path free of atomics (a validated hit is ~15 ns; one
+/// relaxed `fetch_add` would be a measurable fraction of that). The
+/// remainder is flushed on [`Drop`], so registry totals are exact once
+/// the memo is gone.
+#[cfg(feature = "telemetry")]
+const MIRROR_BATCH: u64 = 1024;
+
 /// One recorded dependency: a traversed context and the generation its
 /// version counter showed during the memoized resolution.
 type Dep = (ObjectId, u64);
@@ -200,11 +209,27 @@ pub struct ResolutionMemo {
     tail: u32,
     capacity: usize,
     stats: MemoStats,
+    /// The prefix of `stats` already pushed to the global metrics
+    /// registry (see `mirror_stats`). Note that cloning a memo clones any
+    /// not-yet-mirrored remainder with it, so both copies will eventually
+    /// flush it — registry totals are aggregates, per-memo `stats()` is
+    /// the exact record.
+    #[cfg(feature = "telemetry")]
+    mirrored: MemoStats,
 }
 
 impl Default for ResolutionMemo {
     fn default() -> ResolutionMemo {
         ResolutionMemo::with_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+}
+
+/// Flushes the not-yet-mirrored counter remainder, so registry totals
+/// are exact once every memo has been dropped.
+#[cfg(feature = "telemetry")]
+impl Drop for ResolutionMemo {
+    fn drop(&mut self) {
+        self.mirror_stats();
     }
 }
 
@@ -229,6 +254,8 @@ impl ResolutionMemo {
             tail: NIL,
             capacity,
             stats: MemoStats::default(),
+            #[cfg(feature = "telemetry")]
+            mirrored: MemoStats::default(),
         }
     }
 
@@ -254,7 +281,44 @@ impl ResolutionMemo {
 
     /// Resets the counters (entries are kept).
     pub fn reset_stats(&mut self) {
+        #[cfg(feature = "telemetry")]
+        self.mirror_stats();
         self.stats = MemoStats::default();
+        #[cfg(feature = "telemetry")]
+        {
+            self.mirrored = MemoStats::default();
+        }
+    }
+
+    /// Pushes the counter deltas since the last flush into the global
+    /// metrics registry (`memo.*`), so memo behavior shows up in
+    /// `--metrics` snapshots alongside the other subsystems.
+    #[cfg(feature = "telemetry")]
+    fn mirror_stats(&mut self) {
+        macro_rules! push {
+            ($field:ident, $name:literal) => {
+                let d = self.stats.$field.saturating_sub(self.mirrored.$field);
+                if d > 0 {
+                    naming_telemetry::counter!($name).add(d);
+                }
+            };
+        }
+        push!(hits, "memo.hits");
+        push!(misses, "memo.misses");
+        push!(invalidations, "memo.invalidations");
+        push!(evictions, "memo.evictions");
+        push!(inserts, "memo.inserts");
+        self.mirrored = self.stats;
+    }
+
+    /// Flushes to the registry every [`MIRROR_BATCH`] probes. Each probe
+    /// bumps exactly one of `hits`/`misses`, so their sum counts probes.
+    #[inline]
+    fn maybe_mirror(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if (self.stats.hits + self.stats.misses).is_multiple_of(MIRROR_BATCH) {
+            self.mirror_stats();
+        }
     }
 
     /// Drops every entry (counters are kept).
@@ -278,9 +342,10 @@ impl ResolutionMemo {
     ) -> Option<Entity> {
         let Some(slot) = self.lookup(start, suffix) else {
             self.stats.misses += 1;
+            self.maybe_mirror();
             return None;
         };
-        if self.validate(state, slot) {
+        let out = if self.validate(state, slot) {
             self.stats.hits += 1;
             self.touch(slot);
             Some(self.slots[slot as usize].entity)
@@ -289,7 +354,9 @@ impl ResolutionMemo {
             self.stats.misses += 1;
             self.remove_slot(slot);
             None
-        }
+        };
+        self.maybe_mirror();
+        out
     }
 
     /// Validating probe that also returns the entry's recorded dependency
@@ -303,9 +370,10 @@ impl ResolutionMemo {
     ) -> Option<(Entity, Box<[Dep]>)> {
         let Some(slot) = self.lookup(start, suffix) else {
             self.stats.misses += 1;
+            self.maybe_mirror();
             return None;
         };
-        if self.validate(state, slot) {
+        let out = if self.validate(state, slot) {
             self.stats.hits += 1;
             self.touch(slot);
             let s = &self.slots[slot as usize];
@@ -315,7 +383,9 @@ impl ResolutionMemo {
             self.stats.misses += 1;
             self.remove_slot(slot);
             None
-        }
+        };
+        self.maybe_mirror();
+        out
     }
 
     /// Like [`ResolutionMemo::probe`] but *without* validation: returns
@@ -327,9 +397,11 @@ impl ResolutionMemo {
     pub fn probe_stale(&mut self, start: ObjectId, suffix: &[Name]) -> Option<Entity> {
         let Some(slot) = self.lookup(start, suffix) else {
             self.stats.misses += 1;
+            self.maybe_mirror();
             return None;
         };
         self.stats.hits += 1;
+        self.maybe_mirror();
         self.touch(slot);
         Some(self.slots[slot as usize].entity)
     }

@@ -22,7 +22,24 @@ pub struct Observation {
     pub label: String,
     /// The audit statistics at this step.
     pub stats: CoherenceStats,
+    /// Ids of the `naming-telemetry` resolution traces the audit
+    /// recorded while producing `stats` — the *explanation* of any drift:
+    /// each id names a full per-hop trace of one participant's
+    /// resolution. Empty unless the caller passed a [`TraceHandle`] to
+    /// [`CoherenceMonitor::observe`] and a recorder was active (requires
+    /// the `telemetry` feature).
+    pub trace_ids: Vec<u64>,
 }
+
+/// Opt-in marker asking [`CoherenceMonitor::observe`] to link the
+/// observation to the resolution traces its audit records.
+///
+/// The type exists without the `telemetry` feature so call sites are
+/// feature-independent; without the feature (or without an installed
+/// recorder) passing it is a no-op and
+/// [`Observation::trace_ids`] stays empty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceHandle;
 
 /// A coherence time series over a fixed audit specification.
 #[derive(Debug)]
@@ -41,6 +58,10 @@ impl CoherenceMonitor {
     }
 
     /// Takes one observation.
+    ///
+    /// Passing `Some(&TraceHandle)` links the observation to the
+    /// resolution traces recorded during the audit (see
+    /// [`Observation::trace_ids`]); `None` skips the linkage.
     pub fn observe(
         &mut self,
         label: impl Into<String>,
@@ -48,11 +69,23 @@ impl CoherenceMonitor {
         registry: &ContextRegistry,
         rule: &(dyn ResolutionRule + Sync),
         replicas: Option<&ReplicaRegistry>,
+        trace: Option<&TraceHandle>,
     ) -> &Observation {
+        #[cfg(feature = "telemetry")]
+        let mark = trace.map(|_| naming_telemetry::recorder::trace_count());
+        #[cfg(not(feature = "telemetry"))]
+        let _ = trace;
         let report = audit_run(state, registry, rule, &self.spec, replicas);
+        #[cfg(feature = "telemetry")]
+        let trace_ids = mark
+            .map(naming_telemetry::recorder::trace_ids_since)
+            .unwrap_or_default();
+        #[cfg(not(feature = "telemetry"))]
+        let trace_ids = Vec::new();
         self.series.push(Observation {
             label: label.into(),
             stats: report.stats,
+            trace_ids,
         });
         self.series.last().expect("just pushed")
     }
@@ -156,7 +189,7 @@ mod tests {
         let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
         assert!(mon.is_empty());
         let o0 = mon
-            .observe("0", &sys, &reg, &StandardRule::OfResolver, None)
+            .observe("0", &sys, &reg, &StandardRule::OfResolver, None, None)
             .stats
             .clone();
         assert_eq!(o0.coherent, 1); // /common
@@ -172,7 +205,7 @@ mod tests {
             sys.bind(ctx, Name::new("etc"), shared_etc).unwrap();
         }
         let o1 = mon
-            .observe("1", &sys, &reg, &StandardRule::OfResolver, None)
+            .observe("1", &sys, &reg, &StandardRule::OfResolver, None, None)
             .stats
             .clone();
         assert_eq!(o1.coherent, 2);
@@ -188,7 +221,7 @@ mod tests {
         let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
         let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
         assert_eq!(mon.drift(), 0.0);
-        mon.observe("only", &sys, &reg, &StandardRule::OfResolver, None);
+        mon.observe("only", &sys, &reg, &StandardRule::OfResolver, None, None);
         assert_eq!(mon.drift(), 0.0);
         assert_eq!(mon.series().len(), 1);
     }

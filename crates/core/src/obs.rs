@@ -1,0 +1,152 @@
+//! Telemetry glue: translates core types into the raw-id records of
+//! `naming-telemetry`.
+//!
+//! Compiled only with the `telemetry` feature. Every helper begins with an
+//! [`recorder::is_active`] check (or is called behind one), so with no
+//! recorder installed on the current thread the hooks are a thread-local
+//! read and allocate nothing — resolution under an inactive recorder costs
+//! one branch per resolution, not per hop.
+//!
+//! The memoized resolver's whole-name hits are recorded with
+//! `Outcome::Resolved("⊥")` when the memoized entity is undefined: the
+//! original ⊥-cause was not re-derived, and the trace's memo verdict
+//! already tells that story.
+
+use naming_telemetry::recorder;
+pub(crate) use naming_telemetry::trace::{BottomCause, MemoEvent, Outcome};
+
+use crate::entity::{Entity, ObjectId};
+use crate::name::{CompoundName, Name};
+use crate::resolve::{Resolution, ResolveError};
+use crate::state::SystemState;
+
+/// The generation shown for a hop: the context's version counter, or 0
+/// when the object consulted is not a context.
+pub(crate) fn generation(state: &SystemState, id: ObjectId) -> u64 {
+    state.context(id).map_or(0, |c| c.version())
+}
+
+fn cause_of(err: &ResolveError) -> BottomCause {
+    match err {
+        ResolveError::Unbound { at, .. } => BottomCause::Unbound { at: *at },
+        ResolveError::NotAContext { at, .. } => BottomCause::NotAContext { at: *at },
+        ResolveError::DepthExceeded { limit } => BottomCause::DepthExceeded { limit: *limit },
+    }
+}
+
+/// Opens a resolution span. Returns false (and records nothing) when no
+/// recorder is installed.
+pub(crate) fn begin(start: ObjectId, name: &CompoundName) -> bool {
+    recorder::is_active() && recorder::start_resolution(start.index() as u64, &name.to_string())
+}
+
+/// Records one walked hop.
+pub(crate) fn hop(state: &SystemState, ctx: ObjectId, comp: Name, result: Entity, memo: MemoEvent) {
+    recorder::hop(
+        ctx.index() as u64,
+        generation(state, ctx),
+        comp.as_ref(),
+        result.to_string(),
+        memo,
+    );
+}
+
+/// Records a mid-path memo hit: one hop covering the whole remaining
+/// suffix.
+pub(crate) fn suffix_hit(state: &SystemState, ctx: ObjectId, suffix: &[Name], entity: Entity) {
+    let rendered: Vec<String> = suffix.iter().map(Name::to_string).collect();
+    recorder::hop(
+        ctx.index() as u64,
+        generation(state, ctx),
+        &rendered.join("/"),
+        entity.to_string(),
+        MemoEvent::Hit,
+    );
+}
+
+/// Sets the whole-name memo verdict for the open resolution.
+pub(crate) fn whole_probe_missed(invalidated: bool) {
+    recorder::set_memo(if invalidated {
+        MemoEvent::Invalidated
+    } else {
+        MemoEvent::Miss
+    });
+}
+
+/// Closes the open resolution with a whole-name memo hit.
+pub(crate) fn finish_memo_hit(entity: Entity) {
+    recorder::set_memo(MemoEvent::Hit);
+    recorder::finish_resolution(Outcome::Resolved(entity.to_string()));
+}
+
+/// Closes the open resolution after a walk: a defined entity resolves, an
+/// undefined one records its ⊥-cause when the walk determined one.
+pub(crate) fn finish_walk(entity: Entity, cause: Option<BottomCause>) {
+    let outcome = if entity == Entity::Undefined {
+        match cause {
+            Some(c) => Outcome::Bottom(c),
+            None => Outcome::Resolved(entity.to_string()),
+        }
+    } else {
+        Outcome::Resolved(entity.to_string())
+    };
+    recorder::finish_resolution(outcome);
+}
+
+/// Records a completed plain (unmemoized) resolution by replaying its
+/// path into the recorder. Called after the walk so the hot path carries
+/// no per-hop bookkeeping; on failure the walked prefix is re-derived
+/// from the (unchanged within this call) state.
+pub(crate) fn plain_resolution(
+    state: &SystemState,
+    start: ObjectId,
+    name: &CompoundName,
+    out: &Result<Resolution, ResolveError>,
+) {
+    if !begin(start, name) {
+        return;
+    }
+    match out {
+        Ok(res) => {
+            for step in &res.steps {
+                hop(
+                    state,
+                    step.context,
+                    step.component,
+                    step.result,
+                    MemoEvent::None,
+                );
+            }
+            recorder::finish_resolution(Outcome::Resolved(res.entity.to_string()));
+        }
+        Err(err) => {
+            if let ResolveError::Unbound { at, .. } | ResolveError::NotAContext { at, .. } = err {
+                let mut ctx = start;
+                for &comp in name.components().iter().take(at + 1) {
+                    let result = state.lookup(ctx, comp);
+                    hop(state, ctx, comp, result, MemoEvent::None);
+                    match result {
+                        Entity::Object(o) if state.is_context_object(o) => ctx = o,
+                        _ => break,
+                    }
+                }
+            }
+            recorder::finish_resolution(Outcome::Bottom(cause_of(err)));
+        }
+    }
+}
+
+/// Records a resolution that produced ⊥ because the closure mechanism
+/// selected no context (`R(m)` undefined).
+pub(crate) fn no_context_selected(name: &CompoundName) {
+    if recorder::is_active() {
+        recorder::bottom_resolution(&name.to_string());
+    }
+}
+
+/// Notes the closure-rule circumstances for the resolution about to run.
+pub(crate) fn note_meta(rule: &str, resolver: crate::entity::ActivityId, source: &'static str) {
+    if recorder::is_active() {
+        recorder::note_meta(rule, resolver.index() as u64, source);
+    }
+}

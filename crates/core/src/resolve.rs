@@ -184,6 +184,24 @@ impl Resolver {
         start: ObjectId,
         name: &CompoundName,
     ) -> Result<Resolution, ResolveError> {
+        let out = self.resolve_impl(state, start, name);
+        #[cfg(feature = "telemetry")]
+        {
+            crate::obs::plain_resolution(state, start, name, &out);
+            // The histogram's count doubles as the plain-resolution
+            // counter; no separate counter bump on this hot path.
+            naming_telemetry::histogram!("resolve.depth").record(name.len() as u64);
+        }
+        out
+    }
+
+    /// The walk itself, free of observation hooks.
+    fn resolve_impl(
+        &self,
+        state: &SystemState,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> Result<Resolution, ResolveError> {
         if name.len() > self.depth_limit {
             return Err(ResolveError::DepthExceeded {
                 limit: self.depth_limit,
@@ -268,9 +286,21 @@ impl Resolver {
         if comps.len() > self.depth_limit {
             return Entity::Undefined;
         }
+        #[cfg(feature = "telemetry")]
+        let tracing = crate::obs::begin(start, name);
+        #[cfg(feature = "telemetry")]
+        let invalidations_before = memo.stats().invalidations;
         // Hot path: the whole name is memoized and still current.
         if let Some(e) = memo.probe(state, start, comps) {
+            #[cfg(feature = "telemetry")]
+            if tracing {
+                crate::obs::finish_memo_hit(e);
+            }
             return e;
+        }
+        #[cfg(feature = "telemetry")]
+        if tracing {
+            crate::obs::whole_probe_missed(memo.stats().invalidations > invalidations_before);
         }
         // Walk the path, probing shorter suffixes as we go and recording
         // the generation of every context we read.
@@ -278,10 +308,28 @@ impl Resolver {
         let mut deps: Vec<(ObjectId, u64)> = Vec::with_capacity(comps.len());
         let mut ctx = start;
         let mut i = 0;
+        #[cfg(feature = "telemetry")]
+        let mut bottom: Option<crate::obs::BottomCause> = None;
         let (entity, tail): (Entity, Box<[(ObjectId, u64)]>) = loop {
+            #[cfg(feature = "telemetry")]
+            let mut hop_memo = crate::obs::MemoEvent::None;
             if i > 0 {
+                #[cfg(feature = "telemetry")]
+                let suffix_invalidations = memo.stats().invalidations;
                 if let Some(hit) = memo.probe_with_deps(state, ctx, &comps[i..]) {
+                    #[cfg(feature = "telemetry")]
+                    if tracing {
+                        crate::obs::suffix_hit(state, ctx, &comps[i..], hit.0);
+                    }
                     break hit;
+                }
+                #[cfg(feature = "telemetry")]
+                {
+                    hop_memo = if memo.stats().invalidations > suffix_invalidations {
+                        crate::obs::MemoEvent::Invalidated
+                    } else {
+                        crate::obs::MemoEvent::Miss
+                    };
                 }
             }
             positions.push(ctx);
@@ -290,12 +338,26 @@ impl Resolver {
                 // of the name denotes ⊥. No generation to record — an
                 // object's kind can only change through the epoch-bumping
                 // escape hatches, and the epoch stamp covers that.
+                #[cfg(feature = "telemetry")]
+                {
+                    bottom = Some(crate::obs::BottomCause::NotAContext {
+                        at: i.saturating_sub(1),
+                    });
+                }
                 break (Entity::Undefined, Box::default());
             };
             deps.push((ctx, c.version()));
             let result = c.lookup(comps[i]);
+            #[cfg(feature = "telemetry")]
+            if tracing {
+                crate::obs::hop(state, ctx, comps[i], result, hop_memo);
+            }
             i += 1;
             if result == Entity::Undefined {
+                #[cfg(feature = "telemetry")]
+                {
+                    bottom = Some(crate::obs::BottomCause::Unbound { at: i - 1 });
+                }
                 break (Entity::Undefined, Box::default());
             }
             if i == comps.len() {
@@ -304,9 +366,19 @@ impl Resolver {
             match result {
                 Entity::Object(o) => ctx = o,
                 // Activities are not contexts; traversal dies here.
-                _ => break (Entity::Undefined, Box::default()),
+                _ => {
+                    #[cfg(feature = "telemetry")]
+                    {
+                        bottom = Some(crate::obs::BottomCause::NotAContext { at: i - 1 });
+                    }
+                    break (Entity::Undefined, Box::default());
+                }
             }
         };
+        #[cfg(feature = "telemetry")]
+        if tracing {
+            crate::obs::finish_walk(entity, bottom);
+        }
         // Resolution is suffix-compositional: every visited position j
         // resolves comps[j..] to the same final entity through the same
         // tail of the path, depending on the contexts from j onward.

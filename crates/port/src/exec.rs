@@ -124,6 +124,45 @@ impl ExecService {
         label: &str,
         args: &[CompoundName],
     ) -> ExecOutcome {
+        let out = self.remote_exec_impl(world, parent, target, label, args);
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("exec.requests").bump();
+            if out.child.is_none() {
+                naming_telemetry::counter!("exec.failures").bump();
+            }
+            naming_telemetry::histogram!("exec.latency_ticks").record(out.latency.ticks());
+            naming_telemetry::histogram!("exec.messages").record(out.messages);
+            if naming_telemetry::recorder::is_active() {
+                naming_telemetry::recorder::span(
+                    "exec",
+                    format!("exec {label} @ {}", world.topology().machine_name(target)),
+                    world.now().ticks() - out.latency.ticks(),
+                    world.now().ticks(),
+                    vec![
+                        (
+                            "parent".into(),
+                            world.state().activity_label(parent).to_string(),
+                        ),
+                        ("args".into(), args.len().to_string()),
+                        ("spawned".into(), out.child.is_some().to_string()),
+                        ("messages".into(), out.messages.to_string()),
+                    ],
+                );
+            }
+        }
+        out
+    }
+
+    /// The exec round trip itself, free of observation hooks.
+    fn remote_exec_impl(
+        &mut self,
+        world: &mut World,
+        parent: ActivityId,
+        target: MachineId,
+        label: &str,
+        args: &[CompoundName],
+    ) -> ExecOutcome {
         let id = self.next_id;
         self.next_id += 1;
         let sent0 = world.trace().counter("sent");

@@ -20,6 +20,7 @@
 use naming_core::entity::{ActivityId, Entity, ObjectId};
 use naming_core::memo::ResolutionMemo;
 use naming_core::name::CompoundName;
+use naming_core::report::json_string;
 use naming_core::resolve::Resolver;
 use naming_core::state::SystemState;
 use naming_sim::world::World;
@@ -53,6 +54,24 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Renders the statistics — including the derived
+    /// [`hit_rate`](CacheStats::hit_rate) — as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{{}: {}, {}: {}, {}: {}, {}: {}, {}: {:.6}}}",
+            json_string("hits"),
+            self.hits,
+            json_string("misses"),
+            self.misses,
+            json_string("invalidations"),
+            self.invalidations,
+            json_string("evictions"),
+            self.evictions,
+            json_string("hit_rate"),
+            self.hit_rate()
+        )
     }
 }
 
@@ -136,8 +155,12 @@ impl CachingResolver {
         mode: Mode,
     ) -> (Entity, bool) {
         if let Some(e) = self.memo.probe_stale(start, name.components()) {
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.hits").bump();
             return (e, true);
         }
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("cache.misses").bump();
         let stats: ResolveStats = self.engine.resolve(world, client, start, name, mode);
         if stats.entity.is_defined() {
             let deps = path_deps(world.state(), start, name);
@@ -248,6 +271,24 @@ mod tests {
         assert_eq!(r.stats().misses, 1);
         assert!((r.stats().hit_rate() - 0.5).abs() < 1e-9);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate_and_json() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+            evictions: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let json = s.to_json();
+        assert_eq!(
+            json,
+            "{\"hits\": 3, \"misses\": 1, \"invalidations\": 2, \
+             \"evictions\": 0, \"hit_rate\": 0.750000}"
+        );
     }
 
     #[test]

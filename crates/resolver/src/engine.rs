@@ -83,6 +83,42 @@ impl ProtocolEngine {
         name: &CompoundName,
         mode: Mode,
     ) -> ResolveStats {
+        let stats = self.resolve_impl(world, client, start, name, mode);
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("protocol.resolves").bump();
+            naming_telemetry::histogram!("protocol.latency_ticks").record(stats.latency.ticks());
+            naming_telemetry::histogram!("protocol.messages").record(stats.messages);
+            if naming_telemetry::recorder::is_active() {
+                naming_telemetry::recorder::span(
+                    "protocol",
+                    format!("{mode:?} {name}"),
+                    world.now().ticks() - stats.latency.ticks(),
+                    world.now().ticks(),
+                    vec![
+                        (
+                            "client".into(),
+                            world.state().activity_label(client).to_string(),
+                        ),
+                        ("entity".into(), stats.entity.to_string()),
+                        ("messages".into(), stats.messages.to_string()),
+                        ("servers".into(), stats.servers_touched.to_string()),
+                    ],
+                );
+            }
+        }
+        stats
+    }
+
+    /// The protocol walk itself, free of observation hooks.
+    fn resolve_impl(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        name: &CompoundName,
+        mode: Mode,
+    ) -> ResolveStats {
         let t0 = world.now();
         let sent0 = world.trace().counter("sent");
         let mut servers_touched = 0u32;

@@ -227,6 +227,40 @@ impl NameService {
         start: ObjectId,
         name: &CompoundName,
     ) -> Outcome {
+        let out = self.local_resolve_impl(world, machine, start, name);
+        #[cfg(feature = "telemetry")]
+        {
+            match &out {
+                Outcome::Resolved(_) => naming_telemetry::counter!("service.resolved").bump(),
+                Outcome::Referral { next_machine, .. } => {
+                    naming_telemetry::counter!("service.referrals").bump();
+                    if naming_telemetry::recorder::is_active() {
+                        naming_telemetry::recorder::instant(
+                            "protocol",
+                            format!(
+                                "referral {name} {} -> {}",
+                                world.topology().machine_name(machine),
+                                world.topology().machine_name(*next_machine)
+                            ),
+                            Vec::new(),
+                        );
+                    }
+                }
+                Outcome::NotFound => naming_telemetry::counter!("service.not_found").bump(),
+                Outcome::WrongServer => naming_telemetry::counter!("service.wrong_server").bump(),
+            }
+        }
+        out
+    }
+
+    /// The authoritative walk itself, free of observation hooks.
+    fn local_resolve_impl(
+        &self,
+        world: &World,
+        machine: MachineId,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> Outcome {
         if self.machine_of_object(start) != Some(machine) {
             return Outcome::WrongServer;
         }

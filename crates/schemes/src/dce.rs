@@ -105,6 +105,14 @@ impl Dce {
     pub fn spawn(&mut self, world: &mut World, machine: MachineId, label: &str) -> ActivityId {
         let pid = world.spawn(machine, label, None);
         self.processes.push(pid);
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            naming_telemetry::recorder::instant(
+                "scheme",
+                format!("dce spawn {}", world.state().activity_label(pid)),
+                Vec::new(),
+            );
+        }
         pid
     }
 
@@ -117,7 +125,19 @@ impl Dce {
         let rest = name.strip_prefix(&[Name::root(), Name::new(CELL_POINT)])?;
         let mut comps = vec![Name::root(), Name::new(GLOBAL_POINT), Name::new(&cell.name)];
         comps.extend(rest.components().iter().copied());
-        CompoundName::new(comps).ok()
+        let global = CompoundName::new(comps).ok()?;
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("scheme.dce.globalized").bump();
+            if naming_telemetry::recorder::is_active() {
+                naming_telemetry::recorder::instant(
+                    "scheme",
+                    format!("dce globalize {name} -> {global}"),
+                    Vec::new(),
+                );
+            }
+        }
+        Some(global)
     }
 
     /// True if the name is global (`/...`-prefixed).

@@ -126,6 +126,17 @@ impl Federation {
         let to_root = self.systems[to.0].root;
         store::attach(world.state_mut(), from_root, link_name, to_root, false);
         self.links.push((from, to, Name::new(link_name)));
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            naming_telemetry::recorder::instant(
+                "scheme",
+                format!(
+                    "federation cross-link sys{} -> sys{} as {link_name}",
+                    from.0, to.0
+                ),
+                Vec::new(),
+            );
+        }
     }
 
     /// The link name under which `to` is attached in `from`, if linked.
@@ -157,7 +168,19 @@ impl Federation {
         }
         let mut comps = vec![Name::root(), link];
         comps.extend(name.components()[1..].iter().copied());
-        CompoundName::new(comps).ok()
+        let mapped = CompoundName::new(comps).ok()?;
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("scheme.federation.mapped").bump();
+            if naming_telemetry::recorder::is_active() {
+                naming_telemetry::recorder::instant(
+                    "scheme",
+                    format!("federation map {name} -> {mapped}"),
+                    Vec::new(),
+                );
+            }
+        }
+        Some(mapped)
     }
 
     /// Attaches a shared name space under the *same* name in every listed
@@ -222,6 +245,17 @@ impl Federation {
                 }
                 None => burden.unreachable += 1,
             }
+        }
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            naming_telemetry::recorder::instant(
+                "scheme",
+                format!(
+                    "federation mapping burden: {} coherent, {} mapped, {} unreachable",
+                    burden.coherent, burden.needs_mapping, burden.unreachable
+                ),
+                Vec::new(),
+            );
         }
         burden
     }

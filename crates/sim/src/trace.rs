@@ -94,8 +94,18 @@ impl TraceLog {
     }
 
     /// Increments a named counter.
+    ///
+    /// With the `telemetry` feature the increment is mirrored into the
+    /// process-wide [`naming_telemetry::metrics`] registry (under a
+    /// `sim.`-prefixed name for the standard event counters), so metric
+    /// snapshots aggregate across worlds. [`TraceLog::clear`] does not
+    /// rewind the mirror: registry counters are monotone.
     pub fn bump(&mut self, key: &'static str) {
         *self.counters.entry(key).or_insert(0) += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::metrics::global()
+            .counter(mirror_name(key))
+            .bump();
     }
 
     /// A counter's current value (0 if never bumped).
@@ -122,6 +132,23 @@ impl TraceLog {
     pub fn clear(&mut self) {
         self.events.clear();
         self.counters.clear();
+    }
+}
+
+/// The global-metrics name a trace counter is mirrored under: the standard
+/// event counters gain a `sim.` prefix; ad-hoc caller keys pass through.
+#[cfg(feature = "telemetry")]
+fn mirror_name(key: &'static str) -> &'static str {
+    match key {
+        "resolved" => "sim.resolved",
+        "sent" => "sim.sent",
+        "delivered" => "sim.delivered",
+        "spawned" => "sim.spawned",
+        "renumbered" => "sim.renumbered",
+        "lost" => "sim.lost",
+        "unroutable" => "sim.unroutable",
+        "dropped" => "sim.dropped",
+        other => other,
     }
 }
 

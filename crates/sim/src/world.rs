@@ -127,6 +127,62 @@ impl World {
         }
     }
 
+    // --- telemetry ---------------------------------------------------------
+
+    /// Keeps an installed recorder's virtual clock in step with the
+    /// world's, so resolutions and simulator events land on one timeline.
+    #[cfg(feature = "telemetry")]
+    fn sync_clock(&self) {
+        naming_telemetry::recorder::set_clock(self.clock.ticks());
+    }
+
+    /// Emits a `message` span covering the virtual-time transit of a
+    /// delivered message.
+    #[cfg(feature = "telemetry")]
+    fn observe_delivery(&self, msg: &Message) {
+        let fm = self.processes[&msg.from].machine;
+        let tm = self.processes[&msg.to].machine;
+        naming_telemetry::recorder::span(
+            "message",
+            format!(
+                "{} -> {}",
+                self.state.activity_label(msg.from),
+                self.state.activity_label(msg.to)
+            ),
+            msg.sent_at.ticks(),
+            self.clock.ticks(),
+            vec![
+                (
+                    "from_machine".into(),
+                    self.topology.machine_name(fm).to_string(),
+                ),
+                (
+                    "to_machine".into(),
+                    self.topology.machine_name(tm).to_string(),
+                ),
+                ("names".into(), msg.name_count().to_string()),
+            ],
+        );
+    }
+
+    /// Emits a `message` instant for a message that never reached its
+    /// receiver (`why` is `"lost"`, `"unroutable"`, or `"dropped"`).
+    #[cfg(feature = "telemetry")]
+    fn observe_undelivered(&self, why: &str, from: ActivityId, to: ActivityId) {
+        if naming_telemetry::recorder::is_active() {
+            self.sync_clock();
+            naming_telemetry::recorder::instant(
+                "message",
+                format!(
+                    "{why}: {} -> {}",
+                    self.state.activity_label(from),
+                    self.state.activity_label(to)
+                ),
+                Vec::new(),
+            );
+        }
+    }
+
     // --- fault injection ---------------------------------------------------
 
     /// Sets the probability that any message is lost in transit
@@ -227,17 +283,19 @@ impl World {
     pub fn renumber_machine(&mut self, m: MachineId) -> crate::topology::MachineAddr {
         let fresh = self.topology.fresh_machine_addr();
         let old = self.topology.renumber_machine(m, fresh);
-        self.trace.record(
-            self.clock,
-            TraceEvent::Renumbered {
-                what: format!(
-                    "machine {} {} -> {}",
-                    self.topology.machine_name(m),
-                    old,
-                    fresh
-                ),
-            },
+        let what = format!(
+            "machine {} {} -> {}",
+            self.topology.machine_name(m),
+            old,
+            fresh
         );
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            self.sync_clock();
+            naming_telemetry::recorder::instant("sim", format!("renumber {what}"), Vec::new());
+        }
+        self.trace
+            .record(self.clock, TraceEvent::Renumbered { what });
         fresh
     }
 
@@ -246,17 +304,19 @@ impl World {
     pub fn renumber_network(&mut self, n: NetworkId) -> crate::topology::NetAddr {
         let fresh = self.topology.fresh_net_addr();
         let old = self.topology.renumber_network(n, fresh);
-        self.trace.record(
-            self.clock,
-            TraceEvent::Renumbered {
-                what: format!(
-                    "network {} {} -> {}",
-                    self.topology.network_name(n),
-                    old,
-                    fresh
-                ),
-            },
+        let what = format!(
+            "network {} {} -> {}",
+            self.topology.network_name(n),
+            old,
+            fresh
         );
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            self.sync_clock();
+            naming_telemetry::recorder::instant("sim", format!("renumber {what}"), Vec::new());
+        }
+        self.trace
+            .record(self.clock, TraceEvent::Renumbered { what });
         fresh
     }
 
@@ -341,6 +401,18 @@ impl World {
         self.state.activity_state_mut(pid).tag = machine.0 as u64;
         self.trace
             .record(self.clock, TraceEvent::Spawned { pid, parent });
+        #[cfg(feature = "telemetry")]
+        if naming_telemetry::recorder::is_active() {
+            self.sync_clock();
+            naming_telemetry::recorder::instant(
+                "sim",
+                format!("spawn {}", self.state.activity_label(pid)),
+                vec![(
+                    "machine".into(),
+                    self.topology.machine_name(machine).to_string(),
+                )],
+            );
+        }
         pid
     }
 
@@ -435,6 +507,10 @@ impl World {
             resolver: pid,
             source,
         };
+        // Core traces the resolution itself; keep its timestamps on the
+        // simulated timeline.
+        #[cfg(feature = "telemetry")]
+        self.sync_clock();
         let entity =
             naming_core::closure::resolve_with_rule(&self.state, &self.registry, rule, &m, name);
         self.trace.record(
@@ -477,10 +553,14 @@ impl World {
         );
         if !self.link_up(fm, tm) {
             self.trace.bump("unroutable");
+            #[cfg(feature = "telemetry")]
+            self.observe_undelivered("unroutable", from, to);
             return;
         }
         if self.faults.drop_rate > 0.0 && self.rng.chance(self.faults.drop_rate) {
             self.trace.bump("lost");
+            #[cfg(feature = "telemetry")]
+            self.observe_undelivered("lost", from, to);
             return;
         }
         let latency = self.topology.latency(fm, tm);
@@ -496,6 +576,13 @@ impl World {
             Some((time, SimEvent::Deliver(msg))) => {
                 self.clock = time;
                 let (from, to) = (msg.from, msg.to);
+                #[cfg(feature = "telemetry")]
+                if naming_telemetry::recorder::is_active() {
+                    self.sync_clock();
+                    if self.processes.get(&to).map(|p| p.alive) == Some(true) {
+                        self.observe_delivery(&msg);
+                    }
+                }
                 if let Some(p) = self.processes.get_mut(&to) {
                     if p.alive {
                         p.mailbox.push_back(msg);
@@ -503,6 +590,8 @@ impl World {
                             .record(self.clock, TraceEvent::MessageDelivered { from, to });
                     } else {
                         self.trace.bump("dropped");
+                        #[cfg(feature = "telemetry")]
+                        self.observe_undelivered("dropped", from, to);
                     }
                 }
                 true

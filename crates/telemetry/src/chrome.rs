@@ -1,0 +1,313 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Renders a [`TraceData`] as the Chrome trace-event JSON format, loadable
+//! in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`. The
+//! mapping from the simulator's virtual time to trace microseconds is
+//! **1 tick = 1000 µs**, with each record additionally offset by
+//! `seq % 1000` µs inside its tick so that records sharing a tick appear
+//! in recording order instead of stacking on one instant.
+//!
+//! Timeline layout:
+//!
+//! * one *process* per recorder track (one track per experiment in the
+//!   `experiments` binary), named via `process_name` metadata;
+//! * one *thread* lane per category — resolutions, messages, protocol
+//!   round-trips, coherence verdicts, remote exec, scheme operations and
+//!   other simulator events each get their own row.
+//!
+//! Resolutions are complete (`"ph":"X"`) slices whose duration is the hop
+//! count in µs (so deeper walks render wider); spans keep their tick
+//! duration; everything else is an instant (`"ph":"i"`).
+
+use std::io;
+use std::path::Path;
+
+use crate::json::json_string;
+use crate::trace::{Event, ResolutionTrace, TraceData};
+
+/// Thread-lane ids, one per category, in display order.
+const LANES: &[(&str, u64)] = &[
+    ("resolution", 1),
+    ("message", 2),
+    ("protocol", 3),
+    ("coherence", 4),
+    ("exec", 5),
+    ("scheme", 6),
+    ("sim", 7),
+];
+
+fn lane(cat: &str) -> u64 {
+    LANES
+        .iter()
+        .find(|(name, _)| *name == cat)
+        .map_or(7, |&(_, tid)| tid)
+}
+
+fn ts_us(ts_ticks: u64, seq: u64) -> u64 {
+    ts_ticks.saturating_mul(1000) + seq % 1000
+}
+
+fn push_args(out: &mut String, args: &[(String, String)]) {
+    out.push_str("\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&json_string(v));
+    }
+    out.push('}');
+}
+
+fn push_metadata(out: &mut String, kind: &str, pid: u64, tid: Option<u64>, name: &str) {
+    out.push_str(&format!("{{\"ph\":\"M\",\"pid\":{pid},"));
+    if let Some(tid) = tid {
+        out.push_str(&format!("\"tid\":{tid},"));
+    }
+    out.push_str(&format!("\"name\":{},", json_string(kind)));
+    push_args(out, &[("name".to_string(), name.to_string())]);
+    out.push('}');
+}
+
+fn resolution_args(r: &ResolutionTrace) -> Vec<(String, String)> {
+    let mut args = vec![
+        ("trace_id".to_string(), r.id.to_string()),
+        ("name".to_string(), r.name.clone()),
+        ("start_context".to_string(), r.start.to_string()),
+    ];
+    if let Some(rule) = &r.rule {
+        args.push(("rule".to_string(), rule.clone()));
+    }
+    if let Some(resolver) = r.resolver {
+        args.push(("resolver".to_string(), resolver.to_string()));
+    }
+    if let Some(source) = r.source {
+        args.push(("source".to_string(), source.to_string()));
+    }
+    args.push(("memo".to_string(), r.memo.label().to_string()));
+    args.push(("outcome".to_string(), r.outcome.render()));
+    args.push(("hops".to_string(), r.hops.len().to_string()));
+    for (i, hop) in r.hops.iter().enumerate() {
+        args.push((
+            format!("hop{i}"),
+            format!(
+                "ctx {}@g{}: {} -> {} [{}]",
+                hop.context,
+                hop.generation,
+                hop.component,
+                hop.result,
+                hop.memo.label()
+            ),
+        ));
+    }
+    args
+}
+
+fn push_resolution(out: &mut String, r: &ResolutionTrace) {
+    let dur = (r.hops.len() as u64).max(1);
+    out.push_str(&format!(
+        "{{\"ph\":\"X\",\"pid\":{},\"tid\":1,\"ts\":{},\"dur\":{},\"cat\":\"resolution\",\"name\":{},",
+        r.track,
+        ts_us(r.ts, r.seq),
+        dur,
+        json_string(&format!("resolve {}", r.name)),
+    ));
+    push_args(out, &resolution_args(r));
+    out.push('}');
+}
+
+fn push_event(out: &mut String, e: &Event) {
+    let tid = lane(e.cat);
+    match e.dur {
+        Some(dur_ticks) => {
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"ts\":{},\"dur\":{},\"cat\":{},\"name\":{},",
+                e.track,
+                ts_us(e.ts, e.seq),
+                dur_ticks.saturating_mul(1000).max(1),
+                json_string(e.cat),
+                json_string(&e.name),
+            ));
+        }
+        None => {
+            out.push_str(&format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{tid},\"ts\":{},\"cat\":{},\"name\":{},",
+                e.track,
+                ts_us(e.ts, e.seq),
+                json_string(e.cat),
+                json_string(&e.name),
+            ));
+        }
+    }
+    push_args(out, &e.args);
+    out.push('}');
+}
+
+/// Renders `data` as a Chrome trace-event JSON document.
+pub fn render(data: &TraceData) -> String {
+    let mut tracks: Vec<u64> = data
+        .resolutions
+        .iter()
+        .map(|r| r.track)
+        .chain(data.events.iter().map(|e| e.track))
+        .chain(data.track_names.keys().copied())
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let mut parts: Vec<String> = Vec::new();
+    for &track in &tracks {
+        let mut m = String::new();
+        let fallback = format!("track {track}");
+        let name = data.track_names.get(&track).map_or(&fallback, |n| n);
+        push_metadata(&mut m, "process_name", track, None, name);
+        parts.push(m);
+        for &(lane_name, tid) in LANES {
+            let mut m = String::new();
+            push_metadata(&mut m, "thread_name", track, Some(tid), lane_name);
+            parts.push(m);
+        }
+    }
+    for r in &data.resolutions {
+        let mut s = String::new();
+        push_resolution(&mut s, r);
+        parts.push(s);
+    }
+    for e in &data.events {
+        let mut s = String::new();
+        push_event(&mut s, e);
+        parts.push(s);
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",");
+    out.push_str(&format!("\"droppedRecords\":{},", data.dropped));
+    out.push_str("\"traceEvents\":[\n");
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(p);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders `data` and writes it to `path`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from writing the file.
+pub fn write(data: &TraceData, path: &Path) -> io::Result<()> {
+    std::fs::write(path, render(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{BottomCause, Hop, MemoEvent, Outcome};
+
+    fn sample() -> TraceData {
+        let mut data = TraceData::default();
+        data.track_names.insert(0, "E1 basic".to_string());
+        data.resolutions.push(ResolutionTrace {
+            id: 1,
+            seq: 0,
+            ts: 3,
+            track: 0,
+            name: "alpha/beta".to_string(),
+            start: 10,
+            rule: Some("R(sender)".to_string()),
+            resolver: Some(4),
+            source: Some("message"),
+            memo: MemoEvent::Miss,
+            hops: vec![
+                Hop {
+                    context: 10,
+                    generation: 2,
+                    component: "alpha".to_string(),
+                    result: "ctx:11".to_string(),
+                    memo: MemoEvent::Miss,
+                },
+                Hop {
+                    context: 11,
+                    generation: 1,
+                    component: "beta".to_string(),
+                    result: "obj:9".to_string(),
+                    memo: MemoEvent::None,
+                },
+            ],
+            outcome: Outcome::Resolved("obj:9".to_string()),
+        });
+        data.resolutions.push(ResolutionTrace {
+            id: 2,
+            seq: 1,
+            ts: 4,
+            track: 0,
+            name: "gone".to_string(),
+            start: 10,
+            rule: None,
+            resolver: None,
+            source: None,
+            memo: MemoEvent::None,
+            hops: Vec::new(),
+            outcome: Outcome::Bottom(BottomCause::Unbound { at: 0 }),
+        });
+        data.events.push(Event {
+            seq: 2,
+            ts: 3,
+            dur: Some(2),
+            cat: "message",
+            name: "deliver".to_string(),
+            track: 0,
+            args: vec![("from".to_string(), "a\"1".to_string())],
+        });
+        data.events.push(Event {
+            seq: 3,
+            ts: 5,
+            dur: None,
+            cat: "coherence",
+            name: "incoherent".to_string(),
+            track: 0,
+            args: Vec::new(),
+        });
+        data
+    }
+
+    #[test]
+    fn render_is_valid_json() {
+        let doc = render(&sample());
+        crate::json::check(&doc).expect("valid JSON");
+    }
+
+    #[test]
+    fn render_contains_expected_records() {
+        let doc = render(&sample());
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"E1 basic\""));
+        assert!(doc.contains("\"resolve alpha/beta\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        // 1 tick = 1000 µs, offset by seq within the tick.
+        assert!(doc.contains("\"ts\":3000,"), "{doc}");
+        assert!(doc.contains("\"ts\":3002,"), "{doc}");
+        // The failed resolution still renders with a bottom outcome.
+        assert!(doc.contains("⊥ (unbound)"));
+        // Hop detail survives into args.
+        assert!(doc.contains("ctx 10@g2: alpha -> ctx:11 [miss]"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let doc = render(&TraceData::default());
+        crate::json::check(&doc).expect("valid JSON");
+        assert!(doc.contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn lanes_cover_known_categories() {
+        assert_eq!(lane("message"), 2);
+        assert_eq!(lane("exec"), 5);
+        assert_eq!(lane("unknown-cat"), 7);
+    }
+}

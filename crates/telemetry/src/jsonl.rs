@@ -1,0 +1,177 @@
+//! Line-oriented JSONL exporter.
+//!
+//! One JSON object per line, each with a `"type"` discriminator:
+//! `"track"` (track-id → name mapping), `"resolution"` (full hop detail),
+//! `"event"` (instants and spans), and a final `"summary"` line with
+//! record counts. Suited to `grep`/`jq`-style post-processing where the
+//! Chrome format's single document is unwieldy.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::json::json_string;
+use crate::trace::{Event, ResolutionTrace, TraceData};
+
+fn push_resolution(out: &mut String, r: &ResolutionTrace) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"resolution\",\"id\":{},\"seq\":{},\"ts\":{},\"track\":{},\"name\":{},\"start\":{}",
+        r.id,
+        r.seq,
+        r.ts,
+        r.track,
+        json_string(&r.name),
+        r.start,
+    );
+    if let Some(rule) = &r.rule {
+        let _ = write!(out, ",\"rule\":{}", json_string(rule));
+    }
+    if let Some(resolver) = r.resolver {
+        let _ = write!(out, ",\"resolver\":{resolver}");
+    }
+    if let Some(source) = r.source {
+        let _ = write!(out, ",\"source\":{}", json_string(source));
+    }
+    let _ = write!(
+        out,
+        ",\"memo\":{},\"outcome\":{},\"hops\":[",
+        json_string(r.memo.label()),
+        json_string(&r.outcome.render()),
+    );
+    for (i, hop) in r.hops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"context\":{},\"generation\":{},\"component\":{},\"result\":{},\"memo\":{}}}",
+            hop.context,
+            hop.generation,
+            json_string(&hop.component),
+            json_string(&hop.result),
+            json_string(hop.memo.label()),
+        );
+    }
+    out.push_str("]}\n");
+}
+
+fn push_event(out: &mut String, e: &Event) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"event\",\"seq\":{},\"ts\":{},\"cat\":{},\"name\":{},\"track\":{}",
+        e.seq,
+        e.ts,
+        json_string(e.cat),
+        json_string(&e.name),
+        e.track,
+    );
+    if let Some(dur) = e.dur {
+        let _ = write!(out, ",\"dur\":{dur}");
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in e.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&json_string(v));
+    }
+    out.push_str("}}\n");
+}
+
+/// Renders `data` as JSONL: one JSON object per line.
+pub fn render(data: &TraceData) -> String {
+    let mut out = String::new();
+    for (track, name) in &data.track_names {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"track\",\"track\":{track},\"name\":{}}}",
+            json_string(name)
+        );
+    }
+    for r in &data.resolutions {
+        push_resolution(&mut out, r);
+    }
+    for e in &data.events {
+        push_event(&mut out, e);
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"summary\",\"resolutions\":{},\"events\":{},\"dropped\":{}}}",
+        data.resolutions.len(),
+        data.events.len(),
+        data.dropped,
+    );
+    out
+}
+
+/// Renders `data` and writes it to `path`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from writing the file.
+pub fn write(data: &TraceData, path: &Path) -> io::Result<()> {
+    std::fs::write(path, render(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Hop, MemoEvent, Outcome};
+
+    #[test]
+    fn every_line_is_valid_json() {
+        let mut data = TraceData::default();
+        data.track_names.insert(2, "E3 mobility".to_string());
+        data.resolutions.push(ResolutionTrace {
+            id: 7,
+            seq: 0,
+            ts: 12,
+            track: 2,
+            name: "u/v".to_string(),
+            start: 1,
+            rule: Some("R(activity)".to_string()),
+            resolver: Some(0),
+            source: Some("internal"),
+            memo: MemoEvent::Hit,
+            hops: vec![Hop {
+                context: 1,
+                generation: 0,
+                component: "u".to_string(),
+                result: "ctx:2".to_string(),
+                memo: MemoEvent::Hit,
+            }],
+            outcome: Outcome::Resolved("obj:5".to_string()),
+        });
+        data.events.push(Event {
+            seq: 1,
+            ts: 13,
+            dur: Some(4),
+            cat: "protocol",
+            name: "resolve-rpc".to_string(),
+            track: 2,
+            args: vec![("messages".to_string(), "3".to_string())],
+        });
+        let doc = render(&data);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 4); // track + resolution + event + summary
+        for line in &lines {
+            crate::json::check(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(lines[0].contains("\"type\":\"track\""));
+        assert!(lines[1].contains("\"rule\":\"R(activity)\""));
+        assert!(lines[2].contains("\"dur\":4"));
+        assert!(lines[3].contains("\"resolutions\":1"));
+    }
+
+    #[test]
+    fn empty_trace_renders_summary_only() {
+        let doc = render(&TraceData::default());
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 1);
+        crate::json::check(lines[0]).expect("valid JSON");
+        assert!(lines[0].contains("\"type\":\"summary\""));
+    }
+}

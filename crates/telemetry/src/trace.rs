@@ -1,0 +1,249 @@
+//! The trace data model.
+//!
+//! A [`ResolutionTrace`] is the causal record of one compound-name
+//! resolution: which closure rule and meta-context selected the start
+//! context, and then one [`Hop`] per component — the paper's
+//! `c(n1 n2 … nk) = σ(c(n1))(n2 … nk)` recursion unrolled, with the
+//! generation of every context read and the memo's verdict at each probe.
+//!
+//! Everything else on the timeline (message sends, protocol round-trips,
+//! coherence violations, remote executions, scheme operations) is a
+//! generic [`Event`] — either an instant or a span in virtual time — so a
+//! single exported trace shows the full chain
+//! *message send → receiver-rule resolution → memo miss → coherence
+//! violation*.
+
+/// What the memo said at a probe point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoEvent {
+    /// The memo was not consulted (unmemoized resolution path).
+    None,
+    /// A current entry answered the probe.
+    Hit,
+    /// No entry (or no current entry) was found; the walk continued.
+    Miss,
+    /// A stale entry was discarded by a generation/epoch check during the
+    /// probe.
+    Invalidated,
+}
+
+impl MemoEvent {
+    /// Short label for exports: `-` / `hit` / `miss` / `invalidated`.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoEvent::None => "-",
+            MemoEvent::Hit => "hit",
+            MemoEvent::Miss => "miss",
+            MemoEvent::Invalidated => "invalidated",
+        }
+    }
+}
+
+/// One step of the resolution recursion: looking a component up in a
+/// context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// The context object consulted (raw object id).
+    pub context: u64,
+    /// The generation (version counter) the context showed when read.
+    pub generation: u64,
+    /// The name component looked up.
+    pub component: String,
+    /// Rendered entity the component was bound to (possibly `⊥`).
+    pub result: String,
+    /// What the memo said at this position, if consulted.
+    pub memo: MemoEvent,
+}
+
+/// Why a resolution produced `⊥`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BottomCause {
+    /// A component was unbound in the context consulted (`c(ni) = ⊥`).
+    Unbound {
+        /// Index of the unbound component within the compound name.
+        at: usize,
+    },
+    /// An intermediate entity was not a context object (`σ(c(ni)) ∉ C`).
+    NotAContext {
+        /// Index of the offending component within the compound name.
+        at: usize,
+    },
+    /// The resolution exceeded the resolver's depth limit.
+    DepthExceeded {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The closure mechanism selected no context (`R(m)` undefined).
+    NoContextSelected,
+    /// A protocol-level dead end (lost messages, unplaced object, …).
+    Protocol {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl BottomCause {
+    /// Short label for exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BottomCause::Unbound { .. } => "unbound",
+            BottomCause::NotAContext { .. } => "not-a-context",
+            BottomCause::DepthExceeded { .. } => "depth-exceeded",
+            BottomCause::NoContextSelected => "no-context-selected",
+            BottomCause::Protocol { .. } => "protocol",
+        }
+    }
+}
+
+/// The outcome of a resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Resolution succeeded; the rendered entity.
+    Resolved(String),
+    /// Resolution yielded `⊥`, and why.
+    Bottom(BottomCause),
+}
+
+impl Outcome {
+    /// Rendered form for exports: the entity, or `⊥ (<cause>)`.
+    pub fn render(&self) -> String {
+        match self {
+            Outcome::Resolved(e) => e.clone(),
+            Outcome::Bottom(cause) => format!("⊥ ({})", cause.label()),
+        }
+    }
+}
+
+/// The full causal record of one resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolutionTrace {
+    /// Recorder-unique id (monotone from 1). [`crate::recorder`] hands
+    /// these out so other records (e.g. coherence observations) can link
+    /// back to the resolutions that produced them.
+    pub id: u64,
+    /// Global sequence number, ordering this trace against [`Event`]s.
+    pub seq: u64,
+    /// Virtual time (ticks) when the resolution ran.
+    pub ts: u64,
+    /// Timeline track (one per experiment / scenario in exports).
+    pub track: u64,
+    /// The compound name resolved, rendered.
+    pub name: String,
+    /// The starting context object (raw id).
+    pub start: u64,
+    /// The closure rule that selected the start context, e.g. `R(sender)`,
+    /// when resolution went through a rule.
+    pub rule: Option<String>,
+    /// The resolving activity from the meta-context, if known.
+    pub resolver: Option<u64>,
+    /// How the name was obtained (`internal` / `message` / `object`), if
+    /// known.
+    pub source: Option<&'static str>,
+    /// Overall memo verdict for the whole-name probe.
+    pub memo: MemoEvent,
+    /// One hop per component actually walked (empty when the whole-name
+    /// probe hit, or when no context could be selected).
+    pub hops: Vec<Hop>,
+    /// How the resolution ended.
+    pub outcome: Outcome,
+}
+
+/// A generic timeline record: an instant (`dur == None`) or a span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number shared with [`ResolutionTrace::seq`].
+    pub seq: u64,
+    /// Virtual time (ticks) of the event, or of span start.
+    pub ts: u64,
+    /// Span length in ticks; `None` for instant events.
+    pub dur: Option<u64>,
+    /// Category lane (`message`, `protocol`, `coherence`, `exec`,
+    /// `scheme`, `sim`).
+    pub cat: &'static str,
+    /// Event name shown on the timeline.
+    pub name: String,
+    /// Timeline track (matches [`ResolutionTrace::track`]).
+    pub track: u64,
+    /// Key/value details.
+    pub args: Vec<(String, String)>,
+}
+
+/// Everything a recorder captured, in recording order.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// All resolution traces.
+    pub resolutions: Vec<ResolutionTrace>,
+    /// All generic events.
+    pub events: Vec<Event>,
+    /// Human-readable names for timeline tracks.
+    pub track_names: std::collections::BTreeMap<u64, String>,
+    /// Records dropped because the recorder's capacity bound was reached.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.resolutions.is_empty() && self.events.is_empty()
+    }
+
+    /// Total number of records (resolutions + events).
+    pub fn len(&self) -> usize {
+        self.resolutions.len() + self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_labels() {
+        assert_eq!(MemoEvent::None.label(), "-");
+        assert_eq!(MemoEvent::Hit.label(), "hit");
+        assert_eq!(MemoEvent::Miss.label(), "miss");
+        assert_eq!(MemoEvent::Invalidated.label(), "invalidated");
+    }
+
+    #[test]
+    fn outcome_rendering() {
+        assert_eq!(Outcome::Resolved("obj:3".into()).render(), "obj:3");
+        assert_eq!(
+            Outcome::Bottom(BottomCause::Unbound { at: 2 }).render(),
+            "⊥ (unbound)"
+        );
+        assert_eq!(
+            Outcome::Bottom(BottomCause::NoContextSelected).render(),
+            "⊥ (no-context-selected)"
+        );
+        assert_eq!(
+            Outcome::Bottom(BottomCause::Protocol {
+                reason: "lost".into()
+            })
+            .render(),
+            "⊥ (protocol)"
+        );
+        assert_eq!(
+            BottomCause::DepthExceeded { limit: 4 }.label(),
+            "depth-exceeded"
+        );
+        assert_eq!(BottomCause::NotAContext { at: 1 }.label(), "not-a-context");
+    }
+
+    #[test]
+    fn trace_data_len() {
+        let mut d = TraceData::default();
+        assert!(d.is_empty());
+        d.events.push(Event {
+            seq: 0,
+            ts: 0,
+            dur: None,
+            cat: "sim",
+            name: "spawn".into(),
+            track: 0,
+            args: Vec::new(),
+        });
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Telemetry is observation-only: a traced run of a full-stack scenario
+//! produces byte-identical results to an untraced run, its exports
+//! round-trip through a JSON parser, and `CoherenceMonitor` observations
+//! link to the resolution traces behind them.
+
+use naming_core::audit::AuditSpec;
+use naming_core::builder::NamespaceBuilder;
+use naming_core::closure::{ContextRegistry, MetaContext, NameSource, StandardRule};
+use naming_core::entity::Entity;
+use naming_core::monitor::{CoherenceMonitor, TraceHandle};
+use naming_core::name::CompoundName;
+use naming_core::state::SystemState;
+use naming_port::exec::ExecService;
+use naming_resolver::cache::CachingResolver;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::world::World;
+
+/// Runs a compact build-farm scenario across the whole stack — remote
+/// exec, the resolution protocol, a client cache, rule-based resolution —
+/// and returns a digest of every observable result.
+fn run_scenario() -> Vec<String> {
+    let mut digest = Vec::new();
+    let mut w = World::new(777);
+    let site = w.add_network("site");
+    let home = w.add_machine("home", site);
+    let farm = w.add_machine("farm", site);
+    let home_root = w.machine_root(home);
+    let src = store::ensure_dir(w.state_mut(), home_root, "src");
+    let makefile = store::create_file(w.state_mut(), src, "Makefile", b"all:".to_vec());
+    let farm_root = w.machine_root(farm);
+    store::create_file(w.state_mut(), farm_root, "tool", vec![7]);
+
+    let mut nsvc = NameService::install(&mut w, &[home, farm]);
+    nsvc.place_subtree(&w, farm_root, farm);
+    nsvc.place_subtree(&w, home_root, home);
+    let mut exec = ExecService::install(&mut w, &[home, farm]);
+    let dev = exec.spawn_with_namespace(&mut w, home, "developer-shell");
+
+    // Remote exec ships the namespace; the receipt must match.
+    let makefile_name = CompoundName::parse_path("/home/src/Makefile").unwrap();
+    let out = exec.remote_exec(
+        &mut w,
+        dev,
+        farm,
+        "build-job",
+        std::slice::from_ref(&makefile_name),
+    );
+    let builder = out.child.expect("build job spawned");
+    assert_eq!(out.resolved_args, vec![Entity::Object(makefile)]);
+    digest.push(format!(
+        "exec: {:?} msgs={} latency={}",
+        out.resolved_args,
+        out.messages,
+        out.latency.ticks()
+    ));
+
+    // Protocol resolution through a client cache: miss, then hit.
+    let mut cache = CachingResolver::new(ProtocolEngine::new(nsvc));
+    let tool = CompoundName::parse_path("/tool").unwrap();
+    for _ in 0..2 {
+        let (e, from_cache) = cache.resolve(&mut w, builder, farm_root, &tool, Mode::Iterative);
+        digest.push(format!("protocol: {e} cached={from_cache}"));
+    }
+    digest.push(cache.stats().to_json());
+
+    // Rule-based resolution (closure meta-context) in the developer's own
+    // namespace, plus a deliberate ⊥.
+    let rule = StandardRule::OfResolver;
+    let e = w.resolve_as(dev, &makefile_name, NameSource::Internal, &rule);
+    digest.push(format!("rule: {e}"));
+    let missing = CompoundName::parse_path("/home/src/missing").unwrap();
+    let e = w.resolve_as(dev, &missing, NameSource::Internal, &rule);
+    digest.push(format!("rule-bottom: {e}"));
+
+    digest.push(w.trace().to_string());
+    digest
+}
+
+#[test]
+fn traced_and_untraced_runs_agree() {
+    let untraced = run_scenario();
+    naming_telemetry::recorder::install();
+    naming_telemetry::recorder::set_track_name(1, "telemetry integration test");
+    let traced = run_scenario();
+    let data = naming_telemetry::recorder::take().expect("recorder was installed");
+    assert_eq!(untraced, traced, "telemetry must not change results");
+
+    // The trace saw the whole stack.
+    assert!(!data.resolutions.is_empty(), "resolutions were traced");
+    assert!(
+        data.resolutions.iter().any(|t| t.rule.is_some()),
+        "rule-based resolutions carry their closure rule"
+    );
+    assert!(
+        data.resolutions
+            .iter()
+            .any(|t| matches!(t.outcome, naming_telemetry::trace::Outcome::Bottom(_))),
+        "the deliberate ⊥ was traced"
+    );
+    for cat in ["message", "protocol", "exec"] {
+        assert!(
+            data.events.iter().any(|e| e.cat == cat),
+            "missing {cat} events"
+        );
+    }
+
+    // Both exporters round-trip through the JSON parser.
+    let chrome = naming_telemetry::chrome::render(&data);
+    naming_telemetry::json::check(&chrome).expect("chrome trace is valid JSON");
+    let jsonl = naming_telemetry::jsonl::render(&data);
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        naming_telemetry::json::check(line).expect("every JSONL line is valid JSON");
+    }
+
+    // So does the metrics snapshot the scenario populated.
+    let snapshot = naming_telemetry::metrics::global().snapshot();
+    naming_telemetry::json::check(&snapshot.to_json()).expect("metrics snapshot is valid JSON");
+    assert!(snapshot.counter("sim.sent") > 0);
+    assert!(snapshot.counter("protocol.resolves") > 0);
+}
+
+#[test]
+fn monitor_observations_link_to_traces() {
+    let mut sys = SystemState::new();
+    let mut reg = ContextRegistry::new();
+    let mut names = Vec::new();
+    let mut metas = Vec::new();
+    for i in 0..2 {
+        let mut b = NamespaceBuilder::rooted(&mut sys, &format!("m{i}"));
+        b.dir("etc", |etc| {
+            etc.file("passwd", vec![i as u8]);
+        });
+        let root = b.finish();
+        let a = sys.add_activity(format!("p{i}"));
+        reg.set_activity_context(a, root);
+        metas.push(MetaContext::internal(a));
+    }
+    names.push(CompoundName::parse_path("/etc/passwd").unwrap());
+    let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+
+    naming_telemetry::recorder::install();
+    let with_handle = mon
+        .observe(
+            "0",
+            &sys,
+            &reg,
+            &StandardRule::OfResolver,
+            None,
+            Some(&TraceHandle),
+        )
+        .trace_ids
+        .clone();
+    let without_handle = mon
+        .observe("1", &sys, &reg, &StandardRule::OfResolver, None, None)
+        .trace_ids
+        .clone();
+    let data = naming_telemetry::recorder::take().expect("recorder was installed");
+
+    assert!(
+        !with_handle.is_empty(),
+        "observation links to the audit's resolution traces"
+    );
+    assert!(without_handle.is_empty(), "no handle, no linkage");
+    // Every linked id names a real recorded trace.
+    for id in &with_handle {
+        assert!(
+            data.resolutions.iter().any(|t| t.id == *id),
+            "trace id {id} not found"
+        );
+    }
+}
