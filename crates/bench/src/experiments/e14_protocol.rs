@@ -41,6 +41,22 @@ pub struct ChurnPoint {
     pub hit_rate: f64,
 }
 
+/// One batched-protocol measurement: the same sibling workload resolved
+/// three ways.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPoint {
+    /// Names in the workload.
+    pub names: usize,
+    /// Messages for one-at-a-time iterative resolution (cold engine).
+    pub iterative_msgs: u64,
+    /// Messages for one coalesced batch (cold engine).
+    pub batched_msgs: u64,
+    /// Messages for sequential lookups through the validated referral
+    /// cache (cold cache; distinct names, so the positive cache never
+    /// hits).
+    pub referral_msgs: u64,
+}
+
 /// The E14 results.
 #[derive(Clone, Debug, Default)]
 pub struct E14Result {
@@ -48,6 +64,8 @@ pub struct E14Result {
     pub costs: Vec<HopCost>,
     /// Cache staleness sweep.
     pub churn: Vec<ChurnPoint>,
+    /// Batched / referral-cached protocol savings.
+    pub batch: Vec<BatchPoint>,
 }
 
 /// Builds a referral chain of `hops` machines plus a far-away client.
@@ -166,9 +184,43 @@ pub fn run(seed: u64) -> E14Result {
         });
     }
 
+    // Batched / referral-cached savings over the shared-prefix workload.
+    let mut batch = Vec::new();
+    for names_n in [8usize, 64] {
+        const BATCH_HOPS: usize = 4;
+        let mk = || crate::scenarios::protocol_zones(BATCH_HOPS, names_n, seed ^ 0xba7c4);
+        let (mut w, svc, _machines, client, start, names) = mk();
+        let mut engine = ProtocolEngine::new(svc);
+        let mut iterative_msgs = 0u64;
+        let mut singles = Vec::with_capacity(names.len());
+        for n in &names {
+            let s = engine.resolve(&mut w, client, start, n, Mode::Iterative);
+            iterative_msgs += s.messages;
+            singles.push(s.entity);
+        }
+        let (mut w, svc, _machines, client, start, names) = mk();
+        let mut engine = ProtocolEngine::new(svc);
+        let b = engine.resolve_batch(&mut w, client, start, &names);
+        assert_eq!(b.entities, singles, "batching must not change answers");
+        let (mut w, svc, _machines, client, start, names) = mk();
+        let mut resolver = CachingResolver::new(ProtocolEngine::new(svc));
+        let sent0 = w.trace().counter("sent");
+        for (n, single) in names.iter().zip(&singles) {
+            let (e, _) = resolver.resolve(&mut w, client, start, n, Mode::Iterative);
+            assert_eq!(e, *single, "referral jumps must not change answers");
+        }
+        batch.push(BatchPoint {
+            names: names_n,
+            iterative_msgs,
+            batched_msgs: b.messages,
+            referral_msgs: w.trace().counter("sent") - sent0,
+        });
+    }
+
     E14Result {
         costs,
         churn: churn_points,
+        batch,
     }
 }
 
@@ -203,7 +255,36 @@ pub fn tables(r: &E14Result) -> Vec<Table> {
         b.row(vec![pct(p.churn), pct(p.staleness), pct(p.hit_rate)]);
     }
     b.note("a cached resolution is a context binding frozen in time; churn turns hits into incoherent answers — the paper's problem, temporally");
-    vec![a, b]
+
+    let mut c = Table::new(
+        "E14c (protocol): batched + referral-cached resolution savings",
+        &[
+            "names",
+            "iterative msgs",
+            "batched msgs",
+            "referral-cache msgs",
+            "batch reduction",
+            "referral reduction",
+        ],
+    );
+    for p in &r.batch {
+        c.row(vec![
+            p.names.to_string(),
+            p.iterative_msgs.to_string(),
+            p.batched_msgs.to_string(),
+            p.referral_msgs.to_string(),
+            format!(
+                "{:.1}x",
+                p.iterative_msgs as f64 / p.batched_msgs.max(1) as f64
+            ),
+            format!(
+                "{:.1}x",
+                p.iterative_msgs as f64 / p.referral_msgs.max(1) as f64
+            ),
+        ]);
+    }
+    c.note("shared-prefix names ride one trie-compressed exchange per referral hop; generation-validated referrals let repeats skip the walk — answers are identical in all three columns' runs");
+    vec![a, b, c]
 }
 
 #[cfg(test)]
@@ -249,10 +330,33 @@ mod tests {
     }
 
     #[test]
+    fn batching_and_referral_caching_cut_messages() {
+        let r = run(14);
+        assert_eq!(r.batch.len(), 2);
+        for p in &r.batch {
+            assert!(
+                p.iterative_msgs >= 3 * p.batched_msgs,
+                "{} names: batched {} vs iterative {}",
+                p.names,
+                p.batched_msgs,
+                p.iterative_msgs
+            );
+            assert!(
+                p.iterative_msgs >= 2 * p.referral_msgs,
+                "{} names: referral-cached {} vs iterative {}",
+                p.names,
+                p.referral_msgs,
+                p.iterative_msgs
+            );
+        }
+    }
+
+    #[test]
     fn tables_render() {
         let ts = tables(&run(14));
-        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.len(), 3);
         assert_eq!(ts[0].row_count(), 4);
         assert_eq!(ts[1].row_count(), 5);
+        assert_eq!(ts[2].row_count(), 2);
     }
 }

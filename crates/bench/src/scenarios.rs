@@ -98,6 +98,61 @@ pub fn audit_world(
     (w, pids, names)
 }
 
+/// A referral chain of `hops` server machines whose deepest zone holds
+/// `leaves` files, plus a remote client — the standard batched-protocol
+/// workload: every leaf name shares the full `/zone/hop1/…` prefix, so
+/// batching collapses the walk and referral caching collapses repeats.
+///
+/// Returns `(world, service, machines, client, start, leaf names)`.
+pub fn protocol_zones(
+    hops: usize,
+    leaves: usize,
+    seed: u64,
+) -> (
+    World,
+    naming_resolver::service::NameService,
+    Vec<naming_sim::topology::MachineId>,
+    ActivityId,
+    ObjectId,
+    Vec<CompoundName>,
+) {
+    assert!(hops >= 1, "need at least one server");
+    let mut w = World::new(seed);
+    let net = w.add_network("servers");
+    let machines: Vec<naming_sim::topology::MachineId> = (0..hops)
+        .map(|i| w.add_machine(format!("s{i}"), net))
+        .collect();
+    let mut prev: Option<ObjectId> = None;
+    let mut comps = vec![Name::root(), Name::new("zone")];
+    for (i, &m) in machines.iter().enumerate() {
+        let root = w.machine_root(m);
+        let dir = store::ensure_dir(w.state_mut(), root, "zone");
+        if let Some(p) = prev {
+            store::attach(w.state_mut(), p, &format!("hop{i}"), dir, false);
+            comps.push(Name::new(&format!("hop{i}")));
+        }
+        prev = Some(dir);
+    }
+    let deep = prev.expect("hops >= 1");
+    let mut names = Vec::with_capacity(leaves);
+    for j in 0..leaves {
+        store::create_file(w.state_mut(), deep, &format!("f{j}"), vec![]);
+        let mut c = comps.clone();
+        c.push(Name::new(&format!("f{j}")));
+        names.push(CompoundName::new(c).expect("nonempty"));
+    }
+    let mut svc = naming_resolver::service::NameService::install(&mut w, &machines);
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    let far = w.add_network("client-net");
+    let client_machine = w.add_machine("client-host", far);
+    let client = w.spawn(client_machine, "client", None);
+    let start = w.machine_root(machines[0]);
+    (w, svc, machines, client, start, names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +171,23 @@ mod tests {
         let (s, _root, manifest) = wide_tree(2_000, 3);
         assert!(s.object_count() > 500, "got {}", s.object_count());
         assert!(!manifest.files.is_empty());
+    }
+
+    #[test]
+    fn protocol_zones_resolve_end_to_end() {
+        let (mut w, svc, _machines, client, start, names) = protocol_zones(3, 4, 11);
+        assert_eq!(names.len(), 4);
+        let mut engine = naming_resolver::engine::ProtocolEngine::new(svc);
+        for n in &names {
+            let s = engine.resolve(
+                &mut w,
+                client,
+                start,
+                n,
+                naming_resolver::wire::Mode::Iterative,
+            );
+            assert!(s.entity.is_defined(), "{n} did not resolve");
+        }
     }
 
     #[test]

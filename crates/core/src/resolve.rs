@@ -390,6 +390,54 @@ impl Resolver {
         entity
     }
 
+    /// Resolves `name` with the total-function semantics and reports the
+    /// generation footprint of the walk — `(context, version)` for every
+    /// context consulted — *including when the result is `⊥`*.
+    ///
+    /// [`Resolver::resolve_entity_memo`] records this footprint for
+    /// successful walks; this variant exists so a *negative* cache can
+    /// record one for failures too: a later `bind` on any consulted
+    /// context bumps that context's version and invalidates the cached
+    /// `⊥` exactly. Failures that don't traverse a context (a
+    /// non-context object mid-path, an exceeded depth limit) return the
+    /// deps gathered so far; kind changes only happen through the
+    /// epoch-bumping escape hatches, which an epoch-stamped cache entry
+    /// already covers, and depth verdicts are resolver configuration, not
+    /// context state — callers must not cache those (the footprint is
+    /// empty and validates forever).
+    pub fn resolve_entity_with_deps(
+        &self,
+        state: &SystemState,
+        start: ObjectId,
+        name: &CompoundName,
+    ) -> (Entity, Vec<(ObjectId, u64)>) {
+        let comps = name.components();
+        let mut deps: Vec<(ObjectId, u64)> = Vec::with_capacity(comps.len());
+        if comps.len() > self.depth_limit {
+            return (Entity::Undefined, deps);
+        }
+        let mut ctx = start;
+        for (i, &comp) in comps.iter().enumerate() {
+            let Some(c) = state.context(ctx) else {
+                return (Entity::Undefined, deps);
+            };
+            deps.push((ctx, c.version()));
+            let result = c.lookup(comp);
+            if result == Entity::Undefined {
+                return (Entity::Undefined, deps);
+            }
+            if i + 1 == comps.len() {
+                return (result, deps);
+            }
+            match result {
+                Entity::Object(o) => ctx = o,
+                // Activities are not contexts; traversal dies here.
+                _ => return (Entity::Undefined, deps),
+            }
+        }
+        unreachable!("compound names are nonempty")
+    }
+
     /// Resolves a whole batch of names in the same starting context.
     ///
     /// Returns one entity per input name, in order.
@@ -574,6 +622,32 @@ mod tests {
                 Entity::Undefined
             ]
         );
+    }
+
+    #[test]
+    fn with_deps_agrees_with_resolve_entity_and_reports_failure_footprints() {
+        let (mut s, root, etc, passwd) = tree();
+        let r = Resolver::new();
+        for path in ["/etc/passwd", "/etc", "/nope", "/etc/passwd/x", "/etc/nope"] {
+            let n = CompoundName::parse_path(path).unwrap();
+            let (e, deps) = r.resolve_entity_with_deps(&s, root, &n);
+            assert_eq!(e, r.resolve_entity(&s, root, &n), "disagrees on {path}");
+            // Every recorded generation is the context's current one.
+            for (o, gen) in &deps {
+                assert_eq!(s.context(*o).unwrap().version(), *gen);
+            }
+        }
+        // A failed lookup still reports the contexts it consulted, so a
+        // later bind there is a detectable invalidation.
+        let n = CompoundName::parse_path("/etc/nope").unwrap();
+        let (e, deps) = r.resolve_entity_with_deps(&s, root, &n);
+        assert_eq!(e, Entity::Undefined);
+        assert!(deps.iter().any(|(o, _)| *o == etc), "footprint reaches etc");
+        let before = deps.clone();
+        s.bind(etc, Name::new("nope"), passwd).unwrap();
+        let (e2, after) = r.resolve_entity_with_deps(&s, root, &n);
+        assert_eq!(e2, Entity::Object(passwd));
+        assert_ne!(before, after, "etc's generation moved");
     }
 
     #[test]

@@ -17,15 +17,19 @@
 //! contexts have changed, by comparing version counters instead of
 //! re-resolving every name.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use naming_core::entity::{ActivityId, Entity, ObjectId};
 use naming_core::memo::ResolutionMemo;
 use naming_core::name::CompoundName;
 use naming_core::report::json_string;
 use naming_core::resolve::Resolver;
 use naming_core::state::SystemState;
+use naming_sim::time::Duration;
 use naming_sim::world::World;
 
-use crate::engine::{ProtocolEngine, ResolveStats};
+use crate::engine::{ProtocolEngine, ReferralHop, ResolveStats};
+use crate::referral::{NegativeCache, ReferralCache, ValidatedCacheStats};
 use crate::wire::Mode;
 
 /// Default bound on the number of cached resolutions.
@@ -75,12 +79,38 @@ impl CacheStats {
     }
 }
 
+/// What a cached batch resolution cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedBatchOutcome {
+    /// One entity per input name, in input order (possibly `⊥`).
+    pub entities: Vec<Entity>,
+    /// Per name: answered by a cache (positive or negative), no network.
+    pub from_cache: Vec<bool>,
+    /// Wire messages exchanged for the cache misses.
+    pub messages: u64,
+    /// Virtual time the network exchanges took.
+    pub latency: Duration,
+}
+
 /// A resolution client with a bounded positive cache keyed on
-/// `(start, name)`, backed by a generation-versioned [`ResolutionMemo`].
+/// `(start, name)`, backed by a generation-versioned [`ResolutionMemo`] —
+/// plus two *validated* side caches that speed resolution up without ever
+/// changing an answer:
+///
+/// * a [`ReferralCache`] of resolved zone prefixes, so repeat lookups
+///   jump to the deepest known server instead of walking from the root;
+/// * a [`NegativeCache`] of `⊥` verdicts, so repeated misses stop
+///   costing network round-trips until a `bind` revives the name.
+///
+/// Only the positive cache is deliberately incoherent (served without
+/// validation — that staleness is what this type measures); the side
+/// caches validate generation footprints on every probe.
 #[derive(Debug)]
 pub struct CachingResolver {
     engine: ProtocolEngine,
     memo: ResolutionMemo,
+    referrals: ReferralCache,
+    negatives: NegativeCache,
 }
 
 impl CachingResolver {
@@ -99,6 +129,8 @@ impl CachingResolver {
         CachingResolver {
             engine,
             memo: ResolutionMemo::with_capacity(capacity),
+            referrals: ReferralCache::new(),
+            negatives: NegativeCache::new(),
         }
     }
 
@@ -138,6 +170,16 @@ impl CachingResolver {
         self.memo.is_empty()
     }
 
+    /// Referral-cache statistics so far.
+    pub fn referral_stats(&self) -> ValidatedCacheStats {
+        self.referrals.stats()
+    }
+
+    /// Negative-cache statistics so far.
+    pub fn negative_stats(&self) -> ValidatedCacheStats {
+        self.negatives.stats()
+    }
+
     /// Resolves through the cache: a hit answers instantly (zero virtual
     /// latency, zero messages); a miss goes to the network and populates
     /// the cache on success.
@@ -161,13 +203,157 @@ impl CachingResolver {
         }
         #[cfg(feature = "telemetry")]
         naming_telemetry::counter!("cache.misses").bump();
-        let stats: ResolveStats = self.engine.resolve(world, client, start, name, mode);
+        // A still-valid negative verdict is also a hit: this name denotes
+        // nothing, and the generations that made it so haven't moved.
+        if self.negatives.probe(world, start, name) {
+            return (Entity::Undefined, true);
+        }
+        // Referral jump: resume from the deepest cached, still-valid
+        // prefix instead of the root. Validation guarantees the jump is
+        // answer-equivalent to the full walk; only messages are saved.
+        let jump = match mode {
+            Mode::Iterative => self.referrals.lookup_deepest(
+                world,
+                self.engine.service(),
+                start,
+                name.components(),
+            ),
+            Mode::Recursive => None,
+        };
+        let (stats, hops, offset): (ResolveStats, Vec<ReferralHop>, usize) = match jump {
+            Some((plen, ctx, _machine)) => {
+                let remaining = CompoundName::new(name.components()[plen..].to_vec())
+                    .expect("proper prefix leaves a nonempty suffix");
+                let (s, h) = self
+                    .engine
+                    .resolve_traced(world, client, ctx, &remaining, mode);
+                (s, h, plen)
+            }
+            None => {
+                let (s, h) = self.engine.resolve_traced(world, client, start, name, mode);
+                (s, h, 0)
+            }
+        };
+        // Remember the referrals the walk followed, keyed by the ORIGINAL
+        // name (the hop offsets are relative to where we jumped in).
+        for hop in &hops {
+            let plen = offset + hop.consumed;
+            if plen >= 1 && plen < name.len() {
+                let prefix =
+                    CompoundName::new(name.components()[..plen].to_vec()).expect("nonempty prefix");
+                self.referrals.record(world, start, &prefix, hop.ctx);
+            }
+        }
         if stats.entity.is_defined() {
             let deps = path_deps(world.state(), start, name);
             self.memo
                 .record(world.state(), start, name.components(), stats.entity, &deps);
+        } else {
+            // ⊥ is cached only when the authoritative state agrees —
+            // never when the network alone failed us.
+            self.negatives.record(world, start, name);
         }
         (stats.entity, false)
+    }
+
+    /// Resolves many names through the cache in one shot: cache (and
+    /// negative-cache) hits answer locally, and the misses ride the
+    /// batched wire protocol — grouped by the deepest valid cached
+    /// referral so each group starts as close to its answer as possible.
+    ///
+    /// Answers are identical to resolving each name via
+    /// [`CachingResolver::resolve`] in iterative mode; batching and
+    /// referral jumps change message counts, never entities.
+    pub fn resolve_batch(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        names: &[CompoundName],
+    ) -> CachedBatchOutcome {
+        let mut entities = vec![Entity::Undefined; names.len()];
+        let mut from_cache = vec![false; names.len()];
+        // Misses grouped by the context the batch will start from:
+        // group ctx → (prefix components consumed to get there, slot).
+        let mut groups: BTreeMap<ObjectId, Vec<(usize, usize)>> = BTreeMap::new();
+        for (slot, name) in names.iter().enumerate() {
+            if let Some(e) = self.memo.probe_stale(start, name.components()) {
+                #[cfg(feature = "telemetry")]
+                naming_telemetry::counter!("cache.hits").bump();
+                entities[slot] = e;
+                from_cache[slot] = true;
+                continue;
+            }
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.misses").bump();
+            if self.negatives.probe(world, start, name) {
+                from_cache[slot] = true;
+                continue;
+            }
+            let jump = self.referrals.lookup_deepest(
+                world,
+                self.engine.service(),
+                start,
+                name.components(),
+            );
+            match jump {
+                Some((plen, ctx, _machine)) => groups.entry(ctx).or_default().push((plen, slot)),
+                None => groups.entry(start).or_default().push((0, slot)),
+            }
+        }
+        let mut messages = 0u64;
+        let mut latency = Duration::ZERO;
+        let mut seen_referrals: BTreeSet<(CompoundName, ObjectId)> = BTreeSet::new();
+        for (gctx, members) in groups {
+            let remaining: Vec<CompoundName> = members
+                .iter()
+                .map(|&(plen, slot)| {
+                    CompoundName::new(names[slot].components()[plen..].to_vec())
+                        .expect("proper prefix leaves a nonempty suffix")
+                })
+                .collect();
+            let batch = self.engine.resolve_batch(world, client, gctx, &remaining);
+            messages += batch.messages;
+            latency = latency + batch.latency;
+            for (i, &(plen, slot)) in members.iter().enumerate() {
+                entities[slot] = batch.entities[i];
+                // Referrals are reported relative to the group's start;
+                // re-key them by every original name they prefix.
+                for (ref_prefix, _machine, ctx) in &batch.referrals {
+                    let rel = ref_prefix.components();
+                    if names[slot].components()[plen..].starts_with(rel) {
+                        let full = plen + rel.len();
+                        if full >= 1 && full < names[slot].len() {
+                            let prefix =
+                                CompoundName::new(names[slot].components()[..full].to_vec())
+                                    .expect("nonempty prefix");
+                            if seen_referrals.insert((prefix.clone(), *ctx)) {
+                                self.referrals.record(world, start, &prefix, *ctx);
+                            }
+                        }
+                    }
+                }
+                let name = &names[slot];
+                if entities[slot].is_defined() {
+                    let deps = path_deps(world.state(), start, name);
+                    self.memo.record(
+                        world.state(),
+                        start,
+                        name.components(),
+                        entities[slot],
+                        &deps,
+                    );
+                } else {
+                    self.negatives.record(world, start, name);
+                }
+            }
+        }
+        CachedBatchOutcome {
+            entities,
+            from_cache,
+            messages,
+            latency,
+        }
     }
 
     /// Drops one cache entry.
@@ -175,33 +361,44 @@ impl CachingResolver {
         self.memo.remove(start, name.components())
     }
 
-    /// Drops the whole cache.
+    /// Drops the whole cache — positive, referral, and negative alike.
     pub fn invalidate_all(&mut self) {
         self.memo.invalidate_all();
+        self.referrals.invalidate_all();
+        self.negatives.invalidate_all();
     }
 
     /// Generation-based healing: drops every entry whose recorded context
     /// generations no longer match the authoritative state, by comparing
-    /// version counters — no re-resolution. Returns how many entries were
-    /// dropped.
+    /// version counters — no re-resolution. Returns how many *positive*
+    /// entries were dropped; the referral and negative caches are swept
+    /// too (their probes validate lazily anyway, this reclaims space).
     pub fn heal(&mut self, world: &World) -> usize {
-        self.memo.invalidate_stale(world.state())
+        let n = self.memo.invalidate_stale(world.state());
+        self.referrals.heal(world);
+        self.negatives.heal(world);
+        n
     }
 
     /// Audits the cache against the authoritative naming state: returns
     /// the entries whose cached entity no longer matches what the
     /// authority would answer — the *incoherent* (stale) entries.
+    ///
+    /// The authoritative walks run through a scratch [`ResolutionMemo`],
+    /// so entries sharing path prefixes (the common case — a cache fills
+    /// up with siblings) are each walked once instead of once per entry;
+    /// with the `parallel` feature large audits shard across threads.
+    /// Output is identical either way: same entries, same order.
     pub fn stale_entries(&self, world: &World) -> Vec<(ObjectId, CompoundName, Entity)> {
-        let mut out = Vec::new();
-        let r = Resolver::new();
-        for (start, suffix, cached) in self.memo.entries() {
-            let name = CompoundName::new(suffix.to_vec()).expect("cached names are nonempty");
-            let authoritative = r.resolve_entity(world.state(), start, &name);
-            if authoritative != cached {
-                out.push((start, name, cached));
-            }
-        }
-        out
+        let entries: Vec<(ObjectId, CompoundName, Entity)> = self
+            .memo
+            .entries()
+            .map(|(start, suffix, cached)| {
+                let name = CompoundName::new(suffix.to_vec()).expect("cached names are nonempty");
+                (start, name, cached)
+            })
+            .collect();
+        audit_against_authority(world.state(), entries)
     }
 
     /// Staleness rate: stale entries / cached entries (0 when empty).
@@ -211,6 +408,49 @@ impl CachingResolver {
         }
         self.stale_entries(world).len() as f64 / self.memo.len() as f64
     }
+}
+
+/// Keeps exactly the entries whose cached entity disagrees with a fresh
+/// authoritative resolution, preserving input order. Walks share a
+/// memo per worker, which never changes answers — only work.
+fn audit_against_authority(
+    state: &SystemState,
+    entries: Vec<(ObjectId, CompoundName, Entity)>,
+) -> Vec<(ObjectId, CompoundName, Entity)> {
+    let audit_chunk = |slice: &[(ObjectId, CompoundName, Entity)]| {
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::with_capacity(slice.len().max(16) * 4);
+        slice
+            .iter()
+            .filter(|(start, name, cached)| {
+                r.resolve_entity_memo(state, *start, name, &mut memo) != *cached
+            })
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    #[cfg(feature = "parallel")]
+    if entries.len() >= 64 {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(entries.len());
+        if threads > 1 {
+            let chunk = entries.len().div_ceil(threads);
+            let mut out: Vec<Vec<(ObjectId, CompoundName, Entity)>> = Vec::with_capacity(threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = entries
+                    .chunks(chunk)
+                    .map(|slice| scope.spawn(move |_| audit_chunk(slice)))
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("audit worker panicked"));
+                }
+            })
+            .expect("audit scope");
+            return out.into_iter().flatten().collect();
+        }
+    }
+    audit_chunk(&entries)
 }
 
 /// The `(context, generation)` pairs an authoritative resolution of `name`
@@ -292,15 +532,199 @@ mod tests {
     }
 
     #[test]
-    fn failures_are_not_cached() {
+    fn failures_are_negatively_cached_until_a_bind_revives_the_name() {
         let (mut w, mut r, client, root) = setup();
         let name = CompoundName::parse_path("/remote/nope").unwrap();
-        let (e, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        let (e, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
         assert!(!e.is_defined());
-        assert!(r.is_empty());
-        // Second lookup goes to the network again.
-        let (_, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
         assert!(!from_cache);
+        assert!(r.is_empty(), "⊥ never enters the positive cache");
+        assert_eq!(r.negative_stats().recorded, 1);
+        // Second lookup: the validated negative cache answers, zero wire
+        // traffic.
+        let sent = w.trace().counter("sent");
+        let (e2, from_cache2) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!e2.is_defined());
+        assert!(from_cache2);
+        assert_eq!(w.trace().counter("sent"), sent, "negative hits are free");
+        // Binding the name bumps the consulted generation: the cached ⊥
+        // dies and the next lookup finds the new file on the network.
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = store::create_file(w.state_mut(), sub, "nope", vec![]);
+        let (e3, from_cache3) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache3, "stale ⊥ is never served");
+        assert_eq!(e3, naming_core::entity::Entity::Object(fresh));
+        assert!(r.negative_stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn repeat_lookups_jump_through_the_referral_cache() {
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (e1, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(e1.is_defined());
+        assert!(
+            r.referral_stats().recorded >= 1,
+            "the m1→m2 handoff was cached"
+        );
+        let full_walk = w.trace().counter("sent");
+        // Drop the positive entry so the next lookup must use the wire —
+        // but now it starts from the cached /remote referral on m2.
+        assert!(r.invalidate(root, &name));
+        let sent = w.trace().counter("sent");
+        let (e2, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        let jumped = w.trace().counter("sent") - sent;
+        assert_eq!(e2, e1);
+        assert!(!from_cache);
+        assert_eq!(r.referral_stats().hits, 1);
+        assert!(
+            jumped < full_walk,
+            "referral jump used fewer messages ({jumped}) than the full walk ({full_walk})"
+        );
+        assert_eq!(jumped, 2, "one request/reply pair straight to m2");
+    }
+
+    #[test]
+    fn invalidated_referral_falls_back_to_the_root_and_stays_correct() {
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(r.referral_stats().recorded >= 1);
+        // The authority moves "remote" to a different (local) subtree.
+        // The cached referral's generation footprint includes the root
+        // context, so it must die — and the lookup must fall back to the
+        // root walk, answering what the authority now answers.
+        let local = store::ensure_dir(w.state_mut(), root, "local");
+        let fresh = store::create_file(w.state_mut(), local, "data", vec![]);
+        store::attach(w.state_mut(), root, "remote", local, false);
+        r.engine_mut()
+            .service_mut()
+            .place_subtree(&w, local, MachineId(0));
+        r.invalidate(root, &name); // drop the (deliberately stale) positive entry
+        let (e, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache);
+        assert_eq!(
+            e,
+            naming_core::entity::Entity::Object(fresh),
+            "wrong-generation referral was not used"
+        );
+        assert!(r.referral_stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn batch_resolution_matches_singles_and_uses_every_cache() {
+        let (mut w, mut r, client, root) = setup();
+        let names: Vec<CompoundName> = ["/remote/data", "/remote", "/remote/nope", "/remote/data"]
+            .iter()
+            .map(|p| CompoundName::parse_path(p).unwrap())
+            .collect();
+        let batch = r.resolve_batch(&mut w, client, root, &names);
+        // Same answers as one-at-a-time resolution (on a fresh resolver).
+        let (mut w2, mut r2, client2, root2) = setup();
+        for (i, name) in names.iter().enumerate() {
+            let (e, _) = r2.resolve(&mut w2, client2, root2, name, Mode::Iterative);
+            assert_eq!(batch.entities[i], e, "batch disagrees on {name}");
+        }
+        assert!(batch.entities[0].is_defined());
+        assert!(!batch.entities[2].is_defined());
+        assert_eq!(batch.entities[0], batch.entities[3]);
+        assert_eq!(batch.from_cache, vec![false, false, false, false]);
+        // Everything is now cached: the same batch again is free.
+        let sent = w.trace().counter("sent");
+        let again = r.resolve_batch(&mut w, client, root, &names);
+        assert_eq!(again.entities, batch.entities);
+        assert_eq!(again.from_cache, vec![true, true, true, true]);
+        assert_eq!(again.messages, 0);
+        assert_eq!(w.trace().counter("sent"), sent);
+        // A fresh sibling lookup jumps through the referral recorded by
+        // the batch instead of walking from the root.
+        let sibling = [CompoundName::parse_path("/remote/other").unwrap()];
+        let hits = r.referral_stats().hits;
+        r.resolve_batch(&mut w, client, root, &sibling);
+        assert_eq!(r.referral_stats().hits, hits + 1);
+    }
+
+    #[test]
+    fn zero_lookup_hit_rate_is_zero_not_nan() {
+        // Satellite check: a fresh resolver has performed no lookups, and
+        // every derived rate must be a number.
+        let (_w, r, _client, _root) = setup();
+        assert_eq!(r.stats().hits + r.stats().misses, 0);
+        assert_eq!(r.stats().hit_rate(), 0.0);
+        assert!(!r.stats().hit_rate().is_nan());
+        assert!(!CacheStats::default().hit_rate().is_nan());
+        let json = CacheStats::default().to_json();
+        assert!(json.contains("\"hit_rate\": 0.000000"), "got {json}");
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_lookups_under_a_mixed_workload() {
+        let (mut w, mut r, client, root) = setup();
+        let mut lookups = 0u64;
+        // Mixed workload: repeats (hits), fresh names (misses), failures
+        // (negative-cache traffic), rebinds (staleness), every mode.
+        for round in 0..3 {
+            for p in ["/remote/data", "/remote", "/remote/nope", "/remote/data"] {
+                let name = CompoundName::parse_path(p).unwrap();
+                let mode = if round == 2 {
+                    Mode::Recursive
+                } else {
+                    Mode::Iterative
+                };
+                r.resolve(&mut w, client, root, &name, mode);
+                lookups += 1;
+            }
+            if round == 1 {
+                let sub = match store::resolve_path(w.state(), root, "/remote") {
+                    naming_core::entity::Entity::Object(o) => o,
+                    other => panic!("remote missing: {other}"),
+                };
+                let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+                w.state_mut().bind(sub, Name::new("data"), fresh).unwrap();
+                r.heal(&w);
+            }
+        }
+        let s = r.stats();
+        assert_eq!(
+            s.hits + s.misses,
+            lookups,
+            "every lookup is exactly one hit or one miss"
+        );
+        assert!(s.hits > 0 && s.misses > 0, "the workload exercised both");
+        assert!(!s.hit_rate().is_nan());
+    }
+
+    #[test]
+    fn stale_audit_output_is_stable_under_memoization() {
+        // The memoized (and, with `parallel`, sharded) audit must report
+        // exactly what the naive per-entry walk reported.
+        let (mut w, mut r, client, root) = setup();
+        for p in ["/remote/data", "/remote", "/remote/data"] {
+            let name = CompoundName::parse_path(p).unwrap();
+            r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        }
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        w.state_mut().bind(sub, Name::new("data"), fresh).unwrap();
+        let naive: Vec<(ObjectId, CompoundName, Entity)> = {
+            let resolver = Resolver::new();
+            r.memo
+                .entries()
+                .filter_map(|(start, suffix, cached)| {
+                    let name = CompoundName::new(suffix.to_vec()).unwrap();
+                    (resolver.resolve_entity(w.state(), start, &name) != cached)
+                        .then_some((start, name, cached))
+                })
+                .collect()
+        };
+        assert_eq!(r.stale_entries(&w), naive);
+        assert_eq!(naive.len(), 1);
     }
 
     #[test]

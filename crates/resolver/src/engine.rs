@@ -15,7 +15,7 @@ use naming_sim::time::Duration;
 use naming_sim::world::World;
 
 use crate::service::NameService;
-use crate::wire::{Mode, Outcome, Reply, Request, ZoneUpdate};
+use crate::wire::{BatchReply, BatchRequest, Mode, NameTrie, Outcome, Reply, Request, ZoneUpdate};
 
 /// What a completed resolution cost.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +28,43 @@ pub struct ResolveStats {
     pub servers_touched: u32,
     /// Virtual time from request to final answer.
     pub latency: Duration,
+}
+
+/// One referral a resolution followed, relative to the name the client
+/// asked for: after `consumed` components, authority passed to `ctx` on
+/// `machine`. This is exactly what a referral cache can store and later
+/// validate against `ctx`'s generation counter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferralHop {
+    /// Components of the original name consumed before the handoff.
+    pub consumed: usize,
+    /// The machine that became authoritative.
+    pub machine: naming_sim::topology::MachineId,
+    /// The context object resolution continued from.
+    pub ctx: ObjectId,
+}
+
+/// What a completed *batch* resolution cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchResolveStats {
+    /// One entity per input name, in input order (possibly `⊥`).
+    pub entities: Vec<Entity>,
+    /// Wire messages exchanged.
+    pub messages: u64,
+    /// Virtual time from first request to last answer.
+    pub latency: Duration,
+    /// Protocol rounds (referral depth reached).
+    pub rounds: u32,
+    /// Distinct server answers involved.
+    pub servers_touched: u32,
+    /// Duplicate in-flight `(context, suffix)` resolutions that rode a
+    /// shared wire exchange instead of their own.
+    pub coalesced: u64,
+    /// Server lookups avoided by shared-prefix compression.
+    pub hops_saved: u64,
+    /// Every referral any of the names followed, as `(consumed prefix of
+    /// the original name, machine, context)` — deduplicated and sorted.
+    pub referrals: Vec<(CompoundName, naming_sim::topology::MachineId, ObjectId)>,
 }
 
 #[derive(Debug, Default)]
@@ -83,7 +120,23 @@ impl ProtocolEngine {
         name: &CompoundName,
         mode: Mode,
     ) -> ResolveStats {
-        let stats = self.resolve_impl(world, client, start, name, mode);
+        let (stats, _) = self.resolve_traced(world, client, start, name, mode);
+        stats
+    }
+
+    /// Like [`ProtocolEngine::resolve`], but also reports every referral
+    /// the walk followed — what a client-side referral cache records.
+    /// Referrals are only observed by the client in iterative mode; a
+    /// recursive resolve returns an empty hop list.
+    pub fn resolve_traced(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        name: &CompoundName,
+        mode: Mode,
+    ) -> (ResolveStats, Vec<ReferralHop>) {
+        let (stats, hops) = self.resolve_impl(world, client, start, name, mode);
         #[cfg(feature = "telemetry")]
         {
             naming_telemetry::counter!("protocol.resolves").bump();
@@ -107,7 +160,7 @@ impl ProtocolEngine {
                 );
             }
         }
-        stats
+        (stats, hops)
     }
 
     /// The protocol walk itself, free of observation hooks.
@@ -118,19 +171,23 @@ impl ProtocolEngine {
         start: ObjectId,
         name: &CompoundName,
         mode: Mode,
-    ) -> ResolveStats {
+    ) -> (ResolveStats, Vec<ReferralHop>) {
         let t0 = world.now();
         let sent0 = world.trace().counter("sent");
         let mut servers_touched = 0u32;
+        let mut hops = Vec::new();
         let mut target_machine = match self.service.machine_of_object(start) {
             Some(m) => m,
             None => {
-                return ResolveStats {
-                    entity: Entity::Undefined,
-                    messages: 0,
-                    servers_touched: 0,
-                    latency: Duration::ZERO,
-                }
+                return (
+                    ResolveStats {
+                        entity: Entity::Undefined,
+                        messages: 0,
+                        servers_touched: 0,
+                        latency: Duration::ZERO,
+                    },
+                    hops,
+                )
             }
         };
         let mut current_start = start;
@@ -139,43 +196,74 @@ impl ProtocolEngine {
         'outer: loop {
             let id = self.next_id;
             self.next_id += 1;
-            let req = Request {
+            let server = self.service.server_on(target_machine);
+            // With the `batch-wire` feature, iterative single resolves
+            // ride the batch frames as a batch of one — same exchanges,
+            // same answers, one wire format. Recursive mode keeps the
+            // scalar frames (servers forward those on the client's
+            // behalf).
+            #[cfg(feature = "batch-wire")]
+            let frame = if mode == Mode::Iterative {
+                let (trie, _) = NameTrie::build(std::slice::from_ref(&current_name));
+                BatchRequest {
+                    id,
+                    start: current_start,
+                    trie,
+                }
+                .encode()
+            } else {
+                Request {
+                    id,
+                    start: current_start,
+                    name: current_name.clone(),
+                    mode,
+                }
+                .encode()
+            };
+            #[cfg(not(feature = "batch-wire"))]
+            let frame = Request {
                 id,
                 start: current_start,
                 name: current_name.clone(),
                 mode,
-            };
-            let server = self.service.server_on(target_machine);
-            world.send(client, server, vec![Payload::Bytes(req.encode())]);
+            }
+            .encode();
+            world.send(client, server, vec![Payload::Bytes(frame)]);
 
             // Pump until the client hears back about this id.
             let mut steps = 0usize;
-            let reply = loop {
-                if let Some(r) = self.take_client_reply(world, client, id) {
+            let (outcome, touched) = loop {
+                if let Some(r) = self.take_client_answer(world, client, id) {
                     break r;
                 }
                 if steps >= self.max_steps || !world.step() {
                     // Dead protocol (e.g. all messages lost).
-                    break 'outer ResolveStats {
-                        entity: Entity::Undefined,
-                        messages: world.trace().counter("sent") - sent0,
-                        servers_touched,
-                        latency: world.now() - t0,
-                    };
+                    break 'outer (
+                        ResolveStats {
+                            entity: Entity::Undefined,
+                            messages: world.trace().counter("sent") - sent0,
+                            servers_touched,
+                            latency: world.now() - t0,
+                        },
+                        hops,
+                    );
                 }
                 steps += 1;
                 self.drain_servers(world);
             };
 
-            servers_touched += reply.servers_touched;
-            match reply.outcome {
+            servers_touched += touched;
+            match outcome {
                 Outcome::Resolved(e) => {
-                    break ResolveStats {
-                        entity: e,
-                        messages: world.trace().counter("sent") - sent0,
-                        servers_touched,
-                        latency: world.now() - t0,
-                    };
+                    break (
+                        ResolveStats {
+                            entity: e,
+                            messages: world.trace().counter("sent") - sent0,
+                            servers_touched,
+                            latency: world.now() - t0,
+                        },
+                        hops,
+                    );
                 }
                 Outcome::Referral {
                     next_machine,
@@ -183,19 +271,199 @@ impl ProtocolEngine {
                     remaining,
                 } => {
                     // Iterative mode: the client chases the referral.
+                    hops.push(ReferralHop {
+                        consumed: name.len().saturating_sub(remaining.len()),
+                        machine: next_machine,
+                        ctx: next_ctx,
+                    });
                     target_machine = next_machine;
                     current_start = next_ctx;
                     current_name = remaining;
                 }
                 Outcome::NotFound | Outcome::WrongServer => {
-                    break ResolveStats {
-                        entity: Entity::Undefined,
-                        messages: world.trace().counter("sent") - sent0,
-                        servers_touched,
-                        latency: world.now() - t0,
-                    };
+                    break (
+                        ResolveStats {
+                            entity: Entity::Undefined,
+                            messages: world.trace().counter("sent") - sent0,
+                            servers_touched,
+                            latency: world.now() - t0,
+                        },
+                        hops,
+                    );
                 }
             }
+        }
+    }
+
+    /// Resolves many names from one start context in coalesced, batched
+    /// wire exchanges: per protocol round, all names still in flight that
+    /// continue from the same context object share a single
+    /// [`BatchRequest`] (shared-prefix compressed), and duplicate
+    /// `(context, suffix)` pairs ride one exchange. Answers match
+    /// [`ProtocolEngine::resolve`] in iterative mode, name by name.
+    pub fn resolve_batch(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        names: &[CompoundName],
+    ) -> BatchResolveStats {
+        let stats = self.resolve_batch_impl(world, client, start, names);
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("protocol.batch_resolves").bump();
+            naming_telemetry::counter!("protocol.hops_saved").add(stats.hops_saved);
+            naming_telemetry::counter!("protocol.coalesced").add(stats.coalesced);
+            naming_telemetry::histogram!("protocol.batch_size").record(names.len() as u64);
+            naming_telemetry::histogram!("protocol.batch_messages").record(stats.messages);
+        }
+        stats
+    }
+
+    fn resolve_batch_impl(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        names: &[CompoundName],
+    ) -> BatchResolveStats {
+        let t0 = world.now();
+        let sent0 = world.trace().counter("sent");
+        let mut entities = vec![Entity::Undefined; names.len()];
+        let mut referrals = Vec::new();
+        let mut servers_touched = 0u32;
+        let mut hops_saved = 0u64;
+        let mut coalesced = 0u64;
+        let mut rounds = 0u32;
+
+        // In-flight work, grouped two levels deep: context to continue
+        // from → remaining suffix → the input slots riding that suffix
+        // (slot index, components of the slot's original name already
+        // consumed). The suffix level is what single-flight coalescing
+        // collapses; the context level is what shares a wire exchange.
+        type Slots = Vec<(usize, usize)>;
+        let mut pending: BTreeMap<ObjectId, BTreeMap<CompoundName, Slots>> = BTreeMap::new();
+        for (i, n) in names.iter().enumerate() {
+            pending
+                .entry(start)
+                .or_default()
+                .entry(n.clone())
+                .or_default()
+                .push((i, 0));
+        }
+        // Every referral consumes at least one component, so the round
+        // count is bounded by the deepest name (+1 slack for the final
+        // answer round).
+        let max_rounds = names.iter().map(|n| n.len() as u32).max().unwrap_or(0) + 1;
+
+        while !pending.is_empty() && rounds < max_rounds {
+            rounds += 1;
+            let round = std::mem::take(&mut pending);
+            // One BatchRequest per continue-from context; all requests of
+            // the round go out before any reply is awaited.
+            struct Awaiting {
+                entries: Vec<(CompoundName, Vec<(usize, usize)>)>,
+                mapping: Vec<u32>,
+            }
+            let mut awaiting: BTreeMap<u64, Awaiting> = BTreeMap::new();
+            for (ctx, group) in round {
+                let Some(machine) = self.service.machine_of_object(ctx) else {
+                    continue; // nobody authoritative: those slots stay ⊥
+                };
+                let entries: Vec<(CompoundName, Slots)> = group.into_iter().collect();
+                for (_, slots) in &entries {
+                    coalesced += slots.len() as u64 - 1;
+                }
+                let group_names: Vec<CompoundName> =
+                    entries.iter().map(|(n, _)| n.clone()).collect();
+                let (trie, mapping) = NameTrie::build(&group_names);
+                let id = self.next_id;
+                self.next_id += 1;
+                let req = BatchRequest {
+                    id,
+                    start: ctx,
+                    trie,
+                };
+                let server = self.service.server_on(machine);
+                world.send(client, server, vec![Payload::Bytes(req.encode())]);
+                awaiting.insert(id, Awaiting { entries, mapping });
+            }
+
+            // Pump until every request of the round is answered (or the
+            // protocol is dead).
+            let mut got: BTreeMap<u64, BatchReply> = BTreeMap::new();
+            let mut steps = 0usize;
+            loop {
+                while let Some(msg) = world.receive(client) {
+                    for part in &msg.parts {
+                        let Payload::Bytes(b) = part else { continue };
+                        if let Some(rep) = BatchReply::decode(b.clone()) {
+                            if awaiting.contains_key(&rep.id) {
+                                got.insert(rep.id, rep);
+                            }
+                        }
+                    }
+                }
+                if got.len() == awaiting.len() {
+                    break;
+                }
+                if steps >= self.max_steps || !world.step() {
+                    break; // dead protocol: unanswered slots stay ⊥
+                }
+                steps += 1;
+                self.drain_servers(world);
+            }
+
+            for (id, Awaiting { entries, mapping }) in awaiting {
+                let Some(rep) = got.remove(&id) else { continue };
+                servers_touched += rep.servers_touched;
+                hops_saved += u64::from(rep.lookups_saved);
+                for (k, (sent_name, slots)) in entries.into_iter().enumerate() {
+                    let outcome = mapping.get(k).and_then(|&q| rep.outcomes.get(q as usize));
+                    match outcome {
+                        Some(Outcome::Resolved(e)) => {
+                            for (slot, _) in slots {
+                                entities[slot] = *e;
+                            }
+                        }
+                        Some(Outcome::Referral {
+                            next_machine,
+                            next_ctx,
+                            remaining,
+                        }) => {
+                            let step = sent_name.len().saturating_sub(remaining.len());
+                            let next = pending.entry(*next_ctx).or_default();
+                            let riders = next.entry(remaining.clone()).or_default();
+                            for (slot, consumed) in slots {
+                                let consumed = (consumed + step).min(names[slot].len());
+                                if consumed > 0 {
+                                    if let Ok(prefix) = CompoundName::new(
+                                        names[slot].components()[..consumed].iter().copied(),
+                                    ) {
+                                        referrals.push((prefix, *next_machine, *next_ctx));
+                                    }
+                                }
+                                riders.push((slot, consumed));
+                            }
+                        }
+                        // NotFound / WrongServer / malformed reply: ⊥.
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        referrals.sort();
+        referrals.dedup();
+        BatchResolveStats {
+            entities,
+            messages: world.trace().counter("sent") - sent0,
+            latency: world.now() - t0,
+            rounds,
+            servers_touched,
+            coalesced,
+            hops_saved,
+            referrals,
         }
     }
 
@@ -239,13 +507,15 @@ impl ProtocolEngine {
         n
     }
 
-    /// Pops the client's reply for `id`, if one is waiting.
-    fn take_client_reply(
+    /// Pops the client's answer for `id`, if one is waiting — a scalar
+    /// [`Reply`] or a batch-of-one [`BatchReply`], whichever frame the
+    /// server answered with.
+    fn take_client_answer(
         &mut self,
         world: &mut World,
         client: ActivityId,
         id: u64,
-    ) -> Option<Reply> {
+    ) -> Option<(Outcome, u32)> {
         // Handle every waiting message; replies for other ids are dropped
         // (single-outstanding-request client).
         while let Some(msg) = world.receive(client) {
@@ -253,7 +523,13 @@ impl ProtocolEngine {
                 if let Payload::Bytes(b) = part {
                     if let Some(r) = Reply::decode(b.clone()) {
                         if r.id == id {
-                            return Some(r);
+                            return Some((r.outcome, r.servers_touched));
+                        }
+                    } else if let Some(r) = BatchReply::decode(b.clone()) {
+                        if r.id == id {
+                            let outcome =
+                                r.outcomes.into_iter().next().unwrap_or(Outcome::NotFound);
+                            return Some((outcome, r.servers_touched));
                         }
                     }
                 }
@@ -272,6 +548,8 @@ impl ProtocolEngine {
                     let Payload::Bytes(b) = part else { continue };
                     if let Some(req) = Request::decode(b.clone()) {
                         self.handle_request(world, machine, server, msg.from, req);
+                    } else if let Some(req) = BatchRequest::decode(b.clone()) {
+                        self.handle_batch_request(world, machine, server, msg.from, req);
                     } else if let Some(rep) = Reply::decode(b.clone()) {
                         self.handle_forwarded_reply(world, server, rep);
                     } else if let Some(update) = ZoneUpdate::decode(b.clone()) {
@@ -326,6 +604,29 @@ impl ProtocolEngine {
                 world.send(server, requester, vec![Payload::Bytes(reply.encode())]);
             }
         }
+    }
+
+    /// Answers a [`BatchRequest`]: one trie walk, one [`BatchReply`].
+    /// Batches are always client-driven; there is no recursive variant to
+    /// forward.
+    fn handle_batch_request(
+        &mut self,
+        world: &mut World,
+        machine: naming_sim::topology::MachineId,
+        server: ActivityId,
+        requester: ActivityId,
+        req: BatchRequest,
+    ) {
+        let (outcomes, lookups_saved) = self
+            .service
+            .local_resolve_batch(world, machine, req.start, &req.trie);
+        let reply = BatchReply {
+            id: req.id,
+            outcomes,
+            servers_touched: 1,
+            lookups_saved,
+        };
+        world.send(server, requester, vec![Payload::Bytes(reply.encode())]);
     }
 
     fn handle_zone_update(
@@ -527,6 +828,115 @@ mod tests {
         assert_eq!(engine.publish_zone(&mut w, root), 0);
         assert_eq!(engine.pump_idle(&mut w), 0);
         let _ = machines;
+    }
+
+    #[test]
+    fn batch_resolution_matches_singles_with_fewer_messages() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let names: Vec<CompoundName> = [
+            "/hop1/hop2/leaf",
+            "/hop1/hop2",
+            "/hop1",
+            "/hop1/nope",
+            "/hop1/hop2/leaf", // duplicate: coalesces
+        ]
+        .iter()
+        .map(|p| CompoundName::parse_path(p).unwrap())
+        .collect();
+
+        // Ground truth: each name alone.
+        let mut single_msgs = 0u64;
+        let singles: Vec<Entity> = names
+            .iter()
+            .map(|n| {
+                let s = engine.resolve(&mut w, client, root, n, Mode::Iterative);
+                single_msgs += s.messages;
+                s.entity
+            })
+            .collect();
+        assert_eq!(singles[0], leaf);
+
+        let batch = engine.resolve_batch(&mut w, client, root, &names);
+        assert_eq!(batch.entities, singles, "batch must agree name-by-name");
+        // Three rounds (one per machine crossed), two messages each.
+        assert_eq!(batch.rounds, 3);
+        assert_eq!(batch.messages, 6);
+        assert!(
+            batch.messages * 3 <= single_msgs,
+            "batched {} vs singles {}",
+            batch.messages,
+            single_msgs
+        );
+        // The duplicate name coalesced in every one of the three rounds
+        // (one avoided exchange per round).
+        assert_eq!(batch.coalesced, 3);
+        assert!(batch.hops_saved > 0, "shared prefixes saved server work");
+        // The deepest referral the batch followed is recordable: the
+        // prefix "/hop1/hop2" handed authority to machine 2.
+        assert!(batch
+            .referrals
+            .iter()
+            .any(|(p, m, _)| p.to_string() == "/hop1/hop2" && *m == machines[2]));
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_resolve() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let single = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        let batch = engine.resolve_batch(&mut w, client, root, std::slice::from_ref(&name));
+        assert_eq!(batch.entities, vec![leaf]);
+        assert_eq!(batch.messages, single.messages);
+        assert_eq!(batch.latency, single.latency);
+        assert_eq!(batch.servers_touched, single.servers_touched);
+    }
+
+    #[test]
+    fn batch_with_lost_messages_ends_in_bottom_not_hang() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        w.set_message_drop_rate(1.0);
+        let names = vec![
+            CompoundName::parse_path("/hop1/hop2/leaf").unwrap(),
+            CompoundName::parse_path("/hop1").unwrap(),
+        ];
+        let batch = engine.resolve_batch(&mut w, client, root, &names);
+        assert_eq!(batch.entities, vec![Entity::Undefined, Entity::Undefined]);
+    }
+
+    #[test]
+    fn batch_from_unplaced_start_is_all_bottom() {
+        let (mut w, svc, machines, _, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let orphan = w.state_mut().add_context_object("orphan");
+        let names = vec![CompoundName::parse_path("/x").unwrap()];
+        let batch = engine.resolve_batch(&mut w, client, orphan, &names);
+        assert_eq!(batch.entities, vec![Entity::Undefined]);
+        assert_eq!(batch.messages, 0);
+    }
+
+    #[test]
+    fn traced_resolve_reports_the_referral_chain() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let (stats, hops) = engine.resolve_traced(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, leaf);
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].consumed, 2); // "/", "hop1" consumed
+        assert_eq!(hops[0].machine, machines[1]);
+        assert_eq!(hops[1].consumed, 3);
+        assert_eq!(hops[1].machine, machines[2]);
+        // Recursive mode: the client never sees referrals.
+        let (_, rhops) = engine.resolve_traced(&mut w, client, root, &name, Mode::Recursive);
+        assert!(rhops.is_empty());
     }
 
     #[test]

@@ -28,5 +28,6 @@
 
 pub mod cache;
 pub mod engine;
+pub mod referral;
 pub mod service;
 pub mod wire;

@@ -1,0 +1,439 @@
+//! Referral and negative caches: routing knowledge and `⊥` verdicts a
+//! client may keep — *with* generation validation, so neither ever
+//! returns a stale answer.
+//!
+//! DNS resolvers cache referrals (NS records) so repeat lookups skip the
+//! root; SDSI's linked local namespaces make the same observation about
+//! name-by-name delegation. The paper's §5 warning applies to both: a
+//! cached referral is a claim about the bindings along a prefix, and the
+//! contexts are free to falsify it. These caches therefore record the
+//! full generation footprint of the prefix (PR-1 counters) and validate
+//! it on every probe: a wrong-generation entry is dropped on sight and
+//! the client falls back toward the root. That makes them *coherent*
+//! caches — unlike [`CachingResolver`](crate::cache::CachingResolver)'s
+//! deliberately incoherent positive cache, whose staleness is the point.
+//!
+//! Both caches are thin policies over naming-core's
+//! [`ResolutionMemo`], which already owns the hard parts: borrowed-key
+//! probes, O(1) LRU bounding, and epoch/generation validation.
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::memo::ResolutionMemo;
+use naming_core::name::{CompoundName, Name};
+use naming_core::resolve::Resolver;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::service::NameService;
+
+/// Default bound on cached referrals / negative entries.
+pub const DEFAULT_REFERRAL_CAPACITY: usize = 1 << 10;
+
+/// Counters for a validated cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidatedCacheStats {
+    /// Probes answered by a still-valid entry.
+    pub hits: u64,
+    /// Probes that found nothing valid.
+    pub misses: u64,
+    /// Entries dropped because their generation footprint no longer
+    /// matched the authoritative state.
+    pub invalidated: u64,
+    /// Entries recorded.
+    pub recorded: u64,
+}
+
+/// Maps resolved zone prefixes to the context object (and server) that
+/// became authoritative there, so a repeat lookup skips straight to the
+/// deepest known server instead of walking from the root.
+///
+/// Every entry carries the `(context, generation)` footprint of its
+/// prefix; [`ReferralCache::lookup_deepest`] re-validates on each probe
+/// and falls back to the next-shallower prefix (ultimately the root)
+/// when a generation moved. A jump is therefore always equivalent to
+/// resolving the prefix afresh — referral caching changes message
+/// counts, never answers.
+#[derive(Debug)]
+pub struct ReferralCache {
+    memo: ResolutionMemo,
+    stats: ValidatedCacheStats,
+}
+
+impl ReferralCache {
+    /// An empty cache with the default bound.
+    pub fn new() -> ReferralCache {
+        ReferralCache::with_capacity(DEFAULT_REFERRAL_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` referrals (LRU-bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> ReferralCache {
+        ReferralCache {
+            memo: ResolutionMemo::with_capacity(capacity),
+            stats: ValidatedCacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ValidatedCacheStats {
+        self.stats
+    }
+
+    /// Number of cached referrals.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// Records that resolving `prefix` from `start` handed authority to
+    /// the context object `ctx`.
+    ///
+    /// The entry's validity footprint is the generation of every context
+    /// the prefix traverses *now*; if the oracle walk disagrees with the
+    /// protocol's referral (a lagging replica answered, or the binding
+    /// changed while the referral was in flight), nothing is recorded —
+    /// a cache that can't justify an entry must not keep it.
+    pub fn record(&mut self, world: &World, start: ObjectId, prefix: &CompoundName, ctx: ObjectId) {
+        let (oracle, deps) = Resolver::new().resolve_entity_with_deps(world.state(), start, prefix);
+        let justified = match oracle {
+            Entity::Object(o) => o == ctx || world.replicas().are_replicas(o, ctx),
+            _ => false,
+        };
+        if !justified || deps.is_empty() {
+            return;
+        }
+        self.memo.record(
+            world.state(),
+            start,
+            prefix.components(),
+            Entity::Object(ctx),
+            &deps,
+        );
+        self.stats.recorded += 1;
+    }
+
+    /// Finds the deepest cached, still-valid referral for a proper prefix
+    /// of `comps` from `start`. Returns `(prefix length, context,
+    /// machine)`; generation-invalid entries encountered on the way are
+    /// dropped (counted in
+    /// [`invalidated`](ValidatedCacheStats::invalidated)) and the search
+    /// falls back toward the root.
+    pub fn lookup_deepest(
+        &mut self,
+        world: &World,
+        service: &NameService,
+        start: ObjectId,
+        comps: &[Name],
+    ) -> Option<(usize, ObjectId, MachineId)> {
+        for len in (1..comps.len()).rev() {
+            let invalidations0 = self.memo.stats().invalidations;
+            let probed = self.memo.probe(world.state(), start, &comps[..len]);
+            self.stats.invalidated += self.memo.stats().invalidations - invalidations0;
+            let Some(Entity::Object(ctx)) = probed else {
+                continue;
+            };
+            // A referral is only useful if somebody still serves the
+            // context; placement is consulted live, never cached.
+            match service.machine_of_object(ctx) {
+                Some(m) => {
+                    self.stats.hits += 1;
+                    #[cfg(feature = "telemetry")]
+                    naming_telemetry::counter!("referral.hits").bump();
+                    return Some((len, ctx, m));
+                }
+                None => {
+                    self.memo.remove(start, &comps[..len]);
+                    self.stats.invalidated += 1;
+                    #[cfg(feature = "telemetry")]
+                    naming_telemetry::counter!("referral.invalidated").bump();
+                }
+            }
+        }
+        self.stats.misses += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("referral.misses").bump();
+        None
+    }
+
+    /// Drops every entry.
+    pub fn invalidate_all(&mut self) {
+        self.memo.invalidate_all();
+    }
+
+    /// Drops exactly the entries whose generation footprint is stale.
+    /// Returns how many were dropped. (Probes do this lazily anyway;
+    /// sweeping just reclaims the space eagerly.)
+    pub fn heal(&mut self, world: &World) -> usize {
+        let n = self.memo.invalidate_stale(world.state());
+        self.stats.invalidated += n as u64;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("referral.invalidated").add(n as u64);
+        n
+    }
+}
+
+impl Default for ReferralCache {
+    fn default() -> ReferralCache {
+        ReferralCache::new()
+    }
+}
+
+/// Caches `⊥` outcomes — "this name denotes nothing" — with the
+/// generation footprint of the failed walk, so repeated misses stop
+/// hitting the network while a `bind` anywhere along the consulted path
+/// invalidates the verdict exactly.
+///
+/// Unlike the positive cache, negative entries are *always* validated
+/// before being served: serving a stale "does not exist" would invent
+/// incoherence the authoritative system never exhibited.
+#[derive(Debug)]
+pub struct NegativeCache {
+    memo: ResolutionMemo,
+    stats: ValidatedCacheStats,
+}
+
+impl NegativeCache {
+    /// An empty cache with the default bound.
+    pub fn new() -> NegativeCache {
+        NegativeCache::with_capacity(DEFAULT_REFERRAL_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` verdicts (LRU-bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> NegativeCache {
+        NegativeCache {
+            memo: ResolutionMemo::with_capacity(capacity),
+            stats: ValidatedCacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ValidatedCacheStats {
+        self.stats
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+
+    /// True when `name` from `start` is a cached, still-valid `⊥`.
+    pub fn probe(&mut self, world: &World, start: ObjectId, name: &CompoundName) -> bool {
+        let invalidations0 = self.memo.stats().invalidations;
+        let hit = matches!(
+            self.memo.probe(world.state(), start, name.components()),
+            Some(Entity::Undefined)
+        );
+        self.stats.invalidated += self.memo.stats().invalidations - invalidations0;
+        if hit {
+            self.stats.hits += 1;
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("negcache.hits").bump();
+        } else {
+            self.stats.misses += 1;
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("negcache.misses").bump();
+        }
+        hit
+    }
+
+    /// Records a `⊥` verdict the *authoritative state* agrees with.
+    ///
+    /// The network can answer `⊥` for reasons that are not naming state
+    /// at all — every message lost, an unplaced zone — and caching those
+    /// would keep denying a name that exists. So the verdict is only
+    /// recorded when the oracle walk also fails, and its generation
+    /// footprint (from
+    /// [`Resolver::resolve_entity_with_deps`]) is non-empty. Returns
+    /// whether an entry was recorded.
+    pub fn record(&mut self, world: &World, start: ObjectId, name: &CompoundName) -> bool {
+        let (oracle, deps) = Resolver::new().resolve_entity_with_deps(world.state(), start, name);
+        if oracle.is_defined() || deps.is_empty() {
+            return false;
+        }
+        self.memo.record(
+            world.state(),
+            start,
+            name.components(),
+            Entity::Undefined,
+            &deps,
+        );
+        self.stats.recorded += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("negcache.recorded").bump();
+        true
+    }
+
+    /// Drops every entry.
+    pub fn invalidate_all(&mut self) {
+        self.memo.invalidate_all();
+    }
+
+    /// Drops exactly the stale entries; returns how many.
+    pub fn heal(&mut self, world: &World) -> usize {
+        let n = self.memo.invalidate_stale(world.state());
+        self.stats.invalidated += n as u64;
+        n
+    }
+}
+
+impl Default for NegativeCache {
+    fn default() -> NegativeCache {
+        NegativeCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naming_core::name::Name;
+    use naming_sim::store;
+    use naming_sim::topology::MachineId;
+
+    /// m1 hosts the root tree, m2 hosts /usr/remote.
+    fn setup() -> (World, NameService, MachineId, MachineId, ObjectId, ObjectId) {
+        let mut w = World::new(91);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root = w.machine_root(m1);
+        let usr = store::ensure_dir(w.state_mut(), root, "usr");
+        let root2 = w.machine_root(m2);
+        let rem = store::ensure_dir(w.state_mut(), root2, "export");
+        store::create_file(w.state_mut(), rem, "data", vec![]);
+        store::attach(w.state_mut(), usr, "remote", rem, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, root2, m2);
+        svc.place_subtree(&w, root, m1);
+        (w, svc, m1, m2, root, rem)
+    }
+
+    #[test]
+    fn referral_round_trips_and_jumps_deepest() {
+        let (w, svc, _m1, m2, root, rem) = setup();
+        let mut cache = ReferralCache::new();
+        let full = CompoundName::parse_path("/usr/remote/data").unwrap();
+        let prefix = CompoundName::parse_path("/usr/remote").unwrap();
+        cache.record(&w, root, &prefix, rem);
+        assert_eq!(cache.len(), 1);
+        let hit = cache.lookup_deepest(&w, &svc, root, full.components());
+        assert_eq!(hit, Some((3, rem, m2)));
+        assert_eq!(cache.stats().hits, 1);
+        // A name that IS the prefix has no proper-prefix referral to use.
+        assert_eq!(
+            cache.lookup_deepest(&w, &svc, root, prefix.components()),
+            None
+        );
+    }
+
+    #[test]
+    fn wrong_generation_referral_falls_back_toward_root() {
+        let (mut w, svc, _m1, m2, root, rem) = setup();
+        let mut cache = ReferralCache::new();
+        let full = CompoundName::parse_path("/usr/remote/data").unwrap();
+        cache.record(
+            &w,
+            root,
+            &CompoundName::parse_path("/usr/remote").unwrap(),
+            rem,
+        );
+        cache.record(&w, root, &CompoundName::parse_path("/usr").unwrap(), {
+            let usr = match store::resolve_path(w.state(), root, "/usr") {
+                Entity::Object(o) => o,
+                other => panic!("usr missing: {other}"),
+            };
+            usr
+        });
+        // Rebind "remote" inside /usr: the deep referral's footprint
+        // includes usr's generation, so it must die; the shallow "/usr"
+        // referral only depends on the root and survives.
+        let usr = match store::resolve_path(w.state(), root, "/usr") {
+            Entity::Object(o) => o,
+            other => panic!("usr missing: {other}"),
+        };
+        let elsewhere = w.state_mut().add_context_object("elsewhere");
+        w.state_mut()
+            .bind(usr, Name::new("remote"), elsewhere)
+            .unwrap();
+        let hit = cache.lookup_deepest(&w, &svc, root, full.components());
+        assert_eq!(hit, Some((2, usr, _m1)), "fell back to the /usr prefix");
+        assert!(cache.stats().invalidated >= 1);
+        let _ = m2;
+    }
+
+    #[test]
+    fn unjustified_referrals_are_not_recorded() {
+        let (w, _svc, _m1, _m2, root, rem) = setup();
+        let mut cache = ReferralCache::new();
+        // /usr does not resolve to `rem`; the record must be refused.
+        cache.record(&w, root, &CompoundName::parse_path("/usr").unwrap(), rem);
+        assert!(cache.is_empty());
+        // A prefix that doesn't resolve at all is refused too.
+        cache.record(&w, root, &CompoundName::parse_path("/nope").unwrap(), rem);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().recorded, 0);
+    }
+
+    #[test]
+    fn replica_referral_is_justified() {
+        let (mut w, mut svc, m1, _m2, root, rem) = setup();
+        let copy = svc.replicate_zone(&mut w, rem, m1);
+        let mut cache = ReferralCache::new();
+        let prefix = CompoundName::parse_path("/usr/remote").unwrap();
+        // The protocol may refer to the replica copy; the oracle resolves
+        // the primary — the replica registry justifies the entry.
+        cache.record(&w, root, &prefix, copy);
+        assert_eq!(cache.len(), 1);
+        let hit = cache.lookup_deepest(
+            &w,
+            &svc,
+            root,
+            CompoundName::parse_path("/usr/remote/data")
+                .unwrap()
+                .components(),
+        );
+        assert_eq!(hit, Some((3, copy, m1)));
+    }
+
+    #[test]
+    fn negative_cache_serves_then_invalidates_on_bind() {
+        let (mut w, _svc, _m1, _m2, root, rem) = setup();
+        let mut neg = NegativeCache::new();
+        let name = CompoundName::parse_path("/usr/remote/nope").unwrap();
+        assert!(!neg.probe(&w, root, &name), "cold cache misses");
+        assert!(neg.record(&w, root, &name));
+        assert!(neg.probe(&w, root, &name), "⊥ now served from cache");
+        assert_eq!(neg.stats().hits, 1);
+        // Binding the name bumps `rem`'s generation: the verdict dies.
+        let f = w.state_mut().add_data_object("nope", vec![]);
+        w.state_mut().bind(rem, Name::new("nope"), f).unwrap();
+        assert!(!neg.probe(&w, root, &name), "stale ⊥ is never served");
+        assert!(neg.stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn negative_cache_refuses_protocol_only_failures() {
+        let (w, _svc, _m1, _m2, root, _rem) = setup();
+        let mut neg = NegativeCache::new();
+        // The oracle CAN resolve this — a network-layer ⊥ (lost messages)
+        // must not be cached.
+        let name = CompoundName::parse_path("/usr/remote/data").unwrap();
+        assert!(!neg.record(&w, root, &name));
+        assert!(neg.is_empty());
+    }
+}

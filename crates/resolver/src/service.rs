@@ -15,7 +15,7 @@ use naming_core::name::CompoundName;
 use naming_sim::topology::MachineId;
 use naming_sim::world::World;
 
-use crate::wire::Outcome;
+use crate::wire::{NameTrie, Outcome};
 
 /// Per-machine name servers plus the authoritative placement map.
 ///
@@ -302,6 +302,145 @@ impl NameService {
         unreachable!("compound names are nonempty")
     }
 
+    /// Authoritative *batch* resolution step on `machine`: walks a
+    /// shared-prefix trie of names from `start`, resolving each distinct
+    /// prefix exactly once. Returns one outcome per query id (matching
+    /// [`NameService::local_resolve`] on each name individually) and the
+    /// number of lookups prefix sharing saved versus resolving every
+    /// query independently.
+    pub fn local_resolve_batch(
+        &self,
+        world: &World,
+        machine: MachineId,
+        start: ObjectId,
+        trie: &NameTrie,
+    ) -> (Vec<Outcome>, u32) {
+        let n = trie.query_count as usize;
+        if self.machine_of_object(start) != Some(machine) {
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("service.wrong_server").add(n as u64);
+            return (vec![Outcome::WrongServer; n], 0);
+        }
+        // What each query would cost if resolved alone: every query in a
+        // node's subtree would have looked that node's component up.
+        let sub = trie.subtree_query_counts();
+        let mut outcomes = vec![Outcome::NotFound; n];
+        let mut lookups = 0u32;
+        let mut naive = 0u32;
+
+        /// Walk state at a trie node: still resolving locally, already
+        /// past a referral boundary (accumulating the remaining path), or
+        /// past a dead binding (everything below is `NotFound`).
+        enum St {
+            Live(ObjectId),
+            Referred {
+                m: MachineId,
+                ctx: ObjectId,
+                path: Vec<naming_core::name::Name>,
+            },
+            Dead,
+        }
+
+        let mut stack: Vec<(u32, St)> = trie
+            .roots
+            .iter()
+            .rev()
+            .map(|&r| (r, St::Live(start)))
+            .collect();
+        while let Some((ni, st)) = stack.pop() {
+            let node = &trie.nodes[ni as usize];
+            match st {
+                // The default outcome is already NotFound.
+                St::Dead => {
+                    for &c in node.children.iter().rev() {
+                        stack.push((c, St::Dead));
+                    }
+                }
+                St::Referred { m, ctx, path } => {
+                    let mut p = path;
+                    p.push(node.component);
+                    if let Some(q) = node.query {
+                        if let (Some(slot), Ok(remaining)) = (
+                            outcomes.get_mut(q as usize),
+                            CompoundName::new(p.iter().copied()),
+                        ) {
+                            *slot = Outcome::Referral {
+                                next_machine: m,
+                                next_ctx: ctx,
+                                remaining,
+                            };
+                        }
+                    }
+                    for &c in node.children.iter().rev() {
+                        stack.push((
+                            c,
+                            St::Referred {
+                                m,
+                                ctx,
+                                path: p.clone(),
+                            },
+                        ));
+                    }
+                }
+                St::Live(cur) => {
+                    lookups += 1;
+                    naive += sub[ni as usize];
+                    let e = world.state().lookup(cur, node.component);
+                    if !e.is_defined() {
+                        for &c in node.children.iter().rev() {
+                            stack.push((c, St::Dead));
+                        }
+                        continue;
+                    }
+                    if let Some(q) = node.query {
+                        if let Some(slot) = outcomes.get_mut(q as usize) {
+                            *slot = Outcome::Resolved(e);
+                        }
+                    }
+                    if node.children.is_empty() {
+                        continue;
+                    }
+                    // Descend exactly as the single-name walk would: a
+                    // local replica keeps the walk live, a remote zone
+                    // starts a referral, anything else is dead.
+                    let next = match e {
+                        Entity::Object(o) if world.state().is_context_object(o) => {
+                            if let Some(copy) = self.zone_copy_on(o, machine) {
+                                Some((copy, None))
+                            } else {
+                                self.nearest_server_for(world, machine, o)
+                                    .map(|(m, ctx)| (ctx, Some(m)))
+                            }
+                        }
+                        _ => None,
+                    };
+                    for &c in node.children.iter().rev() {
+                        stack.push((
+                            c,
+                            match next {
+                                Some((copy, None)) => St::Live(copy),
+                                Some((ctx, Some(m))) => St::Referred {
+                                    m,
+                                    ctx,
+                                    path: Vec::new(),
+                                },
+                                None => St::Dead,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        let saved = naive.saturating_sub(lookups);
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::counter!("service.batch_queries").add(n as u64);
+            naming_telemetry::counter!("service.batch_lookups").add(u64::from(lookups));
+            naming_telemetry::counter!("service.batch_lookups_saved").add(u64::from(saved));
+        }
+        (outcomes, saved)
+    }
+
     /// Picks the server for zone `o` nearest to `from`: same network
     /// beats cross-network; the primary wins ties. Returns the machine and
     /// the context object (copy or primary) it serves.
@@ -490,6 +629,67 @@ mod tests {
         let (mut w, mut svc, m1, _m2, _root1, rem) = setup();
         svc.replicate_zone(&mut w, rem, m1);
         svc.replicate_zone(&mut w, rem, m1);
+    }
+
+    #[test]
+    fn batch_walk_agrees_with_single_walk() {
+        let (w, svc, m1, _, root1, _) = setup();
+        let names: Vec<CompoundName> = [
+            "/usr/motd",
+            "/usr/remote/data",
+            "/usr/remote/other",
+            "/usr/missing",
+            "/usr/motd", // duplicate
+            "/usr",
+        ]
+        .iter()
+        .map(|p| CompoundName::parse_path(p).unwrap())
+        .collect();
+        let (trie, mapping) = NameTrie::build(&names);
+        let (outcomes, saved) = svc.local_resolve_batch(&w, m1, root1, &trie);
+        assert_eq!(outcomes.len(), trie.query_count as usize);
+        for (i, n) in names.iter().enumerate() {
+            let single = svc.local_resolve(&w, m1, root1, n);
+            assert_eq!(
+                outcomes[mapping[i] as usize], single,
+                "batch and single walks disagree on {n}"
+            );
+        }
+        // The six names share "/" and "/usr" prefixes; the batch walk
+        // must have skipped repeated lookups.
+        assert!(saved > 0, "shared prefixes should save lookups");
+    }
+
+    #[test]
+    fn batch_walk_through_replica_stays_local() {
+        let (mut w, mut svc, m1, _m2, root1, rem) = setup();
+        svc.replicate_zone(&mut w, rem, m1);
+        let names = vec![
+            CompoundName::parse_path("/usr/remote/data").unwrap(),
+            CompoundName::parse_path("/usr/remote/nope").unwrap(),
+        ];
+        let (trie, mapping) = NameTrie::build(&names);
+        let (outcomes, _) = svc.local_resolve_batch(&w, m1, root1, &trie);
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(
+                outcomes[mapping[i] as usize],
+                svc.local_resolve(&w, m1, root1, n)
+            );
+        }
+        assert!(matches!(
+            outcomes[mapping[0] as usize],
+            Outcome::Resolved(_)
+        ));
+    }
+
+    #[test]
+    fn batch_walk_wrong_server() {
+        let (w, svc, _m1, m2, root1, _) = setup();
+        let names = vec![CompoundName::parse_path("/usr/motd").unwrap()];
+        let (trie, _) = NameTrie::build(&names);
+        let (outcomes, saved) = svc.local_resolve_batch(&w, m2, root1, &trie);
+        assert_eq!(outcomes, vec![Outcome::WrongServer]);
+        assert_eq!(saved, 0);
     }
 
     #[test]

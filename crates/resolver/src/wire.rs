@@ -111,6 +111,8 @@ impl ZoneUpdate {
 const TAG_REQUEST: u8 = 1;
 const TAG_REPLY: u8 = 2;
 const TAG_ZONE_UPDATE: u8 = 3;
+const TAG_BATCH_REQUEST: u8 = 4;
+const TAG_BATCH_REPLY: u8 = 5;
 
 const OUT_RESOLVED: u8 = 1;
 const OUT_REFERRAL: u8 = 2;
@@ -195,6 +197,367 @@ fn get_entity(buf: &mut Bytes) -> Option<Entity> {
     }
 }
 
+fn put_outcome(buf: &mut BytesMut, o: &Outcome) {
+    match o {
+        Outcome::Resolved(e) => {
+            buf.put_u8(OUT_RESOLVED);
+            put_entity(buf, *e);
+        }
+        Outcome::Referral {
+            next_machine,
+            next_ctx,
+            remaining,
+        } => {
+            buf.put_u8(OUT_REFERRAL);
+            buf.put_u32(next_machine.0 as u32);
+            buf.put_u32(next_ctx.index() as u32);
+            put_compound(buf, remaining);
+        }
+        Outcome::NotFound => buf.put_u8(OUT_NOT_FOUND),
+        Outcome::WrongServer => buf.put_u8(OUT_WRONG_SERVER),
+    }
+}
+
+fn get_outcome(buf: &mut Bytes) -> Option<Outcome> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    Some(match buf.get_u8() {
+        OUT_RESOLVED => Outcome::Resolved(get_entity(buf)?),
+        OUT_REFERRAL => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let next_machine = MachineId(buf.get_u32() as usize);
+            let next_ctx = ObjectId::from_index(buf.get_u32());
+            let remaining = get_compound(buf)?;
+            Outcome::Referral {
+                next_machine,
+                next_ctx,
+                remaining,
+            }
+        }
+        OUT_NOT_FOUND => Outcome::NotFound,
+        OUT_WRONG_SERVER => Outcome::WrongServer,
+        _ => return None,
+    })
+}
+
+/// One node of a [`NameTrie`]: a name component, an optional query id
+/// (set when some batched name *ends* here), and child node indices.
+///
+/// Invariant (maintained by [`NameTrie::build`] and enforced by
+/// [`BatchRequest::decode`]): every child index is strictly greater than
+/// the node's own index, so any walk strictly descends and terminates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrieNode {
+    /// The name component this edge carries.
+    pub component: Name,
+    /// `Some(q)` when batched query `q`'s name ends at this node.
+    pub query: Option<u32>,
+    /// Indices of child nodes (all `> ` this node's index).
+    pub children: Vec<u32>,
+}
+
+/// A set of compound names, shared-prefix compressed: each distinct
+/// prefix appears exactly once, so a server resolving the trie performs
+/// one lookup per *distinct* component run instead of one per name.
+///
+/// Duplicate names coalesce to the same query id (single-flight within
+/// the batch); [`NameTrie::build`] returns the input-position → query-id
+/// mapping so callers can fan results back out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NameTrie {
+    /// Trie nodes; roots and children refer into this vector.
+    pub nodes: Vec<TrieNode>,
+    /// Top-level nodes (first components), in first-seen order.
+    pub roots: Vec<u32>,
+    /// Number of distinct queries (terminal nodes with a query id).
+    pub query_count: u32,
+}
+
+impl NameTrie {
+    /// Builds a trie from `names`, coalescing duplicates. Returns the
+    /// trie and, for each input position, the query id its answer will
+    /// be filed under.
+    pub fn build(names: &[CompoundName]) -> (NameTrie, Vec<u32>) {
+        let mut nodes: Vec<TrieNode> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        let mut mapping = Vec::with_capacity(names.len());
+        let mut query_count = 0u32;
+        for name in names {
+            let mut cur: Option<u32> = None;
+            for &c in name.components() {
+                let found = match cur {
+                    None => roots
+                        .iter()
+                        .copied()
+                        .find(|&k| nodes[k as usize].component == c),
+                    Some(i) => nodes[i as usize]
+                        .children
+                        .iter()
+                        .copied()
+                        .find(|&k| nodes[k as usize].component == c),
+                };
+                let next = match found {
+                    Some(k) => k,
+                    None => {
+                        let k = u32::try_from(nodes.len()).expect("batch too large for wire");
+                        nodes.push(TrieNode {
+                            component: c,
+                            query: None,
+                            children: Vec::new(),
+                        });
+                        match cur {
+                            None => roots.push(k),
+                            Some(i) => nodes[i as usize].children.push(k),
+                        }
+                        k
+                    }
+                };
+                cur = Some(next);
+            }
+            let terminal = cur.expect("compound names are non-empty") as usize;
+            let q = *nodes[terminal].query.get_or_insert_with(|| {
+                let q = query_count;
+                query_count += 1;
+                q
+            });
+            mapping.push(q);
+        }
+        (
+            NameTrie {
+                nodes,
+                roots,
+                query_count,
+            },
+            mapping,
+        )
+    }
+
+    /// Reconstructs the name of every query, indexed by query id.
+    pub fn names(&self) -> Vec<CompoundName> {
+        let mut out: Vec<Option<CompoundName>> = vec![None; self.query_count as usize];
+        let mut stack: Vec<(u32, Vec<Name>)> =
+            self.roots.iter().rev().map(|&r| (r, Vec::new())).collect();
+        while let Some((n, prefix)) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            let mut path = prefix;
+            path.push(node.component);
+            if let Some(q) = node.query {
+                if let Some(slot) = out.get_mut(q as usize) {
+                    *slot = CompoundName::new(path.clone()).ok();
+                }
+            }
+            for &c in node.children.iter().rev() {
+                stack.push((c, path.clone()));
+            }
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// Per-node count of queries in the subtree rooted there — the number
+    /// of lookups a naive (per-name) resolution would spend on that
+    /// node's component. Children have strictly greater indices, so one
+    /// reverse pass suffices.
+    pub fn subtree_query_counts(&self) -> Vec<u32> {
+        let mut sub = vec![0u32; self.nodes.len()];
+        for i in (0..self.nodes.len()).rev() {
+            let mut n = u32::from(self.nodes[i].query.is_some());
+            for &c in &self.nodes[i].children {
+                n += sub[c as usize];
+            }
+            sub[i] = n;
+        }
+        sub
+    }
+}
+
+fn put_trie(buf: &mut BytesMut, trie: &NameTrie) {
+    buf.put_u32(trie.query_count);
+    buf.put_u32(u32::try_from(trie.nodes.len()).expect("batch too large for wire"));
+    for node in &trie.nodes {
+        put_name(buf, node.component);
+        match node.query {
+            Some(q) => {
+                buf.put_u8(1);
+                buf.put_u32(q);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u16(u16::try_from(node.children.len()).expect("trie node too wide for wire"));
+        for &c in &node.children {
+            buf.put_u32(c);
+        }
+    }
+    buf.put_u32(u32::try_from(trie.roots.len()).expect("batch too large for wire"));
+    for &r in &trie.roots {
+        buf.put_u32(r);
+    }
+}
+
+fn get_trie(buf: &mut Bytes) -> Option<NameTrie> {
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let query_count = buf.get_u32();
+    let node_count = buf.get_u32() as usize;
+    let mut nodes = Vec::with_capacity(node_count.min(1024));
+    for i in 0..node_count {
+        let component = get_name(buf)?;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let query = match buf.get_u8() {
+            0 => None,
+            1 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let q = buf.get_u32();
+                if q >= query_count {
+                    return None;
+                }
+                Some(q)
+            }
+            _ => return None,
+        };
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let kid_count = buf.get_u16() as usize;
+        let mut children = Vec::with_capacity(kid_count.min(1024));
+        for _ in 0..kid_count {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            let c = buf.get_u32();
+            // Strict descent: a child's index must exceed its parent's,
+            // so a malicious frame cannot send the server into a cycle.
+            if c as usize <= i || c as usize >= node_count {
+                return None;
+            }
+            children.push(c);
+        }
+        nodes.push(TrieNode {
+            component,
+            query,
+            children,
+        });
+    }
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let root_count = buf.get_u32() as usize;
+    let mut roots = Vec::with_capacity(root_count.min(1024));
+    let mut prev: Option<u32> = None;
+    for _ in 0..root_count {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let r = buf.get_u32();
+        if r as usize >= node_count || prev.is_some_and(|p| r <= p) {
+            return None;
+        }
+        roots.push(r);
+        prev = Some(r);
+    }
+    Some(NameTrie {
+        nodes,
+        roots,
+        query_count,
+    })
+}
+
+/// A batched resolution request: many names (as a shared-prefix trie)
+/// resolved from one start context in a single wire exchange. Batches
+/// are always client-driven (iterative); the reply carries one outcome
+/// per query id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Correlation id chosen by the requester.
+    pub id: u64,
+    /// The context object every trie root resolves from.
+    pub start: ObjectId,
+    /// The batched names, shared-prefix compressed.
+    pub trie: NameTrie,
+}
+
+impl BatchRequest {
+    /// Encodes the batch request into a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_BATCH_REQUEST);
+        buf.put_u64(self.id);
+        buf.put_u32(self.start.index() as u32);
+        put_trie(&mut buf, &self.trie);
+        buf.freeze()
+    }
+
+    /// Decodes a batch-request frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<BatchRequest> {
+        if buf.remaining() < 1 + 8 + 4 || buf.get_u8() != TAG_BATCH_REQUEST {
+            return None;
+        }
+        let id = buf.get_u64();
+        let start = ObjectId::from_index(buf.get_u32());
+        let trie = get_trie(&mut buf)?;
+        Some(BatchRequest { id, start, trie })
+    }
+}
+
+/// The reply to a [`BatchRequest`]: one outcome per query id, plus hop
+/// accounting for how much work prefix sharing saved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Echoes [`BatchRequest::id`].
+    pub id: u64,
+    /// One outcome per query, indexed by query id.
+    pub outcomes: Vec<Outcome>,
+    /// Servers that did authoritative work for this answer.
+    pub servers_touched: u32,
+    /// Lookups the server *didn't* do thanks to shared-prefix
+    /// compression (naive per-name lookups minus actual trie lookups).
+    pub lookups_saved: u32,
+}
+
+impl BatchReply {
+    /// Encodes the batch reply into a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_BATCH_REPLY);
+        buf.put_u64(self.id);
+        buf.put_u32(self.servers_touched);
+        buf.put_u32(self.lookups_saved);
+        buf.put_u32(u32::try_from(self.outcomes.len()).expect("batch too large for wire"));
+        for o in &self.outcomes {
+            put_outcome(&mut buf, o);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a batch-reply frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<BatchReply> {
+        if buf.remaining() < 1 + 8 + 4 + 4 + 4 || buf.get_u8() != TAG_BATCH_REPLY {
+            return None;
+        }
+        let id = buf.get_u64();
+        let servers_touched = buf.get_u32();
+        let lookups_saved = buf.get_u32();
+        let len = buf.get_u32() as usize;
+        let mut outcomes = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            outcomes.push(get_outcome(&mut buf)?);
+        }
+        Some(BatchReply {
+            id,
+            outcomes,
+            servers_touched,
+            lookups_saved,
+        })
+    }
+}
+
 impl Request {
     /// Encodes the request into a wire frame.
     pub fn encode(&self) -> Bytes {
@@ -239,24 +602,7 @@ impl Reply {
         buf.put_u8(TAG_REPLY);
         buf.put_u64(self.id);
         buf.put_u32(self.servers_touched);
-        match &self.outcome {
-            Outcome::Resolved(e) => {
-                buf.put_u8(OUT_RESOLVED);
-                put_entity(&mut buf, *e);
-            }
-            Outcome::Referral {
-                next_machine,
-                next_ctx,
-                remaining,
-            } => {
-                buf.put_u8(OUT_REFERRAL);
-                buf.put_u32(next_machine.0 as u32);
-                buf.put_u32(next_ctx.index() as u32);
-                put_compound(&mut buf, remaining);
-            }
-            Outcome::NotFound => buf.put_u8(OUT_NOT_FOUND),
-            Outcome::WrongServer => buf.put_u8(OUT_WRONG_SERVER),
-        }
+        put_outcome(&mut buf, &self.outcome);
         buf.freeze()
     }
 
@@ -267,25 +613,7 @@ impl Reply {
         }
         let id = buf.get_u64();
         let servers_touched = buf.get_u32();
-        let outcome = match buf.get_u8() {
-            OUT_RESOLVED => Outcome::Resolved(get_entity(&mut buf)?),
-            OUT_REFERRAL => {
-                if buf.remaining() < 8 {
-                    return None;
-                }
-                let next_machine = MachineId(buf.get_u32() as usize);
-                let next_ctx = ObjectId::from_index(buf.get_u32());
-                let remaining = get_compound(&mut buf)?;
-                Outcome::Referral {
-                    next_machine,
-                    next_ctx,
-                    remaining,
-                }
-            }
-            OUT_NOT_FOUND => Outcome::NotFound,
-            OUT_WRONG_SERVER => Outcome::WrongServer,
-            _ => return None,
-        };
+        let outcome = get_outcome(&mut buf)?;
         Some(Reply {
             id,
             outcome,
@@ -394,6 +722,128 @@ mod tests {
         assert!(Request::decode(good.freeze()).is_none());
     }
 
+    #[test]
+    fn trie_shares_prefixes_and_coalesces_duplicates() {
+        let names = [
+            name("/usr/bin/cc"),
+            name("/usr/bin/ld"),
+            name("/usr/lib/libc"),
+            name("/usr/bin/cc"), // duplicate: coalesces
+            name("/tmp"),
+        ];
+        let (trie, mapping) = NameTrie::build(&names);
+        // /, usr, bin, cc, ld, lib, libc, tmp — shared prefixes (the
+        // root component and /usr/bin) stored once.
+        assert_eq!(trie.nodes.len(), 8);
+        assert_eq!(trie.query_count, 4);
+        assert_eq!(mapping.len(), 5);
+        assert_eq!(mapping[0], mapping[3], "duplicate names share a query id");
+        // Every query's name reconstructs to the right input.
+        let qnames = trie.names();
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(&qnames[mapping[i] as usize], n);
+        }
+        // Naive per-name resolution of the four distinct queries would
+        // spend 4+4+4+2 = 14 lookups; the trie needs one per node (8).
+        let sub = trie.subtree_query_counts();
+        let naive: u32 = trie
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.query.is_some())
+            .map(|(i, _)| {
+                let mut depth = 0u32;
+                // depth = number of ancestors + 1; recompute by scanning
+                // parents (test-only, O(n^2) is fine).
+                let mut cur = i as u32;
+                loop {
+                    depth += 1;
+                    match trie.nodes.iter().position(|n| n.children.contains(&cur)) {
+                        Some(p) => cur = p as u32,
+                        None => break,
+                    }
+                }
+                depth
+            })
+            .sum();
+        assert_eq!(naive, 14); // cc:4 + ld:4 + libc:4 + tmp:2
+        assert_eq!(sub[0], 4, "the root subtree holds all four queries");
+        assert_eq!(trie.nodes.len() as u32 + 6, naive);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip() {
+        let (trie, _) = NameTrie::build(&[name("/a/b"), name("/a/c"), name("/d")]);
+        let req = BatchRequest {
+            id: 77,
+            start: ObjectId::from_index(3),
+            trie,
+        };
+        assert_eq!(BatchRequest::decode(req.encode()), Some(req.clone()));
+        let rep = BatchReply {
+            id: 77,
+            outcomes: vec![
+                Outcome::Resolved(Entity::Object(ObjectId::from_index(9))),
+                Outcome::NotFound,
+                Outcome::Referral {
+                    next_machine: MachineId(1),
+                    next_ctx: ObjectId::from_index(4),
+                    remaining: name("x/y"),
+                },
+            ],
+            servers_touched: 2,
+            lookups_saved: 5,
+        };
+        assert_eq!(BatchReply::decode(rep.encode()), Some(rep.clone()));
+        // Cross-frame confusion is rejected.
+        assert!(BatchReply::decode(req.encode()).is_none());
+        assert!(BatchRequest::decode(rep.encode()).is_none());
+        // Truncation is detected, not panicked on.
+        let full = req.encode();
+        for cut in 0..full.len() {
+            assert!(BatchRequest::decode(full.slice(..cut)).is_none());
+        }
+    }
+
+    #[test]
+    fn trie_decode_rejects_cycles_and_bad_indices() {
+        // A hand-built frame whose node 0 claims node 0 as a child
+        // (cycle) must not decode.
+        let (trie, _) = NameTrie::build(&[name("/a/b")]);
+        let mut evil = trie.clone();
+        evil.nodes[1].children = vec![1];
+        let req = BatchRequest {
+            id: 1,
+            start: ObjectId::from_index(0),
+            trie: evil,
+        };
+        assert!(BatchRequest::decode(req.encode()).is_none());
+        // Out-of-range child index.
+        let mut oob = trie.clone();
+        oob.nodes[0].children = vec![99];
+        assert!(BatchRequest::decode(
+            BatchRequest {
+                id: 1,
+                start: ObjectId::from_index(0),
+                trie: oob,
+            }
+            .encode()
+        )
+        .is_none());
+        // Query id beyond query_count.
+        let mut badq = trie;
+        badq.nodes[1].query = Some(42);
+        assert!(BatchRequest::decode(
+            BatchRequest {
+                id: 1,
+                start: ObjectId::from_index(0),
+                trie: badq,
+            }
+            .encode()
+        )
+        .is_none());
+    }
+
     mod fuzz {
         use super::*;
         use proptest::prelude::*;
@@ -411,9 +861,92 @@ mod tests {
                     let rt = Reply::decode(rep.encode()).unwrap();
                     prop_assert_eq!(rt, rep);
                 }
+                if let Some(breq) = BatchRequest::decode(b.clone()) {
+                    prop_assert_eq!(BatchRequest::decode(breq.encode()), Some(breq));
+                }
+                if let Some(brep) = BatchReply::decode(b.clone()) {
+                    prop_assert_eq!(BatchReply::decode(brep.encode()), Some(brep));
+                }
                 if let Some(up) = ZoneUpdate::decode(b) {
                     prop_assert_eq!(ZoneUpdate::decode(up.encode()), Some(up));
                 }
+            }
+
+            /// Batch frames round-trip for arbitrary well-formed name sets,
+            /// and the trie reconstructs every input name.
+            #[test]
+            fn batch_roundtrip_general(
+                id in any::<u64>(),
+                start in 0u32..1_000_000,
+                raw in proptest::collection::vec(
+                    proptest::collection::vec("[a-z]{1,4}", 1..5),
+                    1..12,
+                ),
+            ) {
+                let names: Vec<CompoundName> = raw
+                    .iter()
+                    .map(|segs| CompoundName::new(segs.iter().map(|s| Name::new(s))).unwrap())
+                    .collect();
+                let (trie, mapping) = NameTrie::build(&names);
+                prop_assert!(trie.query_count as usize <= names.len());
+                let qnames = trie.names();
+                for (i, n) in names.iter().enumerate() {
+                    prop_assert_eq!(&qnames[mapping[i] as usize], n);
+                }
+                let req = BatchRequest { id, start: ObjectId::from_index(start), trie };
+                prop_assert_eq!(BatchRequest::decode(req.encode()), Some(req.clone()));
+                // Truncating the frame anywhere short of the end fails
+                // cleanly.
+                let full = req.encode();
+                let cut = full.len() / 2;
+                prop_assert!(BatchRequest::decode(full.slice(..cut)).is_none());
+            }
+
+            /// Batch replies round-trip for arbitrary outcome vectors.
+            #[test]
+            fn batch_reply_roundtrip_general(
+                id in any::<u64>(),
+                touched in 0u32..64,
+                saved in 0u32..1024,
+                kinds in proptest::collection::vec(0u8..4, 0..16),
+            ) {
+                let outcomes: Vec<Outcome> = kinds
+                    .iter()
+                    .map(|k| match k {
+                        0 => Outcome::Resolved(Entity::Object(ObjectId::from_index(7))),
+                        1 => Outcome::Referral {
+                            next_machine: MachineId(3),
+                            next_ctx: ObjectId::from_index(5),
+                            remaining: CompoundName::parse_path("/r/s").unwrap(),
+                        },
+                        2 => Outcome::NotFound,
+                        _ => Outcome::WrongServer,
+                    })
+                    .collect();
+                let rep = BatchReply { id, outcomes, servers_touched: touched, lookups_saved: saved };
+                prop_assert_eq!(BatchReply::decode(rep.encode()), Some(rep));
+            }
+
+            /// ZoneUpdate round-trip for arbitrary well-formed content
+            /// (batch of bindings).
+            #[test]
+            fn zone_update_roundtrip_general(
+                zone in 0u32..1_000_000,
+                binds in proptest::collection::vec(("[a-z]{1,6}", 0u32..3, 0u32..100), 0..10),
+            ) {
+                let bindings: Vec<(Name, Entity)> = binds
+                    .iter()
+                    .map(|(s, kind, idx)| {
+                        let e = match kind {
+                            0 => Entity::Object(ObjectId::from_index(*idx)),
+                            1 => Entity::Activity(ActivityId::from_index(*idx)),
+                            _ => Entity::Undefined,
+                        };
+                        (Name::new(s), e)
+                    })
+                    .collect();
+                let up = ZoneUpdate { zone: ObjectId::from_index(zone), bindings };
+                prop_assert_eq!(ZoneUpdate::decode(up.encode()), Some(up));
             }
 
             /// Truncating a valid frame at any point never panics and never

@@ -108,6 +108,17 @@ impl TraceLog {
             .bump();
     }
 
+    /// Adds `n` to a named counter in one step — for quantities that
+    /// arrive in lumps, like a frame's bytes on the wire. Mirrored into
+    /// the telemetry registry exactly like [`TraceLog::bump`].
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::metrics::global()
+            .counter(mirror_name(key))
+            .add(n);
+    }
+
     /// A counter's current value (0 if never bumped).
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)

@@ -551,6 +551,20 @@ impl World {
                 names: msg.name_count(),
             },
         );
+        // Wire-size accounting: framed payload bytes attempted on the
+        // wire (counted even when the link or fault plan eats the
+        // message — the sender still paid for them).
+        let frame_bytes: u64 = msg
+            .parts
+            .iter()
+            .map(|p| match p {
+                Payload::Bytes(b) => b.len() as u64,
+                Payload::Name(_) => 0,
+            })
+            .sum();
+        if frame_bytes > 0 {
+            self.trace.add("wire_bytes", frame_bytes);
+        }
         if !self.link_up(fm, tm) {
             self.trace.bump("unroutable");
             #[cfg(feature = "telemetry")]
@@ -722,6 +736,30 @@ mod tests {
         assert_eq!(w.mailbox_len(b), 0);
         assert_eq!(w.trace().counter("dropped"), 1);
         assert_eq!(w.trace().counter("delivered"), 0);
+    }
+
+    #[test]
+    fn wire_bytes_counts_framed_payloads_even_when_lost() {
+        let mut w = World::new(7);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let a = w.spawn(m1, "a", None);
+        let b = w.spawn(m1, "b", None);
+        w.send(a, b, vec![Payload::bytes(vec![0u8; 10])]);
+        w.send(
+            a,
+            b,
+            vec![
+                Payload::bytes(vec![0u8; 3]),
+                Payload::name(CompoundName::parse_path("/etc").unwrap()),
+            ],
+        );
+        assert_eq!(w.trace().counter("wire_bytes"), 13, "names are not bytes");
+        // The sender pays for frames the network then loses.
+        w.set_message_drop_rate(1.0);
+        w.send(a, b, vec![Payload::bytes(vec![0u8; 5])]);
+        assert_eq!(w.trace().counter("wire_bytes"), 18);
+        assert_eq!(w.trace().counter("lost"), 1);
     }
 
     #[test]
