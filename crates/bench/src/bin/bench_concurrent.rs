@@ -1,0 +1,389 @@
+//! Emits `BENCH_concurrent.json`: worker-scaling numbers for the
+//! snapshot-serving `ConcurrentService`, tracked across PRs.
+//!
+//! ```text
+//! bench_concurrent [--out PATH] [--stdout] [--iters N]
+//! bench_concurrent --json [--workers N]
+//! ```
+//!
+//! The **batch64 workload**: a three-level directory tree, 64 batches of
+//! 64 names each (shared-prefix compressed into [`NameTrie`]s), every
+//! batch resolved from the root. Two measurements per worker count
+//! (1/2/4/8):
+//!
+//! * **deterministic scaling** — the same batch sequence scheduled on a
+//!   [`VirtualPool`], the simulator's model of a FIFO worker pool, with
+//!   each batch costing its total component-lookup count in virtual
+//!   ticks. Makespan, throughput-per-ktick, and speedup are identical on
+//!   every machine, so CI can compare them byte-for-byte.
+//! * **wall clock** — the real `ConcurrentService` pool serving the same
+//!   batches (`--iters` repetitions), reported as ops/sec. This number
+//!   is hardware-bound: on a single-core host the pool cannot beat the
+//!   serial engine, which is exactly why the scaling table is measured
+//!   in virtual time.
+//!
+//! Before reporting anything the tool asserts every concurrent answer
+//! equals the serial engine's, and `--json` dumps the answers themselves
+//! (serial when `--workers` is absent) so the CI determinism leg can
+//! diff serial vs 4-worker output byte-for-byte.
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::name::{CompoundName, Name};
+use naming_core::report::json_string;
+use naming_core::resolve::Resolver;
+use naming_core::state::SystemState;
+use naming_resolver::wire::{BatchRequest, NameTrie};
+use naming_sim::pool::VirtualPool;
+use naming_sim::time::Duration;
+
+#[cfg(feature = "parallel")]
+use naming_resolver::concurrent::ConcurrentService;
+#[cfg(feature = "parallel")]
+use std::time::Instant;
+
+const BATCHES: usize = 64;
+const BATCH_SIZE: usize = 64;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_ITERS: u32 = 20;
+
+/// The batch64 workload: a 3-level tree (8 dirs × 8 subdirs × 8 files)
+/// and 64 batches of 64 root-relative paths, ~1 in 16 of them unbound.
+struct Workload {
+    state: SystemState,
+    root: ObjectId,
+    batches: Vec<Vec<CompoundName>>,
+}
+
+fn build_workload() -> Workload {
+    let mut s = SystemState::new();
+    let root = s.add_context_object("root");
+    s.bind(root, Name::root(), root).unwrap();
+    for d in 0..8 {
+        let dir = s.add_context_object(format!("d{d}"));
+        s.bind(root, Name::new(&format!("d{d}")), dir).unwrap();
+        for sd in 0..8 {
+            let sub = s.add_context_object(format!("d{d}/s{sd}"));
+            s.bind(dir, Name::new(&format!("s{sd}")), sub).unwrap();
+            for f in 0..8 {
+                let file = s.add_data_object(format!("d{d}/s{sd}/f{f}"), vec![]);
+                s.bind(sub, Name::new(&format!("f{f}")), file).unwrap();
+            }
+        }
+    }
+    // Deterministic path mix (LCG): mostly live leaves, some misses.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut step = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    let batches = (0..BATCHES)
+        .map(|_| {
+            (0..BATCH_SIZE)
+                .map(|_| {
+                    let (d, sd, f, miss) = (step() % 8, step() % 8, step() % 8, step() % 16 == 0);
+                    let path = if miss {
+                        format!("/d{d}/s{sd}/missing")
+                    } else {
+                        format!("/d{d}/s{sd}/f{f}")
+                    };
+                    CompoundName::parse_path(&path).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    Workload {
+        state: s,
+        root,
+        batches,
+    }
+}
+
+/// Builds the wire frames once: one [`BatchRequest`] per batch.
+fn frames(w: &Workload) -> Vec<BatchRequest> {
+    w.batches
+        .iter()
+        .enumerate()
+        .map(|(id, names)| {
+            let (trie, _) = NameTrie::build(names);
+            BatchRequest {
+                id: id as u64,
+                start: w.root,
+                trie,
+            }
+        })
+        .collect()
+}
+
+/// Serial reference: every query of every batch through the plain
+/// resolver, in frame order. This is the answer key all modes must match.
+fn serial_answers(w: &Workload, reqs: &[BatchRequest]) -> Vec<Vec<Entity>> {
+    let r = Resolver::new();
+    reqs.iter()
+        .map(|req| {
+            req.trie
+                .names()
+                .iter()
+                .map(|n| r.resolve_entity(&w.state, req.start, n))
+                .collect()
+        })
+        .collect()
+}
+
+/// A batch's cost on a virtual worker: one tick per component of every
+/// query (the per-query walk length bound) — deterministic by
+/// construction.
+fn batch_cost(req: &BatchRequest) -> Duration {
+    let ticks: u64 = req.trie.names().iter().map(|n| n.len() as u64).sum();
+    Duration::from_ticks(ticks)
+}
+
+struct ScalePoint {
+    workers: usize,
+    makespan_ticks: u64,
+    per_ktick: f64,
+    speedup: f64,
+    utilization: f64,
+    wall_ops_per_sec: Option<f64>,
+}
+
+fn measure(iters: u32) -> (usize, Vec<ScalePoint>) {
+    let w = build_workload();
+    let reqs = frames(&w);
+    let answers = serial_answers(&w, &reqs);
+    let queries: usize = answers.iter().map(Vec::len).sum();
+    assert!(
+        answers.iter().flatten().any(|e| e.is_defined())
+            && answers.iter().flatten().any(|e| !e.is_defined()),
+        "workload must mix hits and misses"
+    );
+
+    let costs: Vec<Duration> = reqs.iter().map(batch_cost).collect();
+    let serial_span: u64 = costs.iter().map(|c| c.ticks()).sum();
+
+    let points = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut pool = VirtualPool::new(workers);
+            for &c in &costs {
+                pool.assign(c);
+            }
+            let makespan = pool.makespan().ticks();
+            let wall_ops_per_sec = wall_run(&w, &reqs, &answers, workers, queries, iters);
+            ScalePoint {
+                workers,
+                makespan_ticks: makespan,
+                per_ktick: queries as f64 * 1000.0 / makespan as f64,
+                speedup: serial_span as f64 / makespan as f64,
+                utilization: pool.utilization(),
+                wall_ops_per_sec,
+            }
+        })
+        .collect();
+    (queries, points)
+}
+
+/// Serves every frame on a real pool `iters` times, asserting the answers
+/// against the serial key each round. `None` without the `parallel`
+/// feature.
+#[cfg(feature = "parallel")]
+fn wall_run(
+    w: &Workload,
+    reqs: &[BatchRequest],
+    answers: &[Vec<Entity>],
+    workers: usize,
+    queries: usize,
+    iters: u32,
+) -> Option<f64> {
+    let t = Instant::now();
+    for _ in 0..iters {
+        let mut svc = ConcurrentService::new(w.state.clone(), workers);
+        for req in reqs {
+            svc.submit(req.clone());
+        }
+        let got = svc.drain();
+        svc.shutdown();
+        for (a, key) in got.iter().zip(answers) {
+            assert_eq!(&a.entities, key, "concurrent answers diverge from serial");
+        }
+    }
+    Some(f64::from(iters) * queries as f64 / t.elapsed().as_secs_f64())
+}
+
+#[cfg(not(feature = "parallel"))]
+fn wall_run(
+    _w: &Workload,
+    _reqs: &[BatchRequest],
+    _answers: &[Vec<Entity>],
+    _workers: usize,
+    _queries: usize,
+    _iters: u32,
+) -> Option<f64> {
+    None
+}
+
+fn render(iters: u32, queries: usize, points: &[ScalePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let wall = match p.wall_ops_per_sec {
+                Some(v) => format!("{v:.0}"),
+                None => "null".to_string(),
+            };
+            format!(
+                "    {{\"workers\": {}, \"virtual_makespan_ticks\": {}, \
+                 \"throughput_per_ktick\": {:.1}, \"speedup_vs_1_worker\": {:.2}, \
+                 \"utilization\": {:.3}, \"wall_ops_per_sec\": {}}}",
+                p.workers, p.makespan_ticks, p.per_ktick, p.speedup, p.utilization, wall
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": {},\n  \"workload\": {},\n  \"batches\": {},\n  \
+         \"batch_size\": {},\n  \"queries\": {},\n  \"iters\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json_string("concurrent"),
+        json_string("batch64"),
+        BATCHES,
+        BATCH_SIZE,
+        queries,
+        iters,
+        rows.join(",\n")
+    )
+}
+
+/// `--json` mode: dump the answers themselves (deterministic; the CI leg
+/// diffs serial vs 4-worker output byte-for-byte).
+fn render_answers(answers: &[Vec<Entity>]) -> String {
+    let rows: Vec<String> = answers
+        .iter()
+        .enumerate()
+        .map(|(id, es)| {
+            let cells: Vec<String> = es.iter().map(|e| json_string(&e.to_string())).collect();
+            format!(
+                "    {{\"batch\": {}, \"entities\": [{}]}}",
+                id,
+                cells.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": {},\n  \"workload\": {},\n  \"answers\": [\n{}\n  ]\n}}\n",
+        json_string("concurrent"),
+        json_string("batch64"),
+        rows.join(",\n")
+    )
+}
+
+fn answers_via_workers(workers: usize) -> Vec<Vec<Entity>> {
+    let w = build_workload();
+    let reqs = frames(&w);
+    if workers == 0 {
+        return serial_answers(&w, &reqs);
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let mut svc = ConcurrentService::new(w.state.clone(), workers);
+        for req in &reqs {
+            svc.submit(req.clone());
+        }
+        let got = svc.drain();
+        svc.shutdown();
+        got.into_iter().map(|a| a.entities).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        eprintln!("--workers requires the `parallel` feature");
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_concurrent.json");
+    let mut to_stdout = false;
+    let mut json_answers = false;
+    let mut workers = 0usize;
+    let mut iters = DEFAULT_ITERS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--stdout" => {
+                to_stdout = true;
+            }
+            "--json" => {
+                json_answers = true;
+            }
+            "--workers" => {
+                i += 1;
+                workers = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--workers requires an integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--iters" => {
+                i += 1;
+                iters = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--iters requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_concurrent [--out PATH] [--stdout] [--iters N]\n       \
+                     bench_concurrent --json [--workers N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if json_answers {
+        print!("{}", render_answers(&answers_via_workers(workers)));
+        return;
+    }
+
+    let (queries, points) = measure(iters);
+    let json = render(iters, queries, &points);
+    if to_stdout {
+        print!("{json}");
+    } else {
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        for p in &points {
+            let wall = match p.wall_ops_per_sec {
+                Some(v) => format!("{v:>10.0} ops/s"),
+                None => "   (serial)".to_string(),
+            };
+            eprintln!(
+                "{:2} workers: makespan {:>7} ticks, {:>8.1}/ktick, speedup {:>5.2}x, util {:.3}, {}",
+                p.workers, p.makespan_ticks, p.per_ktick, p.speedup, p.utilization, wall
+            );
+        }
+        eprintln!("wrote {out}");
+    }
+}

@@ -63,6 +63,7 @@
 //! | [`graph`] | §2 | the naming graph; reachability; name synthesis |
 //! | [`resolve`] | §2 | compound-name resolution |
 //! | [`memo`] | §5 | generation-versioned resolution memoization |
+//! | [`snapshot`] | §5 | immutable copy-on-publish snapshots of σ |
 //! | [`hash`] | — | deterministic hashing for internal indexes |
 //! | [`closure`] | §3 | meta-context, resolution rules R(a), R(sender), R(object) |
 //! | [`coherence`] | §4–5 | coherence, weak coherence, degree-of-coherence stats |
@@ -91,6 +92,7 @@ mod obs;
 pub mod replica;
 pub mod report;
 pub mod resolve;
+pub mod snapshot;
 pub mod state;
 
 /// Convenient re-exports of the types used in almost every program built on
@@ -107,6 +109,9 @@ pub mod prelude {
     pub use crate::name::{CompoundName, Name};
     pub use crate::replica::ReplicaRegistry;
     pub use crate::resolve::{Resolution, ResolveError, Resolver};
+    pub use crate::snapshot::{
+        resolve_with_rule_snapshot, SnapshotMemo, SnapshotMemoStats, StateSnapshot,
+    };
     pub use crate::state::{Document, ObjectState, Segment, SystemState};
 }
 

@@ -394,6 +394,10 @@ impl ResolutionMemo {
     /// caching resolver that keeps answering from stale entries is
     /// exactly the paper's "cached name resolutions become incoherent
     /// with the authoritative contexts".
+    ///
+    /// Accounting matches the validating probes: every call bumps
+    /// exactly one of `hits`/`misses` (absent → miss, present → hit),
+    /// so [`MemoStats::hit_rate`] is comparable across probe variants.
     pub fn probe_stale(&mut self, start: ObjectId, suffix: &[Name]) -> Option<Entity> {
         let Some(slot) = self.lookup(start, suffix) else {
             self.stats.misses += 1;
@@ -781,6 +785,65 @@ mod tests {
         // The sweep drops stale entries; the stale probe now misses.
         assert!(memo.invalidate_stale(&s) > 0);
         assert_eq!(memo.probe_stale(root, n.components()), None);
+    }
+
+    #[test]
+    fn every_probe_variant_bumps_exactly_one_of_hits_or_misses() {
+        // `MemoStats::hit_rate` divides hits by hits+misses, so the sum
+        // must count probes no matter which probe variant served them:
+        // `probe`, `probe_with_deps`, and `probe_stale` each bump exactly
+        // one of the two counters on every call (a validation failure
+        // counts as a miss, never as "neither").
+        let (mut s, root, _, passwd) = tree();
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let n = CompoundName::parse_path("/etc/passwd").unwrap();
+        r.resolve_entity_memo(&s, root, &n, &mut memo);
+
+        let probes_before = memo.stats().hits + memo.stats().misses;
+        let absent = CompoundName::parse_path("/no/such").unwrap();
+
+        // Absent entry: all three variants must count a miss.
+        let m0 = memo.stats().misses;
+        assert_eq!(memo.probe_stale(root, absent.components()), None);
+        assert_eq!(memo.stats().misses, m0 + 1);
+        assert_eq!(memo.probe(&s, root, absent.components()), None);
+        assert_eq!(memo.stats().misses, m0 + 2);
+        assert_eq!(memo.probe_with_deps(&s, root, absent.components()), None);
+        assert_eq!(memo.stats().misses, m0 + 3);
+
+        // Present, current entry: all three variants must count a hit.
+        let h0 = memo.stats().hits;
+        assert_eq!(
+            memo.probe_stale(root, n.components()),
+            Some(Entity::Object(passwd))
+        );
+        assert_eq!(memo.stats().hits, h0 + 1);
+        assert!(memo.probe(&s, root, n.components()).is_some());
+        assert_eq!(memo.stats().hits, h0 + 2);
+        assert!(memo.probe_with_deps(&s, root, n.components()).is_some());
+        assert_eq!(memo.stats().hits, h0 + 3);
+
+        // Present but invalidated entry: a validating probe counts a
+        // miss (plus an invalidation), while the stale probe still
+        // serves it as a hit — by design, but both count the probe.
+        let etc2 = s.add_context_object("etc2");
+        s.bind(root, Name::new("etc"), etc2).unwrap();
+        let h1 = memo.stats().hits;
+        assert!(memo.probe_stale(root, n.components()).is_some());
+        assert_eq!(memo.stats().hits, h1 + 1);
+        let m1 = memo.stats().misses;
+        let inv = memo.stats().invalidations;
+        assert_eq!(memo.probe(&s, root, n.components()), None);
+        assert_eq!(memo.stats().misses, m1 + 1);
+        assert_eq!(memo.stats().invalidations, inv + 1);
+
+        // The invariant itself: eight probes, eight counts.
+        let probes_after = memo.stats().hits + memo.stats().misses;
+        assert_eq!(probes_after, probes_before + 8);
+        let stats = memo.stats();
+        let expected = stats.hits as f64 / (stats.hits + stats.misses) as f64;
+        assert!((stats.hit_rate() - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Concurrent snapshot serving: a multi-worker resolution front end.
+//!
+//! The paper's resolution rule only *consults* σ, so serving reads is
+//! embarrassingly parallel between mutations. [`ConcurrentService`] splits
+//! the two roles explicitly:
+//!
+//! * **Readers** — a fixed pool of worker threads consuming
+//!   [`BatchRequest`] frames from an MPMC channel (`crossbeam::channel`).
+//!   Each worker resolves against an immutable [`StateSnapshot`] carried by
+//!   the job and keeps a private [`SnapshotMemo`] shard — no locks, no
+//!   atomics, no validation on the read path.
+//! * **The writer** — mutations apply to a private *staging* state
+//!   ([`ConcurrentService::update`]); nothing a worker can observe changes
+//!   until [`ConcurrentService::publish`] clones the staging state into a
+//!   fresh `Arc`-shared snapshot and swaps it in (copy-on-publish). The
+//!   generation stamp on the new snapshot makes every worker's memo shard
+//!   self-invalidate on first contact.
+//!
+//! Answers are collected by submission order, so a drain is deterministic
+//! regardless of worker count or scheduling — the property the CI
+//! determinism leg and `bench_concurrent` assert byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use naming_core::entity::Entity;
+use naming_core::resolve::Resolver;
+use naming_core::snapshot::{SnapshotMemo, SnapshotMemoStats, StateSnapshot};
+use naming_core::state::SystemState;
+
+use crate::wire::BatchRequest;
+
+/// Per-worker counter names, indexed by worker. Metric names must be
+/// `'static`, so workers past the table share the last slot.
+#[cfg(feature = "telemetry")]
+const WORKER_BATCHES: [&str; 8] = [
+    "service.worker0.batches",
+    "service.worker1.batches",
+    "service.worker2.batches",
+    "service.worker3.batches",
+    "service.worker4.batches",
+    "service.worker5.batches",
+    "service.worker6.batches",
+    "service.worker7.batches",
+];
+
+#[cfg(feature = "telemetry")]
+const WORKER_QUERIES: [&str; 8] = [
+    "service.worker0.queries",
+    "service.worker1.queries",
+    "service.worker2.queries",
+    "service.worker3.queries",
+    "service.worker4.queries",
+    "service.worker5.queries",
+    "service.worker6.queries",
+    "service.worker7.queries",
+];
+
+/// A unit of work: one batch frame plus the snapshot it resolves against.
+struct Job {
+    seq: u64,
+    req: BatchRequest,
+    snap: StateSnapshot,
+}
+
+/// A completed batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchAnswer {
+    /// Echoes [`BatchRequest::id`].
+    pub id: u64,
+    /// One entity per query id, total-function semantics (`⊥` =
+    /// [`Entity::Undefined`]).
+    pub entities: Vec<Entity>,
+    /// The worker that served the batch (scheduling detail; varies run to
+    /// run — everything else in the answer is deterministic).
+    pub worker: usize,
+}
+
+struct Done {
+    seq: u64,
+    answer: BatchAnswer,
+}
+
+/// What one worker did over its lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Batches served.
+    pub batches: u64,
+    /// Individual queries answered.
+    pub queries: u64,
+    /// The worker's private memo-shard counters.
+    pub memo: SnapshotMemoStats,
+}
+
+/// Aggregated lifetime report, returned by [`ConcurrentService::shutdown`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceReport {
+    /// Per-worker reports, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Snapshots published.
+    pub publishes: u64,
+}
+
+impl ServiceReport {
+    /// Total batches served across workers.
+    pub fn batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches).sum()
+    }
+
+    /// Total queries answered across workers.
+    pub fn queries(&self) -> u64 {
+        self.workers.iter().map(|w| w.queries).sum()
+    }
+}
+
+/// A multi-worker name service over immutable snapshots.
+///
+/// Single-writer, many-reader: `&mut self` serializes every mutation and
+/// publish, while submitted batches resolve concurrently on the pool.
+/// Workers always answer from the snapshot that was current at submission
+/// time, so a client never observes a half-applied update.
+///
+/// # Examples
+///
+/// ```
+/// use naming_core::prelude::*;
+/// use naming_resolver::concurrent::ConcurrentService;
+/// use naming_resolver::wire::{BatchRequest, NameTrie};
+///
+/// let mut sys = SystemState::new();
+/// let root = sys.add_context_object("root");
+/// let f = sys.add_data_object("f", vec![]);
+/// sys.bind(root, Name::new("f"), f).unwrap();
+///
+/// let mut svc = ConcurrentService::new(sys, 4);
+/// let (trie, _) = NameTrie::build(&[CompoundName::atom(Name::new("f"))]);
+/// svc.submit(BatchRequest { id: 7, start: root, trie });
+/// let answers = svc.drain();
+/// assert_eq!(answers[0].entities, vec![Entity::Object(f)]);
+/// svc.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentService {
+    staging: SystemState,
+    current: StateSnapshot,
+    jobs: Option<Sender<Job>>,
+    results: Receiver<Done>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+    next_seq: u64,
+    pending: u64,
+    publishes: u64,
+}
+
+impl ConcurrentService {
+    /// Starts `workers` worker threads serving snapshots of `initial`
+    /// (which is published immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(initial: SystemState, workers: usize) -> ConcurrentService {
+        assert!(workers > 0, "worker pool must be nonempty");
+        let (jobs_tx, jobs_rx) = channel::unbounded::<Job>();
+        let (results_tx, results_rx) = channel::unbounded::<Done>();
+        let handles = (0..workers)
+            .map(|idx| {
+                let rx = jobs_rx.clone();
+                let tx = results_tx.clone();
+                std::thread::spawn(move || worker_loop(idx, rx, tx))
+            })
+            .collect();
+        let current = StateSnapshot::capture(&initial);
+        ConcurrentService {
+            staging: initial,
+            current,
+            jobs: Some(jobs_tx),
+            results: results_rx,
+            workers: handles,
+            next_seq: 0,
+            pending: 0,
+            publishes: 1,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The currently published snapshot (what submitted batches see).
+    pub fn snapshot(&self) -> StateSnapshot {
+        self.current.clone()
+    }
+
+    /// The staging state — mutations made here are invisible to workers
+    /// until [`ConcurrentService::publish`].
+    pub fn staging(&self) -> &SystemState {
+        &self.staging
+    }
+
+    /// Applies a mutation to the staging state. Readers are unaffected;
+    /// `&mut self` is the write serialization point.
+    pub fn update<R>(&mut self, f: impl FnOnce(&mut SystemState) -> R) -> R {
+        f(&mut self.staging)
+    }
+
+    /// Publishes the staging state: clones it into a fresh `Arc`-shared
+    /// snapshot and swaps it in. Batches submitted from now on resolve
+    /// against the new state; in-flight batches keep the snapshot they
+    /// were submitted with. Returns the new snapshot's stamp.
+    pub fn publish(&mut self) -> (u64, u64) {
+        self.current = StateSnapshot::capture(&self.staging);
+        self.publishes += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("service.concurrent.publishes").bump();
+        self.current.stamp()
+    }
+
+    /// Queues a batch for resolution against the current snapshot.
+    /// Answers are retrieved with [`ConcurrentService::drain`], in
+    /// submission order.
+    pub fn submit(&mut self, req: BatchRequest) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending += 1;
+        let job = Job {
+            seq,
+            req,
+            snap: self.current.clone(),
+        };
+        self.jobs
+            .as_ref()
+            .expect("service not shut down")
+            .send(job)
+            .expect("worker pool alive");
+    }
+
+    /// Decodes and queues an encoded [`BatchRequest`] frame. Returns
+    /// `false` (submitting nothing) on a malformed frame.
+    pub fn submit_frame(&mut self, frame: bytes::Bytes) -> bool {
+        match BatchRequest::decode(frame) {
+            Some(req) => {
+                self.submit(req);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until every submitted batch has been answered and returns
+    /// the answers **in submission order** — deterministic for any worker
+    /// count.
+    pub fn drain(&mut self) -> Vec<BatchAnswer> {
+        let mut by_seq: BTreeMap<u64, BatchAnswer> = BTreeMap::new();
+        while self.pending > 0 {
+            let done = self.results.recv().expect("workers alive while draining");
+            by_seq.insert(done.seq, done.answer);
+            self.pending -= 1;
+        }
+        by_seq.into_values().collect()
+    }
+
+    /// Stops the pool (after completing queued work) and returns the
+    /// aggregated lifetime report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        // Closing the job channel ends every worker's `iter()` loop.
+        self.jobs = None;
+        let workers = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        ServiceReport {
+            workers,
+            publishes: self.publishes,
+        }
+    }
+}
+
+impl Drop for ConcurrentService {
+    fn drop(&mut self) {
+        self.jobs = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker body: resolve every query of every received batch against
+/// the job's snapshot, memoizing in a private shard.
+fn worker_loop(idx: usize, jobs: Receiver<Job>, results: Sender<Done>) -> WorkerReport {
+    let resolver = Resolver::new();
+    let mut memo = SnapshotMemo::new();
+    let mut report = WorkerReport::default();
+    // The `counter!` macro caches per call site, which would conflate
+    // workers; resolve this worker's handles from the registry once.
+    #[cfg(feature = "telemetry")]
+    let (worker_batches, worker_queries) = {
+        let slot = idx.min(WORKER_BATCHES.len() - 1);
+        let reg = naming_telemetry::metrics::global();
+        (
+            reg.counter(WORKER_BATCHES[slot]),
+            reg.counter(WORKER_QUERIES[slot]),
+        )
+    };
+    for job in jobs.iter() {
+        let names = job.req.trie.names();
+        let mut entities = Vec::with_capacity(names.len());
+        for name in &names {
+            entities.push(resolver.resolve_entity_snapshot_memo(
+                &job.snap,
+                job.req.start,
+                name,
+                &mut memo,
+            ));
+        }
+        report.batches += 1;
+        report.queries += names.len() as u64;
+        #[cfg(feature = "telemetry")]
+        {
+            worker_batches.bump();
+            worker_queries.add(names.len() as u64);
+            naming_telemetry::counter!("service.concurrent.batches").bump();
+            naming_telemetry::counter!("service.concurrent.queries").add(names.len() as u64);
+        }
+        let done = Done {
+            seq: job.seq,
+            answer: BatchAnswer {
+                id: job.req.id,
+                entities,
+                worker: idx,
+            },
+        };
+        if results.send(done).is_err() {
+            // Service dropped mid-flight; nothing left to report to.
+            break;
+        }
+    }
+    report.memo = memo.stats();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::NameTrie;
+    use naming_core::name::{CompoundName, Name};
+    use naming_core::prelude::ObjectId;
+
+    /// root -> {etc -> passwd, usr -> bin -> cc}.
+    fn tree() -> (SystemState, ObjectId) {
+        let mut s = SystemState::new();
+        let root = s.add_context_object("root");
+        let etc = s.add_context_object("etc");
+        let usr = s.add_context_object("usr");
+        let bin = s.add_context_object("bin");
+        let passwd = s.add_data_object("passwd", vec![]);
+        let cc = s.add_data_object("cc", vec![]);
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("etc"), etc).unwrap();
+        s.bind(root, Name::new("usr"), usr).unwrap();
+        s.bind(etc, Name::new("passwd"), passwd).unwrap();
+        s.bind(usr, Name::new("bin"), bin).unwrap();
+        s.bind(bin, Name::new("cc"), cc).unwrap();
+        (s, root)
+    }
+
+    fn batch(id: u64, start: ObjectId, paths: &[&str]) -> (BatchRequest, Vec<CompoundName>) {
+        let names: Vec<CompoundName> = paths
+            .iter()
+            .map(|p| CompoundName::parse_path(p).unwrap())
+            .collect();
+        let (trie, _) = NameTrie::build(&names);
+        (BatchRequest { id, start, trie }, names)
+    }
+
+    #[test]
+    fn answers_match_serial_resolution_for_any_worker_count() {
+        let (s, root) = tree();
+        let paths = ["/etc/passwd", "/usr/bin/cc", "/nope", "/etc", "/usr/bin"];
+        let serial: Vec<Entity> = {
+            let r = Resolver::new();
+            let (req, _) = batch(0, root, &paths);
+            req.trie
+                .names()
+                .iter()
+                .map(|n| r.resolve_entity(&s, root, n))
+                .collect()
+        };
+        for workers in [1, 2, 4] {
+            let mut svc = ConcurrentService::new(s.clone(), workers);
+            let (req, _) = batch(42, root, &paths);
+            svc.submit(req);
+            let answers = svc.drain();
+            assert_eq!(answers.len(), 1);
+            assert_eq!(answers[0].id, 42);
+            assert_eq!(answers[0].entities, serial, "{workers} workers");
+            let report = svc.shutdown();
+            assert_eq!(report.batches(), 1);
+            assert_eq!(report.queries(), serial.len() as u64);
+        }
+    }
+
+    #[test]
+    fn drain_orders_by_submission_not_completion() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 4);
+        for id in 0..32u64 {
+            let (req, _) = batch(id, root, &["/etc/passwd", "/usr/bin/cc"]);
+            svc.submit(req);
+        }
+        let answers = svc.drain();
+        let ids: Vec<u64> = answers.iter().map(|a| a.id).collect();
+        assert_eq!(ids, (0..32).collect::<Vec<_>>());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn staged_writes_invisible_until_publish() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 2);
+        let n = ["/etc/shadow"];
+
+        // Bind into staging; workers still see the published snapshot.
+        let shadow = svc.update(|sys| {
+            let etc = match sys.lookup(root, Name::new("etc")) {
+                Entity::Object(o) => o,
+                other => panic!("etc is {other:?}"),
+            };
+            let shadow = sys.add_data_object("shadow", vec![]);
+            sys.bind(etc, Name::new("shadow"), shadow).unwrap();
+            shadow
+        });
+        let (req, _) = batch(1, root, &n);
+        svc.submit(req);
+        assert_eq!(svc.drain()[0].entities, vec![Entity::Undefined]);
+
+        // Publish; the same batch now resolves.
+        let before = svc.snapshot().stamp();
+        let after = svc.publish();
+        assert_ne!(before, after);
+        let (req, _) = batch(2, root, &n);
+        svc.submit(req);
+        assert_eq!(svc.drain()[0].entities, vec![Entity::Object(shadow)]);
+        let report = svc.shutdown();
+        assert_eq!(report.publishes, 2);
+    }
+
+    #[test]
+    fn in_flight_batches_keep_their_snapshot() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 1);
+        let (req, _) = batch(1, root, &["/etc/passwd"]);
+        svc.submit(req);
+        // Unbind and publish immediately after submission: the submitted
+        // batch must still answer from the snapshot it was paired with.
+        svc.update(|sys| {
+            let etc = match sys.lookup(root, Name::new("etc")) {
+                Entity::Object(o) => o,
+                other => panic!("etc is {other:?}"),
+            };
+            sys.unbind(etc, Name::new("passwd")).unwrap();
+        });
+        svc.publish();
+        let first = svc.drain();
+        assert!(first[0].entities[0].is_defined());
+        let (req, _) = batch(2, root, &["/etc/passwd"]);
+        svc.submit(req);
+        assert_eq!(svc.drain()[0].entities, vec![Entity::Undefined]);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_frame_round_trips_and_rejects_garbage() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 2);
+        let (req, _) = batch(9, root, &["/usr/bin/cc"]);
+        assert!(svc.submit_frame(req.encode()));
+        assert!(!svc.submit_frame(bytes::Bytes::from_static(b"\xffgarbage")));
+        let answers = svc.drain();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].id, 9);
+        assert!(answers[0].entities[0].is_defined());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn worker_memo_shards_reset_across_publishes() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 1);
+        for round in 0..3u64 {
+            let (req, _) = batch(round, root, &["/etc/passwd", "/etc/passwd"]);
+            svc.submit(req);
+            svc.drain();
+            svc.update(|sys| {
+                // Any naming change: rebind root's self-binding.
+                sys.bind(root, Name::root(), root).unwrap();
+            });
+            svc.publish();
+        }
+        let report = svc.shutdown();
+        // Each publish carried a new stamp, so the single worker's shard
+        // reset between rounds.
+        assert!(
+            report.workers[0].memo.resets >= 2,
+            "{:?}",
+            report.workers[0]
+        );
+    }
+}

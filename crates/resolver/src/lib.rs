@@ -18,7 +18,11 @@
 //!   server work, and virtual-time latency;
 //! * [`cache::CachingResolver`] — client-side caching, with *staleness
 //!   audits*: a cached entry that no longer matches the authority is a
-//!   name with two meanings — the paper's incoherence, in temporal form.
+//!   name with two meanings — the paper's incoherence, in temporal form;
+//! * [`concurrent::ConcurrentService`] (feature `parallel`) — a
+//!   multi-worker serving front end over immutable copy-on-publish
+//!   snapshots: readers never block, writes serialize through a publish
+//!   step that swaps the shared `Arc`.
 //!
 //! Experiment E14 (in `naming-bench`) uses this crate to measure
 //! iterative-vs-recursive cost and cache staleness under binding churn.
@@ -27,6 +31,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+#[cfg(feature = "parallel")]
+pub mod concurrent;
 pub mod engine;
 pub mod referral;
 pub mod service;

@@ -427,6 +427,53 @@ mod tests {
     }
 
     #[test]
+    fn negative_cache_survives_renumber_but_dies_on_rename() {
+        let (mut w, _svc, m1, _m2, root, rem) = setup();
+        let mut neg = NegativeCache::new();
+        let name = CompoundName::parse_path("/usr/remote/nope").unwrap();
+        assert!(neg.record(&w, root, &name));
+
+        // Renumbering a machine churns topology addresses only — σ is
+        // untouched, so the verdict's generation footprint still matches
+        // and the cached ⊥ keeps being served (and is still correct).
+        w.renumber_machine(m1);
+        assert!(neg.probe(&w, root, &name), "renumber must not kill ⊥");
+        assert_eq!(neg.stats().invalidated, 0);
+
+        // Renaming the intermediate context bumps `usr`'s generation.
+        // The footprint recorded at ⊥-time consulted usr, so the verdict
+        // dies even though the terminal context `rem` never changed.
+        let usr = match store::resolve_path(w.state(), root, "/usr") {
+            Entity::Object(o) => o,
+            other => panic!("usr missing: {other}"),
+        };
+        w.state_mut().unbind(usr, Name::new("remote")).unwrap();
+        w.state_mut().bind(usr, Name::new("remote2"), rem).unwrap();
+        assert!(!neg.probe(&w, root, &name), "rename must kill cached ⊥");
+        assert!(neg.stats().invalidated >= 1);
+
+        // Rename back and re-record, then churn the name away and back
+        // *without* probing in between. The bindings end up identical to
+        // recording time, but usr's generation moved twice — a verdict
+        // is tied to generations, not to binding contents, so the entry
+        // (still present, never dropped on sight) must not be served.
+        w.state_mut().unbind(usr, Name::new("remote2")).unwrap();
+        w.state_mut().bind(usr, Name::new("remote"), rem).unwrap();
+        assert!(neg.record(&w, root, &name), "fresh verdict re-records");
+        let len_before = neg.len();
+        w.state_mut().unbind(usr, Name::new("remote")).unwrap();
+        w.state_mut().bind(usr, Name::new("remote2"), rem).unwrap();
+        w.state_mut().unbind(usr, Name::new("remote2")).unwrap();
+        w.state_mut().bind(usr, Name::new("remote"), rem).unwrap();
+        assert_eq!(neg.len(), len_before, "entry untouched until probed");
+        assert!(
+            !neg.probe(&w, root, &name),
+            "pre-churn ⊥ must not be served after rename round-trip"
+        );
+        assert!(neg.stats().invalidated >= 2);
+    }
+
+    #[test]
     fn negative_cache_refuses_protocol_only_failures() {
         let (w, _svc, _m1, _m2, root, _rem) = setup();
         let mut neg = NegativeCache::new();

@@ -197,6 +197,23 @@ fn get_entity(buf: &mut Bytes) -> Option<Entity> {
     }
 }
 
+/// Exact encoded size of an outcome under [`put_outcome`]'s layout.
+fn outcome_wire_len(o: &Outcome) -> usize {
+    match o {
+        Outcome::Resolved(Entity::Undefined) => 1 + 1,
+        Outcome::Resolved(_) => 1 + 5,
+        Outcome::Referral { remaining, .. } => {
+            let name_bytes: usize = remaining
+                .components()
+                .iter()
+                .map(|c| 2 + c.as_str().len())
+                .sum();
+            1 + 4 + 4 + 2 + name_bytes
+        }
+        Outcome::NotFound | Outcome::WrongServer => 1,
+    }
+}
+
 fn put_outcome(buf: &mut BytesMut, o: &Outcome) {
     match o {
         Outcome::Resolved(e) => {
@@ -281,8 +298,10 @@ impl NameTrie {
     /// trie and, for each input position, the query id its answer will
     /// be filed under.
     pub fn build(names: &[CompoundName]) -> (NameTrie, Vec<u32>) {
-        let mut nodes: Vec<TrieNode> = Vec::new();
-        let mut roots: Vec<u32> = Vec::new();
+        // Worst case (no shared prefixes): one node per component.
+        let total_components: usize = names.iter().map(CompoundName::len).sum();
+        let mut nodes: Vec<TrieNode> = Vec::with_capacity(total_components);
+        let mut roots: Vec<u32> = Vec::with_capacity(names.len());
         let mut mapping = Vec::with_capacity(names.len());
         let mut query_count = 0u32;
         for name in names {
@@ -338,8 +357,8 @@ impl NameTrie {
     /// Reconstructs the name of every query, indexed by query id.
     pub fn names(&self) -> Vec<CompoundName> {
         let mut out: Vec<Option<CompoundName>> = vec![None; self.query_count as usize];
-        let mut stack: Vec<(u32, Vec<Name>)> =
-            self.roots.iter().rev().map(|&r| (r, Vec::new())).collect();
+        let mut stack: Vec<(u32, Vec<Name>)> = Vec::with_capacity(self.roots.len());
+        stack.extend(self.roots.iter().rev().map(|&r| (r, Vec::with_capacity(4))));
         while let Some((n, prefix)) = stack.pop() {
             let node = &self.nodes[n as usize];
             let mut path = prefix;
@@ -350,10 +369,31 @@ impl NameTrie {
                 }
             }
             for &c in node.children.iter().rev() {
-                stack.push((c, path.clone()));
+                // Clone with headroom: the child's own component plus a
+                // typical few more levels, so descent rarely reallocates.
+                let mut p = Vec::with_capacity(path.len() + 4);
+                p.extend_from_slice(&path);
+                stack.push((c, p));
             }
         }
         out.into_iter().flatten().collect()
+    }
+
+    /// Exact encoded size of this trie under [`put_trie`]'s layout, so
+    /// frame encoders can allocate once.
+    fn wire_len(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                2 + n.component.as_str().len()
+                    + 1
+                    + if n.query.is_some() { 4 } else { 0 }
+                    + 2
+                    + 4 * n.children.len()
+            })
+            .sum();
+        4 + 4 + node_bytes + 4 + 4 * self.roots.len()
     }
 
     /// Per-node count of queries in the subtree rooted there — the number
@@ -486,7 +526,7 @@ pub struct BatchRequest {
 impl BatchRequest {
     /// Encodes the batch request into a wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(1 + 8 + 4 + self.trie.wire_len());
         buf.put_u8(TAG_BATCH_REQUEST);
         buf.put_u64(self.id);
         buf.put_u32(self.start.index() as u32);
@@ -524,7 +564,8 @@ pub struct BatchReply {
 impl BatchReply {
     /// Encodes the batch reply into a wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let outcomes: usize = self.outcomes.iter().map(outcome_wire_len).sum();
+        let mut buf = BytesMut::with_capacity(1 + 8 + 4 + 4 + 4 + outcomes);
         buf.put_u8(TAG_BATCH_REPLY);
         buf.put_u64(self.id);
         buf.put_u32(self.servers_touched);
@@ -671,6 +712,41 @@ mod tests {
             assert_eq!(d.id, 5);
             assert_eq!(d.servers_touched, 3);
         }
+    }
+
+    #[test]
+    fn batch_frame_capacity_estimates_are_exact() {
+        // The batch wire path pre-sizes its buffers; the estimates must
+        // match what the encoders actually emit (no realloc, no waste).
+        let (trie, _) = NameTrie::build(&[
+            name("/usr/bin/cc"),
+            name("/usr/bin/ld"),
+            name("/etc/passwd"),
+        ]);
+        let req = BatchRequest {
+            id: 1,
+            start: ObjectId::from_index(0),
+            trie: trie.clone(),
+        };
+        assert_eq!(req.encode().len(), 1 + 8 + 4 + trie.wire_len());
+
+        let reply = BatchReply {
+            id: 1,
+            outcomes: vec![
+                Outcome::Resolved(Entity::Object(ObjectId::from_index(3))),
+                Outcome::Referral {
+                    next_machine: MachineId(2),
+                    next_ctx: ObjectId::from_index(11),
+                    remaining: name("bin/cc"),
+                },
+                Outcome::NotFound,
+                Outcome::WrongServer,
+            ],
+            servers_touched: 2,
+            lookups_saved: 5,
+        };
+        let outcomes: usize = reply.outcomes.iter().map(outcome_wire_len).sum();
+        assert_eq!(reply.encode().len(), 1 + 8 + 4 + 4 + 4 + outcomes);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod event;
 pub mod message;
+pub mod pool;
 pub mod rng;
 pub mod store;
 pub mod time;

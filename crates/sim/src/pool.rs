@@ -1,0 +1,200 @@
+//! Deterministic worker-pool scheduling under virtual time.
+//!
+//! A real worker pool interleaves jobs nondeterministically; measuring its
+//! scaling on whatever hardware happens to run the benchmark is not
+//! reproducible. [`VirtualPool`] models the same FIFO work-sharing
+//! discipline — each job goes to the worker that frees up first — in
+//! [`VirtualTime`], so a given job sequence produces the exact same
+//! schedule, makespan, and per-worker utilization on every machine. The
+//! concurrent-serving benchmark uses it to report worker-scaling numbers
+//! that CI can compare byte-for-byte.
+
+use crate::time::{Duration, VirtualTime};
+
+/// One scheduled job: which worker ran it and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Sequence number of the job (submission order).
+    pub job: u64,
+    /// The worker that served it.
+    pub worker: usize,
+    /// When the worker picked the job up.
+    pub start: VirtualTime,
+    /// When the worker finished it.
+    pub end: VirtualTime,
+}
+
+/// A deterministic model of a fixed FIFO worker pool.
+///
+/// Jobs are assigned in submission order to the earliest-available worker;
+/// ties break toward the lowest worker index. This is exactly the schedule
+/// an MPMC job channel converges to when every worker pulls its next job
+/// the moment it finishes the previous one.
+///
+/// # Examples
+///
+/// ```
+/// use naming_sim::pool::VirtualPool;
+/// use naming_sim::time::Duration;
+///
+/// let mut pool = VirtualPool::new(2);
+/// for _ in 0..4 {
+///     pool.assign(Duration::from_ticks(10));
+/// }
+/// // Two workers halve the serial makespan of four equal jobs.
+/// assert_eq!(pool.makespan(), Duration::from_ticks(20));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualPool {
+    /// When each worker next becomes free.
+    free_at: Vec<VirtualTime>,
+    schedule: Vec<Assignment>,
+    busy: u64,
+}
+
+impl VirtualPool {
+    /// Creates a pool of `workers` idle workers at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> VirtualPool {
+        assert!(workers > 0, "worker pool must be nonempty");
+        VirtualPool {
+            free_at: vec![VirtualTime::ZERO; workers],
+            schedule: Vec::new(),
+            busy: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Schedules the next job, costing `cost` ticks of worker time, onto
+    /// the earliest-available worker (lowest index on ties). Returns the
+    /// resulting assignment.
+    pub fn assign(&mut self, cost: Duration) -> Assignment {
+        let (worker, &start) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("pool is nonempty");
+        let end = start + cost;
+        self.free_at[worker] = end;
+        self.busy += cost.ticks();
+        let a = Assignment {
+            job: self.schedule.len() as u64,
+            worker,
+            start,
+            end,
+        };
+        self.schedule.push(a);
+        a
+    }
+
+    /// The full schedule so far, in submission order.
+    pub fn schedule(&self) -> &[Assignment] {
+        &self.schedule
+    }
+
+    /// Virtual time at which the last worker finishes — the pool's
+    /// end-to-end completion time for everything assigned so far.
+    pub fn makespan(&self) -> Duration {
+        self.free_at
+            .iter()
+            .max()
+            .map(|t| *t - VirtualTime::ZERO)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total worker-ticks spent on jobs (the serial cost of the work).
+    pub fn busy_ticks(&self) -> u64 {
+        self.busy
+    }
+
+    /// Fraction of worker capacity used up to the makespan: 1.0 means
+    /// perfectly balanced, no idle gaps.
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan().ticks();
+        if span == 0 {
+            return 1.0;
+        }
+        self.busy as f64 / (span as f64 * self.workers() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks(n: u64) -> Duration {
+        Duration::from_ticks(n)
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let mut p = VirtualPool::new(1);
+        for c in [3, 5, 7] {
+            p.assign(ticks(c));
+        }
+        assert_eq!(p.makespan(), ticks(15));
+        assert_eq!(p.busy_ticks(), 15);
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+        // Jobs run back to back in submission order.
+        let s = p.schedule();
+        assert_eq!(s[1].start, VirtualTime::from_ticks(3));
+        assert_eq!(s[2].start, VirtualTime::from_ticks(8));
+    }
+
+    #[test]
+    fn equal_jobs_scale_linearly() {
+        for workers in [1usize, 2, 4, 8] {
+            let mut p = VirtualPool::new(workers);
+            for _ in 0..64 {
+                p.assign(ticks(100));
+            }
+            assert_eq!(p.makespan().ticks(), 6400 / workers as u64);
+            assert!((p.utilization() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_worker_index() {
+        let mut p = VirtualPool::new(3);
+        let a = p.assign(ticks(10));
+        let b = p.assign(ticks(10));
+        let c = p.assign(ticks(10));
+        assert_eq!((a.worker, b.worker, c.worker), (0, 1, 2));
+        // All free again at t=10; the next job goes back to worker 0.
+        let d = p.assign(ticks(10));
+        assert_eq!(d.worker, 0);
+        assert_eq!(d.start, VirtualTime::from_ticks(10));
+    }
+
+    #[test]
+    fn uneven_jobs_fill_the_least_loaded_worker() {
+        let mut p = VirtualPool::new(2);
+        p.assign(ticks(100)); // worker 0 busy until 100
+        p.assign(ticks(10)); // worker 1 busy until 10
+        let third = p.assign(ticks(10)); // worker 1 again at t=10
+        assert_eq!(third.worker, 1);
+        assert_eq!(third.start, VirtualTime::from_ticks(10));
+        assert_eq!(p.makespan(), ticks(100));
+        assert!(p.utilization() < 1.0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut p = VirtualPool::new(4);
+            for j in 0..100u64 {
+                p.assign(ticks(1 + j % 17));
+            }
+            p.schedule().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

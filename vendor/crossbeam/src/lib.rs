@@ -2,7 +2,12 @@
 //!
 //! Provides `crossbeam::scope` with crossbeam's call shape (the spawn
 //! closure receives a `&Scope` argument, `scope` returns a `Result`),
-//! implemented on top of `std::thread::scope`.
+//! implemented on top of `std::thread::scope`, and the subset of
+//! `crossbeam::channel` this workspace consumes (cloneable MPMC
+//! [`channel::Sender`]/[`channel::Receiver`] from [`channel::unbounded`]),
+//! implemented on `Mutex<VecDeque>` + `Condvar`.
+
+pub mod channel;
 
 use std::thread;
 
