@@ -153,6 +153,43 @@ pub fn protocol_zones(
     (w, svc, machines, client, start, names)
 }
 
+/// [`protocol_zones`] hardened for chaos runs: every per-machine zone is
+/// additionally replicated onto one standby machine (on the server
+/// network, off every walk path), whose server can answer for any hop
+/// when a primary times out or dies. Returns the standby machine and the
+/// zone objects (chain order) on top of the `protocol_zones` tuple.
+#[allow(clippy::type_complexity)]
+pub fn chaos_zones(
+    hops: usize,
+    leaves: usize,
+    seed: u64,
+) -> (
+    World,
+    naming_resolver::service::NameService,
+    Vec<naming_sim::topology::MachineId>,
+    ActivityId,
+    ObjectId,
+    Vec<CompoundName>,
+    naming_sim::topology::MachineId,
+    Vec<ObjectId>,
+) {
+    let (mut w, mut svc, machines, client, start, names) = protocol_zones(hops, leaves, seed);
+    let net = w.topology().machine_network(machines[0]);
+    let standby = w.add_machine("standby", net);
+    svc.add_server(&mut w, standby);
+    let mut zones = Vec::with_capacity(machines.len());
+    for &m in &machines {
+        let root = w.machine_root(m);
+        let zone = match w.state().lookup(root, Name::new("zone")) {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("zone dir missing on {m:?}: {other:?}"),
+        };
+        svc.replicate_zone(&mut w, zone, standby);
+        zones.push(zone);
+    }
+    (w, svc, machines, client, start, names, standby, zones)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +225,30 @@ mod tests {
             );
             assert!(s.entity.is_defined(), "{n} did not resolve");
         }
+    }
+
+    #[test]
+    fn chaos_zones_standby_mirrors_every_zone() {
+        let (mut w, svc, machines, client, start, names, standby, zones) = chaos_zones(3, 2, 13);
+        assert_eq!(zones.len(), machines.len());
+        for &z in &zones {
+            assert!(svc.zone_copy_on(z, standby).is_some());
+            // Group = primary + standby, primary first.
+            assert_eq!(svc.failover_targets(z).len(), 2);
+        }
+        // Lossless resolution still works and routes through primaries.
+        let mut engine = naming_resolver::engine::ProtocolEngine::new(svc);
+        for n in &names {
+            let s = engine.resolve(
+                &mut w,
+                client,
+                start,
+                n,
+                naming_resolver::wire::Mode::Iterative,
+            );
+            assert!(s.entity.is_defined(), "{n} did not resolve");
+        }
+        assert_eq!(engine.retry_counters().failovers, 0);
     }
 
     #[test]

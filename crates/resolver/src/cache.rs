@@ -248,10 +248,17 @@ impl CachingResolver {
             let deps = path_deps(world.state(), start, name);
             self.memo
                 .record(world.state(), start, name.components(), stats.entity, &deps);
+        } else if stats.unreachable {
+            // A transport-failure ⊥ says nothing about the binding; caching
+            // it would poison the negative cache with lies the oracle check
+            // only catches by luck. Cache nothing, retry next time.
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.unreachable_uncached").bump();
         } else {
             // ⊥ is cached only when the authoritative state agrees —
             // never when the network alone failed us.
-            self.negatives.record(world, start, name);
+            self.negatives
+                .record_protocol_verdict(world, start, name, stats.unreachable);
         }
         (stats.entity, false)
     }
@@ -343,8 +350,17 @@ impl CachingResolver {
                         entities[slot],
                         &deps,
                     );
+                } else if batch.unreachable[i] {
+                    // Transport verdict: never a negative-cache entry.
+                    #[cfg(feature = "telemetry")]
+                    naming_telemetry::counter!("cache.unreachable_uncached").bump();
                 } else {
-                    self.negatives.record(world, start, name);
+                    self.negatives.record_protocol_verdict(
+                        world,
+                        start,
+                        name,
+                        batch.unreachable[i],
+                    );
                 }
             }
         }
@@ -824,5 +840,32 @@ mod tests {
         let (_w, mut r, _client, root) = setup();
         let name = CompoundName::parse_path("/never").unwrap();
         assert!(!r.invalidate(root, &name));
+    }
+
+    #[test]
+    fn dropped_replies_never_seed_the_negative_cache() {
+        // A bound name resolved while the network eats everything comes
+        // back ⊥-with-unreachable; were that cached negatively, the name
+        // would keep denying after the network heals.
+        let (mut w, mut r, client, root) = setup();
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        w.set_message_drop_rate(1.0);
+        let (e, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!e.is_defined());
+        assert!(!from_cache);
+        assert_eq!(
+            r.negative_stats().recorded,
+            0,
+            "transport ⊥ must not be cached"
+        );
+        // Batch path under total loss: same invariant.
+        let names = vec![name.clone()];
+        let out = r.resolve_batch(&mut w, client, root, &names);
+        assert!(!out.entities[0].is_defined());
+        assert_eq!(r.negative_stats().recorded, 0);
+        // Network heals: the same resolver answers correctly.
+        w.set_message_drop_rate(0.0);
+        let (healed, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(healed.is_defined(), "no poisoned ⊥ survives the outage");
     }
 }

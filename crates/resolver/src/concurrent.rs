@@ -29,7 +29,7 @@ use naming_core::resolve::Resolver;
 use naming_core::snapshot::{SnapshotMemo, SnapshotMemoStats, StateSnapshot};
 use naming_core::state::SystemState;
 
-use crate::wire::BatchRequest;
+use crate::wire::{BatchReply, BatchRequest, Outcome};
 
 /// Per-worker counter names, indexed by worker. Metric names must be
 /// `'static`, so workers past the table share the last slot.
@@ -75,6 +75,37 @@ pub struct BatchAnswer {
     /// The worker that served the batch (scheduling detail; varies run to
     /// run — everything else in the answer is deterministic).
     pub worker: usize,
+}
+
+impl BatchAnswer {
+    /// The answer as wire outcomes: defined entities are
+    /// [`Outcome::Resolved`], `⊥` is [`Outcome::NotFound`]. A snapshot
+    /// worker resolves in-process against state it already holds — no
+    /// transport is involved, so [`Outcome::Unreachable`] cannot arise
+    /// here and every ⊥ is authoritative for the snapshot's generation.
+    pub fn outcomes(&self) -> Vec<Outcome> {
+        self.entities
+            .iter()
+            .map(|&e| {
+                if e.is_defined() {
+                    Outcome::Resolved(e)
+                } else {
+                    Outcome::NotFound
+                }
+            })
+            .collect()
+    }
+
+    /// Packages the answer as the [`BatchReply`] frame a wire front end
+    /// would send back for the originating [`BatchRequest`].
+    pub fn to_reply(&self) -> BatchReply {
+        BatchReply {
+            id: self.id,
+            outcomes: self.outcomes(),
+            servers_touched: 1,
+            lookups_saved: 0,
+        }
+    }
 }
 
 struct Done {
@@ -507,5 +538,30 @@ mod tests {
             "{:?}",
             report.workers[0]
         );
+    }
+
+    #[test]
+    fn answers_convert_to_wire_replies_without_unreachable() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 2);
+        let (req, _) = batch(9, root, &["/etc/passwd", "/nope"]);
+        svc.submit(req);
+        let answers = svc.drain();
+        assert_eq!(answers.len(), 1);
+        let reply = answers[0].to_reply();
+        assert_eq!(reply.id, 9);
+        assert_eq!(reply.outcomes.len(), 2);
+        // Defined answers resolve; in-process ⊥ is authoritative NotFound,
+        // never a transport verdict.
+        assert!(matches!(reply.outcomes[0], Outcome::Resolved(_)));
+        assert_eq!(reply.outcomes[1], Outcome::NotFound);
+        assert!(!reply
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, Outcome::Unreachable { .. })));
+        // The frame round-trips through the wire codec.
+        let decoded = BatchReply::decode(reply.encode()).unwrap();
+        assert_eq!(decoded, reply);
+        svc.shutdown();
     }
 }

@@ -6,12 +6,13 @@
 //! the server logic, pumping the event queue and handling each delivered
 //! frame. All scheduling remains deterministic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use naming_core::entity::{ActivityId, Entity, ObjectId};
 use naming_core::name::CompoundName;
 use naming_sim::message::Payload;
 use naming_sim::time::Duration;
+use naming_sim::topology::MachineId;
 use naming_sim::world::World;
 
 use crate::service::NameService;
@@ -28,6 +29,76 @@ pub struct ResolveStats {
     pub servers_touched: u32,
     /// Virtual time from request to final answer.
     pub latency: Duration,
+    /// True when the answer is a *transport* verdict, not a naming one:
+    /// messages were lost, deadlines exhausted, or no authority could be
+    /// addressed. The paper's ⊥ means "unbound in the context" (§2); an
+    /// unreachable authority says nothing about the binding, so callers
+    /// (in particular ⊥-caching layers) must treat the two differently.
+    pub unreachable: bool,
+}
+
+/// Deterministic deadline/retransmission schedule for one logical request.
+///
+/// Timeouts live on the `VirtualTime` axis as sim wake events, so a retried
+/// run is exactly as reproducible as a lossless one. The backoff doubles per
+/// attempt up to `2^backoff_cap`, plus a jitter term derived by hashing
+/// `(request id, attempt)` — seeded, consuming no RNG draws, so enabling the
+/// retry layer cannot perturb fault injection decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-attempt deadline in ticks. The default (256) covers the
+    /// stock latency model's worst round trip (2 × 100 cross-network)
+    /// with headroom.
+    pub base_timeout_ticks: u64,
+    /// Total send attempts per hop before giving up with
+    /// [`Outcome::Unreachable`].
+    pub max_attempts: u32,
+    /// Backoff stops doubling after this many attempts.
+    pub backoff_cap: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base_timeout_ticks: 256,
+            max_attempts: 8,
+            backoff_cap: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deadline for `attempt` (0-based) of request `id`, in ticks.
+    pub fn timeout_ticks(&self, id: u64, attempt: u32) -> u64 {
+        let backoff = self.base_timeout_ticks << attempt.min(self.backoff_cap);
+        let span = (self.base_timeout_ticks / 4).max(1);
+        backoff + jitter(id, attempt) % span
+    }
+}
+
+/// Splitmix64-style hash of `(id, attempt)`: deterministic jitter that
+/// never touches the world's RNG stream.
+fn jitter(id: u64, attempt: u32) -> u64 {
+    let mut z = id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Running totals of the retry layer's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Requests re-sent after a deadline expired.
+    pub retransmissions: u64,
+    /// Replies that arrived for a superseded (timed-out) attempt. Counted,
+    /// never acted on: the retransmitted attempt's answer wins.
+    pub late_replies: u64,
+    /// Attempts redirected to a replica of the addressed context.
+    pub failovers: u64,
+    /// Hops abandoned after `max_attempts` deadlines.
+    pub exhausted: u64,
 }
 
 /// One referral a resolution followed, relative to the name the client
@@ -65,6 +136,10 @@ pub struct BatchResolveStats {
     /// Every referral any of the names followed, as `(consumed prefix of
     /// the original name, machine, context)` — deduplicated and sorted.
     pub referrals: Vec<(CompoundName, naming_sim::topology::MachineId, ObjectId)>,
+    /// Per input slot: true when the slot's ⊥ is a transport verdict
+    /// (lost exchange, exhausted deadlines, unplaced authority) rather
+    /// than an authoritative "unbound". Always false for defined entities.
+    pub unreachable: Vec<bool>,
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +157,13 @@ pub struct ProtocolEngine {
     next_id: u64,
     /// Safety bound on pump iterations per resolve.
     max_steps: usize,
+    /// Deadline/retransmission schedule; `None` (the default) keeps the
+    /// fire-and-wait behavior where a lost message ends the walk.
+    retry: Option<RetryPolicy>,
+    /// Request ids whose deadline expired before an answer arrived. A
+    /// reply bearing one of these ids is a *late* reply: counted, dropped.
+    superseded: BTreeSet<u64>,
+    counters: RetryCounters,
 }
 
 impl ProtocolEngine {
@@ -92,6 +174,9 @@ impl ProtocolEngine {
             server_state: BTreeMap::new(),
             next_id: 1,
             max_steps: 100_000,
+            retry: None,
+            superseded: BTreeSet::new(),
+            counters: RetryCounters::default(),
         }
     }
 
@@ -103,6 +188,38 @@ impl ProtocolEngine {
     /// Mutable access to the service (placement changes).
     pub fn service_mut(&mut self) -> &mut NameService {
         &mut self.service
+    }
+
+    /// Installs (or removes) the deadline/retransmission schedule.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Retry-layer activity accumulated so far.
+    pub fn retry_counters(&self) -> RetryCounters {
+        self.counters
+    }
+
+    /// Restarts the name server on `machine` after a [`World::kill`]: the
+    /// process is revived with a cleared mailbox, its in-flight forwarding
+    /// state is discarded, and every replicated zone it participates in is
+    /// re-published by its primary, so updates dropped while the server
+    /// was down are replayed. Pump the queue to let the re-publications
+    /// land. Returns the number of zone updates sent.
+    pub fn restart_server(&mut self, world: &mut World, machine: MachineId) -> usize {
+        let server = self.service.server_on(machine);
+        world.revive(server);
+        self.server_state.remove(&server);
+        let mut published = 0;
+        for zone in self.service.zones_on(machine) {
+            published += self.publish_zone(world, zone);
+        }
+        published
     }
 
     /// Resolves `name` for `client`, starting at the context object
@@ -179,77 +296,131 @@ impl ProtocolEngine {
         let mut target_machine = match self.service.machine_of_object(start) {
             Some(m) => m,
             None => {
+                // Nobody can even be addressed: a transport verdict, not ⊥.
                 return (
                     ResolveStats {
                         entity: Entity::Undefined,
                         messages: 0,
                         servers_touched: 0,
                         latency: Duration::ZERO,
+                        unreachable: true,
                     },
                     hops,
-                )
+                );
             }
         };
         let mut current_start = start;
         let mut current_name = name.clone();
 
-        'outer: loop {
-            let id = self.next_id;
-            self.next_id += 1;
-            let server = self.service.server_on(target_machine);
-            // With the `batch-wire` feature, iterative single resolves
-            // ride the batch frames as a batch of one — same exchanges,
-            // same answers, one wire format. Recursive mode keeps the
-            // scalar frames (servers forward those on the client's
-            // behalf).
-            #[cfg(feature = "batch-wire")]
-            let frame = if mode == Mode::Iterative {
-                let (trie, _) = NameTrie::build(std::slice::from_ref(&current_name));
-                BatchRequest {
-                    id,
-                    start: current_start,
-                    trie,
+        loop {
+            // Failover order for this hop: the addressed authority first,
+            // then every other replica of the context's group. Only
+            // consulted once a deadline expires, so a lossless walk never
+            // deviates from the primary route.
+            let mut candidates: Vec<(MachineId, ObjectId)> = vec![(target_machine, current_start)];
+            if self.retry.is_some() {
+                for (m, ctx) in self.service.failover_targets(current_start) {
+                    if !candidates.iter().any(|&(cm, _)| cm == m) {
+                        candidates.push((m, ctx));
+                    }
                 }
-                .encode()
-            } else {
-                Request {
+            }
+
+            let mut attempt = 0u32;
+            let (outcome, touched) = 'hop: loop {
+                let (machine, req_start) = candidates[attempt as usize % candidates.len()];
+                if attempt > 0 && machine != candidates[0].0 {
+                    self.counters.failovers += 1;
+                    #[cfg(feature = "telemetry")]
+                    naming_telemetry::counter!("failover.attempts").bump();
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                let server = self.service.server_on(machine);
+                // With the `batch-wire` feature, iterative single resolves
+                // ride the batch frames as a batch of one — same exchanges,
+                // same answers, one wire format. Recursive mode keeps the
+                // scalar frames (servers forward those on the client's
+                // behalf).
+                #[cfg(feature = "batch-wire")]
+                let frame = if mode == Mode::Iterative {
+                    let (trie, _) = NameTrie::build(std::slice::from_ref(&current_name));
+                    BatchRequest {
+                        id,
+                        start: req_start,
+                        trie,
+                    }
+                    .encode()
+                } else {
+                    Request {
+                        id,
+                        start: req_start,
+                        name: current_name.clone(),
+                        mode,
+                    }
+                    .encode()
+                };
+                #[cfg(not(feature = "batch-wire"))]
+                let frame = Request {
                     id,
-                    start: current_start,
+                    start: req_start,
                     name: current_name.clone(),
                     mode,
                 }
-                .encode()
-            };
-            #[cfg(not(feature = "batch-wire"))]
-            let frame = Request {
-                id,
-                start: current_start,
-                name: current_name.clone(),
-                mode,
-            }
-            .encode();
-            world.send(client, server, vec![Payload::Bytes(frame)]);
+                .encode();
+                world.send(client, server, vec![Payload::Bytes(frame)]);
+                if let Some(pol) = self.retry {
+                    let after = Duration::from_ticks(pol.timeout_ticks(id, attempt));
+                    world.schedule_wake(client, after, id);
+                }
 
-            // Pump until the client hears back about this id.
-            let mut steps = 0usize;
-            let (outcome, touched) = loop {
-                if let Some(r) = self.take_client_answer(world, client, id) {
-                    break r;
+                // Pump until the client hears back about this id, or its
+                // deadline fires.
+                let mut steps = 0usize;
+                loop {
+                    if let Some(r) = self.take_client_answer(world, client, id) {
+                        world.cancel_wake(id);
+                        #[cfg(feature = "telemetry")]
+                        if self.retry.is_some() {
+                            naming_telemetry::histogram!("retry.attempts")
+                                .record(u64::from(attempt) + 1);
+                        }
+                        break 'hop r;
+                    }
+                    if let Some(pol) = self.retry {
+                        let mut fired = false;
+                        while let Some(token) = world.take_wake(client) {
+                            fired |= token == id;
+                        }
+                        if fired {
+                            // Deadline expired: the outstanding attempt is
+                            // superseded — its reply, if it ever lands, is a
+                            // late reply, not an answer.
+                            self.superseded.insert(id);
+                            attempt += 1;
+                            if attempt >= pol.max_attempts {
+                                self.counters.exhausted += 1;
+                                break 'hop (Outcome::Unreachable { attempts: attempt }, 0);
+                            }
+                            self.counters.retransmissions += 1;
+                            #[cfg(feature = "telemetry")]
+                            naming_telemetry::counter!("retry.retransmissions").bump();
+                            continue 'hop;
+                        }
+                    }
+                    if steps >= self.max_steps || !world.step() {
+                        // Dead protocol (e.g. all messages lost, no
+                        // deadline scheduled to force a retry).
+                        break 'hop (
+                            Outcome::Unreachable {
+                                attempts: attempt + 1,
+                            },
+                            0,
+                        );
+                    }
+                    steps += 1;
+                    self.drain_servers(world);
                 }
-                if steps >= self.max_steps || !world.step() {
-                    // Dead protocol (e.g. all messages lost).
-                    break 'outer (
-                        ResolveStats {
-                            entity: Entity::Undefined,
-                            messages: world.trace().counter("sent") - sent0,
-                            servers_touched,
-                            latency: world.now() - t0,
-                        },
-                        hops,
-                    );
-                }
-                steps += 1;
-                self.drain_servers(world);
             };
 
             servers_touched += touched;
@@ -261,6 +432,7 @@ impl ProtocolEngine {
                             messages: world.trace().counter("sent") - sent0,
                             servers_touched,
                             latency: world.now() - t0,
+                            unreachable: false,
                         },
                         hops,
                     );
@@ -287,6 +459,19 @@ impl ProtocolEngine {
                             messages: world.trace().counter("sent") - sent0,
                             servers_touched,
                             latency: world.now() - t0,
+                            unreachable: false,
+                        },
+                        hops,
+                    );
+                }
+                Outcome::Unreachable { .. } => {
+                    break (
+                        ResolveStats {
+                            entity: Entity::Undefined,
+                            messages: world.trace().counter("sent") - sent0,
+                            servers_touched,
+                            latency: world.now() - t0,
+                            unreachable: true,
                         },
                         hops,
                     );
@@ -330,6 +515,7 @@ impl ProtocolEngine {
         let t0 = world.now();
         let sent0 = world.trace().counter("sent");
         let mut entities = vec![Entity::Undefined; names.len()];
+        let mut unreachable = vec![false; names.len()];
         let mut referrals = Vec::new();
         let mut servers_touched = 0u32;
         let mut hops_saved = 0u64;
@@ -364,11 +550,23 @@ impl ProtocolEngine {
             struct Awaiting {
                 entries: Vec<(CompoundName, Vec<(usize, usize)>)>,
                 mapping: Vec<u32>,
+                /// Failover order: addressed authority first, then the
+                /// other replicas of the context's group.
+                candidates: Vec<(MachineId, ObjectId)>,
+                /// Send attempts made so far (0-based next index into the
+                /// candidate rotation).
+                attempt: u32,
             }
             let mut awaiting: BTreeMap<u64, Awaiting> = BTreeMap::new();
             for (ctx, group) in round {
                 let Some(machine) = self.service.machine_of_object(ctx) else {
-                    continue; // nobody authoritative: those slots stay ⊥
+                    // Nobody can be addressed: a transport verdict, not ⊥.
+                    for (_, slots) in group {
+                        for (slot, _) in slots {
+                            unreachable[slot] = true;
+                        }
+                    }
+                    continue;
                 };
                 let entries: Vec<(CompoundName, Slots)> = group.into_iter().collect();
                 for (_, slots) in &entries {
@@ -377,6 +575,14 @@ impl ProtocolEngine {
                 let group_names: Vec<CompoundName> =
                     entries.iter().map(|(n, _)| n.clone()).collect();
                 let (trie, mapping) = NameTrie::build(&group_names);
+                let mut candidates: Vec<(MachineId, ObjectId)> = vec![(machine, ctx)];
+                if self.retry.is_some() {
+                    for (m, fctx) in self.service.failover_targets(ctx) {
+                        if !candidates.iter().any(|&(cm, _)| cm == m) {
+                            candidates.push((m, fctx));
+                        }
+                    }
+                }
                 let id = self.next_id;
                 self.next_id += 1;
                 let req = BatchRequest {
@@ -386,11 +592,26 @@ impl ProtocolEngine {
                 };
                 let server = self.service.server_on(machine);
                 world.send(client, server, vec![Payload::Bytes(req.encode())]);
-                awaiting.insert(id, Awaiting { entries, mapping });
+                if let Some(pol) = self.retry {
+                    let after = Duration::from_ticks(pol.timeout_ticks(id, 0));
+                    world.schedule_wake(client, after, id);
+                }
+                awaiting.insert(
+                    id,
+                    Awaiting {
+                        entries,
+                        mapping,
+                        candidates,
+                        attempt: 0,
+                    },
+                );
             }
 
             // Pump until every request of the round is answered (or the
-            // protocol is dead).
+            // protocol is dead). Retransmissions happen *inside* this
+            // pump: they repeat a round's exchange and must not consume a
+            // referral-progress round, or deep names would time out
+            // spuriously under loss (`rounds` is bounded by name depth).
             let mut got: BTreeMap<u64, BatchReply> = BTreeMap::new();
             let mut steps = 0usize;
             loop {
@@ -399,7 +620,10 @@ impl ProtocolEngine {
                         let Payload::Bytes(b) = part else { continue };
                         if let Some(rep) = BatchReply::decode(b.clone()) {
                             if awaiting.contains_key(&rep.id) {
+                                world.cancel_wake(rep.id);
                                 got.insert(rep.id, rep);
+                            } else {
+                                self.note_stale_reply(rep.id);
                             }
                         }
                     }
@@ -407,14 +631,81 @@ impl ProtocolEngine {
                 if got.len() == awaiting.len() {
                     break;
                 }
+                if let Some(pol) = self.retry {
+                    let mut fired = Vec::new();
+                    while let Some(token) = world.take_wake(client) {
+                        fired.push(token);
+                    }
+                    for token in fired {
+                        if got.contains_key(&token) {
+                            continue; // answered on the same step it expired
+                        }
+                        let Some(mut aw) = awaiting.remove(&token) else {
+                            continue;
+                        };
+                        self.superseded.insert(token);
+                        aw.attempt += 1;
+                        if aw.attempt >= pol.max_attempts {
+                            self.counters.exhausted += 1;
+                            for (_, slots) in &aw.entries {
+                                for &(slot, _) in slots {
+                                    unreachable[slot] = true;
+                                }
+                            }
+                            continue; // give the request up; round completes without it
+                        }
+                        self.counters.retransmissions += 1;
+                        #[cfg(feature = "telemetry")]
+                        naming_telemetry::counter!("retry.retransmissions").bump();
+                        let (machine, ctx) =
+                            aw.candidates[aw.attempt as usize % aw.candidates.len()];
+                        if machine != aw.candidates[0].0 {
+                            self.counters.failovers += 1;
+                            #[cfg(feature = "telemetry")]
+                            naming_telemetry::counter!("failover.attempts").bump();
+                        }
+                        let group_names: Vec<CompoundName> =
+                            aw.entries.iter().map(|(n, _)| n.clone()).collect();
+                        let (trie, mapping) = NameTrie::build(&group_names);
+                        aw.mapping = mapping;
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        let req = BatchRequest {
+                            id,
+                            start: ctx,
+                            trie,
+                        };
+                        let server = self.service.server_on(machine);
+                        world.send(client, server, vec![Payload::Bytes(req.encode())]);
+                        let after = Duration::from_ticks(pol.timeout_ticks(id, aw.attempt));
+                        world.schedule_wake(client, after, id);
+                        awaiting.insert(id, aw);
+                    }
+                    if got.len() == awaiting.len() {
+                        break; // every surviving request answered
+                    }
+                }
                 if steps >= self.max_steps || !world.step() {
-                    break; // dead protocol: unanswered slots stay ⊥
+                    // Dead protocol: unanswered slots are unreachable, not ⊥.
+                    for (id, aw) in &awaiting {
+                        if !got.contains_key(id) {
+                            for (_, slots) in &aw.entries {
+                                for &(slot, _) in slots {
+                                    unreachable[slot] = true;
+                                }
+                            }
+                        }
+                    }
+                    break;
                 }
                 steps += 1;
                 self.drain_servers(world);
             }
 
-            for (id, Awaiting { entries, mapping }) in awaiting {
+            for (id, aw) in awaiting {
+                let Awaiting {
+                    entries, mapping, ..
+                } = aw;
                 let Some(rep) = got.remove(&id) else { continue };
                 servers_touched += rep.servers_touched;
                 hops_saved += u64::from(rep.lookups_saved);
@@ -446,6 +737,14 @@ impl ProtocolEngine {
                                 riders.push((slot, consumed));
                             }
                         }
+                        Some(Outcome::Unreachable { .. }) => {
+                            // The server could not hand resolution onward
+                            // (e.g. the next authority is unplaced): a
+                            // transport verdict for these slots.
+                            for (slot, _) in slots {
+                                unreachable[slot] = true;
+                            }
+                        }
                         // NotFound / WrongServer / malformed reply: ⊥.
                         _ => {}
                     }
@@ -464,6 +763,7 @@ impl ProtocolEngine {
             coalesced,
             hops_saved,
             referrals,
+            unreachable,
         }
     }
 
@@ -516,8 +816,9 @@ impl ProtocolEngine {
         client: ActivityId,
         id: u64,
     ) -> Option<(Outcome, u32)> {
-        // Handle every waiting message; replies for other ids are dropped
-        // (single-outstanding-request client).
+        // Handle every waiting message; replies for other ids are either
+        // late answers to superseded attempts (counted) or stray frames
+        // (dropped — single-outstanding-request client).
         while let Some(msg) = world.receive(client) {
             for part in &msg.parts {
                 if let Payload::Bytes(b) = part {
@@ -525,17 +826,37 @@ impl ProtocolEngine {
                         if r.id == id {
                             return Some((r.outcome, r.servers_touched));
                         }
+                        self.note_stale_reply(r.id);
                     } else if let Some(r) = BatchReply::decode(b.clone()) {
                         if r.id == id {
-                            let outcome =
-                                r.outcomes.into_iter().next().unwrap_or(Outcome::NotFound);
+                            // An empty outcome list means the transport
+                            // delivered a frame carrying no verdict. That
+                            // says nothing about the binding, so it must
+                            // never surface as ⊥ (`NotFound`).
+                            let outcome = r
+                                .outcomes
+                                .into_iter()
+                                .next()
+                                .unwrap_or(Outcome::Unreachable { attempts: 1 });
                             return Some((outcome, r.servers_touched));
                         }
+                        self.note_stale_reply(r.id);
                     }
                 }
             }
         }
         None
+    }
+
+    /// Records a reply that arrived after its attempt was superseded by a
+    /// retransmission. Stale replies are counted — losing them silently
+    /// would hide how often the deadline fired early — but never acted on.
+    fn note_stale_reply(&mut self, id: u64) {
+        if self.superseded.remove(&id) {
+            self.counters.late_replies += 1;
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("retry.late_reply").bump();
+        }
     }
 
     /// Processes every message waiting in any server's mailbox.
@@ -763,6 +1084,7 @@ mod tests {
         let stats = engine.resolve(&mut w, client, orphan, &name, Mode::Iterative);
         assert_eq!(stats.entity, Entity::Undefined);
         assert_eq!(stats.messages, 0);
+        assert!(stats.unreachable, "no authority addressable ≠ unbound");
     }
 
     #[test]
@@ -774,6 +1096,195 @@ mod tests {
         let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
         let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
         assert_eq!(stats.entity, Entity::Undefined);
+        assert!(
+            stats.unreachable,
+            "a lost exchange is a transport verdict, not ⊥"
+        );
+    }
+
+    #[test]
+    fn authoritative_bottom_is_not_flagged_unreachable() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let name = CompoundName::parse_path("/hop1/nope").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, Entity::Undefined);
+        assert!(!stats.unreachable, "the server answered: genuinely unbound");
+    }
+
+    #[test]
+    fn empty_batch_reply_is_unreachable_not_bottom() {
+        // The regression at the heart of this PR: a BatchReply frame with
+        // an empty outcome list used to surface as NotFound (⊥).
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let server = svc.server_on(machines[0]);
+        let mut engine = ProtocolEngine::new(svc);
+        let empty = BatchReply {
+            id: 1,
+            outcomes: Vec::new(),
+            servers_touched: 1,
+            lookups_saved: 0,
+        };
+        w.send(server, client, vec![Payload::Bytes(empty.encode())]);
+        w.run();
+        let got = engine.take_client_answer(&mut w, client, 1);
+        assert_eq!(got, Some((Outcome::Unreachable { attempts: 1 }, 1)));
+        let _ = root;
+    }
+
+    #[test]
+    fn retries_recover_from_message_loss() {
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        }));
+        w.set_message_drop_rate(0.3);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        // Resolve repeatedly: under p=0.3 with 64 attempts per hop the
+        // probability of an Unreachable answer is negligible, and any ⊥
+        // here would be a false ⊥.
+        for _ in 0..20 {
+            let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+            assert_eq!(stats.entity, leaf);
+            assert!(!stats.unreachable);
+        }
+        w.set_message_drop_rate(0.0);
+        // Batch path under the same loss.
+        w.set_message_drop_rate(0.3);
+        let names = vec![
+            name.clone(),
+            CompoundName::parse_path("/hop1/hop2").unwrap(),
+            CompoundName::parse_path("/hop1/nope").unwrap(),
+        ];
+        for _ in 0..10 {
+            let batch = engine.resolve_batch(&mut w, client, root, &names);
+            assert_eq!(batch.entities[0], leaf);
+            assert!(batch.entities[1].is_defined());
+            assert_eq!(batch.entities[2], Entity::Undefined);
+            assert!(!batch.unreachable[2], "authoritative ⊥ stays authoritative");
+            // Retransmissions never consume referral-progress rounds.
+            assert!(batch.rounds <= name.len() as u32 + 1);
+        }
+        assert!(
+            engine.retry_counters().retransmissions > 0,
+            "p=0.3 over many exchanges must have lost something"
+        );
+    }
+
+    #[test]
+    fn exhausted_deadlines_end_unreachable() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        }));
+        w.set_message_drop_rate(1.0);
+        let name = CompoundName::parse_path("/hop1").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, Entity::Undefined);
+        assert!(stats.unreachable);
+        let c = engine.retry_counters();
+        assert_eq!(c.retransmissions, 2, "attempts 2 and 3");
+        assert_eq!(c.exhausted, 1);
+        // Batch path gives up the same way and flags every slot.
+        let batch = engine.resolve_batch(&mut w, client, root, std::slice::from_ref(&name));
+        assert_eq!(batch.entities, vec![Entity::Undefined]);
+        assert_eq!(batch.unreachable, vec![true]);
+    }
+
+    #[test]
+    fn late_replies_are_counted_not_answered() {
+        // A deadline far below the round-trip time forces every first
+        // answer to arrive late; the retransmitted attempt's answer wins
+        // and the stragglers are tallied.
+        let (mut w, svc, machines, root, leaf) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy {
+            base_timeout_ticks: 10, // RTT on the chain is ≥ 20 ticks
+            max_attempts: 16,
+            backoff_cap: 6,
+        }));
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(stats.entity, leaf, "late replies must not break the walk");
+        let c = engine.retry_counters();
+        assert!(c.retransmissions >= 1);
+        assert!(
+            c.late_replies >= 1,
+            "superseded attempts answered eventually: {c:?}"
+        );
+    }
+
+    #[test]
+    fn lossless_runs_are_identical_with_and_without_retry() {
+        // The retry layer must be invisible when nothing is lost: same
+        // entities, same message counts, same virtual-time latency.
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let names = vec![
+            name.clone(),
+            CompoundName::parse_path("/hop1").unwrap(),
+            CompoundName::parse_path("/hop1/nope").unwrap(),
+        ];
+        let run = |retry: bool| {
+            let (mut w, svc, machines, root, _) = chain_world();
+            let client = w.spawn(machines[0], "client", None);
+            let mut engine = ProtocolEngine::new(svc);
+            if retry {
+                engine.set_retry_policy(Some(RetryPolicy::default()));
+            }
+            let single = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+            let batch = engine.resolve_batch(&mut w, client, root, &names);
+            (single, batch.entities, batch.messages, batch.latency)
+        };
+        let plain = run(false);
+        let retried = run(true);
+        assert_eq!(plain, retried);
+    }
+
+    #[test]
+    fn failover_answers_from_replica_when_primary_dies() {
+        // Replicate hop2's zone onto a standby machine, kill the primary,
+        // and watch a deadline redirect the walk to the replica.
+        let (mut w, mut svc, machines, root, leaf) = chain_world();
+        let net = w.topology().machine_network(machines[0]);
+        let standby = w.add_machine("standby", net);
+        svc.add_server(&mut w, standby);
+        let lookup = |w: &World, ctx: ObjectId, n: &str| match w
+            .state()
+            .lookup(ctx, naming_core::name::Name::new(n))
+        {
+            Entity::Object(o) => o,
+            other => panic!("{n} missing: {other:?}"),
+        };
+        let hop1 = lookup(&w, root, "hop1");
+        let hop2 = lookup(&w, hop1, "hop2");
+        svc.replicate_zone(&mut w, hop2, standby);
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy::default()));
+        let dead = engine.service().server_on(machines[2]);
+        w.kill(dead);
+        let name = CompoundName::parse_path("/hop1/hop2/leaf").unwrap();
+        let stats = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(
+            stats.entity, leaf,
+            "replica must answer for the dead primary"
+        );
+        assert!(engine.retry_counters().failovers >= 1);
+        // Restart the primary and republish: the direct route works again.
+        let republished = engine.restart_server(&mut w, machines[2]);
+        assert!(republished >= 1);
+        engine.pump_idle(&mut w);
+        let again = engine.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(again.entity, leaf);
     }
 
     #[test]
@@ -907,6 +1418,11 @@ mod tests {
         ];
         let batch = engine.resolve_batch(&mut w, client, root, &names);
         assert_eq!(batch.entities, vec![Entity::Undefined, Entity::Undefined]);
+        assert_eq!(
+            batch.unreachable,
+            vec![true, true],
+            "lost batch exchanges are transport verdicts"
+        );
     }
 
     #[test]
@@ -919,6 +1435,7 @@ mod tests {
         let batch = engine.resolve_batch(&mut w, client, orphan, &names);
         assert_eq!(batch.entities, vec![Entity::Undefined]);
         assert_eq!(batch.messages, 0);
+        assert_eq!(batch.unreachable, vec![true]);
     }
 
     #[test]

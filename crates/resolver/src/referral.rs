@@ -279,6 +279,31 @@ impl NegativeCache {
         true
     }
 
+    /// Like [`NegativeCache::record`], but carries the protocol's own
+    /// classification of the ⊥: `unreachable` means the verdict came from
+    /// transport failure (lost messages, exhausted deadlines, unplaced
+    /// authorities), which must never become a negative entry — the
+    /// binding may exist. Callers are expected to filter those out before
+    /// getting here; the debug assertion keeps the invariant loud if a
+    /// future call site forgets, and release builds still refuse to
+    /// record.
+    pub fn record_protocol_verdict(
+        &mut self,
+        world: &World,
+        start: ObjectId,
+        name: &CompoundName,
+        unreachable: bool,
+    ) -> bool {
+        debug_assert!(
+            !unreachable,
+            "an Unreachable verdict for {name} must not reach the negative cache"
+        );
+        if unreachable {
+            return false;
+        }
+        self.record(world, start, name)
+    }
+
     /// Drops every entry.
     pub fn invalidate_all(&mut self) {
         self.memo.invalidate_all();

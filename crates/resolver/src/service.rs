@@ -188,6 +188,60 @@ impl NameService {
         out
     }
 
+    /// The servers able to answer for `ctx`, primary first: when `ctx`
+    /// belongs to a replica group (as primary or copy), every machine of
+    /// the group paired with the context object it serves; otherwise just
+    /// `ctx`'s own placement. This is the failover order the retry layer
+    /// walks when a request's deadline expires.
+    pub fn failover_targets(&self, ctx: ObjectId) -> Vec<(MachineId, ObjectId)> {
+        let zone = if self.replicas.contains_key(&ctx) {
+            Some(ctx)
+        } else {
+            self.replicas
+                .iter()
+                .find(|(_, secs)| secs.values().any(|&c| c == ctx))
+                .map(|(&z, _)| z)
+        };
+        match zone {
+            Some(z) => self
+                .zone_servers(z)
+                .into_iter()
+                .filter_map(|m| self.zone_copy_on(z, m).map(|c| (m, c)))
+                .collect(),
+            None => self
+                .machine_of_object(ctx)
+                .map(|m| (m, ctx))
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// The primary zone objects of every replica group `machine`
+    /// participates in (as primary or secondary) — what must be
+    /// re-published after the machine's server restarts.
+    pub fn zones_on(&self, machine: MachineId) -> Vec<ObjectId> {
+        self.replicas
+            .iter()
+            .filter(|(z, secs)| {
+                self.placement.get(*z) == Some(&machine) || secs.contains_key(&machine)
+            })
+            .map(|(&z, _)| z)
+            .collect()
+    }
+
+    /// Spawns an additional name server on `machine` (a standby added
+    /// after [`NameService::install`]). Returns the existing server if one
+    /// is already there.
+    pub fn add_server(&mut self, world: &mut World, machine: MachineId) -> ActivityId {
+        if let Some(&pid) = self.servers.get(&machine) {
+            return pid;
+        }
+        let label = format!("named@{}", world.topology().machine_name(machine));
+        let pid = world.spawn(machine, label, None);
+        self.servers.insert(machine, pid);
+        pid
+    }
+
     /// The names on which some replica of `zone` currently disagrees with
     /// the primary — the zone's divergence (empty right after a sync).
     pub fn replica_divergence(
@@ -248,6 +302,9 @@ impl NameService {
                 }
                 Outcome::NotFound => naming_telemetry::counter!("service.not_found").bump(),
                 Outcome::WrongServer => naming_telemetry::counter!("service.wrong_server").bump(),
+                Outcome::Unreachable { .. } => {
+                    naming_telemetry::counter!("service.unreachable").bump()
+                }
             }
         }
         out
@@ -292,8 +349,10 @@ impl NameService {
                                 remaining,
                             };
                         }
-                        // Unplaced context object: nobody is authoritative.
-                        None => return Outcome::NotFound,
+                        // Unplaced context object: nobody is authoritative,
+                        // so nothing can be said about the binding — a
+                        // transport verdict, never ⊥.
+                        None => return Outcome::Unreachable { attempts: 0 },
                     }
                 }
                 _ => return Outcome::NotFound,
@@ -329,8 +388,10 @@ impl NameService {
         let mut naive = 0u32;
 
         /// Walk state at a trie node: still resolving locally, already
-        /// past a referral boundary (accumulating the remaining path), or
-        /// past a dead binding (everything below is `NotFound`).
+        /// past a referral boundary (accumulating the remaining path),
+        /// past a dead binding (everything below is `NotFound`), or past
+        /// an unplaced context (everything below is `Unreachable` — the
+        /// bindings may exist but nobody can be asked).
         enum St {
             Live(ObjectId),
             Referred {
@@ -339,6 +400,7 @@ impl NameService {
                 path: Vec<naming_core::name::Name>,
             },
             Dead,
+            Unreachable,
         }
 
         let mut stack: Vec<(u32, St)> = trie
@@ -354,6 +416,16 @@ impl NameService {
                 St::Dead => {
                     for &c in node.children.iter().rev() {
                         stack.push((c, St::Dead));
+                    }
+                }
+                St::Unreachable => {
+                    if let Some(q) = node.query {
+                        if let Some(slot) = outcomes.get_mut(q as usize) {
+                            *slot = Outcome::Unreachable { attempts: 0 };
+                        }
+                    }
+                    for &c in node.children.iter().rev() {
+                        stack.push((c, St::Unreachable));
                     }
                 }
                 St::Referred { m, ctx, path } => {
@@ -402,29 +474,39 @@ impl NameService {
                     }
                     // Descend exactly as the single-name walk would: a
                     // local replica keeps the walk live, a remote zone
-                    // starts a referral, anything else is dead.
+                    // starts a referral, an unplaced zone is unreachable,
+                    // anything else is dead.
+                    enum Next {
+                        Live(ObjectId),
+                        Ref(MachineId, ObjectId),
+                        Dead,
+                        Unreachable,
+                    }
                     let next = match e {
                         Entity::Object(o) if world.state().is_context_object(o) => {
                             if let Some(copy) = self.zone_copy_on(o, machine) {
-                                Some((copy, None))
+                                Next::Live(copy)
                             } else {
-                                self.nearest_server_for(world, machine, o)
-                                    .map(|(m, ctx)| (ctx, Some(m)))
+                                match self.nearest_server_for(world, machine, o) {
+                                    Some((m, ctx)) => Next::Ref(m, ctx),
+                                    None => Next::Unreachable,
+                                }
                             }
                         }
-                        _ => None,
+                        _ => Next::Dead,
                     };
                     for &c in node.children.iter().rev() {
                         stack.push((
                             c,
                             match next {
-                                Some((copy, None)) => St::Live(copy),
-                                Some((ctx, Some(m))) => St::Referred {
+                                Next::Live(copy) => St::Live(copy),
+                                Next::Ref(m, ctx) => St::Referred {
                                     m,
                                     ctx,
                                     path: Vec::new(),
                                 },
-                                None => St::Dead,
+                                Next::Dead => St::Dead,
+                                Next::Unreachable => St::Unreachable,
                             },
                         ));
                     }
@@ -693,14 +775,72 @@ mod tests {
     }
 
     #[test]
-    fn unplaced_context_is_not_found() {
+    fn unplaced_context_is_unreachable_not_bottom() {
         let (mut w, svc, m1, _, root1, _) = setup();
-        // A directory nobody is authoritative for.
+        // A directory nobody is authoritative for: the binding may well
+        // exist there, so the verdict is "can't ask", never ⊥.
         let orphan = w.state_mut().add_context_object("orphan");
         w.state_mut()
             .bind(root1, Name::new("orphan"), orphan)
             .unwrap();
         let name = CompoundName::parse_path("/orphan/x").unwrap();
-        assert_eq!(svc.local_resolve(&w, m1, root1, &name), Outcome::NotFound);
+        assert_eq!(
+            svc.local_resolve(&w, m1, root1, &name),
+            Outcome::Unreachable { attempts: 0 }
+        );
+        // The batch walk agrees, and keeps NotFound distinct below the
+        // same root.
+        let names = vec![
+            name,
+            CompoundName::parse_path("/orphan/deeper/x").unwrap(),
+            CompoundName::parse_path("/missing").unwrap(),
+        ];
+        let (trie, mapping) = NameTrie::build(&names);
+        let (outcomes, _) = svc.local_resolve_batch(&w, m1, root1, &trie);
+        assert_eq!(
+            outcomes[mapping[0] as usize],
+            Outcome::Unreachable { attempts: 0 }
+        );
+        assert_eq!(
+            outcomes[mapping[1] as usize],
+            Outcome::Unreachable { attempts: 0 }
+        );
+        assert_eq!(outcomes[mapping[2] as usize], Outcome::NotFound);
+    }
+
+    #[test]
+    fn failover_targets_list_the_replica_group_primary_first() {
+        let (mut w, mut svc, m1, m2, root1, rem) = setup();
+        // Unreplicated context: just its own placement.
+        assert_eq!(svc.failover_targets(root1), vec![(m1, root1)]);
+        assert_eq!(svc.failover_targets(rem), vec![(m2, rem)]);
+        let copy = svc.replicate_zone(&mut w, rem, m1);
+        // Asking via the primary or via the copy yields the same group.
+        assert_eq!(svc.failover_targets(rem), vec![(m2, rem), (m1, copy)]);
+        assert_eq!(svc.failover_targets(copy), vec![(m2, rem), (m1, copy)]);
+        // An unplaced object has no targets at all.
+        let orphan = w.state_mut().add_context_object("orphan");
+        assert!(svc.failover_targets(orphan).is_empty());
+    }
+
+    #[test]
+    fn zones_on_reports_group_membership() {
+        let (mut w, mut svc, m1, m2, _root1, rem) = setup();
+        assert!(svc.zones_on(m1).is_empty());
+        svc.replicate_zone(&mut w, rem, m1);
+        assert_eq!(svc.zones_on(m1), vec![rem]); // secondary
+        assert_eq!(svc.zones_on(m2), vec![rem]); // primary
+    }
+
+    #[test]
+    fn add_server_is_idempotent() {
+        let (mut w, mut svc, m1, _m2, _root1, _rem) = setup();
+        let net = w.add_network("standby-net");
+        let m3 = w.add_machine("m3", net);
+        let s = svc.add_server(&mut w, m3);
+        assert_eq!(svc.add_server(&mut w, m3), s);
+        assert_eq!(svc.server_on(m3), s);
+        assert_eq!(svc.add_server(&mut w, m1), svc.server_on(m1));
+        assert_eq!(svc.servers().count(), 3);
     }
 }

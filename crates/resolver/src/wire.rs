@@ -53,6 +53,16 @@ pub enum Outcome {
     NotFound,
     /// The start context is not hosted by the queried server.
     WrongServer,
+    /// Resolution could not reach an authority: messages were lost, the
+    /// server is down, or nobody is placed for the next zone. This is a
+    /// *transport* verdict, categorically distinct from `NotFound` — a
+    /// lost message says nothing about the binding, so `Unreachable` must
+    /// never be reported (or cached) as `⊥`.
+    Unreachable {
+        /// Send attempts made before giving up (0 when no request could
+        /// even be addressed, e.g. an unplaced start context).
+        attempts: u32,
+    },
 }
 
 /// A reply, correlated to its request.
@@ -118,6 +128,7 @@ const OUT_RESOLVED: u8 = 1;
 const OUT_REFERRAL: u8 = 2;
 const OUT_NOT_FOUND: u8 = 3;
 const OUT_WRONG_SERVER: u8 = 4;
+const OUT_UNREACHABLE: u8 = 5;
 
 const ENT_ACTIVITY: u8 = 1;
 const ENT_OBJECT: u8 = 2;
@@ -211,6 +222,7 @@ fn outcome_wire_len(o: &Outcome) -> usize {
             1 + 4 + 4 + 2 + name_bytes
         }
         Outcome::NotFound | Outcome::WrongServer => 1,
+        Outcome::Unreachable { .. } => 1 + 4,
     }
 }
 
@@ -232,6 +244,10 @@ fn put_outcome(buf: &mut BytesMut, o: &Outcome) {
         }
         Outcome::NotFound => buf.put_u8(OUT_NOT_FOUND),
         Outcome::WrongServer => buf.put_u8(OUT_WRONG_SERVER),
+        Outcome::Unreachable { attempts } => {
+            buf.put_u8(OUT_UNREACHABLE);
+            buf.put_u32(*attempts);
+        }
     }
 }
 
@@ -256,6 +272,14 @@ fn get_outcome(buf: &mut Bytes) -> Option<Outcome> {
         }
         OUT_NOT_FOUND => Outcome::NotFound,
         OUT_WRONG_SERVER => Outcome::WrongServer,
+        OUT_UNREACHABLE => {
+            if buf.remaining() < 4 {
+                return None;
+            }
+            Outcome::Unreachable {
+                attempts: buf.get_u32(),
+            }
+        }
         _ => return None,
     })
 }
@@ -701,6 +725,8 @@ mod tests {
             },
             Outcome::NotFound,
             Outcome::WrongServer,
+            Outcome::Unreachable { attempts: 0 },
+            Outcome::Unreachable { attempts: 17 },
         ] {
             let r = Reply {
                 id: 5,
@@ -741,6 +767,7 @@ mod tests {
                 },
                 Outcome::NotFound,
                 Outcome::WrongServer,
+                Outcome::Unreachable { attempts: 3 },
             ],
             servers_touched: 2,
             lookups_saved: 5,
@@ -984,7 +1011,7 @@ mod tests {
                 id in any::<u64>(),
                 touched in 0u32..64,
                 saved in 0u32..1024,
-                kinds in proptest::collection::vec(0u8..4, 0..16),
+                kinds in proptest::collection::vec(0u8..5, 0..16),
             ) {
                 let outcomes: Vec<Outcome> = kinds
                     .iter()
@@ -996,7 +1023,8 @@ mod tests {
                             remaining: CompoundName::parse_path("/r/s").unwrap(),
                         },
                         2 => Outcome::NotFound,
-                        _ => Outcome::WrongServer,
+                        3 => Outcome::WrongServer,
+                        _ => Outcome::Unreachable { attempts: u32::from(*k) },
                     })
                     .collect();
                 let rep = BatchReply { id, outcomes, servers_touched: touched, lookups_saved: saved };

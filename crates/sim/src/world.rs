@@ -44,6 +44,9 @@ struct ProcessInfo {
     ctx: ObjectId,
     local_addr: LocalAddr,
     mailbox: VecDeque<Message>,
+    /// Timer tokens whose wake events have fired, awaiting
+    /// [`World::take_wake`].
+    wakes: VecDeque<u64>,
     alive: bool,
 }
 
@@ -56,6 +59,12 @@ struct MachineState {
 #[derive(Clone, Debug)]
 enum SimEvent {
     Deliver(Message),
+    /// A deadline timer: at its scheduled time, `token` lands in `pid`'s
+    /// wake queue (unless cancelled first).
+    Wake {
+        pid: ActivityId,
+        token: u64,
+    },
 }
 
 /// Fault-injection configuration: lossy delivery and severed links.
@@ -107,6 +116,11 @@ pub struct World {
     rng: SimRng,
     trace: TraceLog,
     faults: FaultPlan,
+    /// Tokens of scheduled wakes that were cancelled before firing. A
+    /// cancelled wake is skipped *silently* when its event is reached —
+    /// no clock advance, no step — so timers that never fire leave the
+    /// timeline byte-identical to a world that never scheduled them.
+    cancelled_wakes: std::collections::BTreeSet<u64>,
 }
 
 impl World {
@@ -124,6 +138,7 @@ impl World {
             rng: SimRng::seeded(seed),
             trace: TraceLog::counters_only(),
             faults: FaultPlan::default(),
+            cancelled_wakes: std::collections::BTreeSet::new(),
         }
     }
 
@@ -188,8 +203,12 @@ impl World {
     /// Sets the probability that any message is lost in transit
     /// (clamped to `[0, 1]`; default 0). Losses bump the `lost` trace
     /// counter.
+    ///
+    /// `NaN` normalizes to 0: `f64::clamp` propagates NaN, and a NaN
+    /// drop rate would silently disable fault injection (every
+    /// `chance(NaN)` comparison is false) while *looking* configured.
     pub fn set_message_drop_rate(&mut self, p: f64) {
-        self.faults.drop_rate = p.clamp(0.0, 1.0);
+        self.faults.drop_rate = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
     }
 
     /// Severs or restores the (symmetric) link between two machines.
@@ -395,6 +414,7 @@ impl World {
                 ctx,
                 local_addr,
                 mailbox: VecDeque::new(),
+                wakes: VecDeque::new(),
                 alive: true,
             },
         );
@@ -422,6 +442,23 @@ impl World {
             p.alive = false;
         }
         self.state.activity_state_mut(pid).alive = false;
+    }
+
+    /// Restarts a killed process: it receives messages again, with an
+    /// empty mailbox and no pending wakes — a crash loses everything that
+    /// was queued, exactly like a real restart. The process keeps its
+    /// ids, context, and local address. Reviving a live process is a
+    /// no-op.
+    pub fn revive(&mut self, pid: ActivityId) {
+        if let Some(p) = self.processes.get_mut(&pid) {
+            if !p.alive {
+                p.alive = true;
+                p.mailbox.clear();
+                p.wakes.clear();
+                self.state.activity_state_mut(pid).alive = true;
+                self.trace.bump("revived");
+            }
+        }
     }
 
     /// True if the process is alive.
@@ -582,33 +619,75 @@ impl World {
             .schedule(self.clock + latency, SimEvent::Deliver(msg));
     }
 
+    /// Schedules a deadline timer: after `after` elapses, `token` becomes
+    /// available from [`World::take_wake`] for `pid`. Cancelled or
+    /// dead-process wakes are skipped silently (no clock advance), so a
+    /// timer that never fires costs nothing on the timeline.
+    pub fn schedule_wake(&mut self, pid: ActivityId, after: crate::time::Duration, token: u64) {
+        self.cancelled_wakes.remove(&token);
+        self.queue
+            .schedule(self.clock + after, SimEvent::Wake { pid, token });
+    }
+
+    /// Cancels a scheduled wake by token. Idempotent; cancelling a token
+    /// that was never scheduled (or already fired) only pins the token as
+    /// cancelled for any still-queued event.
+    pub fn cancel_wake(&mut self, token: u64) {
+        self.cancelled_wakes.insert(token);
+    }
+
+    /// Takes the next fired-but-unconsumed wake token for a process.
+    pub fn take_wake(&mut self, pid: ActivityId) -> Option<u64> {
+        self.processes.get_mut(&pid)?.wakes.pop_front()
+    }
+
     /// Runs the next pending event, advancing the clock. Returns `false`
-    /// when the queue is empty.
+    /// when the queue is empty. Cancelled wake timers are skipped without
+    /// advancing the clock or counting as a step, so a lossless run with
+    /// timers (all cancelled by on-time replies) is byte-identical to one
+    /// without them.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            None => false,
-            Some((time, SimEvent::Deliver(msg))) => {
-                self.clock = time;
-                let (from, to) = (msg.from, msg.to);
-                #[cfg(feature = "telemetry")]
-                if naming_telemetry::recorder::is_active() {
-                    self.sync_clock();
-                    if self.processes.get(&to).map(|p| p.alive) == Some(true) {
-                        self.observe_delivery(&msg);
+        loop {
+            match self.queue.pop() {
+                None => return false,
+                Some((time, SimEvent::Deliver(msg))) => {
+                    self.clock = time;
+                    let (from, to) = (msg.from, msg.to);
+                    #[cfg(feature = "telemetry")]
+                    if naming_telemetry::recorder::is_active() {
+                        self.sync_clock();
+                        if self.processes.get(&to).map(|p| p.alive) == Some(true) {
+                            self.observe_delivery(&msg);
+                        }
                     }
-                }
-                if let Some(p) = self.processes.get_mut(&to) {
-                    if p.alive {
-                        p.mailbox.push_back(msg);
-                        self.trace
-                            .record(self.clock, TraceEvent::MessageDelivered { from, to });
-                    } else {
-                        self.trace.bump("dropped");
-                        #[cfg(feature = "telemetry")]
-                        self.observe_undelivered("dropped", from, to);
+                    if let Some(p) = self.processes.get_mut(&to) {
+                        if p.alive {
+                            p.mailbox.push_back(msg);
+                            self.trace
+                                .record(self.clock, TraceEvent::MessageDelivered { from, to });
+                        } else {
+                            self.trace.bump("dropped");
+                            #[cfg(feature = "telemetry")]
+                            self.observe_undelivered("dropped", from, to);
+                        }
                     }
+                    return true;
                 }
-                true
+                Some((time, SimEvent::Wake { pid, token })) => {
+                    if self.cancelled_wakes.remove(&token) {
+                        continue;
+                    }
+                    let Some(p) = self.processes.get_mut(&pid) else {
+                        continue;
+                    };
+                    if !p.alive {
+                        continue;
+                    }
+                    self.clock = time;
+                    p.wakes.push_back(token);
+                    self.trace.bump("wake");
+                    return true;
+                }
             }
         }
     }
@@ -897,5 +976,94 @@ mod tests {
         w.run();
         assert_eq!(w.mailbox_len(b), 5);
         assert!(!w.step());
+    }
+
+    #[test]
+    fn nan_drop_rate_is_normalized_to_zero() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        // NaN would pass straight through f64::clamp and make every
+        // chance() comparison false, silently disabling fault injection
+        // *and* making p=NaN behave like p=0 while reading like "drop
+        // everything is broken". Normalize to 0.
+        w.set_message_drop_rate(f64::NAN);
+        w.set_message_drop_rate(-0.5);
+        w.send(a, b, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 1);
+        w.set_message_drop_rate(2.0); // clamps to 1.0: everything drops
+        w.send(a, b, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 1);
+    }
+
+    #[test]
+    fn wake_fires_after_duration() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        w.schedule_wake(a, crate::time::Duration::from_ticks(40), 7);
+        assert_eq!(w.take_wake(a), None);
+        assert!(w.step());
+        assert_eq!(w.now(), VirtualTime::from_ticks(40));
+        assert_eq!(w.take_wake(a), Some(7));
+        assert_eq!(w.take_wake(a), None);
+        assert!(!w.step());
+    }
+
+    #[test]
+    fn cancelled_wake_is_invisible_on_the_timeline() {
+        // A lossless run that schedules timers and cancels them all must be
+        // byte-identical to a run that never scheduled them: same clock,
+        // same step count, same trace counters.
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        let mut plain = w.clone();
+
+        w.send(a, b, vec![]);
+        w.schedule_wake(a, crate::time::Duration::from_ticks(5000), 42);
+        w.cancel_wake(42);
+        let mut steps = 0;
+        while w.step() {
+            steps += 1;
+        }
+
+        plain.send(a, b, vec![]);
+        let mut plain_steps = 0;
+        while plain.step() {
+            plain_steps += 1;
+        }
+
+        assert_eq!(steps, plain_steps);
+        assert_eq!(w.now(), plain.now());
+        assert_eq!(w.trace().counter("wake"), 0);
+    }
+
+    #[test]
+    fn wake_for_dead_process_is_skipped() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        w.schedule_wake(a, crate::time::Duration::from_ticks(10), 1);
+        w.kill(a);
+        assert!(!w.step());
+        assert_eq!(w.now(), VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn revive_restores_delivery_with_empty_mailbox() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        let b = w.spawn(m1, "y", None);
+        w.send(a, b, vec![]);
+        w.kill(b);
+        w.run(); // in-flight message dropped at the dead process
+        assert_eq!(w.trace().counter("dropped"), 1);
+        w.revive(b);
+        assert_eq!(w.mailbox_len(b), 0);
+        w.send(a, b, vec![]);
+        w.run();
+        assert_eq!(w.mailbox_len(b), 1);
+        assert_eq!(w.trace().counter("revived"), 1);
     }
 }
