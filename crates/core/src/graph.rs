@@ -264,10 +264,11 @@ impl<'a> NamingGraph<'a> {
             Gray,
             Black,
         }
-        let n = self.state.object_count();
-        let mut color = vec![Color::White; n];
+        // Ids are shard-packed (not dense), so color by map rather than by
+        // index; absent means White.
+        let mut color: crate::hash::FxHashMap<ObjectId, Color> = crate::hash::FxHashMap::default();
         for root in self.state.objects() {
-            if color[root.index()] != Color::White {
+            if color.get(&root).copied().unwrap_or(Color::White) != Color::White {
                 continue;
             }
             // stack of (node, iterator index into successors)
@@ -283,23 +284,24 @@ impl<'a> NamingGraph<'a> {
                     })
                     .unwrap_or_default()
             };
-            color[root.index()] = Color::Gray;
+            color.insert(root, Color::Gray);
             stack.push((root, succs(root), 0));
             while let Some((node, children, idx)) = stack.last_mut() {
                 if *idx < children.len() {
                     let child = children[*idx];
                     *idx += 1;
-                    match color[child.index()] {
+                    match color.get(&child).copied().unwrap_or(Color::White) {
                         Color::Gray => return true,
                         Color::White => {
-                            color[child.index()] = Color::Gray;
+                            color.insert(child, Color::Gray);
                             let ch = succs(child);
                             stack.push((child, ch, 0));
                         }
                         Color::Black => {}
                     }
                 } else {
-                    color[node.index()] = Color::Black;
+                    let done = *node;
+                    color.insert(done, Color::Black);
                     stack.pop();
                 }
             }

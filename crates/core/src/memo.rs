@@ -14,7 +14,13 @@
 //!   [`SystemState::naming_version`] at which it was last known valid.
 //!   While the state's naming version is unchanged, the entry is valid
 //!   with no further checks.
-//! - **O(path) slow path** — after a write, a probed entry re-checks its
+//! - **O(shards touched) middle path** — every entry also records the
+//!   *shard generations* ([`SystemState::shard_version`]) of the shards
+//!   its resolution path crossed. A write to one shard advances only that
+//!   shard's generation, so after zone-local churn, entries whose paths
+//!   stayed in other shards revalidate by comparing one integer per
+//!   touched shard — without even reading the individual contexts.
+//! - **O(path) slow path** — otherwise, a probed entry re-checks its
 //!   recorded `(context, generation)` pairs. A bind or unbind bumps only
 //!   the mutated context's generation, so exactly the entries whose
 //!   resolution paths crossed that context fail the check; everything
@@ -94,6 +100,21 @@ const MIRROR_BATCH: u64 = 1024;
 /// version counter showed during the memoized resolution.
 type Dep = (ObjectId, u64);
 
+/// The distinct shards holding the dep contexts, each with the shard
+/// naming version currently observed. Sorted by shard for determinism.
+fn shard_footprint(state: &SystemState, deps: &[Dep]) -> Box<[(u32, u64)]> {
+    let mut shards: Vec<u32> = deps
+        .iter()
+        .map(|&(o, _)| state.shard_of(o) as u32)
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
+        .into_iter()
+        .map(|s| (s, state.shard_version(s as usize)))
+        .collect()
+}
+
 /// Owned index key: start context plus name suffix.
 type Key = (ObjectId, Box<[Name]>);
 
@@ -148,6 +169,10 @@ struct Slot {
     entity: Entity,
     /// `(context, generation)` for every context the resolution read.
     deps: Box<[Dep]>,
+    /// `(shard, shard naming version)` for every distinct shard holding a
+    /// dep context — the coarse footprint checked before the per-context
+    /// deps. Refreshed whenever the entry revalidates.
+    shard_deps: Box<[(u32, u64)]>,
     /// Epoch of the state when the entry was recorded.
     epoch: u64,
     /// Naming version at which the deps were last compared and found
@@ -435,9 +460,11 @@ impl ResolutionMemo {
     ) {
         if let Some(slot) = self.lookup(start, suffix) {
             // Refresh in place (the previous entry may be stale).
+            let shard_deps = shard_footprint(state, deps);
             let s = &mut self.slots[slot as usize];
             s.entity = entity;
             s.deps = Box::from(deps);
+            s.shard_deps = shard_deps;
             s.epoch = state.epoch();
             s.validated_at = state.naming_version();
             self.touch(slot);
@@ -458,6 +485,7 @@ impl ResolutionMemo {
                     suffix: Box::from(suffix),
                     entity: Entity::Undefined,
                     deps: Box::from(deps),
+                    shard_deps: Box::from([]),
                     epoch: 0,
                     validated_at: 0,
                     prev: NIL,
@@ -467,11 +495,13 @@ impl ResolutionMemo {
             }
         };
         {
+            let shard_deps = shard_footprint(state, deps);
             let s = &mut self.slots[slot as usize];
             s.start = start;
             s.suffix = Box::from(suffix);
             s.entity = entity;
             s.deps = Box::from(deps);
+            s.shard_deps = shard_deps;
             s.epoch = state.epoch();
             s.validated_at = state.naming_version();
             s.prev = NIL;
@@ -542,14 +572,33 @@ impl ResolutionMemo {
     }
 
     /// Validates `slot` against the state, refreshing its fast-path stamp
-    /// on success.
+    /// on success. Three tiers: the O(1) naming-version stamp, the
+    /// per-shard generation footprint, then the exact per-context deps.
     fn validate(&mut self, state: &SystemState, slot: u32) -> bool {
         let nv = state.naming_version();
         if self.slots[slot as usize].validated_at == nv {
             return true;
         }
-        if self.entry_current(state, &self.slots[slot as usize]) {
+        if self.slots[slot as usize].epoch != state.epoch() {
+            return false;
+        }
+        // Shard tier: with the epoch unchanged, a dep context can only
+        // have moved via bind/unbind, which bumps its shard's generation.
+        // All touched shards unwritten ⇒ every dep unchanged.
+        if self.slots[slot as usize]
+            .shard_deps
+            .iter()
+            .all(|&(sh, v)| state.shard_version(sh as usize) == v)
+        {
             self.slots[slot as usize].validated_at = nv;
+            return true;
+        }
+        if self.entry_current(state, &self.slots[slot as usize]) {
+            let s = &mut self.slots[slot as usize];
+            s.validated_at = nv;
+            for d in s.shard_deps.iter_mut() {
+                d.1 = state.shard_version(d.0 as usize);
+            }
             true
         } else {
             false
@@ -844,6 +893,71 @@ mod tests {
         let stats = memo.stats();
         let expected = stats.hits as f64 / (stats.hits + stats.misses) as f64;
         assert!((stats.hit_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_shard_write_leaves_entries_valid_without_dep_walk() {
+        // Two zones in two shards; a write to zone B must not invalidate
+        // the memoized resolution through zone A, and the entry must
+        // revalidate via the shard tier (its deps untouched).
+        let mut s = SystemState::with_shards(2);
+        let root = s.add_context_object_in(0, "root");
+        let za = s.add_context_object_in(0, "za");
+        let fa = s.add_data_object_in(0, "fa", vec![]);
+        let zb = s.add_context_object_in(1, "zb");
+        let fb = s.add_data_object_in(1, "fb", vec![]);
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("za"), za).unwrap();
+        s.bind(za, Name::new("fa"), fa).unwrap();
+        s.bind(root, Name::new("zb"), zb).unwrap();
+        s.bind(zb, Name::new("fb"), fb).unwrap();
+
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let na = CompoundName::parse_path("/za/fa").unwrap();
+        r.resolve_entity_memo(&s, root, &na, &mut memo);
+
+        // Churn confined to shard 1.
+        let v0 = s.shard_version(0);
+        for i in 0..5 {
+            let f = s.add_data_object_in(1, format!("x{i}"), vec![]);
+            s.bind(zb, Name::new(&format!("x{i}")), f).unwrap();
+        }
+        assert_eq!(s.shard_version(0), v0);
+
+        // The zone-A entry is not stale and hits again.
+        assert!(!memo.is_stale(&s, root, na.components()));
+        let hits = memo.stats().hits;
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &na, &mut memo),
+            Entity::Object(fa)
+        );
+        assert_eq!(memo.stats().hits, hits + 1);
+        assert_eq!(memo.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn same_shard_write_still_invalidates() {
+        let mut s = SystemState::with_shards(2);
+        let root = s.add_context_object_in(0, "root");
+        let za = s.add_context_object_in(0, "za");
+        let fa = s.add_data_object_in(0, "fa", vec![]);
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("za"), za).unwrap();
+        s.bind(za, Name::new("fa"), fa).unwrap();
+
+        let r = Resolver::new();
+        let mut memo = ResolutionMemo::new();
+        let na = CompoundName::parse_path("/za/fa").unwrap();
+        r.resolve_entity_memo(&s, root, &na, &mut memo);
+
+        s.unbind(za, Name::new("fa")).unwrap();
+        assert!(memo.is_stale(&s, za, &[Name::new("fa")]));
+        assert_eq!(
+            r.resolve_entity_memo(&s, root, &na, &mut memo),
+            Entity::Undefined
+        );
+        assert!(memo.stats().invalidations > 0);
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //!
 //! Because a snapshot is immutable, memoization against it needs *no*
 //! generation validation at all: [`SnapshotMemo`] entries are valid for as
-//! long as the memo is used with the same snapshot stamp, and the whole memo
-//! is discarded wholesale when a new snapshot is published (detected by the
-//! stamp, so callers cannot forget). This makes the per-worker read path of
-//! a concurrent server completely lock- and validation-free.
+//! long as the memo is used with the same snapshot stamp. When a new
+//! snapshot is published (detected by the stamp, so callers cannot forget),
+//! the memo compares the two snapshots' *per-shard* stamps and discards
+//! exactly the entries whose resolution walk crossed a written shard —
+//! zone-local churn leaves every other zone's entries hot. This keeps the
+//! per-worker read path of a concurrent server completely lock- and
+//! validation-free.
 
 use std::sync::Arc;
 
@@ -55,11 +58,19 @@ pub struct StateSnapshot {
     state: Arc<SystemState>,
     naming_version: u64,
     epoch: u64,
+    /// `(naming_version, epoch)` of every shard at capture time; shared so
+    /// cloning the snapshot stays O(1).
+    shard_stamps: Arc<[(u64, u64)]>,
 }
 
 impl StateSnapshot {
-    /// Captures a snapshot by cloning `state` (copy-on-publish: the cost is
-    /// paid by the publisher, once, not by any reader).
+    /// Captures a snapshot by cloning `state`.
+    ///
+    /// This is *copy-on-publish*: the clone is O(shards) — it shares every
+    /// shard's storage with `state` via `Arc` — and the staging state
+    /// copies a shard only when the next write actually lands in it. The
+    /// cost of publishing is therefore proportional to the shards written
+    /// since the last capture, not to the namespace.
     pub fn capture(state: &SystemState) -> StateSnapshot {
         StateSnapshot::from_arc(Arc::new(state.clone()))
     }
@@ -70,10 +81,12 @@ impl StateSnapshot {
     pub fn from_arc(state: Arc<SystemState>) -> StateSnapshot {
         let naming_version = state.naming_version();
         let epoch = state.epoch();
+        let shard_stamps: Arc<[(u64, u64)]> = state.shard_stamps().into();
         StateSnapshot {
             state,
             naming_version,
             epoch,
+            shard_stamps,
         }
     }
 
@@ -104,6 +117,17 @@ impl StateSnapshot {
     pub fn same_stamp(&self, other: &StateSnapshot) -> bool {
         self.stamp() == other.stamp()
     }
+
+    /// Per-shard `(naming_version, epoch)` stamps at capture time, in
+    /// shard order.
+    pub fn shard_stamps(&self) -> &[(u64, u64)] {
+        &self.shard_stamps
+    }
+
+    /// Whether `self` and `other` wrap the very same state allocation.
+    pub fn ptr_eq(&self, other: &StateSnapshot) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
 }
 
 /// Counters for a [`SnapshotMemo`].
@@ -115,9 +139,14 @@ pub struct SnapshotMemoStats {
     pub misses: u64,
     /// Entries recorded.
     pub inserts: u64,
-    /// Times the memo discarded all entries because it was rebased onto a
-    /// snapshot with a different stamp.
+    /// Times a rebase onto a differently-stamped snapshot discarded
+    /// entries (all of them or only those in written shards).
     pub resets: u64,
+    /// The subset of `resets` where the per-shard stamps let some entries
+    /// survive (only the written shards' entries were dropped).
+    pub partial_resets: u64,
+    /// Entries discarded by rebases, across all resets.
+    pub invalidated: u64,
 }
 
 impl SnapshotMemoStats {
@@ -132,27 +161,39 @@ impl SnapshotMemoStats {
     }
 }
 
+/// One memoized answer: the resolved entity plus the shards its walk crossed.
+type MemoEntry = (Entity, Box<[u32]>);
+
 /// A validation-free resolution memo bound to one snapshot stamp.
 ///
-/// Unlike [`crate::memo::ResolutionMemo`], entries carry no generation
-/// footprint and are never individually invalidated: the backing snapshot
-/// is immutable, so an entry recorded against it is correct forever.
-/// Consistency across publishes is enforced wholesale — every probe and
-/// record passes the snapshot, and when its stamp differs from the one the
-/// memo was last used with, the memo clears itself first ([`rebase`]).
+/// Unlike [`crate::memo::ResolutionMemo`], entries are never individually
+/// invalidated by probes: the backing snapshot is immutable, so an entry
+/// recorded against it is correct forever. Consistency across publishes is
+/// enforced at rebase time — every probe and record passes the snapshot,
+/// and when its stamp differs from the one the memo was last used with,
+/// the memo first drops the entries made stale by the publish
+/// ([`rebase`]). Each entry carries the set of shards its resolution walk
+/// crossed, so a rebase compares per-shard stamps and keeps every entry
+/// whose shards were not written — zone-local churn does not cold-start
+/// the other zones.
 ///
 /// This is the per-worker memo shard of a concurrent server: each worker
 /// owns one privately (no locks, no atomics) and it self-invalidates the
 /// first time the worker observes a newly published snapshot.
 ///
+/// A memo follows one snapshot lineage; rebasing it across snapshots of
+/// unrelated `SystemState`s is not meaningful (stamps could coincide).
+///
 /// [`rebase`]: SnapshotMemo::rebase
 #[derive(Debug, Default)]
 pub struct SnapshotMemo {
-    /// `start context → (name suffix → entity)`. Two-level so probes can
-    /// use the borrowed `&[Name]` key without allocating.
-    entries: FxHashMap<ObjectId, FxHashMap<Box<[Name]>, Entity>>,
+    /// `start context → (name suffix → (entity, shards walked))`. Two-level
+    /// so probes can use the borrowed `&[Name]` key without allocating.
+    entries: FxHashMap<ObjectId, FxHashMap<Box<[Name]>, MemoEntry>>,
     /// Stamp of the snapshot the entries were recorded against.
     stamp: Option<(u64, u64)>,
+    /// Per-shard stamps of that snapshot, for partial invalidation.
+    shard_stamps: Vec<(u64, u64)>,
     stats: SnapshotMemoStats,
 }
 
@@ -163,17 +204,48 @@ impl SnapshotMemo {
     }
 
     /// Ensures the memo is usable with `snap`: if it holds entries recorded
-    /// against a differently-stamped snapshot, they are all discarded.
-    /// Called automatically by [`probe`](SnapshotMemo::probe) and
-    /// [`record`](SnapshotMemo::record).
+    /// against a differently-stamped snapshot, the entries whose resolution
+    /// walks crossed a shard written since then are discarded; entries
+    /// confined to unwritten shards survive. Called automatically by
+    /// [`probe`](SnapshotMemo::probe) and [`record`](SnapshotMemo::record).
     pub fn rebase(&mut self, snap: &StateSnapshot) {
-        if self.stamp != Some(snap.stamp()) {
-            if self.stamp.is_some() && !self.entries.is_empty() {
-                self.stats.resets += 1;
-            }
-            self.entries.clear();
-            self.stamp = Some(snap.stamp());
+        if self.stamp == Some(snap.stamp()) {
+            return;
         }
+        let new_stamps = snap.shard_stamps();
+        if self.stamp.is_some() && !self.entries.is_empty() {
+            if self.shard_stamps.len() == new_stamps.len() {
+                // Same shard layout: drop exactly the entries that
+                // crossed a written shard.
+                let changed: Vec<bool> = self
+                    .shard_stamps
+                    .iter()
+                    .zip(new_stamps.iter())
+                    .map(|(old, new)| old != new)
+                    .collect();
+                let before = self.len();
+                for m in self.entries.values_mut() {
+                    m.retain(|_, (_, shards)| shards.iter().all(|&s| !changed[s as usize]));
+                }
+                self.entries.retain(|_, m| !m.is_empty());
+                let dropped = before - self.len();
+                if dropped > 0 {
+                    self.stats.resets += 1;
+                    self.stats.invalidated += dropped as u64;
+                    if !self.entries.is_empty() {
+                        self.stats.partial_resets += 1;
+                    }
+                }
+            } else {
+                // Shard layout changed (different lineage): full clear.
+                self.stats.resets += 1;
+                self.stats.invalidated += self.len() as u64;
+                self.entries.clear();
+            }
+        }
+        self.stamp = Some(snap.stamp());
+        self.shard_stamps.clear();
+        self.shard_stamps.extend_from_slice(new_stamps);
     }
 
     /// Looks up the memoized result of resolving `comps` from `start`
@@ -187,9 +259,31 @@ impl SnapshotMemo {
     ) -> Option<Entity> {
         self.rebase(snap);
         match self.entries.get(&start).and_then(|m| m.get(comps)) {
-            Some(&e) => {
+            Some(entry) => {
                 self.stats.hits += 1;
-                Some(e)
+                Some(entry.0)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`SnapshotMemo::probe`] but also returns the entry's shard
+    /// footprint, so a resolver hitting mid-walk can fold it into the
+    /// entries it seeds for the outer suffixes.
+    fn probe_entry(
+        &mut self,
+        snap: &StateSnapshot,
+        start: ObjectId,
+        comps: &[Name],
+    ) -> Option<(Entity, Box<[u32]>)> {
+        self.rebase(snap);
+        match self.entries.get(&start).and_then(|m| m.get(comps)) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                Some(entry.clone())
             }
             None => {
                 self.stats.misses += 1;
@@ -199,18 +293,22 @@ impl SnapshotMemo {
     }
 
     /// Records that `comps` from `start` resolves to `entity` under `snap`.
+    /// `shards` is the set of shards the resolution walk read (the shards
+    /// of every context it stepped through); it governs which publishes
+    /// invalidate the entry at [`rebase`](SnapshotMemo::rebase) time.
     pub fn record(
         &mut self,
         snap: &StateSnapshot,
         start: ObjectId,
         comps: &[Name],
         entity: Entity,
+        shards: &[u32],
     ) {
         self.rebase(snap);
         self.entries
             .entry(start)
             .or_default()
-            .insert(comps.into(), entity);
+            .insert(comps.into(), (entity, Box::from(shards)));
         self.stats.inserts += 1;
     }
 
@@ -270,11 +368,13 @@ impl Resolver {
         }
         let state = snap.state();
         let mut positions: Vec<ObjectId> = Vec::with_capacity(comps.len());
+        let mut tail_shards: Box<[u32]> = Box::from([]);
         let mut ctx = start;
         let mut i = 0;
         let entity = loop {
             if i > 0 {
-                if let Some(hit) = memo.probe(snap, ctx, &comps[i..]) {
+                if let Some((hit, hs)) = memo.probe_entry(snap, ctx, &comps[i..]) {
+                    tail_shards = hs;
                     break hit;
                 }
             }
@@ -296,8 +396,19 @@ impl Resolver {
                 _ => break Entity::Undefined,
             }
         };
-        for (j, &at) in positions.iter().enumerate() {
-            memo.record(snap, at, &comps[j..], entity);
+        // Seed an entry per walked suffix. The entry at position j depends
+        // on the contexts positions[j..] (plus whatever the mid-walk hit
+        // already depended on), so accumulate shard footprints from the
+        // innermost suffix outward.
+        let mut acc: Vec<u32> = tail_shards.into_vec();
+        for j in (0..positions.len()).rev() {
+            let sh = state.shard_of(positions[j]) as u32;
+            if !acc.contains(&sh) {
+                acc.push(sh);
+            }
+            let mut shards = acc.clone();
+            shards.sort_unstable();
+            memo.record(snap, positions[j], &comps[j..], entity, &shards);
         }
         entity
     }
@@ -428,6 +539,90 @@ mod tests {
             Entity::Undefined
         );
         assert_eq!(memo.stats().resets, 1);
+    }
+
+    fn two_zone_state() -> (
+        SystemState,
+        ObjectId,
+        ObjectId,
+        ObjectId,
+        ObjectId,
+        ObjectId,
+    ) {
+        let mut s = SystemState::with_shards(2);
+        let root = s.add_context_object_in(0, "root");
+        let za = s.add_context_object_in(0, "za");
+        let fa = s.add_data_object_in(0, "fa", vec![]);
+        let zb = s.add_context_object_in(1, "zb");
+        let fb = s.add_data_object_in(1, "fb", vec![]);
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("za"), za).unwrap();
+        s.bind(za, Name::new("fa"), fa).unwrap();
+        s.bind(root, Name::new("zb"), zb).unwrap();
+        s.bind(zb, Name::new("fb"), fb).unwrap();
+        (s, root, za, fa, zb, fb)
+    }
+
+    #[test]
+    fn rebase_keeps_entries_of_unwritten_shards() {
+        let (mut s, root, _, fa, zb, _) = two_zone_state();
+        let r = Resolver::new();
+        let mut memo = SnapshotMemo::new();
+        let na = CompoundName::parse_path("/za/fa").unwrap();
+        let nb = CompoundName::parse_path("/zb/fb").unwrap();
+
+        let snap1 = StateSnapshot::capture(&s);
+        r.resolve_entity_snapshot_memo(&snap1, root, &na, &mut memo);
+        r.resolve_entity_snapshot_memo(&snap1, root, &nb, &mut memo);
+        let entries_before = memo.len();
+
+        // Publish after churn confined to shard 1 (zone B).
+        let f = s.add_data_object_in(1, "new", vec![]);
+        s.bind(zb, Name::new("new"), f).unwrap();
+        let snap2 = StateSnapshot::capture(&s);
+
+        // Suffix entries that never left zone A survive the rebase; the
+        // root-anchored entries (root is in shard 0, but the /zb walks
+        // crossed shard 1) are dropped selectively.
+        memo.rebase(&snap2);
+        assert!(memo.stats().partial_resets >= 1, "{:?}", memo.stats());
+        assert!(memo.len() < entries_before);
+        assert!(!memo.is_empty(), "zone-A entries must survive");
+
+        // The surviving zone-A entry is served as a hit.
+        let hits = memo.stats().hits;
+        assert_eq!(
+            r.resolve_entity_snapshot_memo(&snap2, root, &na, &mut memo),
+            Entity::Object(fa)
+        );
+        assert_eq!(memo.stats().hits, hits + 1);
+    }
+
+    #[test]
+    fn rebase_drops_entries_of_written_shards() {
+        let (mut s, root, za, _, _, fb) = two_zone_state();
+        let r = Resolver::new();
+        let mut memo = SnapshotMemo::new();
+        let na = CompoundName::parse_path("/za/fa").unwrap();
+        let nb = CompoundName::parse_path("/zb/fb").unwrap();
+
+        let snap1 = StateSnapshot::capture(&s);
+        r.resolve_entity_snapshot_memo(&snap1, root, &na, &mut memo);
+        r.resolve_entity_snapshot_memo(&snap1, root, &nb, &mut memo);
+
+        // Rebind inside zone A, then publish: the /za/fa answer changes
+        // and its entries must not be served.
+        s.unbind(za, Name::new("fa")).unwrap();
+        let snap2 = StateSnapshot::capture(&s);
+        assert_eq!(
+            r.resolve_entity_snapshot_memo(&snap2, root, &na, &mut memo),
+            Entity::Undefined
+        );
+        assert_eq!(
+            r.resolve_entity_snapshot_memo(&snap2, root, &nb, &mut memo),
+            Entity::Object(fb)
+        );
+        assert!(memo.stats().invalidated > 0);
     }
 
     #[test]

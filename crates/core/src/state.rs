@@ -10,14 +10,50 @@
 //! objects, each with a state. It deliberately knows nothing about machines,
 //! networks or messages — those live in the `naming-sim` substrate. The core
 //! model only needs "entities with states, some of which are contexts".
+//!
+//! ## Sharding
+//!
+//! Internally the object table is split into up to [`MAX_SHARDS`]
+//! *shards*, each an independently versioned, `Arc`-shared column of the
+//! table. An [`ObjectId`] packs `(shard, local index)` into its 32 bits
+//! ([`SHARD_BITS`] high bits select the shard), so a state created with
+//! [`SystemState::new`] — one shard — hands out ids identical to the
+//! pre-sharding dense indices. Sharding buys two things at scale:
+//!
+//! * **Per-shard generations.** Every shard carries its own
+//!   `naming_version`/`epoch` pair, advanced only when *that* shard is
+//!   written. Caches ([`crate::memo::ResolutionMemo`],
+//!   [`crate::snapshot::SnapshotMemo`]) validate against the generations of
+//!   just the shards a resolution walked, so a write to one zone leaves
+//!   every other zone's cached footprints intact.
+//! * **Copy-on-publish.** `SystemState::clone` clones a `Vec<Arc<Shard>>` —
+//!   O(shards), not O(objects). Mutation goes through `Arc::make_mut`, so
+//!   the first write to a shard after a clone copies that shard alone.
+//!   [`crate::snapshot::StateSnapshot::capture`] therefore shares every
+//!   untouched shard between the published snapshot and the staging state.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::context::Context;
 use crate::entity::{ActivityId, Entity, ObjectId};
 use crate::name::{CompoundName, Name};
+
+/// Number of high bits of an [`ObjectId`] that select the shard.
+pub const SHARD_BITS: u32 = 10;
+
+/// Maximum number of shards a [`SystemState`] may be created with.
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Number of low bits of an [`ObjectId`] that index within a shard.
+pub const LOCAL_BITS: u32 = 32 - SHARD_BITS;
+
+/// Maximum number of objects a single shard can hold.
+pub const MAX_SHARD_OBJECTS: usize = 1 << LOCAL_BITS;
+
+const LOCAL_MASK: usize = (1 << LOCAL_BITS) - 1;
 
 /// A segment of a structured object: literal content or an embedded name.
 ///
@@ -138,16 +174,28 @@ pub struct ActivityState {
     pub tag: u64,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct ActivityRecord {
     label: String,
     state: ActivityState,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct ObjectRecord {
     label: String,
     state: ObjectState,
+}
+
+/// One `Arc`-shared column of the object table, with its own generation
+/// counters. See the module docs for the sharding design.
+#[derive(Clone, Debug, Default)]
+struct Shard {
+    objects: Vec<ObjectRecord>,
+    /// Shard-local mirror of [`SystemState::naming_version`]: advanced only
+    /// when *this* shard is written.
+    naming_version: u64,
+    /// Shard-local mirror of [`SystemState::epoch`].
+    epoch: u64,
 }
 
 /// The global state function σ: tables of activities and objects with their
@@ -166,10 +214,18 @@ struct ObjectRecord {
 /// sys.bind(root, Name::new("etc"), etc).unwrap();
 /// assert_eq!(sys.context(root).unwrap().lookup(Name::new("etc")), Entity::Object(etc));
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// A state is created with a fixed shard count ([`SystemState::with_shards`];
+/// [`SystemState::new`] is the single-shard case). Object creation routes to
+/// the *default shard* ([`SystemState::set_default_shard`]) unless an
+/// explicit `*_in` constructor is used; an object's shard is fixed for life
+/// and recoverable from its id ([`SystemState::shard_of`]).
+#[derive(Clone, Debug)]
 pub struct SystemState {
     activities: Vec<ActivityRecord>,
-    objects: Vec<ObjectRecord>,
+    shards: Vec<Arc<Shard>>,
+    /// Shard that [`SystemState::add_object`] and friends allocate into.
+    default_shard: usize,
     /// Bumped on every naming-relevant mutation (bind, unbind, and any
     /// handout of mutable state). A [`crate::memo::ResolutionMemo`] entry
     /// validated at naming version `v` is still valid, with no further
@@ -181,6 +237,16 @@ pub struct SystemState {
     /// per-context generations are no longer conclusive and memo entries
     /// from an earlier epoch must be discarded.
     epoch: u64,
+    /// Bumped on *every* mutation, including object/activity creation and
+    /// activity-state handouts (which do not move `naming_version`).
+    /// Lets a publisher detect an empty staged delta exactly.
+    revision: u64,
+}
+
+impl Default for SystemState {
+    fn default() -> SystemState {
+        SystemState::with_shards(1)
+    }
 }
 
 /// Error produced by [`SystemState`] operations on non-context objects.
@@ -199,9 +265,140 @@ impl fmt::Display for NotAContextError {
 impl std::error::Error for NotAContextError {}
 
 impl SystemState {
-    /// Creates an empty system state: no activities, no objects.
+    /// Creates an empty system state: no activities, no objects, one shard.
+    ///
+    /// With a single shard, object ids are exactly the dense creation-order
+    /// indices.
     pub fn new() -> SystemState {
-        SystemState::default()
+        SystemState::with_shards(1)
+    }
+
+    /// Creates an empty system state whose object table is split into
+    /// `shards` independently versioned shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds [`MAX_SHARDS`].
+    pub fn with_shards(shards: usize) -> SystemState {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "shard count {shards} outside 1..={MAX_SHARDS}"
+        );
+        SystemState {
+            activities: Vec::new(),
+            shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
+            default_shard: 0,
+            naming_version: 0,
+            epoch: 0,
+            revision: 0,
+        }
+    }
+
+    // --- shards -----------------------------------------------------------
+
+    #[inline]
+    fn split(o: ObjectId) -> (usize, usize) {
+        let i = o.index();
+        (i >> LOCAL_BITS, i & LOCAL_MASK)
+    }
+
+    #[inline]
+    fn pack(shard: usize, local: usize) -> ObjectId {
+        ObjectId::from_index(((shard as u32) << LOCAL_BITS) | local as u32)
+    }
+
+    /// Number of shards the object table is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that holds object `o` (encoded in the id's high bits).
+    pub fn shard_of(&self, o: ObjectId) -> usize {
+        Self::split(o).0
+    }
+
+    /// The shard that [`SystemState::add_object`] currently allocates into.
+    pub fn default_shard(&self) -> usize {
+        self.default_shard
+    }
+
+    /// Routes subsequent [`SystemState::add_object`] /
+    /// [`SystemState::add_context_object`] / … calls to shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn set_default_shard(&mut self, shard: usize) {
+        assert!(shard < self.shards.len(), "no shard {shard}");
+        self.default_shard = shard;
+    }
+
+    /// Shard-local naming version: advanced exactly when a naming-relevant
+    /// write lands in shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        self.shards[shard].naming_version
+    }
+
+    /// Shard-local epoch: advanced exactly when an escape-hatch handout
+    /// ([`SystemState::context_mut`] / [`SystemState::object_state_mut`])
+    /// targets shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch
+    }
+
+    /// `(naming_version, epoch)` of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn shard_stamp(&self, shard: usize) -> (u64, u64) {
+        let s = &self.shards[shard];
+        (s.naming_version, s.epoch)
+    }
+
+    /// `(naming_version, epoch)` of every shard, in shard order.
+    pub fn shard_stamps(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| (s.naming_version, s.epoch))
+            .collect()
+    }
+
+    /// Number of objects in shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn shard_object_count(&self, shard: usize) -> usize {
+        self.shards[shard].objects.len()
+    }
+
+    /// How many shards `self` physically shares (same allocation, untouched
+    /// since the fork) with `other` — a clone-lineage diagnostic for the
+    /// copy-on-publish machinery.
+    pub fn shards_shared_with(&self, other: &SystemState) -> usize {
+        self.shards
+            .iter()
+            .zip(other.shards.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Monotonic counter of *all* mutations, including object/activity
+    /// creation. Two observations of equal revision bracket a window with
+    /// no mutation at all; see
+    /// [`ConcurrentService::publish`](../../naming_resolver/concurrent/struct.ConcurrentService.html)
+    /// for the empty-delta fast path built on it.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     // --- activities -------------------------------------------------------
@@ -211,6 +408,7 @@ impl SystemState {
         let id = ActivityId::from_index(
             u32::try_from(self.activities.len()).expect("activity table overflow"),
         );
+        self.revision += 1;
         self.activities.push(ActivityRecord {
             label: label.into(),
             state: ActivityState {
@@ -250,6 +448,7 @@ impl SystemState {
     ///
     /// Panics if `a` is not an id from this state.
     pub fn activity_state_mut(&mut self, a: ActivityId) -> &mut ActivityState {
+        self.revision += 1;
         &mut self.activities[a.index()].state
     }
 
@@ -260,15 +459,38 @@ impl SystemState {
 
     // --- objects ----------------------------------------------------------
 
-    /// Adds an object with the given state and returns its id.
+    /// Adds an object with the given state to the default shard and returns
+    /// its id.
     pub fn add_object(&mut self, label: impl Into<String>, state: ObjectState) -> ObjectId {
-        let id =
-            ObjectId::from_index(u32::try_from(self.objects.len()).expect("object table overflow"));
-        self.objects.push(ObjectRecord {
+        self.add_object_in(self.default_shard, label, state)
+    }
+
+    /// Adds an object with the given state to shard `shard` and returns its
+    /// id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state, or if the shard is
+    /// full ([`MAX_SHARD_OBJECTS`]).
+    pub fn add_object_in(
+        &mut self,
+        shard: usize,
+        label: impl Into<String>,
+        state: ObjectState,
+    ) -> ObjectId {
+        assert!(shard < self.shards.len(), "no shard {shard}");
+        self.revision += 1;
+        let sh = Arc::make_mut(&mut self.shards[shard]);
+        let local = sh.objects.len();
+        assert!(
+            local < MAX_SHARD_OBJECTS,
+            "object table overflow in shard {shard}"
+        );
+        sh.objects.push(ObjectRecord {
             label: label.into(),
             state,
         });
-        id
+        Self::pack(shard, local)
     }
 
     /// Adds an object whose state is an empty context (a fresh directory).
@@ -276,9 +498,32 @@ impl SystemState {
         self.add_object(label, ObjectState::Context(Context::new()))
     }
 
+    /// Adds a fresh directory to shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`SystemState::add_object_in`].
+    pub fn add_context_object_in(&mut self, shard: usize, label: impl Into<String>) -> ObjectId {
+        self.add_object_in(shard, label, ObjectState::Context(Context::new()))
+    }
+
     /// Adds a plain data object.
     pub fn add_data_object(&mut self, label: impl Into<String>, data: Vec<u8>) -> ObjectId {
         self.add_object(label, ObjectState::Data(data))
+    }
+
+    /// Adds a plain data object to shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`SystemState::add_object_in`].
+    pub fn add_data_object_in(
+        &mut self,
+        shard: usize,
+        label: impl Into<String>,
+        data: Vec<u8>,
+    ) -> ObjectId {
+        self.add_object_in(shard, label, ObjectState::Data(data))
     }
 
     /// Adds a structured object with embedded names.
@@ -286,9 +531,15 @@ impl SystemState {
         self.add_object(label, ObjectState::Document(doc))
     }
 
-    /// Number of objects ever created.
+    /// Number of objects ever created, across all shards.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.shards.iter().map(|s| s.objects.len()).sum()
+    }
+
+    #[inline]
+    fn record(&self, o: ObjectId) -> &ObjectRecord {
+        let (s, l) = Self::split(o);
+        &self.shards[s].objects[l]
     }
 
     /// The label given at creation.
@@ -297,7 +548,7 @@ impl SystemState {
     ///
     /// Panics if `o` is not an id from this state.
     pub fn object_label(&self, o: ObjectId) -> &str {
-        &self.objects[o.index()].label
+        &self.record(o).label
     }
 
     /// σ applied to an object: its current state.
@@ -306,7 +557,7 @@ impl SystemState {
     ///
     /// Panics if `o` is not an id from this state.
     pub fn object_state(&self, o: ObjectId) -> &ObjectState {
-        &self.objects[o.index()].state
+        &self.record(o).state
     }
 
     /// Mutable access to an object's state.
@@ -323,14 +574,24 @@ impl SystemState {
     ///
     /// Panics if `o` is not an id from this state.
     pub fn object_state_mut(&mut self, o: ObjectId) -> &mut ObjectState {
+        let (s, l) = Self::split(o);
         self.naming_version += 1;
         self.epoch += 1;
-        &mut self.objects[o.index()].state
+        self.revision += 1;
+        let sh = Arc::make_mut(&mut self.shards[s]);
+        sh.naming_version += 1;
+        sh.epoch += 1;
+        &mut sh.objects[l].state
     }
 
-    /// Iterates over all object ids in creation order.
+    /// Iterates over all object ids, shard by shard, in creation order
+    /// within each shard. For a single-shard state this is exactly global
+    /// creation order.
     pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        (0..self.objects.len()).map(|i| ObjectId::from_index(i as u32))
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, sh)| (0..sh.objects.len()).map(move |l| Self::pack(s, l)))
     }
 
     /// True if `o` is a context object in the current state.
@@ -354,9 +615,14 @@ impl SystemState {
     /// [`SystemState::bind`] / [`SystemState::unbind`] for fine-grained
     /// memo invalidation.
     pub fn context_mut(&mut self, o: ObjectId) -> Option<&mut Context> {
+        let (s, l) = Self::split(o);
         self.naming_version += 1;
         self.epoch += 1;
-        self.context_mut_internal(o)
+        self.revision += 1;
+        let sh = Arc::make_mut(&mut self.shards[s]);
+        sh.naming_version += 1;
+        sh.epoch += 1;
+        sh.objects[l].state.as_context_mut()
     }
 
     /// Mutable context access for `bind`/`unbind` and other operations
@@ -364,7 +630,10 @@ impl SystemState {
     /// counter. Does not touch the state-level counters; callers bump
     /// `naming_version` themselves when they mutate.
     fn context_mut_internal(&mut self, o: ObjectId) -> Option<&mut Context> {
-        self.objects[o.index()].state.as_context_mut()
+        let (s, l) = Self::split(o);
+        Arc::make_mut(&mut self.shards[s]).objects[l]
+            .state
+            .as_context_mut()
     }
 
     /// Monotonic counter of naming-relevant mutations; see
@@ -383,9 +652,10 @@ impl SystemState {
 
     /// Binds `name` to `entity` in the context object `ctx`.
     ///
-    /// Advances the context's generation (its version counter) and the
-    /// state's naming version, so exactly the memoized resolutions that
-    /// traversed `ctx` become invalid.
+    /// Advances the context's generation (its version counter), the
+    /// owning shard's naming version, and the state's naming version, so
+    /// exactly the memoized resolutions that traversed `ctx` become
+    /// invalid.
     ///
     /// # Errors
     ///
@@ -399,15 +669,18 @@ impl SystemState {
         if !self.is_context_object(ctx) {
             return Err(NotAContextError { object: ctx });
         }
+        let (s, _) = Self::split(ctx);
         self.naming_version += 1;
+        self.revision += 1;
+        Arc::make_mut(&mut self.shards[s]).naming_version += 1;
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.bind(name, entity))
     }
 
     /// Removes the binding for `name` in the context object `ctx`.
     ///
-    /// Advances the context's generation and the state's naming version,
-    /// like [`SystemState::bind`].
+    /// Advances the context's generation and the shard/state naming
+    /// versions, like [`SystemState::bind`].
     ///
     /// # Errors
     ///
@@ -420,7 +693,10 @@ impl SystemState {
         if !self.is_context_object(ctx) {
             return Err(NotAContextError { object: ctx });
         }
+        let (s, _) = Self::split(ctx);
         self.naming_version += 1;
+        self.revision += 1;
+        Arc::make_mut(&mut self.shards[s]).naming_version += 1;
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.unbind(name))
     }
@@ -443,7 +719,8 @@ impl SystemState {
     /// duplicated — context objects *and* the data/document objects bound
     /// inside them — and bindings among copied objects are rewritten to the
     /// copies (including `..`-style back edges). Bindings to activities are
-    /// preserved as-is: activities are not part of the subtree.
+    /// preserved as-is: activities are not part of the subtree. Copies are
+    /// allocated in the default shard.
     ///
     /// Used by the embedded-names experiments: "the subtree containing the
     /// structured object can be … relocated or copied without changing the
@@ -577,6 +854,97 @@ mod tests {
         let ep3 = s.epoch();
         let _ = s.object_state_mut(file);
         assert!(s.epoch() > ep3);
+    }
+
+    #[test]
+    fn single_shard_ids_are_dense_indices() {
+        let mut s = SystemState::new();
+        for i in 0..64 {
+            let o = s.add_context_object(format!("c{i}"));
+            assert_eq!(o.index(), i);
+            assert_eq!(s.shard_of(o), 0);
+        }
+        assert_eq!(s.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_ids_round_trip_and_route() {
+        let mut s = SystemState::with_shards(4);
+        let a = s.add_context_object_in(0, "a");
+        let b = s.add_context_object_in(3, "b");
+        let c = s.add_data_object_in(3, "c", vec![1]);
+        assert_eq!(s.shard_of(a), 0);
+        assert_eq!(s.shard_of(b), 3);
+        assert_eq!(s.shard_of(c), 3);
+        assert_ne!(b, c);
+        assert_eq!(s.object_label(b), "b");
+        assert_eq!(s.object_label(c), "c");
+        assert_eq!(s.object_count(), 3);
+        assert_eq!(s.shard_object_count(3), 2);
+        // Default-shard routing.
+        s.set_default_shard(2);
+        let d = s.add_context_object("d");
+        assert_eq!(s.shard_of(d), 2);
+        // objects() visits every id exactly once.
+        let all: Vec<_> = s.objects().collect();
+        assert_eq!(all.len(), 4);
+        for &o in &[a, b, c, d] {
+            assert!(all.contains(&o));
+        }
+    }
+
+    #[test]
+    fn writes_bump_only_their_shard() {
+        let mut s = SystemState::with_shards(2);
+        let a = s.add_context_object_in(0, "a");
+        let b = s.add_context_object_in(1, "b");
+        let (v0, v1) = (s.shard_version(0), s.shard_version(1));
+        s.bind(a, Name::new("b"), b).unwrap();
+        assert!(s.shard_version(0) > v0);
+        assert_eq!(s.shard_version(1), v1);
+        // Escape hatches bump only the owning shard's epoch.
+        let e1 = s.shard_epoch(1);
+        let _ = s.context_mut(b);
+        assert_eq!(s.shard_epoch(0), 0);
+        assert!(s.shard_epoch(1) > e1);
+    }
+
+    #[test]
+    fn clone_shares_shards_until_written() {
+        let mut s = SystemState::with_shards(4);
+        let a = s.add_context_object_in(0, "a");
+        let b = s.add_context_object_in(1, "b");
+        s.bind(a, Name::new("b"), b).unwrap();
+        let snap = s.clone();
+        assert_eq!(snap.shards_shared_with(&s), 4);
+        // A write to shard 0 unshares only shard 0.
+        s.bind(a, Name::new("self"), a).unwrap();
+        assert_eq!(snap.shards_shared_with(&s), 3);
+        // The clone still sees the pre-write world.
+        assert_eq!(snap.lookup(a, Name::new("self")), Entity::Undefined);
+        assert_eq!(s.lookup(a, Name::new("self")), Entity::Object(a));
+    }
+
+    #[test]
+    fn revision_counts_every_mutation() {
+        let mut s = SystemState::new();
+        let r0 = s.revision();
+        let root = s.add_context_object("root");
+        assert!(s.revision() > r0);
+        let r1 = s.revision();
+        let act = s.add_activity("p");
+        assert!(s.revision() > r1);
+        let r2 = s.revision();
+        s.activity_state_mut(act).alive = false;
+        assert!(s.revision() > r2);
+        let r3 = s.revision();
+        s.bind(root, Name::root(), root).unwrap();
+        assert!(s.revision() > r3);
+        // Reads do not move it.
+        let r4 = s.revision();
+        let _ = s.lookup(root, Name::root());
+        let _ = s.object_state(root);
+        assert_eq!(s.revision(), r4);
     }
 
     #[test]

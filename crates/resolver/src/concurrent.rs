@@ -131,6 +131,8 @@ pub struct ServiceReport {
     pub workers: Vec<WorkerReport>,
     /// Snapshots published.
     pub publishes: u64,
+    /// Publish calls skipped because the staged delta was empty.
+    pub noop_publishes: u64,
 }
 
 impl ServiceReport {
@@ -181,6 +183,10 @@ pub struct ConcurrentService {
     next_seq: u64,
     pending: u64,
     publishes: u64,
+    /// Staging revision captured by the last publish; equality means the
+    /// staged delta is empty and a publish can reuse the current snapshot.
+    published_revision: u64,
+    noop_publishes: u64,
 }
 
 impl ConcurrentService {
@@ -202,6 +208,7 @@ impl ConcurrentService {
             })
             .collect();
         let current = StateSnapshot::capture(&initial);
+        let published_revision = initial.revision();
         ConcurrentService {
             staging: initial,
             current,
@@ -211,6 +218,8 @@ impl ConcurrentService {
             next_seq: 0,
             pending: 0,
             publishes: 1,
+            published_revision,
+            noop_publishes: 0,
         }
     }
 
@@ -240,12 +249,30 @@ impl ConcurrentService {
     /// snapshot and swaps it in. Batches submitted from now on resolve
     /// against the new state; in-flight batches keep the snapshot they
     /// were submitted with. Returns the new snapshot's stamp.
+    ///
+    /// The clone is per-shard copy-on-publish — only shards written since
+    /// the last publish are copied; untouched shards are `Arc`-shared
+    /// between the snapshot and staging. If *nothing* was staged since the
+    /// last publish, this is a complete no-op: the current snapshot (and
+    /// its `Arc`) is reused, no clone happens, and the publish counter
+    /// does not move.
     pub fn publish(&mut self) -> (u64, u64) {
+        if self.staging.revision() == self.published_revision {
+            self.noop_publishes += 1;
+            return self.current.stamp();
+        }
         self.current = StateSnapshot::capture(&self.staging);
+        self.published_revision = self.staging.revision();
         self.publishes += 1;
         #[cfg(feature = "telemetry")]
         naming_telemetry::counter!("service.concurrent.publishes").bump();
         self.current.stamp()
+    }
+
+    /// How many [`ConcurrentService::publish`] calls found an empty staged
+    /// delta and reused the current snapshot.
+    pub fn noop_publishes(&self) -> u64 {
+        self.noop_publishes
     }
 
     /// Queues a batch for resolution against the current snapshot.
@@ -305,6 +332,7 @@ impl ConcurrentService {
         ServiceReport {
             workers,
             publishes: self.publishes,
+            noop_publishes: self.noop_publishes,
         }
     }
 }
@@ -538,6 +566,69 @@ mod tests {
             "{:?}",
             report.workers[0]
         );
+    }
+
+    #[test]
+    fn empty_delta_publish_is_a_noop_reusing_the_snapshot_arc() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 2);
+        let before = svc.snapshot();
+
+        // Nothing staged: publish must not clone, not bump the counter,
+        // and hand back the very same snapshot allocation.
+        let stamp = svc.publish();
+        assert_eq!(stamp, before.stamp());
+        assert!(svc.snapshot().ptr_eq(&before));
+        assert_eq!(svc.noop_publishes(), 1);
+
+        // Reads only (even through drain) still leave the delta empty.
+        let (req, _) = batch(1, root, &["/etc/passwd"]);
+        svc.submit(req);
+        svc.drain();
+        svc.publish();
+        assert!(svc.snapshot().ptr_eq(&before));
+
+        // A real write makes the next publish produce a fresh snapshot.
+        svc.update(|sys| {
+            sys.bind(root, Name::root(), root).unwrap();
+        });
+        svc.publish();
+        assert!(!svc.snapshot().ptr_eq(&before));
+        let report = svc.shutdown();
+        assert_eq!(report.publishes, 2);
+        assert_eq!(report.noop_publishes, 2);
+    }
+
+    #[test]
+    fn publish_copies_only_written_shards() {
+        // Two zones, two shards: a publish after writing zone A must keep
+        // sharing zone B's shard with staging.
+        let mut s = SystemState::with_shards(2);
+        let root = s.add_context_object_in(0, "root");
+        let za = s.add_context_object_in(0, "za");
+        let zb = s.add_context_object_in(1, "zb");
+        s.bind(root, Name::root(), root).unwrap();
+        s.bind(root, Name::new("za"), za).unwrap();
+        s.bind(root, Name::new("zb"), zb).unwrap();
+
+        let mut svc = ConcurrentService::new(s, 1);
+        assert_eq!(svc.snapshot().state().shards_shared_with(svc.staging()), 2);
+
+        svc.update(|sys| {
+            let f = sys.add_data_object_in(0, "f", vec![]);
+            sys.bind(za, Name::new("f"), f).unwrap();
+        });
+        svc.publish();
+        // The fresh snapshot shares the untouched shard 1 with staging.
+        assert_eq!(svc.snapshot().state().shards_shared_with(svc.staging()), 2);
+        svc.update(|sys| {
+            let g = sys.add_data_object_in(0, "g", vec![]);
+            sys.bind(za, Name::new("g"), g).unwrap();
+        });
+        // After more zone-A staging, shard 0 diverges but shard 1 is
+        // still physically shared with the published snapshot.
+        assert_eq!(svc.snapshot().state().shards_shared_with(svc.staging()), 1);
+        svc.shutdown();
     }
 
     #[test]

@@ -452,6 +452,69 @@ mod tests {
     }
 
     #[test]
+    fn shard_a_write_never_invalidates_shard_b_cache_entries() {
+        // Two machines, each zone confined to its own shard of σ. Churn
+        // in zone B's shard must neither bump zone A's shard generation
+        // nor invalidate referral / negative entries whose footprints
+        // live in zone A.
+        let mut w = World::with_shards(91, 2);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let root = w.machine_root(m1);
+        let usr = store::ensure_dir(w.state_mut(), root, "usr");
+        let sub = store::ensure_dir(w.state_mut(), usr, "sub");
+        store::create_file(w.state_mut(), sub, "data", vec![]);
+
+        w.state_mut().set_default_shard(1);
+        let m2 = w.add_machine("m2", net);
+        let root2 = w.machine_root(m2);
+        let exp = store::ensure_dir(w.state_mut(), root2, "export");
+        store::create_file(w.state_mut(), exp, "data", vec![]);
+
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, root2, m2);
+        svc.place_subtree(&w, root, m1);
+
+        // Zone-A entries: a referral for /usr/sub and a ⊥ for /usr/nope.
+        // Both footprints consult only shard-0 contexts.
+        let mut cache = ReferralCache::new();
+        let mut neg = NegativeCache::new();
+        let prefix = CompoundName::parse_path("/usr/sub").unwrap();
+        cache.record(&w, root, &prefix, sub);
+        assert_eq!(cache.len(), 1);
+        let miss = CompoundName::parse_path("/usr/nope").unwrap();
+        assert!(neg.record(&w, root, &miss));
+
+        // Churn entirely inside shard 1 (zone B).
+        let va = w.state().shard_version(0);
+        for i in 0..8 {
+            let f = w.state_mut().add_data_object_in(1, format!("b{i}"), vec![]);
+            w.state_mut()
+                .bind(exp, Name::new(&format!("b{i}")), f)
+                .unwrap();
+        }
+        assert_eq!(
+            w.state().shard_version(0),
+            va,
+            "shard-B writes must not bump shard A's generation"
+        );
+
+        // Both zone-A entries still serve, with zero invalidations.
+        let full = CompoundName::parse_path("/usr/sub/data").unwrap();
+        let hit = cache.lookup_deepest(&w, &svc, root, full.components());
+        assert_eq!(hit, Some((3, sub, m1)));
+        assert_eq!(cache.stats().invalidated, 0);
+        assert!(neg.probe(&w, root, &miss));
+        assert_eq!(neg.stats().invalidated, 0);
+
+        // Control: a shard-A write still kills the affected entries.
+        let f = w.state_mut().add_data_object_in(0, "nope", vec![]);
+        w.state_mut().bind(usr, Name::new("nope"), f).unwrap();
+        assert!(!neg.probe(&w, root, &miss));
+        assert!(neg.stats().invalidated >= 1);
+    }
+
+    #[test]
     fn negative_cache_survives_renumber_but_dies_on_rename() {
         let (mut w, _svc, m1, _m2, root, rem) = setup();
         let mut neg = NegativeCache::new();

@@ -17,7 +17,7 @@
 //! of the embedded names. Furthermore several structured objects … can be
 //! combined to form a larger structured object."
 
-use std::collections::HashMap;
+use naming_core::hash::FxHashMap;
 
 use naming_core::entity::{Entity, ObjectId};
 use naming_core::name::{CompoundName, Name};
@@ -34,7 +34,7 @@ use naming_core::state::SystemState;
 /// resolutions should clear it (or construct a fresh resolver).
 #[derive(Debug, Default)]
 pub struct EmbeddedResolver {
-    parent_cache: Option<HashMap<ObjectId, Option<ObjectId>>>,
+    parent_cache: Option<FxHashMap<ObjectId, Option<ObjectId>>>,
     /// Safety bound on upward traversal (cyclic `..` chains).
     max_ascent: usize,
 }
@@ -51,7 +51,7 @@ impl EmbeddedResolver {
     /// Creates a resolver with the parent memo cache enabled.
     pub fn with_cache() -> EmbeddedResolver {
         EmbeddedResolver {
-            parent_cache: Some(HashMap::new()),
+            parent_cache: Some(FxHashMap::default()),
             max_ascent: 256,
         }
     }

@@ -124,10 +124,24 @@ pub struct World {
 }
 
 impl World {
-    /// Creates an empty world with the given random seed.
+    /// Creates an empty world with the given random seed (single-shard
+    /// naming state).
     pub fn new(seed: u64) -> World {
+        World::with_shards(seed, 1)
+    }
+
+    /// Creates an empty world whose naming state is split into `shards`
+    /// independently versioned shards (see
+    /// [`SystemState::with_shards`]). Use
+    /// [`SystemState::set_default_shard`] via [`World::state_mut`] to
+    /// route each zone's objects to its own shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`SystemState::with_shards`].
+    pub fn with_shards(seed: u64, shards: usize) -> World {
         World {
-            state: SystemState::new(),
+            state: SystemState::with_shards(shards),
             registry: ContextRegistry::new(),
             replicas: ReplicaRegistry::new(),
             topology: Topology::new(),

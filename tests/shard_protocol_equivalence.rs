@@ -1,0 +1,143 @@
+//! Integration property test: the distributed resolution protocol behaves
+//! identically over a sharded world and an unsharded one.
+//!
+//! The same namespace (chained zones, one per machine) is built twice — once
+//! in a single-shard [`World`] and once with each machine's subtree placed in
+//! its own shard. Every generated name must produce the same verdict in both
+//! worlds under both protocol modes, including the `Unreachable → ⊥` verdicts
+//! a severed link induces, and touch the same number of servers.
+
+use naming_core::entity::Entity;
+use naming_core::name::{CompoundName, Name};
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+use proptest::prelude::*;
+
+/// Chained-zone namespace (as in `protocol_resolution.rs`), but with each
+/// machine's objects created in shard `i % shards`.
+fn build(
+    machines_n: usize,
+    files_per_zone: usize,
+    seed: u64,
+    shards: usize,
+) -> (
+    World,
+    NameService,
+    Vec<MachineId>,
+    naming_core::entity::ObjectId,
+    Vec<CompoundName>,
+) {
+    let mut w = World::with_shards(seed, shards);
+    let net = w.add_network("n");
+    let machines: Vec<MachineId> = (0..machines_n)
+        .map(|i| {
+            w.state_mut().set_default_shard(i % shards);
+            w.add_machine(format!("m{i}"), net)
+        })
+        .collect();
+    let mut names = Vec::new();
+    let mut prefix = vec![Name::root()];
+    let mut prev: Option<naming_core::entity::ObjectId> = None;
+    for (i, &m) in machines.iter().enumerate() {
+        w.state_mut().set_default_shard(i % shards);
+        let root = w.machine_root(m);
+        let zone = store::ensure_dir(w.state_mut(), root, "zone");
+        if let Some(p) = prev {
+            store::attach(w.state_mut(), p, &format!("z{i}"), zone, false);
+            prefix.push(Name::new(&format!("z{i}")));
+        } else {
+            prefix.push(Name::new("zone"));
+        }
+        for f in 0..files_per_zone {
+            store::create_file(w.state_mut(), zone, &format!("f{f}"), vec![f as u8]);
+            let mut comps = prefix.clone();
+            comps.push(Name::new(&format!("f{f}")));
+            names.push(CompoundName::new(comps).unwrap());
+        }
+        prev = Some(zone);
+    }
+    let mut svc = NameService::install(&mut w, &machines);
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    let start = w.machine_root(machines[0]);
+    (w, svc, machines, start, names)
+}
+
+/// Drives the same resolutions in both worlds and compares verdicts. Entity
+/// ids differ between shard layouts, so outcomes are compared by label and
+/// definedness, not by id.
+fn assert_equivalent(machines_n: usize, files: usize, seed: u64, shards: usize, sever: bool) {
+    let (mut wf, svcf, mf, startf, namesf) = build(machines_n, files, seed, 1);
+    let (mut ws, svcs, ms, starts, namess) = build(machines_n, files, seed, shards);
+    assert_eq!(namesf, namess, "both layouts generate the same names");
+    let clientf = wf.spawn(mf[0], "client", None);
+    let clients = ws.spawn(ms[0], "client", None);
+    let mut ef = ProtocolEngine::new(svcf);
+    let mut es = ProtocolEngine::new(svcs);
+    if sever && machines_n >= 2 {
+        // Partition the last machine in both worlds: its names must come
+        // back Unreachable (⊥) in both, not just fail in one layout.
+        let last = machines_n - 1;
+        for i in 0..last {
+            wf.set_link_up(mf[i], mf[last], false);
+            ws.set_link_up(ms[i], ms[last], false);
+        }
+    }
+    for name in &namesf {
+        for mode in [Mode::Iterative, Mode::Recursive] {
+            let rf = ef.resolve(&mut wf, clientf, startf, name, mode);
+            let rs = es.resolve(&mut ws, clients, starts, name, mode);
+            assert_eq!(
+                rf.entity.is_defined(),
+                rs.entity.is_defined(),
+                "verdict diverged for {name} under {mode:?} (shards={shards}, sever={sever})"
+            );
+            assert_eq!(
+                rf.servers_touched, rs.servers_touched,
+                "server count diverged for {name} under {mode:?}"
+            );
+            match (rf.entity, rs.entity) {
+                (Entity::Object(of), Entity::Object(os)) => {
+                    assert_eq!(
+                        wf.state().object_label(of),
+                        ws.state().object_label(os),
+                        "resolved objects diverged for {name}"
+                    );
+                }
+                (Entity::Undefined, Entity::Undefined) => {}
+                (f, s) => panic!("entity kind diverged for {name}: {f} vs {s}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_protocol_matches_unsharded() {
+    assert_equivalent(4, 3, 401, 4, false);
+}
+
+#[test]
+fn sharded_protocol_matches_unsharded_under_partition() {
+    assert_equivalent(4, 2, 402, 4, true);
+}
+
+proptest! {
+    /// Arbitrary shapes, shard counts, and reachability: verdicts and server
+    /// counts always agree between the sharded and unsharded layouts.
+    #[test]
+    fn shard_layout_never_changes_protocol_outcomes(
+        machines_n in 1usize..5,
+        files in 1usize..4,
+        seed in 0u64..500,
+        shards in 2usize..6,
+        sever in proptest::bool::ANY,
+    ) {
+        assert_equivalent(machines_n, files, seed, shards, sever);
+    }
+}
