@@ -22,6 +22,12 @@
 //!   serial engine, which is exactly why the scaling table is measured
 //!   in virtual time.
 //!
+//! Each wall-clock point also surfaces the pool's own service report: the
+//! queue-depth high-water mark (deterministically the batch count, since
+//! every batch is submitted before the drain — asserted and included in
+//! the JSON) and merged per-worker queue-wait / service-time quantiles
+//! (hardware-bound, so stderr only).
+//!
 //! Before reporting anything the tool asserts every concurrent answer
 //! equals the serial engine's, and `--json` dumps the answers themselves
 //! (serial when `--workers` is absent) so the CI determinism leg can
@@ -146,6 +152,16 @@ struct ScalePoint {
     speedup: f64,
     utilization: f64,
     wall_ops_per_sec: Option<f64>,
+    /// Queue-depth high-water mark of the last wall-clock run. All
+    /// batches are submitted before the drain, so this is exactly the
+    /// batch count — deterministic, asserted, and reported in the JSON.
+    queue_depth_hwm: Option<u64>,
+    /// Aggregated per-worker wall-latency quantiles from the last run
+    /// (nanoseconds; observational — stderr only, never in the JSON).
+    queue_wait_p50_ns: Option<u64>,
+    queue_wait_p99_ns: Option<u64>,
+    service_p50_ns: Option<u64>,
+    service_p99_ns: Option<u64>,
 }
 
 fn measure(iters: u32) -> (usize, Vec<ScalePoint>) {
@@ -170,32 +186,60 @@ fn measure(iters: u32) -> (usize, Vec<ScalePoint>) {
                 pool.assign(c);
             }
             let makespan = pool.makespan().ticks();
-            let wall_ops_per_sec = wall_run(&w, &reqs, &answers, workers, queries, iters);
-            ScalePoint {
+            let mut point = ScalePoint {
                 workers,
                 makespan_ticks: makespan,
                 per_ktick: queries as f64 * 1000.0 / makespan as f64,
                 speedup: serial_span as f64 / makespan as f64,
                 utilization: pool.utilization(),
-                wall_ops_per_sec,
-            }
+                wall_ops_per_sec: None,
+                queue_depth_hwm: None,
+                queue_wait_p50_ns: None,
+                queue_wait_p99_ns: None,
+                service_p50_ns: None,
+                service_p99_ns: None,
+            };
+            wall_run(&mut point, &w, &reqs, &answers, workers, queries, iters);
+            point
         })
         .collect();
     (queries, points)
 }
 
+/// Sums per-worker histogram snapshots bucket-by-bucket (all workers share
+/// the power-of-two bucket layout, so upper bounds line up exactly).
+#[cfg(feature = "parallel")]
+fn merge_histograms<'a>(
+    parts: impl Iterator<Item = &'a naming_resolver::concurrent::HistogramSnapshot>,
+) -> naming_resolver::concurrent::HistogramSnapshot {
+    let mut merged = naming_resolver::concurrent::HistogramSnapshot::default();
+    let mut buckets = std::collections::BTreeMap::new();
+    for part in parts {
+        merged.count += part.count;
+        merged.sum += part.sum;
+        for &(ub, n) in &part.buckets {
+            *buckets.entry(ub).or_insert(0u64) += n;
+        }
+    }
+    merged.buckets = buckets.into_iter().collect();
+    merged
+}
+
 /// Serves every frame on a real pool `iters` times, asserting the answers
-/// against the serial key each round. `None` without the `parallel`
-/// feature.
+/// against the serial key each round, and fills the wall-clock fields of
+/// `point`: ops/sec, queue-depth HWM, and the merged per-worker latency
+/// quantiles from the last round. No-op without the `parallel` feature.
 #[cfg(feature = "parallel")]
 fn wall_run(
+    point: &mut ScalePoint,
     w: &Workload,
     reqs: &[BatchRequest],
     answers: &[Vec<Entity>],
     workers: usize,
     queries: usize,
     iters: u32,
-) -> Option<f64> {
+) {
+    let mut last_report = None;
     let t = Instant::now();
     for _ in 0..iters {
         let mut svc = ConcurrentService::new(w.state.clone(), workers);
@@ -203,24 +247,38 @@ fn wall_run(
             svc.submit(req.clone());
         }
         let got = svc.drain();
-        svc.shutdown();
+        let report = svc.shutdown();
         for (a, key) in got.iter().zip(answers) {
             assert_eq!(&a.entities, key, "concurrent answers diverge from serial");
         }
+        last_report = Some(report);
     }
-    Some(f64::from(iters) * queries as f64 / t.elapsed().as_secs_f64())
+    point.wall_ops_per_sec = Some(f64::from(iters) * queries as f64 / t.elapsed().as_secs_f64());
+    let report = last_report.expect("iters > 0 is enforced at argument parsing");
+    assert_eq!(
+        report.queue_depth_hwm, BATCHES as u64,
+        "all batches are submitted before the drain, so the HWM is the batch count"
+    );
+    point.queue_depth_hwm = Some(report.queue_depth_hwm);
+    let wait = merge_histograms(report.workers.iter().map(|r| &r.queue_wait));
+    let served = merge_histograms(report.workers.iter().map(|r| &r.service_time));
+    point.queue_wait_p50_ns = Some(wait.quantile(0.50));
+    point.queue_wait_p99_ns = Some(wait.quantile(0.99));
+    point.service_p50_ns = Some(served.quantile(0.50));
+    point.service_p99_ns = Some(served.quantile(0.99));
 }
 
 #[cfg(not(feature = "parallel"))]
+#[allow(clippy::too_many_arguments)]
 fn wall_run(
+    _point: &mut ScalePoint,
     _w: &Workload,
     _reqs: &[BatchRequest],
     _answers: &[Vec<Entity>],
     _workers: usize,
     _queries: usize,
     _iters: u32,
-) -> Option<f64> {
-    None
+) {
 }
 
 fn render(iters: u32, queries: usize, points: &[ScalePoint]) -> String {
@@ -231,11 +289,16 @@ fn render(iters: u32, queries: usize, points: &[ScalePoint]) -> String {
                 Some(v) => format!("{v:.0}"),
                 None => "null".to_string(),
             };
+            let hwm = match p.queue_depth_hwm {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
             format!(
                 "    {{\"workers\": {}, \"virtual_makespan_ticks\": {}, \
                  \"throughput_per_ktick\": {:.1}, \"speedup_vs_1_worker\": {:.2}, \
-                 \"utilization\": {:.3}, \"wall_ops_per_sec\": {}}}",
-                p.workers, p.makespan_ticks, p.per_ktick, p.speedup, p.utilization, wall
+                 \"utilization\": {:.3}, \"queue_depth_hwm\": {}, \
+                 \"wall_ops_per_sec\": {}}}",
+                p.workers, p.makespan_ticks, p.per_ktick, p.speedup, p.utilization, hwm, wall
             )
         })
         .collect();
@@ -383,6 +446,15 @@ fn main() {
                 "{:2} workers: makespan {:>7} ticks, {:>8.1}/ktick, speedup {:>5.2}x, util {:.3}, {}",
                 p.workers, p.makespan_ticks, p.per_ktick, p.speedup, p.utilization, wall
             );
+            if let Some(hwm) = p.queue_depth_hwm {
+                eprintln!(
+                    "           queue hwm {hwm}, wait p50/p99 {}/{} us, service p50/p99 {}/{} us",
+                    p.queue_wait_p50_ns.unwrap_or(0) / 1_000,
+                    p.queue_wait_p99_ns.unwrap_or(0) / 1_000,
+                    p.service_p50_ns.unwrap_or(0) / 1_000,
+                    p.service_p99_ns.unwrap_or(0) / 1_000,
+                );
+            }
         }
         eprintln!("wrote {out}");
     }

@@ -6,7 +6,13 @@
 //! ```text
 //! bench_faults [--out PATH] [--stdout] [--json] [--seed N] [--drop F]
 //!              [--no-retry] [--hops N] [--leaves N]
+//!              [--watch N] [--metrics-out PATH]
 //! ```
+//!
+//! `--watch N` (feature `telemetry`) rewrites the Prometheus-style metrics
+//! exposition every `N` sweep rates; `--metrics-out PATH` says where (a
+//! final snapshot is always flushed there at exit). Neither touches
+//! stdout or the JSON artifact.
 //!
 //! Two modes:
 //!
@@ -244,6 +250,8 @@ fn main() {
     let mut retry = true;
     let mut hops = DEFAULT_HOPS;
     let mut leaves = DEFAULT_LEAVES;
+    let mut watch_every: u64 = 0;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let numeric = |args: &[String], i: usize, flag: &str| -> f64 {
@@ -285,10 +293,25 @@ fn main() {
                 i += 1;
                 leaves = numeric(&args, i, "--leaves") as usize;
             }
+            "--watch" => {
+                i += 1;
+                watch_every = numeric(&args, i, "--watch") as u64;
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--metrics-out requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_faults [--out PATH] [--stdout] [--json] [--seed N] \
-                     [--drop F] [--no-retry] [--hops N] [--leaves N]"
+                     [--drop F] [--no-retry] [--hops N] [--leaves N] \
+                     [--watch N] [--metrics-out PATH]"
                 );
                 return;
             }
@@ -300,14 +323,32 @@ fn main() {
         i += 1;
     }
 
+    #[cfg(not(feature = "telemetry"))]
+    if watch_every > 0 || metrics_out.is_some() {
+        eprintln!(
+            "--watch/--metrics-out require the `telemetry` feature (on by default; \
+             this binary was built without it)"
+        );
+        std::process::exit(2);
+    }
+    #[cfg(feature = "telemetry")]
+    let mut watch = naming_bench::watch::MetricsWatch::new(watch_every, metrics_out);
+
     if json_single {
         print!("{}", render_single(hops, leaves, seed, drop_rate, retry));
+        #[cfg(feature = "telemetry")]
+        watch.finish();
         return;
     }
 
     let sweep: Vec<RateResult> = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
         .iter()
-        .map(|&p| run_rate(hops, leaves, seed, p))
+        .map(|&p| {
+            let r = run_rate(hops, leaves, seed, p);
+            #[cfg(feature = "telemetry")]
+            watch.tick(&format!("drop {p:.1}"));
+            r
+        })
         .collect();
     let false_bottom_total: usize = sweep.iter().map(|r| r.false_bottom).sum();
     assert_eq!(
@@ -322,6 +363,11 @@ fn main() {
         );
     }
     let crash = run_crash(hops, leaves, seed);
+    #[cfg(feature = "telemetry")]
+    {
+        watch.tick("crash");
+        watch.finish();
+    }
     assert_eq!(crash.resolved_during_outage, leaves);
     assert_eq!(crash.resolved_after_restart, leaves);
     assert!(crash.failovers_during_outage > 0);

@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! bench_scale [--out PATH] [--stdout] [--smoke] [--ops N] [--publishes N]
-//!             [--workers N] [--shards N]
+//!             [--workers N] [--shards N] [--watch N] [--metrics-out PATH]
 //! bench_scale --json [--shards N]
 //! ```
+//!
+//! `--watch N` (feature `telemetry`) rewrites the Prometheus-style metrics
+//! exposition every `N` scale tiers; `--metrics-out PATH` says where (a
+//! final snapshot is always flushed there at exit). Neither touches
+//! stdout or the JSON artifact.
 //!
 //! The **zipf-grid workload**: each tier stands up `zones × (dirs + 1)`
 //! contexts — a per-zone root grafted under the global root plus `dirs`
@@ -446,6 +451,8 @@ fn main() {
     let mut publishes = 0usize;
     let mut workers = DEFAULT_WORKERS;
     let mut shards = MAX_SHARDS;
+    let mut watch_every: u64 = 0;
+    let mut metrics_out: Option<String> = None;
     fn uint_arg(args: &[String], i: usize, name: &str) -> usize {
         match args.get(i).and_then(|s| s.parse().ok()) {
             Some(n) if n > 0 => n,
@@ -492,10 +499,25 @@ fn main() {
                 }
                 shards = n;
             }
+            "--watch" => {
+                i += 1;
+                watch_every = uint_arg(&args, i, "--watch") as u64;
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--metrics-out requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_scale [--out PATH] [--stdout] [--smoke] [--ops N]\n       \
-                     [--publishes N] [--workers N] [--shards N]\n       \
+                     [--publishes N] [--workers N] [--shards N] [--watch N]\n       \
+                     [--metrics-out PATH]\n       \
                      bench_scale --json [--shards N]"
                 );
                 return;
@@ -508,8 +530,21 @@ fn main() {
         i += 1;
     }
 
+    #[cfg(not(feature = "telemetry"))]
+    if watch_every > 0 || metrics_out.is_some() {
+        eprintln!(
+            "--watch/--metrics-out require the `telemetry` feature (on by default; \
+             this binary was built without it)"
+        );
+        std::process::exit(2);
+    }
+    #[cfg(feature = "telemetry")]
+    let mut watch = naming_bench::watch::MetricsWatch::new(watch_every, metrics_out);
+
     if json_answers {
         print!("{}", render_answers(shards));
+        #[cfg(feature = "telemetry")]
+        watch.finish();
         return;
     }
 
@@ -543,9 +578,13 @@ fn main() {
                 opt_f(r.publish_max_us, 2),
                 opt(r.publish_shards_shared_min),
             );
+            #[cfg(feature = "telemetry")]
+            watch.tick(r.label);
             r
         })
         .collect();
+    #[cfg(feature = "telemetry")]
+    watch.finish();
     let json = render(&results, ops, publishes, workers);
     if to_stdout {
         print!("{json}");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--exp eN] [--seed S] [--list] [--csv | --json]
-//!             [--trace PATH] [--metrics]
+//!             [--trace PATH] [--metrics] [--metrics-out PATH] [--watch N]
 //! ```
 //!
 //! `--csv` emits machine-readable CSV (one blank-line-separated block per
@@ -14,12 +14,17 @@
 //! `--trace PATH` (requires the default `telemetry` feature) records every
 //! resolution, message, and coherence event into a Chrome `trace_event`
 //! file loadable in Perfetto / `about:tracing`, one track per experiment.
-//! Tracing forces the suite serial — the recorder is thread-local — but
-//! table output is byte-for-byte identical. `--metrics` prints the global
-//! metrics-registry snapshot as JSON on stderr after the run. Neither flag
-//! touches stdout.
+//! With the `parallel` feature the traced suite still runs one worker
+//! thread per experiment: each worker installs its own recorder and the
+//! traces are absorbed in catalog order, so ids and output are
+//! byte-for-byte identical to a serial traced run. `--metrics` prints the
+//! global metrics-registry snapshot as JSON on stderr after the run;
+//! `--metrics-out PATH` writes the Prometheus-style text exposition to
+//! `PATH` instead, and `--watch N` rewrites it every `N` experiments while
+//! the suite runs (forcing the suite serial so there is a between-
+//! experiments boundary to dump at). None of these flags touch stdout.
 //!
-//! Without `--exp`, the whole suite (E1–E19) runs in paper order.
+//! Without `--exp`, the whole suite (E1–E20) runs in paper order.
 
 use naming_bench::experiments::{run_all, run_experiment, CATALOG};
 use naming_core::report::Table;
@@ -39,10 +44,47 @@ fn run_one(id: &str, seed: u64) -> Option<Vec<Table>> {
     run_experiment(id, seed)
 }
 
-/// Runs the whole suite: serially (per-experiment tracks) when a recorder
-/// is installed, else via [`run_all`] (parallel with that feature).
+/// Runs the whole suite. When a recorder is installed and the `parallel`
+/// feature is on, each experiment still gets its own worker thread: the
+/// worker installs a private recorder (inheriting the main clock), names
+/// its catalog track, and hands its trace back; the main thread absorbs
+/// the traces in catalog order, so the merged timeline — ids included —
+/// is byte-for-byte what the serial traced run produces.
 fn run_suite(seed: u64) -> Vec<Table> {
-    #[cfg(feature = "telemetry")]
+    #[cfg(all(feature = "telemetry", feature = "parallel"))]
+    if naming_telemetry::recorder::is_active() {
+        let clock = naming_telemetry::recorder::clock();
+        let mut tables: Vec<Table> = Vec::new();
+        let mut traces = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = CATALOG
+                .iter()
+                .enumerate()
+                .map(|(pos, info)| {
+                    scope.spawn(move || {
+                        naming_telemetry::recorder::install();
+                        naming_telemetry::recorder::set_clock(clock);
+                        naming_telemetry::recorder::set_track_name(
+                            pos as u64 + 1,
+                            format!("{} {}", info.id, info.artifact),
+                        );
+                        let tables = run_experiment(info.id, seed).expect("catalog ids are valid");
+                        (tables, naming_telemetry::recorder::take())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (t, data) = h.join().expect("experiment worker panicked");
+                tables.extend(t);
+                traces.push(data);
+            }
+        });
+        for data in traces.into_iter().flatten() {
+            naming_telemetry::recorder::absorb(data);
+        }
+        return tables;
+    }
+    #[cfg(all(feature = "telemetry", not(feature = "parallel")))]
     if naming_telemetry::recorder::is_active() {
         return CATALOG
             .iter()
@@ -60,6 +102,8 @@ fn main() {
     let mut json = false;
     let mut trace_path: Option<String> = None;
     let mut metrics = false;
+    let mut metrics_out: Option<String> = None;
+    let mut watch_every: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -98,6 +142,24 @@ fn main() {
             "--metrics" => {
                 metrics = true;
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = args.get(i).cloned();
+                if metrics_out.is_none() {
+                    eprintln!("--metrics-out requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+            "--watch" => {
+                i += 1;
+                watch_every = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--watch requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--list" => {
                 for info in CATALOG {
                     println!("{:4}  {}", info.id, info.artifact);
@@ -107,7 +169,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--exp eN] [--seed S] [--list] [--csv | --json] \
-                     [--trace PATH] [--metrics]"
+                     [--trace PATH] [--metrics] [--metrics-out PATH] [--watch N]"
                 );
                 return;
             }
@@ -124,17 +186,22 @@ fn main() {
         std::process::exit(2);
     }
     #[cfg(not(feature = "telemetry"))]
-    if trace_path.is_some() || metrics {
-        eprintln!(
-            "--trace/--metrics require the `telemetry` feature (on by default; \
-             this binary was built without it)"
-        );
-        std::process::exit(2);
+    {
+        let _ = watch_every;
+        if trace_path.is_some() || metrics || metrics_out.is_some() || watch_every > 0 {
+            eprintln!(
+                "--trace/--metrics/--metrics-out/--watch require the `telemetry` feature \
+                 (on by default; this binary was built without it)"
+            );
+            std::process::exit(2);
+        }
     }
     #[cfg(feature = "telemetry")]
     if trace_path.is_some() {
         naming_telemetry::recorder::install();
     }
+    #[cfg(feature = "telemetry")]
+    let mut watch = naming_bench::watch::MetricsWatch::new(watch_every, metrics_out.clone());
     let emit = |tables: Vec<naming_core::report::Table>| {
         if json {
             let objects: Vec<String> = tables.iter().map(|t| t.to_json()).collect();
@@ -159,17 +226,39 @@ fn main() {
     }
     match exp {
         Some(id) => match run_one(&id, seed) {
-            Some(tables) => emit(tables),
+            Some(tables) => {
+                #[cfg(feature = "telemetry")]
+                watch.tick(&id);
+                emit(tables);
+            }
             None => {
                 eprintln!("unknown experiment {id:?}; try --list");
                 std::process::exit(2);
             }
         },
-        None => emit(run_suite(seed)),
+        None => {
+            #[cfg(feature = "telemetry")]
+            if watch.watching() {
+                // A periodic dump needs a between-experiments boundary, so
+                // run the catalog serially, ticking after each experiment.
+                // Table output is identical to the parallel run.
+                let mut tables = Vec::new();
+                for info in CATALOG {
+                    tables.extend(run_one(info.id, seed).expect("catalog ids are valid"));
+                    watch.tick(info.id);
+                }
+                emit(tables);
+            } else {
+                emit(run_suite(seed));
+            }
+            #[cfg(not(feature = "telemetry"))]
+            emit(run_suite(seed));
+        }
     }
 
     #[cfg(feature = "telemetry")]
     {
+        watch.finish();
         if let Some(path) = &trace_path {
             if let Some(data) = naming_telemetry::recorder::take() {
                 naming_telemetry::chrome::write(&data, std::path::Path::new(path)).unwrap_or_else(

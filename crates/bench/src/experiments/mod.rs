@@ -16,6 +16,7 @@ pub mod e17_replication;
 pub mod e18_macro;
 pub mod e19_exec;
 pub mod e1_sources;
+pub mod e20_observatory;
 pub mod e2_rules;
 pub mod e3_unix;
 pub mod e4_newcastle;
@@ -57,6 +58,7 @@ pub const CATALOG: &[ExperimentInfo] = &[
     ExperimentInfo { id: "e17", artifact: "replicated name-service zones: locality vs the weak-coherence window (extension)" },
     ExperimentInfo { id: "e18", artifact: "macro workload: latency vs correctness across cache/replica/churn configurations (extension)" },
     ExperimentInfo { id: "e19", artifact: "remote execution four ways: §5 disciplines vs §6 II namespace shipping (capstone)" },
+    ExperimentInfo { id: "e20", artifact: "chaos campaign under the coherence-SLO observatory (extension)" },
 ];
 
 /// Runs one experiment by id and returns its rendered tables.
@@ -83,6 +85,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<Table>> {
         "e17" => e17_replication::tables(&e17_replication::run(seed)),
         "e18" => vec![e18_macro::table(&e18_macro::run(seed))],
         "e19" => vec![e19_exec::table(&e19_exec::run(seed))],
+        "e20" => e20_observatory::tables(&e20_observatory::run(seed)),
         _ => return None,
     };
     Some(tables)

@@ -18,3 +18,5 @@
 
 pub mod experiments;
 pub mod scenarios;
+#[cfg(feature = "telemetry")]
+pub mod watch;

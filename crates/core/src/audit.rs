@@ -17,7 +17,12 @@
 //! Audits over many names are embarrassingly parallel; with the `parallel`
 //! feature, `run` shards names across `crossbeam` scoped threads when
 //! `threads > 1`. Reports are byte-for-byte identical either way: workers
-//! produce chunks that are stitched back in name order.
+//! produce chunks that are stitched back in name order. With the
+//! `telemetry` feature, a sharded audit run while the calling thread is
+//! tracing installs a private recorder on every worker (inheriting the
+//! parent's clock and track) and absorbs the captured traces in
+//! worker-index order after the join — parallel audits are fully traced,
+//! and the merged trace is deterministic for a fixed thread count.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -179,20 +184,7 @@ pub fn run(
     let verdicts: Vec<NameVerdict> = if spec.threads <= 1 || names.len() < 2 {
         names.iter().map(audit_one).collect()
     } else {
-        let threads = spec.threads.min(names.len());
-        let chunk = names.len().div_ceil(threads);
-        let mut out: Vec<Vec<NameVerdict>> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = names
-                .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| slice.iter().map(audit_one).collect::<Vec<_>>()))
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("audit worker panicked"));
-            }
-        })
-        .expect("audit scope");
-        out.into_iter().flatten().collect()
+        run_sharded(&names, spec.threads, &audit_one)
     };
     // Without the `parallel` feature, `threads` is honored as a request but
     // everything runs on the calling thread — same verdicts, same order.
@@ -204,6 +196,77 @@ pub fn run(
         stats.record_with_pairs(&v.verdict, spec.participants.len(), replicas);
     }
     AuditReport { stats, verdicts }
+}
+
+/// Shards `names` across scoped worker threads and stitches the verdict
+/// chunks back in name order.
+#[cfg(feature = "parallel")]
+fn run_sharded(
+    names: &[CompoundName],
+    threads: usize,
+    audit_one: &(dyn Fn(&CompoundName) -> NameVerdict + Sync),
+) -> Vec<NameVerdict> {
+    let threads = threads.min(names.len());
+    let chunk = names.len().div_ceil(threads);
+    #[cfg(feature = "telemetry")]
+    if naming_telemetry::recorder::is_active() {
+        return run_sharded_traced(names, chunk, audit_one);
+    }
+    let mut out: Vec<Vec<NameVerdict>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = names
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move |_| slice.iter().map(audit_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("audit worker panicked"));
+        }
+    })
+    .expect("audit scope");
+    out.into_iter().flatten().collect()
+}
+
+/// The sharded sweep under an active recorder: every worker installs a
+/// private recorder inheriting the calling thread's clock and track, and
+/// the captured traces are absorbed in worker-index order after the join
+/// — so the merged trace stream does not depend on scheduling.
+#[cfg(all(feature = "parallel", feature = "telemetry"))]
+fn run_sharded_traced(
+    names: &[CompoundName],
+    chunk: usize,
+    audit_one: &(dyn Fn(&CompoundName) -> NameVerdict + Sync),
+) -> Vec<NameVerdict> {
+    use naming_telemetry::recorder;
+
+    let clock = recorder::clock();
+    let track = recorder::track();
+    let mut out: Vec<(Vec<NameVerdict>, Option<naming_telemetry::TraceData>)> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = names
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    recorder::install();
+                    recorder::set_clock(clock);
+                    recorder::set_track(track);
+                    let verdicts = slice.iter().map(audit_one).collect::<Vec<_>>();
+                    (verdicts, recorder::take())
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("audit worker panicked"));
+        }
+    })
+    .expect("audit scope");
+    let mut verdicts = Vec::with_capacity(names.len());
+    for (chunk_verdicts, data) in out {
+        verdicts.extend(chunk_verdicts);
+        if let Some(data) = data {
+            recorder::absorb(data);
+        }
+    }
+    verdicts
 }
 
 #[cfg(test)]
@@ -294,6 +357,48 @@ mod tests {
         let r2 = run(&sys, &reg, &StandardRule::OfResolver, &parallel, None);
         assert_eq!(r1.stats, r2.stats);
         assert_eq!(r1.verdicts, r2.verdicts);
+    }
+
+    #[cfg(all(feature = "parallel", feature = "telemetry"))]
+    #[test]
+    fn parallel_audit_is_traced_and_deterministic() {
+        use naming_telemetry::recorder;
+
+        let run_traced = |threads: usize| {
+            // Recorder state is thread-local: isolate on a fresh thread.
+            std::thread::spawn(move || {
+                let (sys, reg) = build(3, 8, 8);
+                let spec = AuditSpec::exhaustive(names(8, 8), metas(3)).with_threads(threads);
+                recorder::install();
+                recorder::set_clock(5);
+                recorder::set_track(2);
+                let report = run(&sys, &reg, &StandardRule::OfResolver, &spec, None);
+                let data = recorder::take().expect("recorder installed");
+                (report, data)
+            })
+            .join()
+            .expect("traced audit thread")
+        };
+
+        let (serial_report, serial_data) = run_traced(1);
+        let (par_report, par_data) = run_traced(4);
+        let (par_report2, par_data2) = run_traced(4);
+
+        assert_eq!(serial_report.verdicts, par_report.verdicts);
+        // Workers are traced now: one trace per (name × participant)
+        // resolution either way.
+        assert!(!serial_data.resolutions.is_empty());
+        assert_eq!(serial_data.resolutions, par_data.resolutions);
+        // Absorption in worker-index order makes the parallel trace
+        // stream fully reproducible.
+        assert_eq!(par_data.resolutions, par_data2.resolutions);
+        assert_eq!(par_report.verdicts, par_report2.verdicts);
+        // Workers inherit the parent's clock and track.
+        assert!(par_data.resolutions.iter().all(|t| t.ts == 5));
+        assert!(par_data.resolutions.iter().all(|t| t.track == 2));
+        // Ids were renumbered into one gap-free stream.
+        let ids: Vec<u64> = par_data.resolutions.iter().map(|t| t.id).collect();
+        assert_eq!(ids, (1..=ids.len() as u64).collect::<Vec<_>>());
     }
 
     #[test]

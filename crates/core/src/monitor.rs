@@ -20,6 +20,12 @@ use crate::state::SystemState;
 pub struct Observation {
     /// Caller-supplied step label (e.g. churn count or virtual time).
     pub label: String,
+    /// Virtual-time ticks at which the observation was taken (0 unless
+    /// recorded via [`CoherenceMonitor::observe_at`]). Giving the series
+    /// a time axis is what turns coherence *drift* into coherence
+    /// *windows*: [`CoherenceMonitor::degraded_windows`] measures how
+    /// long the system stayed below a rate threshold.
+    pub ticks: u64,
     /// The audit statistics at this step.
     pub stats: CoherenceStats,
     /// Ids of the `naming-telemetry` resolution traces the audit
@@ -71,6 +77,22 @@ impl CoherenceMonitor {
         replicas: Option<&ReplicaRegistry>,
         trace: Option<&TraceHandle>,
     ) -> &Observation {
+        self.observe_at(0, label, state, registry, rule, replicas, trace)
+    }
+
+    /// Takes one observation stamped with a virtual-time tick, giving
+    /// the series a time axis for [`Self::degraded_windows`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_at(
+        &mut self,
+        ticks: u64,
+        label: impl Into<String>,
+        state: &SystemState,
+        registry: &ContextRegistry,
+        rule: &(dyn ResolutionRule + Sync),
+        replicas: Option<&ReplicaRegistry>,
+        trace: Option<&TraceHandle>,
+    ) -> &Observation {
         #[cfg(feature = "telemetry")]
         let mark = trace.map(|_| naming_telemetry::recorder::trace_count());
         #[cfg(not(feature = "telemetry"))]
@@ -84,6 +106,7 @@ impl CoherenceMonitor {
         let trace_ids = Vec::new();
         self.series.push(Observation {
             label: label.into(),
+            ticks,
             stats: report.stats,
             trace_ids,
         });
@@ -114,6 +137,38 @@ impl CoherenceMonitor {
             }
             _ => 0.0,
         }
+    }
+
+    /// The observed *incoherence windows*: maximal runs of consecutive
+    /// observations whose coherence rate is below `threshold`, as
+    /// `(start ticks, end ticks)` spans. A window closes at the tick of
+    /// the first observation back at or above the threshold (the moment
+    /// coherence was *seen* restored); a window still open at the end of
+    /// the series closes at the last observation's tick. Vacuous-only
+    /// observations (no audited pairs) never open a window.
+    ///
+    /// This is the paper's §5 staleness question made measurable: how
+    /// long did participants disagree before updates propagated?
+    pub fn degraded_windows(&self, threshold: f64) -> Vec<(u64, u64)> {
+        let mut windows = Vec::new();
+        let mut open: Option<u64> = None;
+        let mut last_tick = 0;
+        for o in &self.series {
+            last_tick = o.ticks;
+            let degraded = o.stats.total > o.stats.vacuous && o.stats.coherence_rate() < threshold;
+            match (degraded, open) {
+                (true, None) => open = Some(o.ticks),
+                (false, Some(start)) => {
+                    windows.push((start, o.ticks));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            windows.push((start, last_tick));
+        }
+        windows
     }
 
     /// Renders the series as a table.
@@ -213,6 +268,46 @@ mod tests {
         assert!(mon.drift() > 0.0, "coherence improved");
         let t = mon.to_table("demo");
         assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn degraded_windows_measure_staleness_spans() {
+        let (mut sys, reg, pids, names) = setup();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+        // t=10, t=20: /etc/passwd diverges (rate 0.5) → window opens at 10.
+        mon.observe_at(10, "t10", &sys, &reg, &StandardRule::OfResolver, None, None);
+        mon.observe_at(20, "t20", &sys, &reg, &StandardRule::OfResolver, None, None);
+        // Repair at t=25; the audit at t=30 sees coherence restored.
+        let shared_etc = sys.add_context_object("shared-etc");
+        let pw = sys.add_data_object("pw", vec![]);
+        sys.bind(shared_etc, Name::new("passwd"), pw).unwrap();
+        for a in 0..2u32 {
+            let ctx = reg
+                .activity_context(crate::entity::ActivityId::from_index(a))
+                .unwrap();
+            sys.bind(ctx, Name::new("etc"), shared_etc).unwrap();
+        }
+        mon.observe_at(30, "t30", &sys, &reg, &StandardRule::OfResolver, None, None);
+        assert_eq!(mon.degraded_windows(0.9), vec![(10, 30)]);
+        // A threshold below the degraded rate sees no window at all.
+        assert!(mon.degraded_windows(0.4).is_empty());
+        // Ticks are recorded on the series; plain observe stamps 0.
+        assert_eq!(mon.series()[1].ticks, 20);
+        mon.observe("untimed", &sys, &reg, &StandardRule::OfResolver, None, None);
+        assert_eq!(mon.series()[3].ticks, 0);
+    }
+
+    #[test]
+    fn degraded_window_still_open_closes_at_last_tick() {
+        let (sys, reg, pids, names) = setup();
+        let metas: Vec<MetaContext> = pids.iter().map(|&p| MetaContext::internal(p)).collect();
+        let mut mon = CoherenceMonitor::new(AuditSpec::exhaustive(names, metas));
+        mon.observe_at(5, "t5", &sys, &reg, &StandardRule::OfResolver, None, None);
+        mon.observe_at(15, "t15", &sys, &reg, &StandardRule::OfResolver, None, None);
+        // Never repaired: the window spans the whole observed range.
+        assert_eq!(mon.degraded_windows(0.9), vec![(5, 15)]);
+        assert!(mon.degraded_windows(-1.0).is_empty());
     }
 
     #[test]

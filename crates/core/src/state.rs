@@ -401,6 +401,18 @@ impl SystemState {
         self.revision
     }
 
+    /// Records shard write heat: the `state.shard.writes` histogram takes
+    /// the *shard index* as its value, so one histogram exposes the whole
+    /// write distribution (a hot shard shows up as a heavy bucket).
+    /// Observational only — compiled out without the `telemetry` feature.
+    #[inline]
+    fn note_shard_write(shard: usize) {
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::histogram!("state.shard.writes").record(shard as u64);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = shard;
+    }
+
     // --- activities -------------------------------------------------------
 
     /// Adds a live activity and returns its id.
@@ -480,6 +492,7 @@ impl SystemState {
     ) -> ObjectId {
         assert!(shard < self.shards.len(), "no shard {shard}");
         self.revision += 1;
+        Self::note_shard_write(shard);
         let sh = Arc::make_mut(&mut self.shards[shard]);
         let local = sh.objects.len();
         assert!(
@@ -578,6 +591,7 @@ impl SystemState {
         self.naming_version += 1;
         self.epoch += 1;
         self.revision += 1;
+        Self::note_shard_write(s);
         let sh = Arc::make_mut(&mut self.shards[s]);
         sh.naming_version += 1;
         sh.epoch += 1;
@@ -619,6 +633,7 @@ impl SystemState {
         self.naming_version += 1;
         self.epoch += 1;
         self.revision += 1;
+        Self::note_shard_write(s);
         let sh = Arc::make_mut(&mut self.shards[s]);
         sh.naming_version += 1;
         sh.epoch += 1;
@@ -672,6 +687,7 @@ impl SystemState {
         let (s, _) = Self::split(ctx);
         self.naming_version += 1;
         self.revision += 1;
+        Self::note_shard_write(s);
         Arc::make_mut(&mut self.shards[s]).naming_version += 1;
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.bind(name, entity))
@@ -696,6 +712,7 @@ impl SystemState {
         let (s, _) = Self::split(ctx);
         self.naming_version += 1;
         self.revision += 1;
+        Self::note_shard_write(s);
         Arc::make_mut(&mut self.shards[s]).naming_version += 1;
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.unbind(name))

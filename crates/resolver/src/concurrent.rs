@@ -22,12 +22,18 @@
 
 use std::collections::BTreeMap;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use naming_core::entity::Entity;
 use naming_core::resolve::Resolver;
 use naming_core::snapshot::{SnapshotMemo, SnapshotMemoStats, StateSnapshot};
 use naming_core::state::SystemState;
+use naming_telemetry::metrics::MetricsRegistry;
+// Re-exported so downstream crates can consume [`ServiceReport`] fields
+// without depending on naming-telemetry themselves.
+pub use naming_telemetry::flight::{FlightLog, FlightRecorder, SharedFlightRecorder};
+pub use naming_telemetry::metrics::HistogramSnapshot;
 
 use crate::wire::{BatchReply, BatchRequest, Outcome};
 
@@ -62,6 +68,10 @@ struct Job {
     seq: u64,
     req: BatchRequest,
     snap: StateSnapshot,
+    /// Wall-clock submission time, for queue-wait measurement. Purely
+    /// observational — it feeds the worker's latency histograms and
+    /// never touches an answer.
+    submitted: Instant,
 }
 
 /// A completed batch.
@@ -114,7 +124,7 @@ struct Done {
 }
 
 /// What one worker did over its lifetime.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerReport {
     /// Batches served.
     pub batches: u64,
@@ -122,6 +132,13 @@ pub struct WorkerReport {
     pub queries: u64,
     /// The worker's private memo-shard counters.
     pub memo: SnapshotMemoStats,
+    /// Wall-clock nanoseconds each batch waited in the queue before this
+    /// worker dequeued it. Observational (wall clock, not VirtualTime):
+    /// it varies run to run and never feeds an answer.
+    pub queue_wait: HistogramSnapshot,
+    /// Wall-clock nanoseconds this worker spent serving each batch
+    /// (dequeue → answer sent). Same caveat as `queue_wait`.
+    pub service_time: HistogramSnapshot,
 }
 
 /// Aggregated lifetime report, returned by [`ConcurrentService::shutdown`].
@@ -133,6 +150,13 @@ pub struct ServiceReport {
     pub publishes: u64,
     /// Publish calls skipped because the staged delta was empty.
     pub noop_publishes: u64,
+    /// Highest number of batches simultaneously in flight (queued or
+    /// being served) over the service's lifetime.
+    pub queue_depth_hwm: u64,
+    /// The merged flight log (empty unless the service was built with
+    /// [`ConcurrentService::with_sampling`]). Entries are ordered by
+    /// `(request id, query index)` — identical for every worker count.
+    pub flight: FlightLog,
 }
 
 impl ServiceReport {
@@ -180,8 +204,12 @@ pub struct ConcurrentService {
     jobs: Option<Sender<Job>>,
     results: Receiver<Done>,
     workers: Vec<JoinHandle<WorkerReport>>,
+    /// Per-worker flight recorders (worker-index order), shared with the
+    /// pool; empty when the service was built without sampling.
+    flights: Vec<SharedFlightRecorder>,
     next_seq: u64,
     pending: u64,
+    queue_depth_hwm: u64,
     publishes: u64,
     /// Staging revision captured by the last publish; equality means the
     /// staged delta is empty and a publish can reuse the current snapshot.
@@ -191,20 +219,46 @@ pub struct ConcurrentService {
 
 impl ConcurrentService {
     /// Starts `workers` worker threads serving snapshots of `initial`
-    /// (which is published immediately).
+    /// (which is published immediately), with no flight sampling.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     pub fn new(initial: SystemState, workers: usize) -> ConcurrentService {
+        ConcurrentService::with_sampling(initial, workers, 0)
+    }
+
+    /// Starts the pool with a per-worker flight recorder sampling one
+    /// query in `sample_every` (0 disables sampling; 1 records every
+    /// query). Admission is a hash of `(request id, name)` — never a
+    /// clock or an RNG draw — so which queries get sampled, and the
+    /// resulting [`FlightLog`], are identical across runs and worker
+    /// counts. Answers are never affected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_sampling(
+        initial: SystemState,
+        workers: usize,
+        sample_every: u64,
+    ) -> ConcurrentService {
         assert!(workers > 0, "worker pool must be nonempty");
         let (jobs_tx, jobs_rx) = channel::unbounded::<Job>();
         let (results_tx, results_rx) = channel::unbounded::<Done>();
+        let flights: Vec<SharedFlightRecorder> = if sample_every == 0 {
+            Vec::new()
+        } else {
+            (0..workers)
+                .map(|idx| FlightRecorder::new(idx as u32, sample_every).into_shared())
+                .collect()
+        };
         let handles = (0..workers)
             .map(|idx| {
                 let rx = jobs_rx.clone();
                 let tx = results_tx.clone();
-                std::thread::spawn(move || worker_loop(idx, rx, tx))
+                let flight = flights.get(idx).cloned();
+                std::thread::spawn(move || worker_loop(idx, rx, tx, flight))
             })
             .collect();
         let current = StateSnapshot::capture(&initial);
@@ -215,8 +269,10 @@ impl ConcurrentService {
             jobs: Some(jobs_tx),
             results: results_rx,
             workers: handles,
+            flights,
             next_seq: 0,
             pending: 0,
+            queue_depth_hwm: 0,
             publishes: 1,
             published_revision,
             noop_publishes: 0,
@@ -282,10 +338,12 @@ impl ConcurrentService {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending += 1;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(self.pending);
         let job = Job {
             seq,
             req,
             snap: self.current.clone(),
+            submitted: Instant::now(),
         };
         self.jobs
             .as_ref()
@@ -319,6 +377,19 @@ impl ConcurrentService {
         by_seq.into_values().collect()
     }
 
+    /// The merged flight log so far: every worker's sampled entries,
+    /// ordered by `(request id, query index)`. Which entries appear is a
+    /// pure function of the submitted workload and the sampling rate —
+    /// identical across runs and worker counts. Empty unless the service
+    /// was built with [`ConcurrentService::with_sampling`].
+    ///
+    /// Safe to call while workers are busy, but for a stable log drain
+    /// first so no batch is mid-service.
+    pub fn flight_log(&self) -> FlightLog {
+        let guards: Vec<_> = self.flights.iter().map(|f| f.lock()).collect();
+        FlightLog::merge(guards.iter().map(|g| &**g))
+    }
+
     /// Stops the pool (after completing queued work) and returns the
     /// aggregated lifetime report.
     pub fn shutdown(mut self) -> ServiceReport {
@@ -329,10 +400,14 @@ impl ConcurrentService {
             .drain(..)
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
+        // Merge after the join so queued-but-undrained work is included.
+        let flight = self.flight_log();
         ServiceReport {
             workers,
             publishes: self.publishes,
             noop_publishes: self.noop_publishes,
+            queue_depth_hwm: self.queue_depth_hwm,
+            flight,
         }
     }
 }
@@ -348,10 +423,21 @@ impl Drop for ConcurrentService {
 
 /// The worker body: resolve every query of every received batch against
 /// the job's snapshot, memoizing in a private shard.
-fn worker_loop(idx: usize, jobs: Receiver<Job>, results: Sender<Done>) -> WorkerReport {
+fn worker_loop(
+    idx: usize,
+    jobs: Receiver<Job>,
+    results: Sender<Done>,
+    flight: Option<SharedFlightRecorder>,
+) -> WorkerReport {
     let resolver = Resolver::new();
     let mut memo = SnapshotMemo::new();
     let mut report = WorkerReport::default();
+    // Worker-private latency histograms (wall clock, observational only).
+    // `Histogram` is only constructible through a registry, so keep a
+    // local one rather than polluting the global namespace per worker.
+    let local = MetricsRegistry::new();
+    let queue_wait = local.histogram("worker.queue_wait_ns");
+    let service_time = local.histogram("worker.service_ns");
     // The `counter!` macro caches per call site, which would conflate
     // workers; resolve this worker's handles from the registry once.
     #[cfg(feature = "telemetry")]
@@ -364,16 +450,26 @@ fn worker_loop(idx: usize, jobs: Receiver<Job>, results: Sender<Done>) -> Worker
         )
     };
     for job in jobs.iter() {
+        let started = Instant::now();
+        queue_wait.record(started.duration_since(job.submitted).as_nanos() as u64);
         let names = job.req.trie.names();
         let mut entities = Vec::with_capacity(names.len());
-        for name in &names {
-            entities.push(resolver.resolve_entity_snapshot_memo(
-                &job.snap,
-                job.req.start,
-                name,
-                &mut memo,
-            ));
+        for (query, name) in names.iter().enumerate() {
+            let entity =
+                resolver.resolve_entity_snapshot_memo(&job.snap, job.req.start, name, &mut memo);
+            if let Some(flight) = &flight {
+                // Admission hashes (request id, name) — deterministic, so
+                // the merged log is the same for any worker count. The
+                // outcome string renders only for admitted entries.
+                flight
+                    .lock()
+                    .observe(job.req.id, query as u32, &name.to_string(), job.seq, || {
+                        format!("{entity}")
+                    });
+            }
+            entities.push(entity);
         }
+        service_time.record(started.elapsed().as_nanos() as u64);
         report.batches += 1;
         report.queries += names.len() as u64;
         #[cfg(feature = "telemetry")]
@@ -397,6 +493,8 @@ fn worker_loop(idx: usize, jobs: Receiver<Job>, results: Sender<Done>) -> Worker
         }
     }
     report.memo = memo.stats();
+    report.queue_wait = queue_wait.snapshot();
+    report.service_time = service_time.snapshot();
     report
 }
 
@@ -629,6 +727,99 @@ mod tests {
         // still physically shared with the published snapshot.
         assert_eq!(svc.snapshot().state().shards_shared_with(svc.staging()), 1);
         svc.shutdown();
+    }
+
+    /// Runs the same 24-batch workload under sampling and returns the
+    /// merged flight log.
+    fn sampled_run(workers: usize, every: u64) -> (FlightLog, ServiceReport) {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::with_sampling(s, workers, every);
+        for id in 0..24u64 {
+            let (req, _) = batch(id, root, &["/etc/passwd", "/usr/bin/cc", "/nope"]);
+            svc.submit(req);
+        }
+        svc.drain();
+        let live = svc.flight_log();
+        (live, svc.shutdown())
+    }
+
+    #[test]
+    fn flight_log_is_deterministic_across_runs_and_worker_counts() {
+        let (base_live, base) = sampled_run(1, 2);
+        assert!(!base.flight.entries.is_empty(), "sampling admitted nothing");
+        assert!(
+            base.flight.sampled < base.flight.seen,
+            "1-in-2 skipped none"
+        );
+        // The live (pre-shutdown) merge already equals the final one here
+        // because the workload was drained first.
+        assert_eq!(base_live.keys(), base.flight.keys());
+        for workers in [1, 2, 4] {
+            let (_, run) = sampled_run(workers, 2);
+            assert_eq!(run.flight.entries, base.flight.entries, "{workers} workers");
+            assert_eq!(run.flight.seen, base.flight.seen);
+            assert_eq!(run.flight.sampled, base.flight.sampled);
+        }
+        // Entries arrive ordered by (request, query).
+        let order: Vec<(u64, u32)> = base
+            .flight
+            .entries
+            .iter()
+            .map(|e| (e.request, e.query))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn sampling_never_changes_answers_and_default_service_logs_nothing() {
+        let (s, root) = tree();
+        let paths = ["/etc/passwd", "/usr/bin/cc", "/nope"];
+        let mut plain = ConcurrentService::new(s.clone(), 2);
+        let mut sampled = ConcurrentService::with_sampling(s, 2, 1);
+        for id in 0..8u64 {
+            let (req, _) = batch(id, root, &paths);
+            plain.submit(req);
+            let (req, _) = batch(id, root, &paths);
+            sampled.submit(req);
+        }
+        let a: Vec<Vec<Entity>> = plain.drain().into_iter().map(|b| b.entities).collect();
+        let b: Vec<Vec<Entity>> = sampled.drain().into_iter().map(|b| b.entities).collect();
+        assert_eq!(a, b);
+        let plain_report = plain.shutdown();
+        let sampled_report = sampled.shutdown();
+        assert!(plain_report.flight.entries.is_empty());
+        assert_eq!(plain_report.flight.seen, 0);
+        // every=1 admits every query.
+        assert_eq!(sampled_report.flight.sampled, sampled_report.flight.seen);
+        assert_eq!(sampled_report.flight.seen, 8 * paths.len() as u64);
+    }
+
+    #[test]
+    fn report_tracks_queue_depth_hwm_and_latency_histograms() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 2);
+        for id in 0..16u64 {
+            let (req, _) = batch(id, root, &["/etc/passwd"]);
+            svc.submit(req);
+        }
+        svc.drain();
+        let report = svc.shutdown();
+        // 16 batches were submitted before any drain; the high-water mark
+        // saw at least the full backlog at some point (workers may have
+        // started, so only a lower bound of 1 is exact — but submission
+        // happens before any recv can be observed by `pending`, so the
+        // mark is exactly 16 here).
+        assert_eq!(report.queue_depth_hwm, 16);
+        let served: u64 = report.workers.iter().map(|w| w.service_time.count).sum();
+        let waited: u64 = report.workers.iter().map(|w| w.queue_wait.count).sum();
+        assert_eq!(served, 16);
+        assert_eq!(waited, 16);
+        assert!(report
+            .workers
+            .iter()
+            .all(|w| w.queue_wait.count == w.batches));
     }
 
     #[test]

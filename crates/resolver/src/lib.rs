@@ -22,7 +22,10 @@
 //! * [`concurrent::ConcurrentService`] (feature `parallel`) — a
 //!   multi-worker serving front end over immutable copy-on-publish
 //!   snapshots: readers never block, writes serialize through a publish
-//!   step that swaps the shared `Arc`.
+//!   step that swaps the shared `Arc`;
+//! * [`observatory::StalenessObservatory`] — a coherence-SLO monitor
+//!   grading observed staleness windows, false-⊥/unreachable rates, and
+//!   publish-latency burn against declared thresholds, live.
 //!
 //! Experiment E14 (in `naming-bench`) uses this crate to measure
 //! iterative-vs-recursive cost and cache staleness under binding churn.
@@ -34,6 +37,7 @@ pub mod cache;
 #[cfg(feature = "parallel")]
 pub mod concurrent;
 pub mod engine;
+pub mod observatory;
 pub mod referral;
 pub mod service;
 pub mod wire;

@@ -1,0 +1,423 @@
+//! Per-worker flight recorders: bounded, lossy ring buffers of sampled
+//! resolution records, with *deterministic* 1-in-N sampling.
+//!
+//! The thread-local [`crate::recorder`] cannot see inside a worker pool
+//! without cooperation, and tracing every resolution of a heavy-traffic
+//! service would be ruinous anyway. A [`FlightRecorder`] is the live-ops
+//! answer: each worker owns one, admission is decided by a hash of
+//! `(request id, name)` — never an RNG draw, never a wall clock — and the
+//! per-worker rings are merged into one [`FlightLog`] whose entry ids and
+//! order are identical for every worker count and every run of the same
+//! workload. That invariant is what lets CI keep `cmp`-ing observatory-on
+//! against observatory-off output while the flight recorder is armed.
+//!
+//! Entries are deliberately flat (raw ids, rendered strings) so the
+//! recorder stays a leaf-type usable by every layer of the workspace.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default bound on entries retained per worker ring.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1 << 12;
+
+/// FNV-1a 64-bit over the request id (little-endian) and the name bytes.
+///
+/// This key doubles as the sampled entry's id: it depends only on the
+/// *workload* (which request asked for which name), so the same workload
+/// yields the same keys regardless of worker count, scheduling, or
+/// repetition.
+pub fn sample_key(request: u64, name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in request.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for &b in name.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Deterministic 1-in-N admission control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sampler {
+    every: u64,
+}
+
+impl Sampler {
+    /// Samples one record in `every` (`every <= 1` admits everything).
+    pub fn one_in(every: u64) -> Sampler {
+        Sampler {
+            every: every.max(1),
+        }
+    }
+
+    /// The configured period.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Admission verdict for `(request, name)`: `Some(key)` when the
+    /// record is sampled, where `key` is its stable id.
+    pub fn admit(&self, request: u64, name: &str) -> Option<u64> {
+        let key = sample_key(request, name);
+        (self.every == 1 || key.is_multiple_of(self.every)).then_some(key)
+    }
+}
+
+/// One sampled resolution, as seen by a worker in flight.
+///
+/// Equality ignores `worker`: which worker served a query is a
+/// scheduling accident, and flight logs must compare equal across worker
+/// counts (the whole point of deterministic sampling).
+#[derive(Clone, Debug)]
+pub struct FlightEntry {
+    /// Stable id: [`sample_key`] of `(request, name)`.
+    pub key: u64,
+    /// The request (batch) id the query arrived in.
+    pub request: u64,
+    /// Index of the query within its request.
+    pub query: u32,
+    /// Worker that served it (scheduling detail; excluded from identity).
+    pub worker: u32,
+    /// The resolved name, rendered.
+    pub name: String,
+    /// The outcome, rendered (entity label or `⊥`).
+    pub outcome: String,
+    /// Timestamp in ticks (virtual where available, 0 otherwise).
+    pub ticks: u64,
+}
+
+impl PartialEq for FlightEntry {
+    fn eq(&self, other: &FlightEntry) -> bool {
+        (
+            self.key,
+            self.request,
+            self.query,
+            &self.name,
+            &self.outcome,
+            self.ticks,
+        ) == (
+            other.key,
+            other.request,
+            other.query,
+            &other.name,
+            &other.outcome,
+            other.ticks,
+        )
+    }
+}
+
+impl Eq for FlightEntry {}
+
+impl FlightEntry {
+    /// One-line JSON rendering (used by [`FlightLog::to_jsonl`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"key\": {}, \"request\": {}, \"query\": {}, \"worker\": {}, \
+             \"name\": {}, \"outcome\": {}, \"ticks\": {}}}",
+            self.key,
+            self.request,
+            self.query,
+            self.worker,
+            crate::json::json_string(&self.name),
+            crate::json::json_string(&self.outcome),
+            self.ticks
+        )
+    }
+}
+
+/// A bounded, lossy ring of sampled resolutions owned by one worker.
+///
+/// `observe` is the whole hot-path API: it consults the [`Sampler`]
+/// first, so an unsampled resolution costs one hash and no allocation.
+/// When the ring is full the oldest entry is dropped (and counted) —
+/// flight recorders favour recent history, the opposite bias from the
+/// [`crate::recorder`]'s keep-the-head truncation.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    worker: u32,
+    sampler: Sampler,
+    capacity: usize,
+    entries: VecDeque<FlightEntry>,
+    seen: u64,
+    sampled: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder for `worker` sampling 1-in-`every` with the default
+    /// ring capacity.
+    pub fn new(worker: u32, every: u64) -> FlightRecorder {
+        FlightRecorder::with_capacity(worker, every, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// A recorder with an explicit ring bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(worker: u32, every: u64, capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight ring must hold at least one entry");
+        FlightRecorder {
+            worker,
+            sampler: Sampler::one_in(every),
+            capacity,
+            entries: VecDeque::new(),
+            seen: 0,
+            sampled: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The worker index this recorder belongs to.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// The admission sampler.
+    pub fn sampler(&self) -> Sampler {
+        self.sampler
+    }
+
+    /// Observes one resolution. `outcome` is only rendered when the
+    /// record is admitted. Returns the entry key when sampled.
+    pub fn observe(
+        &mut self,
+        request: u64,
+        query: u32,
+        name: &str,
+        ticks: u64,
+        outcome: impl FnOnce() -> String,
+    ) -> Option<u64> {
+        self.seen += 1;
+        let key = self.sampler.admit(request, name)?;
+        self.sampled += 1;
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(FlightEntry {
+            key,
+            request,
+            query,
+            worker: self.worker,
+            name: name.to_owned(),
+            outcome: outcome(),
+            ticks,
+        });
+        Some(key)
+    }
+
+    /// Resolutions seen (sampled or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Resolutions admitted by the sampler.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Entries evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Wraps the recorder for sharing with a worker thread.
+    pub fn into_shared(self) -> SharedFlightRecorder {
+        Arc::new(Mutex::new(self))
+    }
+}
+
+/// A flight recorder shared between a worker thread (writing) and the
+/// service front end (merging live snapshots). Contention is negligible:
+/// the lock is taken once per *sampled* resolution.
+pub type SharedFlightRecorder = Arc<Mutex<FlightRecorder>>;
+
+/// The merged flight log of a worker pool.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlightLog {
+    /// All retained entries, sorted by `(request, query)` — an order
+    /// independent of which worker served what.
+    pub entries: Vec<FlightEntry>,
+    /// Total resolutions seen across workers.
+    pub seen: u64,
+    /// Total resolutions sampled across workers.
+    pub sampled: u64,
+    /// Total ring evictions across workers.
+    pub dropped: u64,
+}
+
+impl FlightLog {
+    /// Merges per-worker recorders. Callers pass them in worker-id order;
+    /// the merge then imposes `(request, query)` order on the entries, so
+    /// the log is byte-identical for every worker count as long as no
+    /// ring overflowed (overflow keeps each worker's *recent* window,
+    /// which necessarily depends on scheduling — `dropped` says when).
+    pub fn merge<'a>(recorders: impl IntoIterator<Item = &'a FlightRecorder>) -> FlightLog {
+        let mut log = FlightLog::default();
+        for rec in recorders {
+            log.seen += rec.seen;
+            log.sampled += rec.sampled;
+            log.dropped += rec.dropped;
+            log.entries.extend(rec.entries.iter().cloned());
+        }
+        log.entries.sort_by_key(|e| (e.request, e.query, e.key));
+        log
+    }
+
+    /// The stable entry ids, in log order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.key).collect()
+    }
+
+    /// Effective sampling rate (sampled / seen; 0 when nothing seen).
+    pub fn sample_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.sampled as f64 / self.seen as f64
+        }
+    }
+
+    /// Renders the log as JSONL, one entry per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_key_is_stable_and_name_sensitive() {
+        let k = sample_key(7, "/etc/passwd");
+        assert_eq!(k, sample_key(7, "/etc/passwd"));
+        assert_ne!(k, sample_key(8, "/etc/passwd"));
+        assert_ne!(k, sample_key(7, "/etc/shadow"));
+    }
+
+    #[test]
+    fn sampler_admits_deterministically() {
+        let s = Sampler::one_in(4);
+        let verdicts: Vec<bool> = (0..256)
+            .map(|i| s.admit(i, &format!("/n{i}")).is_some())
+            .collect();
+        let again: Vec<bool> = (0..256)
+            .map(|i| s.admit(i, &format!("/n{i}")).is_some())
+            .collect();
+        assert_eq!(verdicts, again);
+        let admitted = verdicts.iter().filter(|&&v| v).count();
+        // ~1 in 4 of 256; hash scatter keeps it loosely near 64.
+        assert!((20..120).contains(&admitted), "admitted {admitted}");
+        // 1-in-1 admits everything, and 0 is clamped to 1.
+        assert!(Sampler::one_in(1).admit(0, "x").is_some());
+        assert_eq!(Sampler::one_in(0).every(), 1);
+    }
+
+    #[test]
+    fn recorder_samples_and_bounds() {
+        let mut rec = FlightRecorder::with_capacity(3, 1, 4);
+        for i in 0..6u64 {
+            let key = rec.observe(i, 0, &format!("/f{i}"), 10 + i, || "obj".into());
+            assert_eq!(key, Some(sample_key(i, &format!("/f{i}"))));
+        }
+        assert_eq!(rec.seen(), 6);
+        assert_eq!(rec.sampled(), 6);
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(rec.len(), 4);
+        // Ring keeps the *recent* window.
+        let log = FlightLog::merge([&rec]);
+        assert_eq!(
+            log.entries.iter().map(|e| e.request).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(log.entries[0].worker, 3);
+        assert_eq!(log.entries[0].ticks, 12);
+    }
+
+    #[test]
+    fn unsampled_observations_do_not_render_outcomes() {
+        let mut rec = FlightRecorder::new(0, u64::MAX);
+        let mut rendered = false;
+        for i in 0..64u64 {
+            rec.observe(i, 0, "steady-name", 0, || {
+                rendered = true;
+                "x".into()
+            });
+        }
+        // One fixed (request-invariant would differ) — with period u64::MAX
+        // essentially nothing is admitted.
+        assert!(rec.sampled() <= 1);
+        assert_eq!(rendered, rec.sampled() == 1);
+        assert_eq!(rec.seen(), 64);
+    }
+
+    #[test]
+    fn merge_is_worker_count_invariant() {
+        // The same 64-query workload, split across 1 vs 3 workers on a
+        // deliberately adversarial (round-robin) schedule.
+        let queries: Vec<(u64, u32, String)> = (0..16)
+            .flat_map(|req| (0..4).map(move |q| (req, q, format!("/d{req}/f{q}"))))
+            .collect();
+        let mut solo = FlightRecorder::new(0, 3);
+        for (req, q, name) in &queries {
+            solo.observe(*req, *q, name, 0, || "obj".into());
+        }
+        let mut pool: Vec<FlightRecorder> = (0..3).map(|w| FlightRecorder::new(w, 3)).collect();
+        for (i, (req, q, name)) in queries.iter().enumerate() {
+            pool[i % 3].observe(*req, *q, name, 0, || "obj".into());
+        }
+        let a = FlightLog::merge([&solo]);
+        let b = FlightLog::merge(pool.iter());
+        assert!(!a.entries.is_empty(), "sampling must admit something");
+        assert_eq!(a.keys(), b.keys());
+        assert_eq!(a.seen, b.seen);
+        assert_eq!(a.sampled, b.sampled);
+        // Entry identity (minus the worker column) matches too.
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(
+                (x.key, x.request, x.query, &x.name),
+                (y.key, y.request, y.query, &y.name)
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_is_valid() {
+        let mut rec = FlightRecorder::new(1, 1);
+        rec.observe(9, 2, "/a\"b", 5, || "⊥".into());
+        let log = FlightLog::merge([&rec]);
+        for line in log.to_jsonl().lines() {
+            crate::json::check(line).expect("valid JSON line");
+        }
+        assert!((log.sample_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_recorder_round_trips() {
+        let shared = FlightRecorder::new(0, 1).into_shared();
+        shared.lock().observe(1, 0, "/x", 0, || "obj".into());
+        assert_eq!(shared.lock().len(), 1);
+    }
+}

@@ -18,6 +18,12 @@
 //!   unless their `telemetry` cargo feature is on.
 //! * [`metrics`] — sharded lock-free counters and fixed-bucket power-of-two
 //!   histograms behind a global registry, with snapshot/diff semantics.
+//! * [`flight`] — per-worker flight recorders: bounded lossy rings of
+//!   sampled resolutions with deterministic 1-in-N admission keyed on a
+//!   hash of `(request id, name)`, merged worker-count-invariantly.
+//! * [`window`] — rolling time-windowed histograms (live p50/p99/p999
+//!   over a bounded horizon) and the Prometheus-style text
+//!   [`window::render_exposition`] renderer.
 //! * [`chrome`] / [`jsonl`] — exporters: Chrome `trace_event` JSON
 //!   (loadable in Perfetto / `about:tracing`) and a line-oriented JSONL
 //!   event log.
@@ -33,11 +39,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
+pub mod window;
 
+pub use flight::{FlightEntry, FlightLog, FlightRecorder, Sampler, SharedFlightRecorder};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use trace::{BottomCause, Event, Hop, MemoEvent, Outcome, ResolutionTrace, TraceData};
+pub use window::{render_exposition, WindowedHistogram};

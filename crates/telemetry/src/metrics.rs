@@ -120,7 +120,8 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// A point-in-time copy as a [`HistogramSnapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self
             .buckets
             .iter()
@@ -169,6 +170,25 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The inclusive bucket upper bound at or below which at least a
+    /// `q` fraction (`0.0..=1.0`) of observations fall — the power-of-two
+    /// analogue of a quantile. Returns 0 for an empty snapshot; `q >= 1`
+    /// returns the last non-empty bucket's bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(ub, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return ub;
+            }
+        }
+        self.buckets.last().map(|&(ub, _)| ub).unwrap_or(0)
     }
 
     fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {

@@ -10,10 +10,11 @@
 //! The recorder is deliberately thread-local: the simulator and the
 //! resolution engines are single-threaded per world, and a thread-local
 //! needs no synchronization on the hot path. Work sharded across threads
-//! (parallel audits, the parallel experiment runner) is simply not
-//! captured by the installing thread's recorder — the `--trace` flags
-//! therefore force serial execution, and parallel runs record nothing
-//! rather than racing.
+//! (parallel audits, the parallel experiment runner) installs a private
+//! recorder per worker and the coordinating thread [`absorb`]s the
+//! captured [`TraceData`] in worker-index order, which renumbers trace
+//! ids and sequence numbers into the coordinator's streams — a
+//! deterministic merge, independent of how the workers were scheduled.
 //!
 //! # Protocol
 //!
@@ -120,6 +121,65 @@ pub fn clock() -> u64 {
 /// one per experiment.
 pub fn set_track(track: u64) {
     let _ = with(|rec| rec.track = track);
+}
+
+/// The recorder's current track (0 when inactive). Parallel sweeps read
+/// this before spawning workers so per-worker recorders inherit the
+/// parent's track and their absorbed records land on the same timeline.
+pub fn track() -> u64 {
+    with(|rec| rec.track).unwrap_or(0)
+}
+
+/// Merges trace data captured by another recorder (typically a worker
+/// thread's, via [`install`] + [`take`] on that thread) into this
+/// thread's recorder, as if its records had been captured here.
+///
+/// Trace ids and sequence numbers are reassigned from this recorder's
+/// streams, walking the absorbed resolutions and events merged back into
+/// their original capture order (by their source seq) — so callers
+/// absorbing several workers in a fixed order (worker-index order) get
+/// deterministic ids regardless of how the workers were scheduled, and a
+/// worker whose chunk is a contiguous segment of the serial order
+/// reproduces the serial numbering exactly. Timestamps and tracks are
+/// kept as recorded; track names merge. Capacity bounds apply and
+/// overflow accumulates into `dropped`.
+pub fn absorb(data: TraceData) {
+    enum Item {
+        Trace(ResolutionTrace),
+        Event(Event),
+    }
+
+    let _ = with(|rec| {
+        rec.data.dropped += data.dropped;
+        for (track, name) in data.track_names {
+            rec.data.track_names.entry(track).or_insert(name);
+        }
+        let mut items: Vec<(u64, Item)> = data
+            .resolutions
+            .into_iter()
+            .map(|t| (t.seq, Item::Trace(t)))
+            .chain(data.events.into_iter().map(|e| (e.seq, Item::Event(e))))
+            .collect();
+        items.sort_by_key(|(seq, _)| *seq);
+        for (_, item) in items {
+            match item {
+                Item::Trace(mut trace) => {
+                    trace.id = rec.next_trace_id;
+                    rec.next_trace_id += 1;
+                    trace.seq = rec.next_seq();
+                    if rec.data.resolutions.len() < rec.capacity {
+                        rec.data.resolutions.push(trace);
+                    } else {
+                        rec.data.dropped += 1;
+                    }
+                }
+                Item::Event(mut ev) => {
+                    ev.seq = rec.next_seq();
+                    push_event(rec, ev);
+                }
+            }
+        }
+    });
 }
 
 /// Names a track (shown as the process name in Perfetto) and makes it
@@ -390,6 +450,84 @@ mod tests {
             assert_eq!(data.resolutions.len(), 2);
             assert_eq!(data.events.len(), 2);
             assert_eq!(data.dropped, 4);
+        });
+    }
+
+    #[test]
+    fn absorb_renumbers_worker_traces_in_order() {
+        on_fresh_thread(|| {
+            install();
+            set_track_name(1, "parent");
+            start_resolution(0, "local");
+            finish_resolution(Outcome::Resolved("obj:1".into()));
+            // Two "workers" capture on their own threads, inheriting the
+            // parent's track, and are absorbed in worker-index order.
+            let parent_track = track();
+            let worker = |n: usize| {
+                std::thread::spawn(move || {
+                    install();
+                    set_track(parent_track);
+                    set_clock(100 + n as u64);
+                    start_resolution(n as u64, &format!("w{n}"));
+                    finish_resolution(Outcome::Resolved("obj:7".into()));
+                    instant("audit", format!("worker{n}"), Vec::new());
+                    take().expect("worker recorder")
+                })
+                .join()
+                .expect("worker thread")
+            };
+            let (d0, d1) = (worker(0), worker(1));
+            absorb(d0);
+            absorb(d1);
+            let data = take().unwrap();
+            assert_eq!(data.resolutions.len(), 3);
+            // Ids renumbered into the parent stream, in absorb order.
+            assert_eq!(
+                data.resolutions.iter().map(|t| t.id).collect::<Vec<_>>(),
+                vec![1, 2, 3]
+            );
+            assert_eq!(data.resolutions[1].name, "w0");
+            assert_eq!(data.resolutions[2].name, "w1");
+            // Worker timestamps and track survive; seqs are strictly
+            // increasing across the merged stream.
+            assert_eq!(data.resolutions[2].ts, 101);
+            assert_eq!(data.resolutions[2].track, 1);
+            let mut seqs: Vec<u64> = data
+                .resolutions
+                .iter()
+                .map(|t| t.seq)
+                .chain(data.events.iter().map(|e| e.seq))
+                .collect();
+            let sorted = {
+                let mut s = seqs.clone();
+                s.sort_unstable();
+                s
+            };
+            seqs.sort_unstable();
+            assert_eq!(seqs, sorted);
+            assert_eq!(data.events.len(), 2);
+        });
+    }
+
+    #[test]
+    fn absorb_respects_capacity() {
+        on_fresh_thread(|| {
+            install_with_capacity(1);
+            start_resolution(0, "kept");
+            finish_resolution(Outcome::Resolved("obj:1".into()));
+            let foreign = std::thread::spawn(|| {
+                install();
+                start_resolution(0, "overflow");
+                finish_resolution(Outcome::Resolved("obj:2".into()));
+                take().unwrap()
+            })
+            .join()
+            .unwrap();
+            absorb(foreign);
+            let data = take().unwrap();
+            assert_eq!(data.resolutions.len(), 1);
+            assert_eq!(data.resolutions[0].name, "kept");
+            assert_eq!(data.dropped, 1);
         });
     }
 

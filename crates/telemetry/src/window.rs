@@ -1,0 +1,433 @@
+//! Rolling time-windowed histograms and a Prometheus-style text
+//! exposition renderer.
+//!
+//! The registry histograms in [`crate::metrics`] accumulate forever —
+//! right for end-of-run reports, useless for *watching* a live service,
+//! where "p99 resolve latency" means "over the last few seconds", not
+//! "since boot". A [`WindowedHistogram`] keeps a bounded ring of
+//! fixed-width time windows on whatever tick axis the caller supplies
+//! (VirtualTime ticks in the simulator, wall nanoseconds in the
+//! concurrent service) and answers quantile queries over the retained
+//! horizon, so stale history ages out by rotation rather than by reset.
+//!
+//! Windows reuse the power-of-two bucket layout of the registry
+//! histograms: recording is a bucket index plus two adds with no
+//! allocation on the steady path, which is what keeps the always-on
+//! windowed-metrics overhead inside the documented ≤2% budget
+//! (docs/observability.md).
+//!
+//! [`render_exposition`] renders any [`MetricsSnapshot`] in the
+//! Prometheus text format, so both the cumulative registry and windowed
+//! snapshots (via [`WindowedHistogram::snapshot`]) can be scraped or
+//! diffed as text.
+
+use std::collections::VecDeque;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Default number of windows retained by a [`WindowedHistogram`].
+pub const DEFAULT_WINDOWS: usize = 8;
+
+/// One time window of power-of-two buckets.
+#[derive(Clone, Debug)]
+struct Window {
+    /// First tick covered (inclusive); covers `[start, start + width)`.
+    start: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Window {
+    fn new(start: u64) -> Window {
+        Window {
+            start,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+}
+
+/// Bucket index for a value (bucket 0 holds zeros, bucket `i > 0` holds
+/// `[2^(i-1), 2^i)`) — the same layout as [`crate::metrics::Histogram`].
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`).
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A rolling ring of fixed-width time windows of power-of-two buckets.
+///
+/// Not thread-safe by itself (recording takes `&mut self`): per-worker
+/// instances or an outer lock are the intended sharing patterns, the
+/// same trade as [`crate::flight::FlightRecorder`].
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    width: u64,
+    max_windows: usize,
+    windows: VecDeque<Window>,
+    /// Observations whose window had already rotated out (late arrivals).
+    late: u64,
+    total_count: u64,
+}
+
+impl WindowedHistogram {
+    /// A histogram of `max_windows` windows, each `width` ticks wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `max_windows` is zero.
+    pub fn new(width: u64, max_windows: usize) -> WindowedHistogram {
+        assert!(width > 0, "window width must be positive");
+        assert!(max_windows > 0, "must retain at least one window");
+        WindowedHistogram {
+            width,
+            max_windows,
+            windows: VecDeque::new(),
+            late: 0,
+            total_count: 0,
+        }
+    }
+
+    /// Window width in ticks.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Start tick of the window covering `now`.
+    fn window_start(&self, now: u64) -> u64 {
+        now - now % self.width
+    }
+
+    /// Records `value` at time `now` (ticks). Values land in the window
+    /// covering `now`; a `now` older than the retained horizon is
+    /// counted in `late()` and dropped rather than smearing history.
+    pub fn record(&mut self, now: u64, value: u64) {
+        let start = self.window_start(now);
+        // Fast path: the current (most recent) window.
+        if let Some(last) = self.windows.back_mut() {
+            if last.start == start {
+                last.record(value);
+                self.total_count += 1;
+                return;
+            }
+            if start < last.start {
+                // Late arrival: find its window; drop if rotated out.
+                if let Some(w) = self.windows.iter_mut().find(|w| w.start == start) {
+                    w.record(value);
+                    self.total_count += 1;
+                } else {
+                    self.late += 1;
+                }
+                return;
+            }
+        }
+        // Time advanced past the current window (or first record): open
+        // the covering window. Empty gap windows are not materialised —
+        // absence of a window *is* the empty window.
+        self.windows.push_back(Window::new(start));
+        if self.windows.len() > self.max_windows {
+            self.windows.pop_front();
+        }
+        self.windows.back_mut().expect("just pushed").record(value);
+        self.total_count += 1;
+    }
+
+    /// Rotates out every window older than the horizon ending at `now`
+    /// without recording anything — call on scrape so an idle stream's
+    /// stale history ages out too.
+    pub fn advance(&mut self, now: u64) {
+        let start = self.window_start(now);
+        let horizon = start.saturating_sub(self.width.saturating_mul(self.max_windows as u64 - 1));
+        while matches!(self.windows.front(), Some(w) if w.start < horizon) {
+            self.windows.pop_front();
+        }
+    }
+
+    /// Observations currently retained across all windows.
+    pub fn retained(&self) -> u64 {
+        self.windows.iter().map(|w| w.count).sum()
+    }
+
+    /// Observations ever recorded (including since-rotated ones).
+    pub fn total(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Observations dropped because their window had already rotated out.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// Number of non-empty windows currently retained.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// A merged snapshot over the retained horizon, in the same shape as
+    /// the cumulative registry histograms (so `quantile`, `mean`, and
+    /// [`render_exposition`] all apply).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut count = 0;
+        let mut sum = 0u64;
+        for w in &self.windows {
+            for (i, n) in w.buckets.iter().enumerate() {
+                buckets[i] += n;
+            }
+            count += w.count;
+            sum = sum.saturating_add(w.sum);
+        }
+        HistogramSnapshot {
+            count,
+            sum,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((upper_bound(i), n)))
+                .collect(),
+        }
+    }
+
+    /// Per-window snapshots as `(window start tick, snapshot)`, oldest
+    /// first.
+    pub fn window_snapshots(&self) -> Vec<(u64, HistogramSnapshot)> {
+        self.windows
+            .iter()
+            .map(|w| {
+                (
+                    w.start,
+                    HistogramSnapshot {
+                        count: w.count,
+                        sum: w.sum,
+                        buckets: w
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, &n)| (n > 0).then_some((upper_bound(i), n)))
+                            .collect(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Median over the retained horizon (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.snapshot().quantile(0.50)
+    }
+
+    /// 99th percentile over the retained horizon (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.snapshot().quantile(0.99)
+    }
+
+    /// 99.9th percentile over the retained horizon (bucket upper bound).
+    pub fn p999(&self) -> u64 {
+        self.snapshot().quantile(0.999)
+    }
+}
+
+/// Sanitises a metric name for the Prometheus text format: every byte
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a `_`
+/// prefix (`state.shard.writes` → `state_shard_writes`).
+pub fn exposition_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
+/// format: counters as `# TYPE … counter` singles, histograms as
+/// cumulative `…_bucket{le="…"}` series with `+Inf`, `_sum`, `_count`.
+/// Output is deterministic: names are emitted in `BTreeMap` order.
+pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = exposition_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let n = exposition_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0;
+        for &(ub, count) in &h.buckets {
+            cum += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{ub}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_aligned_windows() {
+        let mut w = WindowedHistogram::new(100, 4);
+        w.record(5, 10);
+        w.record(99, 20);
+        w.record(100, 30);
+        assert_eq!(w.window_count(), 2);
+        let per = w.window_snapshots();
+        assert_eq!(per[0].0, 0);
+        assert_eq!(per[0].1.count, 2);
+        assert_eq!(per[1].0, 100);
+        assert_eq!(per[1].1.count, 1);
+        assert_eq!(w.snapshot().count, 3);
+        assert_eq!(w.snapshot().sum, 60);
+    }
+
+    #[test]
+    fn rotation_evicts_oldest_window() {
+        let mut w = WindowedHistogram::new(10, 2);
+        w.record(0, 1); // window 0
+        w.record(10, 2); // window 10
+        w.record(20, 3); // window 20 → evicts window 0
+        assert_eq!(w.window_count(), 2);
+        assert_eq!(w.retained(), 2);
+        assert_eq!(w.total(), 3);
+        assert_eq!(w.window_snapshots()[0].0, 10);
+        // A late arrival for the evicted window is dropped, not smeared.
+        w.record(3, 99);
+        assert_eq!(w.late(), 1);
+        assert_eq!(w.retained(), 2);
+        // A late arrival for a *retained* window lands correctly.
+        w.record(12, 4);
+        assert_eq!(w.window_snapshots()[0].1.count, 2);
+    }
+
+    #[test]
+    fn advance_ages_out_idle_history() {
+        let mut w = WindowedHistogram::new(10, 2);
+        w.record(0, 1);
+        w.record(10, 2);
+        // No traffic for a long time; a scrape at t=200 must not report
+        // the stale windows.
+        w.advance(200);
+        assert_eq!(w.window_count(), 0);
+        assert_eq!(w.snapshot(), HistogramSnapshot::default());
+        // advance inside the horizon keeps the live window.
+        w.record(200, 5);
+        w.advance(210);
+        assert_eq!(w.retained(), 1);
+    }
+
+    #[test]
+    fn empty_window_edges() {
+        let w = WindowedHistogram::new(10, 2);
+        // Never-recorded: empty snapshot, zero quantiles.
+        let s = w.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(w.p50(), 0);
+        assert_eq!(w.p999(), 0);
+        assert!(w.window_snapshots().is_empty());
+        // Gap windows are never materialised: recording at t=0 then
+        // t=1000 yields two windows, not a hundred.
+        let mut w = WindowedHistogram::new(10, 8);
+        w.record(0, 1);
+        w.record(1000, 1);
+        assert_eq!(w.window_count(), 2);
+    }
+
+    #[test]
+    fn quantiles_over_horizon() {
+        let mut w = WindowedHistogram::new(100, 8);
+        // 90 fast (≤ 7 ticks), 9 medium, 1 slow — spread over 3 windows.
+        for i in 0..90u64 {
+            w.record(i, 5);
+        }
+        for i in 0..9u64 {
+            w.record(100 + i, 100);
+        }
+        w.record(250, 4000);
+        assert_eq!(w.p50(), 7); // bucket covering 5
+        assert_eq!(w.p99(), 127); // bucket covering 100
+        assert_eq!(w.p999(), 4095); // bucket covering 4000
+                                    // Quantile edge values.
+        let s = w.snapshot();
+        assert_eq!(s.quantile(0.0), 7);
+        assert_eq!(s.quantile(1.0), 4095);
+        assert_eq!(s.quantile(2.0), 4095);
+    }
+
+    #[test]
+    fn exposition_name_sanitises() {
+        assert_eq!(exposition_name("resolve.latency"), "resolve_latency");
+        assert_eq!(exposition_name("slo.false-bottom"), "slo_false_bottom");
+        assert_eq!(exposition_name("9lives"), "_9lives");
+        assert_eq!(exposition_name("a:b_c1"), "a:b_c1");
+    }
+
+    #[test]
+    fn exposition_renders_counters_and_histograms() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("protocol.messages").add(7);
+        let h = reg.histogram("resolve.latency");
+        for v in [0, 1, 2, 3, 10] {
+            h.record(v);
+        }
+        let text = render_exposition(&reg.snapshot());
+        let expected = "\
+# TYPE protocol_messages counter
+protocol_messages 7
+# TYPE resolve_latency histogram
+resolve_latency_bucket{le=\"0\"} 1
+resolve_latency_bucket{le=\"1\"} 2
+resolve_latency_bucket{le=\"3\"} 4
+resolve_latency_bucket{le=\"15\"} 5
+resolve_latency_bucket{le=\"+Inf\"} 5
+resolve_latency_sum 16
+resolve_latency_count 5
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_of_windowed_snapshot() {
+        let mut w = WindowedHistogram::new(10, 2);
+        w.record(0, 3);
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("queue.wait".into(), w.snapshot());
+        let text = render_exposition(&snap);
+        assert!(text.contains("queue_wait_bucket{le=\"3\"} 1"));
+        assert!(text.contains("queue_wait_count 1"));
+    }
+}
