@@ -13,6 +13,12 @@
 //! counters reset, so the steady-state hit rate is visible) and reports
 //! ops/sec, the speedup ratio, and the memo hit rate.
 //!
+//! A separate `context_lookup` leg times single-component lookups against
+//! a small context (≤ [`INLINE_CAP`] bindings) held in its inline sorted
+//! array versus the same function force-spilled into the hash-indexed
+//! tier, so the payoff of the two-tier representation is tracked
+//! directly.
+//!
 //! `--trace PATH` (requires the `telemetry` feature) runs a short traced
 //! pass *after* the timing loops — the recorder is never installed while
 //! the clock is running — and writes the spans as a Chrome `trace_event`
@@ -22,18 +28,69 @@
 use std::time::Instant;
 
 use naming_bench::scenarios::deep_chain;
+use naming_core::context::{Context, INLINE_CAP};
+use naming_core::entity::{Entity, ObjectId};
 use naming_core::memo::ResolutionMemo;
+use naming_core::name::Name;
 use naming_core::report::json_string;
 use naming_core::resolve::Resolver;
 
 const DEPTHS: [usize; 3] = [4, 16, 64];
 const DEFAULT_ITERS: u32 = 200_000;
+/// Binding count for the small-context lookup leg — a typical directory
+/// fan-out, comfortably inside the inline tier.
+const SMALL_CTX_BINDINGS: usize = 6;
 
 struct DepthResult {
     depth: usize,
     naive_ops_per_sec: f64,
     memoized_ops_per_sec: f64,
     hit_rate: f64,
+}
+
+struct CtxLookupResult {
+    bindings: usize,
+    inline_ops_per_sec: f64,
+    spilled_ops_per_sec: f64,
+}
+
+/// Times `lookup` against the same small function in both tiers: once on
+/// a naturally-inline context and once on a `force_spill`ed twin. Each
+/// timed op is one lookup; probes rotate through every bound name so the
+/// inline scan is exercised at all positions, not just the best case.
+fn measure_context_lookup(bindings: usize, iters: u32) -> CtxLookupResult {
+    assert!(
+        bindings <= INLINE_CAP,
+        "leg must stay inside the inline tier"
+    );
+    let names: Vec<Name> = (0..bindings)
+        .map(|i| Name::new(&format!("ctx-leg-{i:02}")))
+        .collect();
+    let mut inline = Context::new();
+    for (i, &n) in names.iter().enumerate() {
+        inline.bind(n, Entity::Object(ObjectId::from_index(i as u32)));
+    }
+    let mut spilled = inline.clone();
+    spilled.force_spill();
+    assert!(!inline.is_spilled() && spilled.is_spilled());
+
+    let time = |ctx: &Context| {
+        let t = Instant::now();
+        for i in 0..iters {
+            let n = names[i as usize % bindings];
+            std::hint::black_box(ctx.lookup(std::hint::black_box(n)));
+        }
+        f64::from(iters) / t.elapsed().as_secs_f64()
+    };
+    // Spilled first so any warm-up penalty lands on the tier we expect to
+    // win anyway.
+    let spilled_ops = time(&spilled);
+    let inline_ops = time(&inline);
+    CtxLookupResult {
+        bindings,
+        inline_ops_per_sec: inline_ops,
+        spilled_ops_per_sec: spilled_ops,
+    }
 }
 
 fn measure(depth: usize, iters: u32) -> DepthResult {
@@ -68,7 +125,7 @@ fn measure(depth: usize, iters: u32) -> DepthResult {
     }
 }
 
-fn render(iters: u32, results: &[DepthResult]) -> String {
+fn render(iters: u32, results: &[DepthResult], ctx: &CtxLookupResult) -> String {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
@@ -84,11 +141,20 @@ fn render(iters: u32, results: &[DepthResult]) -> String {
             )
         })
         .collect();
+    let ctx_row = format!(
+        "  \"context_lookup\": {{\"bindings\": {}, \"inline_ops_per_sec\": {:.0}, \
+         \"spilled_ops_per_sec\": {:.0}, \"inline_speedup\": {:.2}}}",
+        ctx.bindings,
+        ctx.inline_ops_per_sec,
+        ctx.spilled_ops_per_sec,
+        ctx.inline_ops_per_sec / ctx.spilled_ops_per_sec
+    );
     format!(
-        "{{\n  \"bench\": {},\n  \"iters\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": {},\n  \"iters\": {},\n  \"results\": [\n{}\n  ],\n{}\n}}\n",
         json_string("resolution"),
         iters,
-        rows.join(",\n")
+        rows.join(",\n"),
+        ctx_row
     )
 }
 
@@ -194,7 +260,8 @@ fn main() {
     }
 
     let results: Vec<DepthResult> = DEPTHS.iter().map(|&d| measure(d, iters)).collect();
-    let json = render(iters, &results);
+    let ctx = measure_context_lookup(SMALL_CTX_BINDINGS, iters);
+    let json = render(iters, &results, &ctx);
     if to_stdout {
         print!("{json}");
     } else {
@@ -212,6 +279,13 @@ fn main() {
                 100.0 * r.hit_rate
             );
         }
+        eprintln!(
+            "context lookup ({} bindings): inline {:>12.0} ops/s, spilled {:>12.0} ops/s ({:.2}x)",
+            ctx.bindings,
+            ctx.inline_ops_per_sec,
+            ctx.spilled_ops_per_sec,
+            ctx.inline_ops_per_sec / ctx.spilled_ops_per_sec
+        );
         eprintln!("wrote {out}");
     }
 

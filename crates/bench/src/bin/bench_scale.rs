@@ -29,7 +29,13 @@
 //!   depends on that shard's size, not the total context count; the run
 //!   asserts every other shard's `Arc` was shared, and reports the count.
 //! * **peak RSS proxy** — `VmRSS`/`VmHWM` deltas from `/proc/self/status`
-//!   around the build (null where unsupported).
+//!   around the build (null where unsupported). The heap is trimmed
+//!   (`malloc_trim`) before each tier's pre-build snapshot so the delta is
+//!   not paid out of pages a previous tier freed.
+//! * **allocs/op** — heap allocations per serial resolve, from the counting
+//!   global allocator this binary installs on `telemetry` builds (null
+//!   without the feature). Inline contexts make the steady-state quotient
+//!   ~0: the walk itself allocates nothing.
 //!
 //! `--json` prints a small fixed op stream's resolved *labels* (ids differ
 //! between shard layouts by construction, labels do not), so CI can `cmp`
@@ -47,6 +53,44 @@ use naming_resolver::concurrent::ConcurrentService;
 use naming_resolver::wire::{BatchRequest, NameTrie};
 
 use std::time::Instant;
+
+/// Count every heap allocation this binary makes (`telemetry` builds
+/// only): the arena claim — resolves over inline contexts allocate
+/// nothing — is reported as a measured allocs/op, not inferred from RSS.
+#[cfg(feature = "telemetry")]
+#[global_allocator]
+static ALLOC: naming_bench::alloc::CountingAlloc = naming_bench::alloc::CountingAlloc;
+
+/// Allocations since process start; 0 forever without `telemetry`.
+fn allocation_count() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        naming_bench::alloc::allocation_count()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0
+    }
+}
+
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+extern "C" {
+    fn malloc_trim(pad: usize) -> i32;
+}
+
+/// Returns freed heap pages to the OS (glibc only; a no-op elsewhere).
+///
+/// `build_rss_kb` is a VmRSS delta around the build. Without a trim, the
+/// allocator satisfies a tier's build from pages the *previous* tier's
+/// teardown freed but kept — the delta then understates the footprint
+/// (the old 1e5 tier reported less than 1e4). Trimming before the
+/// pre-build snapshot makes each tier's delta start from a drained heap.
+fn trim_heap() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    unsafe {
+        let _ = malloc_trim(0);
+    }
+}
 
 /// One scale tier: `zones * (dirs + 1)` context objects.
 struct Tier {
@@ -197,6 +241,7 @@ struct TierResult {
     peak_rss_kb: Option<u64>,
     serial_ops_per_sec: f64,
     serial_ns_per_op: f64,
+    resolve_allocs_per_op: Option<f64>,
     pool_ops_per_sec: Option<f64>,
     publish_mean_us: Option<f64>,
     publish_max_us: Option<f64>,
@@ -212,6 +257,10 @@ fn run_tier(
     shards: usize,
 ) -> TierResult {
     let shards = shards.min(tier.zones).min(MAX_SHARDS);
+    // Drain retained-but-free heap pages *before* the pre-build snapshot:
+    // the build delta must not be paid out of the previous tier's freed
+    // memory (see `trim_heap`). The subtraction clamps at zero either way.
+    trim_heap();
     let before = rss_kb();
     let t = Instant::now();
     let grid = build_grid(tier.zones, tier.dirs, shards);
@@ -228,6 +277,7 @@ fn run_tier(
     let names: Vec<CompoundName> = (0..ops).map(|_| grid.draw_name(&mut rng)).collect();
 
     let r = Resolver::new();
+    let allocs_before = allocation_count();
     let t = Instant::now();
     let mut defined = 0usize;
     for n in &names {
@@ -236,12 +286,18 @@ fn run_tier(
         }
     }
     let secs = t.elapsed().as_secs_f64();
+    let resolve_allocs = allocation_count() - allocs_before;
     assert!(
         defined > 0 && defined < ops,
         "workload must mix hits and misses"
     );
     let serial_ops_per_sec = ops as f64 / secs;
     let serial_ns_per_op = secs * 1e9 / ops as f64;
+    let resolve_allocs_per_op = if cfg!(feature = "telemetry") {
+        Some(resolve_allocs as f64 / ops as f64)
+    } else {
+        None
+    };
 
     let (pool_ops_per_sec, publish_mean_us, publish_max_us, publish_shards_shared_min, noops) =
         pool_phase(&grid, &names, publishes, workers);
@@ -257,6 +313,7 @@ fn run_tier(
         peak_rss_kb,
         serial_ops_per_sec,
         serial_ns_per_op,
+        resolve_allocs_per_op,
         pool_ops_per_sec,
         publish_mean_us,
         publish_max_us,
@@ -383,7 +440,8 @@ fn render(results: &[TierResult], ops: usize, publishes: usize, workers: usize) 
                 "    {{\"tier\": {}, \"contexts\": {}, \"zones\": {}, \"dirs_per_zone\": {}, \
                  \"shards\": {}, \"build_ms\": {:.1}, \"build_rss_kb\": {}, \
                  \"peak_rss_kb\": {}, \"serial_ops_per_sec\": {:.0}, \
-                 \"serial_ns_per_op\": {:.1}, \"pool_ops_per_sec\": {}, \
+                 \"serial_ns_per_op\": {:.1}, \"resolve_allocs_per_op\": {}, \
+                 \"pool_ops_per_sec\": {}, \
                  \"publish_mean_us\": {}, \"publish_max_us\": {}, \
                  \"publish_shards_shared_min\": {}, \"noop_publishes\": {}}}",
                 json_string(r.label),
@@ -396,6 +454,7 @@ fn render(results: &[TierResult], ops: usize, publishes: usize, workers: usize) 
                 opt(r.peak_rss_kb),
                 r.serial_ops_per_sec,
                 r.serial_ns_per_op,
+                opt_f(r.resolve_allocs_per_op, 4),
                 opt_f(r.pool_ops_per_sec, 0),
                 opt_f(r.publish_mean_us, 2),
                 opt_f(r.publish_max_us, 2),

@@ -16,6 +16,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "telemetry")]
+pub mod alloc;
 pub mod experiments;
 pub mod scenarios;
 #[cfg(feature = "telemetry")]

@@ -11,17 +11,154 @@
 //! every context it traversed, so a binding update invalidates exactly the
 //! entries whose resolution paths crossed the mutated context.
 //!
-//! Lookups — the hot path of every resolution — go through a hash index;
-//! a separately maintained sorted view keeps iteration lexicographic and
-//! therefore deterministic across runs regardless of interning order.
+//! ## Two-tier representation
+//!
+//! The overwhelming majority of directories in a large namespace are tiny
+//! (the million-context scale grid's leaves hold one binding each), so a
+//! context stores up to [`INLINE_CAP`] bindings *inline* — three parallel
+//! fixed arrays (names, entity kinds, entity ids), kept in lexicographic
+//! name order, scanned by integer compares with no heap allocation at all.
+//! A shard's context objects therefore live contiguously inside the
+//! shard's object arena (see [`crate::state`]): resolving through a small
+//! directory touches one record, never a separately allocated table.
+//!
+//! The ninth distinct binding *spills* the context into a boxed hash index
+//! (O(1) lookups) plus a sorted view (deterministic iteration). Shrinking
+//! back to [`DESPILL_AT`] bindings returns it to the inline form — the
+//! hysteresis gap keeps a context oscillating around the threshold from
+//! re-allocating on every mutation. Both representations denote the same
+//! function: lookups, iteration order, equality and the version counter
+//! are representation-independent, which the `context_repr` proptest suite
+//! pins across the threshold in both directions.
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
-use crate::entity::Entity;
+use crate::entity::{ActivityId, Entity, ObjectId};
 use crate::hash::FxHashMap;
 use crate::name::Name;
+
+/// Maximum number of bindings a context stores inline (no heap
+/// allocation). The ninth distinct binding spills to the hash index.
+pub const INLINE_CAP: usize = 8;
+
+/// A spilled context returns to the inline representation when a removal
+/// leaves it with this many bindings. Strictly below [`INLINE_CAP`] so a
+/// context hovering at the threshold does not re-allocate per mutation.
+pub const DESPILL_AT: usize = INLINE_CAP / 2;
+
+/// Entity-kind tags for the inline columns ([`Entity::Undefined`] is never
+/// stored: binding to ⊥ is an unbind).
+const KIND_ACTIVITY: u8 = 0;
+const KIND_OBJECT: u8 = 1;
+
+#[inline]
+fn pack(e: Entity) -> (u8, u32) {
+    match e {
+        Entity::Activity(a) => (KIND_ACTIVITY, a.index() as u32),
+        Entity::Object(o) => (KIND_OBJECT, o.index() as u32),
+        Entity::Undefined => unreachable!("⊥ bindings are removed, never stored"),
+    }
+}
+
+#[inline]
+fn unpack(kind: u8, id: u32) -> Entity {
+    if kind == KIND_ACTIVITY {
+        Entity::Activity(ActivityId::from_index(id))
+    } else {
+        Entity::Object(ObjectId::from_index(id))
+    }
+}
+
+/// The inline tier: parallel columns sorted by name, no heap storage.
+///
+/// Struct-of-arrays so a lookup scans the 32-byte name column alone —
+/// half a cache line of `u32` compares — and only touches the kind/id
+/// columns on a hit.
+#[derive(Clone)]
+struct InlineCtx {
+    len: u8,
+    kinds: [u8; INLINE_CAP],
+    names: [Name; INLINE_CAP],
+    ids: [u32; INLINE_CAP],
+}
+
+impl InlineCtx {
+    fn empty() -> InlineCtx {
+        InlineCtx {
+            len: 0,
+            kinds: [0; INLINE_CAP],
+            names: [Name::root(); INLINE_CAP],
+            ids: [0; INLINE_CAP],
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Index of `name`, by symbol equality (interned names compare as
+    /// integers; order is irrelevant for membership).
+    #[inline]
+    fn position(&self, name: Name) -> Option<usize> {
+        self.names[..self.len()].iter().position(|&n| n == name)
+    }
+
+    #[inline]
+    fn entity_at(&self, i: usize) -> Entity {
+        unpack(self.kinds[i], self.ids[i])
+    }
+
+    /// Lexicographic insertion point for a name known to be absent.
+    fn insertion_point(&self, name: Name) -> usize {
+        self.names[..self.len()]
+            .iter()
+            .position(|n| *n > name)
+            .unwrap_or(self.len())
+    }
+
+    fn insert_at(&mut self, at: usize, name: Name, entity: Entity) {
+        let len = self.len();
+        debug_assert!(len < INLINE_CAP && at <= len);
+        self.names.copy_within(at..len, at + 1);
+        self.kinds.copy_within(at..len, at + 1);
+        self.ids.copy_within(at..len, at + 1);
+        let (kind, id) = pack(entity);
+        self.names[at] = name;
+        self.kinds[at] = kind;
+        self.ids[at] = id;
+        self.len += 1;
+    }
+
+    fn remove_at(&mut self, at: usize) -> Entity {
+        let len = self.len();
+        debug_assert!(at < len);
+        let prev = self.entity_at(at);
+        self.names.copy_within(at + 1..len, at);
+        self.kinds.copy_within(at + 1..len, at);
+        self.ids.copy_within(at + 1..len, at);
+        self.len -= 1;
+        prev
+    }
+}
+
+/// The spilled tier: the pre-arena representation, boxed so the common
+/// inline case never pays its footprint.
+#[derive(Clone, Default)]
+struct SpilledCtx {
+    /// Hash index over the bindings: every `lookup` is O(1).
+    bindings: FxHashMap<Name, Entity>,
+    /// The bound names in lexicographic order. Iteration and display read
+    /// this view, never the hash index, so observable order is independent
+    /// of hashing and of name-interning order.
+    order: Vec<Name>,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Inline(InlineCtx),
+    Spilled(Box<SpilledCtx>),
+}
 
 /// A finite-support total function from [`Name`]s to [`Entity`]s.
 ///
@@ -39,15 +176,19 @@ use crate::name::Name;
 /// // A context is a *total* function: unbound names map to ⊥.
 /// assert_eq!(c.lookup(Name::new("missing")), Entity::Undefined);
 /// ```
-#[derive(Clone, Default, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Context {
-    /// Hash index over the bindings: every `lookup` is O(1).
-    bindings: FxHashMap<Name, Entity>,
-    /// The bound names in lexicographic order. Iteration and display read
-    /// this view, never the hash index, so observable order is independent
-    /// of hashing and of name-interning order.
-    order: Vec<Name>,
+    repr: Repr,
     version: u64,
+}
+
+impl Default for Context {
+    fn default() -> Context {
+        Context {
+            repr: Repr::Inline(InlineCtx::empty()),
+            version: 0,
+        }
+    }
 }
 
 impl fmt::Debug for Context {
@@ -60,10 +201,12 @@ impl fmt::Debug for Context {
 }
 
 /// Two contexts are equal when they are the same *function* `N → E`;
-/// the version counter is bookkeeping, not part of the function.
+/// the version counter and the storage tier are bookkeeping, not part of
+/// the function — an inline context equals a spilled one with the same
+/// bindings.
 impl PartialEq for Context {
     fn eq(&self, other: &Context) -> bool {
-        self.bindings == other.bindings
+        self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
@@ -91,21 +234,32 @@ impl Context {
     ///
     /// Returns [`Entity::Undefined`] for unbound names — the context is a
     /// total function per the paper's model.
+    #[inline]
     pub fn lookup(&self, name: Name) -> Entity {
-        self.bindings
-            .get(&name)
-            .copied()
-            .unwrap_or(Entity::Undefined)
+        match &self.repr {
+            Repr::Inline(inl) => match inl.position(name) {
+                Some(i) => inl.entity_at(i),
+                None => Entity::Undefined,
+            },
+            Repr::Spilled(sp) => sp.bindings.get(&name).copied().unwrap_or(Entity::Undefined),
+        }
     }
 
     /// Returns the binding for `name` if one exists.
+    #[inline]
     pub fn get(&self, name: Name) -> Option<Entity> {
-        self.bindings.get(&name).copied()
+        match &self.repr {
+            Repr::Inline(inl) => inl.position(name).map(|i| inl.entity_at(i)),
+            Repr::Spilled(sp) => sp.bindings.get(&name).copied(),
+        }
     }
 
     /// True if `name` has an explicit binding.
     pub fn contains(&self, name: Name) -> bool {
-        self.bindings.contains_key(&name)
+        match &self.repr {
+            Repr::Inline(inl) => inl.position(name).is_some(),
+            Repr::Spilled(sp) => sp.bindings.contains_key(&name),
+        }
     }
 
     /// Binds `name` to `entity`, returning the previous binding if any.
@@ -117,10 +271,47 @@ impl Context {
         if entity == Entity::Undefined {
             return self.remove_binding(name);
         }
-        let prev = self.bindings.insert(name, entity);
+        let prev = match &mut self.repr {
+            Repr::Inline(inl) => {
+                if let Some(i) = inl.position(name) {
+                    let prev = inl.entity_at(i);
+                    let (kind, id) = pack(entity);
+                    inl.kinds[i] = kind;
+                    inl.ids[i] = id;
+                    Some(prev)
+                } else if inl.len() < INLINE_CAP {
+                    let at = inl.insertion_point(name);
+                    inl.insert_at(at, name, entity);
+                    None
+                } else {
+                    // Ninth distinct binding: spill to the hash index.
+                    let mut sp = SpilledCtx {
+                        bindings: FxHashMap::with_capacity_and_hasher(
+                            INLINE_CAP * 2,
+                            Default::default(),
+                        ),
+                        order: Vec::with_capacity(INLINE_CAP * 2),
+                    };
+                    for i in 0..inl.len() {
+                        sp.bindings.insert(inl.names[i], inl.entity_at(i));
+                        sp.order.push(inl.names[i]);
+                    }
+                    Self::spilled_insert(&mut sp, name, entity);
+                    self.repr = Repr::Spilled(Box::new(sp));
+                    None
+                }
+            }
+            Repr::Spilled(sp) => Self::spilled_insert(sp, name, entity),
+        };
+        self.debug_check();
+        prev
+    }
+
+    fn spilled_insert(sp: &mut SpilledCtx, name: Name, entity: Entity) -> Option<Entity> {
+        let prev = sp.bindings.insert(name, entity);
         if prev.is_none() {
-            if let Err(at) = self.order.binary_search(&name) {
-                self.order.insert(at, name);
+            if let Err(at) = sp.order.binary_search(&name) {
+                sp.order.insert(at, name);
             }
         }
         prev
@@ -133,23 +324,72 @@ impl Context {
     }
 
     fn remove_binding(&mut self, name: Name) -> Option<Entity> {
-        let prev = self.bindings.remove(&name);
-        if prev.is_some() {
-            if let Ok(at) = self.order.binary_search(&name) {
-                self.order.remove(at);
+        let prev = match &mut self.repr {
+            Repr::Inline(inl) => inl.position(name).map(|i| inl.remove_at(i)),
+            Repr::Spilled(sp) => {
+                let prev = sp.bindings.remove(&name);
+                if prev.is_some() {
+                    if let Ok(at) = sp.order.binary_search(&name) {
+                        sp.order.remove(at);
+                    }
+                    if sp.bindings.len() <= DESPILL_AT {
+                        // Shrunk back under the hysteresis mark: return to
+                        // the inline tier (order is already sorted).
+                        let mut inl = InlineCtx::empty();
+                        for (i, &n) in sp.order.iter().enumerate() {
+                            let (kind, id) = pack(sp.bindings[&n]);
+                            inl.names[i] = n;
+                            inl.kinds[i] = kind;
+                            inl.ids[i] = id;
+                        }
+                        inl.len = sp.order.len() as u8;
+                        self.repr = Repr::Inline(inl);
+                    }
+                }
+                prev
             }
-        }
+        };
+        self.debug_check();
         prev
     }
 
     /// Number of explicit bindings (the support of the function).
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        match &self.repr {
+            Repr::Inline(inl) => inl.len(),
+            Repr::Spilled(sp) => sp.bindings.len(),
+        }
     }
 
     /// True if the context has no explicit bindings.
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.len() == 0
+    }
+
+    /// True if the context is currently in the spilled (hash-indexed)
+    /// tier. Representation is unobservable through the map API — this
+    /// accessor exists for tests and benchmarks pinning the two tiers
+    /// against each other.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spilled(_))
+    }
+
+    /// Forces the spilled representation regardless of size, without
+    /// changing the function or the version counter. A diagnostic hook:
+    /// benchmarks use it to measure inline vs. hash-index lookups at equal
+    /// binding counts, and the equivalence tests use it to compare the two
+    /// tiers directly. The context despills again per the usual rule when
+    /// removals take it to [`DESPILL_AT`] bindings.
+    pub fn force_spill(&mut self) {
+        if let Repr::Inline(inl) = &self.repr {
+            let mut sp = SpilledCtx::default();
+            for i in 0..inl.len() {
+                sp.bindings.insert(inl.names[i], inl.entity_at(i));
+                sp.order.push(inl.names[i]);
+            }
+            self.repr = Repr::Spilled(Box::new(sp));
+        }
+        self.debug_check();
     }
 
     /// Mutation counter; bumps on every [`bind`](Context::bind) /
@@ -159,13 +399,21 @@ impl Context {
     }
 
     /// Iterates over bindings in lexicographic name order.
-    pub fn iter(&self) -> impl Iterator<Item = (Name, Entity)> + '_ {
-        self.order.iter().map(|n| (*n, self.bindings[n]))
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { ctx: self, at: 0 }
     }
 
     /// Iterates over the bound names in lexicographic order.
     pub fn names(&self) -> impl Iterator<Item = Name> + '_ {
-        self.order.iter().copied()
+        self.iter().map(|(n, _)| n)
+    }
+
+    #[inline]
+    fn pair_at(&self, at: usize) -> Option<(Name, Entity)> {
+        match &self.repr {
+            Repr::Inline(inl) => (at < inl.len()).then(|| (inl.names[at], inl.entity_at(at))),
+            Repr::Spilled(sp) => sp.order.get(at).map(|&n| (n, sp.bindings[&n])),
+        }
     }
 
     /// Returns a copy of this context with a fresh version counter.
@@ -175,8 +423,7 @@ impl Context {
     /// names until one of them modifies its context."
     pub fn inherit(&self) -> Context {
         Context {
-            bindings: self.bindings.clone(),
-            order: self.order.clone(),
+            repr: self.repr.clone(),
             version: 0,
         }
     }
@@ -186,7 +433,7 @@ impl Context {
     /// Versions are ignored: two contexts with different mutation histories
     /// but identical bindings are the same function.
     pub fn same_function(&self, other: &Context) -> bool {
-        self.bindings == other.bindings
+        self == other
     }
 
     /// True if the contexts agree on every name in `names`.
@@ -217,7 +464,61 @@ impl Context {
         }
         out
     }
+
+    /// Debug-build invariant check, run after every mutation: the active
+    /// tier respects its size bounds, names are strictly sorted and
+    /// duplicate-free, and the spilled order view mirrors the hash index
+    /// exactly. The CI transition leg runs the equivalence proptests in a
+    /// debug build precisely so spills and despills cross this check.
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            match &self.repr {
+                Repr::Inline(inl) => {
+                    assert!(inl.len() <= INLINE_CAP);
+                    for w in inl.names[..inl.len()].windows(2) {
+                        assert!(w[0] < w[1], "inline names out of order");
+                    }
+                }
+                Repr::Spilled(sp) => {
+                    assert_eq!(sp.bindings.len(), sp.order.len());
+                    for w in sp.order.windows(2) {
+                        assert!(w[0] < w[1], "spilled order out of order");
+                    }
+                    for n in &sp.order {
+                        assert!(sp.bindings.contains_key(n), "order lists unbound name");
+                    }
+                }
+            }
+        }
+    }
 }
+
+/// Iterator over a context's bindings in lexicographic name order; see
+/// [`Context::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    ctx: &'a Context,
+    at: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (Name, Entity);
+
+    fn next(&mut self) -> Option<(Name, Entity)> {
+        let pair = self.ctx.pair_at(self.at)?;
+        self.at += 1;
+        Some(pair)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ctx.len().saturating_sub(self.at);
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
 
 impl FromIterator<(Name, Entity)> for Context {
     fn from_iter<I: IntoIterator<Item = (Name, Entity)>>(iter: I) -> Context {
@@ -321,7 +622,7 @@ mod tests {
     #[test]
     fn hash_index_and_sorted_view_stay_consistent() {
         // Interleave binds, rebinds and unbinds; the sorted view must track
-        // the hash index exactly, with no duplicates or ghosts.
+        // the bindings exactly, with no duplicates or ghosts.
         let mut c = Context::new();
         let names: Vec<Name> = ["m", "c", "z", "a", "q", "c", "z"]
             .iter()
@@ -335,7 +636,7 @@ mod tests {
         let listed: Vec<&str> = c.names().map(|n| n.as_str()).collect();
         assert_eq!(listed, vec!["a", "m", "z"]);
         assert_eq!(c.len(), 3);
-        for n in c.names() {
+        for n in c.names().collect::<Vec<_>>() {
             assert!(c.contains(n));
             assert_eq!(c.lookup(n), c.get(n).unwrap());
         }
@@ -353,5 +654,84 @@ mod tests {
         let mut d = Context::new();
         d.extend([(x, obj(2))]);
         assert_eq!(d.lookup(x), obj(2));
+    }
+
+    #[test]
+    fn spills_at_ninth_binding_and_stays_equivalent() {
+        let mut c = Context::new();
+        for i in 0..INLINE_CAP {
+            c.bind(Name::new(&format!("spill-{i:02}")), obj(i as u32));
+            assert!(!c.is_spilled(), "≤{INLINE_CAP} bindings stay inline");
+        }
+        c.bind(Name::new("spill-99"), obj(99));
+        assert!(c.is_spilled(), "binding {} spills", INLINE_CAP + 1);
+        assert_eq!(c.len(), INLINE_CAP + 1);
+        for i in 0..INLINE_CAP {
+            assert_eq!(c.lookup(Name::new(&format!("spill-{i:02}"))), obj(i as u32));
+        }
+        // Iteration stays lexicographic across the spill.
+        let listed: Vec<Name> = c.names().collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+    }
+
+    #[test]
+    fn despills_with_hysteresis() {
+        let mut c = Context::new();
+        for i in 0..(INLINE_CAP + 1) {
+            c.bind(Name::new(&format!("h-{i:02}")), obj(i as u32));
+        }
+        assert!(c.is_spilled());
+        // Removing back to INLINE_CAP does *not* despill (hysteresis)…
+        c.unbind(Name::new("h-00"));
+        assert!(c.is_spilled());
+        // …but shrinking to DESPILL_AT does.
+        for i in 1..(INLINE_CAP + 1 - DESPILL_AT) {
+            c.unbind(Name::new(&format!("h-{i:02}")));
+        }
+        assert_eq!(c.len(), DESPILL_AT);
+        assert!(!c.is_spilled());
+        // The survivors are intact and ordered.
+        let listed: Vec<&str> = c.names().map(|n| n.as_str()).collect();
+        let want: Vec<String> = (INLINE_CAP + 1 - DESPILL_AT..INLINE_CAP + 1)
+            .map(|i| format!("h-{i:02}"))
+            .collect();
+        assert_eq!(listed, want.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut inline = Context::new();
+        let mut spilled = Context::new();
+        for i in 0..4u32 {
+            let n = Name::new(&format!("eq-{i}"));
+            inline.bind(n, obj(i));
+            spilled.bind(n, obj(i));
+        }
+        spilled.force_spill();
+        assert!(!inline.is_spilled() && spilled.is_spilled());
+        assert_eq!(inline, spilled);
+        assert!(inline.same_function(&spilled));
+        // A divergence is seen through either representation.
+        spilled.bind(Name::new("eq-0"), obj(7));
+        assert_ne!(inline, spilled);
+    }
+
+    #[test]
+    fn force_spill_preserves_function_and_version() {
+        let mut c = Context::new();
+        c.bind(Name::new("fs-a"), obj(1));
+        c.bind(Name::new("fs-b"), ActivityId::from_index(2));
+        let v = c.version();
+        let before: Vec<(Name, Entity)> = c.iter().collect();
+        c.force_spill();
+        assert!(c.is_spilled());
+        assert_eq!(c.version(), v);
+        assert_eq!(c.iter().collect::<Vec<_>>(), before);
+        assert_eq!(
+            c.lookup(Name::new("fs-b")),
+            ActivityId::from_index(2).into()
+        );
     }
 }

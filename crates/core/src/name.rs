@@ -14,6 +14,8 @@
 //! deterministic across runs regardless of interning order.
 
 use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::RwLock;
@@ -40,20 +42,100 @@ const ROOT_SYM: u32 = 0;
 const SELF_SYM: u32 = 1;
 const PARENT_SYM: u32 = 2;
 
+/// Symbols per chunk of the lock-free symbol table.
+const CHUNK_BITS: u32 = 10;
+const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+/// Chunk directory size: caps the interner at `MAX_CHUNKS * CHUNK_LEN`
+/// (4M) distinct atoms, far beyond any workload here (the million-context
+/// scale grid interns ~1M segment atoms).
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// The sym → string direction of the interner: an append-only chunked
+/// table read without any lock.
+///
+/// `Name::as_str` is on the hot path of ordering, display and label
+/// rendering; guarding it with the interner's `RwLock` made every compare
+/// an atomic RMW on the lock word. Instead, symbols resolve through two
+/// `Acquire` loads (chunk pointer, then slot) against this static
+/// directory. Chunks are allocated and slots published — both with
+/// `Release` stores — only by the single writer that holds the interner's
+/// write lock, *before* the symbol is handed out; any thread that
+/// legitimately holds a `Name` therefore observes its slot as non-null:
+/// the name value reached it either via `Name::new` on the same thread or
+/// through whatever synchronization transferred the `Name` across threads.
+struct SymbolTable {
+    chunks: [AtomicPtr<Chunk>; MAX_CHUNKS],
+}
+
+type Chunk = [AtomicPtr<&'static str>; CHUNK_LEN];
+
+#[allow(clippy::declare_interior_mutable_const)]
+const NULL_CHUNK: AtomicPtr<Chunk> = AtomicPtr::new(ptr::null_mut());
+#[allow(clippy::declare_interior_mutable_const)]
+const NULL_SLOT: AtomicPtr<&'static str> = AtomicPtr::new(ptr::null_mut());
+
+static SYMBOLS: SymbolTable = SymbolTable {
+    chunks: [NULL_CHUNK; MAX_CHUNKS],
+};
+
+impl SymbolTable {
+    /// Publishes `s` as symbol `sym`. Must only be called while holding
+    /// the interner's write lock (or during its `OnceLock` init), which
+    /// serializes writers and orders the store before the symbol escapes.
+    fn publish(&self, sym: u32, s: &'static str) {
+        let chunk_idx = (sym >> CHUNK_BITS) as usize;
+        let slot = (sym as usize) & (CHUNK_LEN - 1);
+        assert!(chunk_idx < MAX_CHUNKS, "interner overflow");
+        let mut chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        if chunk.is_null() {
+            chunk = Box::into_raw(Box::new([NULL_SLOT; CHUNK_LEN]));
+            self.chunks[chunk_idx].store(chunk, Ordering::Release);
+        }
+        // The slot cell is boxed so the atomic holds a thin pointer; the
+        // box is leaked like the string itself (interned atoms live for
+        // the program).
+        let cell: *mut &'static str = Box::into_raw(Box::new(s));
+        unsafe { (*chunk)[slot].store(cell, Ordering::Release) };
+    }
+
+    /// Resolves a symbol previously handed out by [`Name::new`] or the
+    /// pre-interned constructors. Lock-free.
+    #[inline]
+    fn resolve(&self, sym: u32) -> &'static str {
+        let chunk_idx = (sym >> CHUNK_BITS) as usize;
+        let slot = (sym as usize) & (CHUNK_LEN - 1);
+        let mut chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        if chunk.is_null() {
+            // Only reachable for the pre-interned names before any
+            // Name::new call has initialized the interner.
+            interner();
+            chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        }
+        unsafe {
+            let cell = (*chunk)[slot].load(Ordering::Acquire);
+            debug_assert!(!cell.is_null(), "unpublished symbol {sym}");
+            *cell
+        }
+    }
+}
+
+/// The string → sym direction of the interner; the sym → string direction
+/// lives in [`SYMBOLS`] so reads skip this lock entirely.
 struct Interner {
-    strings: Vec<&'static str>,
     index: FxHashMap<&'static str, u32>,
+    len: u32,
 }
 
 impl Interner {
     fn new() -> Self {
         let mut interner = Interner {
-            strings: Vec::with_capacity(INTERNER_CAPACITY),
             index: FxHashMap::with_capacity_and_hasher(INTERNER_CAPACITY, Default::default()),
+            len: 0,
         };
         for (sym, s) in PREINTERNED.iter().enumerate() {
-            interner.strings.push(s);
+            SYMBOLS.publish(sym as u32, s);
             interner.index.insert(s, sym as u32);
+            interner.len += 1;
         }
         interner
     }
@@ -96,15 +178,18 @@ impl Name {
             return Name(sym);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let sym = u32::try_from(guard.strings.len()).expect("interner overflow");
-        guard.strings.push(leaked);
+        let sym = guard.len;
+        SYMBOLS.publish(sym, leaked);
+        guard.len = sym.checked_add(1).expect("interner overflow");
         guard.index.insert(leaked, sym);
         Name(sym)
     }
 
-    /// Returns the string this name was interned from.
+    /// Returns the string this name was interned from. Lock-free: resolves
+    /// through the append-only symbol table, not the interner lock.
+    #[inline]
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
+        SYMBOLS.resolve(self.0)
     }
 
     /// The conventional root name `/`. Pre-interned: no locking.
@@ -454,6 +539,18 @@ mod tests {
         assert!(Name::root().is_root());
         assert!(Name::self_().is_dot() && Name::parent().is_dot());
         assert!(!Name::root().is_dot() && !Name::new("x").is_root());
+    }
+
+    #[test]
+    fn symbol_table_spans_chunks() {
+        // Intern enough distinct atoms to force the lock-free symbol table
+        // past its first chunk; every atom must still resolve.
+        let names: Vec<Name> = (0..(CHUNK_LEN + 16))
+            .map(|i| Name::new(&format!("chunk-span-{i:05}")))
+            .collect();
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(n.as_str(), format!("chunk-span-{i:05}"));
+        }
     }
 
     #[test]

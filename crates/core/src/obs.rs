@@ -34,6 +34,13 @@ fn cause_of(err: &ResolveError) -> BottomCause {
     }
 }
 
+/// True when a trace recorder is installed on this thread. Hot paths that
+/// have a cheaper untraced variant branch on this once per resolution.
+#[inline]
+pub(crate) fn active() -> bool {
+    recorder::is_active()
+}
+
 /// Opens a resolution span. Returns false (and records nothing) when no
 /// recorder is installed.
 pub(crate) fn begin(start: ObjectId, name: &CompoundName) -> bool {

@@ -249,16 +249,60 @@ impl Resolver {
 
     /// Resolves `name` with the paper's exact total-function semantics:
     /// failures yield [`Entity::Undefined`].
+    ///
+    /// This is the hot path of the scale harness, so when nothing observes
+    /// the walk it runs a lean loop that allocates nothing — no
+    /// [`ResolutionStep`] vector, no error values. With a trace recorder
+    /// active it routes through [`Resolver::resolve`] so traces are
+    /// identical to the error-reporting path's.
     pub fn resolve_entity(
         &self,
         state: &SystemState,
         start: ObjectId,
         name: &CompoundName,
     ) -> Entity {
-        match self.resolve(state, start, name) {
-            Ok(r) => r.entity,
-            Err(_) => Entity::Undefined,
+        #[cfg(feature = "telemetry")]
+        if crate::obs::active() {
+            return match self.resolve(state, start, name) {
+                Ok(r) => r.entity,
+                Err(_) => Entity::Undefined,
+            };
         }
+        let entity = self.walk_entity(state, start, name);
+        // Metrics parity with `resolve`: the depth histogram records every
+        // plain resolution whether or not a recorder is tracing.
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::histogram!("resolve.depth").record(name.len() as u64);
+        entity
+    }
+
+    /// The allocation-free walk behind [`Resolver::resolve_entity`]:
+    /// produces exactly `resolve(..).map(|r| r.entity).unwrap_or(⊥)`
+    /// without materializing steps or errors.
+    fn walk_entity(&self, state: &SystemState, start: ObjectId, name: &CompoundName) -> Entity {
+        let comps = name.components();
+        if comps.len() > self.depth_limit {
+            return Entity::Undefined;
+        }
+        let mut ctx = start;
+        let last = comps.len() - 1;
+        for (i, &comp) in comps.iter().enumerate() {
+            let Some(c) = state.context(ctx) else {
+                // σ(ctx) ∉ C: every lookup in it is ⊥ (the traced path
+                // reports Unbound here; the entity view is ⊥ either way).
+                return Entity::Undefined;
+            };
+            let result = c.lookup(comp);
+            if i == last {
+                return result;
+            }
+            match result {
+                Entity::Object(o) => ctx = o,
+                // ⊥ mid-path, or an activity (not a context): dead end.
+                _ => return Entity::Undefined,
+            }
+        }
+        unreachable!("compound names are nonempty")
     }
 
     /// Resolves `name` with the total-function semantics, consulting and
@@ -381,11 +425,14 @@ impl Resolver {
         }
         // Resolution is suffix-compositional: every visited position j
         // resolves comps[j..] to the same final entity through the same
-        // tail of the path, depending on the contexts from j onward.
+        // tail of the path, depending on the contexts from j onward. Every
+        // suffix entry's footprint is a suffix of one shared buffer
+        // `deps ++ tail`, built once instead of per entry.
+        let walked = deps.len();
+        let mut full = deps;
+        full.extend_from_slice(&tail);
         for (j, &at) in positions.iter().enumerate() {
-            let mut entry_deps = deps[j.min(deps.len())..].to_vec();
-            entry_deps.extend_from_slice(&tail);
-            memo.record(state, at, &comps[j..], entity, &entry_deps);
+            memo.record(state, at, &comps[j..], entity, &full[j.min(walked)..]);
         }
         entity
     }

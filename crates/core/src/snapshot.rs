@@ -400,15 +400,18 @@ impl Resolver {
         // on the contexts positions[j..] (plus whatever the mid-walk hit
         // already depended on), so accumulate shard footprints from the
         // innermost suffix outward.
+        // `acc` is kept sorted by inserting each shard at its position, so
+        // each entry records a view of the same buffer with no per-suffix
+        // clone-and-sort. (Recorded footprints are sorted, so a tail from a
+        // mid-walk hit already is; the sort is a cheap guarantee.)
         let mut acc: Vec<u32> = tail_shards.into_vec();
+        acc.sort_unstable();
         for j in (0..positions.len()).rev() {
             let sh = state.shard_of(positions[j]) as u32;
-            if !acc.contains(&sh) {
-                acc.push(sh);
+            if let Err(pos) = acc.binary_search(&sh) {
+                acc.insert(pos, sh);
             }
-            let mut shards = acc.clone();
-            shards.sort_unstable();
-            memo.record(snap, positions[j], &comps[j..], entity, &shards);
+            memo.record(snap, positions[j], &comps[j..], entity, &acc);
         }
         entity
     }

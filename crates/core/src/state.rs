@@ -180,9 +180,45 @@ struct ActivityRecord {
     state: ActivityState,
 }
 
+/// Per-shard arena of object labels: one contiguous byte buffer plus
+/// `(offset, len)` spans, indexed by the `u32` a record stores instead of
+/// a boxed `String`.
+///
+/// The shard is the natural arena: it is cloned as a unit by
+/// `Arc::make_mut` and dropped as a unit, so labels need no individual
+/// ownership. At the million-context tier this replaces ~10⁶ separate
+/// string allocations per shard column with two, and shrinks each object
+/// record by `String`'s 24 bytes (plus allocator overhead per label).
+/// Labels are immutable after creation — the arena is append-only, which
+/// is also what makes the spans stable across `Arc::make_mut` copies.
+#[derive(Clone, Debug, Default)]
+struct LabelArena {
+    bytes: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl LabelArena {
+    /// Appends a label, returning its index.
+    fn push(&mut self, label: &str) -> u32 {
+        let start = u32::try_from(self.bytes.len()).expect("label arena overflow");
+        let len = u32::try_from(label.len()).expect("label too long");
+        self.bytes.push_str(label);
+        let idx = u32::try_from(self.spans.len()).expect("label arena overflow");
+        self.spans.push((start, len));
+        idx
+    }
+
+    #[inline]
+    fn get(&self, idx: u32) -> &str {
+        let (start, len) = self.spans[idx as usize];
+        &self.bytes[start as usize..(start + len) as usize]
+    }
+}
+
 #[derive(Clone, Debug)]
 struct ObjectRecord {
-    label: String,
+    /// Index into the owning shard's [`LabelArena`].
+    label: u32,
     state: ObjectState,
 }
 
@@ -191,6 +227,9 @@ struct ObjectRecord {
 #[derive(Clone, Debug, Default)]
 struct Shard {
     objects: Vec<ObjectRecord>,
+    /// Arena holding every object label in this shard; `ObjectRecord.label`
+    /// indexes into it.
+    labels: LabelArena,
     /// Shard-local mirror of [`SystemState::naming_version`]: advanced only
     /// when *this* shard is written.
     naming_version: u64,
@@ -473,12 +512,12 @@ impl SystemState {
 
     /// Adds an object with the given state to the default shard and returns
     /// its id.
-    pub fn add_object(&mut self, label: impl Into<String>, state: ObjectState) -> ObjectId {
+    pub fn add_object(&mut self, label: impl AsRef<str>, state: ObjectState) -> ObjectId {
         self.add_object_in(self.default_shard, label, state)
     }
 
     /// Adds an object with the given state to shard `shard` and returns its
-    /// id.
+    /// id. The label is copied into the shard's label arena.
     ///
     /// # Panics
     ///
@@ -487,7 +526,7 @@ impl SystemState {
     pub fn add_object_in(
         &mut self,
         shard: usize,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
         state: ObjectState,
     ) -> ObjectId {
         assert!(shard < self.shards.len(), "no shard {shard}");
@@ -499,15 +538,13 @@ impl SystemState {
             local < MAX_SHARD_OBJECTS,
             "object table overflow in shard {shard}"
         );
-        sh.objects.push(ObjectRecord {
-            label: label.into(),
-            state,
-        });
+        let label = sh.labels.push(label.as_ref());
+        sh.objects.push(ObjectRecord { label, state });
         Self::pack(shard, local)
     }
 
     /// Adds an object whose state is an empty context (a fresh directory).
-    pub fn add_context_object(&mut self, label: impl Into<String>) -> ObjectId {
+    pub fn add_context_object(&mut self, label: impl AsRef<str>) -> ObjectId {
         self.add_object(label, ObjectState::Context(Context::new()))
     }
 
@@ -516,12 +553,12 @@ impl SystemState {
     /// # Panics
     ///
     /// Panics like [`SystemState::add_object_in`].
-    pub fn add_context_object_in(&mut self, shard: usize, label: impl Into<String>) -> ObjectId {
+    pub fn add_context_object_in(&mut self, shard: usize, label: impl AsRef<str>) -> ObjectId {
         self.add_object_in(shard, label, ObjectState::Context(Context::new()))
     }
 
     /// Adds a plain data object.
-    pub fn add_data_object(&mut self, label: impl Into<String>, data: Vec<u8>) -> ObjectId {
+    pub fn add_data_object(&mut self, label: impl AsRef<str>, data: Vec<u8>) -> ObjectId {
         self.add_object(label, ObjectState::Data(data))
     }
 
@@ -533,14 +570,14 @@ impl SystemState {
     pub fn add_data_object_in(
         &mut self,
         shard: usize,
-        label: impl Into<String>,
+        label: impl AsRef<str>,
         data: Vec<u8>,
     ) -> ObjectId {
         self.add_object_in(shard, label, ObjectState::Data(data))
     }
 
     /// Adds a structured object with embedded names.
-    pub fn add_document_object(&mut self, label: impl Into<String>, doc: Document) -> ObjectId {
+    pub fn add_document_object(&mut self, label: impl AsRef<str>, doc: Document) -> ObjectId {
         self.add_object(label, ObjectState::Document(doc))
     }
 
@@ -555,13 +592,16 @@ impl SystemState {
         &self.shards[s].objects[l]
     }
 
-    /// The label given at creation.
+    /// The label given at creation (resolved from the owning shard's label
+    /// arena).
     ///
     /// # Panics
     ///
     /// Panics if `o` is not an id from this state.
     pub fn object_label(&self, o: ObjectId) -> &str {
-        &self.record(o).label
+        let (s, l) = Self::split(o);
+        let sh = &self.shards[s];
+        sh.labels.get(sh.objects[l].label)
     }
 
     /// σ applied to an object: its current state.
