@@ -1,0 +1,444 @@
+//! Emits `BENCH_pipeline.json`: the event-driven pipelined runtime
+//! (`PipelinedService`) side by side with the blocked-thread-per-batch
+//! pool model, tracked across PRs.
+//!
+//! ```text
+//! bench_pipeline [--out PATH] [--stdout] [--batches N]
+//! bench_pipeline --json [--workers N]
+//! ```
+//!
+//! The **skew workload**: five machines in a referral chain, 16384
+//! single-name batches — 90% cache-warm singletons answered by the first
+//! server in one round, 10% hitting the full 4-hop referral chain — under
+//! a 20% message drop rate with a generous retry budget. Per worker count
+//! (1/2/4/8), two service models over identical virtual timelines:
+//!
+//! * **blocking pool** — each batch driven to completion by
+//!   `ProtocolEngine::resolve_batch`, its latency measured on an
+//!   otherwise idle timeline, and the latency sequence scheduled on a
+//!   [`VirtualPool`]: one blocked worker per batch, head-of-line
+//!   blocking included. Makespan is the pool's.
+//! * **pipelined reactor** — the same batches submitted to a
+//!   [`PipelinedService`] with the default 2048-per-worker admission
+//!   limit; every admitted batch's rounds interleave on one timeline.
+//!   Makespan is the last completion tick.
+//!
+//! Both are virtual-time numbers, byte-identical on every machine. The
+//! JSON records throughput per kilotick for both models, the speedup,
+//! the reactor's in-flight high-water marks, and the p99 admission queue
+//! wait. At the default scale the tool asserts the reactor holds at
+//! least 1024 in-flight resolutions per worker and at least 2× the
+//! pool's throughput.
+//!
+//! `--json` dumps per-batch answers on a lossless run (drops off; the
+//! timeline is then RNG-free, so admission capacity cannot reorder
+//! sends): `--workers 0` drives every batch through the blocking
+//! resolver, `--workers N` through an N-worker reactor. The CI
+//! determinism leg diffs the two byte-for-byte at several worker counts.
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::name::CompoundName;
+use naming_core::report::json_string;
+use naming_resolver::engine::{ProtocolEngine, RetryPolicy};
+use naming_resolver::runtime::PipelinedService;
+use naming_resolver::service::NameService;
+use naming_sim::pool::VirtualPool;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+const DEFAULT_BATCHES: usize = 16384;
+/// Every 10th batch walks the 4-hop chain; the rest are warm singletons.
+const DEEP_EVERY: usize = 10;
+const DROP_RATE: f64 = 0.2;
+const PER_WORKER_LIMIT: usize = 2048;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 71;
+
+/// Five machines: m0 hosts the root and the warm files, each chain hop's
+/// subtree lives on the next machine, the deep leaves on m4.
+fn build_world() -> (World, NameService, Vec<MachineId>, ObjectId) {
+    let mut w = World::new(SEED);
+    let net = w.add_network("n");
+    let machines: Vec<MachineId> = (0..5)
+        .map(|i| w.add_machine(format!("m{i}"), net))
+        .collect();
+    let root = w.machine_root(machines[0]);
+    // Warm targets: files bound directly under m0's root (one round).
+    for k in 0..8 {
+        store::create_file(w.state_mut(), root, &format!("w{k}"), vec![]);
+    }
+    // The chain: root(m0) -> h1(m1) -> h2(m2) -> h3(m3) -> h4(m4) -> files.
+    let mut hops = Vec::new();
+    for (i, &m) in machines.iter().enumerate().skip(1) {
+        let r = w.machine_root(m);
+        hops.push(store::ensure_dir(w.state_mut(), r, &format!("self{i}")));
+    }
+    store::attach(w.state_mut(), root, "h1", hops[0], false);
+    for i in 1..hops.len() {
+        store::attach(
+            w.state_mut(),
+            hops[i - 1],
+            &format!("h{}", i + 1),
+            hops[i],
+            false,
+        );
+    }
+    for j in 0..8 {
+        store::create_file(w.state_mut(), hops[3], &format!("f{j}"), vec![]);
+    }
+    let mut svc = NameService::install(&mut w, &machines);
+    // Graft sources claim their objects first (first placement wins).
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    (w, svc, machines, root)
+}
+
+/// The skew workload: one name per batch, deterministic LCG mix.
+fn build_batches(n: usize) -> Vec<CompoundName> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut step = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    (0..n)
+        .map(|i| {
+            let path = if i % DEEP_EVERY == 0 {
+                format!("/h1/h2/h3/h4/f{}", step() % 8)
+            } else {
+                format!("/w{}", step() % 8)
+            };
+            CompoundName::parse_path(&path).unwrap()
+        })
+        .collect()
+}
+
+fn retrying_engine(svc: NameService) -> ProtocolEngine {
+    let mut engine = ProtocolEngine::new(svc);
+    // Generous deadline budget: at a 20% drop rate, exhaustion (a false
+    // transport verdict) must be statistically impossible so both models
+    // resolve every name.
+    engine.set_retry_policy(Some(RetryPolicy {
+        max_attempts: 64,
+        ..RetryPolicy::default()
+    }));
+    engine
+}
+
+/// Blocking reference: each batch driven to completion alone, in order,
+/// on one accumulating timeline — the thread-per-batch model's per-batch
+/// latencies (and the answer key).
+fn blocking_latencies(batches: &[CompoundName]) -> (Vec<u64>, Vec<Entity>) {
+    let (mut w, svc, machines, root) = build_world();
+    w.set_message_drop_rate(DROP_RATE);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = retrying_engine(svc);
+    let mut latencies = Vec::with_capacity(batches.len());
+    let mut entities = Vec::with_capacity(batches.len());
+    for name in batches {
+        let stats = engine.resolve_batch(&mut w, client, root, std::slice::from_ref(name));
+        latencies.push(stats.latency.ticks());
+        entities.push(stats.entities[0]);
+    }
+    (latencies, entities)
+}
+
+struct PipelinedRun {
+    makespan_ticks: u64,
+    in_flight_hwm: usize,
+    in_flight_queries_hwm: usize,
+    backlog_hwm: usize,
+    queue_wait_p99_ticks: u64,
+    entities: Vec<Entity>,
+    wall_ops_per_sec: f64,
+}
+
+/// The reactor: all batches submitted up front, drained to completion.
+fn pipelined_run(batches: &[CompoundName], workers: usize) -> PipelinedRun {
+    let (mut w, svc, machines, root) = build_world();
+    w.set_message_drop_rate(DROP_RATE);
+    let client = w.spawn(machines[0], "client", None);
+    let mut svc = PipelinedService::with_limit(retrying_engine(svc), workers, PER_WORKER_LIMIT);
+    let t = std::time::Instant::now();
+    for name in batches {
+        svc.submit(&mut w, client, root, std::slice::from_ref(name));
+    }
+    let answers = svc.drain(&mut w);
+    let elapsed = t.elapsed().as_secs_f64();
+    let report = svc.report();
+    let makespan = answers
+        .iter()
+        .map(|a| a.completed_at.ticks())
+        .max()
+        .unwrap_or(0);
+    let mut waits: Vec<u64> = answers.iter().map(|a| a.queue_wait().ticks()).collect();
+    waits.sort_unstable();
+    let p99 = waits[(waits.len() * 99)
+        .div_ceil(100)
+        .saturating_sub(1)
+        .min(waits.len() - 1)];
+    PipelinedRun {
+        makespan_ticks: makespan,
+        in_flight_hwm: report.in_flight_hwm,
+        in_flight_queries_hwm: report.in_flight_queries_hwm,
+        backlog_hwm: report.backlog_hwm,
+        queue_wait_p99_ticks: p99,
+        entities: answers.iter().map(|a| a.entities[0]).collect(),
+        wall_ops_per_sec: batches.len() as f64 / elapsed,
+    }
+}
+
+struct Point {
+    workers: usize,
+    pool_makespan_ticks: u64,
+    pool_per_ktick: f64,
+    pipelined_makespan_ticks: u64,
+    pipelined_per_ktick: f64,
+    speedup_vs_pool: f64,
+    in_flight_hwm: usize,
+    in_flight_queries_hwm: usize,
+    backlog_hwm: usize,
+    queue_wait_p99_ticks: u64,
+    wall_ops_per_sec: f64,
+}
+
+fn measure(n: usize) -> Vec<Point> {
+    let batches = build_batches(n);
+    let (latencies, key) = blocking_latencies(&batches);
+    assert!(
+        key.iter().all(|e| e.is_defined()),
+        "every workload name is bound; a ⊥ means retries were exhausted"
+    );
+    WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut pool = VirtualPool::new(workers);
+            for &l in &latencies {
+                pool.assign(naming_sim::time::Duration::from_ticks(l));
+            }
+            let pool_makespan = pool.makespan().ticks();
+            let run = pipelined_run(&batches, workers);
+            assert_eq!(
+                run.entities, key,
+                "pipelined answers diverge from the blocking driver"
+            );
+            if n >= DEFAULT_BATCHES {
+                assert!(
+                    run.in_flight_queries_hwm >= 1024 * workers,
+                    "reactor must sustain >= 1024 in-flight resolutions per worker \
+                     (got {} at {workers} workers)",
+                    run.in_flight_queries_hwm
+                );
+            }
+            let speedup = pool_makespan as f64 / run.makespan_ticks as f64;
+            if n >= DEFAULT_BATCHES {
+                assert!(
+                    speedup >= 2.0,
+                    "pipelining must at least double pool throughput \
+                     (got {speedup:.2}x at {workers} workers)"
+                );
+            }
+            Point {
+                workers,
+                pool_makespan_ticks: pool_makespan,
+                pool_per_ktick: n as f64 * 1000.0 / pool_makespan as f64,
+                pipelined_makespan_ticks: run.makespan_ticks,
+                pipelined_per_ktick: n as f64 * 1000.0 / run.makespan_ticks as f64,
+                speedup_vs_pool: speedup,
+                in_flight_hwm: run.in_flight_hwm,
+                in_flight_queries_hwm: run.in_flight_queries_hwm,
+                backlog_hwm: run.backlog_hwm,
+                queue_wait_p99_ticks: run.queue_wait_p99_ticks,
+                wall_ops_per_sec: run.wall_ops_per_sec,
+            }
+        })
+        .collect()
+}
+
+fn render(n: usize, points: &[Point]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workers\": {}, \"pool_makespan_ticks\": {}, \
+                 \"pool_per_ktick\": {:.1}, \"pipelined_makespan_ticks\": {}, \
+                 \"pipelined_per_ktick\": {:.1}, \"speedup_vs_pool\": {:.2}, \
+                 \"in_flight_hwm\": {}, \"in_flight_queries_hwm\": {}, \
+                 \"backlog_hwm\": {}, \"queue_wait_p99_ticks\": {}, \
+                 \"wall_ops_per_sec\": {:.0}}}",
+                p.workers,
+                p.pool_makespan_ticks,
+                p.pool_per_ktick,
+                p.pipelined_makespan_ticks,
+                p.pipelined_per_ktick,
+                p.speedup_vs_pool,
+                p.in_flight_hwm,
+                p.in_flight_queries_hwm,
+                p.backlog_hwm,
+                p.queue_wait_p99_ticks,
+                p.wall_ops_per_sec,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": {},\n  \"workload\": {},\n  \"batches\": {},\n  \
+         \"deep_every\": {},\n  \"drop_rate\": {},\n  \"per_worker_limit\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json_string("pipeline"),
+        json_string("skew-chain"),
+        n,
+        DEEP_EVERY,
+        DROP_RATE,
+        PER_WORKER_LIMIT,
+        rows.join(",\n")
+    )
+}
+
+/// `--json` mode: per-batch answers on a lossless timeline (deterministic
+/// at every worker count; the CI leg diffs reactor vs blocking output
+/// byte-for-byte).
+fn render_answers(n: usize, workers: usize) -> String {
+    let batches = build_batches(n);
+    let rows: Vec<String> = if workers == 0 {
+        let (mut w, svc, machines, root) = build_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        batches
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let stats = engine.resolve_batch(&mut w, client, root, std::slice::from_ref(name));
+                answer_row(
+                    i as u64,
+                    stats.rounds,
+                    stats.entities[0],
+                    stats.unreachable[0],
+                )
+            })
+            .collect()
+    } else {
+        let (mut w, svc, machines, root) = build_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc =
+            PipelinedService::with_limit(ProtocolEngine::new(svc), workers, PER_WORKER_LIMIT);
+        for name in &batches {
+            svc.submit(&mut w, client, root, std::slice::from_ref(name));
+        }
+        svc.drain(&mut w)
+            .iter()
+            .map(|a| answer_row(a.seq, a.rounds, a.entities[0], a.unreachable[0]))
+            .collect()
+    };
+    format!(
+        "{{\n  \"bench\": {},\n  \"workload\": {},\n  \"answers\": [\n{}\n  ]\n}}\n",
+        json_string("pipeline"),
+        json_string("skew-chain"),
+        rows.join(",\n")
+    )
+}
+
+fn answer_row(batch: u64, rounds: u32, entity: Entity, unreachable: bool) -> String {
+    format!(
+        "    {{\"batch\": {}, \"rounds\": {}, \"entity\": {}, \"unreachable\": {}}}",
+        batch,
+        rounds,
+        json_string(&entity.to_string()),
+        unreachable
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut to_stdout = false;
+    let mut json_answers = false;
+    let mut workers = 0usize;
+    let mut batches = DEFAULT_BATCHES;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--stdout" => {
+                to_stdout = true;
+            }
+            "--json" => {
+                json_answers = true;
+            }
+            "--workers" => {
+                i += 1;
+                workers = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--workers requires an integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--batches" => {
+                i += 1;
+                batches = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--batches requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_pipeline [--out PATH] [--stdout] [--batches N]\n       \
+                     bench_pipeline --json [--workers N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if json_answers {
+        print!("{}", render_answers(batches, workers));
+        return;
+    }
+
+    let points = measure(batches);
+    let json = render(batches, &points);
+    if to_stdout {
+        print!("{json}");
+    } else {
+        std::fs::write(&out, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        for p in &points {
+            eprintln!(
+                "{:2} workers: pool {:>9} ticks, pipelined {:>7} ticks ({:>5.2}x), \
+                 in-flight hwm {:>5}, queue-wait p99 {:>6} ticks, {:>9.0} ops/s wall",
+                p.workers,
+                p.pool_makespan_ticks,
+                p.pipelined_makespan_ticks,
+                p.speedup_vs_pool,
+                p.in_flight_queries_hwm,
+                p.queue_wait_p99_ticks,
+                p.wall_ops_per_sec,
+            );
+        }
+        eprintln!("wrote {out}");
+    }
+}

@@ -54,8 +54,12 @@ fn get_str(buf: &mut Bytes) -> Option<String> {
     if buf.remaining() < len {
         return None;
     }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).ok()
+    // Validate UTF-8 in place over the borrowed slice; the only copy is
+    // the final `String` allocation (no `to_vec` round-trip through an
+    // intermediate buffer).
+    let s = std::str::from_utf8(&buf[..len]).ok()?.to_owned();
+    buf.advance(len);
+    Some(s)
 }
 
 fn put_compound(buf: &mut BytesMut, name: &CompoundName) {
@@ -104,9 +108,30 @@ fn get_entity(buf: &mut Bytes) -> Option<Entity> {
 }
 
 impl ExecRequest {
-    /// Encodes the request.
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        let args: usize = self
+            .args
+            .iter()
+            .map(|a| {
+                2 + a
+                    .components()
+                    .iter()
+                    .map(|c| 2 + c.as_str().len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let ns: usize = self
+            .namespace
+            .iter()
+            .map(|(n, _)| 2 + n.as_str().len() + 4)
+            .sum();
+        1 + 8 + 2 + self.label.len() + 2 + args + 2 + ns
+    }
+
+    /// Encodes the request into an exactly pre-sized frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_u8(TAG_EXEC_REQUEST);
         buf.put_u64(self.id);
         put_str(&mut buf, &self.label);
@@ -119,6 +144,7 @@ impl ExecRequest {
             put_str(&mut buf, n.as_str());
             buf.put_u32(o.index() as u32);
         }
+        debug_assert_eq!(buf.len(), self.wire_len());
         buf.freeze()
     }
 
@@ -159,9 +185,22 @@ impl ExecRequest {
 }
 
 impl ExecReply {
-    /// Encodes the reply.
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        let entities: usize = self
+            .resolved_args
+            .iter()
+            .map(|e| match e {
+                Entity::Undefined => 1,
+                _ => 5,
+            })
+            .sum();
+        1 + 8 + 1 + if self.child.is_some() { 4 } else { 0 } + 2 + entities
+    }
+
+    /// Encodes the reply into an exactly pre-sized frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_u8(TAG_EXEC_REPLY);
         buf.put_u64(self.id);
         match self.child {
@@ -175,6 +214,7 @@ impl ExecReply {
         for e in &self.resolved_args {
             put_entity(&mut buf, *e);
         }
+        debug_assert_eq!(buf.len(), self.wire_len());
         buf.freeze()
     }
 
@@ -227,6 +267,7 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let r = req();
+        assert_eq!(r.encode().len(), r.wire_len());
         assert_eq!(ExecRequest::decode(r.encode()), Some(r));
     }
 
@@ -242,6 +283,7 @@ mod tests {
                     Entity::Activity(ActivityId::from_index(2)),
                 ],
             };
+            assert_eq!(r.encode().len(), r.wire_len());
             assert_eq!(ExecReply::decode(r.encode()), Some(r));
         }
     }
@@ -266,6 +308,27 @@ mod tests {
                 if let Some(r) = ExecReply::decode(b) {
                     prop_assert_eq!(ExecReply::decode(r.encode()), Some(r));
                 }
+            }
+
+            /// In-place validation must still reject non-UTF-8 labels: a
+            /// frame that is well-formed except for its label bytes
+            /// decodes to `None`, never to a mangled string.
+            #[test]
+            fn invalid_utf8_label_decodes_to_none(
+                tail in proptest::collection::vec(any::<u8>(), 0..32),
+            ) {
+                // 0xFF can never occur in UTF-8, so the label is always
+                // invalid regardless of the generated suffix.
+                let mut raw = vec![0xffu8];
+                raw.extend_from_slice(&tail);
+                let mut buf = BytesMut::new();
+                buf.put_u8(TAG_EXEC_REQUEST);
+                buf.put_u64(1);
+                buf.put_u16(raw.len() as u16);
+                buf.put_slice(&raw);
+                buf.put_u16(0); // no args
+                buf.put_u16(0); // empty namespace
+                prop_assert_eq!(ExecRequest::decode(buf.freeze()), None);
             }
         }
     }

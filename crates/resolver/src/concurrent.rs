@@ -37,32 +37,6 @@ pub use naming_telemetry::metrics::HistogramSnapshot;
 
 use crate::wire::{BatchReply, BatchRequest, Outcome};
 
-/// Per-worker counter names, indexed by worker. Metric names must be
-/// `'static`, so workers past the table share the last slot.
-#[cfg(feature = "telemetry")]
-const WORKER_BATCHES: [&str; 8] = [
-    "service.worker0.batches",
-    "service.worker1.batches",
-    "service.worker2.batches",
-    "service.worker3.batches",
-    "service.worker4.batches",
-    "service.worker5.batches",
-    "service.worker6.batches",
-    "service.worker7.batches",
-];
-
-#[cfg(feature = "telemetry")]
-const WORKER_QUERIES: [&str; 8] = [
-    "service.worker0.queries",
-    "service.worker1.queries",
-    "service.worker2.queries",
-    "service.worker3.queries",
-    "service.worker4.queries",
-    "service.worker5.queries",
-    "service.worker6.queries",
-    "service.worker7.queries",
-];
-
 /// A unit of work: one batch frame plus the snapshot it resolves against.
 struct Job {
     seq: u64,
@@ -439,15 +413,15 @@ fn worker_loop(
     let queue_wait = local.histogram("worker.queue_wait_ns");
     let service_time = local.histogram("worker.service_ns");
     // The `counter!` macro caches per call site, which would conflate
-    // workers; resolve this worker's handles from the registry once.
+    // workers; resolve this worker's handles from the registry once. The
+    // names come from the interner, so every worker index — not just the
+    // first eight — gets its own counters.
     #[cfg(feature = "telemetry")]
     let (worker_batches, worker_queries) = {
-        let slot = idx.min(WORKER_BATCHES.len() - 1);
+        let (batches, queries) =
+            crate::worker_metrics::batch_query_names(crate::worker_metrics::Family::Service, idx);
         let reg = naming_telemetry::metrics::global();
-        (
-            reg.counter(WORKER_BATCHES[slot]),
-            reg.counter(WORKER_QUERIES[slot]),
-        )
+        (reg.counter(batches), reg.counter(queries))
     };
     for job in jobs.iter() {
         let started = Instant::now();
@@ -845,5 +819,33 @@ mod tests {
         let decoded = BatchReply::decode(reply.encode()).unwrap();
         assert_eq!(decoded, reply);
         svc.shutdown();
+    }
+
+    /// Regression: the old fixed 8-slot name tables aliased every worker
+    /// past index 7 onto `service.worker7.*`. A pool wider than eight
+    /// workers must register a distinct counter pair per worker.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn wide_pool_registers_distinct_per_worker_counters() {
+        let (s, root) = tree();
+        let mut svc = ConcurrentService::new(s, 10);
+        for id in 0..32u64 {
+            let (req, _) = batch(id, root, &["/etc/passwd"]);
+            svc.submit(req);
+        }
+        svc.drain();
+        svc.shutdown();
+        // Every worker resolves its handles at thread start, so all ten
+        // names exist in the global registry regardless of job placement.
+        let snap = naming_telemetry::metrics::global().snapshot();
+        for i in 0..10 {
+            for kind in ["batches", "queries"] {
+                let name = format!("service.worker{i}.{kind}");
+                assert!(
+                    snap.counters.contains_key(&name),
+                    "missing per-worker counter {name}"
+                );
+            }
+        }
     }
 }

@@ -205,6 +205,39 @@ impl ProtocolEngine {
         self.counters
     }
 
+    /// Allocates a fresh request id. Shared with the pipelined runtime so
+    /// interleaved use of both drivers never collides correlation ids.
+    pub(crate) fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Marks an in-flight attempt as superseded by a retransmission: a
+    /// reply bearing this id is late, not an answer.
+    pub(crate) fn supersede(&mut self, id: u64) {
+        self.superseded.insert(id);
+    }
+
+    /// Counts a deadline-driven retransmission.
+    pub(crate) fn note_retransmission(&mut self) {
+        self.counters.retransmissions += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("retry.retransmissions").bump();
+    }
+
+    /// Counts an attempt redirected to a replica.
+    pub(crate) fn note_failover(&mut self) {
+        self.counters.failovers += 1;
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("failover.attempts").bump();
+    }
+
+    /// Counts a hop abandoned after `max_attempts` deadlines.
+    pub(crate) fn note_exhausted(&mut self) {
+        self.counters.exhausted += 1;
+    }
+
     /// Restarts the name server on `machine` after a [`World::kill`]: the
     /// process is revived with a cleared mailbox, its in-flight forwarding
     /// state is discarded, and every replicated zone it participates in is
@@ -851,7 +884,7 @@ impl ProtocolEngine {
     /// Records a reply that arrived after its attempt was superseded by a
     /// retransmission. Stale replies are counted — losing them silently
     /// would hide how often the deadline fired early — but never acted on.
-    fn note_stale_reply(&mut self, id: u64) {
+    pub(crate) fn note_stale_reply(&mut self, id: u64) {
         if self.superseded.remove(&id) {
             self.counters.late_replies += 1;
             #[cfg(feature = "telemetry")]
@@ -860,7 +893,7 @@ impl ProtocolEngine {
     }
 
     /// Processes every message waiting in any server's mailbox.
-    fn drain_servers(&mut self, world: &mut World) {
+    pub(crate) fn drain_servers(&mut self, world: &mut World) {
         let servers: Vec<(naming_sim::topology::MachineId, ActivityId)> =
             self.service.servers().collect();
         for (machine, server) in servers {

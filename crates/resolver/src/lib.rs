@@ -23,6 +23,11 @@
 //!   multi-worker serving front end over immutable copy-on-publish
 //!   snapshots: readers never block, writes serialize through a publish
 //!   step that swaps the shared `Arc`;
+//! * [`runtime::PipelinedService`] — an event-driven reactor that
+//!   multiplexes many in-flight batch resolutions as explicit
+//!   state-machine continuations on one virtual timeline, removing the
+//!   head-of-line blocking of a blocked-thread-per-batch pool while
+//!   staying byte-identical across worker counts;
 //! * [`observatory::StalenessObservatory`] — a coherence-SLO monitor
 //!   grading observed staleness windows, false-⊥/unreachable rates, and
 //!   publish-latency burn against declared thresholds, live.
@@ -39,5 +44,8 @@ pub mod concurrent;
 pub mod engine;
 pub mod observatory;
 pub mod referral;
+pub mod runtime;
 pub mod service;
 pub mod wire;
+#[cfg(feature = "telemetry")]
+pub(crate) mod worker_metrics;

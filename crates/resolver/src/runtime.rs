@@ -1,0 +1,968 @@
+//! The event-driven pipelined service runtime: a reactor that multiplexes
+//! many in-flight batch resolutions as explicit state-machine
+//! continuations.
+//!
+//! [`ProtocolEngine::resolve_batch`] drives one batch at a time: its
+//! round loop blocks (in virtual time) until every request of the round
+//! is answered, so a batch stalled on a deep referral chain or a retry
+//! backoff holds up everything queued behind it — head-of-line blocking,
+//! one blocked "thread" per batch. The round structure it already has,
+//! though, is exactly a suspended coroutine: what the blocking loop keeps
+//! on its stack (pending referral work, outstanding request ids, retry
+//! deadlines, accumulated answers) is a [`Continuation`] here, and the
+//! [`PipelinedService`] reactor advances *every* admitted continuation as
+//! its replies and deadline wakes arrive, interleaved on the same
+//! simulated timeline.
+//!
+//! # Determinism
+//!
+//! Workers are *logical*: a continuation is assigned `seq % workers`
+//! purely for metric attribution, and admission, sends, and completions
+//! happen in submission order regardless of the worker count. Wake-ups
+//! ride the existing [`World::schedule_wake`] axis. A run is therefore
+//! byte-identical at any worker count — the CI leg diffs the bench output
+//! across counts — and, for a single submitted batch, the reactor
+//! reproduces the blocking driver's answers exactly (the equivalence
+//! suite pins this over every workload, including chaos sweeps).
+//!
+//! # Admission and backpressure
+//!
+//! At most `workers × per_worker_limit` continuations are in flight;
+//! submissions beyond the limit queue in FIFO order and are admitted as
+//! completions free slots, at the virtual instant of the completion.
+//! Queue wait (admission minus submission tick) is reported per batch.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::name::CompoundName;
+use naming_sim::message::Payload;
+use naming_sim::time::{Duration, VirtualTime};
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+use crate::engine::ProtocolEngine;
+use crate::wire::{BatchReply, BatchRequest, NameTrie, Outcome};
+
+/// Default per-worker bound on in-flight continuations. The reactor holds
+/// thousands of suspended resolutions per worker; this is the admission
+/// limit, not a preallocation.
+pub const DEFAULT_PER_WORKER_LIMIT: usize = 2048;
+
+/// Input slots riding one `(context, suffix)` exchange: `(slot index,
+/// components of the slot's original name already consumed)`.
+type Slots = Vec<(usize, usize)>;
+
+/// One outstanding request of a continuation's current round.
+#[derive(Debug)]
+struct AwaitingRequest {
+    entries: Vec<(CompoundName, Slots)>,
+    mapping: Vec<u32>,
+    /// Failover order: addressed authority first, then the other replicas
+    /// of the context's group.
+    candidates: Vec<(MachineId, ObjectId)>,
+    /// Send attempts made so far (0-based next index into the rotation).
+    attempt: u32,
+}
+
+/// A suspended batch resolution: everything the blocking round loop keeps
+/// on its stack, made explicit so the reactor can park and resume it.
+#[derive(Debug)]
+struct Continuation {
+    seq: u64,
+    client: ActivityId,
+    names: Vec<CompoundName>,
+    entities: Vec<Entity>,
+    unreachable: Vec<bool>,
+    referrals: Vec<(CompoundName, MachineId, ObjectId)>,
+    /// Next round's work: context to continue from → remaining suffix →
+    /// riding slots. Referral answers feed this; a round start drains it.
+    pending: BTreeMap<ObjectId, BTreeMap<CompoundName, Slots>>,
+    /// The current round's outstanding requests, by correlation id.
+    awaiting: BTreeMap<u64, AwaitingRequest>,
+    /// Replies received for the current round, by correlation id.
+    got: BTreeMap<u64, BatchReply>,
+    rounds: u32,
+    max_rounds: u32,
+    messages: u64,
+    servers_touched: u32,
+    coalesced: u64,
+    hops_saved: u64,
+    submitted_at: VirtualTime,
+    admitted_at: VirtualTime,
+    worker: usize,
+}
+
+/// A completed pipelined batch resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelinedAnswer {
+    /// Submission sequence number (the ticket [`PipelinedService::submit`]
+    /// returned).
+    pub seq: u64,
+    /// One entity per input name, in input order (possibly `⊥`).
+    pub entities: Vec<Entity>,
+    /// Per input slot: true when the slot's ⊥ is a transport verdict.
+    pub unreachable: Vec<bool>,
+    /// Protocol rounds (referral depth reached).
+    pub rounds: u32,
+    /// Wire messages attributed to this batch: requests sent plus replies
+    /// received. (The blocking driver counts a global sent delta, which
+    /// cannot be attributed once batches interleave.)
+    pub messages: u64,
+    /// Distinct server answers involved.
+    pub servers_touched: u32,
+    /// Duplicate in-flight `(context, suffix)` resolutions that rode a
+    /// shared exchange.
+    pub coalesced: u64,
+    /// Server lookups avoided by shared-prefix compression.
+    pub hops_saved: u64,
+    /// Every referral any of the names followed, deduplicated and sorted.
+    pub referrals: Vec<(CompoundName, MachineId, ObjectId)>,
+    /// When the batch was submitted.
+    pub submitted_at: VirtualTime,
+    /// When the batch was admitted (first requests sent). Admission minus
+    /// submission is the batch's queue wait.
+    pub admitted_at: VirtualTime,
+    /// When the last answer landed.
+    pub completed_at: VirtualTime,
+    /// The logical reactor worker the batch was attributed to.
+    pub worker: usize,
+}
+
+impl PipelinedAnswer {
+    /// Virtual ticks spent waiting for admission.
+    pub fn queue_wait(&self) -> Duration {
+        self.admitted_at - self.submitted_at
+    }
+
+    /// Virtual ticks from admission to completion.
+    pub fn service_time(&self) -> Duration {
+        self.completed_at - self.admitted_at
+    }
+}
+
+/// Aggregate activity of a [`PipelinedService`], deterministic by
+/// construction (virtual-time bookkeeping only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Logical worker count.
+    pub workers: usize,
+    /// Admission limit (continuations in flight at once).
+    pub max_in_flight: usize,
+    /// Batches submitted so far.
+    pub submitted: u64,
+    /// Batches completed so far.
+    pub completed: u64,
+    /// High-water mark of concurrently in-flight continuations.
+    pub in_flight_hwm: usize,
+    /// High-water mark of concurrently in-flight *name resolutions*
+    /// (slots of in-flight continuations).
+    pub in_flight_queries_hwm: usize,
+    /// High-water mark of the admission backlog.
+    pub backlog_hwm: usize,
+}
+
+/// The reactor: multiplexes many in-flight batch resolutions over one
+/// [`ProtocolEngine`] and one [`World`] timeline.
+#[derive(Debug)]
+pub struct PipelinedService {
+    engine: ProtocolEngine,
+    workers: usize,
+    max_in_flight: usize,
+    backlog: VecDeque<Continuation>,
+    inflight: BTreeMap<u64, Continuation>,
+    /// Correlation id → owning continuation seq, for reply and wake
+    /// routing. An id leaves the table when answered, superseded, or
+    /// exhausted.
+    routes: BTreeMap<u64, u64>,
+    /// Continuations whose current round has every reply in, awaiting a
+    /// state-machine step.
+    ready: BTreeSet<u64>,
+    /// Every client process that ever submitted; polled for replies.
+    clients: BTreeSet<ActivityId>,
+    done: BTreeMap<u64, PipelinedAnswer>,
+    next_seq: u64,
+    in_flight_queries: usize,
+    report: PipelineReport,
+    /// Safety bound on pump iterations per in-flight batch.
+    max_steps: usize,
+}
+
+impl PipelinedService {
+    /// Wraps an engine with `workers` logical reactor workers and the
+    /// default per-worker admission limit.
+    pub fn new(engine: ProtocolEngine, workers: usize) -> PipelinedService {
+        PipelinedService::with_limit(engine, workers, DEFAULT_PER_WORKER_LIMIT)
+    }
+
+    /// Wraps an engine with an explicit per-worker in-flight limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `per_worker_limit` is zero.
+    pub fn with_limit(
+        engine: ProtocolEngine,
+        workers: usize,
+        per_worker_limit: usize,
+    ) -> PipelinedService {
+        assert!(workers > 0, "reactor needs at least one worker");
+        assert!(per_worker_limit > 0, "per-worker limit must be positive");
+        let max_in_flight = workers * per_worker_limit;
+        PipelinedService {
+            engine,
+            workers,
+            max_in_flight,
+            backlog: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            ready: BTreeSet::new(),
+            clients: BTreeSet::new(),
+            done: BTreeMap::new(),
+            next_seq: 0,
+            in_flight_queries: 0,
+            report: PipelineReport {
+                workers,
+                max_in_flight,
+                ..PipelineReport::default()
+            },
+            max_steps: 100_000,
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &ProtocolEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (placement changes, retry policy).
+    pub fn engine_mut(&mut self) -> &mut ProtocolEngine {
+        &mut self.engine
+    }
+
+    /// Unwraps the engine.
+    pub fn into_engine(self) -> ProtocolEngine {
+        self.engine
+    }
+
+    /// Aggregate activity so far.
+    pub fn report(&self) -> PipelineReport {
+        self.report
+    }
+
+    /// Continuations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Submits a batch: resolve `names` for `client` starting at the
+    /// context object `start`. Returns the submission ticket. The batch
+    /// is admitted immediately if a slot is free (its first requests go
+    /// out now); otherwise it queues.
+    pub fn submit(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        names: &[CompoundName],
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.report.submitted += 1;
+        self.clients.insert(client);
+        let mut pending: BTreeMap<ObjectId, BTreeMap<CompoundName, Slots>> = BTreeMap::new();
+        for (i, n) in names.iter().enumerate() {
+            pending
+                .entry(start)
+                .or_default()
+                .entry(n.clone())
+                .or_default()
+                .push((i, 0));
+        }
+        let max_rounds = names.iter().map(|n| n.len() as u32).max().unwrap_or(0) + 1;
+        let now = world.now();
+        self.backlog.push_back(Continuation {
+            seq,
+            client,
+            names: names.to_vec(),
+            entities: vec![Entity::Undefined; names.len()],
+            unreachable: vec![false; names.len()],
+            referrals: Vec::new(),
+            pending,
+            awaiting: BTreeMap::new(),
+            got: BTreeMap::new(),
+            rounds: 0,
+            max_rounds,
+            messages: 0,
+            servers_touched: 0,
+            coalesced: 0,
+            hops_saved: 0,
+            submitted_at: now,
+            admitted_at: now,
+            worker: (seq % self.workers as u64) as usize,
+        });
+        self.admit(world);
+        self.report.backlog_hwm = self.report.backlog_hwm.max(self.backlog.len());
+        seq
+    }
+
+    /// Drives the reactor until every submitted batch has completed, then
+    /// returns all completed answers in submission order.
+    pub fn drain(&mut self, world: &mut World) -> Vec<PipelinedAnswer> {
+        self.run(world);
+        std::mem::take(&mut self.done).into_values().collect()
+    }
+
+    /// Completed answers collected so far, in submission order, without
+    /// driving the reactor.
+    pub fn take_completed(&mut self) -> Vec<PipelinedAnswer> {
+        std::mem::take(&mut self.done).into_values().collect()
+    }
+
+    /// Pumps the event queue until every in-flight and queued batch has
+    /// completed.
+    pub fn run(&mut self, world: &mut World) {
+        let budget = self
+            .max_steps
+            .saturating_mul(self.inflight.len() + self.backlog.len() + 1);
+        let mut steps = 0usize;
+        loop {
+            self.admit(world);
+            self.dispatch(world);
+            if self.inflight.is_empty() && self.backlog.is_empty() {
+                return;
+            }
+            if steps >= budget || !world.step() {
+                // Dead protocol: no event will ever arrive for the
+                // outstanding requests. Their slots get transport
+                // verdicts; finishing those rounds may start new ones
+                // (referrals already in hand), which re-arms the queue.
+                self.fail_stalled();
+                if steps >= budget {
+                    // Out of budget: also drop queued work as unreachable.
+                    while let Some(mut cont) = self.backlog.pop_front() {
+                        cont.unreachable.iter_mut().for_each(|u| *u = true);
+                        cont.admitted_at = world.now();
+                        self.complete(world.now(), cont);
+                    }
+                }
+                continue;
+            }
+            steps += 1;
+            self.engine.drain_servers(world);
+        }
+    }
+
+    /// Admits queued batches while slots are free, in submission order.
+    fn admit(&mut self, world: &mut World) {
+        while self.inflight.len() < self.max_in_flight {
+            let Some(mut cont) = self.backlog.pop_front() else {
+                return;
+            };
+            cont.admitted_at = world.now();
+            self.in_flight_queries += cont.names.len();
+            self.report.in_flight_queries_hwm = self
+                .report
+                .in_flight_queries_hwm
+                .max(self.in_flight_queries);
+            #[cfg(feature = "telemetry")]
+            {
+                naming_telemetry::gauge!("pipeline.in_flight").set(self.inflight.len() as i64 + 1);
+                naming_telemetry::gauge!("pipeline.in_flight_queries")
+                    .set(self.in_flight_queries as i64);
+                naming_telemetry::histogram!("pipeline.queue_wait_ticks")
+                    .record(cont.queue_wait_ticks());
+            }
+            if self.step_continuation(world, &mut cont) {
+                self.in_flight_queries -= cont.names.len();
+                self.complete(world.now(), cont);
+            } else {
+                self.report.in_flight_hwm = self.report.in_flight_hwm.max(self.inflight.len() + 1);
+                self.inflight.insert(cont.seq, cont);
+            }
+        }
+    }
+
+    /// Routes delivered replies and fired deadline wakes to their
+    /// continuations, then advances every continuation whose round
+    /// completed.
+    fn dispatch(&mut self, world: &mut World) {
+        let clients: Vec<ActivityId> = self.clients.iter().copied().collect();
+        for client in clients {
+            while let Some(msg) = world.receive(client) {
+                for part in &msg.parts {
+                    let Payload::Bytes(b) = part else { continue };
+                    let Some(rep) = BatchReply::decode(b.clone()) else {
+                        continue;
+                    };
+                    self.route_reply(world, rep);
+                }
+            }
+            for token in world.drain_wakes(client) {
+                self.handle_wake(world, token);
+            }
+        }
+        self.advance(world);
+    }
+
+    /// Files a reply with its continuation; unroutable ids are stale
+    /// (superseded attempts) or stray.
+    fn route_reply(&mut self, world: &mut World, rep: BatchReply) {
+        let Some(seq) = self.routes.remove(&rep.id) else {
+            self.engine.note_stale_reply(rep.id);
+            return;
+        };
+        world.cancel_wake(rep.id);
+        let cont = self
+            .inflight
+            .get_mut(&seq)
+            .expect("routed id must have an in-flight continuation");
+        cont.messages += 1;
+        cont.got.insert(rep.id, rep);
+        if cont.got.len() == cont.awaiting.len() {
+            self.ready.insert(seq);
+        }
+    }
+
+    /// A deadline fired: supersede the outstanding attempt and retransmit
+    /// (rotating through failover candidates), or exhaust the hop.
+    fn handle_wake(&mut self, world: &mut World, token: u64) {
+        let Some(pol) = self.engine.retry_policy() else {
+            return;
+        };
+        // Answered on the same step it expired (route removed), or a
+        // stale token for an already-superseded attempt: ignore.
+        let Some(&seq) = self.routes.get(&token) else {
+            return;
+        };
+        let cont = self
+            .inflight
+            .get_mut(&seq)
+            .expect("routed id must have an in-flight continuation");
+        let Some(mut aw) = cont.awaiting.remove(&token) else {
+            return;
+        };
+        self.routes.remove(&token);
+        self.engine.supersede(token);
+        aw.attempt += 1;
+        if aw.attempt >= pol.max_attempts {
+            self.engine.note_exhausted();
+            for (_, slots) in &aw.entries {
+                for &(slot, _) in slots {
+                    cont.unreachable[slot] = true;
+                }
+            }
+            // The request is given up; the round completes without it.
+            if cont.got.len() == cont.awaiting.len() {
+                self.ready.insert(seq);
+            }
+            return;
+        }
+        self.engine.note_retransmission();
+        let (machine, ctx) = aw.candidates[aw.attempt as usize % aw.candidates.len()];
+        if machine != aw.candidates[0].0 {
+            self.engine.note_failover();
+        }
+        let group_names: Vec<CompoundName> = aw.entries.iter().map(|(n, _)| n.clone()).collect();
+        let (trie, mapping) = NameTrie::build(&group_names);
+        aw.mapping = mapping;
+        let id = self.engine.alloc_id();
+        let req = BatchRequest {
+            id,
+            start: ctx,
+            trie,
+        };
+        let server = self.engine.service().server_on(machine);
+        world.send(cont.client, server, vec![Payload::Bytes(req.encode())]);
+        cont.messages += 1;
+        let after = Duration::from_ticks(pol.timeout_ticks(id, aw.attempt));
+        world.schedule_wake(cont.client, after, id);
+        cont.awaiting.insert(id, aw);
+        self.routes.insert(id, seq);
+    }
+
+    /// Advances every round-complete continuation; completions free
+    /// admission slots immediately (same virtual instant).
+    fn advance(&mut self, world: &mut World) {
+        while let Some(seq) = self.ready.pop_first() {
+            let Some(mut cont) = self.inflight.remove(&seq) else {
+                continue;
+            };
+            if self.step_continuation(world, &mut cont) {
+                self.in_flight_queries -= cont.names.len();
+                self.complete(world.now(), cont);
+                self.admit(world);
+            } else {
+                self.inflight.insert(seq, cont);
+            }
+        }
+    }
+
+    /// Runs a continuation's state machine as far as it can go without
+    /// new input: finish the completed round, start the next, repeat
+    /// while rounds resolve instantly (unplaced authorities). Returns
+    /// true when the batch is complete.
+    fn step_continuation(&mut self, world: &mut World, cont: &mut Continuation) -> bool {
+        loop {
+            if cont.got.len() < cont.awaiting.len() {
+                return false; // suspended: outstanding requests remain
+            }
+            self.finish_round(cont);
+            if cont.pending.is_empty() || cont.rounds >= cont.max_rounds {
+                return true;
+            }
+            self.start_round(world, cont);
+        }
+    }
+
+    /// Folds the completed round's replies into the continuation:
+    /// resolved entities fill their slots, referrals feed the next
+    /// round's pending work, transport verdicts flag their slots.
+    fn finish_round(&mut self, cont: &mut Continuation) {
+        for (id, aw) in std::mem::take(&mut cont.awaiting) {
+            let Some(rep) = cont.got.remove(&id) else {
+                continue;
+            };
+            cont.servers_touched += rep.servers_touched;
+            cont.hops_saved += u64::from(rep.lookups_saved);
+            for (k, (sent_name, slots)) in aw.entries.into_iter().enumerate() {
+                let outcome = aw
+                    .mapping
+                    .get(k)
+                    .and_then(|&q| rep.outcomes.get(q as usize));
+                match outcome {
+                    Some(Outcome::Resolved(e)) => {
+                        for (slot, _) in slots {
+                            cont.entities[slot] = *e;
+                        }
+                    }
+                    Some(Outcome::Referral {
+                        next_machine,
+                        next_ctx,
+                        remaining,
+                    }) => {
+                        let step = sent_name.len().saturating_sub(remaining.len());
+                        let next = cont.pending.entry(*next_ctx).or_default();
+                        let riders = next.entry(remaining.clone()).or_default();
+                        for (slot, consumed) in slots {
+                            let consumed = (consumed + step).min(cont.names[slot].len());
+                            if consumed > 0 {
+                                if let Ok(prefix) = CompoundName::new(
+                                    cont.names[slot].components()[..consumed].iter().copied(),
+                                ) {
+                                    cont.referrals.push((prefix, *next_machine, *next_ctx));
+                                }
+                            }
+                            riders.push((slot, consumed));
+                        }
+                    }
+                    Some(Outcome::Unreachable { .. }) => {
+                        for (slot, _) in slots {
+                            cont.unreachable[slot] = true;
+                        }
+                    }
+                    // NotFound / WrongServer / malformed reply: ⊥.
+                    _ => {}
+                }
+            }
+        }
+        cont.got.clear();
+    }
+
+    /// Starts the next round: one [`BatchRequest`] per continue-from
+    /// context, all sent before any reply is awaited — the same send
+    /// order the blocking driver uses.
+    fn start_round(&mut self, world: &mut World, cont: &mut Continuation) {
+        cont.rounds += 1;
+        let round = std::mem::take(&mut cont.pending);
+        for (ctx, group) in round {
+            let Some(machine) = self.engine.service().machine_of_object(ctx) else {
+                // Nobody can be addressed: a transport verdict, not ⊥.
+                for (_, slots) in group {
+                    for (slot, _) in slots {
+                        cont.unreachable[slot] = true;
+                    }
+                }
+                continue;
+            };
+            let entries: Vec<(CompoundName, Slots)> = group.into_iter().collect();
+            for (_, slots) in &entries {
+                cont.coalesced += slots.len() as u64 - 1;
+            }
+            let group_names: Vec<CompoundName> = entries.iter().map(|(n, _)| n.clone()).collect();
+            let (trie, mapping) = NameTrie::build(&group_names);
+            let mut candidates: Vec<(MachineId, ObjectId)> = vec![(machine, ctx)];
+            if self.engine.retry_policy().is_some() {
+                for (m, fctx) in self.engine.service().failover_targets(ctx) {
+                    if !candidates.iter().any(|&(cm, _)| cm == m) {
+                        candidates.push((m, fctx));
+                    }
+                }
+            }
+            let id = self.engine.alloc_id();
+            let req = BatchRequest {
+                id,
+                start: ctx,
+                trie,
+            };
+            let server = self.engine.service().server_on(machine);
+            world.send(cont.client, server, vec![Payload::Bytes(req.encode())]);
+            cont.messages += 1;
+            if let Some(pol) = self.engine.retry_policy() {
+                let after = Duration::from_ticks(pol.timeout_ticks(id, 0));
+                world.schedule_wake(cont.client, after, id);
+            }
+            cont.awaiting.insert(
+                id,
+                AwaitingRequest {
+                    entries,
+                    mapping,
+                    candidates,
+                    attempt: 0,
+                },
+            );
+            self.routes.insert(id, cont.seq);
+        }
+    }
+
+    /// The event queue went dry with requests outstanding: every
+    /// unanswered request's slots get transport verdicts and its round
+    /// completes without it.
+    fn fail_stalled(&mut self) {
+        let seqs: Vec<u64> = self.inflight.keys().copied().collect();
+        for seq in seqs {
+            let cont = self.inflight.get_mut(&seq).expect("seq just listed");
+            let unanswered: Vec<u64> = cont
+                .awaiting
+                .keys()
+                .copied()
+                .filter(|id| !cont.got.contains_key(id))
+                .collect();
+            for id in unanswered {
+                let aw = cont.awaiting.remove(&id).expect("id just listed");
+                for (_, slots) in &aw.entries {
+                    for &(slot, _) in slots {
+                        cont.unreachable[slot] = true;
+                    }
+                }
+                self.routes.remove(&id);
+            }
+            self.ready.insert(seq);
+        }
+    }
+
+    /// Retires a finished continuation into the completed set.
+    fn complete(&mut self, now: VirtualTime, cont: Continuation) {
+        self.report.completed += 1;
+        #[cfg(feature = "telemetry")]
+        {
+            naming_telemetry::gauge!("pipeline.in_flight").set(self.inflight.len() as i64);
+            naming_telemetry::gauge!("pipeline.in_flight_queries")
+                .set(self.in_flight_queries as i64);
+            naming_telemetry::histogram!("pipeline.continuation_depth")
+                .record(u64::from(cont.rounds));
+            let (batches, queries) = crate::worker_metrics::batch_query_names(
+                crate::worker_metrics::Family::Pipeline,
+                cont.worker,
+            );
+            let reg = naming_telemetry::metrics::global();
+            reg.counter(batches).bump();
+            reg.counter(queries).add(cont.names.len() as u64);
+        }
+        let mut referrals = cont.referrals;
+        referrals.sort();
+        referrals.dedup();
+        self.done.insert(
+            cont.seq,
+            PipelinedAnswer {
+                seq: cont.seq,
+                entities: cont.entities,
+                unreachable: cont.unreachable,
+                rounds: cont.rounds,
+                messages: cont.messages,
+                servers_touched: cont.servers_touched,
+                coalesced: cont.coalesced,
+                hops_saved: cont.hops_saved,
+                referrals,
+                submitted_at: cont.submitted_at,
+                admitted_at: cont.admitted_at,
+                completed_at: now,
+                worker: cont.worker,
+            },
+        );
+    }
+}
+
+impl Continuation {
+    #[cfg(feature = "telemetry")]
+    fn queue_wait_ticks(&self) -> u64 {
+        (self.admitted_at - self.submitted_at).ticks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RetryPolicy;
+    use crate::service::NameService;
+    use naming_sim::store;
+
+    /// Same shape as the engine tests' chain world: three machines, m0
+    /// hosting the root, each hop's subtree on the next machine.
+    fn chain_world(seed: u64) -> (World, NameService, Vec<MachineId>, ObjectId, Entity) {
+        let mut w = World::new(seed);
+        let net = w.add_network("n");
+        let machines: Vec<MachineId> = (0..3)
+            .map(|i| w.add_machine(format!("m{i}"), net))
+            .collect();
+        let root = w.machine_root(machines[0]);
+        let root1 = w.machine_root(machines[1]);
+        let root2 = w.machine_root(machines[2]);
+        let hop1 = store::ensure_dir(w.state_mut(), root1, "self1");
+        let hop2 = store::ensure_dir(w.state_mut(), root2, "self2");
+        store::attach(w.state_mut(), root, "hop1", hop1, false);
+        store::attach(w.state_mut(), hop1, "hop2", hop2, false);
+        let leaf = store::create_file(w.state_mut(), hop2, "leaf", vec![]);
+        let mut svc = NameService::install(&mut w, &machines);
+        for &m in machines.iter().rev() {
+            let r = w.machine_root(m);
+            svc.place_subtree(&w, r, m);
+        }
+        (w, svc, machines, root, Entity::Object(leaf))
+    }
+
+    fn names(paths: &[&str]) -> Vec<CompoundName> {
+        paths
+            .iter()
+            .map(|p| CompoundName::parse_path(p).unwrap())
+            .collect()
+    }
+
+    /// A single submitted batch must reproduce the blocking driver's
+    /// answers and accounting exactly, field for field.
+    #[test]
+    fn single_batch_matches_blocking_driver() {
+        let batch = names(&["/hop1/hop2/leaf", "/hop1", "/hop1/hop2/missing", "/hop1"]);
+
+        let (mut wa, svc_a, machines_a, root_a, _) = chain_world(71);
+        let client_a = wa.spawn(machines_a[0], "client", None);
+        let mut blocking = ProtocolEngine::new(svc_a);
+        let want = blocking.resolve_batch(&mut wa, client_a, root_a, &batch);
+
+        let (mut wb, svc_b, machines_b, root_b, _) = chain_world(71);
+        let client_b = wb.spawn(machines_b[0], "client", None);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc_b), 4);
+        svc.submit(&mut wb, client_b, root_b, &batch);
+        let got = svc.drain(&mut wb);
+
+        assert_eq!(got.len(), 1);
+        let got = &got[0];
+        assert_eq!(got.entities, want.entities);
+        assert_eq!(got.unreachable, want.unreachable);
+        assert_eq!(got.rounds, want.rounds);
+        assert_eq!(got.referrals, want.referrals);
+        assert_eq!(got.servers_touched, want.servers_touched);
+        assert_eq!(got.coalesced, want.coalesced);
+        assert_eq!(got.hops_saved, want.hops_saved);
+        // Lossless: per-batch attribution (sends + replies) equals the
+        // blocking driver's global sent delta, and the service time
+        // equals the blocking latency.
+        assert_eq!(got.messages, want.messages);
+        assert_eq!(got.service_time(), want.latency);
+        assert_eq!(got.queue_wait().ticks(), 0);
+    }
+
+    /// Many batches multiplex on one timeline and all resolve; answers
+    /// come back in submission order and the in-flight mark shows real
+    /// overlap.
+    #[test]
+    fn multiplexed_batches_all_resolve() {
+        let (mut w, svc, machines, root, leaf) = chain_world(71);
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc), 2);
+        let deep = names(&["/hop1/hop2/leaf"]);
+        let shallow = names(&["/hop1"]);
+        for i in 0..6 {
+            let batch = if i % 2 == 0 { &deep } else { &shallow };
+            svc.submit(&mut w, client, root, batch);
+        }
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers.len(), 6);
+        for (i, a) in answers.iter().enumerate() {
+            assert_eq!(a.seq, i as u64);
+            if i % 2 == 0 {
+                assert_eq!(a.entities, vec![leaf]);
+                assert_eq!(a.rounds, 3);
+            } else {
+                assert!(a.entities[0].is_defined());
+                assert_eq!(a.rounds, 1);
+            }
+            assert_eq!(a.worker, i % 2);
+        }
+        let rep = svc.report();
+        assert_eq!(rep.submitted, 6);
+        assert_eq!(rep.completed, 6);
+        assert!(rep.in_flight_hwm >= 2, "batches never overlapped");
+    }
+
+    /// An independent shallow batch must not wait for a deep batch
+    /// submitted ahead of it: its completion tick matches what it gets
+    /// on an otherwise idle timeline.
+    #[test]
+    fn no_head_of_line_blocking() {
+        // Baseline: the shallow batch alone.
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        let client = w.spawn(machines[0], "client", None);
+        let mut alone = PipelinedService::new(ProtocolEngine::new(svc), 1);
+        alone.submit(&mut w, client, root, &names(&["/hop1"]));
+        let baseline = alone.drain(&mut w)[0].service_time();
+
+        // Same shallow batch admitted behind a 3-round deep batch, one
+        // logical worker: still completes in its standalone time.
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc), 1);
+        svc.submit(&mut w, client, root, &names(&["/hop1/hop2/leaf"]));
+        svc.submit(&mut w, client, root, &names(&["/hop1"]));
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers[1].queue_wait().ticks(), 0, "admission stalled");
+        assert_eq!(answers[1].service_time(), baseline);
+        assert!(
+            answers[1].completed_at < answers[0].completed_at,
+            "shallow batch waited behind the deep one"
+        );
+    }
+
+    /// Dropped messages are retried to the same answers (generous
+    /// deadline budget), and the retry counters move.
+    #[test]
+    fn retries_recover_dropped_exchanges() {
+        let (mut w, svc, machines, root, leaf) = chain_world(71);
+        w.set_message_drop_rate(0.3);
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        }));
+        let mut svc = PipelinedService::new(engine, 2);
+        for _ in 0..4 {
+            svc.submit(&mut w, client, root, &names(&["/hop1/hop2/leaf", "/hop1"]));
+        }
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers.len(), 4);
+        for a in &answers {
+            assert_eq!(a.entities[0], leaf);
+            assert!(a.entities[1].is_defined());
+            assert_eq!(a.unreachable, vec![false, false]);
+        }
+        assert!(svc.engine().retry_counters().retransmissions > 0);
+    }
+
+    /// Total loss: every slot gets a transport verdict (unreachable),
+    /// never a false authoritative ⊥ — same contract as the blocking
+    /// driver.
+    #[test]
+    fn total_loss_yields_unreachable_verdicts() {
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        w.set_message_drop_rate(1.0);
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_retry_policy(Some(RetryPolicy::default()));
+        let mut svc = PipelinedService::new(engine, 1);
+        svc.submit(&mut w, client, root, &names(&["/hop1/hop2/leaf", "/hop1"]));
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers[0].entities, vec![Entity::Undefined; 2]);
+        assert_eq!(answers[0].unreachable, vec![true, true]);
+        assert!(svc.engine().retry_counters().exhausted > 0);
+    }
+
+    /// A start context nobody hosts is a transport verdict immediately.
+    #[test]
+    fn unplaced_context_is_unreachable() {
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        // Created after placement: no machine claims it.
+        let orphan = store::ensure_dir(w.state_mut(), root, "orphan");
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc), 1);
+        svc.submit(&mut w, client, orphan, &names(&["/x"]));
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers[0].entities, vec![Entity::Undefined]);
+        assert_eq!(answers[0].unreachable, vec![true]);
+    }
+
+    /// An empty batch completes at its admission instant.
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc), 1);
+        svc.submit(&mut w, client, root, &[]);
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers.len(), 1);
+        assert!(answers[0].entities.is_empty());
+        assert_eq!(answers[0].rounds, 0);
+        assert_eq!(answers[0].messages, 0);
+    }
+
+    /// Submissions past the in-flight limit queue, and queued batches are
+    /// admitted at the virtual instant an earlier completion frees a
+    /// slot — with a nonzero recorded queue wait.
+    #[test]
+    fn backpressure_queues_past_limit() {
+        let (mut w, svc, machines, root, _) = chain_world(71);
+        let client = w.spawn(machines[0], "client", None);
+        let mut svc = PipelinedService::with_limit(ProtocolEngine::new(svc), 1, 1);
+        let batch = names(&["/hop1/hop2/leaf"]);
+        for _ in 0..3 {
+            svc.submit(&mut w, client, root, &batch);
+        }
+        assert_eq!(svc.in_flight(), 1);
+        let answers = svc.drain(&mut w);
+        assert_eq!(answers.len(), 3);
+        let rep = svc.report();
+        assert_eq!(rep.in_flight_hwm, 1);
+        assert_eq!(rep.backlog_hwm, 2);
+        assert_eq!(answers[0].queue_wait().ticks(), 0);
+        assert!(answers[1].queue_wait().ticks() > 0);
+        assert_eq!(answers[1].admitted_at, answers[0].completed_at);
+        assert!(answers[2].queue_wait().ticks() > answers[1].queue_wait().ticks());
+        // Serialized through one slot: completions in submission order.
+        assert!(answers[0].completed_at < answers[1].completed_at);
+        assert!(answers[1].completed_at < answers[2].completed_at);
+    }
+
+    /// The reactor's interleaved timeline must not depend on the worker
+    /// count: answers are identical at 1, 2, 4, and 9 workers.
+    #[test]
+    fn answers_are_identical_across_worker_counts() {
+        let mut runs: Vec<Vec<PipelinedAnswer>> = Vec::new();
+        for &workers in &[1usize, 2, 4, 9] {
+            let (mut w, svc, machines, root, _) = chain_world(71);
+            w.set_message_drop_rate(0.2);
+            let client = w.spawn(machines[0], "client", None);
+            let mut engine = ProtocolEngine::new(svc);
+            engine.set_retry_policy(Some(RetryPolicy {
+                max_attempts: 64,
+                ..RetryPolicy::default()
+            }));
+            let mut svc = PipelinedService::new(engine, workers);
+            for i in 0..8 {
+                let batch = if i % 3 == 0 {
+                    names(&["/hop1/hop2/leaf", "/hop1/hop2/missing"])
+                } else {
+                    names(&["/hop1"])
+                };
+                svc.submit(&mut w, client, root, &batch);
+            }
+            let mut answers = svc.drain(&mut w);
+            // Worker attribution is the one field that may differ.
+            for a in &mut answers {
+                a.worker = 0;
+            }
+            runs.push(answers);
+        }
+        for r in &runs[1..] {
+            assert_eq!(r, &runs[0]);
+        }
+    }
+}

@@ -88,9 +88,19 @@ pub struct ZoneUpdate {
 }
 
 impl ZoneUpdate {
-    /// Encodes the update into a wire frame.
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        let bindings: usize = self
+            .bindings
+            .iter()
+            .map(|(n, e)| 2 + n.as_str().len() + entity_wire_len(*e))
+            .sum();
+        1 + 4 + 4 + bindings
+    }
+
+    /// Encodes the update into an exactly pre-sized wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_u8(TAG_ZONE_UPDATE);
         buf.put_u32(self.zone.index() as u32);
         buf.put_u32(u32::try_from(self.bindings.len()).expect("zone too large for wire"));
@@ -98,6 +108,7 @@ impl ZoneUpdate {
             put_name(&mut buf, *n);
             put_entity(&mut buf, *e);
         }
+        debug_assert_eq!(buf.len(), self.wire_len());
         buf.freeze()
     }
 
@@ -148,9 +159,11 @@ fn get_name(buf: &mut Bytes) -> Option<Name> {
     if buf.remaining() < len {
         return None;
     }
-    let raw = buf.copy_to_bytes(len);
-    let s = std::str::from_utf8(&raw).ok()?;
-    Some(Name::new(s))
+    // Validate UTF-8 in place over the borrowed slice — no intermediate
+    // `Bytes` handle, no copy before interning.
+    let n = Name::new(std::str::from_utf8(&buf[..len]).ok()?);
+    buf.advance(len);
+    Some(n)
 }
 
 fn put_compound(buf: &mut BytesMut, name: &CompoundName) {
@@ -206,6 +219,23 @@ fn get_entity(buf: &mut Bytes) -> Option<Entity> {
         ENT_UNDEFINED => Some(Entity::Undefined),
         _ => None,
     }
+}
+
+/// Exact encoded size of an entity under [`put_entity`]'s layout.
+fn entity_wire_len(e: Entity) -> usize {
+    match e {
+        Entity::Undefined => 1,
+        _ => 5,
+    }
+}
+
+/// Exact encoded size of a compound name under [`put_compound`]'s layout.
+fn compound_wire_len(name: &CompoundName) -> usize {
+    2 + name
+        .components()
+        .iter()
+        .map(|c| 2 + c.as_str().len())
+        .sum::<usize>()
 }
 
 /// Exact encoded size of an outcome under [`put_outcome`]'s layout.
@@ -624,9 +654,14 @@ impl BatchReply {
 }
 
 impl Request {
-    /// Encodes the request into a wire frame.
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        1 + 8 + 4 + 1 + compound_wire_len(&self.name)
+    }
+
+    /// Encodes the request into an exactly pre-sized wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_u8(TAG_REQUEST);
         buf.put_u64(self.id);
         buf.put_u32(self.start.index() as u32);
@@ -635,6 +670,7 @@ impl Request {
             Mode::Recursive => 1,
         });
         put_compound(&mut buf, &self.name);
+        debug_assert_eq!(buf.len(), self.wire_len());
         buf.freeze()
     }
 
@@ -661,13 +697,19 @@ impl Request {
 }
 
 impl Reply {
-    /// Encodes the reply into a wire frame.
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        1 + 8 + 4 + outcome_wire_len(&self.outcome)
+    }
+
+    /// Encodes the reply into an exactly pre-sized wire frame.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = BytesMut::with_capacity(self.wire_len());
         buf.put_u8(TAG_REPLY);
         buf.put_u64(self.id);
         buf.put_u32(self.servers_touched);
         put_outcome(&mut buf, &self.outcome);
+        debug_assert_eq!(buf.len(), self.wire_len());
         buf.freeze()
     }
 

@@ -655,6 +655,18 @@ impl World {
         self.processes.get_mut(&pid)?.wakes.pop_front()
     }
 
+    /// Takes *every* fired-but-unconsumed wake token for a process, in
+    /// firing order. A reactor multiplexing many suspended resolutions on
+    /// one process needs all deadline firings delivered so far, not just
+    /// the front one — popping them one at a time interleaved with other
+    /// bookkeeping risks missing tokens queued behind the first.
+    pub fn drain_wakes(&mut self, pid: ActivityId) -> Vec<u64> {
+        self.processes
+            .get_mut(&pid)
+            .map(|p| p.wakes.drain(..).collect())
+            .unwrap_or_default()
+    }
+
     /// Runs the next pending event, advancing the clock. Returns `false`
     /// when the queue is empty. Cancelled wake timers are skipped without
     /// advancing the clock or counting as a step, so a lossless run with
@@ -1023,6 +1035,23 @@ mod tests {
         assert_eq!(w.take_wake(a), Some(7));
         assert_eq!(w.take_wake(a), None);
         assert!(!w.step());
+    }
+
+    #[test]
+    fn drain_wakes_returns_all_fired_tokens_in_order() {
+        let (mut w, m1, _) = two_machine_world();
+        let a = w.spawn(m1, "x", None);
+        // Two timers at the same instant, one later: after two steps both
+        // early tokens are queued and drain together, in firing order.
+        w.schedule_wake(a, crate::time::Duration::from_ticks(10), 3);
+        w.schedule_wake(a, crate::time::Duration::from_ticks(10), 5);
+        w.schedule_wake(a, crate::time::Duration::from_ticks(20), 9);
+        assert!(w.step());
+        assert!(w.step());
+        assert_eq!(w.drain_wakes(a), vec![3, 5]);
+        assert!(w.drain_wakes(a).is_empty());
+        assert!(w.step());
+        assert_eq!(w.drain_wakes(a), vec![9]);
     }
 
     #[test]

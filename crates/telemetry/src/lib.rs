@@ -48,6 +48,6 @@ pub mod trace;
 pub mod window;
 
 pub use flight::{FlightEntry, FlightLog, FlightRecorder, Sampler, SharedFlightRecorder};
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Gauge, GaugeSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use trace::{BottomCause, Event, Hop, MemoEvent, Outcome, ResolutionTrace, TraceData};
 pub use window::{render_exposition, WindowedHistogram};

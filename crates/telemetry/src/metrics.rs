@@ -15,7 +15,7 @@
 //! output.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
@@ -69,6 +69,68 @@ impl Counter {
             .map(|s| s.0.load(Ordering::Relaxed))
             .sum()
     }
+}
+
+/// A settable level with high-water-mark tracking: in-flight work,
+/// queue depths, window occupancy. Unlike a [`Counter`] a gauge goes
+/// down as well as up; the high-water mark records the largest level
+/// ever set, which is what capacity reports (e.g. the pipelined
+/// runtime's in-flight HWM) need after the level has drained back to
+/// zero.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+    hwm: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+            hwm: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (negative to drain).
+    pub fn add(&self, delta: i64) {
+        let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.hwm.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Increments the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the level by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest level observed so far.
+    pub fn hwm(&self) -> i64 {
+        self.hwm.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of one gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The level at snapshot time.
+    pub value: i64,
+    /// The largest level observed up to snapshot time.
+    pub hwm: i64,
 }
 
 /// Number of histogram buckets: bucket `i > 0` counts values in
@@ -216,6 +278,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
@@ -235,6 +298,19 @@ impl MetricsRegistry {
                 .write()
                 .entry(name)
                 .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
         )
     }
 
@@ -260,6 +336,20 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.get()))
                 .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        (*k).to_owned(),
+                        GaugeSnapshot {
+                            value: v.get(),
+                            hwm: v.hwm(),
+                        },
+                    )
+                })
+                .collect(),
             histograms: self
                 .histograms
                 .read()
@@ -281,6 +371,8 @@ pub fn global() -> &'static MetricsRegistry {
 pub struct MetricsSnapshot {
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels (and high-water marks) by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -289,6 +381,11 @@ impl MetricsSnapshot {
     /// A counter's value in this snapshot (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's snapshot (zeros when absent).
+    pub fn gauge(&self, name: &str) -> GaugeSnapshot {
+        self.gauges.get(name).copied().unwrap_or_default()
     }
 
     /// The change from `baseline` to this snapshot: counters and
@@ -316,8 +413,11 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
+        // Gauges are levels, not monotone totals: a diff reports the
+        // current level and HWM as-is rather than a meaningless delta.
         MetricsSnapshot {
             counters,
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
@@ -329,6 +429,18 @@ impl MetricsSnapshot {
             .counters
             .iter()
             .map(|(k, v)| format!("{}: {}", json_string(k), v))
+            .collect();
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, g)| {
+                format!(
+                    "{}: {{\"value\": {}, \"hwm\": {}}}",
+                    json_string(k),
+                    g.value,
+                    g.hwm
+                )
+            })
             .collect();
         let histograms: Vec<String> = self
             .histograms
@@ -349,8 +461,9 @@ impl MetricsSnapshot {
             })
             .collect();
         format!(
-            "{{\"counters\": {{{}}}, \"histograms\": {{{}}}}}",
+            "{{\"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}}}",
             counters.join(", "),
+            gauges.join(", "),
             histograms.join(", ")
         )
     }
@@ -364,6 +477,16 @@ macro_rules! counter {
         static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
             ::std::sync::OnceLock::new();
         &**HANDLE.get_or_init(|| $crate::metrics::global().counter($name))
+    }};
+}
+
+/// Caches a handle to a [`global`] gauge in a per-call-site `static`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::metrics::global().gauge($name))
     }};
 }
 
@@ -468,8 +591,42 @@ mod tests {
         counter!("test.macro.counter").add(2);
         counter!("test.macro.counter").bump();
         histogram!("test.macro.histogram").record(8);
+        gauge!("test.macro.gauge").set(4);
+        gauge!("test.macro.gauge").dec();
         let s = global().snapshot();
         assert_eq!(s.counter("test.macro.counter"), 3);
         assert_eq!(s.histograms["test.macro.histogram"].count, 1);
+        assert_eq!(s.gauge("test.macro.gauge").value, 3);
+        assert_eq!(s.gauge("test.macro.gauge").hwm, 4);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_high_water_mark() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("t.in_flight");
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.hwm(), 3);
+        g.add(10);
+        g.add(-12);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.hwm(), 12);
+        // set() moves the level directly and still feeds the HWM.
+        g.set(20);
+        g.set(5);
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.hwm(), 20);
+        let s = reg.snapshot();
+        assert_eq!(s.gauge("t.in_flight"), GaugeSnapshot { value: 5, hwm: 20 });
+        assert_eq!(s.gauge("t.absent"), GaugeSnapshot::default());
+        // A diff passes gauge levels through unchanged (levels, not totals).
+        let d = reg.snapshot().diff(&s);
+        assert_eq!(d.gauge("t.in_flight").hwm, 20);
+        let json = s.to_json();
+        crate::json::check(&json).expect("valid JSON");
+        assert!(json.contains("\"t.in_flight\": {\"value\": 5, \"hwm\": 20}"));
     }
 }

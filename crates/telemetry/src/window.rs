@@ -267,8 +267,9 @@ pub fn exposition_name(name: &str) -> String {
 }
 
 /// Renders a [`MetricsSnapshot`] in the Prometheus text exposition
-/// format: counters as `# TYPE … counter` singles, histograms as
-/// cumulative `…_bucket{le="…"}` series with `+Inf`, `_sum`, `_count`.
+/// format: counters as `# TYPE … counter` singles, gauges as a level
+/// plus a `…_hwm` high-water series, histograms as cumulative
+/// `…_bucket{le="…"}` series with `+Inf`, `_sum`, `_count`.
 /// Output is deterministic: names are emitted in `BTreeMap` order.
 pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
@@ -278,6 +279,13 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
         let n = exposition_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, g) in &snapshot.gauges {
+        let n = exposition_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", g.value);
+        let _ = writeln!(out, "# TYPE {n}_hwm gauge");
+        let _ = writeln!(out, "{n}_hwm {}", g.hwm);
     }
     for (name, h) in &snapshot.histograms {
         let n = exposition_name(name);

@@ -1,0 +1,269 @@
+//! Equivalence suite: the event-driven pipelined runtime
+//! (`PipelinedService`) against the blocking batch driver
+//! (`ProtocolEngine::resolve_batch`), over the existing protocol
+//! workloads.
+//!
+//! * **Lossless runs are equal field for field** — entities, ⊥ verdicts,
+//!   `Unreachable` flags, rounds, referral records, server/message
+//!   accounting, and (for a lone batch) the virtual latency itself.
+//! * **Drop sweeps converge to the same answers** — with a generous
+//!   retry budget both models resolve every bound name at 10/30/50%
+//!   loss and agree on every verdict; at 100% loss both report
+//!   `Unreachable` everywhere, never a false ⊥.
+//! * **Head-of-line blocking is gone** — a batch stalled on a severed
+//!   referral no longer delays an independent warm batch's virtual
+//!   completion tick (the regression the reactor exists to fix).
+
+use naming_bench::scenarios::chaos_zones;
+use naming_core::entity::ObjectId;
+use naming_core::name::CompoundName;
+use naming_resolver::engine::{BatchResolveStats, ProtocolEngine, RetryPolicy};
+use naming_resolver::runtime::{PipelinedAnswer, PipelinedService};
+use naming_resolver::service::NameService;
+use naming_sim::store;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+
+const HOPS: usize = 4;
+const LEAVES: usize = 12;
+const SEED: u64 = 20260808;
+
+fn soak_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_timeout_ticks: 256,
+        max_attempts: 64,
+        backoff_cap: 6,
+    }
+}
+
+/// Asserts every deterministic per-batch field matches between the two
+/// models. Timing is excluded: once batches interleave, per-batch
+/// latency legitimately differs from a serial timeline.
+fn assert_batch_eq(got: &PipelinedAnswer, want: &BatchResolveStats, label: &str) {
+    assert_eq!(got.entities, want.entities, "{label}: entities");
+    assert_eq!(got.unreachable, want.unreachable, "{label}: verdicts");
+    assert_eq!(got.rounds, want.rounds, "{label}: rounds");
+    assert_eq!(got.referrals, want.referrals, "{label}: referrals");
+    assert_eq!(
+        got.servers_touched, want.servers_touched,
+        "{label}: servers"
+    );
+    assert_eq!(got.coalesced, want.coalesced, "{label}: coalesced");
+    assert_eq!(got.hops_saved, want.hops_saved, "{label}: hops saved");
+    assert_eq!(got.messages, want.messages, "{label}: messages");
+}
+
+/// One batch, lossless: the reactor must reproduce the blocking driver
+/// exactly, including the virtual latency.
+#[test]
+fn lone_batch_is_identical_including_latency() {
+    let (mut wa, svc_a, _m, client_a, start_a, names, _s, _z) = chaos_zones(HOPS, LEAVES, SEED);
+    let mut blocking = ProtocolEngine::new(svc_a);
+    let want = blocking.resolve_batch(&mut wa, client_a, start_a, &names);
+
+    let (mut wb, svc_b, _m, client_b, start_b, names_b, _s, _z) = chaos_zones(HOPS, LEAVES, SEED);
+    assert_eq!(names, names_b);
+    let mut svc = PipelinedService::new(ProtocolEngine::new(svc_b), 4);
+    svc.submit(&mut wb, client_b, start_b, &names);
+    let got = svc.drain(&mut wb);
+    assert_eq!(got.len(), 1);
+    assert_batch_eq(&got[0], &want, "lone batch");
+    assert_eq!(got[0].service_time(), want.latency, "lone batch: latency");
+}
+
+/// Many batches, lossless: submitting them all up front and letting the
+/// reactor interleave their rounds changes nothing the blocking serial
+/// driver can observe, at any worker count.
+#[test]
+fn interleaved_batches_match_serial_blocking_per_batch() {
+    for workers in [1usize, 3, 8] {
+        let (mut wa, svc_a, _m, client_a, start_a, names, _s, _z) = chaos_zones(HOPS, LEAVES, SEED);
+        let chunks: Vec<Vec<CompoundName>> = names.chunks(3).map(|c| c.to_vec()).collect();
+        let mut blocking = ProtocolEngine::new(svc_a);
+        let want: Vec<BatchResolveStats> = chunks
+            .iter()
+            .map(|c| blocking.resolve_batch(&mut wa, client_a, start_a, c))
+            .collect();
+
+        let (mut wb, svc_b, _m, client_b, start_b, _names, _s, _z) =
+            chaos_zones(HOPS, LEAVES, SEED);
+        let mut svc = PipelinedService::new(ProtocolEngine::new(svc_b), workers);
+        for c in &chunks {
+            svc.submit(&mut wb, client_b, start_b, c);
+        }
+        let got = svc.drain(&mut wb);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_batch_eq(g, w, &format!("{workers} workers, chunk {i}"));
+        }
+    }
+}
+
+/// Drop sweep: at every loss rate both models resolve every bound name
+/// (no false ⊥, no false `Unreachable`) and agree on every entity,
+/// including authoritative ⊥ for unbound names.
+#[test]
+fn drop_sweep_answers_and_verdicts_match() {
+    for &rate in &[0.1, 0.3, 0.5] {
+        let (mut wa, svc_a, _m, client_a, start_a, mut names, _s, _z) =
+            chaos_zones(HOPS, LEAVES, SEED);
+        // A couple of unbound names: ⊥ must stay authoritative under loss.
+        names.push(CompoundName::parse_path("/zone/no-such-leaf").unwrap());
+        names.push(CompoundName::parse_path("/zone/z1/no-such-leaf").unwrap());
+        wa.set_message_drop_rate(rate);
+        let mut blocking = ProtocolEngine::new(svc_a);
+        blocking.set_retry_policy(Some(soak_policy()));
+        let want = blocking.resolve_batch(&mut wa, client_a, start_a, &names);
+
+        let (mut wb, svc_b, _m, client_b, start_b, _names, _s, _z) =
+            chaos_zones(HOPS, LEAVES, SEED);
+        wb.set_message_drop_rate(rate);
+        let mut engine = ProtocolEngine::new(svc_b);
+        engine.set_retry_policy(Some(soak_policy()));
+        let mut svc = PipelinedService::new(engine, 2);
+        svc.submit(&mut wb, client_b, start_b, &names);
+        let got = svc.drain(&mut wb);
+
+        assert_eq!(got[0].entities, want.entities, "drop={rate}: entities");
+        assert_eq!(
+            got[0].unreachable, want.unreachable,
+            "drop={rate}: verdicts"
+        );
+        // The last two slots are the unbound probes: authoritative ⊥.
+        let n = names.len();
+        for slot in [n - 2, n - 1] {
+            assert!(!got[0].entities[slot].is_defined());
+            assert!(!got[0].unreachable[slot], "drop={rate}: false Unreachable");
+        }
+        // Everything bound resolved despite the loss.
+        for slot in 0..n - 2 {
+            assert!(
+                got[0].entities[slot].is_defined(),
+                "drop={rate}: slot {slot} must resolve"
+            );
+        }
+    }
+}
+
+/// Total loss: both models report a transport verdict on every slot —
+/// `Unreachable`, categorically never ⊥.
+#[test]
+fn total_loss_is_unreachable_in_both_models() {
+    let (mut wa, svc_a, _m, client_a, start_a, names, _s, _z) = chaos_zones(HOPS, LEAVES, SEED);
+    wa.set_message_drop_rate(1.0);
+    let mut blocking = ProtocolEngine::new(svc_a);
+    blocking.set_retry_policy(Some(RetryPolicy::default()));
+    let want = blocking.resolve_batch(&mut wa, client_a, start_a, &names);
+    assert!(want.unreachable.iter().all(|&u| u));
+
+    let (mut wb, svc_b, _m, client_b, start_b, _names, _s, _z) = chaos_zones(HOPS, LEAVES, SEED);
+    wb.set_message_drop_rate(1.0);
+    let mut engine = ProtocolEngine::new(svc_b);
+    engine.set_retry_policy(Some(RetryPolicy::default()));
+    let mut svc = PipelinedService::new(engine, 1);
+    svc.submit(&mut wb, client_b, start_b, &names);
+    let got = svc.drain(&mut wb);
+    assert_eq!(got[0].entities, want.entities);
+    assert_eq!(got[0].unreachable, want.unreachable);
+    assert!(got[0].entities.iter().all(|e| !e.is_defined()));
+}
+
+/// A skewed world for the head-of-line test: a warm file served by the
+/// client's own machine, plus a 3-hop referral chain whose final hop is
+/// severed so a deep batch stalls on retry deadlines.
+fn skewed_world() -> (World, NameService, Vec<MachineId>, ObjectId) {
+    let mut w = World::new(SEED);
+    let net = w.add_network("n");
+    let machines: Vec<MachineId> = (0..4)
+        .map(|i| w.add_machine(format!("m{i}"), net))
+        .collect();
+    let root = w.machine_root(machines[0]);
+    store::create_file(w.state_mut(), root, "warm", vec![]);
+    let mut hops = Vec::new();
+    for (i, &m) in machines.iter().enumerate().skip(1) {
+        let r = w.machine_root(m);
+        hops.push(store::ensure_dir(w.state_mut(), r, &format!("self{i}")));
+    }
+    store::attach(w.state_mut(), root, "h1", hops[0], false);
+    for i in 1..hops.len() {
+        store::attach(
+            w.state_mut(),
+            hops[i - 1],
+            &format!("h{}", i + 1),
+            hops[i],
+            false,
+        );
+    }
+    store::create_file(w.state_mut(), hops[2], "leaf", vec![]);
+    let mut svc = NameService::install(&mut w, &machines);
+    for &m in machines.iter().rev() {
+        let r = w.machine_root(m);
+        svc.place_subtree(&w, r, m);
+    }
+    (w, svc, machines, root)
+}
+
+/// The head-of-line regression the reactor fixes: a batch stalled on a
+/// severed referral (burning retry deadlines toward an unreachable
+/// verdict) must not delay an independent warm batch's virtual
+/// completion tick — on a single worker.
+#[test]
+fn stalled_referral_no_longer_delays_independent_batch() {
+    let deep = CompoundName::parse_path("/h1/h2/h3/leaf").unwrap();
+    let warm = CompoundName::parse_path("/warm").unwrap();
+
+    // Baseline: the warm batch alone on the degraded world.
+    let (mut w, svc, machines, root) = skewed_world();
+    w.set_link_up(machines[0], machines[3], false);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    engine.set_retry_policy(Some(RetryPolicy::default()));
+    let mut alone = PipelinedService::new(engine, 1);
+    alone.submit(&mut w, client, root, std::slice::from_ref(&warm));
+    let baseline = alone.drain(&mut w).remove(0);
+    assert!(!baseline.unreachable[0]);
+    assert!(baseline.entities[0].is_defined());
+
+    // The same warm batch admitted behind the stalled deep batch.
+    let (mut w, svc, machines, root) = skewed_world();
+    w.set_link_up(machines[0], machines[3], false);
+    let client = w.spawn(machines[0], "client", None);
+    let mut engine = ProtocolEngine::new(svc);
+    engine.set_retry_policy(Some(RetryPolicy::default()));
+    let mut svc = PipelinedService::new(engine, 1);
+    svc.submit(&mut w, client, root, std::slice::from_ref(&deep));
+    svc.submit(&mut w, client, root, std::slice::from_ref(&warm));
+    let answers = svc.drain(&mut w);
+
+    // The deep batch burned its retry budget into a transport verdict...
+    assert!(answers[0].unreachable[0], "deep batch should stall out");
+    // ...while the warm batch's completion tick is exactly its
+    // standalone tick: the stall cost it nothing.
+    assert_eq!(answers[1].entities, baseline.entities);
+    assert_eq!(
+        answers[1].completed_at, baseline.completed_at,
+        "warm batch inherited the stalled batch's delay"
+    );
+    assert!(
+        answers[1].completed_at < answers[0].completed_at,
+        "warm batch must finish long before the stalled one"
+    );
+
+    // Contrast: the blocking thread-per-batch model serializes the two,
+    // so the warm answer waits out the entire retry stall.
+    let (mut w, svc, machines, root) = skewed_world();
+    w.set_link_up(machines[0], machines[3], false);
+    let client = w.spawn(machines[0], "client", None);
+    let mut blocking = ProtocolEngine::new(svc);
+    blocking.set_retry_policy(Some(RetryPolicy::default()));
+    let a = blocking.resolve_batch(&mut w, client, root, std::slice::from_ref(&deep));
+    let b = blocking.resolve_batch(&mut w, client, root, std::slice::from_ref(&warm));
+    assert!(a.unreachable[0]);
+    let blocking_warm_tick = a.latency.ticks() + b.latency.ticks();
+    assert!(
+        answers[1].completed_at.ticks() < blocking_warm_tick,
+        "pipelined warm completion ({}) must beat the serialized pool's ({})",
+        answers[1].completed_at.ticks(),
+        blocking_warm_tick
+    );
+}
