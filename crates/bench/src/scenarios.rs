@@ -190,6 +190,78 @@ pub fn chaos_zones(
     (w, svc, machines, client, start, names, standby, zones)
 }
 
+/// A *zone-aligned* star for the coherence sweeps: a hub machine holds
+/// the start context, and each of `zones` leaf machines serves one
+/// subtree that lives entirely in its own state shard (zone `z` occupies
+/// shard `z + 1`; the hub uses whatever shard its root landed in). Every
+/// context a two-component lookup `/zone{z}/f{j}` traverses is
+/// protocol-visible — the start and one referral target — so a lease
+/// entry's stamped footprint covers *exactly* the shards its answer
+/// depends on, and zone-serial invalidation is as precise as the exact
+/// oracle's generation checks.
+///
+/// Returns `(world, service, machines, client, start, zone dirs, names)`
+/// with `names[z]` holding zone `z`'s leaf names in creation order.
+#[allow(clippy::type_complexity)]
+pub fn coherence_zones(
+    zones: usize,
+    leaves: usize,
+    seed: u64,
+) -> (
+    World,
+    naming_resolver::service::NameService,
+    Vec<naming_sim::topology::MachineId>,
+    ActivityId,
+    ObjectId,
+    Vec<ObjectId>,
+    Vec<Vec<CompoundName>>,
+) {
+    assert!(zones >= 1, "need at least one zone");
+    let mut w = World::with_shards(seed, zones + 1);
+    let net = w.add_network("servers");
+    let machines: Vec<naming_sim::topology::MachineId> = (0..=zones)
+        .map(|i| w.add_machine(format!("m{i}"), net))
+        .collect();
+    let hub = w.machine_root(machines[0]);
+    let mut dirs = Vec::with_capacity(zones);
+    let mut names = Vec::with_capacity(zones);
+    for z in 0..zones {
+        let shard = z + 1;
+        let dir = w
+            .state_mut()
+            .add_context_object_in(shard, format!("zone{z}"));
+        store::attach(w.state_mut(), hub, &format!("zone{z}"), dir, true);
+        let mut zone_names = Vec::with_capacity(leaves);
+        for j in 0..leaves {
+            let f = w
+                .state_mut()
+                .add_data_object_in(shard, format!("zone{z}/f{j}"), vec![]);
+            w.state_mut()
+                .bind(dir, Name::new(&format!("f{j}")), f)
+                .expect("zone dir is a directory");
+            zone_names.push(
+                CompoundName::new(vec![
+                    Name::root(),
+                    Name::new(&format!("zone{z}")),
+                    Name::new(&format!("f{j}")),
+                ])
+                .expect("nonempty"),
+            );
+        }
+        dirs.push(dir);
+        names.push(zone_names);
+    }
+    let mut svc = naming_resolver::service::NameService::install(&mut w, &machines);
+    for (z, &dir) in dirs.iter().enumerate() {
+        svc.place_subtree(&w, dir, machines[z + 1]);
+    }
+    svc.place_subtree(&w, hub, machines[0]);
+    let far = w.add_network("client-net");
+    let client_machine = w.add_machine("client-host", far);
+    let client = w.spawn(client_machine, "client", None);
+    (w, svc, machines, client, hub, dirs, names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +321,32 @@ mod tests {
             assert!(s.entity.is_defined(), "{n} did not resolve");
         }
         assert_eq!(engine.retry_counters().failovers, 0);
+    }
+
+    #[test]
+    fn coherence_zones_are_shard_aligned_and_resolvable() {
+        let (mut w, svc, machines, client, start, dirs, names) = coherence_zones(3, 2, 7);
+        assert_eq!(machines.len(), 4);
+        for (z, &d) in dirs.iter().enumerate() {
+            assert_eq!(
+                SystemState::shard_of_id(d),
+                z + 1,
+                "zone {z} dir landed outside its shard"
+            );
+        }
+        let mut engine = naming_resolver::engine::ProtocolEngine::new(svc);
+        for zone_names in &names {
+            for n in zone_names {
+                let s = engine.resolve(
+                    &mut w,
+                    client,
+                    start,
+                    n,
+                    naming_resolver::wire::Mode::Iterative,
+                );
+                assert!(s.entity.is_defined(), "{n} did not resolve");
+            }
+        }
     }
 
     #[test]

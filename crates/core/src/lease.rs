@@ -1,0 +1,192 @@
+//! Zone serials and leases: the coherence stamps of §5 weak coherence.
+//!
+//! The exact caches in `naming-resolver` validate entries against
+//! authoritative per-context generations — an oracle no planet-scale
+//! deployment has. The deployable alternative is the DNS one: every zone
+//! (here: every object-table shard) carries an SOA-style **serial**
+//! advanced on each committed naming write, and cached bindings carry a
+//! **lease** — an expiry instant plus the serial the holder believed in.
+//! A replica validates a leased entry with two local checks only:
+//!
+//! 1. the lease has not expired on the virtual-time axis, and
+//! 2. no anti-entropy pull has reported a newer serial for any zone the
+//!    entry depends on.
+//!
+//! Neither check reads σ. Staleness is therefore *bounded*, not absent:
+//! an entry may lag the authority by up to its TTL plus the propagation
+//! delay of the serial — exactly the weak-coherence window the paper
+//! analyzes, made measurable.
+//!
+//! Serial comparison wraps (RFC 1982 serial-number arithmetic, widened to
+//! `u64`): a serial is *newer* when the wrapping distance forward is less
+//! than half the space. With 64-bit serials wrap-around is theoretical,
+//! but replica restart makes *regression* (an authority answering with an
+//! older serial than the replica recorded) observable, and the arithmetic
+//! keeps that case well-defined instead of UB-by-subtraction.
+
+use std::fmt;
+
+/// An SOA-style zone serial: advanced on every committed naming write in
+/// the zone (shard). Compared with wrapping serial-number arithmetic, so
+/// "newer" stays meaningful across wrap-around and regression is
+/// detectable rather than ambiguous.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ZoneSerial(u64);
+
+impl ZoneSerial {
+    /// The serial of a zone that has never been written.
+    pub const ZERO: ZoneSerial = ZoneSerial(0);
+
+    /// Wraps a raw serial value.
+    pub const fn new(v: u64) -> ZoneSerial {
+        ZoneSerial(v)
+    }
+
+    /// The raw counter value (for wire encoding / reports).
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next serial (wrapping increment).
+    #[must_use]
+    pub const fn bump(self) -> ZoneSerial {
+        ZoneSerial(self.0.wrapping_add(1))
+    }
+
+    /// RFC 1982-style "strictly newer than": true when `self` is ahead of
+    /// `other` by less than half the serial space. Equal serials are not
+    /// newer; a regressed serial (behind by less than half the space) is
+    /// not newer either.
+    pub const fn is_newer_than(self, other: ZoneSerial) -> bool {
+        self.0 != other.0 && self.0.wrapping_sub(other.0) < (1 << 63)
+    }
+
+    /// How many writes ahead `self` is of `other` (wrapping distance), if
+    /// `self` is newer or equal; `None` when `self` has regressed behind
+    /// `other` — the replica-restart signature that forces a full
+    /// transfer.
+    pub const fn distance_from(self, other: ZoneSerial) -> Option<u64> {
+        let d = self.0.wrapping_sub(other.0);
+        if d < (1 << 63) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ZoneSerial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Tick value representing "never expires" (`ttl = ∞`).
+pub const LEASE_FOREVER: u64 = u64::MAX;
+
+/// The stamp on a cached binding under lease coherence: when the holder's
+/// claim lapses and which zone serial the claim was made under.
+///
+/// Both fields are replica-local facts: `expires_at` lives on the shared
+/// virtual-time axis and `serial` is whatever the holder had *heard* at
+/// record time (possibly [`ZoneSerial::ZERO`] if no anti-entropy pull had
+/// reached it yet). Validation never consults σ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// First tick at which the lease is no longer valid. A lease expiring
+    /// *exactly at* the current tick is already expired: validity is the
+    /// half-open interval `[granted, expires_at)`. This closes the
+    /// off-by-one where an entry recorded with `ttl = 0` could be served
+    /// once.
+    pub expires_at: u64,
+    /// The zone serial the holder believed in when the entry was
+    /// recorded.
+    pub serial: ZoneSerial,
+}
+
+impl Lease {
+    /// A lease granted at `now` for `ttl` ticks (`None` = ∞), stamped
+    /// with `serial`. The expiry saturates: a near-`u64::MAX` grant time
+    /// yields a forever lease rather than wrapping into the past.
+    pub fn grant(now: u64, ttl: Option<u64>, serial: ZoneSerial) -> Lease {
+        Lease {
+            expires_at: match ttl {
+                Some(t) => now.saturating_add(t),
+                None => LEASE_FOREVER,
+            },
+            serial,
+        }
+    }
+
+    /// True while the lease holds at `now`: strictly before the expiry
+    /// instant (`now == expires_at` is expired).
+    pub const fn valid_at(&self, now: u64) -> bool {
+        now < self.expires_at
+    }
+
+    /// Ticks of validity remaining at `now` (0 when expired).
+    pub const fn remaining(&self, now: u64) -> u64 {
+        self.expires_at.saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ordering_is_wrapping() {
+        let a = ZoneSerial::new(5);
+        let b = ZoneSerial::new(7);
+        assert!(b.is_newer_than(a));
+        assert!(!a.is_newer_than(b));
+        assert!(!a.is_newer_than(a));
+        // Across the wrap point: 2 is newer than u64::MAX - 1.
+        let near_max = ZoneSerial::new(u64::MAX - 1);
+        let wrapped = near_max.bump().bump().bump();
+        assert_eq!(wrapped.get(), 1);
+        assert!(wrapped.is_newer_than(near_max));
+        assert!(!near_max.is_newer_than(wrapped));
+    }
+
+    #[test]
+    fn serial_distance_detects_regression() {
+        let a = ZoneSerial::new(10);
+        let b = ZoneSerial::new(13);
+        assert_eq!(b.distance_from(a), Some(3));
+        assert_eq!(a.distance_from(a), Some(0));
+        assert_eq!(a.distance_from(b), None, "regression is not a distance");
+        // Wrapping forward distance is still a distance.
+        let near_max = ZoneSerial::new(u64::MAX);
+        assert_eq!(near_max.bump().distance_from(near_max), Some(1));
+    }
+
+    #[test]
+    fn lease_expiring_exactly_at_now_is_expired() {
+        let l = Lease::grant(100, Some(20), ZoneSerial::ZERO);
+        assert_eq!(l.expires_at, 120);
+        assert!(l.valid_at(100));
+        assert!(l.valid_at(119));
+        assert!(!l.valid_at(120), "expiry instant itself is expired");
+        assert!(!l.valid_at(121));
+        assert_eq!(l.remaining(100), 20);
+        assert_eq!(l.remaining(120), 0);
+        assert_eq!(l.remaining(999), 0);
+    }
+
+    #[test]
+    fn zero_ttl_lease_is_never_valid() {
+        let l = Lease::grant(50, Some(0), ZoneSerial::ZERO);
+        assert!(!l.valid_at(50), "ttl 0 must not be served even once");
+    }
+
+    #[test]
+    fn infinite_lease_never_expires_and_grant_saturates() {
+        let l = Lease::grant(7, None, ZoneSerial::new(3));
+        assert_eq!(l.expires_at, LEASE_FOREVER);
+        assert!(l.valid_at(u64::MAX - 1));
+        // Saturation: a grant near the end of time stays a forever lease.
+        let edge = Lease::grant(u64::MAX - 1, Some(u64::MAX), ZoneSerial::ZERO);
+        assert_eq!(edge.expires_at, LEASE_FOREVER);
+    }
+}

@@ -63,6 +63,7 @@
 //! | [`graph`] | §2 | the naming graph; reachability; name synthesis |
 //! | [`resolve`] | §2 | compound-name resolution |
 //! | [`memo`] | §5 | generation-versioned resolution memoization |
+//! | [`lease`] | §5 | zone serials and TTL leases for bounded staleness |
 //! | [`snapshot`] | §5 | immutable copy-on-publish snapshots of σ |
 //! | [`hash`] | — | deterministic hashing for internal indexes |
 //! | [`closure`] | §3 | meta-context, resolution rules R(a), R(sender), R(object) |
@@ -84,6 +85,7 @@ pub mod context;
 pub mod entity;
 pub mod graph;
 pub mod hash;
+pub mod lease;
 pub mod memo;
 pub mod monitor;
 pub mod name;
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::coherence::{check_coherence, CoherenceStats, CoherenceVerdict};
     pub use crate::context::Context;
     pub use crate::entity::{ActivityId, Entity, ObjectId};
+    pub use crate::lease::{Lease, ZoneSerial};
     pub use crate::memo::{MemoStats, ResolutionMemo};
     pub use crate::name::{CompoundName, Name};
     pub use crate::replica::ReplicaRegistry;

@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::context::Context;
 use crate::entity::{ActivityId, Entity, ObjectId};
+use crate::lease::ZoneSerial;
 use crate::name::{CompoundName, Name};
 
 /// Number of high bits of an [`ObjectId`] that select the shard.
@@ -235,6 +236,12 @@ struct Shard {
     naming_version: u64,
     /// Shard-local mirror of [`SystemState::epoch`].
     epoch: u64,
+    /// SOA-style zone serial: advanced (wrapping) on exactly the writes
+    /// that advance `naming_version`. Unlike the generation counters,
+    /// serials are *published* facts — anti-entropy ships them to
+    /// replicas, which validate leased cache entries against their local
+    /// copy instead of against σ. See [`crate::lease`].
+    serial: ZoneSerial,
 }
 
 /// The global state function σ: tables of activities and objects with their
@@ -356,6 +363,14 @@ impl SystemState {
         Self::split(o).0
     }
 
+    /// The shard an [`ObjectId`] encodes, computed from the id alone — no
+    /// state access. This is what lets a *client* stamp cache entries
+    /// with zone dependencies without consulting σ: the shard is
+    /// configuration (baked into the id at creation), not state.
+    pub fn shard_of_id(o: ObjectId) -> usize {
+        Self::split(o).0
+    }
+
     /// The shard that [`SystemState::add_object`] currently allocates into.
     pub fn default_shard(&self) -> usize {
         self.default_shard
@@ -391,6 +406,23 @@ impl SystemState {
     /// Panics if `shard` is not a shard of this state.
     pub fn shard_epoch(&self, shard: usize) -> u64 {
         self.shards[shard].epoch
+    }
+
+    /// The SOA-style zone serial of shard `shard`: advanced on exactly
+    /// the naming writes that advance [`SystemState::shard_version`],
+    /// with wrapping ([`ZoneSerial`]) arithmetic. This is the value
+    /// anti-entropy publishes to replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is not a shard of this state.
+    pub fn shard_serial(&self, shard: usize) -> ZoneSerial {
+        self.shards[shard].serial
+    }
+
+    /// The zone serial of every shard, in shard order.
+    pub fn shard_serials(&self) -> Vec<ZoneSerial> {
+        self.shards.iter().map(|s| s.serial).collect()
     }
 
     /// `(naming_version, epoch)` of shard `shard`.
@@ -635,6 +667,7 @@ impl SystemState {
         let sh = Arc::make_mut(&mut self.shards[s]);
         sh.naming_version += 1;
         sh.epoch += 1;
+        sh.serial = sh.serial.bump();
         &mut sh.objects[l].state
     }
 
@@ -677,6 +710,7 @@ impl SystemState {
         let sh = Arc::make_mut(&mut self.shards[s]);
         sh.naming_version += 1;
         sh.epoch += 1;
+        sh.serial = sh.serial.bump();
         sh.objects[l].state.as_context_mut()
     }
 
@@ -728,7 +762,11 @@ impl SystemState {
         self.naming_version += 1;
         self.revision += 1;
         Self::note_shard_write(s);
-        Arc::make_mut(&mut self.shards[s]).naming_version += 1;
+        {
+            let sh = Arc::make_mut(&mut self.shards[s]);
+            sh.naming_version += 1;
+            sh.serial = sh.serial.bump();
+        }
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.bind(name, entity))
     }
@@ -753,7 +791,11 @@ impl SystemState {
         self.naming_version += 1;
         self.revision += 1;
         Self::note_shard_write(s);
-        Arc::make_mut(&mut self.shards[s]).naming_version += 1;
+        {
+            let sh = Arc::make_mut(&mut self.shards[s]);
+            sh.naming_version += 1;
+            sh.serial = sh.serial.bump();
+        }
         let c = self.context_mut_internal(ctx).expect("checked above");
         Ok(c.unbind(name))
     }
@@ -964,6 +1006,33 @@ mod tests {
         let _ = s.context_mut(b);
         assert_eq!(s.shard_epoch(0), 0);
         assert!(s.shard_epoch(1) > e1);
+    }
+
+    #[test]
+    fn zone_serials_track_exactly_the_shard_naming_writes() {
+        let mut s = SystemState::with_shards(2);
+        let a = s.add_context_object_in(0, "a");
+        let b = s.add_context_object_in(1, "b");
+        let (s0, s1) = (s.shard_serial(0), s.shard_serial(1));
+        // Object creation is not a naming write: serials hold still.
+        assert_eq!((s0, s1), (ZoneSerial::ZERO, ZoneSerial::ZERO));
+        // A bind in shard 0 advances shard 0's serial only, in lockstep
+        // with its naming version.
+        s.bind(a, Name::new("b"), b).unwrap();
+        assert!(s.shard_serial(0).is_newer_than(s0));
+        assert_eq!(s.shard_serial(1), s1);
+        assert_eq!(s.shard_serial(0).get(), s.shard_version(0));
+        // Unbind and escape hatches advance it too.
+        s.unbind(a, Name::new("b")).unwrap();
+        let _ = s.context_mut(b);
+        assert_eq!(s.shard_serial(0).get(), s.shard_version(0));
+        assert_eq!(s.shard_serial(1).get(), s.shard_version(1));
+        assert_eq!(
+            s.shard_serials(),
+            vec![s.shard_serial(0), s.shard_serial(1)]
+        );
+        // shard_of_id agrees with the stateful accessor, stateless.
+        assert_eq!(SystemState::shard_of_id(b), s.shard_of(b));
     }
 
     #[test]

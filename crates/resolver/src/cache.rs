@@ -28,6 +28,11 @@ use naming_core::state::SystemState;
 use naming_sim::time::Duration;
 use naming_sim::world::World;
 
+use naming_sim::topology::MachineId;
+
+use crate::coherence::{
+    CoherenceMode, LeaseCacheStats, LeaseProbe, LeasedCache, SerialObservation, SerialTable,
+};
 use crate::engine::{ProtocolEngine, ReferralHop, ResolveStats};
 use crate::referral::{NegativeCache, ReferralCache, ValidatedCacheStats};
 use crate::wire::Mode;
@@ -111,6 +116,34 @@ pub struct CachingResolver {
     memo: ResolutionMemo,
     referrals: ReferralCache,
     negatives: NegativeCache,
+    /// The validation regime: exact (oracle generation checks) or leases
+    /// (TTL + replica-local zone serials, never authoritative state).
+    mode: CoherenceMode,
+    /// Zone serials this replica has heard through anti-entropy pulls —
+    /// the *only* authority the lease path ever validates against.
+    table: SerialTable,
+    /// Lease-mode positive cache; unused (and empty) in exact mode, where
+    /// `memo` carries positives instead.
+    positives: LeasedCache,
+}
+
+/// What one anti-entropy pull ([`CachingResolver::sync`]) accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Wire bytes the exchange cost (request + reply frames).
+    pub bytes: u64,
+    /// Shards answered with a full (AXFR-style) transfer.
+    pub shards_full: usize,
+    /// Shards answered incrementally (IXFR-style, possibly empty).
+    pub shards_incremental: usize,
+    /// Individual binding changes carried in the deltas.
+    pub changes: usize,
+    /// Shards whose authoritative serial moved *backwards* (authority
+    /// restart); the heard serial is re-adopted either way.
+    pub regressions: usize,
+    /// Cached entries (positive, referral, negative) dropped because a
+    /// zone they depend on moved past their stamped serial.
+    pub entries_dropped: u64,
 }
 
 impl CachingResolver {
@@ -126,12 +159,55 @@ impl CachingResolver {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(engine: ProtocolEngine, capacity: usize) -> CachingResolver {
+        CachingResolver::with_mode(engine, capacity, CoherenceMode::Exact)
+    }
+
+    /// Wraps a protocol engine with an explicit cache bound under the
+    /// given coherence regime. Exact mode behaves identically to
+    /// [`CachingResolver::with_capacity`]; lease mode serves every cache
+    /// through TTL + zone-serial validation and never consults
+    /// authoritative state on the resolution path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_mode(
+        engine: ProtocolEngine,
+        capacity: usize,
+        mode: CoherenceMode,
+    ) -> CachingResolver {
         CachingResolver {
             engine,
             memo: ResolutionMemo::with_capacity(capacity),
-            referrals: ReferralCache::new(),
-            negatives: NegativeCache::new(),
+            referrals: ReferralCache::with_mode(crate::referral::DEFAULT_REFERRAL_CAPACITY, mode),
+            negatives: NegativeCache::with_mode(crate::referral::DEFAULT_REFERRAL_CAPACITY, mode),
+            mode,
+            table: SerialTable::new(),
+            positives: LeasedCache::with_capacity(capacity),
         }
+    }
+
+    /// The coherence regime this resolver runs under.
+    pub fn coherence_mode(&self) -> CoherenceMode {
+        self.mode
+    }
+
+    /// The zone serials this replica has heard so far.
+    pub fn serial_table(&self) -> &SerialTable {
+        &self.table
+    }
+
+    /// Mutable access to the heard-serial table. Experiment harnesses use
+    /// this to stage serial regressions (a replica that synced against an
+    /// authority which later restarted from an older snapshot); the
+    /// resolver itself only ever writes through [`CachingResolver::sync`].
+    pub fn serial_table_mut(&mut self) -> &mut SerialTable {
+        &mut self.table
+    }
+
+    /// Lease-mode positive-cache counters (all zero in exact mode).
+    pub fn lease_stats(&self) -> LeaseCacheStats {
+        self.positives.stats()
     }
 
     /// The underlying engine.
@@ -144,20 +220,38 @@ impl CachingResolver {
         &mut self.engine
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far — positive-cache counters under whichever
+    /// store the mode uses (the generation memo in exact mode, the leased
+    /// cache in lease mode).
     pub fn stats(&self) -> CacheStats {
-        let m = self.memo.stats();
-        CacheStats {
-            hits: m.hits,
-            misses: m.misses,
-            invalidations: m.invalidations,
-            evictions: m.evictions,
+        match self.mode {
+            CoherenceMode::Exact => {
+                let m = self.memo.stats();
+                CacheStats {
+                    hits: m.hits,
+                    misses: m.misses,
+                    invalidations: m.invalidations,
+                    evictions: m.evictions,
+                }
+            }
+            CoherenceMode::Lease { .. } => {
+                let l = self.positives.stats();
+                CacheStats {
+                    hits: l.hits,
+                    misses: l.misses,
+                    invalidations: l.invalidated(),
+                    evictions: l.evictions,
+                }
+            }
         }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.memo.len()
+        match self.mode {
+            CoherenceMode::Exact => self.memo.len(),
+            CoherenceMode::Lease { .. } => self.positives.len(),
+        }
     }
 
     /// The cache bound.
@@ -167,7 +261,7 @@ impl CachingResolver {
 
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.memo.is_empty()
+        self.len() == 0
     }
 
     /// Referral-cache statistics so far.
@@ -196,6 +290,9 @@ impl CachingResolver {
         name: &CompoundName,
         mode: Mode,
     ) -> (Entity, bool) {
+        if self.mode.is_lease() {
+            return self.resolve_leased(world, client, start, name, mode);
+        }
         if let Some(e) = self.memo.probe_stale(start, name.components()) {
             #[cfg(feature = "telemetry")]
             naming_telemetry::counter!("cache.hits").bump();
@@ -263,6 +360,106 @@ impl CachingResolver {
         (stats.entity, false)
     }
 
+    /// The lease-mode resolution path. Every cache probe validates with
+    /// replica-local facts only — virtual-time lease expiry and the zone
+    /// serials in [`CachingResolver::serial_table`] — and recorded entries
+    /// are stamped with a *protocol-visible* zone footprint: the start
+    /// context's shard, every referral target's shard (including the
+    /// footprint inherited from a cached-referral jump), and the answer
+    /// object's shard. Contexts a server walks silently between referrals
+    /// are covered by the TTL bound alone, exactly as a DNS resolver's
+    /// cached record is unaffected by a parent-zone edit.
+    fn resolve_leased(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        name: &CompoundName,
+        mode: Mode,
+    ) -> (Entity, bool) {
+        let now = world.now().ticks();
+        if let LeaseProbe::Hit(e) = self
+            .positives
+            .probe(now, &self.table, start, name.components())
+        {
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.hits").bump();
+            return (e, true);
+        }
+        #[cfg(feature = "telemetry")]
+        naming_telemetry::counter!("cache.misses").bump();
+        if self.negatives.probe_leased(now, &self.table, start, name) {
+            return (Entity::Undefined, true);
+        }
+        let jump = match mode {
+            Mode::Iterative => self.referrals.lookup_deepest_leased(
+                now,
+                &self.table,
+                self.engine.service(),
+                start,
+                name.components(),
+            ),
+            Mode::Recursive => None,
+        };
+        let mut zones: Vec<usize> = vec![SystemState::shard_of_id(start)];
+        let (stats, hops, offset): (ResolveStats, Vec<ReferralHop>, usize) = match jump {
+            Some((plen, ctx, _machine, inherited)) => {
+                zones.extend(inherited);
+                zones.push(SystemState::shard_of_id(ctx));
+                let remaining = CompoundName::new(name.components()[plen..].to_vec())
+                    .expect("proper prefix leaves a nonempty suffix");
+                let (s, h) = self
+                    .engine
+                    .resolve_traced(world, client, ctx, &remaining, mode);
+                (s, h, plen)
+            }
+            None => {
+                let (s, h) = self.engine.resolve_traced(world, client, start, name, mode);
+                (s, h, 0)
+            }
+        };
+        // Record the walk's referrals with cumulative footprints: each
+        // deeper prefix depends on every zone crossed to reach it.
+        for hop in &hops {
+            let plen = offset + hop.consumed;
+            zones.push(SystemState::shard_of_id(hop.ctx));
+            if plen >= 1 && plen < name.len() {
+                let prefix =
+                    CompoundName::new(name.components()[..plen].to_vec()).expect("nonempty prefix");
+                self.referrals.record_leased(
+                    now,
+                    &self.table,
+                    start,
+                    &prefix,
+                    hop.ctx,
+                    zones.iter().copied(),
+                );
+            }
+        }
+        if let Entity::Object(o) = stats.entity {
+            zones.push(SystemState::shard_of_id(o));
+        }
+        if stats.entity.is_defined() {
+            self.positives.record(
+                now,
+                self.mode.lease_ttl(),
+                start,
+                name.components(),
+                stats.entity,
+                zones,
+                &self.table,
+            );
+        } else if stats.unreachable {
+            // Transport verdict: cached in neither mode.
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.unreachable_uncached").bump();
+        } else {
+            self.negatives
+                .record_verdict_leased(now, &self.table, start, name, zones, false);
+        }
+        (stats.entity, false)
+    }
+
     /// Resolves many names through the cache in one shot: cache (and
     /// negative-cache) hits answer locally, and the misses ride the
     /// batched wire protocol — grouped by the deepest valid cached
@@ -278,6 +475,9 @@ impl CachingResolver {
         start: ObjectId,
         names: &[CompoundName],
     ) -> CachedBatchOutcome {
+        if self.mode.is_lease() {
+            return self.resolve_batch_leased(world, client, start, names);
+        }
         let mut entities = vec![Entity::Undefined; names.len()];
         let mut from_cache = vec![false; names.len()];
         // Misses grouped by the context the batch will start from:
@@ -372,16 +572,158 @@ impl CachingResolver {
         }
     }
 
+    /// Lease-mode batch resolution: same grouping as the exact path, but
+    /// every probe, jump, and record goes through the lease stores with
+    /// the protocol-visible zone footprints of
+    /// [`CachingResolver::resolve_leased`].
+    fn resolve_batch_leased(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        start: ObjectId,
+        names: &[CompoundName],
+    ) -> CachedBatchOutcome {
+        let now = world.now().ticks();
+        let mut entities = vec![Entity::Undefined; names.len()];
+        let mut from_cache = vec![false; names.len()];
+        let mut slot_zones: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        let mut groups: BTreeMap<ObjectId, Vec<(usize, usize)>> = BTreeMap::new();
+        for (slot, name) in names.iter().enumerate() {
+            if let LeaseProbe::Hit(e) =
+                self.positives
+                    .probe(now, &self.table, start, name.components())
+            {
+                #[cfg(feature = "telemetry")]
+                naming_telemetry::counter!("cache.hits").bump();
+                entities[slot] = e;
+                from_cache[slot] = true;
+                continue;
+            }
+            #[cfg(feature = "telemetry")]
+            naming_telemetry::counter!("cache.misses").bump();
+            if self.negatives.probe_leased(now, &self.table, start, name) {
+                from_cache[slot] = true;
+                continue;
+            }
+            let jump = self.referrals.lookup_deepest_leased(
+                now,
+                &self.table,
+                self.engine.service(),
+                start,
+                name.components(),
+            );
+            slot_zones[slot].push(SystemState::shard_of_id(start));
+            match jump {
+                Some((plen, ctx, _machine, inherited)) => {
+                    slot_zones[slot].extend(inherited);
+                    slot_zones[slot].push(SystemState::shard_of_id(ctx));
+                    groups.entry(ctx).or_default().push((plen, slot));
+                }
+                None => {
+                    groups.entry(start).or_default().push((0, slot));
+                }
+            }
+        }
+        let mut messages = 0u64;
+        let mut latency = Duration::ZERO;
+        let mut seen_referrals: BTreeSet<(CompoundName, ObjectId)> = BTreeSet::new();
+        for (gctx, members) in groups {
+            let remaining: Vec<CompoundName> = members
+                .iter()
+                .map(|&(plen, slot)| {
+                    CompoundName::new(names[slot].components()[plen..].to_vec())
+                        .expect("proper prefix leaves a nonempty suffix")
+                })
+                .collect();
+            let batch = self.engine.resolve_batch(world, client, gctx, &remaining);
+            messages += batch.messages;
+            latency = latency + batch.latency;
+            for (i, &(plen, slot)) in members.iter().enumerate() {
+                entities[slot] = batch.entities[i];
+                for (ref_prefix, _machine, ctx) in &batch.referrals {
+                    let rel = ref_prefix.components();
+                    if names[slot].components()[plen..].starts_with(rel) {
+                        slot_zones[slot].push(SystemState::shard_of_id(*ctx));
+                        let full = plen + rel.len();
+                        if full >= 1 && full < names[slot].len() {
+                            let prefix =
+                                CompoundName::new(names[slot].components()[..full].to_vec())
+                                    .expect("nonempty prefix");
+                            if seen_referrals.insert((prefix.clone(), *ctx)) {
+                                self.referrals.record_leased(
+                                    now,
+                                    &self.table,
+                                    start,
+                                    &prefix,
+                                    *ctx,
+                                    slot_zones[slot].iter().copied(),
+                                );
+                            }
+                        }
+                    }
+                }
+                let name = &names[slot];
+                if let Entity::Object(o) = entities[slot] {
+                    slot_zones[slot].push(SystemState::shard_of_id(o));
+                }
+                if entities[slot].is_defined() {
+                    self.positives.record(
+                        now,
+                        self.mode.lease_ttl(),
+                        start,
+                        name.components(),
+                        entities[slot],
+                        slot_zones[slot].iter().copied(),
+                        &self.table,
+                    );
+                } else if batch.unreachable[i] {
+                    #[cfg(feature = "telemetry")]
+                    naming_telemetry::counter!("cache.unreachable_uncached").bump();
+                } else {
+                    self.negatives.record_verdict_leased(
+                        now,
+                        &self.table,
+                        start,
+                        name,
+                        slot_zones[slot].iter().copied(),
+                        false,
+                    );
+                }
+            }
+        }
+        CachedBatchOutcome {
+            entities,
+            from_cache,
+            messages,
+            latency,
+        }
+    }
+
     /// Drops one cache entry.
     pub fn invalidate(&mut self, start: ObjectId, name: &CompoundName) -> bool {
-        self.memo.remove(start, name.components())
+        match self.mode {
+            CoherenceMode::Exact => self.memo.remove(start, name.components()),
+            CoherenceMode::Lease { .. } => self.positives.remove(start, name.components()),
+        }
     }
 
     /// Drops the whole cache — positive, referral, and negative alike.
+    /// The serial table is kept: forgetting heard serials is a *restart*
+    /// (see [`CachingResolver::restart_replica`]), not a cache flush.
     pub fn invalidate_all(&mut self) {
         self.memo.invalidate_all();
+        self.positives.clear();
         self.referrals.invalidate_all();
         self.negatives.invalidate_all();
+    }
+
+    /// Simulates a replica restart: every cache *and* the heard-serial
+    /// table are wiped. The next [`CachingResolver::sync`] pulls from
+    /// serial zero on every shard, which the authority answers with full
+    /// transfers — a restarted replica cannot trust a diff.
+    pub fn restart_replica(&mut self) {
+        self.invalidate_all();
+        self.table.reset();
     }
 
     /// Generation-based healing: drops every entry whose recorded context
@@ -389,11 +731,73 @@ impl CachingResolver {
     /// version counters — no re-resolution. Returns how many *positive*
     /// entries were dropped; the referral and negative caches are swept
     /// too (their probes validate lazily anyway, this reclaims space).
+    ///
+    /// Exact-mode only: healing reads authoritative generations, which is
+    /// precisely what the lease path must never do.
     pub fn heal(&mut self, world: &World) -> usize {
+        debug_assert!(
+            self.mode.is_exact(),
+            "heal() consults authoritative generations; lease mode syncs serials instead"
+        );
         let n = self.memo.invalidate_stale(world.state());
         self.referrals.heal(world);
         self.negatives.heal(world);
         n
+    }
+
+    /// Drops every leased entry (positive, referral, negative) whose
+    /// lease has lapsed at virtual time `now`; returns how many. A no-op
+    /// in exact mode. Probes drop lapsed entries on sight anyway; this
+    /// reclaims space for entries that are never probed again.
+    pub fn sweep_leases(&mut self, now: u64) -> usize {
+        self.positives.sweep_expired(now)
+            + self.referrals.sweep_expired(now)
+            + self.negatives.sweep_expired(now)
+    }
+
+    /// Anti-entropy pull: asks the authority on `machine` for zone deltas
+    /// since the serials this replica last heard, adopts the answered
+    /// serials, and drops every cached entry stamped under a serial its
+    /// zone has moved past. Returns `None` when the exchange was lost
+    /// (the next periodic pull catches up).
+    ///
+    /// This is the lease path's *only* source of invalidation evidence —
+    /// it reads authoritative state exclusively through the wire.
+    pub fn sync(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        machine: MachineId,
+    ) -> Option<SyncReport> {
+        let since = self.table.snapshot_for(world.state().shard_count());
+        let (delta, bytes) = self
+            .engine
+            .pull_zone_deltas(world, client, machine, since)?;
+        let mut report = SyncReport {
+            bytes,
+            ..SyncReport::default()
+        };
+        for slice in &delta.shards {
+            if slice.full {
+                report.shards_full += 1;
+            } else {
+                report.shards_incremental += 1;
+            }
+            report.changes += slice.changes.len();
+            match self.table.observe(slice.shard, slice.serial) {
+                SerialObservation::Unchanged => continue,
+                SerialObservation::Advanced => {}
+                SerialObservation::Regressed => report.regressions += 1,
+            }
+            // The zone's serial moved: entries stamped under the old
+            // serial were justified by history the zone no longer stands
+            // behind. Drop them eagerly; probes would drop them lazily.
+            let dropped = self.positives.invalidate_zone(slice.shard, slice.serial) as u64
+                + self.referrals.observe_zone(slice.shard, slice.serial) as u64
+                + self.negatives.observe_zone(slice.shard, slice.serial) as u64;
+            report.entries_dropped += dropped;
+        }
+        Some(report)
     }
 
     /// Audits the cache against the authoritative naming state: returns
@@ -840,6 +1244,159 @@ mod tests {
         let (_w, mut r, _client, root) = setup();
         let name = CompoundName::parse_path("/never").unwrap();
         assert!(!r.invalidate(root, &name));
+    }
+
+    fn setup_leased(ttl: Option<u64>) -> (World, CachingResolver, ActivityId, ObjectId, MachineId) {
+        let mut w = World::new(81);
+        let net = w.add_network("n");
+        let m1 = w.add_machine("m1", net);
+        let m2 = w.add_machine("m2", net);
+        let root = w.machine_root(m1);
+        let root2 = w.machine_root(m2);
+        let sub = store::ensure_dir(w.state_mut(), root2, "export");
+        store::create_file(w.state_mut(), sub, "data", vec![]);
+        store::attach(w.state_mut(), root, "remote", sub, false);
+        let mut svc = NameService::install(&mut w, &[m1, m2]);
+        svc.place_subtree(&w, w.machine_root(m2), m2);
+        svc.place_subtree(&w, root, m1);
+        let client = w.spawn(m1, "client", None);
+        let resolver = CachingResolver::with_mode(
+            ProtocolEngine::new(svc),
+            DEFAULT_CACHE_CAPACITY,
+            CoherenceMode::Lease { ttl },
+        );
+        (w, resolver, client, root, m1)
+    }
+
+    /// Pushes virtual time forward by `ticks` without any naming traffic.
+    fn advance(w: &mut World, client: ActivityId, ticks: u64) {
+        w.schedule_wake(client, Duration::from_ticks(ticks), u64::MAX);
+        while w.step() {}
+        w.drain_wakes(client);
+    }
+
+    #[test]
+    fn leased_hits_are_free_and_expire_on_schedule() {
+        let (mut w, mut r, client, root, _m) = setup_leased(Some(50));
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (e1, from_cache1) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(e1.is_defined());
+        assert!(!from_cache1);
+        let sent = w.trace().counter("sent");
+        let (e2, from_cache2) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(e2, e1);
+        assert!(from_cache2, "within the TTL the lease answers");
+        assert_eq!(w.trace().counter("sent"), sent, "lease hits are free");
+        // Past the TTL the lease lapses and the next lookup pays the wire.
+        advance(&mut w, client, 60);
+        let (e3, from_cache3) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert_eq!(e3, e1);
+        assert!(!from_cache3, "an expired lease must not answer");
+        assert!(r.lease_stats().expired >= 1);
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn lease_resolution_never_reads_authoritative_state() {
+        // The replica-local guarantee, demonstrated behaviorally: rebind
+        // at the authority WITHOUT telling the replica, and the lease
+        // keeps serving the old answer until it expires or a sync lands —
+        // exact mode's validated caches would have noticed immediately.
+        let (mut w, mut r, client, root, m1) = setup_leased(None);
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (old, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        r.engine_mut()
+            .publish_binding(&mut w, sub, Name::new("data"), Some(Entity::Object(fresh)))
+            .expect("publish commits");
+        let (served, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(from_cache);
+        assert_eq!(served, old, "unsynced replica still serves the lease");
+        // An anti-entropy pull brings the serial movement home; the entry
+        // drops and the next lookup fetches the new binding.
+        let report = r.sync(&mut w, client, m1).expect("sync completes");
+        assert!(
+            report.entries_dropped >= 1,
+            "serial movement drops the entry"
+        );
+        let (now_fresh, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache);
+        assert_eq!(now_fresh, Entity::Object(fresh));
+    }
+
+    #[test]
+    fn first_sync_is_full_then_incremental() {
+        let (mut w, mut r, client, root, m1) = setup_leased(None);
+        // Never heard any shard: every populated shard answers full.
+        let first = r.sync(&mut w, client, m1).expect("sync completes");
+        assert!(first.shards_full >= 1, "cold replica gets full transfers");
+        assert!(first.bytes > 0);
+        // Nothing changed since: pure heartbeat, zero changes.
+        let idle = r.sync(&mut w, client, m1).expect("sync completes");
+        assert_eq!(idle.shards_full, 0);
+        assert_eq!(idle.changes, 0);
+        assert_eq!(idle.entries_dropped, 0);
+        // One publish: the next sync carries exactly that delta.
+        let sub = match store::resolve_path(w.state(), root, "/remote") {
+            naming_core::entity::Entity::Object(o) => o,
+            other => panic!("remote missing: {other}"),
+        };
+        let fresh = w.state_mut().add_data_object("data-v2", vec![]);
+        r.engine_mut()
+            .publish_binding(&mut w, sub, Name::new("data"), Some(Entity::Object(fresh)))
+            .expect("publish commits");
+        let after = r.sync(&mut w, client, m1).expect("sync completes");
+        assert_eq!(after.shards_full, 0, "journaled write travels as a diff");
+        assert_eq!(after.changes, 1);
+    }
+
+    #[test]
+    fn replica_restart_forces_full_transfers() {
+        let (mut w, mut r, client, _root, m1) = setup_leased(None);
+        r.sync(&mut w, client, m1).expect("warm-up sync");
+        r.restart_replica();
+        assert!(r.is_empty());
+        assert_eq!(r.serial_table().snapshot().len(), 0);
+        let cold = r.sync(&mut w, client, m1).expect("sync completes");
+        assert!(
+            cold.shards_full >= 1,
+            "a restarted replica must not trust diffs"
+        );
+    }
+
+    #[test]
+    fn leased_batch_matches_singles() {
+        let (mut w, mut r, client, root, _m) = setup_leased(None);
+        let names: Vec<CompoundName> = ["/remote/data", "/remote", "/remote/nope", "/remote/data"]
+            .iter()
+            .map(|p| CompoundName::parse_path(p).unwrap())
+            .collect();
+        let batch = r.resolve_batch(&mut w, client, root, &names);
+        let (mut w2, mut r2, client2, root2, _m2) = setup_leased(None);
+        for (i, name) in names.iter().enumerate() {
+            let (e, _) = r2.resolve(&mut w2, client2, root2, name, Mode::Iterative);
+            assert_eq!(batch.entities[i], e, "leased batch disagrees on {name}");
+        }
+        // Everything cached: the same batch again is free.
+        let again = r.resolve_batch(&mut w, client, root, &names);
+        assert_eq!(again.entities, batch.entities);
+        assert_eq!(again.from_cache, vec![true, true, true, true]);
+        assert_eq!(again.messages, 0);
+    }
+
+    #[test]
+    fn zero_ttl_leases_are_never_served() {
+        let (mut w, mut r, client, root, _m) = setup_leased(Some(0));
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let (e1, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(e1.is_defined());
+        assert!(r.is_empty(), "ttl 0 records nothing");
+        let (_, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+        assert!(!from_cache);
     }
 
     #[test]

@@ -1,0 +1,965 @@
+//! Lease coherence: the replica-local validation regime of §5, with
+//! SOA-serial zones and IXFR-style incremental anti-entropy.
+//!
+//! The exact caches in [`referral`](crate::referral) validate entries
+//! against authoritative per-context generations read straight out of
+//! `world.state()` — an oracle no planet-scale deployment has. This
+//! module supplies the deployable alternative, modeled on DNS:
+//!
+//! * every zone (object-table shard) carries a [`ZoneSerial`] advanced on
+//!   each committed naming write (`SystemState` bumps it in lockstep with
+//!   the shard generation);
+//! * cached bindings carry a [`Lease`]: an expiry on the virtual-time
+//!   axis plus the serials of the zones the entry's resolution walked;
+//! * replicas learn serial movement only through **anti-entropy pulls**:
+//!   a [`ZoneDeltaRequest`](crate::wire::ZoneDeltaRequest) carrying the
+//!   serials the puller already holds, answered by a
+//!   [`ZoneDelta`](crate::wire::ZoneDelta) of per-zone slices that are
+//!   either the exact diff since that serial (IXFR) or — when the
+//!   authority's retained [`ZoneJournal`] window no longer covers it, or
+//!   the serial regressed (replica restart) — a complete dump (AXFR).
+//!
+//! Validation under [`CoherenceMode::Lease`] is two replica-local checks:
+//! lease not expired, and no *heard* serial newer than the stamped one.
+//! Neither reads σ; staleness is therefore bounded by TTL plus
+//! propagation delay instead of being zero — exactly the weak-coherence
+//! window the paper analyzes, made measurable. With `ttl = ∞` and a pull
+//! after every publish the two regimes coincide: serial invalidation
+//! drops a superset of what generation healing drops, and every dropped
+//! entry refetches to the identical authoritative answer (the CI cmp leg
+//! pins this byte-for-byte).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use naming_core::entity::{Entity, ObjectId};
+use naming_core::lease::{Lease, ZoneSerial};
+use naming_core::name::Name;
+
+use crate::wire::{ShardDelta, ZoneChange};
+
+/// How a cache decides whether an entry may still be served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// Validate against authoritative per-context generations (the
+    /// oracle). Zero staleness, but requires reading σ on every probe —
+    /// only a simulation can afford it.
+    Exact,
+    /// Validate against replica-local facts only: lease expiry on the
+    /// virtual-time axis and zone serials heard through anti-entropy.
+    /// Staleness is bounded by `ttl` + propagation delay.
+    Lease {
+        /// Lease duration in ticks; `None` = ∞ (entries die by serial
+        /// movement or eviction only).
+        ttl: Option<u64>,
+    },
+}
+
+impl CoherenceMode {
+    /// True for [`CoherenceMode::Exact`].
+    pub const fn is_exact(self) -> bool {
+        matches!(self, CoherenceMode::Exact)
+    }
+
+    /// True for [`CoherenceMode::Lease`].
+    pub const fn is_lease(self) -> bool {
+        matches!(self, CoherenceMode::Lease { .. })
+    }
+
+    /// The lease TTL (`None` = ∞). Meaningful only in lease mode; exact
+    /// mode answers `None` (it never grants leases at all).
+    pub const fn lease_ttl(self) -> Option<u64> {
+        match self {
+            CoherenceMode::Exact => None,
+            CoherenceMode::Lease { ttl } => ttl,
+        }
+    }
+}
+
+/// What a [`SerialTable::observe`] call learned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SerialObservation {
+    /// The serial matches what was already known.
+    Unchanged,
+    /// The authority moved forward; entries stamped with the old serial
+    /// are now suspect.
+    Advanced,
+    /// The authority answered with an *older* serial than previously
+    /// heard — the replica-restart signature. The table adopts the
+    /// authority's truth (it is the authority); callers must treat every
+    /// entry depending on the zone as suspect.
+    Regressed,
+}
+
+/// A replica's knowledge of zone serials: the newest serial *heard* per
+/// shard, strictly via anti-entropy — never read from σ.
+#[derive(Clone, Debug, Default)]
+pub struct SerialTable {
+    heard: BTreeMap<usize, ZoneSerial>,
+}
+
+impl SerialTable {
+    /// A table that has heard nothing (every zone at
+    /// [`ZoneSerial::ZERO`]).
+    pub fn new() -> SerialTable {
+        SerialTable::default()
+    }
+
+    /// The newest serial heard for `shard`
+    /// ([`ZoneSerial::ZERO`] when the zone was never heard from).
+    pub fn known(&self, shard: usize) -> ZoneSerial {
+        self.heard.get(&shard).copied().unwrap_or(ZoneSerial::ZERO)
+    }
+
+    /// Folds an authoritative serial into the table, reporting how it
+    /// relates to what was known. The authority's value is adopted even
+    /// on regression — it *is* the authority; the observation return lets
+    /// the caller quarantine entries stamped under the lost history.
+    pub fn observe(&mut self, shard: usize, serial: ZoneSerial) -> SerialObservation {
+        let known = self.known(shard);
+        if serial == known {
+            return SerialObservation::Unchanged;
+        }
+        self.heard.insert(shard, serial);
+        if serial.is_newer_than(known) {
+            SerialObservation::Advanced
+        } else {
+            SerialObservation::Regressed
+        }
+    }
+
+    /// `(shard, serial)` pairs heard so far, for building a
+    /// [`ZoneDeltaRequest`](crate::wire::ZoneDeltaRequest).
+    pub fn snapshot(&self) -> Vec<(usize, ZoneSerial)> {
+        self.heard.iter().map(|(&s, &v)| (s, v)).collect()
+    }
+
+    /// One `(shard, serial)` pair for *every* shard in `0..shards`,
+    /// filling never-heard shards with [`ZoneSerial::ZERO`] — the request
+    /// shape of a full anti-entropy pull, where silence about a shard
+    /// would otherwise mean never learning it exists.
+    pub fn snapshot_for(&self, shards: usize) -> Vec<(usize, ZoneSerial)> {
+        (0..shards).map(|s| (s, self.known(s))).collect()
+    }
+
+    /// Forgets everything — a replica restart losing its warm state. The
+    /// next pull asks from [`ZoneSerial::ZERO`] and gets full transfers.
+    pub fn reset(&mut self) {
+        self.heard.clear();
+    }
+}
+
+/// Why a [`LeasedCache::probe`] did or did not answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseProbe {
+    /// A valid leased entry answered.
+    Hit(Entity),
+    /// An entry existed but its lease had lapsed; it was dropped.
+    Expired,
+    /// An entry existed but a zone it depends on has a newer heard
+    /// serial; it was dropped.
+    Stale,
+    /// No entry.
+    Miss,
+}
+
+/// Counters for a leased cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseCacheStats {
+    /// Probes answered by a valid leased entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Entries dropped because their lease expired.
+    pub expired: u64,
+    /// Entries dropped because a depended-on zone's heard serial moved
+    /// past the stamp (including regressions).
+    pub serial_dropped: u64,
+    /// Entries recorded.
+    pub recorded: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl LeaseCacheStats {
+    /// Entries dropped for any coherence reason (expiry or serial).
+    pub fn invalidated(&self) -> u64 {
+        self.expired + self.serial_dropped
+    }
+}
+
+/// One leased binding: the entity plus the replica-local facts that
+/// justify serving it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LeasedEntry {
+    entity: Entity,
+    /// First tick at which the entry may no longer be served
+    /// (half-open validity, see [`Lease`]).
+    expires_at: u64,
+    /// Tick the entry was recorded (for staleness-window reporting).
+    recorded_at: u64,
+    /// Every zone the resolution depended on, stamped with the serial
+    /// heard at record time.
+    zones: Vec<(usize, ZoneSerial)>,
+}
+
+/// A bounded cache of leased bindings, validated by the two
+/// replica-local checks only: lease expiry and heard-serial movement.
+/// No method takes σ, a `World`, or a `SystemState` — staleness beyond
+/// the checks is *possible by design* and bounded by the TTL.
+#[derive(Clone, Debug)]
+pub struct LeasedCache {
+    entries: BTreeMap<(ObjectId, Vec<Name>), LeasedEntry>,
+    /// FIFO insertion order for the capacity bound; keys may be stale
+    /// (entries removed out-of-band are skipped when evicting).
+    order: VecDeque<(ObjectId, Vec<Name>)>,
+    capacity: usize,
+    stats: LeaseCacheStats,
+}
+
+impl LeasedCache {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> LeasedCache {
+        assert!(capacity > 0, "a zero-capacity cache cannot hold entries");
+        LeasedCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: LeaseCacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LeaseCacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records `entity` for `(start, suffix)` under a lease granted at
+    /// `now` for `ttl` ticks (`None` = ∞), depending on `zones` — each
+    /// stamped with the serial currently heard in `table`. A `ttl` of 0
+    /// grants a lease that is never valid, so nothing is recorded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        now: u64,
+        ttl: Option<u64>,
+        start: ObjectId,
+        suffix: &[Name],
+        entity: Entity,
+        zones: impl IntoIterator<Item = usize>,
+        table: &SerialTable,
+    ) {
+        if ttl == Some(0) {
+            return;
+        }
+        let mut deps: Vec<(usize, ZoneSerial)> =
+            zones.into_iter().map(|z| (z, table.known(z))).collect();
+        deps.sort_unstable_by_key(|&(z, _)| z);
+        deps.dedup_by_key(|&mut (z, _)| z);
+        let lease = Lease::grant(
+            now,
+            ttl,
+            deps.first().map(|&(_, s)| s).unwrap_or(ZoneSerial::ZERO),
+        );
+        let key = (start, suffix.to_vec());
+        if self
+            .entries
+            .insert(
+                key.clone(),
+                LeasedEntry {
+                    entity,
+                    expires_at: lease.expires_at,
+                    recorded_at: now,
+                    zones: deps,
+                },
+            )
+            .is_none()
+        {
+            self.order.push_back(key);
+        }
+        self.stats.recorded += 1;
+        while self.entries.len() > self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.remove(&old).is_some() {
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Probes `(start, suffix)` at `now`, validating with the two
+    /// replica-local checks. Invalid entries are dropped on sight and the
+    /// probe reports why; only [`LeaseProbe::Hit`] carries an answer.
+    pub fn probe(
+        &mut self,
+        now: u64,
+        table: &SerialTable,
+        start: ObjectId,
+        suffix: &[Name],
+    ) -> LeaseProbe {
+        let key = (start, suffix.to_vec());
+        let Some(entry) = self.entries.get(&key) else {
+            self.stats.misses += 1;
+            return LeaseProbe::Miss;
+        };
+        if now >= entry.expires_at {
+            self.entries.remove(&key);
+            self.stats.expired += 1;
+            self.stats.misses += 1;
+            return LeaseProbe::Expired;
+        }
+        if entry.zones.iter().any(|&(z, s)| table.known(z) != s) {
+            // Any movement — forward or regressed — past the stamped
+            // serial invalidates: the entry was justified under history
+            // the zone no longer stands behind.
+            self.entries.remove(&key);
+            self.stats.serial_dropped += 1;
+            self.stats.misses += 1;
+            return LeaseProbe::Stale;
+        }
+        self.stats.hits += 1;
+        LeaseProbe::Hit(entry.entity)
+    }
+
+    /// The shards the held entry for `(start, suffix)` depends on (empty
+    /// when nothing is held). Lets a caller that jumped through a cached
+    /// referral compose the jumped-over footprint into entries it records
+    /// downstream — without ever consulting σ.
+    pub fn zone_deps(&self, start: ObjectId, suffix: &[Name]) -> Vec<usize> {
+        self.entries
+            .get(&(start, suffix.to_vec()))
+            .map(|e| e.zones.iter().map(|&(z, _)| z).collect())
+            .unwrap_or_default()
+    }
+
+    /// Age in ticks of the entry for `(start, suffix)`, if one is held
+    /// (valid or not): `now - recorded_at`. For staleness-window reports.
+    pub fn entry_age(&self, now: u64, start: ObjectId, suffix: &[Name]) -> Option<u64> {
+        self.entries
+            .get(&(start, suffix.to_vec()))
+            .map(|e| now.saturating_sub(e.recorded_at))
+    }
+
+    /// Removes one entry (no invalidation counted — caller's policy).
+    pub fn remove(&mut self, start: ObjectId, suffix: &[Name]) -> bool {
+        self.entries.remove(&(start, suffix.to_vec())).is_some()
+    }
+
+    /// Drops every entry that depends on `shard` with a stamp other than
+    /// `serial` — called when an anti-entropy pull observes movement.
+    /// Returns how many entries were dropped.
+    pub fn invalidate_zone(&mut self, shard: usize, serial: ZoneSerial) -> usize {
+        let doomed: Vec<(ObjectId, Vec<Name>)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.zones.iter().any(|&(z, s)| z == shard && s != serial))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = doomed.len();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+        self.stats.serial_dropped += n as u64;
+        n
+    }
+
+    /// Drops every entry whose lease has lapsed at `now`. Returns how
+    /// many were dropped. (Probes do this lazily; sweeping reclaims the
+    /// space eagerly.)
+    pub fn sweep_expired(&mut self, now: u64) -> usize {
+        let doomed: Vec<(ObjectId, Vec<Name>)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now >= e.expires_at)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = doomed.len();
+        for k in doomed {
+            self.entries.remove(&k);
+        }
+        self.stats.expired += n as u64;
+        n
+    }
+
+    /// Drops everything (not counted as invalidations).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+/// Default bound on retained changes per zone in a [`ZoneJournal`].
+pub const DEFAULT_JOURNAL_WINDOW: usize = 64;
+
+/// One zone's retained change log.
+#[derive(Clone, Debug)]
+struct ShardLog {
+    /// The serial *before* the oldest retained change: a puller holding
+    /// `base` (or newer) can be served incrementally; anyone older gets
+    /// a full transfer.
+    base: ZoneSerial,
+    entries: VecDeque<(ZoneSerial, ZoneChange)>,
+}
+
+/// The authority-side delta log: a bounded window of recent changes per
+/// zone, from which [`ZoneDeltaRequest`](crate::wire::ZoneDeltaRequest)s
+/// are answered incrementally. A request older than the window — or one
+/// the journal cannot prove contiguous coverage for — falls back to a
+/// full transfer, never to a silently incomplete diff.
+#[derive(Clone, Debug)]
+pub struct ZoneJournal {
+    logs: BTreeMap<usize, ShardLog>,
+    window: usize,
+}
+
+impl ZoneJournal {
+    /// A journal retaining at most `window` changes per zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(window: usize) -> ZoneJournal {
+        assert!(window > 0, "a zero-width journal can never serve a delta");
+        ZoneJournal {
+            logs: BTreeMap::new(),
+            window,
+        }
+    }
+
+    /// The retention bound per zone.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Changes currently retained for `shard`.
+    pub fn retained(&self, shard: usize) -> usize {
+        self.logs.get(&shard).map_or(0, |l| l.entries.len())
+    }
+
+    /// Appends the change committed at `serial` in `shard`. If the
+    /// journal missed intermediate writes (a state mutation bypassed
+    /// publication), the retained history is no longer contiguous and is
+    /// discarded — older pullers then get full transfers, which is sound;
+    /// serving a diff with silent gaps would not be.
+    pub fn record(&mut self, shard: usize, serial: ZoneSerial, change: ZoneChange) {
+        let prev = ZoneSerial::new(serial.get().wrapping_sub(1));
+        let log = self.logs.entry(shard).or_insert_with(|| ShardLog {
+            base: prev,
+            entries: VecDeque::new(),
+        });
+        if let Some(&(last, _)) = log.entries.back() {
+            if serial != last.bump() {
+                log.entries.clear();
+                log.base = prev;
+            }
+        } else if log.base != prev {
+            log.base = prev;
+        }
+        log.entries.push_back((serial, change));
+        while log.entries.len() > self.window {
+            if let Some((s, _)) = log.entries.pop_front() {
+                log.base = s;
+            }
+        }
+    }
+
+    /// The exact changes in `shard` after `since`, **iff** the retained
+    /// window provably covers `(since, current]`. `None` means the caller
+    /// must fall back to a full transfer: the window was evicted past
+    /// `since`, the puller's serial regressed relative to the authority's
+    /// (or vice versa), or unjournaled writes broke contiguity at the
+    /// tail.
+    pub fn delta_since(
+        &self,
+        shard: usize,
+        since: ZoneSerial,
+        current: ZoneSerial,
+    ) -> Option<Vec<ZoneChange>> {
+        if since == current {
+            return Some(Vec::new());
+        }
+        // A puller "ahead" of the authority is the authority-restart
+        // case: no diff can reconcile it.
+        current.distance_from(since)?;
+        let log = self.logs.get(&shard)?;
+        // Coverage: the window must reach back to `since` …
+        if log.base.is_newer_than(since) {
+            return None;
+        }
+        // … and forward to `current` (a gap at the tail means σ moved
+        // without the journal hearing about it).
+        match log.entries.back() {
+            Some(&(last, _)) if last == current => {}
+            _ => return None,
+        }
+        Some(
+            log.entries
+                .iter()
+                .filter(|&&(s, _)| s.is_newer_than(since))
+                .map(|(_, c)| c.clone())
+                .collect(),
+        )
+    }
+}
+
+impl Default for ZoneJournal {
+    fn default() -> ZoneJournal {
+        ZoneJournal::with_window(DEFAULT_JOURNAL_WINDOW)
+    }
+}
+
+/// Counters for a [`ZoneMirror`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MirrorStats {
+    /// Slices applied incrementally (IXFR).
+    pub incremental: u64,
+    /// Slices applied as full dumps (AXFR fallback).
+    pub full: u64,
+    /// Individual binding changes applied.
+    pub changes_applied: u64,
+    /// Slices whose serial regressed relative to what was heard before.
+    pub regressions: u64,
+}
+
+/// A replica's materialized copy of zone bindings, maintained purely by
+/// applying [`ShardDelta`] slices — the client end of anti-entropy. Used
+/// to verify convergence (the mirror must equal the authority's zone
+/// contents once serials match) and to exercise the full-transfer
+/// fallback without touching σ.
+#[derive(Clone, Debug, Default)]
+pub struct ZoneMirror {
+    table: SerialTable,
+    bindings: BTreeMap<usize, BTreeMap<(ObjectId, Name), Entity>>,
+    stats: MirrorStats,
+}
+
+impl ZoneMirror {
+    /// An empty mirror that has heard nothing.
+    pub fn new() -> ZoneMirror {
+        ZoneMirror::default()
+    }
+
+    /// The serials heard so far.
+    pub fn table(&self) -> &SerialTable {
+        &self.table
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MirrorStats {
+        self.stats
+    }
+
+    /// Total bindings materialized across all zones.
+    pub fn len(&self) -> usize {
+        self.bindings.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when no bindings are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies one zone slice: a full dump replaces the zone's contents,
+    /// an incremental diff applies change by change (⊥ unbinds). Adopts
+    /// the slice's serial and reports how it related to prior knowledge.
+    pub fn apply(&mut self, slice: &ShardDelta) -> SerialObservation {
+        let obs = self.table.observe(slice.shard, slice.serial);
+        if obs == SerialObservation::Regressed {
+            self.stats.regressions += 1;
+        }
+        let zone = self.bindings.entry(slice.shard).or_default();
+        if slice.full {
+            zone.clear();
+            self.stats.full += 1;
+        } else {
+            self.stats.incremental += 1;
+        }
+        for c in &slice.changes {
+            self.stats.changes_applied += 1;
+            if c.entity.is_defined() {
+                zone.insert((c.ctx, c.name), c.entity);
+            } else {
+                zone.remove(&(c.ctx, c.name));
+            }
+        }
+        obs
+    }
+
+    /// The mirrored binding of `name` in `ctx` (⊥ when not mirrored).
+    pub fn lookup(&self, shard: usize, ctx: ObjectId, name: Name) -> Entity {
+        self.bindings
+            .get(&shard)
+            .and_then(|z| z.get(&(ctx, name)).copied())
+            .unwrap_or(Entity::Undefined)
+    }
+
+    /// The mirrored bindings of one zone, sorted, for convergence checks.
+    pub fn zone_bindings(&self, shard: usize) -> Vec<(ObjectId, Name, Entity)> {
+        self.bindings
+            .get(&shard)
+            .map(|z| z.iter().map(|(&(c, n), &e)| (c, n, e)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Replica restart: warm state is gone. The serial table and the
+    /// materialized bindings are dropped (stats survive — they belong to
+    /// the experimenter, not the replica); the next pull starts from
+    /// [`ZoneSerial::ZERO`] and forces full transfers.
+    pub fn restart(&mut self) {
+        self.table.reset();
+        self.bindings.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(raw: u32) -> ObjectId {
+        ObjectId::from_index(raw)
+    }
+
+    fn change(ctx: u32, name: &str, bound: Option<u32>) -> ZoneChange {
+        ZoneChange {
+            ctx: oid(ctx),
+            name: Name::new(name),
+            entity: bound
+                .map(|o| Entity::Object(oid(o)))
+                .unwrap_or(Entity::Undefined),
+        }
+    }
+
+    #[test]
+    fn serial_table_observes_advance_and_regression() {
+        let mut t = SerialTable::new();
+        assert_eq!(t.known(3), ZoneSerial::ZERO);
+        assert_eq!(
+            t.observe(3, ZoneSerial::new(5)),
+            SerialObservation::Advanced
+        );
+        assert_eq!(
+            t.observe(3, ZoneSerial::new(5)),
+            SerialObservation::Unchanged
+        );
+        assert_eq!(
+            t.observe(3, ZoneSerial::new(9)),
+            SerialObservation::Advanced
+        );
+        // Authority restart: older serial. Adopted, but flagged.
+        assert_eq!(
+            t.observe(3, ZoneSerial::new(2)),
+            SerialObservation::Regressed
+        );
+        assert_eq!(t.known(3), ZoneSerial::new(2));
+        t.reset();
+        assert_eq!(t.known(3), ZoneSerial::ZERO);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn leased_cache_serves_until_expiry_or_serial_movement() {
+        let mut table = SerialTable::new();
+        table.observe(0, ZoneSerial::new(4));
+        let mut c = LeasedCache::with_capacity(8);
+        let suffix = [Name::new("a"), Name::new("b")];
+        c.record(
+            100,
+            Some(20),
+            oid(1),
+            &suffix,
+            Entity::Object(oid(9)),
+            [0],
+            &table,
+        );
+        assert_eq!(
+            c.probe(119, &table, oid(1), &suffix),
+            LeaseProbe::Hit(Entity::Object(oid(9)))
+        );
+        // Expiry exactly at the tick: the half-open interval closes.
+        c.record(
+            100,
+            Some(20),
+            oid(1),
+            &suffix,
+            Entity::Object(oid(9)),
+            [0],
+            &table,
+        );
+        assert_eq!(c.probe(120, &table, oid(1), &suffix), LeaseProbe::Expired);
+        assert_eq!(c.probe(120, &table, oid(1), &suffix), LeaseProbe::Miss);
+        // Serial movement kills an unexpired entry.
+        c.record(
+            100,
+            Some(1000),
+            oid(1),
+            &suffix,
+            Entity::Object(oid(9)),
+            [0],
+            &table,
+        );
+        table.observe(0, ZoneSerial::new(5));
+        assert_eq!(c.probe(101, &table, oid(1), &suffix), LeaseProbe::Stale);
+        assert_eq!(c.stats().expired, 1);
+        assert_eq!(c.stats().serial_dropped, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_ttl_records_nothing_and_infinite_ttl_never_expires() {
+        let table = SerialTable::new();
+        let mut c = LeasedCache::with_capacity(8);
+        let suffix = [Name::new("x")];
+        c.record(
+            7,
+            Some(0),
+            oid(1),
+            &suffix,
+            Entity::Object(oid(2)),
+            [0],
+            &table,
+        );
+        assert!(c.is_empty(), "ttl 0 is never servable; do not store it");
+        c.record(
+            7,
+            None,
+            oid(1),
+            &suffix,
+            Entity::Object(oid(2)),
+            [0],
+            &table,
+        );
+        assert_eq!(
+            c.probe(u64::MAX - 1, &table, oid(1), &suffix),
+            LeaseProbe::Hit(Entity::Object(oid(2)))
+        );
+    }
+
+    #[test]
+    fn leased_cache_bounds_by_fifo_eviction() {
+        let table = SerialTable::new();
+        let mut c = LeasedCache::with_capacity(2);
+        for i in 0..4u32 {
+            let suffix = [Name::new(&format!("n{i}"))];
+            c.record(
+                0,
+                None,
+                oid(1),
+                &suffix,
+                Entity::Object(oid(i)),
+                [0],
+                &table,
+            );
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 2);
+        // The oldest two are gone, the newest two serve.
+        assert_eq!(
+            c.probe(1, &table, oid(1), &[Name::new("n0")]),
+            LeaseProbe::Miss
+        );
+        assert_eq!(
+            c.probe(1, &table, oid(1), &[Name::new("n3")]),
+            LeaseProbe::Hit(Entity::Object(oid(3)))
+        );
+    }
+
+    #[test]
+    fn invalidate_zone_drops_exactly_the_dependents() {
+        let mut table = SerialTable::new();
+        table.observe(0, ZoneSerial::new(1));
+        table.observe(1, ZoneSerial::new(1));
+        let mut c = LeasedCache::with_capacity(8);
+        c.record(
+            0,
+            None,
+            oid(1),
+            &[Name::new("a")],
+            Entity::Object(oid(5)),
+            [0],
+            &table,
+        );
+        c.record(
+            0,
+            None,
+            oid(2),
+            &[Name::new("b")],
+            Entity::Object(oid(6)),
+            [1],
+            &table,
+        );
+        c.record(
+            0,
+            None,
+            oid(3),
+            &[Name::new("c")],
+            Entity::Object(oid(7)),
+            [0, 1],
+            &table,
+        );
+        assert_eq!(c.invalidate_zone(0, ZoneSerial::new(2)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.probe(1, &table, oid(2), &[Name::new("b")]),
+            LeaseProbe::Hit(Entity::Object(oid(6)))
+        );
+    }
+
+    #[test]
+    fn sweep_expired_reclaims_lapsed_leases() {
+        let table = SerialTable::new();
+        let mut c = LeasedCache::with_capacity(8);
+        c.record(
+            0,
+            Some(10),
+            oid(1),
+            &[Name::new("a")],
+            Entity::Object(oid(5)),
+            [0],
+            &table,
+        );
+        c.record(
+            0,
+            Some(30),
+            oid(2),
+            &[Name::new("b")],
+            Entity::Object(oid(6)),
+            [0],
+            &table,
+        );
+        assert_eq!(c.sweep_expired(10), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn journal_serves_incremental_within_window() {
+        let mut j = ZoneJournal::with_window(16);
+        for i in 1..=5u64 {
+            j.record(
+                0,
+                ZoneSerial::new(i),
+                change(10, &format!("n{i}"), Some(100 + i as u32)),
+            );
+        }
+        let cur = ZoneSerial::new(5);
+        assert_eq!(j.delta_since(0, cur, cur), Some(Vec::new()));
+        let d = j.delta_since(0, ZoneSerial::new(3), cur).expect("covered");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].name, Name::new("n4"));
+        assert_eq!(d[1].name, Name::new("n5"));
+        // From before any journaled history: full transfer.
+        // (base is serial 0 here, so 0 is still coverable …)
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::ZERO, cur).map(|d| d.len()),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn journal_eviction_forces_full_transfer() {
+        let mut j = ZoneJournal::with_window(4);
+        for i in 1..=10u64 {
+            j.record(0, ZoneSerial::new(i), change(10, "n", Some(i as u32)));
+        }
+        assert_eq!(j.retained(0), 4);
+        let cur = ZoneSerial::new(10);
+        // since=6 is the window base: still covered (changes 7..=10).
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::new(6), cur).map(|d| d.len()),
+            Some(4)
+        );
+        // since=5 fell off the window: full transfer required.
+        assert_eq!(j.delta_since(0, ZoneSerial::new(5), cur), None);
+        // An unknown shard has no journal at all.
+        assert_eq!(j.delta_since(7, ZoneSerial::ZERO, ZoneSerial::new(1)), None);
+    }
+
+    #[test]
+    fn journal_regression_and_gaps_refuse_diffs() {
+        let mut j = ZoneJournal::with_window(8);
+        j.record(0, ZoneSerial::new(1), change(10, "a", Some(1)));
+        j.record(0, ZoneSerial::new(2), change(10, "b", Some(2)));
+        // Puller ahead of the authority (authority restarted): no diff.
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::new(9), ZoneSerial::new(2)),
+            None
+        );
+        // A write bypassed the journal: σ says current=5, tail says 2.
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::new(1), ZoneSerial::new(5)),
+            None
+        );
+        // Recording resumes after the gap: history restarts at the gap.
+        j.record(0, ZoneSerial::new(6), change(10, "c", Some(3)));
+        assert_eq!(j.retained(0), 1, "non-contiguous history was discarded");
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::new(1), ZoneSerial::new(6)),
+            None
+        );
+        assert_eq!(
+            j.delta_since(0, ZoneSerial::new(5), ZoneSerial::new(6))
+                .map(|d| d.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn mirror_applies_incremental_and_full_and_flags_regression() {
+        let mut m = ZoneMirror::new();
+        // Incremental slice: two binds, then an unbind.
+        let inc = ShardDelta {
+            shard: 0,
+            serial: ZoneSerial::new(3),
+            full: false,
+            changes: vec![
+                change(10, "a", Some(1)),
+                change(10, "b", Some(2)),
+                change(10, "a", None),
+            ],
+        };
+        assert_eq!(m.apply(&inc), SerialObservation::Advanced);
+        assert_eq!(m.lookup(0, oid(10), Name::new("b")), Entity::Object(oid(2)));
+        assert_eq!(m.lookup(0, oid(10), Name::new("a")), Entity::Undefined);
+        assert_eq!(m.len(), 1);
+        // Full slice replaces everything in the zone.
+        let full = ShardDelta {
+            shard: 0,
+            serial: ZoneSerial::new(7),
+            full: true,
+            changes: vec![change(10, "c", Some(3))],
+        };
+        assert_eq!(m.apply(&full), SerialObservation::Advanced);
+        assert_eq!(
+            m.zone_bindings(0),
+            vec![(oid(10), Name::new("c"), Entity::Object(oid(3)))]
+        );
+        // Authority regression is flagged and adopted.
+        let back = ShardDelta {
+            shard: 0,
+            serial: ZoneSerial::new(2),
+            full: true,
+            changes: vec![],
+        };
+        assert_eq!(m.apply(&back), SerialObservation::Regressed);
+        assert_eq!(m.stats().regressions, 1);
+        assert!(m.is_empty());
+        // Restart forgets serials and bindings; the next request starts
+        // from ZERO (forcing a full transfer at the authority).
+        m.restart();
+        assert_eq!(m.table().known(0), ZoneSerial::ZERO);
+    }
+}

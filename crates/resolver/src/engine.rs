@@ -9,14 +9,20 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use naming_core::entity::{ActivityId, Entity, ObjectId};
-use naming_core::name::CompoundName;
+use naming_core::lease::ZoneSerial;
+use naming_core::name::{CompoundName, Name};
+use naming_core::state::SystemState;
 use naming_sim::message::Payload;
 use naming_sim::time::Duration;
 use naming_sim::topology::MachineId;
 use naming_sim::world::World;
 
+use crate::coherence::ZoneJournal;
 use crate::service::NameService;
-use crate::wire::{BatchReply, BatchRequest, Mode, NameTrie, Outcome, Reply, Request, ZoneUpdate};
+use crate::wire::{
+    BatchReply, BatchRequest, Mode, NameTrie, Outcome, Reply, Request, ShardDelta, ZoneChange,
+    ZoneDelta, ZoneDeltaRequest, ZoneUpdate,
+};
 
 /// What a completed resolution cost.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -164,6 +170,10 @@ pub struct ProtocolEngine {
     /// reply bearing one of these ids is a *late* reply: counted, dropped.
     superseded: BTreeSet<u64>,
     counters: RetryCounters,
+    /// Authority-side delta log: every write routed through
+    /// [`ProtocolEngine::publish_binding`] is journaled at its zone
+    /// serial, so anti-entropy pulls can be answered incrementally.
+    journal: ZoneJournal,
 }
 
 impl ProtocolEngine {
@@ -177,7 +187,24 @@ impl ProtocolEngine {
             retry: None,
             superseded: BTreeSet::new(),
             counters: RetryCounters::default(),
+            journal: ZoneJournal::default(),
         }
+    }
+
+    /// The authority-side delta journal.
+    pub fn journal(&self) -> &ZoneJournal {
+        &self.journal
+    }
+
+    /// Replaces the journal's retention window (changes per zone). A
+    /// smaller window forces full transfers sooner — the IXFR→AXFR
+    /// fallback the coherence bench measures. Retained history is reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_journal_window(&mut self, window: usize) {
+        self.journal = ZoneJournal::with_window(window);
     }
 
     /// The underlying service.
@@ -828,6 +855,85 @@ impl ProtocolEngine {
         sent
     }
 
+    /// Commits one naming write — `Some(entity)` binds, `None` unbinds —
+    /// and journals it at the zone serial the write advanced to, so
+    /// anti-entropy pulls can replay it incrementally. This is the
+    /// publication path of lease coherence: writes that bypass it (raw
+    /// `state_mut()` mutation) still advance the serial, but the journal
+    /// detects the gap and falls back to full transfers rather than
+    /// serving a diff with holes.
+    ///
+    /// Returns the zone serial after the write, or `None` when the write
+    /// was refused (e.g. `ctx` is not a context).
+    pub fn publish_binding(
+        &mut self,
+        world: &mut World,
+        ctx: ObjectId,
+        name: Name,
+        entity: Option<Entity>,
+    ) -> Option<ZoneSerial> {
+        let shard = SystemState::shard_of_id(ctx);
+        let committed = match entity {
+            Some(e) => world.state_mut().bind(ctx, name, e).is_ok(),
+            None => world.state_mut().unbind(ctx, name).is_ok(),
+        };
+        if !committed {
+            return None;
+        }
+        let serial = world.state().shard_serial(shard);
+        self.journal.record(
+            shard,
+            serial,
+            ZoneChange {
+                ctx,
+                name,
+                entity: entity.unwrap_or(Entity::Undefined),
+            },
+        );
+        Some(serial)
+    }
+
+    /// Pulls zone deltas from the authority on `machine`: sends a
+    /// [`ZoneDeltaRequest`] carrying `since` (the serials the caller
+    /// already holds) and pumps the queue until the matching
+    /// [`ZoneDelta`] arrives. Returns the delta plus the wire bytes the
+    /// exchange cost (request + reply frames), or `None` when the
+    /// exchange was lost (no retry: anti-entropy is periodic, the next
+    /// pull catches up).
+    pub fn pull_zone_deltas(
+        &mut self,
+        world: &mut World,
+        client: ActivityId,
+        machine: MachineId,
+        since: Vec<(usize, ZoneSerial)>,
+    ) -> Option<(ZoneDelta, u64)> {
+        let id = self.alloc_id();
+        let req = ZoneDeltaRequest { id, since };
+        let req_bytes = req.wire_len() as u64;
+        let server = self.service.server_on(machine);
+        world.send(client, server, vec![Payload::Bytes(req.encode())]);
+        let mut steps = 0usize;
+        loop {
+            while let Some(msg) = world.receive(client) {
+                for part in &msg.parts {
+                    let Payload::Bytes(b) = part else { continue };
+                    if let Some(rep) = ZoneDelta::decode(b.clone()) {
+                        if rep.id == id {
+                            let bytes = req_bytes + rep.wire_len() as u64;
+                            return Some((rep, bytes));
+                        }
+                        self.note_stale_reply(rep.id);
+                    }
+                }
+            }
+            if steps >= self.max_steps || !world.step() {
+                return None;
+            }
+            steps += 1;
+            self.drain_servers(world);
+        }
+    }
+
     /// Drains the event queue, letting servers process whatever is in
     /// flight (replica updates, stray replies). Returns the number of
     /// events processed.
@@ -908,6 +1014,8 @@ impl ProtocolEngine {
                         self.handle_forwarded_reply(world, server, rep);
                     } else if let Some(update) = ZoneUpdate::decode(b.clone()) {
                         self.handle_zone_update(world, machine, update);
+                    } else if let Some(req) = ZoneDeltaRequest::decode(b.clone()) {
+                        self.handle_zone_delta_request(world, server, msg.from, req);
                     }
                 }
             }
@@ -999,6 +1107,66 @@ impl ProtocolEngine {
             let fresh: naming_core::context::Context = update.bindings.iter().copied().collect();
             *ctx = fresh;
         }
+    }
+
+    /// Answers an anti-entropy pull. Per requested shard: equal serials
+    /// yield an empty incremental slice (a pure heartbeat), a journal
+    /// window that still covers `since` yields the diff, and anything
+    /// else — window evicted, authority restarted behind the puller, or
+    /// an unjournaled-write gap — degrades to a full dump of the shard's
+    /// live bindings (the AXFR fallback).
+    fn handle_zone_delta_request(
+        &mut self,
+        world: &mut World,
+        server: ActivityId,
+        requester: ActivityId,
+        req: ZoneDeltaRequest,
+    ) {
+        let mut shards = Vec::with_capacity(req.since.len());
+        for &(shard, since) in &req.since {
+            if shard >= world.state().shard_count() {
+                continue;
+            }
+            let current = world.state().shard_serial(shard);
+            let slice = if since == current {
+                ShardDelta {
+                    shard,
+                    serial: current,
+                    full: false,
+                    changes: Vec::new(),
+                }
+            } else if let Some(changes) = self.journal.delta_since(shard, since, current) {
+                ShardDelta {
+                    shard,
+                    serial: current,
+                    full: false,
+                    changes,
+                }
+            } else {
+                let state = world.state();
+                let changes = state
+                    .objects()
+                    .filter(|&o| SystemState::shard_of_id(o) == shard)
+                    .filter_map(|o| state.context(o).map(|ctx| (o, ctx)))
+                    .flat_map(|(o, ctx)| {
+                        ctx.iter().map(move |(name, entity)| ZoneChange {
+                            ctx: o,
+                            name,
+                            entity,
+                        })
+                    })
+                    .collect();
+                ShardDelta {
+                    shard,
+                    serial: current,
+                    full: true,
+                    changes,
+                }
+            };
+            shards.push(slice);
+        }
+        let reply = ZoneDelta { id: req.id, shards };
+        world.send(server, requester, vec![Payload::Bytes(reply.encode())]);
     }
 
     fn handle_forwarded_reply(&mut self, world: &mut World, server: ActivityId, rep: Reply) {
@@ -1118,6 +1286,135 @@ mod tests {
         assert_eq!(stats.entity, Entity::Undefined);
         assert_eq!(stats.messages, 0);
         assert!(stats.unreachable, "no authority addressable ≠ unbound");
+    }
+
+    #[test]
+    fn zone_delta_pull_round_trips_incrementally() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let shard = SystemState::shard_of_id(root);
+        let before = w.state().shard_serial(shard);
+        let tgt = Entity::Object(root);
+        let s1 = engine
+            .publish_binding(&mut w, root, Name::new("alpha"), Some(tgt))
+            .expect("bind commits");
+        let s2 = engine
+            .publish_binding(&mut w, root, Name::new("alpha"), None)
+            .expect("unbind commits");
+        assert!(s2.is_newer_than(s1) && s1.is_newer_than(before));
+        let (delta, bytes) = engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, before)])
+            .expect("pull completes");
+        assert!(bytes > 0);
+        assert_eq!(delta.shards.len(), 1);
+        let slice = &delta.shards[0];
+        assert!(
+            !slice.full,
+            "journal window covers the gap — IXFR, not AXFR"
+        );
+        assert_eq!(slice.serial, s2);
+        assert_eq!(slice.changes.len(), 2);
+        assert_eq!(slice.changes[0].entity, tgt);
+        assert_eq!(slice.changes[1].entity, Entity::Undefined);
+    }
+
+    #[test]
+    fn zone_delta_equal_serials_are_a_heartbeat() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let shard = SystemState::shard_of_id(root);
+        let current = w.state().shard_serial(shard);
+        let (delta, _) = engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, current)])
+            .expect("pull completes");
+        assert_eq!(delta.shards.len(), 1);
+        assert!(!delta.shards[0].full);
+        assert!(delta.shards[0].changes.is_empty());
+        assert_eq!(delta.shards[0].serial, current);
+    }
+
+    #[test]
+    fn zone_delta_falls_back_to_full_when_window_evicted() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        engine.set_journal_window(2);
+        let shard = SystemState::shard_of_id(root);
+        let before = w.state().shard_serial(shard);
+        for i in 0..5 {
+            engine
+                .publish_binding(
+                    &mut w,
+                    root,
+                    Name::new(&format!("k{i}")),
+                    Some(Entity::Object(root)),
+                )
+                .expect("bind commits");
+        }
+        let (delta, _) = engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, before)])
+            .expect("pull completes");
+        let slice = &delta.shards[0];
+        assert!(slice.full, "evicted window must force a full transfer");
+        assert_eq!(slice.serial, w.state().shard_serial(shard));
+        // The dump carries the live bindings, including the five new keys.
+        for i in 0..5 {
+            assert!(slice
+                .changes
+                .iter()
+                .any(|c| c.ctx == root && c.name == Name::new(&format!("k{i}"))));
+        }
+        // A pull from within the retained window still gets an IXFR.
+        let mid = slice.serial;
+        engine
+            .publish_binding(&mut w, root, Name::new("k0"), None)
+            .expect("unbind commits");
+        let (delta2, _) = engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, mid)])
+            .expect("pull completes");
+        assert!(!delta2.shards[0].full);
+        assert_eq!(delta2.shards[0].changes.len(), 1);
+    }
+
+    #[test]
+    fn zone_delta_pull_over_dead_links_returns_none() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let shard = SystemState::shard_of_id(root);
+        let before = w.state().shard_serial(shard);
+        w.set_message_drop_rate(1.0);
+        assert!(engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, before)])
+            .is_none());
+    }
+
+    #[test]
+    fn unjournaled_writes_poison_the_diff_window() {
+        let (mut w, svc, machines, root, _) = chain_world();
+        let client = w.spawn(machines[0], "client", None);
+        let mut engine = ProtocolEngine::new(svc);
+        let shard = SystemState::shard_of_id(root);
+        let before = w.state().shard_serial(shard);
+        engine
+            .publish_binding(&mut w, root, Name::new("seen"), Some(Entity::Object(root)))
+            .expect("bind commits");
+        // A write that bypasses publish_binding advances the serial behind
+        // the journal's back; the next journaled write detects the gap.
+        w.state_mut()
+            .bind(root, Name::new("ghost"), Entity::Object(root))
+            .expect("raw bind commits");
+        engine
+            .publish_binding(&mut w, root, Name::new("after"), Some(Entity::Object(root)))
+            .expect("bind commits");
+        let (delta, _) = engine
+            .pull_zone_deltas(&mut w, client, machines[0], vec![(shard, before)])
+            .expect("pull completes");
+        let slice = &delta.shards[0];
+        assert!(slice.full, "a serial gap must not be served as a diff");
+        assert!(slice.changes.iter().any(|c| c.name == Name::new("ghost")));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod coherence;
 #[cfg(feature = "parallel")]
 pub mod concurrent;
 pub mod engine;

@@ -7,6 +7,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::lease::ZoneSerial;
 use naming_core::name::{CompoundName, Name};
 use naming_sim::topology::MachineId;
 
@@ -129,11 +130,184 @@ impl ZoneUpdate {
     }
 }
 
+/// A diff-since-serial pull: the client reports, per zone (shard), the
+/// last serial it has heard, and asks the authority for everything newer.
+/// The IXFR analogue — [`ZoneDelta`] is the answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneDeltaRequest {
+    /// Correlation id.
+    pub id: u64,
+    /// `(shard, serial already held)` per zone of interest.
+    /// [`ZoneSerial::ZERO`] means "never synced" and in practice forces a
+    /// full transfer.
+    pub since: Vec<(usize, ZoneSerial)>,
+}
+
+impl ZoneDeltaRequest {
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        1 + 8 + 2 + self.since.len() * (2 + 8)
+    }
+
+    /// Encodes the request into an exactly pre-sized frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u8(TAG_ZONE_DELTA_REQUEST);
+        buf.put_u64(self.id);
+        buf.put_u16(u16::try_from(self.since.len()).expect("too many shards for wire"));
+        for &(shard, serial) in &self.since {
+            buf.put_u16(u16::try_from(shard).expect("shard index exceeds wire width"));
+            buf.put_u64(serial.get());
+        }
+        debug_assert_eq!(buf.len(), self.wire_len());
+        buf.freeze()
+    }
+
+    /// Decodes a request frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<ZoneDeltaRequest> {
+        if buf.remaining() < 1 + 8 + 2 || buf.get_u8() != TAG_ZONE_DELTA_REQUEST {
+            return None;
+        }
+        let id = buf.get_u64();
+        let count = buf.get_u16() as usize;
+        let mut since = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            if buf.remaining() < 2 + 8 {
+                return None;
+            }
+            let shard = buf.get_u16() as usize;
+            since.push((shard, ZoneSerial::new(buf.get_u64())));
+        }
+        Some(ZoneDeltaRequest { id, since })
+    }
+}
+
+/// One binding change inside a [`ShardDelta`]: `entity` is the new value
+/// of `name` in context `ctx`; [`Entity::Undefined`] encodes an unbind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneChange {
+    /// The context object the change landed in.
+    pub ctx: ObjectId,
+    /// The name whose binding changed.
+    pub name: Name,
+    /// The new binding (⊥ = the name was unbound).
+    pub entity: Entity,
+}
+
+/// One zone's slice of a [`ZoneDelta`] reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardDelta {
+    /// The zone (shard) this slice describes.
+    pub shard: usize,
+    /// The authority's serial as of this frame; the puller adopts it.
+    pub serial: ZoneSerial,
+    /// `true` — the requested serial fell outside the retained delta
+    /// window (or had regressed) and `changes` is a complete dump of the
+    /// zone's bindings (AXFR fallback). `false` — `changes` is the exact
+    /// incremental diff since the requested serial (IXFR).
+    pub full: bool,
+    /// The changes, in commit order for incremental transfers.
+    pub changes: Vec<ZoneChange>,
+}
+
+/// The authority's answer to a [`ZoneDeltaRequest`]: per requested zone,
+/// either an incremental diff or a full transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneDelta {
+    /// Echoes [`ZoneDeltaRequest::id`].
+    pub id: u64,
+    /// One slice per requested shard, in request order.
+    pub shards: Vec<ShardDelta>,
+}
+
+impl ZoneDelta {
+    /// Exact encoded size of the frame, for pre-sizing buffers.
+    pub fn wire_len(&self) -> usize {
+        let shards: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                2 + 8
+                    + 1
+                    + 4
+                    + s.changes
+                        .iter()
+                        .map(|c| 4 + 2 + c.name.as_str().len() + entity_wire_len(c.entity))
+                        .sum::<usize>()
+            })
+            .sum();
+        1 + 8 + 2 + shards
+    }
+
+    /// Encodes the reply into an exactly pre-sized frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_u8(TAG_ZONE_DELTA);
+        buf.put_u64(self.id);
+        buf.put_u16(u16::try_from(self.shards.len()).expect("too many shards for wire"));
+        for s in &self.shards {
+            buf.put_u16(u16::try_from(s.shard).expect("shard index exceeds wire width"));
+            buf.put_u64(s.serial.get());
+            buf.put_u8(u8::from(s.full));
+            buf.put_u32(u32::try_from(s.changes.len()).expect("delta too large for wire"));
+            for c in &s.changes {
+                buf.put_u32(c.ctx.index() as u32);
+                put_name(&mut buf, c.name);
+                put_entity(&mut buf, c.entity);
+            }
+        }
+        debug_assert_eq!(buf.len(), self.wire_len());
+        buf.freeze()
+    }
+
+    /// Decodes a reply frame. Returns `None` on malformed input.
+    pub fn decode(mut buf: Bytes) -> Option<ZoneDelta> {
+        if buf.remaining() < 1 + 8 + 2 || buf.get_u8() != TAG_ZONE_DELTA {
+            return None;
+        }
+        let id = buf.get_u64();
+        let count = buf.get_u16() as usize;
+        let mut shards = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            if buf.remaining() < 2 + 8 + 1 + 4 {
+                return None;
+            }
+            let shard = buf.get_u16() as usize;
+            let serial = ZoneSerial::new(buf.get_u64());
+            let full = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let n = buf.get_u32() as usize;
+            let mut changes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let ctx = ObjectId::from_index(buf.get_u32());
+                let name = get_name(&mut buf)?;
+                let entity = get_entity(&mut buf)?;
+                changes.push(ZoneChange { ctx, name, entity });
+            }
+            shards.push(ShardDelta {
+                shard,
+                serial,
+                full,
+                changes,
+            });
+        }
+        Some(ZoneDelta { id, shards })
+    }
+}
+
 const TAG_REQUEST: u8 = 1;
 const TAG_REPLY: u8 = 2;
 const TAG_ZONE_UPDATE: u8 = 3;
 const TAG_BATCH_REQUEST: u8 = 4;
 const TAG_BATCH_REPLY: u8 = 5;
+const TAG_ZONE_DELTA_REQUEST: u8 = 6;
+const TAG_ZONE_DELTA: u8 = 7;
 
 const OUT_RESOLVED: u8 = 1;
 const OUT_REFERRAL: u8 = 2;
@@ -1012,9 +1186,58 @@ mod tests {
                 if let Some(brep) = BatchReply::decode(b.clone()) {
                     prop_assert_eq!(BatchReply::decode(brep.encode()), Some(brep));
                 }
-                if let Some(up) = ZoneUpdate::decode(b) {
+                if let Some(up) = ZoneUpdate::decode(b.clone()) {
                     prop_assert_eq!(ZoneUpdate::decode(up.encode()), Some(up));
                 }
+                if let Some(dreq) = ZoneDeltaRequest::decode(b.clone()) {
+                    prop_assert_eq!(ZoneDeltaRequest::decode(dreq.encode()), Some(dreq));
+                }
+                if let Some(delta) = ZoneDelta::decode(b) {
+                    prop_assert_eq!(ZoneDelta::decode(delta.encode()), Some(delta));
+                }
+            }
+
+            /// ZoneDelta round-trip for arbitrary well-formed content:
+            /// incremental and full slices, binds and unbinds.
+            #[test]
+            fn zone_delta_roundtrip_general(
+                id in any::<u64>(),
+                slices in proptest::collection::vec(
+                    (
+                        0usize..1024,
+                        any::<u64>(),
+                        any::<bool>(),
+                        proptest::collection::vec(
+                            (0u32..100_000, "[a-z]{1,6}", 0u32..3, 0u32..100),
+                            0..8,
+                        ),
+                    ),
+                    0..5,
+                ),
+            ) {
+                let shards: Vec<ShardDelta> = slices
+                    .iter()
+                    .map(|(shard, serial, full, raw)| ShardDelta {
+                        shard: *shard,
+                        serial: ZoneSerial::new(*serial),
+                        full: *full,
+                        changes: raw
+                            .iter()
+                            .map(|(ctx, n, kind, idx)| ZoneChange {
+                                ctx: ObjectId::from_index(*ctx),
+                                name: Name::new(n),
+                                entity: match kind {
+                                    0 => Entity::Object(ObjectId::from_index(*idx)),
+                                    1 => Entity::Activity(ActivityId::from_index(*idx)),
+                                    _ => Entity::Undefined,
+                                },
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let delta = ZoneDelta { id, shards };
+                prop_assert_eq!(delta.encode().len(), delta.wire_len());
+                prop_assert_eq!(ZoneDelta::decode(delta.encode()), Some(delta));
             }
 
             /// Batch frames round-trip for arbitrary well-formed name sets,
@@ -1135,6 +1358,61 @@ mod tests {
                 prop_assert_eq!(Request::decode(req.encode()), Some(req));
             }
         }
+    }
+
+    #[test]
+    fn zone_delta_frames_round_trip() {
+        let req = ZoneDeltaRequest {
+            id: 42,
+            since: vec![
+                (0, ZoneSerial::ZERO),
+                (3, ZoneSerial::new(17)),
+                (1023, ZoneSerial::new(u64::MAX)),
+            ],
+        };
+        assert_eq!(req.encode().len(), req.wire_len());
+        assert_eq!(ZoneDeltaRequest::decode(req.encode()), Some(req.clone()));
+        let delta = ZoneDelta {
+            id: 42,
+            shards: vec![
+                ShardDelta {
+                    shard: 0,
+                    serial: ZoneSerial::new(19),
+                    full: false,
+                    changes: vec![
+                        ZoneChange {
+                            ctx: ObjectId::from_index(4),
+                            name: Name::new("data"),
+                            entity: Entity::Object(ObjectId::from_index(9)),
+                        },
+                        ZoneChange {
+                            ctx: ObjectId::from_index(4),
+                            name: Name::new("gone"),
+                            entity: Entity::Undefined,
+                        },
+                    ],
+                },
+                ShardDelta {
+                    shard: 3,
+                    serial: ZoneSerial::new(2),
+                    full: true,
+                    changes: vec![],
+                },
+            ],
+        };
+        assert_eq!(delta.encode().len(), delta.wire_len());
+        assert_eq!(ZoneDelta::decode(delta.encode()), Some(delta.clone()));
+        // Cross-decoding and truncation fail cleanly.
+        assert!(ZoneDelta::decode(req.encode()).is_none());
+        assert!(ZoneDeltaRequest::decode(delta.encode()).is_none());
+        let full = delta.encode();
+        assert!(ZoneDelta::decode(full.slice(..full.len() - 1)).is_none());
+        // A corrupt `full` flag byte (neither 0 nor 1) is rejected.
+        let mut bad = full.to_vec();
+        let flag_at = 1 + 8 + 2 + 2 + 8;
+        assert_eq!(bad[flag_at], 0, "expected the first slice's full flag");
+        bad[flag_at] = 7;
+        assert!(ZoneDelta::decode(Bytes::from(bad)).is_none());
     }
 
     #[test]

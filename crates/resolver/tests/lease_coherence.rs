@@ -1,0 +1,315 @@
+//! End-to-end lease-coherence tests: TTL boundary semantics, serial
+//! regressions across restarts, IXFR→AXFR fallback, and a property test
+//! driving random publish/sync/clock schedules.
+//!
+//! Everything here runs the full stack — client cache over the wire
+//! protocol over the simulated network — and checks the paper's §5
+//! bounded-staleness contract from the outside: the oracle
+//! ([`Resolver::resolve_entity`]) is the *experimenter's* instrument;
+//! the lease-mode resolver under test never touches it.
+
+use naming_core::entity::{ActivityId, Entity, ObjectId};
+use naming_core::lease::ZoneSerial;
+use naming_core::name::{CompoundName, Name};
+use naming_core::resolve::Resolver;
+use naming_resolver::cache::{CachingResolver, DEFAULT_CACHE_CAPACITY};
+use naming_resolver::coherence::CoherenceMode;
+use naming_resolver::engine::ProtocolEngine;
+use naming_resolver::service::NameService;
+use naming_resolver::wire::Mode;
+use naming_sim::store;
+use naming_sim::time::Duration;
+use naming_sim::topology::MachineId;
+use naming_sim::world::World;
+use proptest::prelude::*;
+
+/// Two machines, one exported directory, one file: `/remote/data` on m1
+/// refers through to m2's store. Returns the directory so tests can
+/// republish bindings under it.
+fn setup(
+    mode: CoherenceMode,
+) -> (
+    World,
+    CachingResolver,
+    ActivityId,
+    ObjectId,
+    ObjectId,
+    MachineId,
+) {
+    let mut w = World::new(81);
+    let net = w.add_network("n");
+    let m1 = w.add_machine("m1", net);
+    let m2 = w.add_machine("m2", net);
+    let root = w.machine_root(m1);
+    let root2 = w.machine_root(m2);
+    let sub = store::ensure_dir(w.state_mut(), root2, "export");
+    store::create_file(w.state_mut(), sub, "data", vec![]);
+    store::attach(w.state_mut(), root, "remote", sub, false);
+    let mut svc = NameService::install(&mut w, &[m1, m2]);
+    svc.place_subtree(&w, w.machine_root(m2), m2);
+    svc.place_subtree(&w, root, m1);
+    let client = w.spawn(m1, "client", None);
+    let resolver =
+        CachingResolver::with_mode(ProtocolEngine::new(svc), DEFAULT_CACHE_CAPACITY, mode);
+    (w, resolver, client, root, sub, m1)
+}
+
+/// Pushes virtual time forward by exactly `ticks` (cache hits cost no
+/// virtual time, so expiry only ever arrives through explicit pacing).
+fn advance(w: &mut World, client: ActivityId, ticks: u64) {
+    w.schedule_wake(client, Duration::from_ticks(ticks), u64::MAX);
+    while w.step() {}
+    w.drain_wakes(client);
+}
+
+/// Rebinds `data` under `sub` to a brand-new object through the
+/// journaled publish path; returns the new object.
+fn republish(w: &mut World, r: &mut CachingResolver, sub: ObjectId, tag: &str) -> ObjectId {
+    let fresh = w.state_mut().add_data_object(format!("data-{tag}"), vec![]);
+    r.engine_mut()
+        .publish_binding(w, sub, Name::new("data"), Some(Entity::Object(fresh)))
+        .expect("publish commits");
+    fresh
+}
+
+/// A lease's validity interval is half-open: `[granted, granted + ttl)`.
+/// A resolve landing *exactly* on the expiry tick must refetch; one tick
+/// earlier must still be served from cache.
+#[test]
+fn lease_expiring_exactly_at_the_resolve_tick_misses() {
+    const TTL: u64 = 500;
+    let (mut w, mut r, client, root, _sub, _m1) = setup(CoherenceMode::Lease { ttl: Some(TTL) });
+    let name = CompoundName::parse_path("/remote/data").unwrap();
+
+    // Leases are stamped at the tick the resolve *starts* (the answer is
+    // at best that old), so the expiry boundary counts from here — not
+    // from when the wire round-trip completes.
+    let granted = w.now().ticks();
+    let (e1, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert!(e1.is_defined());
+    assert!(!from_cache);
+    let rtt = w.now().ticks() - granted;
+    assert!(
+        rtt > 0 && rtt < TTL - 1,
+        "fetch cost {rtt}t must fit inside the ttl"
+    );
+
+    // One tick *before* expiry: still a hit.
+    advance(&mut w, client, TTL - 1 - rtt);
+    let (e2, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert_eq!(e2, e1);
+    assert!(from_cache, "now = granted + ttl - 1 is inside the lease");
+
+    // The boundary tick itself: `now == expires_at` is outside the
+    // half-open interval, so this resolve pays the wire again.
+    advance(&mut w, client, 1);
+    let before = r.lease_stats().expired;
+    let (e3, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert_eq!(e3, e1);
+    assert!(!from_cache, "now = granted + ttl is already expired");
+    assert!(r.lease_stats().expired > before);
+}
+
+/// A replica restart wipes the heard-serial table, so the next
+/// anti-entropy pull cannot ask for a diff — every zone comes back as a
+/// full (AXFR-style) transfer and the caches start cold but correct.
+#[test]
+fn replica_restart_resyncs_with_full_transfers() {
+    let (mut w, mut r, client, root, sub, m1) = setup(CoherenceMode::Lease { ttl: None });
+    let name = CompoundName::parse_path("/remote/data").unwrap();
+    r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    let first = r.sync(&mut w, client, m1).expect("cold sync completes");
+    assert!(first.shards_full >= 1, "a cold table pulls full zones");
+
+    // Steady state: the next pull after one publish is incremental.
+    let fresh = republish(&mut w, &mut r, sub, "v2");
+    let steady = r.sync(&mut w, client, m1).expect("steady sync completes");
+    assert_eq!(steady.shards_full, 0);
+    assert!(steady.shards_incremental >= 1);
+
+    // Crash-and-restart the replica: caches emptied, serial table reset.
+    r.restart_replica();
+    assert_eq!(r.len(), 0);
+    assert_eq!(r.serial_table().known(0), ZoneSerial::ZERO);
+    let resync = r.sync(&mut w, client, m1).expect("resync completes");
+    assert!(
+        resync.shards_full >= 1,
+        "restart forgets serials → full again"
+    );
+    let (got, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert!(!from_cache);
+    assert_eq!(
+        got,
+        Entity::Object(fresh),
+        "restart never resurrects staleness"
+    );
+}
+
+/// A replica that synced against an authority which later restarted from
+/// an older snapshot holds serials *ahead* of the authority. The next
+/// pull observes the regression, counts it, falls back to a full
+/// transfer, and re-adopts the authority's (lower) serial.
+#[test]
+fn authority_serial_regression_forces_full_transfer_and_readoption() {
+    let (mut w, mut r, client, root, _sub, m1) = setup(CoherenceMode::Lease { ttl: None });
+    let name = CompoundName::parse_path("/remote/data").unwrap();
+    let (old, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert!(old.is_defined());
+    r.sync(&mut w, client, m1).expect("first sync completes");
+    let truth = w.state().shard_serial(0);
+    assert_eq!(r.serial_table().known(0), truth);
+
+    // Stage the regression: the experimenter plays the role of the
+    // pre-restart authority and feeds the replica a serial from a future
+    // the authority no longer remembers.
+    let ahead = ZoneSerial::new(truth.get() + 64);
+    r.serial_table_mut().observe(0, ahead);
+    assert_eq!(r.serial_table().known(0), ahead);
+
+    let report = r.sync(&mut w, client, m1).expect("sync completes");
+    assert!(
+        report.regressions >= 1,
+        "serial moved backwards at the authority"
+    );
+    assert!(
+        report.shards_full >= 1,
+        "no diff exists across a regression"
+    );
+    assert_eq!(
+        r.serial_table().known(0),
+        truth,
+        "the heard serial is re-adopted even when it regresses"
+    );
+    // The zone's cached entries were stamped under the old serial and
+    // must have been dropped: the next resolve refetches and is correct.
+    let (got, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert!(!from_cache, "regression drops the zone's leases");
+    assert_eq!(got, old);
+}
+
+/// IXFR window eviction: when more publishes land than the journal
+/// retains, `delta_since` has a gap and the authority answers with a
+/// full transfer instead — which still converges the replica.
+#[test]
+fn journal_window_eviction_falls_back_to_full_transfer() {
+    let (mut w, mut r, client, root, sub, m1) = setup(CoherenceMode::Lease { ttl: None });
+    r.engine_mut().set_journal_window(2);
+    let name = CompoundName::parse_path("/remote/data").unwrap();
+    r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    r.sync(&mut w, client, m1).expect("cold sync completes");
+
+    // Five rebinds blow straight through a two-entry delta window.
+    let mut latest = None;
+    for k in 0..5 {
+        latest = Some(republish(&mut w, &mut r, sub, &format!("v{k}")));
+    }
+    let report = r.sync(&mut w, client, m1).expect("sync completes");
+    assert!(report.shards_full >= 1, "evicted window → AXFR fallback");
+    let (got, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert_eq!(got, Entity::Object(latest.unwrap()));
+
+    // One rebind fits the window: back to incremental service.
+    let fresh = republish(&mut w, &mut r, sub, "v5");
+    let report = r.sync(&mut w, client, m1).expect("sync completes");
+    assert_eq!(report.shards_full, 0);
+    assert!(report.shards_incremental >= 1);
+    assert!(report.changes >= 1);
+    let (got, _) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+    assert_eq!(got, Entity::Object(fresh));
+}
+
+/// One step of the random schedule the property test drives. Decoded
+/// from a `(selector, amount)` pair: 0–3 resolve, 4 rebind, 5 unbind,
+/// 6–7 sync, 8–10 advance the clock by `amount`.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Resolve `/remote/data` and check the staleness contract.
+    Resolve,
+    /// Rebind `data` to a fresh object (or to ⊥ when `false`).
+    Publish(bool),
+    /// Anti-entropy pull from the authority.
+    Sync,
+    /// Advance the virtual clock.
+    Advance(u64),
+}
+
+fn decode(selector: u8, amount: u64) -> Op {
+    match selector {
+        0..=3 => Op::Resolve,
+        4 => Op::Publish(true),
+        5 => Op::Publish(false),
+        6..=7 => Op::Sync,
+        _ => Op::Advance(amount),
+    }
+}
+
+proptest! {
+    /// Under any interleaving of publishes, syncs, clock advances, and
+    /// resolutions on a lossless network, a lease-mode answer is either
+    /// the current truth, or a *previous* truth replaced strictly less
+    /// than one TTL ago — and never an entity that was never bound.
+    /// Immediately after a sync with no intervening publish, answers are
+    /// exactly current.
+    #[test]
+    fn random_schedules_respect_the_lease_bound(
+        raw in prop::collection::vec((0u8..11, 1u64..80), 1..48),
+    ) {
+        let ops: Vec<Op> = raw.into_iter().map(|(s, t)| decode(s, t)).collect();
+        const TTL: u64 = 100;
+        let (mut w, mut r, client, root, sub, m1) = setup(CoherenceMode::Lease { ttl: Some(TTL) });
+        let name = CompoundName::parse_path("/remote/data").unwrap();
+        let oracle = Resolver::new();
+        // Truths this name has held, with the tick each stopped being
+        // current. The initial binding is recorded implicitly: anything
+        // served must match either the live truth or this graveyard.
+        let mut graveyard: Vec<(Entity, u64)> = Vec::new();
+        let mut version = 0u32;
+        let mut clean_since_sync = false;
+        for op in ops {
+            match op {
+                Op::Resolve => {
+                    let now = w.now().ticks();
+                    let (got, from_cache) = r.resolve(&mut w, client, root, &name, Mode::Iterative);
+                    let truth = oracle.resolve_entity(w.state(), root, &name);
+                    if got == truth {
+                        // Current — always fine.
+                    } else {
+                        prop_assert!(from_cache, "a fresh fetch on a lossless net is current");
+                        let excused = graveyard
+                            .iter()
+                            .any(|&(e, died)| e == got && now.saturating_sub(died) < TTL);
+                        prop_assert!(
+                            excused,
+                            "served {got} at t{now} but truth is {truth} and no prior \
+                             binding excuses it within ttl {TTL}: {graveyard:?}"
+                        );
+                        prop_assert!(!clean_since_sync, "a post-sync answer must be current");
+                    }
+                }
+                Op::Publish(bind) => {
+                    let now = w.now().ticks();
+                    let old = oracle.resolve_entity(w.state(), root, &name);
+                    graveyard.push((old, now));
+                    let entity = if bind {
+                        version += 1;
+                        let fresh = w
+                            .state_mut()
+                            .add_data_object(format!("data-p{version}"), vec![]);
+                        Some(Entity::Object(fresh))
+                    } else {
+                        None
+                    };
+                    r.engine_mut()
+                        .publish_binding(&mut w, sub, Name::new("data"), entity)
+                        .expect("publish commits");
+                    clean_since_sync = false;
+                }
+                Op::Sync => {
+                    r.sync(&mut w, client, m1).expect("lossless sync completes");
+                    clean_since_sync = true;
+                }
+                Op::Advance(t) => advance(&mut w, client, t),
+            }
+        }
+    }
+}

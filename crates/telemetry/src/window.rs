@@ -158,7 +158,13 @@ impl WindowedHistogram {
     /// stale history ages out too.
     pub fn advance(&mut self, now: u64) {
         let start = self.window_start(now);
-        let horizon = start.saturating_sub(self.width.saturating_mul(self.max_windows as u64 - 1));
+        // Saturating: `max_windows` is asserted ≥ 1 at construction, but a
+        // plain `- 1` here would wrap to u64::MAX if that invariant were
+        // ever bypassed, turning the horizon into "drop everything".
+        let horizon = start.saturating_sub(
+            self.width
+                .saturating_mul((self.max_windows as u64).saturating_sub(1)),
+        );
         while matches!(self.windows.front(), Some(w) if w.start < horizon) {
             self.windows.pop_front();
         }
@@ -426,6 +432,46 @@ resolve_latency_sum 16
 resolve_latency_count 5
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn zero_window_retention_is_rejected_at_construction() {
+        let _ = WindowedHistogram::new(10, 0);
+    }
+
+    #[test]
+    fn advance_with_a_single_window_keeps_the_current_one() {
+        // max_windows == 1: horizon == start of the current window, so
+        // advance keeps exactly the covering window and drops the rest.
+        // (The old `max_windows - 1` arithmetic was one unchecked
+        // subtraction away from a wrapped horizon dropping everything.)
+        let mut w = WindowedHistogram::new(10, 1);
+        w.record(5, 1);
+        assert_eq!(w.retained(), 1);
+        w.advance(9); // same window: nothing rotates
+        assert_eq!(w.retained(), 1);
+        w.advance(10); // next window: the old one is past the horizon
+        assert_eq!(w.retained(), 0);
+        w.record(12, 2);
+        w.advance(u64::MAX); // far future saturates, no overflow panic
+        assert_eq!(w.retained(), 0);
+        assert_eq!(w.total(), 2, "rotation never rewrites history totals");
+    }
+
+    #[test]
+    fn advance_horizon_is_exact_at_the_retention_boundary() {
+        let mut w = WindowedHistogram::new(10, 3);
+        w.record(0, 1);
+        w.record(10, 1);
+        w.record(20, 1);
+        // Horizon at now=29: start 20, keep starts ≥ 0 — all three live.
+        w.advance(29);
+        assert_eq!(w.window_count(), 3);
+        // now=30 moves the horizon to 10: the window at 0 rotates out.
+        w.advance(30);
+        assert_eq!(w.window_count(), 2);
+        assert_eq!(w.retained(), 2);
     }
 
     #[test]
